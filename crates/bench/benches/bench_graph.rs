@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: typed-object-graph substrate operations that
+//! dominate matching inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgp_datagen::facebook::{generate_facebook, FacebookConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let d = generate_facebook(&FacebookConfig::default());
+    let g = &d.graph;
+    let user_t = d.anchor_type;
+    let users = g.nodes_of_type(user_t);
+    let school_t = g.types().id("school").unwrap();
+
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("neighbors", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = users[i % users.len()];
+            i += 1;
+            black_box(g.neighbors(u).len())
+        })
+    });
+    group.bench_function("neighbors_of_type", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = users[i % users.len()];
+            i += 1;
+            black_box(g.neighbors_of_type(u, school_t).len())
+        })
+    });
+    group.bench_function("has_edge", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = users[i % users.len()];
+            let v = users[(i * 13 + 7) % users.len()];
+            i += 1;
+            black_box(g.has_edge(u, v))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

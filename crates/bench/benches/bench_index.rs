@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark: metagraph vector index construction and
+//! lookup (the indexing step of the offline phase, Fig. 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgp_bench::context::{ExpContext, Scale, Which};
+use mgp_graph::NodeId;
+use mgp_index::{Transform, VectorIndex};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_index(c: &mut Criterion) {
+    let ctx = ExpContext::prepare(Which::Facebook, Scale::Tiny, 42);
+    let mut group = c.benchmark_group("index");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("from_counts", |b| {
+        b.iter(|| black_box(VectorIndex::from_counts(&ctx.counts, Transform::Log1p)))
+    });
+
+    let w = vec![0.5; ctx.index.n_metagraphs()];
+    let anchors = ctx.anchors();
+    group.bench_function("dot_node", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = anchors[i % anchors.len()];
+            i += 1;
+            black_box(ctx.index.dot_node(x, &w))
+        })
+    });
+    group.bench_function("pair_vec_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let x = anchors[i % anchors.len()];
+            let y = anchors[(i * 7 + 1) % anchors.len()];
+            i += 1;
+            black_box(ctx.index.pair_vec(x, NodeId(y.0)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

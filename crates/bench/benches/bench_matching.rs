@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark behind Fig. 11: per-matcher metagraph
+//! matching time on the Facebook-like graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgp_bench::context::{ExpContext, Scale, Which};
+use mgp_matching::{count_embeddings, Matcher, QuickSi, SymIso, TurboLite, Vf2};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_matchers(c: &mut Criterion) {
+    let ctx = ExpContext::prepare(Which::Facebook, Scale::Tiny, 42);
+    let matchers: Vec<Box<dyn Matcher>> = vec![
+        Box::new(SymIso::new()),
+        Box::new(SymIso::random_order(42)),
+        Box::new(TurboLite),
+        Box::new(Vf2),
+        Box::new(QuickSi),
+    ];
+    let mut group = c.benchmark_group("fig11_matching");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for size in 3..=5usize {
+        // One representative pattern per size: the one with most instances.
+        let best = (0..ctx.patterns.len())
+            .filter(|&i| ctx.patterns[i].n_nodes() == size)
+            .max_by_key(|&i| ctx.counts[i].n_instances);
+        let Some(i) = best else { continue };
+        for m in &matchers {
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), format!("{size}nodes")),
+                &i,
+                |b, &i| {
+                    b.iter(|| {
+                        black_box(count_embeddings(
+                            m.as_ref(),
+                            &ctx.dataset.graph,
+                            &ctx.patterns[i],
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers);
+criterion_main!(benches);

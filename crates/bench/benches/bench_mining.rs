@@ -1,0 +1,24 @@
+//! Criterion micro-benchmark behind Table III's mining column: GRAMI-style
+//! frequent metagraph mining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgp_datagen::facebook::{generate_facebook, FacebookConfig};
+use mgp_mining::{mine, MinerConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_mining(c: &mut Criterion) {
+    let d = generate_facebook(&FacebookConfig::tiny(42));
+    let mut cfg = MinerConfig::paper_defaults(d.anchor_type, 5);
+    cfg.max_patterns = Some(60);
+
+    let mut group = c.benchmark_group("table3_mining");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("mine_facebook_tiny", |b| {
+        b.iter(|| black_box(mine(&d.graph, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark behind Table III's online column: per-query
+//! ranking latency with pre-matched metagraph vectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::{ExpContext, Scale, Which};
+use mgp_eval::repeated_splits;
+use mgp_learning::{mgp, train, TrainConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_online_query(c: &mut Criterion) {
+    let ctx = ExpContext::prepare(Which::Facebook, Scale::Tiny, 42);
+    let class = ctx.dataset.classes()[0];
+    let queries = ctx.dataset.labels.queries_of_class(class);
+    let split = &repeated_splits(&queries, 0.2, 1, 42)[0];
+    let examples = make_examples(&ctx, class, &split.train, 200, 42);
+    let model = train(&ctx.index, &examples, &TrainConfig::fast(42));
+
+    let mut group = c.benchmark_group("table3_online");
+    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group.bench_function("rank_top10", |b| {
+        let mut qi = 0usize;
+        b.iter(|| {
+            let q = split.test[qi % split.test.len()];
+            qi += 1;
+            black_box(mgp::rank(&ctx.index, q, &model.weights, 10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_query);
+criterion_main!(benches);

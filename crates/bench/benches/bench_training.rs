@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark behind Table III's training column:
+//! gradient-ascent learning over the metagraph vector index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::{ExpContext, Scale, Which};
+use mgp_eval::repeated_splits;
+use mgp_learning::{train, TrainConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_training(c: &mut Criterion) {
+    let ctx = ExpContext::prepare(Which::Facebook, Scale::Tiny, 42);
+    let class = ctx.dataset.classes()[0];
+    let queries = ctx.dataset.labels.queries_of_class(class);
+    let split = &repeated_splits(&queries, 0.2, 1, 42)[0];
+
+    let mut group = c.benchmark_group("table3_training");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    for n in [10usize, 100] {
+        let examples = make_examples(&ctx, class, &split.train, n, 42);
+        let cfg = TrainConfig {
+            restarts: 1,
+            max_iterations: 100,
+            ..TrainConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("train", n), &examples, |b, ex| {
+            b.iter(|| black_box(train(&ctx.index, ex, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! The five compared algorithms of Fig. 6–7, behind one interface.
+
+use crate::context::ExpContext;
+use mgp_datagen::ClassId;
+use mgp_eval::evaluate_ranker;
+use mgp_graph::NodeId;
+use mgp_learning::baselines::{
+    best_single_metagraph, metapath_indices, single_weights, uniform_weights,
+};
+use mgp_learning::srw::{srw_rank, train_srw, SrwConfig};
+use mgp_learning::{mgp, train, TrainConfig, TrainingExample};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The algorithms compared in the accuracy experiments (Sect. V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Metagraph-based proximity, supervised (ours).
+    Mgp,
+    /// Metapath-only proximity, supervised.
+    Mpp,
+    /// MGP with uniform weights.
+    MgpU,
+    /// MGP with the single best metagraph.
+    MgpB,
+    /// Supervised random walks.
+    Srw,
+}
+
+impl Algo {
+    /// All five, in the paper's legend order.
+    pub const ALL: [Algo; 5] = [Algo::Mgp, Algo::Mpp, Algo::MgpU, Algo::MgpB, Algo::Srw];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Mgp => "MGP",
+            Algo::Mpp => "MPP",
+            Algo::MgpU => "MGP-U",
+            Algo::MgpB => "MGP-B",
+            Algo::Srw => "SRW",
+        }
+    }
+}
+
+/// Samples `n` training triples for a class from the given train queries.
+///
+/// Negatives are drawn from the query's index partners 90 % of the time
+/// (hard negatives — the other users `q` is related to, mirroring the
+/// paper's labelled-connections supervision) and uniformly otherwise.
+pub fn make_examples(
+    ctx: &ExpContext,
+    class: ClassId,
+    train_queries: &[NodeId],
+    n: usize,
+    seed: u64,
+) -> Vec<TrainingExample> {
+    let anchors = ctx.anchors();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    mgp_learning::sample_examples_with_pool(
+        train_queries,
+        |q| ctx.dataset.labels.positives_of(q, class),
+        |q, v| ctx.dataset.labels.has(q, v, class),
+        &anchors,
+        |q| ctx.index.partners(q).iter().map(|&v| NodeId(v)).collect(),
+        0.9,
+        n,
+        &mut rng,
+    )
+}
+
+/// Trains `algo` on the training split and evaluates NDCG@k / MAP@k on the
+/// test queries (paper protocol, k = 10).
+pub fn eval_algo(
+    ctx: &ExpContext,
+    algo: Algo,
+    class: ClassId,
+    train_queries: &[NodeId],
+    test_queries: &[NodeId],
+    n_examples: usize,
+    seed: u64,
+    k: usize,
+) -> (f64, f64) {
+    let idx = &ctx.index;
+    let examples = make_examples(ctx, class, train_queries, n_examples, seed);
+    let positives = |q: NodeId| ctx.dataset.labels.positives_of(q, class);
+
+    match algo {
+        Algo::Mgp => {
+            let model = train(idx, &examples, &TrainConfig::fast(seed));
+            evaluate_ranker(test_queries, k, positives, |q| {
+                mgp::rank(idx, q, &model.weights, k)
+            })
+        }
+        Algo::Mpp => {
+            let paths = metapath_indices(&ctx.metagraphs);
+            let sub = idx.restrict(&paths);
+            let model = train(&sub, &examples, &TrainConfig::fast(seed));
+            evaluate_ranker(test_queries, k, positives, |q| {
+                mgp::rank(&sub, q, &model.weights, k)
+            })
+        }
+        Algo::MgpU => {
+            let w = uniform_weights(idx.n_metagraphs());
+            evaluate_ranker(test_queries, k, positives, |q| mgp::rank(idx, q, &w, k))
+        }
+        Algo::MgpB => {
+            let best = best_single_metagraph(idx, train_queries, positives, k);
+            let w = single_weights(idx.n_metagraphs(), best);
+            evaluate_ranker(test_queries, k, positives, |q| mgp::rank(idx, q, &w, k))
+        }
+        Algo::Srw => {
+            let cfg = SrwConfig::default();
+            let model = train_srw(&ctx.dataset.graph, &examples, &cfg);
+            evaluate_ranker(test_queries, k, positives, |q| {
+                srw_rank(
+                    &ctx.dataset.graph,
+                    &model,
+                    q,
+                    ctx.dataset.anchor_type,
+                    k,
+                    &cfg,
+                )
+            })
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Ablation: design choices called out in DESIGN.md.
+//!
+//! 1. **Count transform** (Raw vs Log1p vs Binary) for the metagraph
+//!    vectors — the paper notes the vectors "can be further transformed"
+//!    (Sect. II-A); this quantifies the choice.
+//! 2. **Hard-negative fraction** in training-example sampling (0 = the
+//!    naive random-stranger protocol).
+//!
+//! Reported as NDCG@10 / MAP@10 for learned MGP per dataset/class.
+
+use mgp_bench::context::Which;
+use mgp_bench::output::f4;
+use mgp_bench::{parse_args, CsvWriter, ExpContext};
+use mgp_eval::{evaluate_ranker, repeated_splits};
+use mgp_graph::NodeId;
+use mgp_index::{Transform, VectorIndex};
+use mgp_learning::{mgp, sample_examples_with_pool, train, TrainConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let args = parse_args();
+    println!("=== Ablations (scale {:?}) ===", args.scale);
+    let mut csv = CsvWriter::create(
+        "ablation",
+        &["dataset", "class", "transform", "hard_frac", "ndcg", "map"],
+    )
+    .expect("csv");
+
+    for which in [Which::LinkedIn, Which::Facebook] {
+        let ctx = ExpContext::prepare(which, args.scale, args.seed);
+        for class in ctx.dataset.classes() {
+            let class_name = ctx.dataset.class_names[class.0 as usize].clone();
+            let queries = ctx.dataset.labels.queries_of_class(class);
+            let split = &repeated_splits(&queries, 0.2, 1, args.seed)[0];
+            let positives = |q| ctx.dataset.labels.positives_of(q, class);
+            println!("\n--- {} / {} ---", ctx.dataset.name, class_name);
+            println!("transform\thard_frac\tNDCG@10\tMAP@10");
+
+            for transform in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+                let index = VectorIndex::from_counts(&ctx.counts, transform);
+                for hard_frac in [0.0, 0.9] {
+                    let anchors = ctx.anchors();
+                    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+                    let examples = sample_examples_with_pool(
+                        &split.train,
+                        |q| ctx.dataset.labels.positives_of(q, class),
+                        |q, v| ctx.dataset.labels.has(q, v, class),
+                        &anchors,
+                        |q| index.partners(q).iter().map(|&v| NodeId(v)).collect(),
+                        hard_frac,
+                        1000,
+                        &mut rng,
+                    );
+                    let model = train(&index, &examples, &TrainConfig::fast(args.seed));
+                    let (ndcg, map) = evaluate_ranker(&split.test, 10, positives, |q| {
+                        mgp::rank(&index, q, &model.weights, 10)
+                    });
+                    println!("{transform:?}\t{hard_frac}\t{}\t{}", f4(ndcg), f4(map));
+                    csv.row(&[
+                        ctx.dataset.name.clone(),
+                        class_name.clone(),
+                        format!("{transform:?}"),
+                        hard_frac.to_string(),
+                        f4(ndcg),
+                        f4(map),
+                    ])
+                    .expect("row");
+                }
+            }
+        }
+    }
+    let path = csv.finish().expect("flush");
+    println!("\ncsv: {}", path.display());
+}

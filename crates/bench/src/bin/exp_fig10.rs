@@ -1,0 +1,87 @@
+//! Fig. 10 — candidate heuristic (CH) vs reverse candidate heuristic (RCH).
+//!
+//! If CH's ordering is meaningful, training on the top-|K| candidates must
+//! beat training on the bottom-|K| (RCH) for the same |K|.
+
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::Which;
+use mgp_bench::{parse_args, CsvWriter, ExpContext};
+use mgp_eval::{evaluate_ranker, repeated_splits};
+use mgp_learning::baselines::metapath_indices;
+use mgp_learning::{candidate_ranking, mgp, reverse_candidate_ranking, train, TrainConfig};
+
+fn main() {
+    let args = parse_args();
+    println!("=== Fig. 10: CH vs RCH (scale {:?}) ===", args.scale);
+    let mut csv = CsvWriter::create(
+        "fig10",
+        &["dataset", "class", "k", "heuristic", "ndcg", "map"],
+    )
+    .expect("csv");
+
+    for which in [Which::LinkedIn, Which::Facebook] {
+        let ctx = ExpContext::prepare(which, args.scale, args.seed);
+        let seeds = metapath_indices(&ctx.metagraphs);
+        let n_nonseed = ctx.metagraphs.len() - seeds.len();
+        let sweep: Vec<usize> = (1..=5).map(|i| i * n_nonseed / 5).collect();
+
+        for class in ctx.dataset.classes() {
+            let class_name = ctx.dataset.class_names[class.0 as usize].clone();
+            let queries = ctx.dataset.labels.queries_of_class(class);
+            let split = &repeated_splits(&queries, 0.2, 1, args.seed)[0];
+            let examples = make_examples(&ctx, class, &split.train, 1000, args.seed);
+            let positives = |q| ctx.dataset.labels.positives_of(q, class);
+
+            let seed_index = ctx.index.restrict(&seeds);
+            let w0 = train(&seed_index, &examples, &TrainConfig::fast(args.seed));
+            let ch = candidate_ranking(&ctx.metagraphs, &seeds, &w0.weights);
+            let rch = reverse_candidate_ranking(&ctx.metagraphs, &seeds, &w0.weights);
+
+            println!("\n--- {} / {} ---", ctx.dataset.name, class_name);
+            println!("|K|\tCH NDCG\tCH MAP\tRCH NDCG\tRCH MAP");
+            for &k in &sweep {
+                let mut row = vec![
+                    ctx.dataset.name.clone(),
+                    class_name.clone(),
+                    k.to_string(),
+                ];
+                let mut line = format!("{k}");
+                for (label, ranking) in [("CH", &ch), ("RCH", &rch)] {
+                    let mut coords = seeds.clone();
+                    coords.extend(ranking.iter().take(k).map(|&(j, _)| j));
+                    let sub = ctx.index.restrict(&coords);
+                    let model = train(&sub, &examples, &TrainConfig::fast(args.seed));
+                    let (ndcg, map) = evaluate_ranker(&split.test, 10, positives, |q| {
+                        mgp::rank(&sub, q, &model.weights, 10)
+                    });
+                    line += &format!("\t{ndcg:.4}\t{map:.4}");
+                    row.push(label.to_owned());
+                    row.push(format!("{ndcg:.4}"));
+                    row.push(format!("{map:.4}"));
+                }
+                println!("{line}");
+                // Emit two CSV rows, one per heuristic.
+                csv.row(&[
+                    row[0].clone(),
+                    row[1].clone(),
+                    row[2].clone(),
+                    row[3].clone(),
+                    row[4].clone(),
+                    row[5].clone(),
+                ])
+                .expect("row");
+                csv.row(&[
+                    row[0].clone(),
+                    row[1].clone(),
+                    row[2].clone(),
+                    row[6].clone(),
+                    row[7].clone(),
+                    row[8].clone(),
+                ])
+                .expect("row");
+            }
+        }
+    }
+    let path = csv.finish().expect("flush");
+    println!("\ncsv: {}", path.display());
+}

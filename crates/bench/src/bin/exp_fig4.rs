@@ -1,0 +1,56 @@
+//! Fig. 4 — sparsity of the optimal characteristic weights.
+//!
+//! Trains MGP on the full metagraph set (1000 examples) for every class and
+//! prints the weights in descending order, reproducing the long-tailed
+//! curves of Fig. 4: few high weights, an overwhelming majority of
+//! near-zero weights.
+
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::Which;
+use mgp_bench::output::f4;
+use mgp_bench::{parse_args, CsvWriter, ExpContext};
+use mgp_eval::repeated_splits;
+use mgp_learning::{train, TrainConfig};
+
+fn main() {
+    let args = parse_args();
+    println!("=== Fig. 4: sparsity of optimal weights (scale {:?}) ===", args.scale);
+    let mut csv = CsvWriter::create("fig4", &["dataset", "class", "rank", "weight"]).expect("csv");
+
+    for which in [Which::LinkedIn, Which::Facebook] {
+        let ctx = ExpContext::prepare(which, args.scale, args.seed);
+        for class in ctx.dataset.classes() {
+            let class_name = &ctx.dataset.class_names[class.0 as usize];
+            let queries = ctx.dataset.labels.queries_of_class(class);
+            let split = &repeated_splits(&queries, 0.2, 1, args.seed)[0];
+            let examples = make_examples(&ctx, class, &split.train, 1000, args.seed);
+            let model = train(&ctx.index, &examples, &TrainConfig::default());
+            let mut w = model.weights.clone();
+            w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+
+            let high = w.iter().filter(|&&x| x > 0.9).count();
+            let low = w.iter().filter(|&&x| x < 0.1).count();
+            println!(
+                "\n{} / {class_name}: |M| = {}, weights > 0.9: {high}, weights < 0.1: {low}",
+                ctx.dataset.name,
+                w.len()
+            );
+            print!("ranked weights: ");
+            for (i, x) in w.iter().enumerate() {
+                if i < 10 || i % (w.len() / 10).max(1) == 0 || i == w.len() - 1 {
+                    print!("#{}:{} ", i + 1, f4(*x));
+                }
+                csv.row(&[
+                    ctx.dataset.name.clone(),
+                    class_name.clone(),
+                    (i + 1).to_string(),
+                    f4(*x),
+                ])
+                .expect("row");
+            }
+            println!();
+        }
+    }
+    let path = csv.finish().expect("flush");
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,76 @@
+//! Fig. 6 (NDCG@10) and Fig. 7 (MAP@10) — accuracy of MGP vs the four
+//! baselines, varying the number of training examples |Ω|.
+//!
+//! Grid: 2 datasets × 2 classes × |Ω| ∈ {10, 100, 1000} × 5 algorithms,
+//! averaged over `--splits` random 20/80 splits (paper: 10).
+
+use mgp_bench::context::Which;
+use mgp_bench::output::f4;
+use mgp_bench::{eval_algo, parse_args, Algo, CsvWriter, ExpContext};
+use mgp_eval::repeated_splits;
+
+fn main() {
+    let args = parse_args();
+    let omegas: &[usize] = &[10, 100, 1000];
+    println!(
+        "=== Fig. 6 & 7: accuracy vs |Omega| (scale {:?}, {} splits) ===",
+        args.scale, args.n_splits
+    );
+    let mut csv = CsvWriter::create(
+        "fig6_fig7",
+        &["dataset", "class", "omega", "algo", "ndcg", "map"],
+    )
+    .expect("csv");
+
+    for which in [Which::LinkedIn, Which::Facebook] {
+        let ctx = ExpContext::prepare(which, args.scale, args.seed);
+        for class in ctx.dataset.classes() {
+            let class_name = ctx.dataset.class_names[class.0 as usize].clone();
+            let queries = ctx.dataset.labels.queries_of_class(class);
+            let splits = repeated_splits(&queries, 0.2, args.n_splits, args.seed);
+            println!(
+                "\n--- {} / {} ({} queries) ---",
+                ctx.dataset.name,
+                class_name,
+                queries.len()
+            );
+            println!("|Omega|\tAlgo\tNDCG@10\tMAP@10");
+            for &omega in omegas {
+                for algo in Algo::ALL {
+                    let mut ndcg_sum = 0.0;
+                    let mut map_sum = 0.0;
+                    for (si, split) in splits.iter().enumerate() {
+                        let (ndcg, map) = eval_algo(
+                            &ctx,
+                            algo,
+                            class,
+                            &split.train,
+                            &split.test,
+                            omega,
+                            args.seed + si as u64,
+                            10,
+                        );
+                        ndcg_sum += ndcg;
+                        map_sum += map;
+                    }
+                    let (ndcg, map) = (
+                        ndcg_sum / splits.len() as f64,
+                        map_sum / splits.len() as f64,
+                    );
+                    println!("{omega}\t{}\t{}\t{}", algo.name(), f4(ndcg), f4(map));
+                    csv.row(&[
+                        ctx.dataset.name.clone(),
+                        class_name.clone(),
+                        omega.to_string(),
+                        algo.name().to_owned(),
+                        f4(ndcg),
+                        f4(map),
+                    ])
+                    .expect("csv row");
+                }
+            }
+        }
+    }
+    let path = csv.finish().expect("flush");
+    println!("\ncsv: {}", path.display());
+}

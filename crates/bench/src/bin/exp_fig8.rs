@@ -1,0 +1,105 @@
+//! Fig. 8 — impact of dual-stage training.
+//!
+//! For each dataset/class, sweeps the number of candidates |K| and reports
+//! the *relative percentage increase* in NDCG@10, MAP@10 and matching time,
+//! where 0 % = seeds (metapaths) only and 100 % = all metagraphs — the
+//! paper's finding is that accuracy approaches 100 % long before time does.
+
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::Which;
+use mgp_bench::{parse_args, CsvWriter, ExpContext};
+use mgp_eval::{evaluate_ranker, repeated_splits};
+use mgp_learning::baselines::metapath_indices;
+use mgp_learning::{candidate_ranking, mgp, train, TrainConfig};
+use std::time::Duration;
+
+fn main() {
+    let args = parse_args();
+    println!("=== Fig. 8: impact of dual-stage training (scale {:?}) ===", args.scale);
+    let mut csv = CsvWriter::create(
+        "fig8",
+        &["dataset", "class", "k", "ndcg_pct", "map_pct", "time_pct", "ndcg", "map", "time_s"],
+    )
+    .expect("csv");
+
+    for which in [Which::LinkedIn, Which::Facebook] {
+        let ctx = ExpContext::prepare(which, args.scale, args.seed);
+        let seeds = metapath_indices(&ctx.metagraphs);
+        let n_nonseed = ctx.metagraphs.len() - seeds.len();
+        let sweep: Vec<usize> = [0, n_nonseed / 8, n_nonseed / 4, n_nonseed / 2, n_nonseed]
+            .into_iter()
+            .collect();
+
+        for class in ctx.dataset.classes() {
+            let class_name = ctx.dataset.class_names[class.0 as usize].clone();
+            let queries = ctx.dataset.labels.queries_of_class(class);
+            let split = &repeated_splits(&queries, 0.2, 1, args.seed)[0];
+            let examples = make_examples(&ctx, class, &split.train, 1000, args.seed);
+            let positives = |q| ctx.dataset.labels.positives_of(q, class);
+
+            // Evaluate a coordinate subset: train + test on restricted index.
+            let eval_coords = |coords: &[usize]| -> (f64, f64, Duration) {
+                let sub = ctx.index.restrict(coords);
+                let model = train(&sub, &examples, &TrainConfig::fast(args.seed));
+                let (ndcg, map) = evaluate_ranker(&split.test, 10, positives, |q| {
+                    mgp::rank(&sub, q, &model.weights, 10)
+                });
+                let time = coords.iter().map(|&i| ctx.match_times[i]).sum();
+                (ndcg, map, time)
+            };
+
+            // Anchor points: seeds only and all metagraphs.
+            let (ndcg0, map0, time0) = eval_coords(&seeds);
+            let all: Vec<usize> = (0..ctx.metagraphs.len()).collect();
+            let (ndcg1, map1, time1) = eval_coords(&all);
+
+            // Seed weights drive the candidate heuristic.
+            let seed_index = ctx.index.restrict(&seeds);
+            let w0 = train(&seed_index, &examples, &TrainConfig::fast(args.seed));
+            let ranked = candidate_ranking(&ctx.metagraphs, &seeds, &w0.weights);
+
+            println!(
+                "\n--- {} / {} (seeds {}, non-seeds {}) ---",
+                ctx.dataset.name, class_name, seeds.len(), n_nonseed
+            );
+            println!("|K|\tNDCG%\tMAP%\tTime%\t(NDCG\tMAP\tTime s)");
+            for &k in &sweep {
+                let mut coords = seeds.clone();
+                coords.extend(ranked.iter().take(k).map(|&(j, _)| j));
+                let (ndcg, map, time) = eval_coords(&coords);
+                let pct = |v: f64, lo: f64, hi: f64| {
+                    if (hi - lo).abs() < 1e-12 {
+                        100.0
+                    } else {
+                        100.0 * (v - lo) / (hi - lo)
+                    }
+                };
+                let ndcg_pct = pct(ndcg, ndcg0, ndcg1);
+                let map_pct = pct(map, map0, map1);
+                let time_pct = pct(
+                    time.as_secs_f64(),
+                    time0.as_secs_f64(),
+                    time1.as_secs_f64(),
+                );
+                println!(
+                    "{k}\t{ndcg_pct:.0}%\t{map_pct:.0}%\t{time_pct:.0}%\t({ndcg:.4}\t{map:.4}\t{:.3})",
+                    time.as_secs_f64()
+                );
+                csv.row(&[
+                    ctx.dataset.name.clone(),
+                    class_name.clone(),
+                    k.to_string(),
+                    format!("{ndcg_pct:.1}"),
+                    format!("{map_pct:.1}"),
+                    format!("{time_pct:.1}"),
+                    format!("{ndcg:.4}"),
+                    format!("{map:.4}"),
+                    format!("{:.4}", time.as_secs_f64()),
+                ])
+                .expect("row");
+            }
+        }
+    }
+    let path = csv.finish().expect("flush");
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Fig. 9 — correlation of structural and functional similarity.
+//!
+//! Trains optimal weights on all metagraphs per class, then bins every
+//! metagraph pair by structural similarity `SS` (MCS-based) and reports the
+//! mean pairwise functional similarity `FS = 1 − |wᵢ − wⱼ|` per bin. The
+//! paper's finding — and the foundation of the candidate heuristic — is
+//! that FS rises with SS.
+
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::Which;
+use mgp_bench::{parse_args, CsvWriter, ExpContext};
+use mgp_eval::repeated_splits;
+use mgp_learning::{functional_similarity, train, TrainConfig};
+use mgp_metagraph::structural_similarity;
+
+const BINS: [(f64, f64); 5] = [(0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 1.0)];
+
+fn main() {
+    let args = parse_args();
+    println!("=== Fig. 9: structural vs functional similarity (scale {:?}) ===", args.scale);
+    let mut csv = CsvWriter::create(
+        "fig9",
+        &["dataset", "class", "ss_bin_lo", "ss_bin_hi", "mean_fs", "n_pairs"],
+    )
+    .expect("csv");
+
+    for which in [Which::LinkedIn, Which::Facebook] {
+        let ctx = ExpContext::prepare(which, args.scale, args.seed);
+        let n = ctx.metagraphs.len();
+
+        // Pairwise SS once per dataset.
+        let mut ss = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let s = structural_similarity(&ctx.metagraphs[i], &ctx.metagraphs[j]);
+                ss[i][j] = s;
+            }
+        }
+
+        for class in ctx.dataset.classes() {
+            let class_name = ctx.dataset.class_names[class.0 as usize].clone();
+            let queries = ctx.dataset.labels.queries_of_class(class);
+            let split = &repeated_splits(&queries, 0.2, 1, args.seed)[0];
+            let examples = make_examples(&ctx, class, &split.train, 1000, args.seed);
+            let model = train(&ctx.index, &examples, &TrainConfig::fast(args.seed));
+
+            println!("\n--- {} / {} ---", ctx.dataset.name, class_name);
+            println!("SS bin\t\tmean FS\t#pairs");
+            for &(lo, hi) in &BINS {
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let s = ss[i][j];
+                        let inside = s >= lo && (s < hi || (hi == 1.0 && s <= 1.0));
+                        if inside {
+                            sum += functional_similarity(model.weights[i], model.weights[j]);
+                            count += 1;
+                        }
+                    }
+                }
+                let mean = if count == 0 { f64::NAN } else { sum / count as f64 };
+                println!("[{lo:.1},{hi:.1})\t{mean:.3}\t{count}");
+                csv.row(&[
+                    ctx.dataset.name.clone(),
+                    class_name.clone(),
+                    lo.to_string(),
+                    hi.to_string(),
+                    format!("{mean:.4}"),
+                    count.to_string(),
+                ])
+                .expect("row");
+            }
+        }
+    }
+    let path = csv.finish().expect("flush");
+    println!("\ncsv: {}", path.display());
+}

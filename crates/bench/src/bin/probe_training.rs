@@ -1,0 +1,99 @@
+//! Diagnostic probe (not a paper artefact): inspects the training
+//! objective vs ranking quality on the default LinkedIn-like graph.
+
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::{ExpContext, Scale, Which};
+use mgp_eval::{evaluate_ranker, repeated_splits};
+use mgp_learning::baselines::{best_single_metagraph, single_weights, uniform_weights};
+use mgp_learning::trainer::log_likelihood;
+use mgp_learning::{mgp, train, TrainConfig};
+
+fn main() {
+    let ctx = ExpContext::prepare(Which::LinkedIn, Scale::Default, 42);
+    let class = ctx.dataset.classes()[0];
+    let queries = ctx.dataset.labels.queries_of_class(class);
+    let split = &repeated_splits(&queries, 0.2, 1, 42)[0];
+    let examples = make_examples(&ctx, class, &split.train, 1000, 42);
+    let positives = |q| ctx.dataset.labels.positives_of(q, class);
+    let idx = &ctx.index;
+    let n = idx.n_metagraphs();
+
+    let eval = |w: &[f64]| {
+        let (ndcg, _) = evaluate_ranker(&split.test, 10, positives, |q| mgp::rank(idx, q, w, 10));
+        ndcg
+    };
+
+    let uni = uniform_weights(n);
+    println!(
+        "uniform:   LL={:10.2} NDCG={:.4}",
+        log_likelihood(idx, &examples, 5.0, &uni),
+        eval(&uni)
+    );
+
+    let best = best_single_metagraph(idx, &split.train, positives, 10);
+    let onehot = single_weights(n, best);
+    println!(
+        "best(M{best}): LL={:10.2} NDCG={:.4}  ({})",
+        log_likelihood(idx, &examples, 5.0, &onehot),
+        eval(&onehot),
+        ctx.metagraphs[best].brief()
+    );
+
+    let model = train(idx, &examples, &TrainConfig::default());
+    let mut iw: Vec<(usize, f64)> = model.weights.iter().copied().enumerate().collect();
+    iw.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!(
+        "trained:   LL={:10.2} NDCG={:.4} iters={}",
+        model.log_likelihood,
+        eval(&model.weights),
+        model.iterations
+    );
+    for &(i, w) in iw.iter().take(6) {
+        println!(
+            "   M{i:<3} w={w:.3}  instances={:<8} {}",
+            ctx.counts[i].n_instances,
+            ctx.metagraphs[i].brief()
+        );
+    }
+    // Mixture probes: top-1 learned + floor on everything else.
+    let top = iw[0].0;
+    for floor in [0.02, 0.1, 0.3] {
+        let mut w = vec![floor; n];
+        w[top] = 1.0;
+        println!(
+            "onehot(M{top})+floor {floor}: LL={:10.2} NDCG={:.4}",
+            log_likelihood(idx, &examples, 5.0, &w),
+            eval(&w)
+        );
+    }
+    // Binary-transform variant of the whole index.
+    let bin_idx = mgp_index::VectorIndex::from_counts(&ctx.counts, mgp_index::Transform::Binary);
+    let eval_bin = |w: &[f64]| {
+        let (ndcg, _) =
+            evaluate_ranker(&split.test, 10, positives, |q| mgp::rank(&bin_idx, q, w, 10));
+        ndcg
+    };
+    let uni_b = uniform_weights(n);
+    println!(
+        "binary uniform: LL={:10.2} NDCG={:.4}",
+        log_likelihood(&bin_idx, &examples, 5.0, &uni_b),
+        eval_bin(&uni_b)
+    );
+    let model_b = train(&bin_idx, &examples, &TrainConfig::default());
+    let mut iwb: Vec<(usize, f64)> = model_b.weights.iter().copied().enumerate().collect();
+    iwb.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!(
+        "binary trained: LL={:10.2} NDCG={:.4} iters={} top={:?}",
+        model_b.log_likelihood,
+        eval_bin(&model_b.weights),
+        model_b.iterations,
+        iwb.iter().take(4).map(|&(i, w)| format!("M{i}:{w:.2}")).collect::<Vec<_>>()
+    );
+
+    // Type legend.
+    print!("types: ");
+    for (id, name) in ctx.dataset.graph.types().iter() {
+        print!("{id}={name} ");
+    }
+    println!();
+}

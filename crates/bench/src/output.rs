@@ -1,0 +1,60 @@
+//! CSV output under `target/experiments/`.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+
+/// Writes experiment series as CSV files alongside the printed tables, so
+/// plots can be regenerated without re-running.
+pub struct CsvWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl CsvWriter {
+    /// Creates `target/experiments/<name>.csv` with a header row.
+    pub fn create(name: &str, header: &[&str]) -> std::io::Result<CsvWriter> {
+        let dir = PathBuf::from("target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut writer = BufWriter::new(File::create(&path)?);
+        writeln!(writer, "{}", header.join(","))?;
+        Ok(CsvWriter { writer, path })
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, fields: &[String]) -> std::io::Result<()> {
+        writeln!(self.writer, "{}", fields.join(","))
+    }
+
+    /// Flushes and reports where the file landed.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.writer.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Formats an `f64` with 4 decimals for tables.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_csv() {
+        let mut w = CsvWriter::create("unit_test_output", &["a", "b"]).unwrap();
+        w.row(&["1".into(), "2".into()]).unwrap();
+        let path = w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn f4_formats() {
+        assert_eq!(f4(0.123456), "0.1235");
+    }
+}

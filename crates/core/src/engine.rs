@@ -1,0 +1,571 @@
+//! The [`SearchEngine`]: offline pipeline plus online query interface.
+
+use crate::timings::Timings;
+use mgp_graph::{FxHashMap, Graph, NodeId, TypeId};
+use mgp_index::{Transform, VectorIndex};
+use mgp_learning::baselines::metapath_indices;
+use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
+use mgp_matching::parallel::match_all_timed;
+use mgp_matching::{AnchorCounts, PatternInfo, SymIso};
+use mgp_mining::{mine, MinerConfig};
+use mgp_metagraph::Metagraph;
+use std::time::Instant;
+
+/// How training budgets metagraph matching.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrainingStrategy {
+    /// Match every mined metagraph up front.
+    Full,
+    /// Alg. 1: seeds (metapaths) first, then the top `n_candidates` by the
+    /// candidate heuristic.
+    DualStage {
+        /// `|K|` — number of candidate metagraphs to match per class.
+        n_candidates: usize,
+    },
+    /// Multi-stage extension: add candidates in batches of `batch`,
+    /// re-ranking with the grown seed set, until the training
+    /// log-likelihood improves by less than `min_ll_gain` (relative) or
+    /// `max_batches` is hit.
+    MultiStage {
+        /// Candidates per batch.
+        batch: usize,
+        /// Maximum number of batches.
+        max_batches: usize,
+        /// Relative log-likelihood improvement below which to stop.
+        min_ll_gain: f64,
+    },
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Miner settings (pattern size, support, anchor constraints).
+    pub miner: MinerConfig,
+    /// Count transform for the vector index.
+    pub transform: Transform,
+    /// Trainer hyper-parameters.
+    pub train: TrainConfig,
+    /// Matching strategy.
+    pub strategy: TrainingStrategy,
+    /// Matching threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl PipelineConfig {
+    /// Sensible defaults for a given anchor type and support threshold.
+    pub fn new(anchor_type: TypeId, min_support: u64) -> Self {
+        PipelineConfig {
+            miner: MinerConfig::paper_defaults(anchor_type, min_support),
+            transform: Transform::Log1p,
+            train: TrainConfig::default(),
+            strategy: TrainingStrategy::Full,
+            threads: 0,
+        }
+    }
+}
+
+/// A trained per-class model.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ClassModel {
+    /// Class name.
+    pub name: String,
+    /// Global metagraph indices backing the coordinates of `index`/`weights`.
+    pub coords: Vec<usize>,
+    /// Vector index restricted to `coords`.
+    pub index: VectorIndex,
+    /// Learned characteristic weights, one per coordinate.
+    pub weights: Vec<f64>,
+    /// Final training log-likelihood.
+    pub log_likelihood: f64,
+}
+
+impl ClassModel {
+    /// The learned weight of a *global* metagraph index, if selected.
+    pub fn weight_of(&self, global_idx: usize) -> Option<f64> {
+        self.coords
+            .iter()
+            .position(|&g| g == global_idx)
+            .map(|i| self.weights[i])
+    }
+}
+
+/// The semantic proximity search engine (Fig. 3).
+pub struct SearchEngine {
+    graph: Graph,
+    anchor_type: TypeId,
+    cfg: PipelineConfig,
+    metagraphs: Vec<Metagraph>,
+    patterns: Vec<PatternInfo>,
+    seed_indices: Vec<usize>,
+    counts_cache: FxHashMap<usize, AnchorCounts>,
+    models: Vec<ClassModel>,
+    timings: Timings,
+}
+
+impl SearchEngine {
+    /// Runs mining (and, under [`TrainingStrategy::Full`], all matching).
+    pub fn build(graph: Graph, cfg: PipelineConfig) -> Self {
+        let anchor_type = cfg.miner.anchor_type;
+        let t0 = Instant::now();
+        let mined = mine(&graph, &cfg.miner);
+        let mining = t0.elapsed();
+        let metagraphs: Vec<Metagraph> = mined.into_iter().map(|m| m.metagraph).collect();
+        let patterns: Vec<PatternInfo> = metagraphs
+            .iter()
+            .map(|m| PatternInfo::new(m.clone(), anchor_type))
+            .collect();
+        let seed_indices = metapath_indices(&metagraphs);
+
+        let mut engine = SearchEngine {
+            graph,
+            anchor_type,
+            cfg,
+            metagraphs,
+            patterns,
+            seed_indices,
+            counts_cache: FxHashMap::default(),
+            models: Vec::new(),
+            timings: Timings::default(),
+        };
+        engine.timings.mining = mining;
+        engine.timings.n_mined = engine.metagraphs.len();
+
+        if matches!(engine.cfg.strategy, TrainingStrategy::Full) {
+            let all: Vec<usize> = (0..engine.metagraphs.len()).collect();
+            engine.ensure_matched(&all);
+        }
+        engine
+    }
+
+    /// Builds with a caller-supplied metagraph set (skips mining) — used by
+    /// experiments that sweep over fixed pattern sets.
+    pub fn with_metagraphs(graph: Graph, metagraphs: Vec<Metagraph>, cfg: PipelineConfig) -> Self {
+        let anchor_type = cfg.miner.anchor_type;
+        let patterns: Vec<PatternInfo> = metagraphs
+            .iter()
+            .map(|m| PatternInfo::new(m.clone(), anchor_type))
+            .collect();
+        let seed_indices = metapath_indices(&metagraphs);
+        let mut engine = SearchEngine {
+            graph,
+            anchor_type,
+            cfg,
+            metagraphs,
+            patterns,
+            seed_indices,
+            counts_cache: FxHashMap::default(),
+            models: Vec::new(),
+            timings: Timings::default(),
+        };
+        engine.timings.n_mined = engine.metagraphs.len();
+        if matches!(engine.cfg.strategy, TrainingStrategy::Full) {
+            let all: Vec<usize> = (0..engine.metagraphs.len()).collect();
+            engine.ensure_matched(&all);
+        }
+        engine
+    }
+
+    /// Matches any not-yet-matched patterns among `indices` (cached).
+    fn ensure_matched(&mut self, indices: &[usize]) {
+        let todo: Vec<usize> = indices
+            .iter()
+            .copied()
+            .filter(|i| !self.counts_cache.contains_key(i))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let pats: Vec<PatternInfo> = todo.iter().map(|&i| self.patterns[i].clone()).collect();
+        let matcher = SymIso::new();
+        let results = match_all_timed(&self.graph, &pats, &matcher, self.cfg.threads);
+        for (&i, (counts, dt)) in todo.iter().zip(results) {
+            self.timings.matching += dt;
+            self.counts_cache.insert(i, counts);
+        }
+        self.timings.n_matched = self.counts_cache.len();
+    }
+
+    /// Builds a restricted index over the given global metagraph indices.
+    fn index_over(&mut self, coords: &[usize]) -> VectorIndex {
+        self.ensure_matched(coords);
+        let t0 = Instant::now();
+        let counts: Vec<AnchorCounts> = coords
+            .iter()
+            .map(|i| self.counts_cache[i].clone())
+            .collect();
+        let idx = VectorIndex::from_counts(&counts, self.cfg.transform);
+        self.timings.indexing += t0.elapsed();
+        idx
+    }
+
+    /// Trains a class model from pairwise examples, per the configured
+    /// strategy, and stores it under `name` (replacing any previous model).
+    pub fn train_class(&mut self, name: &str, examples: &[TrainingExample]) -> &ClassModel {
+        let model = match self.cfg.strategy {
+            TrainingStrategy::Full => self.train_full(name, examples),
+            TrainingStrategy::DualStage { n_candidates } => {
+                self.train_dual_stage(name, examples, n_candidates)
+            }
+            TrainingStrategy::MultiStage {
+                batch,
+                max_batches,
+                min_ll_gain,
+            } => self.train_multi_stage(name, examples, batch, max_batches, min_ll_gain),
+        };
+        self.models.retain(|m| m.name != name);
+        self.models.push(model);
+        self.models.last().expect("just pushed")
+    }
+
+    fn train_full(&mut self, name: &str, examples: &[TrainingExample]) -> ClassModel {
+        let coords: Vec<usize> = (0..self.metagraphs.len()).collect();
+        let index = self.index_over(&coords);
+        let t0 = Instant::now();
+        let trained = train(&index, examples, &self.cfg.train);
+        self.timings.training += t0.elapsed();
+        ClassModel {
+            name: name.to_owned(),
+            coords,
+            index,
+            weights: trained.weights,
+            log_likelihood: trained.log_likelihood,
+        }
+    }
+
+    fn train_dual_stage(
+        &mut self,
+        name: &str,
+        examples: &[TrainingExample],
+        n_candidates: usize,
+    ) -> ClassModel {
+        // Seed stage.
+        let seeds = self.seed_indices.clone();
+        let seed_index = self.index_over(&seeds);
+        let t0 = Instant::now();
+        let w0 = train(&seed_index, examples, &self.cfg.train);
+        self.timings.training += t0.elapsed();
+
+        // Candidate stage.
+        let ranked = candidate_ranking(&self.metagraphs, &seeds, &w0.weights);
+        let candidates: Vec<usize> = ranked
+            .into_iter()
+            .take(n_candidates)
+            .map(|(j, _)| j)
+            .collect();
+        let mut coords = seeds;
+        coords.extend(candidates);
+        let index = self.index_over(&coords);
+        let t1 = Instant::now();
+        let trained = train(&index, examples, &self.cfg.train);
+        self.timings.training += t1.elapsed();
+        ClassModel {
+            name: name.to_owned(),
+            coords,
+            index,
+            weights: trained.weights,
+            log_likelihood: trained.log_likelihood,
+        }
+    }
+
+    fn train_multi_stage(
+        &mut self,
+        name: &str,
+        examples: &[TrainingExample],
+        batch: usize,
+        max_batches: usize,
+        min_ll_gain: f64,
+    ) -> ClassModel {
+        let mut coords = self.seed_indices.clone();
+        let mut index = self.index_over(&coords);
+        let t0 = Instant::now();
+        let mut model = train(&index, examples, &self.cfg.train);
+        self.timings.training += t0.elapsed();
+
+        for _ in 0..max_batches {
+            let ranked = candidate_ranking(&self.metagraphs, &coords, &model.weights);
+            let fresh: Vec<usize> = ranked.into_iter().take(batch).map(|(j, _)| j).collect();
+            if fresh.is_empty() {
+                break;
+            }
+            coords.extend(fresh);
+            index = self.index_over(&coords);
+            let t1 = Instant::now();
+            let next = train(&index, examples, &self.cfg.train);
+            self.timings.training += t1.elapsed();
+            let gain = (next.log_likelihood - model.log_likelihood)
+                / model.log_likelihood.abs().max(1e-12);
+            let stop = gain < min_ll_gain;
+            model = next;
+            if stop {
+                break;
+            }
+        }
+        ClassModel {
+            name: name.to_owned(),
+            coords,
+            index,
+            weights: model.weights,
+            log_likelihood: model.log_likelihood,
+        }
+    }
+
+    /// Online search: top-`k` nodes by learned proximity to `q` for a
+    /// trained class. Panics if the class has not been trained.
+    pub fn search(&self, class: &str, q: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        let model = self.model(class).expect("class not trained");
+        mgp_learning::mgp::rank_with_scores(&model.index, q, &model.weights, k)
+    }
+
+    /// Explains why `v` scores for query `q` under a trained class: the
+    /// top-`top` metagraphs by contribution, as `(global metagraph index,
+    /// contribution share)`. Empty when the pair shares nothing.
+    pub fn explain(&self, class: &str, q: NodeId, v: NodeId, top: usize) -> Vec<(usize, f64)> {
+        let model = self.model(class).expect("class not trained");
+        mgp_learning::explain(&model.index, q, v, &model.weights, top)
+            .into_iter()
+            .map(|c| (model.coords[c.metagraph], c.share))
+            .collect()
+    }
+
+    /// A trained class model by name.
+    pub fn model(&self, class: &str) -> Option<&ClassModel> {
+        self.models.iter().find(|m| m.name == class)
+    }
+
+    /// All mined metagraphs.
+    pub fn metagraphs(&self) -> &[Metagraph] {
+        &self.metagraphs
+    }
+
+    /// Pattern analyses (symmetry, decomposition) per metagraph.
+    pub fn patterns(&self) -> &[PatternInfo] {
+        &self.patterns
+    }
+
+    /// Metapath (seed) indices into [`SearchEngine::metagraphs`].
+    pub fn seed_indices(&self) -> &[usize] {
+        &self.seed_indices
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The anchor type.
+    pub fn anchor_type(&self) -> TypeId {
+        self.anchor_type
+    }
+
+    /// Accumulated pipeline costs.
+    pub fn timings(&self) -> &Timings {
+        &self.timings
+    }
+
+    /// Instance counts of a matched metagraph (None if not matched yet).
+    pub fn counts(&self, global_idx: usize) -> Option<&AnchorCounts> {
+        self.counts_cache.get(&global_idx)
+    }
+
+    /// Serialises all trained class models to JSON. Together with the
+    /// mined metagraph set these fully determine online behaviour — the
+    /// offline phase need not be repeated to serve queries elsewhere.
+    pub fn export_models(&self) -> String {
+        serde_json::to_string(&self.models).expect("models serialise")
+    }
+
+    /// Restores class models previously produced by
+    /// [`SearchEngine::export_models`], replacing same-named models.
+    pub fn import_models(&mut self, json: &str) -> Result<usize, serde_json::Error> {
+        let models: Vec<ClassModel> = serde_json::from_str(json)?;
+        let n = models.len();
+        for m in models {
+            self.models.retain(|existing| existing.name != m.name);
+            self.models.push(m);
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+    use mgp_datagen::{ClassId, Dataset};
+    use mgp_learning::sample_examples;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn dataset() -> Dataset {
+        generate_facebook(&FacebookConfig::tiny(42))
+    }
+
+    fn examples_for(d: &Dataset, class: ClassId, n: usize, seed: u64) -> Vec<TrainingExample> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let queries = d.labels.queries_of_class(class);
+        let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+        sample_examples(
+            &queries,
+            |q| d.labels.positives_of(q, class),
+            |q, v| d.labels.has(q, v, class),
+            &anchors,
+            n,
+            &mut rng,
+        )
+    }
+
+    fn cfg(d: &Dataset, strategy: TrainingStrategy) -> PipelineConfig {
+        let mut c = PipelineConfig::new(d.anchor_type, 5);
+        c.train = TrainConfig::fast(1);
+        c.strategy = strategy;
+        c.threads = 2;
+        c
+    }
+
+    #[test]
+    fn full_pipeline_learns_both_classes() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        assert!(engine.metagraphs().len() > 3, "mined {} patterns", engine.metagraphs().len());
+        assert!(!engine.seed_indices().is_empty());
+
+        for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+            let ex = examples_for(&d, class, 200, 9);
+            assert!(ex.len() >= 100);
+            engine.train_class(name, &ex);
+        }
+
+        // Search for family members of a known family query.
+        let fam_queries = d.labels.queries_of_class(FAMILY);
+        let mut hits = 0;
+        let mut total = 0;
+        for &q in fam_queries.iter().take(20) {
+            let results = engine.search("family", q, 5);
+            let positives = d.labels.positives_of(q, FAMILY);
+            if results.iter().any(|(v, _)| positives.contains(v)) {
+                hits += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            hits * 2 > total,
+            "family search hit rate too low: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn dual_stage_matches_fewer_patterns() {
+        let d = dataset();
+        let ex = examples_for(&d, FAMILY, 150, 3);
+
+        let mut full = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        full.train_class("family", &ex);
+        let n_full = full.timings().n_matched;
+
+        let mut dual = SearchEngine::build(
+            d.graph.clone(),
+            cfg(&d, TrainingStrategy::DualStage { n_candidates: 3 }),
+        );
+        dual.train_class("family", &ex);
+        let n_dual = dual.timings().n_matched;
+
+        assert!(n_dual < n_full, "dual {n_dual} vs full {n_full}");
+        assert_eq!(n_full, full.metagraphs().len());
+        // Dual-stage matched exactly seeds + candidates.
+        assert_eq!(
+            n_dual,
+            dual.seed_indices().len() + 3.min(full.metagraphs().len() - dual.seed_indices().len())
+        );
+        let model = dual.model("family").unwrap();
+        assert_eq!(model.weights.len(), model.coords.len());
+    }
+
+    #[test]
+    fn multi_stage_grows_in_batches() {
+        let d = dataset();
+        let ex = examples_for(&d, CLASSMATE, 150, 4);
+        let mut ms = SearchEngine::build(
+            d.graph.clone(),
+            cfg(
+                &d,
+                TrainingStrategy::MultiStage {
+                    batch: 2,
+                    max_batches: 3,
+                    min_ll_gain: -1.0, // always continue to max_batches
+                },
+            ),
+        );
+        let n_seeds = ms.seed_indices().len();
+        ms.train_class("classmate", &ex);
+        let model = ms.model("classmate").unwrap();
+        assert!(model.coords.len() > n_seeds);
+        assert!(model.coords.len() <= n_seeds + 6);
+    }
+
+    #[test]
+    fn retraining_replaces_model() {
+        let d = dataset();
+        let ex = examples_for(&d, FAMILY, 80, 5);
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        engine.train_class("family", &ex);
+        let ll1 = engine.model("family").unwrap().log_likelihood;
+        engine.train_class("family", &ex);
+        let ll2 = engine.model("family").unwrap().log_likelihood;
+        assert_eq!(ll1, ll2);
+        assert_eq!(engine.models.len(), 1);
+    }
+
+    #[test]
+    fn model_export_import_roundtrip() {
+        let d = dataset();
+        let ex = examples_for(&d, FAMILY, 120, 21);
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        engine.train_class("family", &ex);
+        let q = d.labels.queries_of_class(FAMILY)[0];
+        let before = engine.search("family", q, 5);
+        let json = engine.export_models();
+
+        // A fresh engine over the same graph, restored from JSON, answers
+        // identically without retraining.
+        let mut fresh = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        assert_eq!(fresh.import_models(&json).unwrap(), 1);
+        let after = fresh.search("family", q, 5);
+        assert_eq!(before, after);
+        assert!(fresh.import_models("not json").is_err());
+    }
+
+    #[test]
+    fn explanations_point_at_real_metagraphs() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let ex = examples_for(&d, FAMILY, 150, 8);
+        engine.train_class("family", &ex);
+        let q = d.labels.queries_of_class(FAMILY)[0];
+        let results = engine.search("family", q, 3);
+        assert!(!results.is_empty());
+        let (v, score) = results[0];
+        if score > 0.0 {
+            let expl = engine.explain("family", q, v, 3);
+            assert!(!expl.is_empty());
+            let total: f64 = engine.explain("family", q, v, 0).iter().map(|&(_, s)| s).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            for (gi, share) in expl {
+                assert!(gi < engine.metagraphs().len());
+                assert!(share > 0.0 && share <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn timings_populated() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let ex = examples_for(&d, FAMILY, 50, 6);
+        engine.train_class("family", &ex);
+        let t = engine.timings();
+        assert!(t.n_mined > 0);
+        assert_eq!(t.n_matched, t.n_mined);
+        assert!(t.matching > std::time::Duration::ZERO);
+        assert!(t.training > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mgp-core — the end-to-end semantic proximity search engine
+//!
+//! Wires the substrates into the paper's overall framework (Fig. 3):
+//!
+//! ```text
+//! offline:  mine M  →  match Mᵢ (SymISO, parallel)  →  index m_x, m_xy
+//!           →  per class: sample Ω, learn w*        (full or dual-stage)
+//! online:   π(q, v; w*) over the index → ranking
+//! ```
+//!
+//! The matching budget is governed by [`TrainingStrategy`]:
+//!
+//! * [`TrainingStrategy::Full`] matches every mined metagraph once, then
+//!   trains each class on the full index (the paper's accuracy experiments,
+//!   Fig. 6–7);
+//! * [`TrainingStrategy::DualStage`] implements Alg. 1: match only the
+//!   metapath seeds `K₀`, train seed weights `w₀`, rank the rest by the
+//!   candidate heuristic `H` (Eq. 7), match the top `|K|` candidates, and
+//!   retrain on `K₀ ∪ K` (Fig. 8/10);
+//! * [`TrainingStrategy::MultiStage`] is the paper's proposed extension
+//!   (end of Sect. III-C): candidates are added in batches, treating
+//!   previously selected metagraphs as new seeds, stopping when the
+//!   training log-likelihood stops improving.
+//!
+//! Matched instance counts are cached across classes, so two classes that
+//! select overlapping candidates only pay for matching once — matching is
+//! the dominant offline cost (Table III).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod timings;
+
+pub use engine::{ClassModel, PipelineConfig, SearchEngine, TrainingStrategy};
+pub use timings::Timings;

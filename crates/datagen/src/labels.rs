@@ -1,0 +1,185 @@
+//! Ground-truth semantic-class labels over anchor pairs, and the dataset
+//! bundle handed to experiments.
+
+use mgp_graph::ids::{pack_pair, unpack_pair};
+use mgp_graph::{FxHashMap, Graph, NodeId, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// A semantic class of proximity (e.g. *family*, *classmate*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClassId(pub u8);
+
+/// Multi-class labels over unordered anchor pairs.
+///
+/// A pair may carry several class labels (e.g. family members who are also
+/// classmates). Backed by a bitmask per pair, so up to 8 classes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PairLabels {
+    map: FxHashMap<u64, u8>,
+}
+
+impl PairLabels {
+    /// Creates an empty label store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Labels the unordered pair `{x, y}` with `class`.
+    pub fn insert(&mut self, x: NodeId, y: NodeId, class: ClassId) {
+        debug_assert!(class.0 < 8);
+        if x == y {
+            return;
+        }
+        *self.map.entry(pack_pair(x, y)).or_insert(0) |= 1 << class.0;
+    }
+
+    /// Whether `{x, y}` carries `class`.
+    pub fn has(&self, x: NodeId, y: NodeId, class: ClassId) -> bool {
+        if x == y {
+            return false;
+        }
+        self.map
+            .get(&pack_pair(x, y))
+            .is_some_and(|&bits| bits & (1 << class.0) != 0)
+    }
+
+    /// Whether `{x, y}` carries any class label at all.
+    pub fn has_any(&self, x: NodeId, y: NodeId) -> bool {
+        if x == y {
+            return false;
+        }
+        self.map.get(&pack_pair(x, y)).is_some_and(|&b| b != 0)
+    }
+
+    /// Number of labelled pairs (any class).
+    pub fn n_pairs(&self) -> usize {
+        self.map.len()
+    }
+
+    /// All pairs carrying `class`, as `(min, max)` node pairs.
+    pub fn pairs_of_class(&self, class: ClassId) -> Vec<(NodeId, NodeId)> {
+        let mut out: Vec<(NodeId, NodeId)> = self
+            .map
+            .iter()
+            .filter(|(_, &bits)| bits & (1 << class.0) != 0)
+            .map(|(&key, _)| unpack_pair(key))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The positive answers for query `q` under `class`, sorted.
+    pub fn positives_of(&self, q: NodeId, class: ClassId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .map
+            .iter()
+            .filter(|(_, &bits)| bits & (1 << class.0) != 0)
+            .filter_map(|(&key, _)| {
+                let (a, b) = unpack_pair(key);
+                if a == q {
+                    Some(b)
+                } else if b == q {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All valid query nodes for `class`: anchors with ≥ 1 positive
+    /// (the paper's query-selection rule, Sect. V-A), sorted.
+    pub fn queries_of_class(&self, class: ClassId) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for (&key, &bits) in &self.map {
+            if bits & (1 << class.0) != 0 {
+                let (a, b) = unpack_pair(key);
+                out.push(a);
+                out.push(b);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A generated dataset: the graph, its ground truth, and bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Short dataset name (e.g. `"Facebook-like"`).
+    pub name: String,
+    /// The typed object graph.
+    pub graph: Graph,
+    /// Ground-truth pair labels.
+    pub labels: PairLabels,
+    /// Class names, indexed by `ClassId`.
+    pub class_names: Vec<String>,
+    /// The anchor type (always `user` here).
+    pub anchor_type: TypeId,
+}
+
+impl Dataset {
+    /// The [`ClassId`] of a class name.
+    pub fn class(&self, name: &str) -> Option<ClassId> {
+        self.class_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| ClassId(i as u8))
+    }
+
+    /// All class ids.
+    pub fn classes(&self) -> Vec<ClassId> {
+        (0..self.class_names.len() as u8).map(ClassId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAMILY: ClassId = ClassId(0);
+    const CLASSMATE: ClassId = ClassId(1);
+
+    #[test]
+    fn insert_and_query() {
+        let mut l = PairLabels::new();
+        l.insert(NodeId(1), NodeId(2), FAMILY);
+        l.insert(NodeId(2), NodeId(1), CLASSMATE); // order-insensitive
+        assert!(l.has(NodeId(1), NodeId(2), FAMILY));
+        assert!(l.has(NodeId(1), NodeId(2), CLASSMATE));
+        assert!(l.has_any(NodeId(2), NodeId(1)));
+        assert!(!l.has(NodeId(1), NodeId(3), FAMILY));
+        assert_eq!(l.n_pairs(), 1);
+    }
+
+    #[test]
+    fn self_pairs_ignored() {
+        let mut l = PairLabels::new();
+        l.insert(NodeId(1), NodeId(1), FAMILY);
+        assert_eq!(l.n_pairs(), 0);
+        assert!(!l.has(NodeId(1), NodeId(1), FAMILY));
+    }
+
+    #[test]
+    fn positives_and_queries() {
+        let mut l = PairLabels::new();
+        l.insert(NodeId(1), NodeId(2), FAMILY);
+        l.insert(NodeId(1), NodeId(3), FAMILY);
+        l.insert(NodeId(4), NodeId(5), CLASSMATE);
+        assert_eq!(l.positives_of(NodeId(1), FAMILY), vec![NodeId(2), NodeId(3)]);
+        assert!(l.positives_of(NodeId(1), CLASSMATE).is_empty());
+        assert_eq!(
+            l.queries_of_class(FAMILY),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(l.queries_of_class(CLASSMATE), vec![NodeId(4), NodeId(5)]);
+        assert_eq!(
+            l.pairs_of_class(FAMILY),
+            vec![(NodeId(1), NodeId(2)), (NodeId(1), NodeId(3))]
+        );
+    }
+}

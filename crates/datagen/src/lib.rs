@@ -1,0 +1,34 @@
+//! # mgp-datagen — datasets for semantic proximity search
+//!
+//! The paper evaluates on two proprietary crawls: a LinkedIn graph
+//! (65 925 nodes, 4 types, labelled *college* / *coworker* relationships)
+//! and a Facebook ego-network graph (5 025 nodes, 10 types, rule-generated
+//! *family* / *classmate* labels). Neither is publicly available, so this
+//! crate generates synthetic graphs with the same type schema, the same
+//! ground-truth semantics and the same statistical *shape* (each semantic
+//! class is characterised by a small set of shared-attribute metagraphs
+//! drowned in a long tail of irrelevant ones) — see DESIGN.md §3 for the
+//! substitution rationale.
+//!
+//! * [`toy`] — the paper's running example: the Fig. 1 graph (Alice, Bob,
+//!   Kate, Jay, Tom) and the Fig. 2 metagraphs M1–M4.
+//! * [`facebook`] — Facebook-like generator with the 10 attribute types of
+//!   Sect. V-A and the paper's exact label rules (family = same surname ∧
+//!   same location/hometown; classmate = same school ∧ same degree/major;
+//!   5 % label noise).
+//! * [`linkedin`] — LinkedIn-like generator with 4 types and planted
+//!   college/employer communities emitting college/coworker labels.
+//! * [`labels`] — multi-class pair-label store and query extraction.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod facebook;
+pub mod labels;
+pub mod linkedin;
+pub mod toy;
+
+pub use facebook::{generate_facebook, FacebookConfig};
+pub use labels::{ClassId, Dataset, PairLabels};
+pub use linkedin::{generate_linkedin, LinkedInConfig};

@@ -1,0 +1,298 @@
+//! LinkedIn-like synthetic graph generator (Sect. V-A shape).
+//!
+//! Four object types — `user`, `employer`, `location`, `college` — matching
+//! the paper's LinkedIn dataset, whose relationships were *labelled by
+//! users* ("college", "coworker"/"colleague"/"excolleague"). Since labels
+//! came from people rather than rules, they correlate strongly but not
+//! perfectly with shared affiliations. The generator reproduces that: it
+//! plants college communities and employer communities, wires users to
+//! their attributes, and emits labels for co-affiliated pairs with a
+//! configurable recall (plus a little cross-class and random noise).
+
+use crate::labels::{ClassId, Dataset, PairLabels};
+use mgp_graph::{GraphBuilder, NodeId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// The *college friend* class of the LinkedIn-like dataset.
+pub const COLLEGE: ClassId = ClassId(0);
+/// The *coworker* class of the LinkedIn-like dataset.
+pub const COWORKER: ClassId = ClassId(1);
+
+/// Configuration for [`generate_linkedin`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkedInConfig {
+    /// Number of user nodes.
+    pub n_users: usize,
+    /// Number of college values.
+    pub n_colleges: usize,
+    /// Number of employer values.
+    pub n_employers: usize,
+    /// Number of location values.
+    pub n_locations: usize,
+    /// Probability that a pair sharing a college *and* a location (i.e.
+    /// plausibly overlapping in person) is labelled `college`.
+    pub college_recall: f64,
+    /// Probability that a pair sharing only a college is still labelled
+    /// `college` (remote acquaintances).
+    pub college_weak_recall: f64,
+    /// Probability that a pair sharing an employer *and* a location (same
+    /// office) is labelled `coworker`.
+    pub coworker_recall: f64,
+    /// Probability that a pair sharing only an employer is still labelled
+    /// `coworker`.
+    pub coworker_weak_recall: f64,
+    /// Fraction of labelled pairs whose class is randomised.
+    pub label_noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LinkedInConfig {
+    /// CI-friendly scale (~1 100 nodes) preserving Table II's shape.
+    fn default() -> Self {
+        LinkedInConfig {
+            n_users: 1000,
+            n_colleges: 60,
+            n_employers: 90,
+            n_locations: 50,
+            college_recall: 0.9,
+            college_weak_recall: 0.1,
+            coworker_recall: 0.9,
+            coworker_weak_recall: 0.1,
+            label_noise: 0.05,
+            seed: 11,
+        }
+    }
+}
+
+impl LinkedInConfig {
+    /// Scaled towards the magnitudes of the paper's Table II (tens of
+    /// thousands of nodes — expect multi-minute matching times, like the
+    /// paper's Table III).
+    pub fn paper_scale() -> Self {
+        LinkedInConfig {
+            n_users: 50_000,
+            n_colleges: 3_000,
+            n_employers: 5_000,
+            n_locations: 2_000,
+            ..Self::default()
+        }
+    }
+
+    /// Tiny scale for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        LinkedInConfig {
+            n_users: 120,
+            n_colleges: 8,
+            n_employers: 10,
+            n_locations: 6,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates the LinkedIn-like dataset.
+pub fn generate_linkedin(cfg: &LinkedInConfig) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+
+    let user_t = b.add_type("user");
+    let employer_t = b.add_type("employer");
+    let location_t = b.add_type("location");
+    let college_t = b.add_type("college");
+
+    let colleges: Vec<NodeId> = (0..cfg.n_colleges)
+        .map(|i| b.add_node(college_t, format!("college{i}")))
+        .collect();
+    let employers: Vec<NodeId> = (0..cfg.n_employers)
+        .map(|i| b.add_node(employer_t, format!("employer{i}")))
+        .collect();
+    let locations: Vec<NodeId> = (0..cfg.n_locations)
+        .map(|i| b.add_node(location_t, format!("loc{i}")))
+        .collect();
+    let users: Vec<NodeId> = (0..cfg.n_users)
+        .map(|i| b.add_node(user_t, format!("user{i}")))
+        .collect();
+
+    // Affiliations: one college (some users a second), 1–2 employers,
+    // one location. Employers correlate with location (regional offices),
+    // making user–location–user a weak, confusable signal for coworker —
+    // the kind of ambiguity the learner must sort out.
+    for &u in &users {
+        let c = rng.random_range(0..colleges.len());
+        b.add_edge(u, colleges[c]).unwrap();
+        if rng.random_bool(0.1) {
+            b.add_edge(u, colleges[rng.random_range(0..colleges.len())]).unwrap();
+        }
+        let e = rng.random_range(0..employers.len());
+        b.add_edge(u, employers[e]).unwrap();
+        if rng.random_bool(0.3) {
+            b.add_edge(u, employers[rng.random_range(0..employers.len())]).unwrap();
+        }
+        // Location correlates with both affiliations (office region,
+        // campus town) — the AND-attribute of both semantic classes.
+        let roll: f64 = rng.random();
+        let loc = if roll < 0.4 {
+            locations[e % locations.len()] // employer-tied
+        } else if roll < 0.8 {
+            locations[c % locations.len()] // college-tied
+        } else {
+            locations[rng.random_range(0..locations.len())]
+        };
+        b.add_edge(u, loc).unwrap();
+    }
+
+    let graph = b.build();
+
+    // Labels from co-affiliation. Human relationship labels are *graded*:
+    // sharing the affiliation makes the label possible, actually having
+    // overlapped in person (shared location) makes it likely, and a hidden
+    // temporal overlap (era — people years apart never met, and the era is
+    // NOT observable in the graph) caps what any structure can predict.
+    // This gives the weight-learning problem the paper's character: several
+    // metagraphs carry signal to different extents (joint college+location
+    // strongest, plain paths weak), no pattern is deterministic, and the
+    // optimal weights form the long-tailed mixture of Fig. 4.
+    let era: Vec<u8> = (0..cfg.n_users).map(|_| rng.random_range(0..10u8)).collect();
+    let era_of = |u: NodeId| {
+        // Users were created after all attribute nodes, densely.
+        let first_user = (cfg.n_colleges + cfg.n_employers + cfg.n_locations) as u32;
+        era[(u.0 - first_user) as usize]
+    };
+    let mut labels = PairLabels::new();
+    let share_location = |x: NodeId, y: NodeId| {
+        graph
+            .neighbors_of_type(x, location_t)
+            .iter()
+            .any(|v| graph.neighbors_of_type(y, location_t).contains(v))
+    };
+    let co_affiliation_labels = |attr_nodes: &[NodeId],
+                                     class: ClassId,
+                                     strong: f64,
+                                     weak: f64,
+                                     rng: &mut ChaCha8Rng,
+                                     labels: &mut PairLabels| {
+        for &a in attr_nodes {
+            let members = graph.neighbors_of_type(a, user_t);
+            for (ai, &x) in members.iter().enumerate() {
+                for &y in &members[ai + 1..] {
+                    let overlap = era_of(x).abs_diff(era_of(y)) <= 2;
+                    let p = match (share_location(x, y), overlap) {
+                        (true, true) => strong,
+                        (true, false) => weak,
+                        (false, true) => weak,
+                        (false, false) => weak * 0.3,
+                    };
+                    if rng.random_bool(p) {
+                        labels.insert(x, y, class);
+                    }
+                }
+            }
+        }
+    };
+    co_affiliation_labels(
+        &colleges,
+        COLLEGE,
+        cfg.college_recall,
+        cfg.college_weak_recall,
+        &mut rng,
+        &mut labels,
+    );
+    co_affiliation_labels(
+        &employers,
+        COWORKER,
+        cfg.coworker_recall,
+        cfg.coworker_weak_recall,
+        &mut rng,
+        &mut labels,
+    );
+
+    // Noise pairs.
+    let n_noise = (labels.n_pairs() as f64 * cfg.label_noise) as usize;
+    for _ in 0..n_noise {
+        let x = users[rng.random_range(0..users.len())];
+        let y = users[rng.random_range(0..users.len())];
+        let class = if rng.random_bool(0.5) { COLLEGE } else { COWORKER };
+        labels.insert(x, y, class);
+    }
+
+    Dataset {
+        name: "LinkedIn-like".to_owned(),
+        graph,
+        labels,
+        class_names: vec!["college".to_owned(), "coworker".to_owned()],
+        anchor_type: user_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_four_types() {
+        let d = generate_linkedin(&LinkedInConfig::tiny(1));
+        assert_eq!(d.graph.n_types(), 4);
+        assert_eq!(
+            d.graph
+                .types()
+                .iter()
+                .map(|(_, n)| n.to_owned())
+                .collect::<Vec<_>>(),
+            vec!["user", "employer", "location", "college"]
+        );
+    }
+
+    #[test]
+    fn labels_exist_for_both_classes() {
+        let d = generate_linkedin(&LinkedInConfig::tiny(2));
+        assert!(!d.labels.pairs_of_class(COLLEGE).is_empty());
+        assert!(!d.labels.pairs_of_class(COWORKER).is_empty());
+        assert!(d.labels.queries_of_class(COLLEGE).len() >= 10);
+        assert!(d.labels.queries_of_class(COWORKER).len() >= 10);
+    }
+
+    #[test]
+    fn college_labels_mostly_share_college() {
+        let d = generate_linkedin(&LinkedInConfig::tiny(3));
+        let g = &d.graph;
+        let college_t = g.types().id("college").unwrap();
+        let pairs = d.labels.pairs_of_class(COLLEGE);
+        let ok = pairs
+            .iter()
+            .filter(|&&(x, y)| {
+                g.neighbors_of_type(x, college_t)
+                    .iter()
+                    .any(|v| g.neighbors_of_type(y, college_t).contains(v))
+            })
+            .count();
+        assert!(ok as f64 >= pairs.len() as f64 * 0.85, "{ok}/{}", pairs.len());
+    }
+
+    #[test]
+    fn every_user_connected() {
+        let d = generate_linkedin(&LinkedInConfig::tiny(4));
+        let user_t = d.anchor_type;
+        for &u in d.graph.nodes_of_type(user_t) {
+            assert!(d.graph.degree(u) >= 3); // college + employer + location
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_linkedin(&LinkedInConfig::tiny(9));
+        let b = generate_linkedin(&LinkedInConfig::tiny(9));
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
+        assert_eq!(a.labels.n_pairs(), b.labels.n_pairs());
+    }
+
+    #[test]
+    fn default_scale_reasonable() {
+        let d = generate_linkedin(&LinkedInConfig::default());
+        assert!(d.graph.n_nodes() > 1000);
+        assert!(d.graph.max_degree() < 250, "max degree {}", d.graph.max_degree());
+    }
+}

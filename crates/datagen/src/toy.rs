@@ -1,0 +1,175 @@
+//! The paper's running example: the Fig. 1 toy graph and Fig. 2
+//! metagraphs.
+//!
+//! Five users (Alice, Bob, Kate, Jay, Tom) interconnected with attribute
+//! values of seven types. The expected search results of Fig. 1(b) —
+//! e.g. Kate's close friends are Alice (same employer and hobby) and Jay
+//! (same address) — are exercised by tests and the quickstart example.
+
+use mgp_graph::{Graph, GraphBuilder, TypeId};
+use mgp_metagraph::Metagraph;
+
+/// Handles to the toy graph's named parts.
+#[derive(Debug, Clone)]
+pub struct ToyGraph {
+    /// The graph itself.
+    pub graph: Graph,
+    /// The `user` type.
+    pub user: TypeId,
+}
+
+/// Builds the Fig. 1 toy graph.
+///
+/// Edges (from the figure): Alice and Bob share surname Clinton and the
+/// address 123 Green St; Alice, Kate work at Company X and share the Music
+/// hobby; Kate and Jay share 456 White St, College B and Economics; Bob and
+/// Tom attend College A with the Physics major; Jay also attends College B
+/// with Economics.
+pub fn toy_graph() -> ToyGraph {
+    let mut b = GraphBuilder::new();
+    let user = b.add_type("user");
+    let surname = b.add_type("surname");
+    let address = b.add_type("address");
+    let school = b.add_type("school");
+    let major = b.add_type("major");
+    let employer = b.add_type("employer");
+    let hobby = b.add_type("hobby");
+
+    let alice = b.add_node(user, "Alice");
+    let bob = b.add_node(user, "Bob");
+    let kate = b.add_node(user, "Kate");
+    let jay = b.add_node(user, "Jay");
+    let tom = b.add_node(user, "Tom");
+
+    let clinton = b.add_node(surname, "Clinton");
+    let green = b.add_node(address, "123 Green St");
+    let white = b.add_node(address, "456 White St");
+    let college_a = b.add_node(school, "College A");
+    let college_b = b.add_node(school, "College B");
+    let economics = b.add_node(major, "Economics");
+    let physics = b.add_node(major, "Physics");
+    let company_x = b.add_node(employer, "Company X");
+    let music = b.add_node(hobby, "Music");
+
+    let edges = [
+        (alice, clinton),
+        (bob, clinton),
+        (alice, green),
+        (bob, green),
+        (alice, company_x),
+        (kate, company_x),
+        (alice, music),
+        (kate, music),
+        (kate, white),
+        (jay, white),
+        (kate, college_b),
+        (jay, college_b),
+        (kate, economics),
+        (jay, economics),
+        (bob, college_a),
+        (tom, college_a),
+        (bob, physics),
+        (tom, physics),
+    ];
+    for (x, y) in edges {
+        b.add_edge(x, y).expect("toy edges valid");
+    }
+    ToyGraph {
+        graph: b.build(),
+        user,
+    }
+}
+
+/// The Fig. 2 toy metagraphs, expressed against [`toy_graph`]'s type ids.
+///
+/// Returns `(M1 classmate, M2 close-friend, M3 close-friend-path,
+/// M4 family)`.
+pub fn toy_metagraphs(g: &Graph) -> (Metagraph, Metagraph, Metagraph, Metagraph) {
+    let t = |name: &str| g.types().id(name).expect("toy type");
+    let user = t("user");
+    // M1: user—school—user + user—major—user joint.
+    let m1 = Metagraph::from_edges(
+        &[user, user, t("school"), t("major")],
+        &[(0, 2), (1, 2), (0, 3), (1, 3)],
+    )
+    .unwrap();
+    // M2: user—employer—user + user—hobby—user joint.
+    let m2 = Metagraph::from_edges(
+        &[user, user, t("employer"), t("hobby")],
+        &[(0, 2), (1, 2), (0, 3), (1, 3)],
+    )
+    .unwrap();
+    // M3: user—address—user (a metapath).
+    let m3 = Metagraph::from_edges(&[user, t("address"), user], &[(0, 1), (1, 2)]).unwrap();
+    // M4: user—surname—user + user—address—user joint.
+    let m4 = Metagraph::from_edges(
+        &[user, user, t("surname"), t("address")],
+        &[(0, 2), (1, 2), (0, 3), (1, 3)],
+    )
+    .unwrap();
+    (m1, m2, m3, m4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_matching::{count_instances, PatternInfo, SymIso};
+
+    #[test]
+    fn graph_shape() {
+        let toy = toy_graph();
+        let g = &toy.graph;
+        assert_eq!(g.n_nodes(), 14);
+        assert_eq!(g.n_edges(), 18);
+        assert_eq!(g.n_types(), 7);
+        assert_eq!(g.n_nodes_of_type(toy.user), 5);
+    }
+
+    #[test]
+    fn fig1b_expectations_via_instances() {
+        let toy = toy_graph();
+        let g = &toy.graph;
+        let (m1, m2, m3, m4) = toy_metagraphs(g);
+        let kate = g.node_by_label("Kate").unwrap();
+        let jay = g.node_by_label("Jay").unwrap();
+        let alice = g.node_by_label("Alice").unwrap();
+        let bob = g.node_by_label("Bob").unwrap();
+        let tom = g.node_by_label("Tom").unwrap();
+
+        // Classmate (M1): Kate~Jay and Bob~Tom.
+        let p1 = PatternInfo::new(m1, toy.user);
+        let c1 = mgp_matching::anchor::anchor_counts(&SymIso::new(), g, &p1);
+        assert_eq!(c1.pair_count(kate, jay), 1);
+        assert_eq!(c1.pair_count(bob, tom), 1);
+        assert_eq!(c1.pair_count(kate, alice), 0);
+
+        // Close friend (M2): Kate~Alice (same employer and hobby).
+        let p2 = PatternInfo::new(m2, toy.user);
+        let c2 = mgp_matching::anchor::anchor_counts(&SymIso::new(), g, &p2);
+        assert_eq!(c2.pair_count(kate, alice), 1);
+        assert_eq!(c2.pair_count(kate, jay), 0);
+
+        // M3 (shared address): Kate~Jay and Alice~Bob.
+        let p3 = PatternInfo::new(m3, toy.user);
+        let c3 = mgp_matching::anchor::anchor_counts(&SymIso::new(), g, &p3);
+        assert_eq!(c3.pair_count(kate, jay), 1);
+        assert_eq!(c3.pair_count(alice, bob), 1);
+
+        // Family (M4): Alice~Bob only.
+        let p4 = PatternInfo::new(m4, toy.user);
+        let c4 = mgp_matching::anchor::anchor_counts(&SymIso::new(), g, &p4);
+        assert_eq!(c4.pair_count(alice, bob), 1);
+        assert_eq!(c4.n_instances, 1);
+    }
+
+    #[test]
+    fn instance_counts_match_figure() {
+        let toy = toy_graph();
+        let g = &toy.graph;
+        let (m1, m2, m3, m4) = toy_metagraphs(g);
+        for (m, expect) in [(m1, 2), (m2, 1), (m3, 2), (m4, 1)] {
+            let p = PatternInfo::new(m, toy.user);
+            assert_eq!(count_instances(&SymIso::new(), g, &p), expect);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! NDCG@k and MAP@k with binary relevance.
+
+use mgp_graph::NodeId;
+
+/// Discounted cumulative gain at `k` of a ranking against a binary
+/// relevance set: `Σ 1 / log₂(i + 2)` over relevant positions `i < k`
+/// (0-based).
+fn dcg_at(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    ranking
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, v)| relevant.contains(v))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// Normalised DCG at `k`: DCG divided by the DCG of the ideal ranking
+/// (all `min(k, |relevant|)` relevant nodes first). Returns 0 when there are
+/// no relevant nodes.
+pub fn ndcg_at(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg_at(ranking, relevant, k) / ideal
+}
+
+/// Average precision at `k`: mean of precision@i over relevant positions
+/// `i < k`, normalised by `min(|relevant|, k)`.
+pub fn average_precision_at(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, v) in ranking.iter().take(k).enumerate() {
+        if relevant.contains(v) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / relevant.len().min(k) as f64
+}
+
+/// Precision at `k`: fraction of the top `k` that are relevant.
+pub fn precision_at(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|v| relevant.contains(v))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Recall at `k`: fraction of the relevant set found in the top `k`.
+pub fn recall_at(ranking: &[NodeId], relevant: &[NodeId], k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranking
+        .iter()
+        .take(k)
+        .filter(|v| relevant.contains(v))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Mean average precision at `k` over several `(ranking, relevant)` pairs.
+pub fn map_at(cases: &[(Vec<NodeId>, Vec<NodeId>)], k: usize) -> f64 {
+    if cases.is_empty() {
+        return 0.0;
+    }
+    cases
+        .iter()
+        .map(|(r, rel)| average_precision_at(r, rel, k))
+        .sum::<f64>()
+        / cases.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranking = n(&[1, 2, 3, 4]);
+        let rel = n(&[1, 2]);
+        assert!((ndcg_at(&ranking, &rel, 10) - 1.0).abs() < 1e-12);
+        assert!((average_precision_at(&ranking, &rel, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_scores_zero() {
+        let ranking = n(&[5, 6, 7]);
+        let rel = n(&[1]);
+        assert_eq!(ndcg_at(&ranking, &rel, 10), 0.0);
+        assert_eq!(average_precision_at(&ranking, &rel, 10), 0.0);
+    }
+
+    #[test]
+    fn ndcg_discounts_by_position() {
+        let rel = n(&[9]);
+        let at1 = ndcg_at(&n(&[9, 0, 0]), &rel, 10);
+        let at2 = ndcg_at(&n(&[0, 9, 0]), &rel, 10);
+        let at3 = ndcg_at(&n(&[0, 0, 9]), &rel, 10);
+        assert!(at1 > at2 && at2 > at3);
+        assert!((at1 - 1.0).abs() < 1e-12);
+        assert!((at2 - 1.0 / 3.0f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_at_k() {
+        let rel = n(&[9]);
+        // Relevant item beyond the cutoff contributes nothing.
+        let ranking = n(&[0, 1, 2, 3, 9]);
+        assert_eq!(ndcg_at(&ranking, &rel, 4), 0.0);
+        assert_eq!(average_precision_at(&ranking, &rel, 4), 0.0);
+        assert!(ndcg_at(&ranking, &rel, 5) > 0.0);
+    }
+
+    #[test]
+    fn ap_partial_credit() {
+        // Ranking [r, x, r], 2 relevant: AP = (1/1 + 2/3)/2.
+        let ranking = n(&[1, 0, 2]);
+        let rel = n(&[1, 2]);
+        let expect = (1.0 + 2.0 / 3.0) / 2.0;
+        assert!((average_precision_at(&ranking, &rel, 10) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_averages() {
+        let cases = vec![
+            (n(&[1]), n(&[1])),   // AP 1
+            (n(&[0, 1]), n(&[1])), // AP 0.5
+        ];
+        assert!((map_at(&cases, 10) - 0.75).abs() < 1e-12);
+        assert_eq!(map_at(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn metrics_bounded() {
+        let ranking = n(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let rel = n(&[1, 9, 100]);
+        for k in 1..10 {
+            let nd = ndcg_at(&ranking, &rel, k);
+            let ap = average_precision_at(&ranking, &rel, k);
+            assert!((0.0..=1.0).contains(&nd));
+            assert!((0.0..=1.0).contains(&ap));
+        }
+    }
+
+    #[test]
+    fn precision_and_recall() {
+        let ranking = n(&[1, 5, 2, 6]);
+        let rel = n(&[1, 2, 3]);
+        assert!((precision_at(&ranking, &rel, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at(&ranking, &rel, 4) - 0.5).abs() < 1e-12);
+        assert!((recall_at(&ranking, &rel, 4) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at(&ranking, &[], 4), 0.0);
+        assert_eq!(precision_at(&ranking, &rel, 0), 0.0);
+        // All relevant found within k ⇒ recall 1.
+        assert!((recall_at(&n(&[1, 2, 3]), &rel, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_relevance_or_k() {
+        let ranking = n(&[1, 2]);
+        assert_eq!(ndcg_at(&ranking, &[], 10), 0.0);
+        assert_eq!(ndcg_at(&ranking, &n(&[1]), 0), 0.0);
+        assert_eq!(average_precision_at(&ranking, &[], 10), 0.0);
+        assert_eq!(average_precision_at(&ranking, &n(&[1]), 0), 0.0);
+    }
+}

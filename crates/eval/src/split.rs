@@ -1,0 +1,103 @@
+//! Train/test query splits.
+
+use mgp_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A train/test split over query nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training queries (the paper uses 20 %).
+    pub train: Vec<NodeId>,
+    /// Test queries (80 %).
+    pub test: Vec<NodeId>,
+}
+
+impl Split {
+    /// Randomly splits `queries`, putting `train_frac` into `train`.
+    /// At least one query lands on each side when `queries.len() ≥ 2`.
+    pub fn random(queries: &[NodeId], train_frac: f64, rng: &mut ChaCha8Rng) -> Split {
+        let mut shuffled = queries.to_vec();
+        shuffled.shuffle(rng);
+        let mut n_train = ((queries.len() as f64) * train_frac).round() as usize;
+        if queries.len() >= 2 {
+            n_train = n_train.clamp(1, queries.len() - 1);
+        } else {
+            n_train = n_train.min(queries.len());
+        }
+        let test = shuffled.split_off(n_train);
+        Split {
+            train: shuffled,
+            test,
+        }
+    }
+}
+
+/// The paper's protocol: `n_repeats` random splits (20/80 by default),
+/// seeded deterministically.
+pub fn repeated_splits(
+    queries: &[NodeId],
+    train_frac: f64,
+    n_repeats: usize,
+    seed: u64,
+) -> Vec<Split> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n_repeats)
+        .map(|_| Split::random(queries, train_frac, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queries(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn partition_is_exact() {
+        let q = queries(50);
+        let splits = repeated_splits(&q, 0.2, 10, 42);
+        assert_eq!(splits.len(), 10);
+        for s in &splits {
+            assert_eq!(s.train.len(), 10);
+            assert_eq!(s.test.len(), 40);
+            let mut all: Vec<NodeId> = s.train.iter().chain(&s.test).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, q);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = queries(30);
+        assert_eq!(repeated_splits(&q, 0.2, 3, 7), repeated_splits(&q, 0.2, 3, 7));
+        assert_ne!(repeated_splits(&q, 0.2, 3, 7), repeated_splits(&q, 0.2, 3, 8));
+    }
+
+    #[test]
+    fn splits_differ_across_repeats() {
+        let q = queries(40);
+        let splits = repeated_splits(&q, 0.5, 2, 1);
+        assert_ne!(splits[0], splits[1]);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let one = queries(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s = Split::random(&one, 0.2, &mut rng);
+        assert_eq!(s.train.len() + s.test.len(), 1);
+
+        let two = queries(2);
+        let s = Split::random(&two, 0.01, &mut rng);
+        assert_eq!(s.train.len(), 1); // clamped to keep both sides non-empty
+        assert_eq!(s.test.len(), 1);
+
+        let s = Split::random(&[], 0.2, &mut rng);
+        assert!(s.train.is_empty() && s.test.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Aggregate statistics over repeated splits.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean and (sample) standard deviation via Welford's algorithm.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl MeanStd {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (0 with fewer than 2 observations).
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// `mean ± std` rendered with 4 decimals.
+    pub fn display(&self) -> String {
+        format!("{:.4} ± {:.4}", self.mean(), self.std())
+    }
+}
+
+impl Extend<f64> for MeanStd {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_correct() {
+        let mut s = MeanStd::new();
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((s.std() - 2.1380899).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let s = MeanStd::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        let mut s1 = MeanStd::new();
+        s1.push(3.5);
+        assert_eq!(s1.mean(), 3.5);
+        assert_eq!(s1.std(), 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut s = MeanStd::new();
+        s.extend([1.0, 1.0]);
+        assert_eq!(s.display(), "1.0000 ± 0.0000");
+    }
+}

@@ -1,0 +1,185 @@
+//! Mutable construction of a [`Graph`] before freezing it into CSR form.
+
+use crate::csr::Graph;
+use crate::{GraphError, NodeId, TypeId, TypeRegistry};
+
+/// Incremental builder for a typed object graph.
+///
+/// Collects nodes (each with a type and an optional human-readable label,
+/// e.g. `"Alice"` or `"123 Green St"`) and undirected edges, then freezes
+/// them into an immutable CSR [`Graph`] with [`GraphBuilder::build`].
+///
+/// Duplicate edges are deduplicated at build time; self-loops are rejected
+/// eagerly (the object graph is simple, per Sect. II-A).
+///
+/// ```
+/// use mgp_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let user = b.add_type("user");
+/// let school = b.add_type("school");
+/// let kate = b.add_node(user, "Kate");
+/// let jay = b.add_node(user, "Jay");
+/// let college = b.add_node(school, "College B");
+/// b.add_edge(kate, college).unwrap();
+/// b.add_edge(jay, college).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.n_nodes(), 3);
+/// assert_eq!(g.n_edges(), 2);
+/// assert!(g.has_edge(kate, college));
+/// assert!(!g.has_edge(kate, jay));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    types: TypeRegistry,
+    node_types: Vec<TypeId>,
+    labels: Vec<String>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with node/edge capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            types: TypeRegistry::new(),
+            node_types: Vec::with_capacity(nodes),
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Interns an object type by name.
+    pub fn add_type(&mut self, name: &str) -> TypeId {
+        self.types.intern(name)
+    }
+
+    /// Read access to the type registry being built.
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    /// Adds a node of the given type with a label; returns its dense id.
+    ///
+    /// # Panics
+    /// Panics if `ty` was not interned through this builder, or if more than
+    /// `u32::MAX` nodes are added.
+    pub fn add_node(&mut self, ty: TypeId, label: impl Into<String>) -> NodeId {
+        assert!(
+            ty.index() < self.types.len(),
+            "type {ty} not registered in this builder"
+        );
+        let id = NodeId(u32::try_from(self.node_types.len()).expect("too many nodes"));
+        self.node_types.push(ty);
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Adds an unlabelled node (label = empty string).
+    pub fn add_unlabeled_node(&mut self, ty: TypeId) -> NodeId {
+        self.add_node(ty, String::new())
+    }
+
+    /// Adds an undirected edge. Duplicates are tolerated (deduplicated at
+    /// build time); self-loops and references to unknown nodes are errors.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a.0));
+        }
+        let n = self.node_types.len() as u32;
+        for v in [a, b] {
+            if v.0 >= n {
+                return Err(GraphError::UnknownNode(v.0));
+            }
+        }
+        self.edges.push(if a.0 < b.0 { (a, b) } else { (b, a) });
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn n_nodes(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn n_edge_insertions(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable CSR [`Graph`].
+    pub fn build(mut self) -> Graph {
+        // Deduplicate edges.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_parts(self.types, self.node_types, self.labels, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_type("user");
+        let n = b.add_node(t, "a");
+        assert_eq!(b.add_edge(n, n), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn rejects_unknown_node() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_type("user");
+        let n = b.add_node(t, "a");
+        assert_eq!(
+            b.add_edge(n, NodeId(5)),
+            Err(GraphError::UnknownNode(5))
+        );
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let mut b = GraphBuilder::new();
+        let t = b.add_type("user");
+        let a = b.add_node(t, "a");
+        let c = b.add_node(t, "c");
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        b.add_edge(a, c).unwrap();
+        assert_eq!(b.n_edge_insertions(), 3);
+        let g = b.build();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn panics_on_foreign_type() {
+        let mut b = GraphBuilder::new();
+        b.add_node(TypeId(3), "x");
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.n_nodes(), 0);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(10, 10);
+        let t = b.add_type("x");
+        let n1 = b.add_node(t, "1");
+        let n2 = b.add_unlabeled_node(t);
+        b.add_edge(n1, n2).unwrap();
+        let g = b.build();
+        assert_eq!(g.n_nodes(), 2);
+        assert_eq!(g.label(n2), "");
+    }
+}

@@ -1,0 +1,143 @@
+//! A small FxHash-style hasher for hot integer-keyed maps.
+//!
+//! The default std hasher (SipHash 1-3) is HashDoS-resistant but slow for the
+//! short integer keys that dominate this workload (node ids, packed node
+//! pairs, canonical codes). This is the multiply-xor scheme popularised by
+//! rustc's `FxHasher`, hand-rolled here to avoid an extra dependency — the
+//! approved crate list does not include `rustc-hash`.
+//!
+//! Inputs are attacker-free (we hash our own dense ids), so DoS resistance is
+//! not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiply constant (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; state is a single u64.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Consume 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Convenience constructor: an empty [`FxHashMap`].
+pub fn fx_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+/// Convenience constructor: an empty [`FxHashMap`] with capacity.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+/// Convenience constructor: an empty [`FxHashSet`].
+pub fn fx_set<K>() -> FxHashSet<K> {
+    FxHashSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_one<T: std::hash::Hash>(v: T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("abc"), hash_one("abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one((1u32, 2u32)), hash_one((2u32, 1u32)));
+    }
+
+    #[test]
+    fn map_basics() {
+        let mut m: FxHashMap<u64, u32> = fx_map();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+        let mut s: FxHashSet<u32> = fx_set();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+
+    #[test]
+    fn byte_stream_tail_handling() {
+        // Ensure write() handles non-multiple-of-8 inputs distinctly.
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 3, 0]));
+    }
+
+    #[test]
+    fn capacity_constructor() {
+        let m: FxHashMap<u32, u32> = fx_map_with_capacity(64);
+        assert!(m.capacity() >= 64);
+    }
+}

@@ -1,0 +1,130 @@
+//! Strongly-typed identifiers for nodes and object types.
+//!
+//! Node ids are `u32` (the paper's graphs have at most ~66k nodes; u32 keeps
+//! adjacency arrays half the size of `usize` and the hot maps cache-friendly,
+//! per the perf-book guidance on smaller integers). Type ids are `u16`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (object) in a [`crate::Graph`].
+///
+/// Dense: nodes of a graph with `n` nodes are exactly `NodeId(0..n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an object type (e.g. `user`, `school`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TypeId(pub u16);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TypeId {
+    /// The id as a `usize`, for indexing.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u16> for TypeId {
+    #[inline]
+    fn from(v: u16) -> Self {
+        TypeId(v)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl std::fmt::Display for TypeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Packs an unordered pair of node ids into a single `u64` key.
+///
+/// The smaller id goes into the high half so that keys sort like
+/// `(min, max)` pairs. Used for the `m_xy` pair-count maps (Eq. 1).
+#[inline(always)]
+pub fn pack_pair(a: NodeId, b: NodeId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Inverse of [`pack_pair`]: returns `(min, max)`.
+#[inline(always)]
+pub fn unpack_pair(key: u64) -> (NodeId, NodeId) {
+    (NodeId((key >> 32) as u32), NodeId(key as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_is_order_independent() {
+        let a = NodeId(7);
+        let b = NodeId(1_000_003);
+        assert_eq!(pack_pair(a, b), pack_pair(b, a));
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        let a = NodeId(42);
+        let b = NodeId(9);
+        let (lo, hi) = unpack_pair(pack_pair(a, b));
+        assert_eq!((lo, hi), (NodeId(9), NodeId(42)));
+    }
+
+    #[test]
+    fn pack_distinct_pairs_distinct_keys() {
+        let k1 = pack_pair(NodeId(1), NodeId(2));
+        let k2 = pack_pair(NodeId(1), NodeId(3));
+        let k3 = pack_pair(NodeId(2), NodeId(3));
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert_ne!(k2, k3);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(5).to_string(), "n5");
+        assert_eq!(TypeId(3).to_string(), "t3");
+    }
+
+    #[test]
+    fn index_conversion() {
+        assert_eq!(NodeId(17).index(), 17usize);
+        assert_eq!(TypeId(4).index(), 4usize);
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+        assert_eq!(TypeId::from(2u16), TypeId(2));
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let n = NodeId(12);
+        let s = serde_json::to_string(&n).unwrap();
+        assert_eq!(s, "12");
+        let back: NodeId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, n);
+    }
+}

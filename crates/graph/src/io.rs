@@ -1,0 +1,199 @@
+//! Plain-text persistence for typed object graphs.
+//!
+//! The format is line-oriented TSV with three record kinds:
+//!
+//! ```text
+//! # comment
+//! T <type-id> <type-name>
+//! N <node-id> <type-id> <label…>
+//! E <node-id> <node-id>
+//! ```
+//!
+//! Type and node ids must be dense and in increasing order, matching how
+//! [`crate::GraphBuilder`] hands them out, so that a dump can be reloaded
+//! into identical ids. Labels may contain spaces (everything after the third
+//! field); tabs within labels are not supported.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use std::io::{BufRead, Write};
+
+/// Serialises a graph to the TSV format described in the module docs.
+pub fn write_tsv<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "# typed object graph: {} nodes, {} edges", g.n_nodes(), g.n_edges())?;
+    for (id, name) in g.types().iter() {
+        writeln!(w, "T\t{}\t{}", id.0, name)?;
+    }
+    for v in g.nodes() {
+        writeln!(w, "N\t{}\t{}\t{}", v.0, g.node_type(v).0, g.label(v))?;
+    }
+    for (a, b) in g.edges() {
+        writeln!(w, "E\t{}\t{}", a.0, b.0)?;
+    }
+    Ok(())
+}
+
+/// Loads a graph from the TSV format described in the module docs.
+pub fn read_tsv<R: BufRead>(r: R) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new();
+    let mut next_type = 0u16;
+    let mut next_node = 0u32;
+    for (i, line) in r.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(4, '\t');
+        let kind = fields.next().unwrap_or("");
+        let err = |message: String| GraphError::Parse {
+            line: lineno,
+            message,
+        };
+        match kind {
+            "T" => {
+                let id: u16 = parse_field(fields.next(), lineno, "type id")?;
+                let name = fields
+                    .next()
+                    .ok_or_else(|| err("missing type name".into()))?;
+                if id != next_type {
+                    return Err(err(format!("type ids must be dense, expected {next_type} got {id}")));
+                }
+                next_type += 1;
+                b.add_type(name);
+            }
+            "N" => {
+                let id: u32 = parse_field(fields.next(), lineno, "node id")?;
+                let ty: u16 = parse_field(fields.next(), lineno, "node type")?;
+                let label = fields.next().unwrap_or("");
+                if id != next_node {
+                    return Err(err(format!("node ids must be dense, expected {next_node} got {id}")));
+                }
+                if ty as usize >= b.types().len() {
+                    return Err(GraphError::UnknownType(ty));
+                }
+                next_node += 1;
+                b.add_node(crate::TypeId(ty), label);
+            }
+            "E" => {
+                let a: u32 = parse_field(fields.next(), lineno, "edge endpoint")?;
+                let c: u32 = parse_field(fields.next(), lineno, "edge endpoint")?;
+                b.add_edge(NodeId(a), NodeId(c))?;
+            }
+            other => {
+                return Err(err(format!("unknown record kind {other:?}")));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    field
+        .ok_or_else(|| GraphError::Parse {
+            line,
+            message: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| GraphError::Parse {
+            line,
+            message: format!("invalid {what}"),
+        })
+}
+
+/// Writes a graph to a file path.
+pub fn save_tsv(g: &Graph, path: impl AsRef<std::path::Path>) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    write_tsv(g, std::io::BufWriter::new(f))
+}
+
+/// Reads a graph from a file path.
+pub fn load_tsv(path: impl AsRef<std::path::Path>) -> Result<Graph, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_tsv(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let addr = b.add_type("address");
+        let alice = b.add_node(user, "Alice");
+        let bob = b.add_node(user, "Bob");
+        let green = b.add_node(addr, "123 Green St");
+        b.add_edge(alice, green).unwrap();
+        b.add_edge(bob, green).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(g2.n_nodes(), g.n_nodes());
+        assert_eq!(g2.n_edges(), g.n_edges());
+        for v in g.nodes() {
+            assert_eq!(g2.label(v), g.label(v));
+            assert_eq!(g2.node_type(v), g.node_type(v));
+        }
+        for (a, b) in g.edges() {
+            assert!(g2.has_edge(a, b));
+        }
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_tsv(&g, &mut buf).unwrap();
+        let g2 = read_tsv(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(g2.node_by_label("123 Green St"), g.node_by_label("123 Green St"));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let r = std::io::Cursor::new(b"X\t1\t2\n".to_vec());
+        assert!(matches!(read_tsv(r), Err(GraphError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_sparse_node_ids() {
+        let r = std::io::Cursor::new(b"T\t0\tuser\nN\t5\t0\tAlice\n".to_vec());
+        assert!(matches!(read_tsv(r), Err(GraphError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_type_on_node() {
+        let r = std::io::Cursor::new(b"T\t0\tuser\nN\t0\t7\tAlice\n".to_vec());
+        assert!(matches!(read_tsv(r), Err(GraphError::UnknownType(7))));
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let r = std::io::Cursor::new(b"# hello\n\nT\t0\tuser\nN\t0\t0\tA\n".to_vec());
+        let g = read_tsv(r).unwrap();
+        assert_eq!(g.n_nodes(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("mgp_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tsv");
+        save_tsv(&g, &path).unwrap();
+        let g2 = load_tsv(&path).unwrap();
+        assert_eq!(g2.n_nodes(), g.n_nodes());
+        std::fs::remove_file(path).ok();
+    }
+}

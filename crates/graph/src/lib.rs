@@ -1,0 +1,87 @@
+//! # mgp-graph — typed object graph substrate
+//!
+//! This crate implements the *typed object graph* `G = (V, E)` of Fang et al.
+//! (ICDE 2016, Sect. II-A): an undirected heterogeneous graph where every
+//! node carries an object *type* drawn from a type set `T` via a type mapping
+//! `τ : V → T`. On the paper's toy social network (Fig. 1) the types are
+//! `user`, `school`, `major`, and so on, and each user or attribute value is
+//! a node.
+//!
+//! The central structure is [`Graph`], an immutable compressed-sparse-row
+//! (CSR) graph optimised for the access patterns of metagraph matching:
+//!
+//! * O(1) neighbour slices ([`Graph::neighbors`]),
+//! * O(log d) edge tests ([`Graph::has_edge`]) via sorted adjacency,
+//! * per-type node lists ([`Graph::nodes_of_type`]) for seeding matches,
+//! * typed-neighbour ranges ([`Graph::neighbors_of_type`]) so a matcher can
+//!   jump straight to, say, the `school` neighbours of a `user` node,
+//! * per-edge-type-pair statistics ([`Graph::edge_type_count`]) used by the
+//!   matching-order heuristic of Sect. IV-C.
+//!
+//! Graphs are constructed through [`GraphBuilder`] and can be persisted in a
+//! simple TSV format ([`io`]) or via serde.
+//!
+//! The crate also hosts [`fxhash`], a small FxHash-style hasher used across
+//! the workspace for hot integer-keyed maps (std's SipHash is needlessly slow
+//! for `u32`/`u64` keys on this workload).
+
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod builder;
+pub mod csr;
+pub mod fxhash;
+pub mod ids;
+pub mod io;
+pub mod stats;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use ids::{NodeId, TypeId};
+pub use stats::GraphStats;
+pub use types::TypeRegistry;
+
+/// Error type for graph construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced by an edge or query does not exist.
+    UnknownNode(u32),
+    /// A type id referenced does not exist in the registry.
+    UnknownType(u16),
+    /// A type name was not found in the registry.
+    UnknownTypeName(String),
+    /// A self-loop was supplied; the object graph is simple.
+    SelfLoop(u32),
+    /// Parse failure while loading a graph from text.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Explanation of what failed to parse.
+        message: String,
+    },
+    /// Underlying I/O error (stringified so the error stays `Clone + Eq`).
+    Io(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            GraphError::UnknownType(t) => write!(f, "unknown type id {t}"),
+            GraphError::UnknownTypeName(t) => write!(f, "unknown type name {t:?}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} (object graphs are simple)"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

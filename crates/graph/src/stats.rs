@@ -1,0 +1,123 @@
+//! Summary statistics over a typed object graph (Table II of the paper).
+
+use crate::{Graph, TypeId};
+use serde::{Deserialize, Serialize};
+
+/// Dataset-description statistics as reported in the paper's Table II,
+/// plus a per-type breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Total nodes `|V|`.
+    pub n_nodes: usize,
+    /// Total undirected edges `|E|`.
+    pub n_edges: u64,
+    /// Number of object types `|T|`.
+    pub n_types: usize,
+    /// `(type name, node count)` per type, in type-id order.
+    pub nodes_per_type: Vec<(String, usize)>,
+    /// Average degree (2|E| / |V|; 0 for the empty graph).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(g: &Graph) -> Self {
+        let nodes_per_type = g
+            .types()
+            .iter()
+            .map(|(id, name)| (name.to_owned(), g.n_nodes_of_type(id)))
+            .collect();
+        let avg_degree = if g.n_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * g.n_edges() as f64 / g.n_nodes() as f64
+        };
+        GraphStats {
+            n_nodes: g.n_nodes(),
+            n_edges: g.n_edges(),
+            n_types: g.n_types(),
+            nodes_per_type,
+            avg_degree,
+            max_degree: g.max_degree(),
+        }
+    }
+
+    /// Renders a one-line Table II-style row: `#Nodes #Edges #Types`.
+    pub fn table_row(&self, name: &str) -> String {
+        format!(
+            "{name}\t{}\t{}\t{}",
+            self.n_nodes, self.n_edges, self.n_types
+        )
+    }
+}
+
+/// Counts the nodes of `g` whose type is `ty` and whose degree is at least
+/// `min_degree`. Useful for picking well-connected query nodes.
+pub fn nodes_with_min_degree(g: &Graph, ty: TypeId, min_degree: usize) -> usize {
+    g.nodes_of_type(ty)
+        .iter()
+        .filter(|&&v| g.degree(v) >= min_degree)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let u1 = b.add_node(user, "u1");
+        let u2 = b.add_node(user, "u2");
+        let u3 = b.add_node(user, "u3");
+        let s = b.add_node(school, "s");
+        b.add_edge(u1, s).unwrap();
+        b.add_edge(u2, s).unwrap();
+        b.add_edge(u3, s).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn stats_basic() {
+        let g = sample();
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.n_nodes, 4);
+        assert_eq!(st.n_edges, 3);
+        assert_eq!(st.n_types, 2);
+        assert_eq!(st.max_degree, 3);
+        assert!((st.avg_degree - 1.5).abs() < 1e-12);
+        assert_eq!(
+            st.nodes_per_type,
+            vec![("user".to_owned(), 3), ("school".to_owned(), 1)]
+        );
+    }
+
+    #[test]
+    fn table_row_format() {
+        let g = sample();
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.table_row("Tiny"), "Tiny\t4\t3\t2");
+    }
+
+    #[test]
+    fn min_degree_filter() {
+        let g = sample();
+        let user = g.types().id("user").unwrap();
+        let school = g.types().id("school").unwrap();
+        assert_eq!(nodes_with_min_degree(&g, user, 1), 3);
+        assert_eq!(nodes_with_min_degree(&g, user, 2), 0);
+        assert_eq!(nodes_with_min_degree(&g, school, 3), 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.avg_degree, 0.0);
+        assert_eq!(st.n_nodes, 0);
+    }
+}

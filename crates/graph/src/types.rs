@@ -1,0 +1,156 @@
+//! The type registry: a bidirectional mapping between human-readable type
+//! names (`"user"`, `"school"`, …) and dense [`TypeId`]s.
+
+use crate::{GraphError, TypeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Registry of object types `T` with interning of type names.
+///
+/// Type ids are handed out densely in insertion order, so they can index
+/// per-type arrays directly.
+///
+/// ```
+/// use mgp_graph::TypeRegistry;
+/// let mut reg = TypeRegistry::new();
+/// let user = reg.intern("user");
+/// let school = reg.intern("school");
+/// assert_ne!(user, school);
+/// assert_eq!(reg.intern("user"), user);        // idempotent
+/// assert_eq!(reg.name(user), Some("user"));
+/// assert_eq!(reg.id("school"), Some(school));
+/// assert_eq!(reg.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeRegistry {
+    names: Vec<String>,
+    #[serde(skip)]
+    by_name: HashMap<String, TypeId>,
+}
+
+impl TypeRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a type name, returning its id (existing or fresh).
+    ///
+    /// # Panics
+    /// Panics if more than `u16::MAX` types are interned; heterogeneous
+    /// graphs in this domain have at most dozens of types.
+    pub fn intern(&mut self, name: &str) -> TypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TypeId(u16::try_from(self.names.len()).expect("too many types"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a type id by name.
+    pub fn id(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a type id by name, returning a [`GraphError`] if missing.
+    pub fn require(&self, name: &str) -> Result<TypeId, GraphError> {
+        self.id(name)
+            .ok_or_else(|| GraphError::UnknownTypeName(name.to_owned()))
+    }
+
+    /// The name of a type id, if it exists.
+    pub fn name(&self, id: TypeId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(TypeId, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TypeId(i as u16), n.as_str()))
+    }
+
+    /// Rebuilds the name→id map; must be called after deserialisation
+    /// (the map is `#[serde(skip)]` to avoid storing it twice).
+    pub fn rebuild_lookup(&mut self) {
+        self.by_name = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), TypeId(i as u16)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut reg = TypeRegistry::new();
+        let a = reg.intern("user");
+        let b = reg.intern("school");
+        let a2 = reg.intern("user");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(reg.name(a), Some("user"));
+        assert_eq!(reg.id("school"), Some(b));
+        assert_eq!(reg.id("missing"), None);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let reg = TypeRegistry::new();
+        assert!(matches!(
+            reg.require("nope"),
+            Err(GraphError::UnknownTypeName(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut reg = TypeRegistry::new();
+        for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+            assert_eq!(reg.intern(name), TypeId(i as u16));
+        }
+        let collected: Vec<_> = reg.iter().map(|(id, n)| (id.0, n.to_owned())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (0, "a".to_owned()),
+                (1, "b".to_owned()),
+                (2, "c".to_owned()),
+                (3, "d".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_lookup() {
+        let mut reg = TypeRegistry::new();
+        reg.intern("user");
+        reg.intern("employer");
+        let json = serde_json::to_string(&reg).unwrap();
+        let mut back: TypeRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id("user"), None); // lookup not yet rebuilt
+        back.rebuild_lookup();
+        assert_eq!(back.id("user"), Some(TypeId(0)));
+        assert_eq!(back.id("employer"), Some(TypeId(1)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the CSR graph substrate.
+
+use mgp_graph::{GraphBuilder, NodeId, TypeId};
+use proptest::prelude::*;
+
+/// Builds a graph from arbitrary node types and candidate edges.
+fn build(types: &[u16], edges: &[(usize, usize)]) -> mgp_graph::Graph {
+    let mut b = GraphBuilder::new();
+    let n_types = types.iter().copied().max().unwrap_or(0) as usize + 1;
+    for t in 0..n_types {
+        b.add_type(&format!("t{t}"));
+    }
+    for (i, &t) in types.iter().enumerate() {
+        b.add_node(TypeId(t), format!("n{i}"));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % types.len(), y % types.len());
+        if x != y {
+            b.add_edge(NodeId(x as u32), NodeId(y as u32)).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_invariants(
+        types in prop::collection::vec(0u16..4, 1..30),
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..80),
+    ) {
+        let g = build(&types, &edges);
+
+        // Degree sum = 2|E|.
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum as u64, 2 * g.n_edges());
+
+        // Adjacency sorted by (type, id), no self loops, symmetric.
+        for v in g.nodes() {
+            let adj = g.neighbors(v);
+            for w in adj.windows(2) {
+                prop_assert!((g.node_type(w[0]), w[0]) < (g.node_type(w[1]), w[1]));
+            }
+            for &u in adj {
+                prop_assert_ne!(u, v);
+                prop_assert!(g.has_edge(v, u));
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.neighbors(u).contains(&v));
+            }
+        }
+
+        // has_edge agrees with the edge iterator; each edge listed once.
+        let listed: Vec<(NodeId, NodeId)> = g.edges().collect();
+        prop_assert_eq!(listed.len() as u64, g.n_edges());
+        let mut dedup = listed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), listed.len());
+
+        // Typed neighbour slices partition the adjacency.
+        for v in g.nodes() {
+            let mut total = 0;
+            for t in 0..g.n_types() {
+                let slice = g.neighbors_of_type(v, TypeId(t as u16));
+                total += slice.len();
+                for &u in slice {
+                    prop_assert_eq!(g.node_type(u), TypeId(t as u16));
+                }
+            }
+            prop_assert_eq!(total, g.degree(v));
+        }
+
+        // Type node lists partition V.
+        let mut count = 0;
+        for t in 0..g.n_types() {
+            let nodes = g.nodes_of_type(TypeId(t as u16));
+            count += nodes.len();
+            for &v in nodes {
+                prop_assert_eq!(g.node_type(v), TypeId(t as u16));
+            }
+        }
+        prop_assert_eq!(count, g.n_nodes());
+
+        // Edge-type statistics total |E|.
+        let mut stat_total = 0u64;
+        for a in 0..g.n_types() {
+            for b in a..g.n_types() {
+                stat_total += g.edge_type_count(TypeId(a as u16), TypeId(b as u16));
+            }
+        }
+        prop_assert_eq!(stat_total, g.n_edges());
+    }
+
+    #[test]
+    fn persistence_roundtrips(
+        types in prop::collection::vec(0u16..3, 1..15),
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..30),
+    ) {
+        let g = build(&types, &edges);
+
+        // Binary.
+        let g2 = mgp_graph::binary::decode(mgp_graph::binary::encode(&g)).unwrap();
+        prop_assert_eq!(g2.n_nodes(), g.n_nodes());
+        prop_assert_eq!(g2.n_edges(), g.n_edges());
+        for (a, b) in g.edges() {
+            prop_assert!(g2.has_edge(a, b));
+        }
+
+        // TSV.
+        let mut buf = Vec::new();
+        mgp_graph::io::write_tsv(&g, &mut buf).unwrap();
+        let g3 = mgp_graph::io::read_tsv(std::io::Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(g3.n_nodes(), g.n_nodes());
+        prop_assert_eq!(g3.n_edges(), g.n_edges());
+        for v in g.nodes() {
+            prop_assert_eq!(g3.node_type(v), g.node_type(v));
+        }
+    }
+}

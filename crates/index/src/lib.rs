@@ -1,0 +1,325 @@
+//! # mgp-index — the metagraph vector index
+//!
+//! After matching, the offline phase *indexes* the instances: for every
+//! anchor node `x` the vector `m_x` (Eq. 2) and for every co-occurring
+//! anchor pair `{x, y}` the vector `m_xy` (Eq. 1), each with one coordinate
+//! per metagraph. These vectors are all MGP needs at training and query
+//! time — the instances themselves are discarded.
+//!
+//! The index stores the vectors *sparsely per node/pair* (most nodes occur
+//! in few metagraphs) with counts already transformed (`log1p` by default,
+//! per the remark under Eq. 2 that counts may be transformed, which tames
+//! heavy-tailed instance counts). It also keeps, per anchor node, the list
+//! of partners it shares at least one metagraph instance with — the online
+//! phase ranks exactly these candidates, everything else has proximity 0.
+//!
+//! [`VectorIndex::restrict`] projects the index onto a subset of metagraphs
+//! with remapped coordinates; dual-stage training uses this to train on the
+//! seed set and on seed+candidate sets without re-matching anything.
+
+#![warn(missing_docs)]
+
+use mgp_graph::ids::pack_pair;
+use mgp_graph::{FxHashMap, NodeId};
+use mgp_matching::AnchorCounts;
+use serde::{Deserialize, Serialize};
+
+/// How raw instance counts become vector entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Transform {
+    /// Keep raw counts.
+    Raw,
+    /// `ln(1 + count)` — the default, robust to heavy-tailed counts.
+    #[default]
+    Log1p,
+    /// Presence only (1 if the count is positive). Useful when hub-heavy
+    /// patterns inflate counts without carrying more information.
+    Binary,
+}
+
+impl Transform {
+    /// Applies the transform to a raw count.
+    #[inline]
+    pub fn apply(self, count: u64) -> f64 {
+        match self {
+            Transform::Raw => count as f64,
+            Transform::Log1p => (1.0 + count as f64).ln(),
+            Transform::Binary => f64::from(count > 0),
+        }
+    }
+}
+
+/// A sparse vector over metagraph coordinates: `(metagraph index,
+/// transformed count)`, sorted by index.
+pub type SparseVec = Vec<(u32, f64)>;
+
+/// The metagraph vector index (Eq. 1–2 materialised for all nodes/pairs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VectorIndex {
+    n_metagraphs: usize,
+    transform: Transform,
+    node_vecs: FxHashMap<u32, SparseVec>,
+    pair_vecs: FxHashMap<u64, SparseVec>,
+    partners: FxHashMap<u32, Vec<u32>>,
+}
+
+impl VectorIndex {
+    /// Builds the index from per-metagraph anchor counts (coordinate `i`
+    /// comes from `counts[i]`).
+    pub fn from_counts(counts: &[AnchorCounts], transform: Transform) -> Self {
+        let mut node_vecs: FxHashMap<u32, SparseVec> = FxHashMap::default();
+        let mut pair_vecs: FxHashMap<u64, SparseVec> = FxHashMap::default();
+        let mut partners: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+
+        for (i, c) in counts.iter().enumerate() {
+            let i = i as u32;
+            for (&x, &cnt) in &c.per_node {
+                node_vecs
+                    .entry(x)
+                    .or_default()
+                    .push((i, transform.apply(cnt)));
+            }
+            for (&key, &cnt) in &c.per_pair {
+                pair_vecs
+                    .entry(key)
+                    .or_default()
+                    .push((i, transform.apply(cnt)));
+            }
+        }
+        for v in node_vecs.values_mut() {
+            v.sort_unstable_by_key(|&(i, _)| i);
+        }
+        for (key, v) in pair_vecs.iter_mut() {
+            v.sort_unstable_by_key(|&(i, _)| i);
+            let (x, y) = mgp_graph::ids::unpack_pair(*key);
+            partners.entry(x.0).or_default().push(y.0);
+            partners.entry(y.0).or_default().push(x.0);
+        }
+        for v in partners.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        VectorIndex {
+            n_metagraphs: counts.len(),
+            transform,
+            node_vecs,
+            pair_vecs,
+            partners,
+        }
+    }
+
+    /// Number of metagraph coordinates `|M|`.
+    pub fn n_metagraphs(&self) -> usize {
+        self.n_metagraphs
+    }
+
+    /// The transform the index was built with.
+    pub fn transform(&self) -> Transform {
+        self.transform
+    }
+
+    /// Sparse `m_x` of a node (empty slice if absent from all metagraphs).
+    pub fn node_vec(&self, x: NodeId) -> &[(u32, f64)] {
+        self.node_vecs.get(&x.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Sparse `m_xy` of an unordered pair.
+    pub fn pair_vec(&self, x: NodeId, y: NodeId) -> &[(u32, f64)] {
+        self.pair_vecs
+            .get(&pack_pair(x, y))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The anchors sharing at least one metagraph instance with `x` —
+    /// the only nodes with non-zero MGP proximity to `x`.
+    pub fn partners(&self, x: NodeId) -> &[u32] {
+        self.partners.get(&x.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct anchor nodes appearing in the index.
+    pub fn n_nodes(&self) -> usize {
+        self.node_vecs.len()
+    }
+
+    /// Number of distinct anchor pairs appearing in the index.
+    pub fn n_pairs(&self) -> usize {
+        self.pair_vecs.len()
+    }
+
+    /// `m_x · w`.
+    pub fn dot_node(&self, x: NodeId, w: &[f64]) -> f64 {
+        dot(self.node_vec(x), w)
+    }
+
+    /// `m_xy · w`.
+    pub fn dot_pair(&self, x: NodeId, y: NodeId, w: &[f64]) -> f64 {
+        dot(self.pair_vec(x, y), w)
+    }
+
+    /// Projects the index onto the metagraph subset `keep` (indices into
+    /// the original coordinates); coordinate `j` of the result corresponds
+    /// to `keep[j]`.
+    pub fn restrict(&self, keep: &[usize]) -> VectorIndex {
+        let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+        for (j, &i) in keep.iter().enumerate() {
+            remap.insert(i as u32, j as u32);
+        }
+        let project = |v: &SparseVec| -> SparseVec {
+            let mut out: SparseVec = v
+                .iter()
+                .filter_map(|&(i, c)| remap.get(&i).map(|&j| (j, c)))
+                .collect();
+            out.sort_unstable_by_key(|&(j, _)| j);
+            out
+        };
+        let node_vecs: FxHashMap<u32, SparseVec> = self
+            .node_vecs
+            .iter()
+            .map(|(&x, v)| (x, project(v)))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let pair_vecs: FxHashMap<u64, SparseVec> = self
+            .pair_vecs
+            .iter()
+            .map(|(&k, v)| (k, project(v)))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let mut partners: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &key in pair_vecs.keys() {
+            let (x, y) = mgp_graph::ids::unpack_pair(key);
+            partners.entry(x.0).or_default().push(y.0);
+            partners.entry(y.0).or_default().push(x.0);
+        }
+        for v in partners.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        VectorIndex {
+            n_metagraphs: keep.len(),
+            transform: self.transform,
+            node_vecs,
+            pair_vecs,
+            partners,
+        }
+    }
+}
+
+/// Sparse · dense dot product.
+#[inline]
+pub fn dot(sparse: &[(u32, f64)], w: &[f64]) -> f64 {
+    sparse.iter().map(|&(i, c)| c * w[i as usize]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::FxHashMap as Map;
+
+    fn counts(node: &[(u32, u64)], pairs: &[((u32, u32), u64)]) -> AnchorCounts {
+        let mut per_node: Map<u32, u64> = Map::default();
+        for &(x, c) in node {
+            per_node.insert(x, c);
+        }
+        let mut per_pair: Map<u64, u64> = Map::default();
+        for &((x, y), c) in pairs {
+            per_pair.insert(pack_pair(NodeId(x), NodeId(y)), c);
+        }
+        AnchorCounts {
+            per_node,
+            per_pair,
+            n_instances: 0,
+        }
+    }
+
+    fn sample_index(transform: Transform) -> VectorIndex {
+        // M0: pairs (1,2) count 3; M1: pairs (1,3) count 2.
+        let c0 = counts(&[(1, 3), (2, 3)], &[((1, 2), 3)]);
+        let c1 = counts(&[(1, 2), (3, 2)], &[((1, 3), 2)]);
+        VectorIndex::from_counts(&[c0, c1], transform)
+    }
+
+    #[test]
+    fn vectors_and_dots_raw() {
+        let idx = sample_index(Transform::Raw);
+        assert_eq!(idx.n_metagraphs(), 2);
+        assert_eq!(idx.node_vec(NodeId(1)), &[(0, 3.0), (1, 2.0)]);
+        assert_eq!(idx.pair_vec(NodeId(2), NodeId(1)), &[(0, 3.0)]);
+        let w = vec![0.5, 1.0];
+        assert_eq!(idx.dot_node(NodeId(1), &w), 3.5);
+        assert_eq!(idx.dot_pair(NodeId(1), NodeId(3), &w), 2.0);
+        assert_eq!(idx.dot_pair(NodeId(2), NodeId(3), &w), 0.0);
+    }
+
+    #[test]
+    fn log_transform_applied() {
+        let idx = sample_index(Transform::Log1p);
+        let v = idx.node_vec(NodeId(1));
+        assert!((v[0].1 - 4.0f64.ln()).abs() < 1e-12);
+        assert!((v[1].1 - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_transform_is_presence() {
+        let idx = sample_index(Transform::Binary);
+        assert_eq!(idx.node_vec(NodeId(1)), &[(0, 1.0), (1, 1.0)]);
+        assert_eq!(idx.pair_vec(NodeId(1), NodeId(2)), &[(0, 1.0)]);
+        assert_eq!(Transform::Binary.apply(0), 0.0);
+        assert_eq!(Transform::Binary.apply(100), 1.0);
+    }
+
+    #[test]
+    fn partners_list() {
+        let idx = sample_index(Transform::Raw);
+        assert_eq!(idx.partners(NodeId(1)), &[2, 3]);
+        assert_eq!(idx.partners(NodeId(2)), &[1]);
+        assert_eq!(idx.partners(NodeId(9)), &[] as &[u32]);
+        assert_eq!(idx.n_nodes(), 3);
+        assert_eq!(idx.n_pairs(), 2);
+    }
+
+    #[test]
+    fn restrict_remaps_coordinates() {
+        let idx = sample_index(Transform::Raw);
+        let sub = idx.restrict(&[1]);
+        assert_eq!(sub.n_metagraphs(), 1);
+        assert_eq!(sub.node_vec(NodeId(1)), &[(0, 2.0)]);
+        // Node 2 only occurred in M0 → absent from the restriction.
+        assert!(sub.node_vec(NodeId(2)).is_empty());
+        assert_eq!(sub.partners(NodeId(1)), &[3]);
+        assert!(sub.partners(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn restrict_identity() {
+        let idx = sample_index(Transform::Raw);
+        let same = idx.restrict(&[0, 1]);
+        assert_eq!(same.n_metagraphs(), 2);
+        assert_eq!(same.node_vec(NodeId(1)), idx.node_vec(NodeId(1)));
+        assert_eq!(same.partners(NodeId(1)), idx.partners(NodeId(1)));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = VectorIndex::from_counts(&[], Transform::Log1p);
+        assert_eq!(idx.n_metagraphs(), 0);
+        assert!(idx.node_vec(NodeId(0)).is_empty());
+        assert_eq!(idx.n_nodes(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let idx = sample_index(Transform::Log1p);
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: VectorIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_metagraphs(), idx.n_metagraphs());
+        assert_eq!(back.node_vec(NodeId(1)), idx.node_vec(NodeId(1)));
+        assert_eq!(back.partners(NodeId(1)), idx.partners(NodeId(1)));
+    }
+
+    #[test]
+    fn dot_helper() {
+        assert_eq!(dot(&[(0, 2.0), (2, 3.0)], &[1.0, 9.0, 0.5]), 3.5);
+        assert_eq!(dot(&[], &[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The accuracy baselines of Sect. V-B.
+//!
+//! * **MPP** — metapath-based proximity with the same supervised learner,
+//!   i.e. MGP restricted to path-shaped metagraphs (what PathSim-style
+//!   features can express, made learnable);
+//! * **MGP-U** — MGP with uniform weights (no differentiation of
+//!   metagraphs, hence of classes);
+//! * **MGP-B** — MGP with the single best-performing metagraph, selected on
+//!   the training queries.
+//!
+//! SRW lives in its own module ([`crate::srw`]).
+
+use mgp_eval::ndcg_at;
+use mgp_graph::NodeId;
+use mgp_index::VectorIndex;
+use mgp_metagraph::{is_metapath, Metagraph};
+
+/// Indices of the path-shaped metagraphs — the MPP feature space and the
+/// dual-stage seed set `K₀`.
+pub fn metapath_indices(metagraphs: &[Metagraph]) -> Vec<usize> {
+    metagraphs
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| is_metapath(m))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// MGP-U: uniform weights.
+pub fn uniform_weights(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+/// A one-hot weight vector (all mass on metagraph `i`).
+pub fn single_weights(n: usize, i: usize) -> Vec<f64> {
+    let mut w = vec![0.0; n];
+    w[i] = 1.0;
+    w
+}
+
+/// MGP-B: selects the single metagraph whose one-hot weights achieve the
+/// best mean NDCG@k on the training queries. Returns its index (0 when the
+/// index is empty).
+pub fn best_single_metagraph(
+    idx: &VectorIndex,
+    train_queries: &[NodeId],
+    mut positives: impl FnMut(NodeId) -> Vec<NodeId>,
+    k: usize,
+) -> usize {
+    let n = idx.n_metagraphs();
+    if n == 0 {
+        return 0;
+    }
+    // Pre-fetch positives once.
+    let pos: Vec<(NodeId, Vec<NodeId>)> = train_queries
+        .iter()
+        .map(|&q| (q, positives(q)))
+        .filter(|(_, p)| !p.is_empty())
+        .collect();
+    let mut best = (0usize, f64::MIN);
+    for i in 0..n {
+        let w = single_weights(n, i);
+        let mut sum = 0.0;
+        for (q, rel) in &pos {
+            let ranking = crate::mgp::rank(idx, *q, &w, k);
+            sum += ndcg_at(&ranking, rel, k);
+        }
+        if sum > best.1 {
+            best = (i, sum);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::ids::pack_pair;
+    use mgp_graph::TypeId;
+    use mgp_index::Transform;
+    use mgp_matching::AnchorCounts;
+
+    #[test]
+    fn metapath_indices_filter() {
+        const U: TypeId = TypeId(0);
+        const A: TypeId = TypeId(1);
+        let pats = vec![
+            Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap(), // path
+            Metagraph::from_edges(&[U, A, A, U], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+            Metagraph::from_edges(&[U, A], &[(0, 1)]).unwrap(), // path
+        ];
+        assert_eq!(metapath_indices(&pats), vec![0, 2]);
+    }
+
+    #[test]
+    fn uniform_and_single() {
+        assert_eq!(uniform_weights(3), vec![1.0, 1.0, 1.0]);
+        assert_eq!(single_weights(3, 1), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn best_single_picks_the_signal() {
+        // M0 connects q to its positive; M1 to a negative.
+        let mut c0 = AnchorCounts::default();
+        c0.per_pair.insert(pack_pair(NodeId(0), NodeId(1)), 2);
+        c0.per_node.insert(0, 2);
+        c0.per_node.insert(1, 2);
+        let mut c1 = AnchorCounts::default();
+        c1.per_pair.insert(pack_pair(NodeId(0), NodeId(2)), 2);
+        c1.per_node.insert(0, 2);
+        c1.per_node.insert(2, 2);
+        let idx = VectorIndex::from_counts(&[c0, c1], Transform::Raw);
+        let best = best_single_metagraph(&idx, &[NodeId(0)], |_| vec![NodeId(1)], 10);
+        assert_eq!(best, 0);
+        let best = best_single_metagraph(&idx, &[NodeId(0)], |_| vec![NodeId(2)], 10);
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn empty_index_degenerate() {
+        let idx = VectorIndex::from_counts(&[], Transform::Raw);
+        assert_eq!(
+            best_single_metagraph(&idx, &[NodeId(0)], |_| vec![NodeId(1)], 10),
+            0
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Training example sampling.
+//!
+//! An example is a triple `(q, x, y)`: for query `q`, node `x` should rank
+//! above node `y` (Sect. III-B, following pairwise learning-to-rank). The
+//! paper generates them from training queries so that "`q` and `x` belong
+//! to the desired class while `q` and `y` do not" (Sect. V-A).
+
+use mgp_graph::NodeId;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A pairwise ranking example: `x` ranks above `y` w.r.t. `q`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainingExample {
+    /// Query node.
+    pub q: NodeId,
+    /// Positive node (same class as `q`).
+    pub x: NodeId,
+    /// Negative node (not of the class w.r.t. `q`).
+    pub y: NodeId,
+}
+
+/// Samples `n` training triples with purely random negatives.
+///
+/// * `train_queries` — the training split's query nodes;
+/// * `positives(q)` — the class answers for `q`;
+/// * `is_positive(q, v)` — membership test (used to reject negatives);
+/// * `anchors` — all candidate anchor nodes to draw negatives from.
+///
+/// Returns fewer than `n` examples only if sampling keeps failing (e.g. a
+/// class covering all anchors), bounded by a retry budget.
+pub fn sample_examples(
+    train_queries: &[NodeId],
+    positives: impl FnMut(NodeId) -> Vec<NodeId>,
+    is_positive: impl FnMut(NodeId, NodeId) -> bool,
+    anchors: &[NodeId],
+    n: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<TrainingExample> {
+    sample_examples_with_pool(
+        train_queries,
+        positives,
+        is_positive,
+        anchors,
+        |_| Vec::new(),
+        0.0,
+        n,
+        rng,
+    )
+}
+
+/// Samples `n` training triples, drawing a fraction of negatives from a
+/// per-query *hard-negative pool*.
+///
+/// The paper's supervision comes from users labelling the classes of their
+/// own connections (Sect. III-B), so a negative `y` is typically someone
+/// *related to* `q` — just not in the desired class — rather than a random
+/// stranger. With purely random negatives the likelihood saturates on easy
+/// pairs and stops informing the weights (any single shared metagraph
+/// separates a positive from a stranger); hard negatives force the learner
+/// to tell the desired class apart from *other* relationships, which is the
+/// actual search task. `hard_pool(q)` typically returns the query's index
+/// partners; `hard_frac` is the probability of drawing from it.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_examples_with_pool(
+    train_queries: &[NodeId],
+    mut positives: impl FnMut(NodeId) -> Vec<NodeId>,
+    mut is_positive: impl FnMut(NodeId, NodeId) -> bool,
+    anchors: &[NodeId],
+    mut hard_pool: impl FnMut(NodeId) -> Vec<NodeId>,
+    hard_frac: f64,
+    n: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<TrainingExample> {
+    let mut out = Vec::with_capacity(n);
+    if train_queries.is_empty() || anchors.len() < 2 {
+        return out;
+    }
+    let mut budget = n * 20;
+    while out.len() < n && budget > 0 {
+        budget -= 1;
+        let q = *train_queries.choose(rng).expect("non-empty");
+        let pos = positives(q);
+        if pos.is_empty() {
+            continue;
+        }
+        let x = pos[rng.random_range(0..pos.len())];
+        let y = if hard_frac > 0.0 && rng.random_bool(hard_frac) {
+            let pool = hard_pool(q);
+            if pool.is_empty() {
+                anchors[rng.random_range(0..anchors.len())]
+            } else {
+                pool[rng.random_range(0..pool.len())]
+            }
+        } else {
+            anchors[rng.random_range(0..anchors.len())]
+        };
+        if y == q || y == x || is_positive(q, y) {
+            continue;
+        }
+        out.push(TrainingExample { q, x, y });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn examples_satisfy_invariants() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let queries: Vec<NodeId> = vec![NodeId(0), NodeId(1)];
+        let anchors: Vec<NodeId> = (0..10).map(NodeId).collect();
+        // Positives: q0 ↔ {1, 2}; q1 ↔ {0}.
+        let pos = |q: NodeId| -> Vec<NodeId> {
+            match q.0 {
+                0 => vec![NodeId(1), NodeId(2)],
+                1 => vec![NodeId(0)],
+                _ => vec![],
+            }
+        };
+        let is_pos = |q: NodeId, v: NodeId| pos(q).contains(&v);
+        let ex = sample_examples(&queries, pos, is_pos, &anchors, 50, &mut rng);
+        assert_eq!(ex.len(), 50);
+        for e in &ex {
+            assert!(queries.contains(&e.q));
+            assert!(is_pos(e.q, e.x), "x must be positive");
+            assert!(!is_pos(e.q, e.y), "y must be negative");
+            assert_ne!(e.y, e.q);
+            assert_ne!(e.y, e.x);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_nothing() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ex = sample_examples(&[], |_| vec![], |_, _| false, &[], 10, &mut rng);
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn budget_bounds_hopeless_sampling() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Every anchor is positive → negatives cannot be drawn.
+        let queries = vec![NodeId(0)];
+        let anchors: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let ex = sample_examples(
+            &queries,
+            |_| (1..5).map(NodeId).collect(),
+            |_, _| true,
+            &anchors,
+            10,
+            &mut rng,
+        );
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let queries = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let anchors: Vec<NodeId> = (0..20).map(NodeId).collect();
+        let pos = |q: NodeId| vec![NodeId((q.0 + 1) % 3)];
+        let run = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            sample_examples(
+                &queries,
+                pos,
+                |q, v| pos(q).contains(&v),
+                &anchors,
+                20,
+                &mut rng,
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

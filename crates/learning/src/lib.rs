@@ -1,0 +1,47 @@
+//! # mgp-learning — metagraph-based proximity and its supervised learning
+//!
+//! The paper's central contribution (Sect. III): a *family* of proximity
+//! measures parameterised by a characteristic weight vector `w` over
+//! metagraphs,
+//!
+//! ```text
+//! π(x, y; w) = 2 (m_xy · w) / (m_x · w + m_y · w)        (Def. 3, "MGP")
+//! ```
+//!
+//! and a supervised procedure that learns the `w` best matching a desired
+//! semantic class from pairwise ranking examples `(q, x, y)` — "`x` should
+//! rank above `y` for query `q`" — by maximising a sigmoid log-likelihood
+//! (Eq. 4–5) with projected gradient ascent (Eq. 6).
+//!
+//! Modules:
+//!
+//! * [`mgp`] — the measure itself plus ranking, on top of a
+//!   [`mgp_index::VectorIndex`];
+//! * [`examples`] — sampling training triples from ground-truth labels;
+//! * [`trainer`] — the gradient-ascent optimiser with learning-rate decay,
+//!   convergence detection and random restarts (paper's Sect. V-B setup);
+//! * [`dual_stage`] — the candidate heuristic `H` (Eq. 7): structural
+//!   similarity to high-weight seeds predicts functional usefulness
+//!   (the full two-stage pipeline lives in `mgp-core`, which owns
+//!   matching);
+//! * [`baselines`] — MPP (metapaths only), MGP-U (uniform weights), MGP-B
+//!   (single best metagraph);
+//! * [`srw`] — Supervised Random Walks [Backstrom & Leskovec, WSDM 2011]:
+//!   personalised PageRank with edge strengths learned from node-type
+//!   features, the paper's strongest external baseline.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod dual_stage;
+pub mod examples;
+pub mod explain;
+pub mod mgp;
+pub mod srw;
+pub mod trainer;
+
+pub use dual_stage::{candidate_ranking, functional_similarity, reverse_candidate_ranking};
+pub use examples::{sample_examples, sample_examples_with_pool, TrainingExample};
+pub use explain::{explain, Contribution};
+pub use mgp::{proximity, rank};
+pub use trainer::{train, TrainConfig, TrainedModel};

@@ -1,0 +1,179 @@
+//! Anchor co-occurrence counting: the raw material of the metagraph
+//! vectors `m_x` and `m_xy` (Eq. 1–2).
+//!
+//! For a metagraph `Mᵢ` with symmetric anchor positions, each instance `S`
+//! contributes:
+//!
+//! * `m_xy[i] += 1` for every unordered anchor pair `{x, y}` occupying
+//!   symmetric positions of `S` (`ContainsSym(S, x, y)`),
+//! * `m_x[i] += 1` for every anchor node `x` occupying a symmetric anchor
+//!   position of `S` (paired with *some* other anchor).
+//!
+//! The pair set of an instance is invariant under the pattern's
+//! automorphisms (conjugation maps symmetric pairs to symmetric pairs), so
+//! any matcher can feed this accumulator: every instance is visited exactly
+//! `multiplicity` times with identical contributions, and the totals are
+//! divided once at the end.
+
+use crate::pattern::PatternInfo;
+use crate::Matcher;
+use mgp_graph::ids::pack_pair;
+use mgp_graph::{FxHashMap, Graph, NodeId};
+
+/// Per-metagraph anchor counts: the `i`-th coordinates of all `m_x` and
+/// `m_xy` vectors at once.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnchorCounts {
+    /// `x → m_x[i]` (only anchors appearing in some symmetric pair).
+    pub per_node: FxHashMap<u32, u64>,
+    /// `pack_pair(x, y) → m_xy[i]`.
+    pub per_pair: FxHashMap<u64, u64>,
+    /// `|I(Mᵢ)|` — number of instances seen.
+    pub n_instances: u64,
+}
+
+impl AnchorCounts {
+    /// `m_x[i]` for a node (0 when absent).
+    pub fn node_count(&self, x: NodeId) -> u64 {
+        self.per_node.get(&x.0).copied().unwrap_or(0)
+    }
+
+    /// `m_xy[i]` for an unordered pair (0 when absent).
+    pub fn pair_count(&self, x: NodeId, y: NodeId) -> u64 {
+        self.per_pair.get(&pack_pair(x, y)).copied().unwrap_or(0)
+    }
+}
+
+/// Matches `p` on `g` with `matcher` and accumulates anchor counts.
+pub fn anchor_counts(matcher: &dyn Matcher, g: &Graph, p: &PatternInfo) -> AnchorCounts {
+    let mut per_node: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut per_pair: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut visits = 0u64;
+
+    // Scratch buffers reused across visits (perf-book: workhorse
+    // collections outside the loop).
+    let mut pair_buf: Vec<u64> = Vec::with_capacity(p.anchor_pairs.len());
+    let mut node_buf: Vec<u32> = Vec::with_capacity(2 * p.anchor_pairs.len());
+
+    matcher.enumerate(g, p, &mut |assign| {
+        visits += 1;
+        pair_buf.clear();
+        node_buf.clear();
+        for &(u, v) in &p.anchor_pairs {
+            let (x, y) = (assign[u], assign[v]);
+            let key = pack_pair(x, y);
+            if !pair_buf.contains(&key) {
+                pair_buf.push(key);
+            }
+            for n in [x.0, y.0] {
+                if !node_buf.contains(&n) {
+                    node_buf.push(n);
+                }
+            }
+        }
+        for &key in &pair_buf {
+            *per_pair.entry(key).or_insert(0) += 1;
+        }
+        for &n in &node_buf {
+            *per_node.entry(n).or_insert(0) += 1;
+        }
+        true
+    });
+
+    let mult = matcher.multiplicity(p).max(1);
+    if mult > 1 {
+        for v in per_node.values_mut() {
+            debug_assert_eq!(*v % mult, 0);
+            *v /= mult;
+        }
+        for v in per_pair.values_mut() {
+            debug_assert_eq!(*v % mult, 0);
+            *v /= mult;
+        }
+        debug_assert_eq!(visits % mult, 0);
+    }
+    AnchorCounts {
+        per_node,
+        per_pair,
+        n_instances: visits / mult,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuickSi, SymIso};
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+
+    fn star(n: usize) -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let s = b.add_node(school, "s");
+        let users: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let u = b.add_node(user, format!("u{i}"));
+                b.add_edge(u, s).unwrap();
+                u
+            })
+            .collect();
+        (b.build(), users)
+    }
+
+    #[test]
+    fn pair_and_node_counts_on_star() {
+        let (g, users) = star(3);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let c = anchor_counts(&SymIso::new(), &g, &p);
+        assert_eq!(c.n_instances, 3); // C(3,2)
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert_eq!(c.pair_count(users[i], users[j]), 1);
+            }
+            // each user participates in 2 instances
+            assert_eq!(c.node_count(users[i]), 2);
+        }
+    }
+
+    #[test]
+    fn baseline_counts_match_symiso() {
+        let (g, _) = star(5);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let a = anchor_counts(&SymIso::new(), &g, &p);
+        let b = anchor_counts(&QuickSi, &g, &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn asymmetric_pattern_contributes_nothing() {
+        let (g, _) = star(3);
+        let m = Metagraph::from_edges(&[U, S], &[(0, 1)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let c = anchor_counts(&SymIso::new(), &g, &p);
+        assert!(c.per_pair.is_empty());
+        assert!(c.per_node.is_empty());
+        assert_eq!(c.n_instances, 3); // instances exist, just no anchor pairs
+    }
+
+    #[test]
+    fn mxy_bounded_by_mx() {
+        let (g, users) = star(4);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let c = anchor_counts(&SymIso::new(), &g, &p);
+        for &x in &users {
+            for &y in &users {
+                if x < y {
+                    assert!(c.pair_count(x, y) <= c.node_count(x));
+                    assert!(c.pair_count(x, y) <= c.node_count(y));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The shared backtracking framework (Sect. IV-A).
+//!
+//! All node-at-a-time matchers are instances of one engine: given a matching
+//! order `u₁, u₂, …` over pattern nodes, extend a partial assignment `D_k`
+//! one node at a time, generating the candidate set `C(u_{k+1} | D_k)` from
+//! the already-matched pattern neighbour with the smallest image degree, and
+//! backtracking when a candidate set is empty. Matchers differ only in the
+//! order they use and in optional per-node candidate pre-filters.
+
+use crate::pattern::PatternInfo;
+use mgp_graph::{Graph, NodeId};
+
+/// Visitor invoked per enumerated assignment; return `false` to abort the
+/// whole enumeration.
+pub type Visitor<'a> = dyn FnMut(&[NodeId]) -> bool + 'a;
+
+/// Node-at-a-time backtracking over the pattern in the given `order`.
+///
+/// `prefilter`, when provided, restricts the candidates of pattern node `u`
+/// to graph nodes for which `prefilter(u, v)` is true (used by TurboISO-lite
+/// for typed-degree filtering). Returns `false` if the visitor aborted.
+pub fn backtrack_embeddings(
+    g: &Graph,
+    p: &PatternInfo,
+    order: &[usize],
+    prefilter: Option<&dyn Fn(usize, NodeId) -> bool>,
+    visit: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    let n = p.n_nodes();
+    if n == 0 {
+        return true;
+    }
+    debug_assert_eq!(order.len(), n);
+    let mut assign: Vec<NodeId> = vec![NodeId(0); n];
+    let mut used = vec![false; g.n_nodes()];
+    descend(g, p, order, prefilter, 0, &mut assign, &mut used, visit)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    g: &Graph,
+    p: &PatternInfo,
+    order: &[usize],
+    prefilter: Option<&dyn Fn(usize, NodeId) -> bool>,
+    depth: usize,
+    assign: &mut Vec<NodeId>,
+    used: &mut Vec<bool>,
+    visit: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    let m = &p.metagraph;
+    if depth == order.len() {
+        return visit(assign);
+    }
+    let u = order[depth];
+    let ty = m.node_type(u);
+
+    // Matched pattern neighbours of u.
+    let matched_neighbors: Vec<usize> = order[..depth]
+        .iter()
+        .copied()
+        .filter(|&w| m.has_edge(u, w))
+        .collect();
+
+    // Candidate source: the typed neighbours of the matched image with the
+    // smallest degree, or all nodes of the type when u is a fresh root.
+    let candidates: &[NodeId] = if let Some(&pivot) = matched_neighbors
+        .iter()
+        .min_by_key(|&&w| g.degree(assign[w]))
+    {
+        g.neighbors_of_type(assign[pivot], ty)
+    } else {
+        g.nodes_of_type(ty)
+    };
+
+    for &v in candidates {
+        if used[v.index()] {
+            continue;
+        }
+        if let Some(f) = prefilter {
+            if !f(u, v) {
+                continue;
+            }
+        }
+        // All pattern edges into the matched part must exist in G.
+        if !matched_neighbors
+            .iter()
+            .all(|&w| g.has_edge(v, assign[w]))
+        {
+            continue;
+        }
+        assign[u] = v;
+        used[v.index()] = true;
+        let keep_going = descend(g, p, order, prefilter, depth + 1, assign, used, visit);
+        used[v.index()] = false;
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+/// Builds the typed-degree requirement table of a pattern: `req[u]` lists
+/// `(type, minimum count)` pairs — a graph node can match pattern node `u`
+/// only if it has at least `count` neighbours of each `type`.
+pub fn typed_degree_requirements(p: &PatternInfo) -> Vec<Vec<(mgp_graph::TypeId, usize)>> {
+    let m = &p.metagraph;
+    (0..m.n_nodes())
+        .map(|u| {
+            let mut counts: Vec<(mgp_graph::TypeId, usize)> = Vec::new();
+            for v in m.neighbors(u) {
+                let ty = m.node_type(v);
+                match counts.iter_mut().find(|(t, _)| *t == ty) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((ty, 1)),
+                }
+            }
+            counts
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+
+    /// Two users sharing one address; one loner user with its own address.
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let addr = b.add_type("address");
+        let u1 = b.add_node(user, "u1");
+        let u2 = b.add_node(user, "u2");
+        let u3 = b.add_node(user, "u3");
+        let a1 = b.add_node(addr, "a1");
+        let a2 = b.add_node(addr, "a2");
+        b.add_edge(u1, a1).unwrap();
+        b.add_edge(u2, a1).unwrap();
+        b.add_edge(u3, a2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn enumerates_all_embeddings_of_shared_address() {
+        let g = toy();
+        let m = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut found = Vec::new();
+        backtrack_embeddings(&g, &p, &[0, 1, 2], None, &mut |a| {
+            found.push(a.to_vec());
+            true
+        });
+        // Embeddings: (u1,a1,u2) and (u2,a1,u1). u3/a2 has no partner.
+        assert_eq!(found.len(), 2);
+        for a in &found {
+            assert!(g.has_edge(a[0], a[1]));
+            assert!(g.has_edge(a[1], a[2]));
+            assert_ne!(a[0], a[2]);
+        }
+    }
+
+    #[test]
+    fn early_abort() {
+        let g = toy();
+        let m = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut count = 0;
+        let completed = backtrack_embeddings(&g, &p, &[0, 1, 2], None, &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 1);
+        assert!(!completed);
+    }
+
+    #[test]
+    fn prefilter_restricts() {
+        let g = toy();
+        let m = Metagraph::from_edges(&[U, A], &[(0, 1)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut n_all = 0;
+        backtrack_embeddings(&g, &p, &[0, 1], None, &mut |_| {
+            n_all += 1;
+            true
+        });
+        assert_eq!(n_all, 3); // three user-address edges
+        let only_u1 = |u: usize, v: NodeId| u != 0 || v == NodeId(0);
+        let mut n_filtered = 0;
+        backtrack_embeddings(&g, &p, &[0, 1], Some(&only_u1), &mut |_| {
+            n_filtered += 1;
+            true
+        });
+        assert_eq!(n_filtered, 1);
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        // Pattern user-addr-user on a graph where one address has one user:
+        // no embedding may reuse the same user twice.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let addr = b.add_type("address");
+        let u1 = b.add_node(user, "u1");
+        let a1 = b.add_node(addr, "a1");
+        b.add_edge(u1, a1).unwrap();
+        let g = b.build();
+        let m = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut found = 0;
+        backtrack_embeddings(&g, &p, &[0, 1, 2], None, &mut |_| {
+            found += 1;
+            true
+        });
+        assert_eq!(found, 0);
+    }
+
+    #[test]
+    fn typed_degree_requirement_table() {
+        // M1: users adjacent to one school and one major each.
+        let s = TypeId(1);
+        let mj = TypeId(2);
+        let m =
+            Metagraph::from_edges(&[U, U, s, mj], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let req = typed_degree_requirements(&p);
+        assert_eq!(req[0], vec![(s, 1), (mj, 1)]);
+        assert_eq!(req[2], vec![(U, 2)]);
+    }
+
+    #[test]
+    fn empty_pattern_no_visits() {
+        let g = toy();
+        let m = Metagraph::new(&[]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut visited = false;
+        backtrack_embeddings(&g, &p, &[], None, &mut |_| {
+            visited = true;
+            true
+        });
+        assert!(!visited);
+    }
+}

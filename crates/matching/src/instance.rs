@@ -1,0 +1,216 @@
+//! Instance semantics: from enumerated assignments to the instance set
+//! `I(M)` of Def. 2.
+//!
+//! An instance is the *image subgraph* of an embedding; two embeddings have
+//! the same image iff they differ by an automorphism of the pattern. The
+//! canonical representative of an instance is therefore the
+//! lexicographically smallest assignment vector over the automorphism group,
+//! which gives a total identity usable for deduplication and cross-matcher
+//! agreement tests.
+
+use crate::pattern::PatternInfo;
+use crate::Matcher;
+use mgp_graph::{Graph, NodeId};
+
+/// A canonicalised instance of a metagraph: the lexicographically smallest
+/// embedding among all embeddings with the same image subgraph.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instance {
+    /// Canonical assignment, indexed by pattern node.
+    pub assignment: Vec<NodeId>,
+}
+
+impl Instance {
+    /// Canonicalises an assignment with respect to the pattern's
+    /// automorphism group.
+    pub fn canonical(assignment: &[NodeId], p: &PatternInfo) -> Self {
+        let mut best: Option<Vec<NodeId>> = None;
+        for perm in p.automorphisms.iter() {
+            let cand: Vec<NodeId> = perm.iter().map(|&s| assignment[s as usize]).collect();
+            match &mut best {
+                None => best = Some(cand),
+                Some(b) => {
+                    if cand < *b {
+                        *b = cand;
+                    }
+                }
+            }
+        }
+        Instance {
+            assignment: best.unwrap_or_default(),
+        }
+    }
+
+    /// The instance's node set, sorted ascending.
+    pub fn nodes_sorted(&self) -> Vec<NodeId> {
+        let mut v = self.assignment.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Counts enumerated assignments (embeddings for the baselines, canonical
+/// representatives for SymISO).
+pub fn count_embeddings(matcher: &dyn Matcher, g: &Graph, p: &PatternInfo) -> u64 {
+    let mut n = 0u64;
+    matcher.enumerate(g, p, &mut |_| {
+        n += 1;
+        true
+    });
+    n
+}
+
+/// Counts instances `|I(M)|` exactly: enumerated assignments divided by the
+/// matcher's per-instance multiplicity.
+pub fn count_instances(matcher: &dyn Matcher, g: &Graph, p: &PatternInfo) -> u64 {
+    let total = count_embeddings(matcher, g, p);
+    let mult = matcher.multiplicity(p).max(1);
+    debug_assert_eq!(
+        total % mult,
+        0,
+        "{}: enumerated {total} not divisible by multiplicity {mult}",
+        matcher.name()
+    );
+    total / mult
+}
+
+/// Materialises the instance set, canonicalised and deduplicated. Intended
+/// for tests and small workloads; production counting paths stay streaming.
+pub fn collect_instances(matcher: &dyn Matcher, g: &Graph, p: &PatternInfo) -> Vec<Instance> {
+    let mut out: Vec<Instance> = Vec::new();
+    matcher.enumerate(g, p, &mut |a| {
+        out.push(Instance::canonical(a, p));
+        true
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuickSi, SymIso, TurboLite, Vf2};
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+    const M: TypeId = TypeId(2);
+
+    fn campus() -> Graph {
+        // 2 schools, 2 majors, 6 users with mixed affiliations.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let major = b.add_type("major");
+        let s1 = b.add_node(school, "s1");
+        let s2 = b.add_node(school, "s2");
+        let m1 = b.add_node(major, "m1");
+        let m2 = b.add_node(major, "m2");
+        let schools = [s1, s1, s1, s2, s2, s2];
+        let majors = [m1, m1, m2, m2, m1, m2];
+        for i in 0..6 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, schools[i]).unwrap();
+            b.add_edge(u, majors[i]).unwrap();
+        }
+        b.build()
+    }
+
+    fn patterns() -> Vec<Metagraph> {
+        vec![
+            // user-school-user
+            Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap(),
+            // user-major-user
+            Metagraph::from_edges(&[U, M, U], &[(0, 1), (1, 2)]).unwrap(),
+            // M1: users sharing school AND major
+            Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+            // 5-node chain user-school-user-major-user
+            Metagraph::from_edges(&[U, S, U, M, U], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+                .unwrap(),
+            // asymmetric: user-school
+            Metagraph::from_edges(&[U, S], &[(0, 1)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn all_matchers_agree_on_instance_sets() {
+        let g = campus();
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(QuickSi),
+            Box::new(Vf2),
+            Box::new(TurboLite),
+            Box::new(SymIso::new()),
+            Box::new(SymIso::random_order(3)),
+        ];
+        for m in patterns() {
+            let p = PatternInfo::new(m.clone(), U);
+            let reference = collect_instances(&QuickSi, &g, &p);
+            for matcher in &matchers {
+                let got = collect_instances(matcher.as_ref(), &g, &p);
+                assert_eq!(
+                    got,
+                    reference,
+                    "matcher {} disagrees on {}",
+                    matcher.name(),
+                    m.brief()
+                );
+                assert_eq!(
+                    count_instances(matcher.as_ref(), &g, &p),
+                    reference.len() as u64,
+                    "count mismatch for {} on {}",
+                    matcher.name(),
+                    m.brief()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_automorphism_invariant() {
+        let g = campus();
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut seen: Vec<(Vec<NodeId>, Instance)> = Vec::new();
+        QuickSi.enumerate(&g, &p, &mut |a| {
+            seen.push((a.to_vec(), Instance::canonical(a, &p)));
+            true
+        });
+        // The two embeddings (x,s,y) and (y,s,x) must canonicalise equally.
+        for (a, inst) in &seen {
+            let flipped = vec![a[2], a[1], a[0]];
+            let inst2 = Instance::canonical(&flipped, &p);
+            assert_eq!(*inst, inst2);
+        }
+    }
+
+    #[test]
+    fn instance_node_set_sorted() {
+        let inst = Instance {
+            assignment: vec![NodeId(9), NodeId(2), NodeId(5)],
+        };
+        assert_eq!(
+            inst.nodes_sorted(),
+            vec![NodeId(2), NodeId(5), NodeId(9)]
+        );
+    }
+
+    #[test]
+    fn known_counts_on_campus() {
+        let g = campus();
+        // user-school-user: school1 {u0,u1,u2} → 3 pairs; school2 → 3. Total 6.
+        let p = PatternInfo::new(
+            Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap(),
+            U,
+        );
+        assert_eq!(count_instances(&SymIso::new(), &g, &p), 6);
+        // M1 shared school+major: pairs sharing both: (u0,u1) via s1/m1,
+        // (u3,u5) via s2/m2. Total 2.
+        let p = PatternInfo::new(
+            Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+            U,
+        );
+        assert_eq!(count_instances(&SymIso::new(), &g, &p), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! # mgp-matching — metagraph matching algorithms
+//!
+//! Computing the instance set `I(M)` of a metagraph `M` on an object graph
+//! `G` — *matching* `M` — is the dominant offline cost of semantic proximity
+//! search (Table III of the paper: 9 870 s on LinkedIn vs 11.6 s of
+//! training). This crate implements the paper's matching stack (Sect. IV):
+//!
+//! * a shared backtracking [`engine`] (Sect. IV-A) with pluggable node
+//!   orderings and candidate filters,
+//! * three baselines in the style of the paper's comparison set:
+//!   [`QuickSi`] (selectivity-ordered backtracking, after Shang et al.),
+//!   [`Vf2`] (classic frontier-candidate propagation), and [`TurboLite`]
+//!   (typed-degree candidate filtering, after Han et al.) — all enumerate
+//!   *embeddings*,
+//! * [`SymIso`] (Sect. IV-C, Alg. 2–3): decomposes the pattern into blocks
+//!   of symmetric components, matches one component per block and reuses its
+//!   candidate matchings for the mirrors, choosing unordered *combinations*
+//!   — enumerating each instance once (up to the pattern's residual
+//!   symmetry factor, which is divided out),
+//! * [`order`]: the estimated-instance matching-order heuristic of
+//!   Sect. IV-C, plus the random order used by the SymISO-R ablation,
+//! * [`instance`]: instance semantics (Def. 2) — canonicalisation of
+//!   embeddings into instances and exact instance counting for any matcher,
+//! * [`anchor`]: accumulation of the anchor-pair co-occurrence counts that
+//!   become the metagraph vectors `m_x`, `m_xy` (Eq. 1–2),
+//! * [`parallel`]: fan a metagraph set across threads with crossbeam.
+//!
+//! ## Embeddings vs instances
+//!
+//! An *embedding* is a type- and edge-preserving injection `V_M → V`. An
+//! *instance* (Def. 2) is the image subgraph; `|Aut(M)|` embeddings share
+//! one instance. Baseline matchers enumerate embeddings; instance counts
+//! divide by `|Aut(M)|` (the group acts freely). SymISO enumerates one
+//! assignment per instance directly (up to the residual factor `r`, usually
+//! 1 — see [`mgp_metagraph::Decomposition`]).
+
+#![warn(missing_docs)]
+
+pub mod anchor;
+pub mod engine;
+pub mod instance;
+pub mod order;
+pub mod parallel;
+pub mod pattern;
+pub mod quicksi;
+pub mod symiso;
+pub mod turbo;
+pub mod vf2;
+
+pub use anchor::AnchorCounts;
+pub use instance::{collect_instances, count_embeddings, count_instances, Instance};
+pub use pattern::PatternInfo;
+pub use quicksi::QuickSi;
+pub use symiso::SymIso;
+pub use turbo::TurboLite;
+pub use vf2::Vf2;
+
+use mgp_graph::{Graph, NodeId};
+
+/// A metagraph-matching algorithm.
+///
+/// Implementations enumerate assignments `pattern node → graph node`
+/// through a visitor; [`Matcher::multiplicity`] says how many enumerated
+/// assignments correspond to one instance, letting callers convert counts.
+pub trait Matcher: Sync {
+    /// Short stable name, e.g. `"SymISO"`, used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Enumerates assignments. The visitor receives the assignment indexed
+    /// by pattern node and returns `true` to continue, `false` to abort.
+    fn enumerate(&self, g: &Graph, p: &PatternInfo, visit: &mut dyn FnMut(&[NodeId]) -> bool);
+
+    /// Number of enumerated assignments per instance of the pattern.
+    fn multiplicity(&self, p: &PatternInfo) -> u64;
+}

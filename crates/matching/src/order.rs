@@ -1,0 +1,225 @@
+//! Matching-order heuristics (Sect. IV-C).
+//!
+//! The search space of backtracking matching depends heavily on the order
+//! pattern nodes are matched in. The paper (following [19], [23]) grows the
+//! order greedily, always picking the extension minimising the *estimated*
+//! intermediate instance count: extending a partial pattern `M⁽ⁱ⁾` with an
+//! edge `⟨u, u′⟩` (where `u` is already ordered) multiplies the estimate by
+//! `|I(⟨u, u′⟩)| / |I(u)|` — both available from the graph's edge- and
+//! node-type statistics.
+
+use crate::pattern::PatternInfo;
+use mgp_graph::Graph;
+
+/// Greedy estimated-instance node order (paper's heuristic).
+///
+/// Starts at the node whose type has the fewest graph nodes (ties: larger
+/// pattern degree); then repeatedly appends the unordered node connected to
+/// the ordered prefix with the smallest expansion ratio. Disconnected
+/// patterns restart the greedy choice on each remaining component.
+pub fn estimated_instance_order(g: &Graph, p: &PatternInfo) -> Vec<usize> {
+    let m = &p.metagraph;
+    let n = m.n_nodes();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+
+    while order.len() < n {
+        // Is any unplaced node adjacent to the prefix?
+        let mut best: Option<(f64, usize)> = None;
+        for u in 0..n {
+            if placed[u] {
+                continue;
+            }
+            // Expansion ratio over edges into the prefix; +∞ when detached.
+            let mut ratio: Option<f64> = None;
+            for w in m.neighbors(u) {
+                if placed[w] {
+                    let r = expansion_ratio(g, p, w, u);
+                    ratio = Some(ratio.map_or(r, |cur: f64| cur.min(r)));
+                }
+            }
+            if let Some(r) = ratio {
+                if best.map_or(true, |(b, _)| r < b) {
+                    best = Some((r, u));
+                }
+            }
+        }
+        let next = match best {
+            Some((_, u)) => u,
+            // Fresh root (start, or next connected component): rarest type.
+            None => (0..n)
+                .filter(|&u| !placed[u])
+                .min_by(|&a, &b| {
+                    let ka = (g.n_nodes_of_type(m.node_type(a)), std::cmp::Reverse(m.degree(a)));
+                    let kb = (g.n_nodes_of_type(m.node_type(b)), std::cmp::Reverse(m.degree(b)));
+                    ka.cmp(&kb)
+                })
+                .expect("some node remains"),
+        };
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Estimated growth factor of matching pattern node `u` from its already
+/// ordered neighbour `w`: `|I(⟨w, u⟩)| / |I(w)|`.
+fn expansion_ratio(g: &Graph, p: &PatternInfo, w: usize, u: usize) -> f64 {
+    let m = &p.metagraph;
+    let edge_instances = g.edge_type_count(m.node_type(w), m.node_type(u)) as f64;
+    let node_instances = g.n_nodes_of_type(m.node_type(w)).max(1) as f64;
+    edge_instances / node_instances
+}
+
+/// Simple connectivity (BFS-from-0) order, as used by the VF2-style
+/// baseline: no graph statistics involved.
+pub fn connectivity_order(p: &PatternInfo) -> Vec<usize> {
+    let m = &p.metagraph;
+    let n = m.n_nodes();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for root in 0..n {
+        if seen[root] {
+            continue;
+        }
+        seen[root] = true;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for v in m.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Orders SymISO's blocks by the estimated-instance node order: a block is
+/// scheduled at the position its first node appears in the node order.
+pub fn block_order(g: &Graph, p: &PatternInfo) -> Vec<usize> {
+    let node_order = estimated_instance_order(g, p);
+    rank_blocks_by_node_order(p, &node_order)
+}
+
+/// Orders blocks by an arbitrary (e.g. random) node order — the SymISO-R
+/// ablation of Fig. 11.
+pub fn random_block_order(p: &PatternInfo, seed: u64) -> Vec<usize> {
+    let n = p.n_nodes();
+    let mut node_order: Vec<usize> = (0..n).collect();
+    // xorshift* shuffle; deterministic for a given seed.
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    for i in (1..n).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        node_order.swap(i, j);
+    }
+    rank_blocks_by_node_order(p, &node_order)
+}
+
+fn rank_blocks_by_node_order(p: &PatternInfo, node_order: &[usize]) -> Vec<usize> {
+    let blocks = &p.decomposition.blocks;
+    let mut first_pos = vec![usize::MAX; blocks.len()];
+    for (pos, &u) in node_order.iter().enumerate() {
+        for (bi, b) in blocks.iter().enumerate() {
+            if b.mask() & (1 << u) != 0 {
+                first_pos[bi] = first_pos[bi].min(pos);
+            }
+        }
+    }
+    let mut idx: Vec<usize> = (0..blocks.len()).collect();
+    idx.sort_by_key(|&bi| first_pos[bi]);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+
+    /// Graph with many users, few schools.
+    fn skewed() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let s = b.add_node(school, "s");
+        for i in 0..20 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, s).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let g = skewed();
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        for order in [estimated_instance_order(&g, &p), connectivity_order(&p)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn starts_with_rare_type() {
+        let g = skewed();
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let order = estimated_instance_order(&g, &p);
+        // school (1 node) is rarer than user (20): matching starts there.
+        assert_eq!(order[0], 1);
+    }
+
+    #[test]
+    fn prefix_stays_connected_when_possible() {
+        let g = skewed();
+        let m = Metagraph::from_edges(&[U, S, U, S], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let order = estimated_instance_order(&g, &p);
+        for k in 1..order.len() {
+            let u = order[k];
+            let attached = order[..k].iter().any(|&w| p.metagraph.has_edge(u, w));
+            assert!(attached, "node {u} detached from prefix in {order:?}");
+        }
+    }
+
+    #[test]
+    fn block_order_covers_all_blocks() {
+        let g = skewed();
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let bo = block_order(&g, &p);
+        let mut sorted = bo.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..p.decomposition.blocks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_block_order_is_deterministic_per_seed() {
+        let m = Metagraph::from_edges(&[U, S, U, S], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let a = random_block_order(&p, 7);
+        let b = random_block_order(&p, 7);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..p.decomposition.blocks.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn connectivity_order_bfs_shape() {
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        assert_eq!(connectivity_order(&p), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Precomputed per-pattern matching data.
+
+use mgp_graph::TypeId;
+use mgp_metagraph::{Automorphisms, Decomposition, Metagraph, SymmetryInfo};
+
+/// A metagraph bundled with everything matchers need to know about it:
+/// its automorphism count, symmetry relation, symmetric-component
+/// decomposition, and the anchor position pairs at which proximity is
+/// measured.
+///
+/// Building a `PatternInfo` is cheap (patterns are ≤ 5 nodes) and done once
+/// per metagraph, then shared read-only across matcher invocations and
+/// threads.
+#[derive(Debug, Clone)]
+pub struct PatternInfo {
+    /// The pattern itself.
+    pub metagraph: Metagraph,
+    /// The full automorphism group (needed to canonicalise embeddings).
+    pub automorphisms: Automorphisms,
+    /// Symmetric-pair relation and orbits.
+    pub symmetry: SymmetryInfo,
+    /// Block decomposition for SymISO.
+    pub decomposition: Decomposition,
+    /// Symmetric position pairs `(u, v)`, `u < v`, of the anchor type.
+    pub anchor_pairs: Vec<(usize, usize)>,
+    /// The anchor type proximity is measured between (e.g. `user`).
+    pub anchor_type: TypeId,
+}
+
+impl PatternInfo {
+    /// Analyses a metagraph for matching with the given anchor type.
+    pub fn new(metagraph: Metagraph, anchor_type: TypeId) -> Self {
+        let automorphisms = Automorphisms::compute(&metagraph);
+        let symmetry = SymmetryInfo::from_automorphisms(&metagraph, &automorphisms);
+        let decomposition = Decomposition::from_parts(&metagraph, &automorphisms, &symmetry);
+        let anchor_pairs = symmetry.anchor_pairs(&metagraph, anchor_type);
+        PatternInfo {
+            metagraph,
+            automorphisms,
+            symmetry,
+            decomposition,
+            anchor_pairs,
+            anchor_type,
+        }
+    }
+
+    /// `|Aut(M)|`.
+    pub fn aut_count(&self) -> u64 {
+        self.decomposition.aut_count as u64
+    }
+
+    /// SymISO's residual enumeration multiplicity `r`.
+    pub fn residual_factor(&self) -> u64 {
+        self.decomposition.residual_factor as u64
+    }
+
+    /// Number of pattern nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.metagraph.n_nodes()
+    }
+
+    /// True iff the pattern is symmetric per Def. 1 and has at least one
+    /// anchor pair — i.e. it can contribute to anchor proximity at all.
+    pub fn is_useful_for_proximity(&self) -> bool {
+        !self.anchor_pairs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+
+    #[test]
+    fn bundles_are_consistent() {
+        let m = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        assert_eq!(p.aut_count(), 2);
+        assert_eq!(p.residual_factor(), 1);
+        assert_eq!(p.anchor_pairs, vec![(0, 2)]);
+        assert!(p.is_useful_for_proximity());
+        assert_eq!(p.n_nodes(), 3);
+    }
+
+    #[test]
+    fn asymmetric_pattern_not_useful() {
+        let m = Metagraph::from_edges(&[U, A], &[(0, 1)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        assert!(!p.is_useful_for_proximity());
+        assert_eq!(p.aut_count(), 1);
+    }
+}

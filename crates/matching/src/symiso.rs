@@ -1,0 +1,544 @@
+//! SymISO: symmetry-based metagraph matching (Sect. IV-C, Alg. 2–3).
+//!
+//! SymISO exploits the symmetry of metagraphs in two ways that the
+//! node-at-a-time baselines cannot:
+//!
+//! 1. **Candidate reuse.** The pattern is decomposed into *blocks* of
+//!    mutually symmetric components ([`mgp_metagraph::Decomposition`]).
+//!    Because every mirror component is the image of the block's
+//!    representative under an automorphism that fixes the rest of the
+//!    pattern, the candidate matchings `C(S|D)` computed for the
+//!    representative are verbatim valid for every mirror — they are computed
+//!    **once** per block instead of once per component.
+//!
+//! 2. **Combination enumeration.** Assigning an unordered *combination* of
+//!    `|B|` distinct candidate matchings to a block's components (in
+//!    canonical sorted order) enumerates one assignment per instance rather
+//!    than one per embedding: the `|B|!` permutations that baselines grind
+//!    through are never generated. A residual factor `r ≥ 1` remains for
+//!    patterns whose symmetry is not block-local (see the decomposition
+//!    docs); [`crate::Matcher::multiplicity`] reports it so counts stay
+//!    exact.
+//!
+//! The block matching order uses the paper's estimated-instance heuristic;
+//! the SymISO-R ablation (Fig. 11) replaces it with a seeded random order.
+
+use crate::order::{block_order, random_block_order};
+use crate::pattern::PatternInfo;
+use crate::Matcher;
+use mgp_graph::{Graph, NodeId};
+use mgp_metagraph::Component;
+
+/// Block ordering policy for SymISO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// The paper's estimated-instance heuristic (default).
+    Estimated,
+    /// Seeded random order — the SymISO-R ablation.
+    Random(u64),
+}
+
+/// The symmetry-based matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct SymIso {
+    /// How to order blocks during matching.
+    pub order: OrderPolicy,
+}
+
+impl Default for SymIso {
+    fn default() -> Self {
+        SymIso {
+            order: OrderPolicy::Estimated,
+        }
+    }
+}
+
+impl SymIso {
+    /// SymISO with the estimated-instance block order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// SymISO-R: random block order (ablation of the order heuristic).
+    pub fn random_order(seed: u64) -> Self {
+        SymIso {
+            order: OrderPolicy::Random(seed),
+        }
+    }
+}
+
+impl Matcher for SymIso {
+    fn name(&self) -> &'static str {
+        match self.order {
+            OrderPolicy::Estimated => "SymISO",
+            OrderPolicy::Random(_) => "SymISO-R",
+        }
+    }
+
+    fn enumerate(&self, g: &Graph, p: &PatternInfo, visit: &mut dyn FnMut(&[NodeId]) -> bool) {
+        let n = p.n_nodes();
+        if n == 0 {
+            return;
+        }
+        let border = match self.order {
+            OrderPolicy::Estimated => block_order(g, p),
+            OrderPolicy::Random(seed) => random_block_order(p, seed),
+        };
+        let cross_edges: Vec<Vec<CrossEdge>> = p
+            .decomposition
+            .blocks
+            .iter()
+            .map(|b| block_cross_edges(p, &b.components))
+            .collect();
+        let mut st = State {
+            g,
+            p,
+            border: &border,
+            cross_edges: &cross_edges,
+            assign: vec![NodeId(0); n],
+            matched_mask: 0,
+            used: vec![false; g.n_nodes()],
+        };
+        match_blocks(&mut st, 0, visit);
+    }
+
+    fn multiplicity(&self, p: &PatternInfo) -> u64 {
+        p.residual_factor()
+    }
+}
+
+/// A required pattern edge between two components of the same block:
+/// `(component index a, position in a, component index b, position in b)`.
+type CrossEdge = (usize, usize, usize, usize);
+
+fn block_cross_edges(p: &PatternInfo, comps: &[Component]) -> Vec<CrossEdge> {
+    let m = &p.metagraph;
+    let mut out = Vec::new();
+    for ci in 0..comps.len() {
+        for cj in (ci + 1)..comps.len() {
+            for (ai, &ua) in comps[ci].nodes.iter().enumerate() {
+                for (bi, &ub) in comps[cj].nodes.iter().enumerate() {
+                    if m.has_edge(ua as usize, ub as usize) {
+                        out.push((ci, ai, cj, bi));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+struct State<'a> {
+    g: &'a Graph,
+    p: &'a PatternInfo,
+    border: &'a [usize],
+    cross_edges: &'a [Vec<CrossEdge>],
+    assign: Vec<NodeId>,
+    matched_mask: u16,
+    used: Vec<bool>,
+}
+
+/// Recursive block-at-a-time matching (Alg. 3). Returns `false` when the
+/// visitor aborted.
+fn match_blocks(st: &mut State<'_>, k: usize, visit: &mut dyn FnMut(&[NodeId]) -> bool) -> bool {
+    if k == st.border.len() {
+        return visit(&st.assign);
+    }
+    let block_idx = st.border[k];
+    let block = &st.p.decomposition.blocks[block_idx];
+    let rep = &block.components[0];
+    let width = block.width();
+
+    if width == 1 {
+        // No mirrors to reuse candidates for: descend node-at-a-time
+        // without materialising C(S|D) (the common case — every
+        // asymmetric node is a width-1 block).
+        return inline_descend(st, block_idx, 0, k, visit);
+    }
+
+    // C(S|D) for the representative component — computed once per block
+    // and reused for every mirror.
+    let mut cands = component_matchings(st, rep);
+    if cands.len() < width {
+        return true; // dead end, backtrack
+    }
+
+    // Canonical order: combinations are assigned to components in sorted
+    // order, enumerating one representative per block-symmetry coset.
+    cands.sort_unstable();
+    let mut chosen: Vec<usize> = Vec::with_capacity(width);
+    choose(st, k, block_idx, &cands, 0, &mut chosen, visit)
+}
+
+/// Chooses `width` pairwise-disjoint candidate matchings (indices ascending)
+/// and recurses.
+#[allow(clippy::too_many_arguments)]
+fn choose(
+    st: &mut State<'_>,
+    k: usize,
+    block_idx: usize,
+    cands: &[Vec<NodeId>],
+    start: usize,
+    chosen: &mut Vec<usize>,
+    visit: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    let block = &st.p.decomposition.blocks[block_idx];
+    let width = block.width();
+    if chosen.len() == width {
+        // Cross-component edges within the block (Def. 2 connectivity).
+        let ok = st.cross_edges[block_idx].iter().all(|&(ci, ai, cj, bi)| {
+            st.g.has_edge(cands[chosen[ci]][ai], cands[chosen[cj]][bi])
+        });
+        if !ok {
+            return true;
+        }
+        for (c, &mi) in block.components.iter().zip(chosen.iter()) {
+            apply_raw(&mut st.assign, &mut st.matched_mask, &mut st.used, c, &cands[mi]);
+        }
+        let keep = match_blocks(st, k + 1, visit);
+        for (c, &mi) in block.components.iter().zip(chosen.iter()) {
+            unapply_raw(&mut st.matched_mask, &mut st.used, c, &cands[mi]);
+        }
+        return keep;
+    }
+    let remaining = width - chosen.len();
+    if start + remaining > cands.len() {
+        return true;
+    }
+    for i in start..=(cands.len() - remaining) {
+        // Disjointness with previously chosen matchings.
+        let disjoint = chosen
+            .iter()
+            .all(|&j| cands[j].iter().all(|v| !cands[i].contains(v)));
+        if !disjoint {
+            continue;
+        }
+        chosen.push(i);
+        let keep = choose(st, k, block_idx, cands, i + 1, chosen, visit);
+        chosen.pop();
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+/// Streams the matchings of a width-1 block's component directly into the
+/// continuation, assigning node-at-a-time like the baseline engine —
+/// avoiding the `Vec<Vec<NodeId>>` materialisation that candidate *reuse*
+/// requires for wider blocks. Returns `false` when the visitor aborted.
+fn inline_descend(
+    st: &mut State<'_>,
+    block_idx: usize,
+    idx: usize,
+    k: usize,
+    visit: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    let comp = &st.p.decomposition.blocks[block_idx].components[0];
+    if idx == comp.nodes.len() {
+        return match_blocks(st, k + 1, visit);
+    }
+    let g = st.g;
+    let m = &st.p.metagraph;
+    let u = comp.nodes[idx] as usize;
+    let ty = m.node_type(u);
+
+    // Earlier component nodes already carry their matched_mask bits, so a
+    // single mask scan finds every constraining image.
+    let mut pivot: Option<NodeId> = None;
+    let mut constraints: Vec<NodeId> = Vec::new();
+    for w in m.neighbors(u) {
+        if st.matched_mask & (1 << w) != 0 {
+            let img = st.assign[w];
+            constraints.push(img);
+            if pivot.map_or(true, |pv| g.degree(img) < g.degree(pv)) {
+                pivot = Some(img);
+            }
+        }
+    }
+    let candidates: &[NodeId] = match pivot {
+        Some(pv) => g.neighbors_of_type(pv, ty),
+        None => g.nodes_of_type(ty),
+    };
+
+    'cand: for &v in candidates {
+        if st.used[v.index()] {
+            continue;
+        }
+        for &c in &constraints {
+            if !g.has_edge(v, c) {
+                continue 'cand;
+            }
+        }
+        st.assign[u] = v;
+        st.used[v.index()] = true;
+        st.matched_mask |= 1 << u;
+        let keep = inline_descend(st, block_idx, idx + 1, k, visit);
+        st.matched_mask &= !(1 << u);
+        st.used[v.index()] = false;
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+/// Computes `C(S|D)`: every injective assignment of the component's nodes
+/// consistent with the pattern's internal and D-incident edges.
+fn component_matchings(st: &State<'_>, comp: &Component) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut partial: Vec<NodeId> = Vec::with_capacity(comp.nodes.len());
+    component_descend(st, comp, 0, &mut partial, &mut out);
+    out
+}
+
+fn component_descend(
+    st: &State<'_>,
+    comp: &Component,
+    idx: usize,
+    partial: &mut Vec<NodeId>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if idx == comp.nodes.len() {
+        out.push(partial.clone());
+        return;
+    }
+    let g = st.g;
+    let m = &st.p.metagraph;
+    let u = comp.nodes[idx] as usize;
+    let ty = m.node_type(u);
+
+    // Pattern neighbours of u that already have images: matched blocks (D)
+    // plus earlier nodes of this component.
+    let mut pivot: Option<NodeId> = None;
+    let mut constraints: Vec<NodeId> = Vec::new();
+    for w in m.neighbors(u) {
+        let img = if st.matched_mask & (1 << w) != 0 {
+            Some(st.assign[w])
+        } else {
+            comp.nodes[..idx]
+                .iter()
+                .position(|&cw| cw as usize == w)
+                .map(|pos| partial[pos])
+        };
+        if let Some(img) = img {
+            constraints.push(img);
+            if pivot.map_or(true, |pv| g.degree(img) < g.degree(pv)) {
+                pivot = Some(img);
+            }
+        }
+    }
+
+    let candidates: &[NodeId] = match pivot {
+        Some(pv) => g.neighbors_of_type(pv, ty),
+        None => g.nodes_of_type(ty),
+    };
+
+    'cand: for &v in candidates {
+        if st.used[v.index()] || partial.contains(&v) {
+            continue;
+        }
+        for &c in &constraints {
+            if !g.has_edge(v, c) {
+                continue 'cand;
+            }
+        }
+        partial.push(v);
+        component_descend(st, comp, idx + 1, partial, out);
+        partial.pop();
+    }
+}
+
+fn apply_raw(
+    assign: &mut [NodeId],
+    matched_mask: &mut u16,
+    used: &mut [bool],
+    comp: &Component,
+    matching: &[NodeId],
+) {
+    for (&u, &v) in comp.nodes.iter().zip(matching) {
+        assign[u as usize] = v;
+        used[v.index()] = true;
+    }
+    *matched_mask |= comp.mask;
+}
+
+fn unapply_raw(matched_mask: &mut u16, used: &mut [bool], comp: &Component, matching: &[NodeId]) {
+    for &v in matching {
+        used[v.index()] = false;
+    }
+    *matched_mask &= !comp.mask;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+    const M: TypeId = TypeId(2);
+
+    fn star_graph(n_users: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let s = b.add_node(school, "s");
+        for i in 0..n_users {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, s).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn enumerates_instances_not_embeddings() {
+        let g = star_graph(4);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut n = 0u64;
+        SymIso::new().enumerate(&g, &p, &mut |a| {
+            assert!(g.has_edge(a[0], a[1]) && g.has_edge(a[1], a[2]));
+            n += 1;
+            true
+        });
+        // C(4,2) = 6 instances (QuickSI would visit 12 embeddings).
+        assert_eq!(n, 6);
+        assert_eq!(SymIso::new().multiplicity(&p), 1);
+    }
+
+    #[test]
+    fn matches_m1_pattern_with_paired_singletons() {
+        // 3 users sharing school s and major m; 1 user sharing only school.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let major = b.add_type("major");
+        let s = b.add_node(school, "s");
+        let mj = b.add_node(major, "m");
+        for i in 0..4 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, s).unwrap();
+            if i < 3 {
+                b.add_edge(u, mj).unwrap();
+            }
+        }
+        let g = b.build();
+        let m1 = Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)])
+            .unwrap();
+        let p = PatternInfo::new(m1, U);
+        let mut n = 0u64;
+        SymIso::new().enumerate(&g, &p, &mut |_| {
+            n += 1;
+            true
+        });
+        // 3 users share both attrs: C(3,2) = 3 instances.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn wing_components_reuse() {
+        // Pattern: user-major wings around a school (M5-like, 6 nodes).
+        // Graph: school with 3 (user,major) wings and a middle user.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let major = b.add_type("major");
+        let s = b.add_node(school, "s");
+        let mid = b.add_node(user, "mid");
+        b.add_edge(mid, s).unwrap();
+        let mut wings = Vec::new();
+        for i in 0..3 {
+            let u = b.add_node(user, format!("wu{i}"));
+            let mj = b.add_node(major, format!("wm{i}"));
+            b.add_edge(u, s).unwrap();
+            b.add_edge(u, mj).unwrap();
+            b.add_edge(mj, mid).unwrap();
+            wings.push((u, mj));
+        }
+        let g = b.build();
+        // Pattern from the decompose tests: users 0/4 + majors 1/5 wings,
+        // school 2, middle user 3.
+        let m5 = Metagraph::from_edges(
+            &[U, M, S, U, U, M],
+            &[(0, 1), (0, 2), (3, 2), (4, 2), (4, 5), (1, 3), (5, 3)],
+        )
+        .unwrap();
+        let p = PatternInfo::new(m5, U);
+        assert!(p.decomposition.has_reuse());
+        let mut n = 0u64;
+        SymIso::new().enumerate(&g, &p, &mut |_| {
+            n += 1;
+            true
+        });
+        // Choose 2 of 3 wings: C(3,2) = 3 instances.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn symiso_r_same_results() {
+        let g = star_graph(5);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        for seed in [1u64, 42, 999] {
+            let mut n = 0u64;
+            SymIso::random_order(seed).enumerate(&g, &p, &mut |_| {
+                n += 1;
+                true
+            });
+            assert_eq!(n, 10); // C(5,2)
+        }
+    }
+
+    #[test]
+    fn visitor_abort_propagates() {
+        let g = star_graph(6);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut n = 0u64;
+        SymIso::new().enumerate(&g, &p, &mut |_| {
+            n += 1;
+            n < 3
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn no_instances_on_mismatched_graph() {
+        let g = star_graph(1);
+        let m = Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let mut n = 0u64;
+        SymIso::new().enumerate(&g, &p, &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn triangle_block_of_three_components() {
+        // Graph: clique of 4 users. Pattern: triangle of users.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let us: Vec<_> = (0..4).map(|i| b.add_node(user, format!("u{i}"))).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(us[i], us[j]).unwrap();
+            }
+        }
+        let g = b.build();
+        let tri = Metagraph::from_edges(&[U, U, U], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let p = PatternInfo::new(tri, U);
+        let mut n = 0u64;
+        SymIso::new().enumerate(&g, &p, &mut |a| {
+            // Cross-component edges must hold.
+            assert!(g.has_edge(a[0], a[1]) && g.has_edge(a[1], a[2]) && g.has_edge(a[0], a[2]));
+            n += 1;
+            true
+        });
+        // C(4,3) = 4 triangles, each enumerated once.
+        assert_eq!(n, 4);
+    }
+}

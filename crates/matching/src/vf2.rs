@@ -1,0 +1,63 @@
+//! VF2-style baseline: classic backtracking with a statistics-free order.
+//!
+//! The third baseline slot of Fig. 11 (standing in for BoostISO, whose
+//! dynamic candidate relationships are out of scope — see DESIGN.md §3).
+//! VF2 matches in simple connectivity order and derives candidates from the
+//! frontier only, so it typically explores more of the search space than
+//! QuickSI's statistics-guided order.
+
+use crate::engine::backtrack_embeddings;
+use crate::order::connectivity_order;
+use crate::pattern::PatternInfo;
+use crate::Matcher;
+use mgp_graph::{Graph, NodeId};
+
+/// The VF2-style matcher. Stateless; construct freely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vf2;
+
+impl Matcher for Vf2 {
+    fn name(&self) -> &'static str {
+        "VF2"
+    }
+
+    fn enumerate(&self, g: &Graph, p: &PatternInfo, visit: &mut dyn FnMut(&[NodeId]) -> bool) {
+        let order = connectivity_order(p);
+        backtrack_embeddings(g, p, &order, None, visit);
+    }
+
+    fn multiplicity(&self, p: &PatternInfo) -> u64 {
+        p.aut_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    #[test]
+    fn agrees_with_expected_count() {
+        // Star: one school with 3 users; pattern user-school-user.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let s = b.add_node(school, "s");
+        for i in 0..3 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, s).unwrap();
+        }
+        let g = b.build();
+        let m = Metagraph::from_edges(&[TypeId(0), TypeId(1), TypeId(0)], &[(0, 1), (1, 2)])
+            .unwrap();
+        let p = PatternInfo::new(m, TypeId(0));
+        let mut n = 0u64;
+        Vf2.enumerate(&g, &p, &mut |_| {
+            n += 1;
+            true
+        });
+        // 3 users choose ordered pairs: 3 × 2 = 6 embeddings = 3 instances × 2.
+        assert_eq!(n, 6);
+    }
+}

@@ -1,0 +1,352 @@
+//! Automorphisms and the symmetric-node relation of Def. 1.
+//!
+//! A metagraph `M` is *symmetric* (Def. 1) when a non-empty set `Ψ` of
+//! disjoint node pairs can be exchanged without changing `E_M` — i.e. there
+//! is a non-trivial type-preserving automorphism of `M` built from
+//! transpositions. Two nodes `u, u'` are *symmetric to each other* when some
+//! automorphism swaps them (maps `u → u'` and `u' → u`). Instances are then
+//! counted per symmetric pair: `ContainsSym(S, x, y)` in Eq. 1 requires
+//! `φ(x)` and `φ(y)` to be symmetric positions of `M`.
+//!
+//! For the ≤ 5-node metagraphs the system mines, brute-force backtracking
+//! over type/degree-compatible bijections is microseconds; we enumerate the
+//! full automorphism group once per metagraph and cache the derived
+//! [`SymmetryInfo`].
+
+use crate::Metagraph;
+use serde::{Deserialize, Serialize};
+
+/// The full automorphism group of a metagraph (always contains the
+/// identity), enumerated by backtracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automorphisms {
+    perms: Vec<Vec<u8>>,
+}
+
+impl Automorphisms {
+    /// Enumerates all type- and adjacency-preserving permutations of `m`.
+    pub fn compute(m: &Metagraph) -> Self {
+        let n = m.n_nodes();
+        let mut perms = Vec::new();
+        let mut assign: Vec<u8> = vec![0; n];
+        let mut used: u16 = 0;
+        backtrack(m, 0, &mut assign, &mut used, &mut perms);
+        Automorphisms { perms }
+    }
+
+    /// `|Aut(M)|`.
+    pub fn count(&self) -> usize {
+        self.perms.len()
+    }
+
+    /// Iterates the permutations; `perm[i]` is the image of node `i`.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.perms.iter().map(Vec::as_slice)
+    }
+
+    /// True if some non-identity automorphism exists.
+    pub fn has_nontrivial(&self) -> bool {
+        self.perms.len() > 1
+    }
+}
+
+fn backtrack(
+    m: &Metagraph,
+    pos: usize,
+    assign: &mut Vec<u8>,
+    used: &mut u16,
+    out: &mut Vec<Vec<u8>>,
+) {
+    let n = m.n_nodes();
+    if pos == n {
+        out.push(assign.clone());
+        return;
+    }
+    for cand in 0..n {
+        if *used & (1 << cand) != 0 {
+            continue;
+        }
+        if m.node_type(cand) != m.node_type(pos) || m.degree(cand) != m.degree(pos) {
+            continue;
+        }
+        // Adjacency consistency with already-assigned positions.
+        let ok = (0..pos).all(|prev| {
+            m.has_edge(pos, prev) == m.has_edge(cand, assign[prev] as usize)
+        });
+        if !ok {
+            continue;
+        }
+        assign[pos] = cand as u8;
+        *used |= 1 << cand;
+        backtrack(m, pos + 1, assign, used, out);
+        *used &= !(1 << cand);
+    }
+}
+
+/// Derived symmetry structure: which node pairs are symmetric, and the
+/// orbit partition of the automorphism group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymmetryInfo {
+    /// `sym[u]` has bit `v` set iff `u ≠ v` and some automorphism swaps
+    /// `u` and `v` (the Def. 1 relation).
+    sym: Vec<u16>,
+    /// `orbit[u]` is the orbit id of node `u` (orbits of the full group).
+    orbit: Vec<u8>,
+    /// `|Aut(M)|`.
+    aut_count: usize,
+}
+
+impl SymmetryInfo {
+    /// Computes symmetry info from the automorphism group.
+    pub fn compute(m: &Metagraph) -> Self {
+        let auts = Automorphisms::compute(m);
+        Self::from_automorphisms(m, &auts)
+    }
+
+    /// Computes symmetry info from a pre-computed group.
+    pub fn from_automorphisms(m: &Metagraph, auts: &Automorphisms) -> Self {
+        let n = m.n_nodes();
+        let mut sym = vec![0u16; n];
+        // Union-find for orbits.
+        let mut parent: Vec<u8> = (0..n as u8).collect();
+        fn find(parent: &mut [u8], x: u8) -> u8 {
+            let mut r = x;
+            while parent[r as usize] != r {
+                r = parent[r as usize];
+            }
+            let mut c = x;
+            while parent[c as usize] != r {
+                let next = parent[c as usize];
+                parent[c as usize] = r;
+                c = next;
+            }
+            r
+        }
+        for perm in auts.iter() {
+            for u in 0..n {
+                let v = perm[u] as usize;
+                if v != u {
+                    let (ru, rv) = (find(&mut parent, u as u8), find(&mut parent, v as u8));
+                    if ru != rv {
+                        parent[rv as usize] = ru;
+                    }
+                    // Swap relation: perm maps u→v and v→u.
+                    if perm[v] as usize == u {
+                        sym[u] |= 1 << v;
+                        sym[v] |= 1 << u;
+                    }
+                }
+            }
+        }
+        // Normalise orbit ids to 0..k in first-occurrence order.
+        let mut orbit = vec![0u8; n];
+        let mut remap: Vec<Option<u8>> = vec![None; n];
+        let mut next = 0u8;
+        for u in 0..n {
+            let r = find(&mut parent, u as u8) as usize;
+            orbit[u] = *remap[r].get_or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+        }
+        SymmetryInfo {
+            sym,
+            orbit,
+            aut_count: auts.count(),
+        }
+    }
+
+    /// True iff `u` and `v` are symmetric (some automorphism swaps them).
+    #[inline]
+    pub fn are_symmetric(&self, u: usize, v: usize) -> bool {
+        u != v && self.sym[u] & (1 << v) != 0
+    }
+
+    /// Bitmask of nodes symmetric to `u`.
+    #[inline]
+    pub fn symmetric_mask(&self, u: usize) -> u16 {
+        self.sym[u]
+    }
+
+    /// Number of nodes symmetric to `u`.
+    #[inline]
+    pub fn n_symmetric(&self, u: usize) -> usize {
+        self.sym[u].count_ones() as usize
+    }
+
+    /// True iff the metagraph is symmetric per Def. 1 (some symmetric pair
+    /// exists).
+    pub fn is_symmetric_metagraph(&self) -> bool {
+        self.sym.iter().any(|&mask| mask != 0)
+    }
+
+    /// Orbit id of a node under the full automorphism group.
+    #[inline]
+    pub fn orbit_of(&self, u: usize) -> usize {
+        self.orbit[u] as usize
+    }
+
+    /// Number of orbits.
+    pub fn n_orbits(&self) -> usize {
+        self.orbit.iter().map(|&o| o as usize + 1).max().unwrap_or(0)
+    }
+
+    /// `|Aut(M)|` as computed during construction.
+    pub fn aut_count(&self) -> usize {
+        self.aut_count
+    }
+
+    /// All symmetric pairs `(u, v)` with `u < v` whose nodes both have the
+    /// given anchor type. These are the positions at which a pair of anchor
+    /// objects `x, y` may "share" the metagraph (Eq. 1).
+    pub fn anchor_pairs(&self, m: &Metagraph, anchor: mgp_graph::TypeId) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in 0..m.n_nodes() {
+            if m.node_type(u) != anchor {
+                continue;
+            }
+            for v in (u + 1)..m.n_nodes() {
+                if m.node_type(v) == anchor && self.are_symmetric(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::TypeId;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+    const B: TypeId = TypeId(2);
+
+    /// M1 (Fig. 2a): user(0), user(1), school(2), major(3); users share both.
+    fn m1() -> Metagraph {
+        Metagraph::from_edges(&[U, U, A, B], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap()
+    }
+
+    /// M3 (Fig. 2b): user — address — user.
+    fn m3() -> Metagraph {
+        Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    /// M5 (Fig. 5): six nodes, two symmetric (user, major) wings plus a
+    /// shared school and a middle user.
+    /// Nodes: 0=user(left) 1=major(left) 2=school 3=user(mid) 4=user(right) 5=major(right)
+    /// Edges: 0-1, 0-2, 3-2, 4-2, 4-5, and majors attached to mid user: 1-3, 5-3.
+    fn m5() -> Metagraph {
+        Metagraph::from_edges(
+            &[U, B, A, U, U, B],
+            &[(0, 1), (0, 2), (3, 2), (4, 2), (4, 5), (1, 3), (5, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_always_present() {
+        let auts = Automorphisms::compute(&m3());
+        assert!(auts.iter().any(|p| p == [0, 1, 2]));
+    }
+
+    #[test]
+    fn m3_swap_symmetry() {
+        let m = m3();
+        let auts = Automorphisms::compute(&m);
+        assert_eq!(auts.count(), 2); // identity + end swap
+        let info = SymmetryInfo::compute(&m);
+        assert!(info.are_symmetric(0, 2));
+        assert!(!info.are_symmetric(0, 1));
+        assert!(info.is_symmetric_metagraph());
+        assert_eq!(info.aut_count(), 2);
+        assert_eq!(info.anchor_pairs(&m, U), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn m1_user_swap() {
+        let m = m1();
+        let info = SymmetryInfo::compute(&m);
+        assert!(info.are_symmetric(0, 1));
+        assert!(!info.are_symmetric(2, 3)); // school vs major: different types
+        assert_eq!(info.anchor_pairs(&m, U), vec![(0, 1)]);
+        assert_eq!(info.aut_count(), 2);
+        // Orbits: {0,1}, {2}, {3}.
+        assert_eq!(info.orbit_of(0), info.orbit_of(1));
+        assert_ne!(info.orbit_of(2), info.orbit_of(3));
+        assert_eq!(info.n_orbits(), 3);
+    }
+
+    #[test]
+    fn m5_wing_symmetry() {
+        let m = m5();
+        let info = SymmetryInfo::compute(&m);
+        // Wings (0,4) users and (1,5) majors are symmetric; middle user 3 is not.
+        assert!(info.are_symmetric(0, 4));
+        assert!(info.are_symmetric(1, 5));
+        assert!(!info.are_symmetric(0, 3));
+        assert!(!info.are_symmetric(4, 3));
+        assert_eq!(info.anchor_pairs(&m, U), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn asymmetric_metagraph() {
+        // user — school, distinct types everywhere: no symmetry.
+        let m = Metagraph::from_edges(&[U, A], &[(0, 1)]).unwrap();
+        let info = SymmetryInfo::compute(&m);
+        assert!(!info.is_symmetric_metagraph());
+        assert_eq!(info.aut_count(), 1);
+        assert_eq!(info.n_orbits(), 2);
+    }
+
+    #[test]
+    fn triangle_full_symmetry() {
+        // A triangle of three same-type nodes: Aut = S3 (6 perms).
+        let m = Metagraph::from_edges(&[U, U, U], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let auts = Automorphisms::compute(&m);
+        assert_eq!(auts.count(), 6);
+        let info = SymmetryInfo::from_automorphisms(&m, &auts);
+        assert!(info.are_symmetric(0, 1));
+        assert!(info.are_symmetric(1, 2));
+        assert!(info.are_symmetric(0, 2));
+        assert_eq!(info.n_orbits(), 1);
+        assert_eq!(info.anchor_pairs(&m, U), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn square_alternating_types() {
+        // user-attr-user-attr square: users symmetric, attrs symmetric.
+        let m = Metagraph::from_edges(&[U, A, U, A], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let info = SymmetryInfo::compute(&m);
+        assert!(info.are_symmetric(0, 2));
+        assert!(info.are_symmetric(1, 3));
+        assert!(!info.are_symmetric(0, 1));
+        // Aut of this square preserving types: {id, swap users, swap attrs, both} = 4.
+        assert_eq!(info.aut_count(), 4);
+    }
+
+    #[test]
+    fn degree_prunes_candidates() {
+        // Path of 3 users: ends symmetric, middle fixed despite same type.
+        let m = Metagraph::from_edges(&[U, U, U], &[(0, 1), (1, 2)]).unwrap();
+        let info = SymmetryInfo::compute(&m);
+        assert!(info.are_symmetric(0, 2));
+        assert!(!info.are_symmetric(0, 1));
+        assert_eq!(info.anchor_pairs(&m, U), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty = Metagraph::new(&[]).unwrap();
+        let info = SymmetryInfo::compute(&empty);
+        assert!(!info.is_symmetric_metagraph());
+        assert_eq!(info.n_orbits(), 0);
+        let single = Metagraph::new(&[U]).unwrap();
+        let info = SymmetryInfo::compute(&single);
+        assert!(!info.is_symmetric_metagraph());
+        assert_eq!(info.aut_count(), 1);
+    }
+}

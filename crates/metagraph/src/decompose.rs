@@ -1,0 +1,408 @@
+//! Symmetric-component decomposition of a metagraph (Sect. IV-C).
+//!
+//! SymISO avoids redundant matching work by decomposing `V_M` into disjoint
+//! connected **components** and grouping mutually-symmetric components into
+//! **blocks**. Within a block, the candidate matchings of the representative
+//! component can be *reused* for its mirrors, and choosing unordered
+//! *combinations* of candidate matchings enumerates each instance once per
+//! residual symmetry instead of once per embedding.
+//!
+//! Following the paper:
+//! * a node not symmetric to any other node forms a singleton component;
+//! * symmetric nodes are partitioned into connected components such that
+//!   (i) all nodes of a component have the same number of symmetric
+//!   partners, (ii) no two nodes of a component are symmetric to each
+//!   other, and (iii) components are grown maximally;
+//! * a component `S` is symmetric to `S'` when an automorphism swaps them
+//!   **while fixing every node outside `S ∪ S'`** — this pointwise-fixing
+//!   condition is what makes candidate reuse sound: a matching of `S`
+//!   against any partial assignment `D` is verbatim a matching of `S'`.
+//!
+//! The paper's simplified metagraph `M⁺` (Fig. 5) corresponds to keeping one
+//! representative component per block; here the [`Decomposition`] carries the
+//! full block structure instead, which is what the matcher consumes.
+//!
+//! **Residual symmetry.** Block swaps generate a subgroup `H ≤ Aut(M)` of
+//! order `∏_blocks |B|!`. Combination-based enumeration emits exactly one
+//! embedding per `H`-coset, i.e. each instance `r = |Aut(M)| / |H|` times.
+//! `r = 1` for all metagraphs whose symmetry is "local" (shared-attribute
+//! patterns like M1–M5 of the paper); patterns with global symmetries such
+//! as a 6-cycle have `r > 1`, which the matcher divides out (or deduplicates
+//! when materialising instances). [`Decomposition::residual_factor`] exposes
+//! `r`.
+
+use crate::{Automorphisms, Metagraph, SymmetryInfo};
+use serde::{Deserialize, Serialize};
+
+/// A connected set of pattern nodes matched as a unit.
+///
+/// The node order is significant: mirror components list their nodes in
+/// correspondence order, so the `j`-th node of every component in a block
+/// maps to the `j`-th node of the representative under the block's swap
+/// automorphisms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Pattern node indices in correspondence order.
+    pub nodes: Vec<u8>,
+    /// Bitmask of `nodes`.
+    pub mask: u16,
+}
+
+impl Component {
+    fn new(nodes: Vec<u8>) -> Self {
+        let mask = nodes.iter().fold(0u16, |m, &u| m | (1 << u));
+        Component { nodes, mask }
+    }
+
+    /// Number of nodes in the component.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the component has no nodes (never produced by decomposition).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// A group of mutually symmetric components. `components[0]` is the
+/// representative whose candidate matchings are computed; the rest reuse
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The components of the block; all have equal length and positional
+    /// correspondence with `components[0]`.
+    pub components: Vec<Component>,
+}
+
+impl Block {
+    /// Number of components in the block.
+    pub fn width(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Union bitmask of all component nodes in the block.
+    pub fn mask(&self) -> u16 {
+        self.components.iter().fold(0, |m, c| m | c.mask)
+    }
+}
+
+/// The full decomposition of a metagraph into blocks of symmetric
+/// components.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Blocks, covering every pattern node exactly once.
+    pub blocks: Vec<Block>,
+    /// `|Aut(M)|`.
+    pub aut_count: usize,
+    /// `r = |Aut(M)| / ∏ |B|!` — how many times combination-based
+    /// enumeration repeats each instance (usually 1).
+    pub residual_factor: usize,
+}
+
+impl Decomposition {
+    /// Decomposes `m`, computing automorphisms internally.
+    pub fn compute(m: &Metagraph) -> Self {
+        let auts = Automorphisms::compute(m);
+        let info = SymmetryInfo::from_automorphisms(m, &auts);
+        Self::from_parts(m, &auts, &info)
+    }
+
+    /// Decomposes `m` reusing a pre-computed automorphism group.
+    pub fn from_parts(m: &Metagraph, auts: &Automorphisms, info: &SymmetryInfo) -> Self {
+        let n = m.n_nodes();
+        let mut assigned: u16 = 0;
+        let mut blocks: Vec<Block> = Vec::new();
+
+        // Singleton blocks for asymmetric nodes are deferred to the end so
+        // that symmetric nodes get the first chance to form wide blocks; the
+        // matcher reorders blocks anyway.
+        let mut symmetric_nodes: Vec<usize> = (0..n).filter(|&u| info.n_symmetric(u) > 0).collect();
+        let asymmetric_nodes: Vec<usize> = (0..n).filter(|&u| info.n_symmetric(u) == 0).collect();
+
+        while let Some(&u) = symmetric_nodes.iter().find(|&&u| assigned & (1 << u) == 0) {
+            // Grow a connected component S around u, obeying rules (i)+(ii).
+            let grown = grow_component(m, info, u, assigned);
+            // Try to find mirrors for the grown S; shrink to {u} on failure.
+            let (s, mirrors) = match find_mirrors(m, auts, &grown, assigned) {
+                Some(mirrors) => (grown, mirrors),
+                None => {
+                    let single = vec![u as u8];
+                    let mirrors = find_mirrors(m, auts, &single, assigned).unwrap_or_default();
+                    (single, mirrors)
+                }
+            };
+            let mut comps = Vec::with_capacity(1 + mirrors.len());
+            let rep = Component::new(s);
+            assigned |= rep.mask;
+            comps.push(rep);
+            for mir in mirrors {
+                let c = Component::new(mir);
+                assigned |= c.mask;
+                comps.push(c);
+            }
+            blocks.push(Block { components: comps });
+            symmetric_nodes.retain(|&w| assigned & (1 << w) == 0);
+        }
+
+        for u in asymmetric_nodes {
+            blocks.push(Block {
+                components: vec![Component::new(vec![u as u8])],
+            });
+        }
+
+        let h_order: usize = blocks.iter().map(|b| factorial(b.width())).product();
+        let residual_factor = if h_order == 0 { 1 } else { auts.count() / h_order.max(1) };
+        Decomposition {
+            blocks,
+            aut_count: auts.count(),
+            residual_factor: residual_factor.max(1),
+        }
+    }
+
+    /// Total number of components across all blocks.
+    pub fn n_components(&self) -> usize {
+        self.blocks.iter().map(Block::width).sum()
+    }
+
+    /// Number of pattern nodes covered (sanity: equals `|V_M|`).
+    pub fn n_nodes_covered(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.components)
+            .map(Component::len)
+            .sum()
+    }
+
+    /// True if any block has width > 1, i.e. SymISO can reuse work.
+    pub fn has_reuse(&self) -> bool {
+        self.blocks.iter().any(|b| b.width() > 1)
+    }
+}
+
+fn factorial(k: usize) -> usize {
+    (1..=k).product::<usize>().max(1)
+}
+
+/// Grows a connected component around `seed` using the paper's rules:
+/// same symmetric-partner count as `seed`, no two members symmetric to each
+/// other, connected, and only over unassigned nodes.
+fn grow_component(m: &Metagraph, info: &SymmetryInfo, seed: usize, assigned: u16) -> Vec<u8> {
+    let want = info.n_symmetric(seed);
+    let mut s_mask: u16 = 1 << seed;
+    let mut s = vec![seed as u8];
+    loop {
+        let mut added = false;
+        for w in 0..m.n_nodes() {
+            let bit = 1u16 << w;
+            if s_mask & bit != 0 || assigned & bit != 0 {
+                continue;
+            }
+            if info.n_symmetric(w) != want {
+                continue;
+            }
+            if info.symmetric_mask(w) & s_mask != 0 {
+                continue; // symmetric to a member: rule (ii)
+            }
+            if m.neighbors_mask(w) & s_mask == 0 {
+                continue; // not connected to S
+            }
+            s_mask |= bit;
+            s.push(w as u8);
+            added = true;
+        }
+        if !added {
+            return s;
+        }
+    }
+}
+
+/// Finds the mirror images of component `s`: for each automorphism `σ` that
+/// (a) maps `s` to a disjoint node set, (b) is an involution on `s ∪ σ(s)`,
+/// and (c) fixes every node outside `s ∪ σ(s)` pointwise, record `σ(s)` in
+/// correspondence order. Returns `None` if `s` has symmetric member nodes
+/// whose partners cannot be covered this way *and* `s.len() > 1` (caller
+/// then retries with a singleton); returns `Some(vec![])` when there are
+/// simply no mirrors.
+fn find_mirrors(
+    m: &Metagraph,
+    auts: &Automorphisms,
+    s: &[u8],
+    assigned: u16,
+) -> Option<Vec<Vec<u8>>> {
+    let s_mask: u16 = s.iter().fold(0, |acc, &u| acc | (1 << u));
+    let n = m.n_nodes();
+    let mut mirrors: Vec<Vec<u8>> = Vec::new();
+    let mut seen_masks: Vec<u16> = vec![s_mask];
+    for perm in auts.iter() {
+        let image_mask: u16 = s.iter().fold(0, |acc, &u| acc | (1 << perm[u as usize]));
+        if image_mask & s_mask != 0 {
+            continue; // overlaps S (includes identity)
+        }
+        if image_mask & assigned != 0 {
+            continue; // would steal nodes from earlier blocks
+        }
+        // Involution on S ∪ σ(S): σ(σ(u)) = u for u ∈ S.
+        if !s.iter().all(|&u| perm[perm[u as usize] as usize] == u) {
+            continue;
+        }
+        // Fix everything outside S ∪ σ(S).
+        let outside_ok = (0..n).all(|w| {
+            let bit = 1u16 << w;
+            (s_mask | image_mask) & bit != 0 || perm[w] as usize == w
+        });
+        if !outside_ok {
+            continue;
+        }
+        if seen_masks.contains(&image_mask) {
+            continue;
+        }
+        seen_masks.push(image_mask);
+        mirrors.push(s.iter().map(|&u| perm[u as usize]).collect());
+    }
+    if mirrors.is_empty() && s.len() > 1 {
+        // A grown component with no mirror defeats reuse; signal the caller
+        // to retry with the bare seed, which more often has a local mirror.
+        None
+    } else {
+        Some(mirrors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::TypeId;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+    const B: TypeId = TypeId(2);
+
+    /// M1: two users sharing a school and a major.
+    fn m1() -> Metagraph {
+        Metagraph::from_edges(&[U, U, A, B], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap()
+    }
+
+    /// Fig. 5-style M5: users 0/4 with majors 1/5 as symmetric wings,
+    /// shared school 2, middle user 3 (see automorphism tests).
+    fn m5() -> Metagraph {
+        Metagraph::from_edges(
+            &[U, B, A, U, U, B],
+            &[(0, 1), (0, 2), (3, 2), (4, 2), (4, 5), (1, 3), (5, 3)],
+        )
+        .unwrap()
+    }
+
+    fn block_masks(d: &Decomposition) -> Vec<Vec<u16>> {
+        d.blocks
+            .iter()
+            .map(|b| b.components.iter().map(|c| c.mask).collect())
+            .collect()
+    }
+
+    #[test]
+    fn covers_all_nodes_exactly_once() {
+        for m in [m1(), m5()] {
+            let d = Decomposition::compute(&m);
+            assert_eq!(d.n_nodes_covered(), m.n_nodes());
+            let mut total_mask = 0u16;
+            for b in &d.blocks {
+                assert_eq!(total_mask & b.mask(), 0, "blocks overlap");
+                total_mask |= b.mask();
+            }
+            assert_eq!(total_mask.count_ones() as usize, m.n_nodes());
+        }
+    }
+
+    #[test]
+    fn m1_users_form_a_width2_block() {
+        let d = Decomposition::compute(&m1());
+        // Expect: block {{0},{1}} plus singleton blocks {2}, {3}.
+        let masks = block_masks(&d);
+        assert!(masks.contains(&vec![1 << 0, 1 << 1]) || masks.contains(&vec![1 << 1, 1 << 0]));
+        assert!(d.has_reuse());
+        assert_eq!(d.aut_count, 2);
+        assert_eq!(d.residual_factor, 1);
+        assert_eq!(d.n_components(), 4);
+    }
+
+    #[test]
+    fn m5_wings_form_paired_components() {
+        let d = Decomposition::compute(&m5());
+        // The wing {0,1} mirrors {4,5}; nodes 2 and 3 are singletons.
+        let wide: Vec<&Block> = d.blocks.iter().filter(|b| b.width() == 2).collect();
+        assert_eq!(wide.len(), 1);
+        let b = wide[0];
+        assert_eq!(b.components[0].len(), 2);
+        let m01 = (1 << 0) | (1 << 1);
+        let m45 = (1 << 4) | (1 << 5);
+        let found: Vec<u16> = b.components.iter().map(|c| c.mask).collect();
+        assert!(found == vec![m01, m45] || found == vec![m45, m01]);
+        // Correspondence order: user maps to user, major to major.
+        let m = m5();
+        for (i, _) in b.components[0].nodes.iter().enumerate() {
+            assert_eq!(
+                m.node_type(b.components[0].nodes[i] as usize),
+                m.node_type(b.components[1].nodes[i] as usize)
+            );
+        }
+        assert_eq!(d.residual_factor, 1);
+    }
+
+    #[test]
+    fn asymmetric_pattern_all_singletons() {
+        let m = Metagraph::from_edges(&[U, A, B], &[(0, 1), (1, 2)]).unwrap();
+        let d = Decomposition::compute(&m);
+        assert_eq!(d.blocks.len(), 3);
+        assert!(!d.has_reuse());
+        assert_eq!(d.residual_factor, 1);
+    }
+
+    #[test]
+    fn triangle_block_of_three() {
+        let m = Metagraph::from_edges(&[U, U, U], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let d = Decomposition::compute(&m);
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].width(), 3);
+        // |Aut| = 6, H = 3! = 6 → r = 1.
+        assert_eq!(d.residual_factor, 1);
+    }
+
+    #[test]
+    fn six_cycle_has_residual_symmetry() {
+        // u-a-u-a-u-a cycle: Aut order 6 (3 rotations × node-axis
+        // reflections), blocks can capture at most a factor of 2.
+        let m = Metagraph::from_edges(
+            &[U, A, U, A, U, A],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        .unwrap();
+        let d = Decomposition::compute(&m);
+        assert_eq!(d.aut_count, 6);
+        assert_eq!(d.n_nodes_covered(), 6);
+        let h: usize = d.blocks.iter().map(|b| (1..=b.width()).product::<usize>()).product();
+        assert_eq!(d.residual_factor, 6 / h);
+        assert!(d.residual_factor >= 1);
+    }
+
+    #[test]
+    fn metapath_ends_pair_up() {
+        // user - addr - user (M3): ends form a width-2 block.
+        let m = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let d = Decomposition::compute(&m);
+        let wide: Vec<&Block> = d.blocks.iter().filter(|b| b.width() == 2).collect();
+        assert_eq!(wide.len(), 1);
+        assert_eq!(wide[0].components[0].nodes.len(), 1);
+        assert_eq!(d.residual_factor, 1);
+    }
+
+    #[test]
+    fn double_shared_attribute_m2() {
+        // M2: user-employer-user + user-hobby-user joint pattern.
+        let m = Metagraph::from_edges(&[U, A, B, U], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap();
+        let d = Decomposition::compute(&m);
+        assert!(d.has_reuse());
+        assert_eq!(d.residual_factor, 1);
+        assert_eq!(d.n_nodes_covered(), 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Graphviz (DOT) rendering of metagraphs, for docs and debugging.
+
+use crate::Metagraph;
+use mgp_graph::TypeRegistry;
+
+/// Renders `m` as an undirected Graphviz graph. If `types` is provided,
+/// nodes are labelled with type names; otherwise with raw type ids.
+pub fn to_dot(m: &Metagraph, name: &str, types: Option<&TypeRegistry>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph {name} {{\n"));
+    out.push_str("  node [shape=box, style=rounded];\n");
+    for u in 0..m.n_nodes() {
+        let ty = m.node_type(u);
+        let label = types
+            .and_then(|r| r.name(ty))
+            .map(str::to_owned)
+            .unwrap_or_else(|| ty.to_string());
+        out.push_str(&format!("  v{u} [label=\"{label}\"];\n"));
+    }
+    for (u, v) in m.edges() {
+        out.push_str(&format!("  v{u} -- v{v};\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::TypeId;
+
+    #[test]
+    fn renders_with_type_names() {
+        let mut reg = TypeRegistry::new();
+        let user = reg.intern("user");
+        let addr = reg.intern("address");
+        let m = Metagraph::from_edges(&[user, addr, user], &[(0, 1), (1, 2)]).unwrap();
+        let dot = to_dot(&m, "M3", Some(&reg));
+        assert!(dot.contains("graph M3 {"));
+        assert!(dot.contains("v0 [label=\"user\"]"));
+        assert!(dot.contains("v1 [label=\"address\"]"));
+        assert!(dot.contains("v0 -- v1;"));
+        assert!(dot.contains("v1 -- v2;"));
+        assert!(!dot.contains("v0 -- v2"));
+    }
+
+    #[test]
+    fn renders_without_registry() {
+        let m = Metagraph::from_edges(&[TypeId(0), TypeId(1)], &[(0, 1)]).unwrap();
+        let dot = to_dot(&m, "e", None);
+        assert!(dot.contains("label=\"t0\""));
+        assert!(dot.contains("label=\"t1\""));
+    }
+}

@@ -1,0 +1,154 @@
+//! Exhaustive metagraph enumeration over a type schema.
+//!
+//! The miner ([`mgp_mining`](../mgp_mining/index.html)) only surfaces
+//! *frequent* patterns of a concrete graph. For small type schemas it is
+//! also useful — in tests, completeness checks and analytic experiments —
+//! to enumerate **all** connected metagraphs up to a size bound, one per
+//! isomorphism class.
+
+use crate::{CanonicalCode, Metagraph, SymmetryInfo};
+use mgp_graph::TypeId;
+use std::collections::BTreeSet;
+
+/// Enumerates every connected metagraph with at most `max_nodes` nodes over
+/// the given types, one representative per isomorphism class, sorted by
+/// `(size, canonical code)`.
+///
+/// The count explodes combinatorially; keep `max_nodes ≤ 5` and the type
+/// set small (this mirrors the paper's setting).
+pub fn enumerate_connected(types: &[TypeId], max_nodes: usize) -> Vec<Metagraph> {
+    let mut seen: BTreeSet<CanonicalCode> = BTreeSet::new();
+    let mut frontier: Vec<Metagraph> = Vec::new();
+    let mut out: Vec<Metagraph> = Vec::new();
+
+    // Single nodes.
+    for &t in types {
+        let m = Metagraph::new(&[t]).expect("1 node");
+        if seen.insert(CanonicalCode::of(&m)) {
+            out.push(m.clone());
+            frontier.push(m);
+        }
+    }
+
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for base in &frontier {
+            // Forward extensions.
+            if base.n_nodes() < max_nodes {
+                for u in 0..base.n_nodes() {
+                    for &t in types {
+                        let mut m = base.clone();
+                        let v = m.add_node(t).expect("under bound");
+                        m.add_edge(u, v).expect("valid");
+                        if seen.insert(CanonicalCode::of(&m)) {
+                            out.push(m.clone());
+                            next.push(m);
+                        }
+                    }
+                }
+            }
+            // Backward (cycle-closing) extensions.
+            for u in 0..base.n_nodes() {
+                for v in (u + 1)..base.n_nodes() {
+                    if !base.has_edge(u, v) {
+                        let mut m = base.clone();
+                        m.add_edge(u, v).expect("valid");
+                        if seen.insert(CanonicalCode::of(&m)) {
+                            out.push(m.clone());
+                            next.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    out.sort_by_key(|m| (m.n_nodes(), CanonicalCode::of(m)));
+    out
+}
+
+/// Like [`enumerate_connected`], filtered to the patterns admissible for
+/// anchor proximity (the paper's Sect. V-A constraints): ≥ `min_anchors`
+/// anchor nodes, ≥ 1 non-anchor node, and a symmetric anchor pair.
+pub fn enumerate_proximity_patterns(
+    types: &[TypeId],
+    max_nodes: usize,
+    anchor: TypeId,
+    min_anchors: usize,
+) -> Vec<Metagraph> {
+    enumerate_connected(types, max_nodes)
+        .into_iter()
+        .filter(|m| {
+            let anchors = m.count_type(anchor);
+            anchors >= min_anchors
+                && anchors < m.n_nodes()
+                && !SymmetryInfo::compute(m).anchor_pairs(m, anchor).is_empty()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_metapath;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+
+    #[test]
+    fn single_type_counts() {
+        // Connected graphs on one type, sizes 1..=3, up to isomorphism:
+        // 1 node; 1 edge; path P3 + triangle = 2. Total 4.
+        let all = enumerate_connected(&[U], 3);
+        assert_eq!(all.len(), 4);
+        assert!(all.iter().all(|m| m.is_connected()));
+    }
+
+    #[test]
+    fn two_types_size_two() {
+        // Size ≤ 2 over {U, A}: nodes U, A; edges U-U, U-A, A-A. Total 5.
+        let all = enumerate_connected(&[U, A], 2);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn no_duplicates_and_all_connected() {
+        let all = enumerate_connected(&[U, A], 4);
+        let mut codes = BTreeSet::new();
+        for m in &all {
+            assert!(m.is_connected());
+            assert!(m.n_nodes() <= 4);
+            assert!(codes.insert(CanonicalCode::of(m)), "dup: {}", m.brief());
+        }
+        // Paths are a strict minority even at this size.
+        let paths = all.iter().filter(|m| is_metapath(m)).count();
+        assert!(paths > 0 && paths < all.len());
+    }
+
+    #[test]
+    fn proximity_filter() {
+        let pats = enumerate_proximity_patterns(&[U, A], 4, U, 2);
+        assert!(!pats.is_empty());
+        for m in &pats {
+            assert!(m.count_type(U) >= 2);
+            assert!(m.count_type(U) < m.n_nodes());
+            let info = SymmetryInfo::compute(m);
+            assert!(!info.anchor_pairs(m, U).is_empty());
+        }
+        // The classic user-A-user metapath must be present.
+        assert!(pats
+            .iter()
+            .any(|m| m.n_nodes() == 3 && is_metapath(m) && m.count_type(A) == 1));
+    }
+
+    #[test]
+    fn monotone_in_max_nodes() {
+        let small = enumerate_connected(&[U, A], 3);
+        let large = enumerate_connected(&[U, A], 4);
+        assert!(large.len() > small.len());
+        let small_codes: BTreeSet<_> = small.iter().map(CanonicalCode::of).collect();
+        let large_codes: BTreeSet<_> = large.iter().map(CanonicalCode::of).collect();
+        assert!(small_codes.is_subset(&large_codes));
+    }
+}

@@ -1,0 +1,43 @@
+//! # mgp-metagraph — metagraph patterns and their structure theory
+//!
+//! A **metagraph** (Fang et al., ICDE 2016, Sect. II-A) is a small typed
+//! pattern graph `M = (V_M, E_M)`: each node denotes an object *type* (the
+//! value is immaterial), and an *instance* of `M` on an object graph `G` is a
+//! subgraph of `G` whose nodes biject onto `V_M` preserving types and edges
+//! (Def. 2). Metagraphs generalise metapaths — e.g. the "close friend"
+//! pattern `M2` joins a shared employer *and* a shared hobby between two
+//! users, which no single path can express.
+//!
+//! This crate provides everything the rest of the system needs to reason
+//! about metagraphs *structurally* (no object graph involved):
+//!
+//! * [`Metagraph`] — compact representation (≤ 16 nodes, bitmask adjacency);
+//! * [`automorphism`] — automorphism enumeration, the symmetric-node-pair
+//!   relation of Def. 1, and orbit computation;
+//! * [`decompose`] — the symmetric-component decomposition and simplified
+//!   metagraph `M⁺` that power SymISO (Sect. IV-C, Fig. 5);
+//! * [`canonical`] — canonical codes for deduplication during mining;
+//! * [`mcs`] — maximum common subgraph and the structural similarity `SS`
+//!   used by the dual-stage candidate heuristic (Sect. III-C);
+//! * [`metapath`] — recognising and constructing path-shaped metagraphs
+//!   (the seeds `K₀` of dual-stage training);
+//! * [`dot`] — Graphviz rendering for debugging and documentation.
+
+#![warn(missing_docs)]
+
+pub mod automorphism;
+pub mod canonical;
+pub mod decompose;
+pub mod dot;
+pub mod enumerate;
+pub mod mcs;
+pub mod metagraph;
+pub mod metapath;
+
+pub use automorphism::{Automorphisms, SymmetryInfo};
+pub use canonical::CanonicalCode;
+pub use decompose::{Component, Decomposition};
+pub use enumerate::{enumerate_connected, enumerate_proximity_patterns};
+pub use mcs::{mcs_size, structural_similarity};
+pub use metagraph::{Metagraph, MetagraphError, MAX_NODES};
+pub use metapath::{is_metapath, path_metagraph};

@@ -1,0 +1,185 @@
+//! Maximum common subgraph (MCS) and structural similarity `SS`.
+//!
+//! The dual-stage candidate heuristic (Sect. III-C) scores how structurally
+//! similar a candidate metagraph is to a seed metapath:
+//!
+//! ```text
+//! SS(Mi, Mj) = (|V_M| + |E_M|)² / ((|V_Mi| + |E_Mi|) · (|V_Mj| + |E_Mj|))
+//! ```
+//!
+//! where `M` is the maximum common subgraph of `Mi` and `Mj` [18]. We
+//! compute MCS size by branch-and-bound over partial type-preserving
+//! injections: a common subgraph is a pair of subgraphs, one in each
+//! pattern, related by an isomorphism, and we maximise `|V| + |E|`. The
+//! patterns at play have ≤ 5 nodes, so exhaustive search with an upper-bound
+//! cut is instantaneous.
+
+use crate::Metagraph;
+
+/// Size `|V| + |E|` of the maximum common subgraph of `a` and `b`.
+///
+/// An empty mapping has size 0; single shared node types give at least 1.
+pub fn mcs_size(a: &Metagraph, b: &Metagraph) -> usize {
+    let mut best = 0usize;
+    let mut mapping: Vec<Option<u8>> = vec![None; a.n_nodes()];
+    let mut used_b: u16 = 0;
+    search(a, b, 0, &mut mapping, &mut used_b, 0, &mut best);
+    best
+}
+
+/// Branch and bound: decide node `u` of `a` (map to some compatible node of
+/// `b`, or skip), tracking `score = mapped nodes + common edges`.
+fn search(
+    a: &Metagraph,
+    b: &Metagraph,
+    u: usize,
+    mapping: &mut Vec<Option<u8>>,
+    used_b: &mut u16,
+    score: usize,
+    best: &mut usize,
+) {
+    if u == a.n_nodes() {
+        if score > *best {
+            *best = score;
+        }
+        return;
+    }
+    // Upper bound: every remaining a-node could add 1 + its full degree.
+    let remaining: usize = (u..a.n_nodes()).map(|w| 1 + a.degree(w)).sum();
+    if score + remaining <= *best {
+        return;
+    }
+    // Try mapping u to each unused, type-compatible node of b.
+    for v in 0..b.n_nodes() {
+        if *used_b & (1 << v) != 0 || b.node_type(v) != a.node_type(u) {
+            continue;
+        }
+        // Common edges gained: pairs (u, w) with w already mapped and the
+        // edge present in both patterns.
+        let mut gained = 1usize; // the node itself
+        for w in 0..u {
+            if let Some(vw) = mapping[w] {
+                if a.has_edge(u, w) && b.has_edge(v, vw as usize) {
+                    gained += 1;
+                }
+            }
+        }
+        mapping[u] = Some(v as u8);
+        *used_b |= 1 << v;
+        search(a, b, u + 1, mapping, used_b, score + gained, best);
+        *used_b &= !(1 << v);
+        mapping[u] = None;
+    }
+    // Or skip u entirely.
+    search(a, b, u + 1, mapping, used_b, score, best);
+}
+
+/// Structural similarity `SS(Mi, Mj)` per Sect. III-C. Returns a value in
+/// `[0, 1]`, with 1 iff the patterns are isomorphic.
+pub fn structural_similarity(a: &Metagraph, b: &Metagraph) -> f64 {
+    let (sa, sb) = (a.size(), b.size());
+    if sa == 0 || sb == 0 {
+        return 0.0;
+    }
+    let m = mcs_size(a, b) as f64;
+    (m * m) / (sa as f64 * sb as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::TypeId;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+    const B: TypeId = TypeId(2);
+
+    fn path_uau() -> Metagraph {
+        Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    /// M2-like: two users sharing attrs of types A and B.
+    fn m2() -> Metagraph {
+        Metagraph::from_edges(&[U, A, B, U], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap()
+    }
+
+    #[test]
+    fn identical_patterns_similarity_one() {
+        let p = path_uau();
+        assert_eq!(mcs_size(&p, &p), p.size());
+        assert!((structural_similarity(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_inside_metagraph() {
+        // path u-a-u is a subgraph of m2 → MCS = the whole path (5).
+        let p = path_uau();
+        let m = m2();
+        assert_eq!(mcs_size(&p, &m), 5);
+        let ss = structural_similarity(&p, &m);
+        let expect = 25.0 / (5.0 * 8.0);
+        assert!((ss - expect).abs() < 1e-12, "ss={ss}, expect={expect}");
+    }
+
+    #[test]
+    fn disjoint_types_similarity_zero_nodes_shared() {
+        let p = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let q = Metagraph::from_edges(&[B, B], &[(0, 1)]).unwrap();
+        assert_eq!(mcs_size(&p, &q), 0);
+        assert_eq!(structural_similarity(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // u-a-u vs u-b-u share only the two user nodes (no common edge,
+        // since middle types differ).
+        let p = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let q = Metagraph::from_edges(&[U, B, U], &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(mcs_size(&p, &q), 2);
+    }
+
+    #[test]
+    fn symmetric_arguments() {
+        let p = path_uau();
+        let m = m2();
+        assert_eq!(mcs_size(&p, &m), mcs_size(&m, &p));
+        assert!(
+            (structural_similarity(&p, &m) - structural_similarity(&m, &p)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let e = Metagraph::new(&[]).unwrap();
+        let p = path_uau();
+        assert_eq!(mcs_size(&e, &p), 0);
+        assert_eq!(structural_similarity(&e, &p), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        // A catalogue of small patterns; SS must stay within [0,1].
+        let pats = [
+            path_uau(),
+            m2(),
+            Metagraph::from_edges(&[U, U, A], &[(0, 2), (1, 2)]).unwrap(),
+            Metagraph::from_edges(&[U, A], &[(0, 1)]).unwrap(),
+        ];
+        for a in &pats {
+            for b in &pats {
+                let ss = structural_similarity(a, b);
+                assert!((0.0..=1.0 + 1e-12).contains(&ss), "SS out of range: {ss}");
+            }
+        }
+    }
+
+    #[test]
+    fn common_subgraph_respects_edges_not_just_nodes() {
+        // Star with 3 users around attr vs triangle of users: shared
+        // structure is users only (types differ for the attr; no user-user
+        // edges in the star).
+        let star = Metagraph::from_edges(&[A, U, U, U], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let tri = Metagraph::from_edges(&[U, U, U], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(mcs_size(&star, &tri), 3); // 3 user nodes, 0 common edges
+    }
+}

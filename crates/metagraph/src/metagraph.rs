@@ -1,0 +1,404 @@
+//! The [`Metagraph`] pattern type.
+
+use mgp_graph::TypeId;
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of nodes in a metagraph.
+///
+/// The paper restricts mined metagraphs to at most 5 nodes ("found to be
+/// adequate in expressing various interactions between users", Sect. V-A);
+/// we allow up to 16 so adjacency fits in one `u16` bitmask per node.
+pub const MAX_NODES: usize = 16;
+
+/// Errors from metagraph construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetagraphError {
+    /// More than [`MAX_NODES`] nodes.
+    TooManyNodes(usize),
+    /// A self-loop was requested; metagraphs are simple.
+    SelfLoop(usize),
+    /// A node index was out of range.
+    BadNode(usize),
+}
+
+impl std::fmt::Display for MetagraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetagraphError::TooManyNodes(n) => {
+                write!(f, "metagraph has {n} nodes, max {MAX_NODES}")
+            }
+            MetagraphError::SelfLoop(u) => write!(f, "self-loop on metagraph node {u}"),
+            MetagraphError::BadNode(u) => write!(f, "metagraph node {u} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MetagraphError {}
+
+/// A metagraph `M = (V_M, E_M)` with type mapping `τ_M` (Sect. II-A).
+///
+/// Nodes are `0..n` (`n ≤ 16`); each carries a [`TypeId`]. Undirected,
+/// simple. Adjacency is a bitmask per node for O(1) edge tests and fast
+/// neighbourhood iteration — metagraphs are tiny and matched millions of
+/// times, so this representation is deliberately branch-light.
+///
+/// ```
+/// use mgp_graph::TypeId;
+/// use mgp_metagraph::Metagraph;
+/// // M3 of the paper (Fig. 2b): user — address — user, a metapath.
+/// let user = TypeId(0);
+/// let address = TypeId(1);
+/// let m3 = Metagraph::from_edges(&[user, address, user], &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(m3.n_nodes(), 3);
+/// assert_eq!(m3.n_edges(), 2);
+/// assert!(m3.has_edge(0, 1));
+/// assert!(!m3.has_edge(0, 2));
+/// assert!(m3.is_connected());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Metagraph {
+    types: Vec<TypeId>,
+    adj: Vec<u16>,
+    n_edges: u8,
+}
+
+impl Metagraph {
+    /// Creates an edgeless metagraph over the given node types.
+    pub fn new(types: &[TypeId]) -> Result<Self, MetagraphError> {
+        if types.len() > MAX_NODES {
+            return Err(MetagraphError::TooManyNodes(types.len()));
+        }
+        Ok(Metagraph {
+            types: types.to_vec(),
+            adj: vec![0; types.len()],
+            n_edges: 0,
+        })
+    }
+
+    /// Creates a metagraph from node types and an edge list.
+    pub fn from_edges(
+        types: &[TypeId],
+        edges: &[(usize, usize)],
+    ) -> Result<Self, MetagraphError> {
+        let mut m = Metagraph::new(types)?;
+        for &(u, v) in edges {
+            m.add_edge(u, v)?;
+        }
+        Ok(m)
+    }
+
+    /// Adds an undirected edge. Idempotent.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), MetagraphError> {
+        if u == v {
+            return Err(MetagraphError::SelfLoop(u));
+        }
+        let n = self.types.len();
+        if u >= n {
+            return Err(MetagraphError::BadNode(u));
+        }
+        if v >= n {
+            return Err(MetagraphError::BadNode(v));
+        }
+        if self.adj[u] & (1 << v) == 0 {
+            self.adj[u] |= 1 << v;
+            self.adj[v] |= 1 << u;
+            self.n_edges += 1;
+        }
+        Ok(())
+    }
+
+    /// Appends a new node of the given type, returning its index.
+    ///
+    /// # Errors
+    /// Fails if the metagraph is already at [`MAX_NODES`].
+    pub fn add_node(&mut self, ty: TypeId) -> Result<usize, MetagraphError> {
+        if self.types.len() >= MAX_NODES {
+            return Err(MetagraphError::TooManyNodes(self.types.len() + 1));
+        }
+        self.types.push(ty);
+        self.adj.push(0);
+        Ok(self.types.len() - 1)
+    }
+
+    /// Number of nodes `|V_M|`.
+    #[inline(always)]
+    pub fn n_nodes(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of edges `|E_M|`.
+    #[inline(always)]
+    pub fn n_edges(&self) -> usize {
+        self.n_edges as usize
+    }
+
+    /// Size measure `|V_M| + |E_M|`, as used by the `SS` similarity.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n_nodes() + self.n_edges()
+    }
+
+    /// Type `τ_M(u)` of a pattern node.
+    #[inline(always)]
+    pub fn node_type(&self, u: usize) -> TypeId {
+        self.types[u]
+    }
+
+    /// The slice of all node types.
+    #[inline]
+    pub fn node_types(&self) -> &[TypeId] {
+        &self.types
+    }
+
+    /// Edge test, O(1).
+    #[inline(always)]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.types.len() && v < self.types.len() && self.adj[u] & (1 << v) != 0
+    }
+
+    /// Neighbour bitmask of `u`.
+    #[inline(always)]
+    pub fn neighbors_mask(&self, u: usize) -> u16 {
+        self.adj[u]
+    }
+
+    /// Iterates the neighbours of `u` in increasing index order.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        BitIter(self.adj[u])
+    }
+
+    /// Degree of `u`.
+    #[inline(always)]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].count_ones() as usize
+    }
+
+    /// All edges as `(u, v)` with `u < v`, lexicographic.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.n_edges());
+        for u in 0..self.n_nodes() {
+            for v in BitIter(self.adj[u]) {
+                if v > u {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// True iff the metagraph is connected (the empty metagraph is not).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n_nodes();
+        if n == 0 {
+            return false;
+        }
+        let mut seen: u16 = 1;
+        let mut frontier: u16 = 1;
+        while frontier != 0 {
+            let mut next: u16 = 0;
+            for u in BitIter(frontier) {
+                next |= self.adj[u];
+            }
+            frontier = next & !seen;
+            seen |= next;
+        }
+        seen.count_ones() as usize == n
+    }
+
+    /// Indices of nodes with the given type.
+    pub fn nodes_of_type(&self, ty: TypeId) -> Vec<usize> {
+        (0..self.n_nodes())
+            .filter(|&u| self.types[u] == ty)
+            .collect()
+    }
+
+    /// Number of nodes with the given type.
+    pub fn count_type(&self, ty: TypeId) -> usize {
+        self.types.iter().filter(|&&t| t == ty).count()
+    }
+
+    /// The subpattern induced by keeping the nodes in `keep` (in the given
+    /// order — node `i` of the result is `keep[i]`).
+    pub fn induced(&self, keep: &[usize]) -> Metagraph {
+        let types: Vec<TypeId> = keep.iter().map(|&u| self.types[u]).collect();
+        let mut m = Metagraph::new(&types).expect("induced pattern within bounds");
+        for (i, &u) in keep.iter().enumerate() {
+            for (j, &v) in keep.iter().enumerate().skip(i + 1) {
+                if self.has_edge(u, v) {
+                    m.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        m
+    }
+
+    /// Returns a copy with nodes permuted: node `i` of the result is node
+    /// `perm[i]` of `self`.
+    pub fn permuted(&self, perm: &[usize]) -> Metagraph {
+        debug_assert_eq!(perm.len(), self.n_nodes());
+        self.induced(perm)
+    }
+
+    /// A compact human-readable description like `[0:t0 1:t1] (0-1)`.
+    pub fn brief(&self) -> String {
+        let nodes: Vec<String> = self
+            .types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{i}:{t}"))
+            .collect();
+        let edges: Vec<String> = self
+            .edges()
+            .iter()
+            .map(|(u, v)| format!("{u}-{v}"))
+            .collect();
+        format!("[{}] ({})", nodes.join(" "), edges.join(" "))
+    }
+}
+
+/// Iterator over set bit positions of a `u16`.
+struct BitIter(u16);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline(always)]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+
+    /// M1 of the paper (Fig. 2a): two users sharing a school and a major.
+    pub(crate) fn m1() -> Metagraph {
+        // nodes: 0=user 1=user 2=school 3=major
+        Metagraph::from_edges(
+            &[TypeId(0), TypeId(0), TypeId(1), TypeId(2)],
+            &[(0, 2), (1, 2), (0, 3), (1, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = m1();
+        assert_eq!(m.n_nodes(), 4);
+        assert_eq!(m.n_edges(), 4);
+        assert_eq!(m.size(), 8);
+        assert_eq!(m.node_type(0), TypeId(0));
+        assert_eq!(m.node_type(2), TypeId(1));
+        assert!(m.has_edge(0, 2));
+        assert!(m.has_edge(2, 0));
+        assert!(!m.has_edge(0, 1));
+        assert_eq!(m.degree(0), 2);
+        assert_eq!(m.degree(2), 2);
+        assert_eq!(m.neighbors(0).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(m.count_type(TypeId(0)), 2);
+        assert_eq!(m.nodes_of_type(TypeId(0)), vec![0, 1]);
+    }
+
+    #[test]
+    fn edges_listed_once_sorted() {
+        let m = m1();
+        assert_eq!(m.edges(), vec![(0, 2), (0, 3), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn add_edge_idempotent() {
+        let mut m = Metagraph::new(&[U, S]).unwrap();
+        m.add_edge(0, 1).unwrap();
+        m.add_edge(1, 0).unwrap();
+        assert_eq!(m.n_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_bad_nodes() {
+        let mut m = Metagraph::new(&[U, S]).unwrap();
+        assert_eq!(m.add_edge(0, 0), Err(MetagraphError::SelfLoop(0)));
+        assert_eq!(m.add_edge(0, 7), Err(MetagraphError::BadNode(7)));
+        assert_eq!(m.add_edge(9, 0), Err(MetagraphError::BadNode(9)));
+    }
+
+    #[test]
+    fn rejects_too_many_nodes() {
+        let types = vec![U; MAX_NODES + 1];
+        assert!(matches!(
+            Metagraph::new(&types),
+            Err(MetagraphError::TooManyNodes(_))
+        ));
+        let mut m = Metagraph::new(&vec![U; MAX_NODES]).unwrap();
+        assert!(matches!(
+            m.add_node(U),
+            Err(MetagraphError::TooManyNodes(_))
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        let m = m1();
+        assert!(m.is_connected());
+        let disconnected = Metagraph::from_edges(&[U, U, S, S], &[(0, 2), (1, 3)]).unwrap();
+        assert!(!disconnected.is_connected());
+        let empty = Metagraph::new(&[]).unwrap();
+        assert!(!empty.is_connected());
+        let singleton = Metagraph::new(&[U]).unwrap();
+        assert!(singleton.is_connected());
+    }
+
+    #[test]
+    fn induced_subpattern() {
+        let m = m1();
+        // Keep user 0, school 2 → a single edge.
+        let sub = m.induced(&[0, 2]);
+        assert_eq!(sub.n_nodes(), 2);
+        assert_eq!(sub.n_edges(), 1);
+        assert_eq!(sub.node_type(0), TypeId(0));
+        assert_eq!(sub.node_type(1), TypeId(1));
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let m = m1();
+        let p = m.permuted(&[1, 0, 3, 2]);
+        assert_eq!(p.n_edges(), m.n_edges());
+        // node 0 of p is old node 1 (user), still adjacent to both attrs.
+        assert_eq!(p.degree(0), 2);
+        assert!(p.has_edge(0, 2)); // old (1,3)
+    }
+
+    #[test]
+    fn grow_with_add_node() {
+        let mut m = Metagraph::new(&[U]).unwrap();
+        let v = m.add_node(S).unwrap();
+        assert_eq!(v, 1);
+        m.add_edge(0, v).unwrap();
+        assert!(m.is_connected());
+    }
+
+    #[test]
+    fn brief_is_stable() {
+        let m = Metagraph::from_edges(&[U, S], &[(0, 1)]).unwrap();
+        assert_eq!(m.brief(), "[0:t0 1:t1] (0-1)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = m1();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Metagraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,129 @@
+//! Metapaths: the path-shaped special case of metagraphs.
+//!
+//! Metapaths [Sun et al., PathSim] are metagraphs whose underlying shape is
+//! a simple path, e.g. `user — address — user` (M3 in the paper's Fig. 2).
+//! They matter twice in this system: as the *seed set* `K₀` of dual-stage
+//! training (Sect. III-C — only 2–3 % of metagraphs are paths and they match
+//! 2–5× faster), and as the feature space of the MPP baseline (Sect. V-B).
+
+use crate::{Metagraph, MetagraphError};
+use mgp_graph::TypeId;
+
+/// True iff `m` is a metapath: connected, acyclic, maximum degree ≤ 2.
+///
+/// Single nodes and single edges count as (degenerate) paths, matching the
+/// convention that the seed set contains all path-shaped patterns.
+pub fn is_metapath(m: &Metagraph) -> bool {
+    let n = m.n_nodes();
+    if n == 0 {
+        return false;
+    }
+    m.is_connected() && m.n_edges() == n - 1 && (0..n).all(|u| m.degree(u) <= 2)
+}
+
+/// Builds the path metagraph over the given type sequence:
+/// `types[0] — types[1] — … — types[k-1]`.
+pub fn path_metagraph(types: &[TypeId]) -> Result<Metagraph, MetagraphError> {
+    let mut m = Metagraph::new(types)?;
+    for i in 1..types.len() {
+        m.add_edge(i - 1, i)?;
+    }
+    Ok(m)
+}
+
+/// If `m` is a metapath, returns its node indices in path order (one of the
+/// two orientations); otherwise `None`.
+pub fn path_order(m: &Metagraph) -> Option<Vec<usize>> {
+    if !is_metapath(m) {
+        return None;
+    }
+    let n = m.n_nodes();
+    if n == 1 {
+        return Some(vec![0]);
+    }
+    let start = (0..n).find(|&u| m.degree(u) == 1)?;
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    loop {
+        order.push(cur);
+        let next = m.neighbors(cur).find(|&v| v != prev);
+        match next {
+            Some(v) => {
+                prev = cur;
+                cur = v;
+            }
+            None => break,
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const U: TypeId = TypeId(0);
+    const A: TypeId = TypeId(1);
+    const B: TypeId = TypeId(2);
+
+    #[test]
+    fn recognises_paths() {
+        let p = path_metagraph(&[U, A, U]).unwrap();
+        assert!(is_metapath(&p));
+        let single = Metagraph::new(&[U]).unwrap();
+        assert!(is_metapath(&single));
+        let edge = path_metagraph(&[U, A]).unwrap();
+        assert!(is_metapath(&edge));
+    }
+
+    #[test]
+    fn rejects_nonpaths() {
+        // Star.
+        let star = Metagraph::from_edges(&[A, U, U, U], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(!is_metapath(&star));
+        // Cycle.
+        let cyc = Metagraph::from_edges(&[U, A, U, A], &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(!is_metapath(&cyc));
+        // Disconnected.
+        let disc = Metagraph::from_edges(&[U, A, U, A], &[(0, 1), (2, 3)]).unwrap();
+        assert!(!is_metapath(&disc));
+        // M2-style joint pattern.
+        let m2 = Metagraph::from_edges(&[U, A, B, U], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap();
+        assert!(!is_metapath(&m2));
+        // Empty.
+        assert!(!is_metapath(&Metagraph::new(&[]).unwrap()));
+    }
+
+    #[test]
+    fn path_order_recovers_sequence() {
+        let p = path_metagraph(&[U, A, B, A, U]).unwrap();
+        let order = path_order(&p).unwrap();
+        // Either orientation is fine; types along the order must match.
+        let tys: Vec<TypeId> = order.iter().map(|&u| p.node_type(u)).collect();
+        assert!(tys == vec![U, A, B, A, U]);
+        // Consecutive entries must be edges.
+        for w in order.windows(2) {
+            assert!(p.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn path_order_none_for_nonpath() {
+        let star = Metagraph::from_edges(&[A, U, U, U], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(path_order(&star).is_none());
+    }
+
+    #[test]
+    fn path_order_singleton() {
+        let single = Metagraph::new(&[U]).unwrap();
+        assert_eq!(path_order(&single), Some(vec![0]));
+    }
+
+    #[test]
+    fn shuffled_path_still_a_path() {
+        let p = path_metagraph(&[U, A, B]).unwrap().permuted(&[2, 0, 1]);
+        assert!(is_metapath(&p));
+        assert!(path_order(&p).is_some());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the metagraph structure theory: canonical
+//! codes, automorphisms, decomposition, and MCS.
+
+use proptest::prelude::*;
+use mgp_graph::TypeId;
+use mgp_metagraph::{
+    mcs_size, structural_similarity, Automorphisms, CanonicalCode, Decomposition, Metagraph,
+    SymmetryInfo,
+};
+
+/// Strategy: a random simple pattern with `n ∈ [1, 6]` nodes, up to 3
+/// types, and a random edge subset.
+fn arb_pattern() -> impl Strategy<Value = Metagraph> {
+    (1usize..=6).prop_flat_map(|n| {
+        let types = prop::collection::vec(0u16..3, n);
+        let max_edges = n * (n.saturating_sub(1)) / 2;
+        let edges = prop::collection::vec(any::<bool>(), max_edges);
+        (types, edges).prop_map(move |(tys, edge_bits)| {
+            let types: Vec<TypeId> = tys.into_iter().map(TypeId).collect();
+            let mut m = Metagraph::new(&types).unwrap();
+            let mut bit = 0;
+            for u in 0..types.len() {
+                for v in (u + 1)..types.len() {
+                    if edge_bits[bit] {
+                        m.add_edge(u, v).unwrap();
+                    }
+                    bit += 1;
+                }
+            }
+            m
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn canonical_code_is_relabelling_invariant(m in arb_pattern(), seed in any::<u64>()) {
+        let n = m.n_nodes();
+        // Derive a permutation from the seed deterministically.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let shuffled = m.permuted(&perm);
+        prop_assert_eq!(CanonicalCode::of(&m), CanonicalCode::of(&shuffled));
+    }
+
+    #[test]
+    fn canonical_roundtrip_is_isomorphic(m in arb_pattern()) {
+        let code = CanonicalCode::of(&m);
+        let rebuilt = code.to_metagraph();
+        prop_assert_eq!(rebuilt.n_nodes(), m.n_nodes());
+        prop_assert_eq!(rebuilt.n_edges(), m.n_edges());
+        prop_assert_eq!(CanonicalCode::of(&rebuilt), code);
+    }
+
+    #[test]
+    fn automorphism_group_properties(m in arb_pattern()) {
+        let auts = Automorphisms::compute(&m);
+        prop_assert!(auts.count() >= 1);
+        // Every permutation is a genuine automorphism.
+        for perm in auts.iter() {
+            for u in 0..m.n_nodes() {
+                prop_assert_eq!(m.node_type(perm[u] as usize), m.node_type(u));
+                for v in 0..m.n_nodes() {
+                    if u != v {
+                        prop_assert_eq!(
+                            m.has_edge(perm[u] as usize, perm[v] as usize),
+                            m.has_edge(u, v)
+                        );
+                    }
+                }
+            }
+        }
+        // Group order divides n! (Lagrange, trivially) and symmetric
+        // relation is symmetric.
+        let info = SymmetryInfo::from_automorphisms(&m, &auts);
+        for u in 0..m.n_nodes() {
+            for v in 0..m.n_nodes() {
+                prop_assert_eq!(info.are_symmetric(u, v), info.are_symmetric(v, u));
+                if info.are_symmetric(u, v) {
+                    prop_assert_eq!(info.orbit_of(u), info.orbit_of(v));
+                    prop_assert_eq!(m.node_type(u), m.node_type(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_partitions_nodes(m in arb_pattern()) {
+        let d = Decomposition::compute(&m);
+        prop_assert_eq!(d.n_nodes_covered(), m.n_nodes());
+        let mut mask = 0u16;
+        for b in &d.blocks {
+            prop_assert_eq!(mask & b.mask(), 0, "blocks overlap");
+            mask |= b.mask();
+            // Components inside a block are same-sized, type-aligned and
+            // disjoint.
+            let rep = &b.components[0];
+            let mut seen = 0u16;
+            for c in &b.components {
+                prop_assert_eq!(c.len(), rep.len());
+                prop_assert_eq!(seen & c.mask, 0);
+                seen |= c.mask;
+                for (i, &u) in c.nodes.iter().enumerate() {
+                    prop_assert_eq!(
+                        m.node_type(u as usize),
+                        m.node_type(rep.nodes[i] as usize)
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(mask.count_ones() as usize, m.n_nodes());
+        // |Aut| = r · ∏ |B|!
+        let h: usize = d
+            .blocks
+            .iter()
+            .map(|b| (1..=b.width()).product::<usize>())
+            .product();
+        prop_assert_eq!(d.aut_count, d.residual_factor * h);
+    }
+
+    #[test]
+    fn mcs_bounds_and_symmetry(a in arb_pattern(), b in arb_pattern()) {
+        let s = mcs_size(&a, &b);
+        prop_assert_eq!(s, mcs_size(&b, &a));
+        prop_assert!(s <= a.size().min(b.size()));
+        prop_assert_eq!(mcs_size(&a, &a), a.size());
+        let ss = structural_similarity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ss));
+        let ss_aa = structural_similarity(&a, &a);
+        prop_assert!((ss_aa - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isomorphic_patterns_have_ss_one(m in arb_pattern(), seed in any::<u64>()) {
+        let n = m.n_nodes();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let shuffled = m.permuted(&perm);
+        let ss = structural_similarity(&m, &shuffled);
+        prop_assert!((ss - 1.0).abs() < 1e-12, "SS of isomorphic pair = {ss}");
+    }
+}

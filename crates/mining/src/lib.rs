@@ -1,0 +1,33 @@
+//! # mgp-mining — frequent metagraph mining on a single large graph
+//!
+//! The offline phase first *mines* the metagraph set `M` from the object
+//! graph (Fig. 3, subproblem 1). The paper delegates this to GRAMI
+//! [Elseidy et al., PVLDB 2014]; this crate re-implements the relevant core:
+//! pattern-growth enumeration over a **single** large graph with
+//! **MNI (minimum image) support** — the standard anti-monotone support
+//! measure for single-graph mining (instance counts are not downward
+//! closed; minimum image counts are, which makes support-based pruning
+//! sound).
+//!
+//! Mining proceeds level-wise:
+//!
+//! 1. seed with all frequent single-edge patterns (from the graph's
+//!    edge-type statistics),
+//! 2. extend each frequent pattern by a forward edge (new typed node hung
+//!    off an existing node) or a backward edge (closing a cycle),
+//! 3. deduplicate extensions by canonical code, evaluate MNI support with
+//!    early termination, and keep frequent ones,
+//! 4. stop at `max_nodes` (the paper uses 5).
+//!
+//! The final result is filtered to the patterns usable for anchor
+//! proximity, matching Sect. V-A: at least two anchor-type (`user`) nodes,
+//! at least one node of another type, and a symmetric anchor pair
+//! (Def. 1) — plus the connectivity that growth guarantees.
+
+#![warn(missing_docs)]
+
+pub mod miner;
+pub mod support;
+
+pub use miner::{mine, MinedMetagraph, MinerConfig};
+pub use support::{mni_support, SupportOutcome};

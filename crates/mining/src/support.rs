@@ -1,0 +1,179 @@
+//! MNI (minimum image) support evaluation.
+//!
+//! The MNI support of a pattern is `min_u |{v ∈ V : some embedding maps
+//! pattern node u to v}|` — the size of the smallest per-node image set.
+//! It is anti-monotone under pattern extension, which is what makes
+//! support-threshold pruning sound on a single graph (GRAMI's measure).
+//!
+//! Evaluation enumerates embeddings with the shared backtracking engine and
+//! two kinds of early exit:
+//!
+//! * **success**: every image set has reached the threshold → `Frequent`
+//!   (the exact support is not needed for pruning);
+//! * **budget**: the embedding budget is exhausted before the verdict is
+//!   certain → `BudgetExhausted`, which the miner treats optimistically as
+//!   frequent (GRAMI's lazy CSP search achieves certainty cheaper; a budget
+//!   keeps worst-case patterns from stalling the pipeline).
+
+use mgp_graph::{FxHashSet, Graph};
+use mgp_matching::engine::backtrack_embeddings;
+use mgp_matching::order::estimated_instance_order;
+use mgp_matching::PatternInfo;
+
+/// Result of an MNI support check against a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupportOutcome {
+    /// Every pattern node's image set reached the threshold.
+    Frequent,
+    /// Enumeration finished; the smallest image set has this size
+    /// (< threshold).
+    Infrequent(u64),
+    /// The embedding budget ran out before a certain verdict.
+    BudgetExhausted,
+}
+
+impl SupportOutcome {
+    /// Whether the miner should keep the pattern.
+    pub fn keep(self) -> bool {
+        !matches!(self, SupportOutcome::Infrequent(_))
+    }
+}
+
+/// Checks whether `p`'s MNI support reaches `threshold`, enumerating at most
+/// `budget` embeddings.
+pub fn mni_support(g: &Graph, p: &PatternInfo, threshold: u64, budget: u64) -> SupportOutcome {
+    let n = p.n_nodes();
+    if n == 0 {
+        return SupportOutcome::Infrequent(0);
+    }
+    // Quick necessary bound: image set of node u is at most the number of
+    // graph nodes of its type.
+    for u in 0..n {
+        if (g.n_nodes_of_type(p.metagraph.node_type(u)) as u64) < threshold {
+            return SupportOutcome::Infrequent(0);
+        }
+    }
+
+    let order = estimated_instance_order(g, p);
+    let mut images: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    let mut visits = 0u64;
+    let mut all_reached = false;
+    let mut out_of_budget = false;
+
+    backtrack_embeddings(g, p, &order, None, &mut |assign| {
+        visits += 1;
+        for (u, &v) in assign.iter().enumerate() {
+            images[u].insert(v.0);
+        }
+        if images.iter().all(|s| s.len() as u64 >= threshold) {
+            all_reached = true;
+            return false;
+        }
+        if visits >= budget {
+            out_of_budget = true;
+            return false;
+        }
+        true
+    });
+
+    if all_reached {
+        SupportOutcome::Frequent
+    } else if out_of_budget {
+        SupportOutcome::BudgetExhausted
+    } else {
+        let min = images.iter().map(|s| s.len() as u64).min().unwrap_or(0);
+        if min >= threshold {
+            SupportOutcome::Frequent
+        } else {
+            SupportOutcome::Infrequent(min)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::{GraphBuilder, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+
+    fn star(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let s = b.add_node(school, "s");
+        for i in 0..n {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, s).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn frequent_when_images_reach_threshold() {
+        let g = star(5);
+        let p = PatternInfo::new(
+            Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap(),
+            U,
+        );
+        // Users have 5 images, school only 1 → support = 1.
+        assert_eq!(
+            mni_support(&g, &p, 1, 10_000),
+            SupportOutcome::Frequent
+        );
+        // Threshold 2 fails via the type-count bound (only 1 school).
+        assert!(matches!(
+            mni_support(&g, &p, 2, 10_000),
+            SupportOutcome::Infrequent(_)
+        ));
+    }
+
+    #[test]
+    fn infrequent_on_missing_types() {
+        let g = star(3);
+        let p = PatternInfo::new(
+            Metagraph::from_edges(&[U, TypeId(7)], &[(0, 1)]).unwrap(),
+            U,
+        );
+        assert_eq!(mni_support(&g, &p, 1, 100), SupportOutcome::Infrequent(0));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // Two schools so the school image set needs 2 embeddings in
+        // different schools; with budget 1 the verdict is uncertain.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        for k in 0..2 {
+            let s = b.add_node(school, format!("s{k}"));
+            for i in 0..3 {
+                let u = b.add_node(user, format!("u{k}{i}"));
+                b.add_edge(u, s).unwrap();
+            }
+        }
+        let g = b.build();
+        let p = PatternInfo::new(
+            Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap(),
+            U,
+        );
+        assert_eq!(mni_support(&g, &p, 2, 1), SupportOutcome::BudgetExhausted);
+        assert_eq!(mni_support(&g, &p, 2, 10_000), SupportOutcome::Frequent);
+    }
+
+    #[test]
+    fn keep_semantics() {
+        assert!(SupportOutcome::Frequent.keep());
+        assert!(SupportOutcome::BudgetExhausted.keep());
+        assert!(!SupportOutcome::Infrequent(0).keep());
+    }
+
+    #[test]
+    fn empty_pattern_infrequent() {
+        let g = star(2);
+        let p = PatternInfo::new(Metagraph::new(&[]).unwrap(), U);
+        assert_eq!(mni_support(&g, &p, 1, 100), SupportOutcome::Infrequent(0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests of the miner on random campus-style graphs.
+
+use mgp_graph::{Graph, GraphBuilder, TypeId};
+use mgp_metagraph::{CanonicalCode, SymmetryInfo};
+use mgp_mining::{mine, MinerConfig};
+use proptest::prelude::*;
+
+const USER: TypeId = TypeId(0);
+
+/// Random tripartite graph: users wired to schools and majors by seed bits.
+fn random_campus(n_users: usize, n_schools: usize, n_majors: usize, bits: &[bool]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let user = b.add_type("user");
+    let school = b.add_type("school");
+    let major = b.add_type("major");
+    let schools: Vec<_> = (0..n_schools)
+        .map(|i| b.add_node(school, format!("s{i}")))
+        .collect();
+    let majors: Vec<_> = (0..n_majors)
+        .map(|i| b.add_node(major, format!("m{i}")))
+        .collect();
+    let mut bit = 0usize;
+    let mut next = |def: bool| {
+        let v = bits.get(bit).copied().unwrap_or(def);
+        bit += 1;
+        v
+    };
+    for i in 0..n_users {
+        let u = b.add_node(user, format!("u{i}"));
+        // Guarantee one school edge; others optional.
+        b.add_edge(u, schools[i % n_schools]).unwrap();
+        if next(false) {
+            b.add_edge(u, schools[(i + 1) % n_schools]).unwrap();
+        }
+        if next(true) {
+            b.add_edge(u, majors[i % n_majors]).unwrap();
+        }
+        if next(false) {
+            b.add_edge(u, majors[(i + 3) % n_majors]).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn miner_output_is_valid_and_deterministic(
+        n_users in 6usize..14,
+        n_schools in 2usize..4,
+        n_majors in 2usize..4,
+        bits in prop::collection::vec(any::<bool>(), 64),
+        support in 2u64..5,
+    ) {
+        let g = random_campus(n_users, n_schools, n_majors, &bits);
+        let mut cfg = MinerConfig::paper_defaults(USER, support);
+        cfg.max_patterns = Some(50);
+        let a = mine(&g, &cfg);
+        let b = mine(&g, &cfg);
+        prop_assert_eq!(&a, &b, "mining not deterministic");
+
+        let mut codes = std::collections::BTreeSet::new();
+        for mm in &a {
+            let m = &mm.metagraph;
+            prop_assert!(m.is_connected());
+            prop_assert!(m.n_nodes() <= cfg.max_nodes);
+            prop_assert!(m.count_type(USER) >= cfg.min_anchor_nodes);
+            prop_assert!(m.count_type(USER) < m.n_nodes());
+            let info = SymmetryInfo::compute(m);
+            prop_assert!(!info.anchor_pairs(m, USER).is_empty());
+            prop_assert!(codes.insert(CanonicalCode::of(m)), "duplicate pattern");
+        }
+    }
+
+    #[test]
+    fn higher_support_mines_subset(
+        n_users in 8usize..14,
+        bits in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let g = random_campus(n_users, 2, 2, &bits);
+        let mk = |support| {
+            let mut cfg = MinerConfig::paper_defaults(USER, support);
+            cfg.max_patterns = None;
+            let mut codes: Vec<CanonicalCode> = mine(&g, &cfg)
+                .into_iter()
+                .map(|m| CanonicalCode::of(&m.metagraph))
+                .collect();
+            codes.sort();
+            codes
+        };
+        let low = mk(2);
+        let high = mk(4);
+        // MNI is anti-monotone, so the high-support result is a subset of
+        // the low-support result.
+        for c in &high {
+            prop_assert!(low.contains(c), "high-support pattern missing at low support");
+        }
+    }
+}

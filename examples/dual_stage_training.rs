@@ -1,0 +1,70 @@
+//! Dual-stage training demonstration (Sect. III-C, Alg. 1).
+//!
+//! Runs the same class through the Full, DualStage and MultiStage
+//! strategies and reports how many metagraphs each had to match and how the
+//! matching time compares — the paper's 83 % matching-cost reduction,
+//! reproduced in miniature.
+//!
+//! Run with: `cargo run --release --example dual_stage_training`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig, FAMILY};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::eval::{evaluate_ranker, repeated_splits};
+use semantic_proximity::learning::sample_examples;
+
+fn main() {
+    let dataset = generate_facebook(&FacebookConfig::tiny(21));
+    let queries = dataset.labels.queries_of_class(FAMILY);
+    let split = &repeated_splits(&queries, 0.2, 1, 9)[0];
+    let anchors: Vec<_> = dataset.graph.nodes_of_type(dataset.anchor_type).to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let examples = sample_examples(
+        &split.train,
+        |q| dataset.labels.positives_of(q, FAMILY),
+        |q, v| dataset.labels.has(q, v, FAMILY),
+        &anchors,
+        400,
+        &mut rng,
+    );
+
+    println!("strategy        matched/mined  matching(s)  NDCG@10  MAP@10");
+    for (label, strategy) in [
+        ("full", TrainingStrategy::Full),
+        ("dual-stage", TrainingStrategy::DualStage { n_candidates: 8 }),
+        (
+            "multi-stage",
+            TrainingStrategy::MultiStage {
+                batch: 4,
+                max_batches: 3,
+                min_ll_gain: 0.01,
+            },
+        ),
+    ] {
+        let mut cfg = PipelineConfig::new(dataset.anchor_type, 5);
+        cfg.strategy = strategy;
+        let mut engine = SearchEngine::build(dataset.graph.clone(), cfg);
+        engine.train_class("family", &examples);
+        let t = engine.timings();
+        let (ndcg, map) = evaluate_ranker(
+            &split.test,
+            10,
+            |q| dataset.labels.positives_of(q, FAMILY),
+            |q| {
+                engine
+                    .search("family", q, 10)
+                    .into_iter()
+                    .map(|(v, _)| v)
+                    .collect()
+            },
+        );
+        println!(
+            "{label:15} {:>3}/{:<9} {:>10.3}  {ndcg:.4}   {map:.4}",
+            t.n_matched,
+            t.n_mined,
+            t.matching.as_secs_f64()
+        );
+    }
+    println!("\nDual-stage should match far fewer metagraphs at nearly full accuracy.");
+}

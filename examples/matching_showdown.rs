@@ -1,0 +1,65 @@
+//! Metagraph matching algorithm showdown (Sect. IV / Fig. 11 in miniature).
+//!
+//! Matches a symmetric 5-node metagraph on a LinkedIn-like graph with every
+//! implemented algorithm and prints visits, instances and wall-clock —
+//! showing both the correctness contract (identical instance sets) and
+//! SymISO's speed advantage.
+//!
+//! Run with: `cargo run --release --example matching_showdown`
+
+use semantic_proximity::datagen::{generate_linkedin, linkedin::LinkedInConfig};
+use semantic_proximity::matching::{
+    count_embeddings, count_instances, Matcher, PatternInfo, QuickSi, SymIso, TurboLite, Vf2,
+};
+use semantic_proximity::metagraph::{Decomposition, Metagraph};
+use std::time::Instant;
+
+fn main() {
+    let d = generate_linkedin(&LinkedInConfig::default());
+    let g = &d.graph;
+    let t = |name: &str| g.types().id(name).expect("type");
+    println!("Graph: {} nodes, {} edges", g.n_nodes(), g.n_edges());
+
+    // Pattern: two users sharing an employer AND a location, one of whom
+    // also attended some college ("colleagues in the same office").
+    let m = Metagraph::from_edges(
+        &[t("user"), t("user"), t("employer"), t("location"), t("college")],
+        &[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4)],
+    )
+    .unwrap();
+    println!("Pattern: {}", m.brief());
+
+    let decomp = Decomposition::compute(&m);
+    println!(
+        "Decomposition: {} blocks, reuse: {}, |Aut| = {}, residual factor = {}",
+        decomp.blocks.len(),
+        decomp.has_reuse(),
+        decomp.aut_count,
+        decomp.residual_factor
+    );
+
+    let p = PatternInfo::new(m, t("user"));
+    let matchers: Vec<Box<dyn Matcher>> = vec![
+        Box::new(SymIso::new()),
+        Box::new(SymIso::random_order(7)),
+        Box::new(TurboLite),
+        Box::new(Vf2),
+        Box::new(QuickSi),
+    ];
+
+    println!("\nmatcher         visits     instances   time(ms)");
+    let mut reference: Option<u64> = None;
+    for matcher in &matchers {
+        let t0 = Instant::now();
+        let visits = count_embeddings(matcher.as_ref(), g, &p);
+        let ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let instances = count_instances(matcher.as_ref(), g, &p);
+        match reference {
+            None => reference = Some(instances),
+            Some(r) => assert_eq!(instances, r, "matchers must agree"),
+        }
+        println!("{:<15} {visits:>8}   {instances:>9}   {ms:>8.2}", matcher.name());
+    }
+    println!("\nAll matchers agree on |I(M)| = {}.", reference.unwrap());
+    println!("SymISO visits each instance once; baselines visit every embedding.");
+}

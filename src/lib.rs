@@ -1,0 +1,42 @@
+//! # semantic-proximity
+//!
+//! A from-scratch Rust reproduction of **"Semantic Proximity Search on Graphs
+//! with Metagraph-based Learning"** (Fang, Lin, Zheng, Wu, Chang, Li — ICDE
+//! 2016).
+//!
+//! Given a heterogeneous *typed object graph* (users, schools, employers,
+//! hobbies, …), different node pairs are "close" for different *semantic*
+//! reasons: classmates, family, coworkers. This crate family characterises
+//! each semantic class by its tell-tale **metagraphs** — small typed pattern
+//! graphs — and learns, from example rankings, a weight per metagraph that
+//! turns shared metagraph instances into a class-specific proximity score
+//! (MGP). Two efficiency techniques from the paper are included: **dual-stage
+//! training** (match cheap metapath seeds first, then only promising
+//! metagraph candidates) and **SymISO** (symmetry-based subgraph matching).
+//!
+//! This top-level crate simply re-exports the sub-crates under friendly
+//! module names. For an end-to-end entry point see [`engine`]
+//! ([`mgp_core::SearchEngine`]); for a guided tour run
+//! `cargo run --example quickstart`.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`graph`] | typed object graph substrate (CSR storage, type index) |
+//! | [`metagraph`] | metagraph patterns, symmetry, canonical forms, MCS |
+//! | [`matching`] | QuickSI / VF2 / TurboISO-lite / SymISO subgraph matchers |
+//! | [`mining`] | GRAMI-style frequent metagraph miner (MNI support) |
+//! | [`index`] | metagraph vectors `m_x`, `m_xy` (Eq. 1–2) |
+//! | [`learning`] | MGP proximity, supervised training, dual-stage, baselines |
+//! | [`eval`] | NDCG@k / MAP@k and split management |
+//! | [`datagen`] | synthetic LinkedIn-/Facebook-like datasets + toy graph |
+//! | [`engine`] | offline pipeline + online query facade |
+
+pub use mgp_core as engine;
+pub use mgp_datagen as datagen;
+pub use mgp_eval as eval;
+pub use mgp_graph as graph;
+pub use mgp_index as index;
+pub use mgp_learning as learning;
+pub use mgp_matching as matching;
+pub use mgp_metagraph as metagraph;
+pub use mgp_mining as mining;

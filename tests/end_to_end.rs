@@ -1,0 +1,173 @@
+//! Cross-crate integration: the full offline + online pipeline.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use semantic_proximity::datagen::toy::{toy_graph, toy_metagraphs};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::eval::{evaluate_ranker, repeated_splits};
+use semantic_proximity::learning::{sample_examples, TrainingExample};
+
+fn facebook_examples(
+    d: &semantic_proximity::datagen::Dataset,
+    class: semantic_proximity::datagen::ClassId,
+    train: &[semantic_proximity::graph::NodeId],
+    n: usize,
+    seed: u64,
+) -> Vec<TrainingExample> {
+    let anchors: Vec<_> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    sample_examples(
+        train,
+        |q| d.labels.positives_of(q, class),
+        |q, v| d.labels.has(q, v, class),
+        &anchors,
+        n,
+        &mut rng,
+    )
+}
+
+#[test]
+fn toy_graph_classmate_search_end_to_end() {
+    use semantic_proximity::index::{Transform, VectorIndex};
+    use semantic_proximity::learning::{mgp, train, TrainConfig};
+    use semantic_proximity::matching::{anchor::anchor_counts, PatternInfo, SymIso};
+
+    let toy = toy_graph();
+    let g = &toy.graph;
+    let (m1, m2, m3, m4) = toy_metagraphs(g);
+    let patterns: Vec<PatternInfo> = [m1, m2, m3, m4]
+        .into_iter()
+        .map(|m| PatternInfo::new(m, toy.user))
+        .collect();
+    let counts: Vec<_> = patterns
+        .iter()
+        .map(|p| anchor_counts(&SymIso::new(), g, p))
+        .collect();
+    let index = VectorIndex::from_counts(&counts, Transform::Raw);
+
+    // Supervise "classmate": Kate→Jay above Alice; Bob→Tom above Alice.
+    let kate = g.node_by_label("Kate").unwrap();
+    let jay = g.node_by_label("Jay").unwrap();
+    let alice = g.node_by_label("Alice").unwrap();
+    let bob = g.node_by_label("Bob").unwrap();
+    let tom = g.node_by_label("Tom").unwrap();
+    let examples = vec![
+        TrainingExample { q: kate, x: jay, y: alice },
+        TrainingExample { q: bob, x: tom, y: alice },
+    ];
+    let model = train(&index, &examples, &TrainConfig::fast(1));
+
+    // M1 (shared school+major) should dominate; ranking matches Fig. 1b.
+    assert_eq!(mgp::rank(&index, kate, &model.weights, 1), vec![jay]);
+    assert_eq!(mgp::rank(&index, bob, &model.weights, 1), vec![tom]);
+}
+
+#[test]
+fn facebook_pipeline_beats_uniform_weights() {
+    let d = generate_facebook(&FacebookConfig::tiny(33));
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = semantic_proximity::learning::TrainConfig::fast(2);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+
+    let queries = d.labels.queries_of_class(FAMILY);
+    let split = &repeated_splits(&queries, 0.2, 1, 7)[0];
+    let examples = facebook_examples(&d, FAMILY, &split.train, 300, 11);
+    engine.train_class("family", &examples);
+
+    let positives = |q| d.labels.positives_of(q, FAMILY);
+    let (trained_ndcg, _) = evaluate_ranker(&split.test, 10, positives, |q| {
+        engine.search("family", q, 10).into_iter().map(|(v, _)| v).collect()
+    });
+
+    // Uniform weights over the same index.
+    let model = engine.model("family").unwrap();
+    let uniform = vec![1.0; model.index.n_metagraphs()];
+    let (uniform_ndcg, _) = evaluate_ranker(&split.test, 10, positives, |q| {
+        semantic_proximity::learning::mgp::rank(&model.index, q, &uniform, 10)
+    });
+
+    assert!(
+        trained_ndcg > uniform_ndcg,
+        "trained {trained_ndcg:.3} should beat uniform {uniform_ndcg:.3}"
+    );
+    assert!(trained_ndcg > 0.5, "absolute quality too low: {trained_ndcg:.3}");
+}
+
+#[test]
+fn classes_learn_different_weights() {
+    let d = generate_facebook(&FacebookConfig::tiny(44));
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = semantic_proximity::learning::TrainConfig::fast(3);
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+
+    for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+        let queries = d.labels.queries_of_class(class);
+        let split = &repeated_splits(&queries, 0.2, 1, 5)[0];
+        let examples = facebook_examples(&d, class, &split.train, 300, 13);
+        engine.train_class(name, &examples);
+    }
+    let fam = engine.model("family").unwrap().weights.clone();
+    let cls = engine.model("classmate").unwrap().weights.clone();
+    assert_eq!(fam.len(), cls.len());
+    // The two classes must emphasise different metagraphs: cosine
+    // similarity of the weight vectors stays well below 1.
+    let dot: f64 = fam.iter().zip(&cls).map(|(a, b)| a * b).sum();
+    let na: f64 = fam.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let nb: f64 = cls.iter().map(|b| b * b).sum::<f64>().sqrt();
+    let cosine = dot / (na * nb).max(1e-12);
+    assert!(cosine < 0.95, "weight vectors nearly identical: cos={cosine:.3}");
+}
+
+#[test]
+fn dual_stage_close_to_full_accuracy() {
+    let d = generate_facebook(&FacebookConfig::tiny(55));
+    let queries = d.labels.queries_of_class(CLASSMATE);
+    let split = &repeated_splits(&queries, 0.2, 1, 3)[0];
+    let examples = facebook_examples(&d, CLASSMATE, &split.train, 300, 17);
+    let positives = |q| d.labels.positives_of(q, CLASSMATE);
+
+    let run = |strategy| {
+        let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+        cfg.train = semantic_proximity::learning::TrainConfig::fast(4);
+        cfg.strategy = strategy;
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+        engine.train_class("classmate", &examples);
+        let (ndcg, _) = evaluate_ranker(&split.test, 10, positives, |q| {
+            engine
+                .search("classmate", q, 10)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect()
+        });
+        (ndcg, engine.timings().n_matched, engine.timings().n_mined)
+    };
+
+    let (full_ndcg, full_matched, mined) = run(TrainingStrategy::Full);
+    let (dual_ndcg, dual_matched, _) = run(TrainingStrategy::DualStage { n_candidates: 10 });
+
+    assert_eq!(full_matched, mined);
+    assert!(dual_matched < full_matched / 2, "dual matched {dual_matched}/{full_matched}");
+    assert!(
+        dual_ndcg > full_ndcg * 0.85,
+        "dual-stage lost too much accuracy: {dual_ndcg:.3} vs {full_ndcg:.3}"
+    );
+}
+
+#[test]
+fn engine_is_deterministic() {
+    let d = generate_facebook(&FacebookConfig::tiny(66));
+    let examples = {
+        let queries = d.labels.queries_of_class(FAMILY);
+        facebook_examples(&d, FAMILY, &queries, 100, 19)
+    };
+    let run = || {
+        let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+        cfg.train = semantic_proximity::learning::TrainConfig::fast(5);
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+        engine.train_class("family", &examples);
+        engine.model("family").unwrap().weights.clone()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,144 @@
+//! Property-based cross-matcher agreement: on random typed graphs, every
+//! matcher must produce the identical instance set for every pattern, and
+//! SymISO's counts must equal the baselines' embedding counts divided by
+//! |Aut(M)|.
+
+use proptest::prelude::*;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::matching::{
+    collect_instances, count_embeddings, count_instances, Matcher, PatternInfo, QuickSi, SymIso,
+    TurboLite, Vf2,
+};
+use semantic_proximity::metagraph::Metagraph;
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+/// Random bipartite-ish typed graph: users plus two attribute types, with
+/// edges chosen by the seed bits.
+fn random_graph(n_users: usize, n_a: usize, n_b: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let mut nodes = Vec::new();
+    for i in 0..n_users {
+        nodes.push(g.add_node(user, format!("u{i}")));
+    }
+    for i in 0..n_a {
+        nodes.push(g.add_node(ta, format!("a{i}")));
+    }
+    for i in 0..n_b {
+        nodes.push(g.add_node(tb, format!("b{i}")));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % nodes.len(), y % nodes.len());
+        if x != y {
+            g.add_edge(nodes[x], nodes[y]).unwrap();
+        }
+    }
+    g.build()
+}
+
+/// Catalogue of patterns exercising paths, joints, stars and triangles.
+fn pattern_catalogue() -> Vec<Metagraph> {
+    vec![
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, B, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, USER, B, USER], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap(),
+        Metagraph::from_edges(&[A, USER, USER, USER], &[(0, 1), (0, 2), (0, 3)]).unwrap(),
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, USER, A, B], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+        // 6-cycle with residual symmetry (r > 1 exercises the divisor).
+        Metagraph::from_edges(
+            &[USER, A, USER, A, USER, A],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        )
+        .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_matchers_agree_on_random_graphs(
+        n_users in 3usize..8,
+        n_a in 1usize..4,
+        n_b in 1usize..4,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 5..40),
+        seed in 0u64..1000,
+    ) {
+        let g = random_graph(n_users, n_a, n_b, &edges);
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(QuickSi),
+            Box::new(Vf2),
+            Box::new(TurboLite),
+            Box::new(SymIso::new()),
+            Box::new(SymIso::random_order(seed)),
+        ];
+        for m in pattern_catalogue() {
+            let p = PatternInfo::new(m.clone(), USER);
+            let reference = collect_instances(&QuickSi, &g, &p);
+            for matcher in &matchers {
+                let got = collect_instances(matcher.as_ref(), &g, &p);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "matcher {} disagrees on {}", matcher.name(), m.brief()
+                );
+                prop_assert_eq!(
+                    count_instances(matcher.as_ref(), &g, &p),
+                    reference.len() as u64,
+                    "count mismatch for {} on {}", matcher.name(), m.brief()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symiso_divides_out_automorphisms(
+        n_users in 3usize..7,
+        edges in prop::collection::vec((0usize..30, 0usize..30), 5..30),
+    ) {
+        let g = random_graph(n_users, 3, 2, &edges);
+        for m in pattern_catalogue() {
+            let p = PatternInfo::new(m, USER);
+            let emb = count_embeddings(&QuickSi, &g, &p);
+            let aut = p.aut_count();
+            prop_assert_eq!(emb % aut, 0, "embeddings not divisible by |Aut|");
+            let sym_visits = count_embeddings(&SymIso::new(), &g, &p);
+            let r = p.residual_factor();
+            prop_assert_eq!(sym_visits % r, 0);
+            prop_assert_eq!(sym_visits / r, emb / aut);
+        }
+    }
+}
+
+#[test]
+fn instances_are_valid_subgraph_images() {
+    // Deterministic spot-check that enumerated instances satisfy Def. 2.
+    let edges: Vec<(usize, usize)> = (0..30).map(|i| (i, i * 7 + 3)).collect();
+    let g = random_graph(6, 3, 2, &edges);
+    for m in pattern_catalogue() {
+        let p = PatternInfo::new(m.clone(), USER);
+        for inst in collect_instances(&SymIso::new(), &g, &p) {
+            let a: &[NodeId] = &inst.assignment;
+            // Types preserved.
+            for (u, &v) in a.iter().enumerate() {
+                assert_eq!(g.node_type(v), m.node_type(u));
+            }
+            // Injective.
+            let mut sorted = a.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), a.len());
+            // Every pattern edge realised.
+            for (u, v) in m.edges() {
+                assert!(g.has_edge(a[u], a[v]));
+            }
+        }
+    }
+}

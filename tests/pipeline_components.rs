@@ -1,0 +1,121 @@
+//! Cross-crate consistency of the offline pipeline's data flow:
+//! mining → matching → indexing invariants on a real generated graph.
+
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig};
+use semantic_proximity::graph::NodeId;
+use semantic_proximity::index::{Transform, VectorIndex};
+use semantic_proximity::matching::parallel::match_all;
+use semantic_proximity::matching::{PatternInfo, QuickSi, SymIso};
+use semantic_proximity::metagraph::{is_metapath, CanonicalCode, SymmetryInfo};
+use semantic_proximity::mining::{mine, MinerConfig};
+
+fn setup() -> (
+    semantic_proximity::datagen::Dataset,
+    Vec<PatternInfo>,
+    Vec<semantic_proximity::matching::AnchorCounts>,
+) {
+    let d = generate_facebook(&FacebookConfig::tiny(99));
+    let mut cfg = MinerConfig::paper_defaults(d.anchor_type, 5);
+    cfg.max_patterns = Some(40);
+    let mined = mine(&d.graph, &cfg);
+    let patterns: Vec<PatternInfo> = mined
+        .into_iter()
+        .map(|m| PatternInfo::new(m.metagraph, d.anchor_type))
+        .collect();
+    let counts = match_all(&d.graph, &patterns, &SymIso::new(), 2);
+    (d, patterns, counts)
+}
+
+#[test]
+fn mined_patterns_are_matchable_and_symmetric() {
+    let (d, patterns, counts) = setup();
+    assert!(patterns.len() >= 10);
+    for (p, c) in patterns.iter().zip(&counts) {
+        // Every mined pattern is symmetric with an anchor pair.
+        assert!(p.is_useful_for_proximity(), "{}", p.metagraph.brief());
+        // Support threshold 5 ⇒ some instances must exist on this graph.
+        assert!(c.n_instances > 0, "no instances for {}", p.metagraph.brief());
+        // SymISO counts equal a baseline's.
+        let q = semantic_proximity::matching::anchor::anchor_counts(&QuickSi, &d.graph, p);
+        assert_eq!(&q, c, "QuickSI disagrees on {}", p.metagraph.brief());
+    }
+}
+
+#[test]
+fn pair_counts_bounded_by_node_counts() {
+    let (d, _patterns, counts) = setup();
+    let users = d.graph.nodes_of_type(d.anchor_type);
+    for c in &counts {
+        for (&key, &pc) in &c.per_pair {
+            let (x, y) = semantic_proximity::graph::ids::unpack_pair(key);
+            assert!(pc <= c.node_count(x), "m_xy > m_x");
+            assert!(pc <= c.node_count(y), "m_xy > m_y");
+            // Pair endpoints are anchor-typed.
+            assert!(users.contains(&x) && users.contains(&y));
+        }
+    }
+}
+
+#[test]
+fn index_reflects_raw_counts() {
+    let (_d, _patterns, counts) = setup();
+    let idx = VectorIndex::from_counts(&counts, Transform::Raw);
+    assert_eq!(idx.n_metagraphs(), counts.len());
+    for (i, c) in counts.iter().enumerate() {
+        for (&x, &cnt) in &c.per_node {
+            let v = idx.node_vec(NodeId(x));
+            let found = v.iter().find(|&&(j, _)| j == i as u32).map(|&(_, val)| val);
+            assert_eq!(found, Some(cnt as f64));
+        }
+    }
+    // Partner symmetry: y ∈ partners(x) ⇔ x ∈ partners(y).
+    for c in &counts {
+        for &key in c.per_pair.keys() {
+            let (x, y) = semantic_proximity::graph::ids::unpack_pair(key);
+            assert!(idx.partners(x).contains(&y.0));
+            assert!(idx.partners(y).contains(&x.0));
+        }
+    }
+}
+
+#[test]
+fn mining_respects_paper_constraints() {
+    let (d, patterns, _) = setup();
+    let mut codes = std::collections::BTreeSet::new();
+    let mut n_paths = 0;
+    for p in &patterns {
+        let m = &p.metagraph;
+        assert!(m.n_nodes() <= 5);
+        assert!(m.is_connected());
+        assert!(m.count_type(d.anchor_type) >= 2);
+        assert!(m.count_type(d.anchor_type) < m.n_nodes());
+        let info = SymmetryInfo::compute(m);
+        assert!(!info.anchor_pairs(m, d.anchor_type).is_empty());
+        assert!(codes.insert(CanonicalCode::of(m)), "duplicate pattern");
+        if is_metapath(m) {
+            n_paths += 1;
+        }
+    }
+    // Metapaths are a strict minority (paper: 2–3%; more here because the
+    // catalogue is capped, but never a majority).
+    assert!(n_paths * 2 < patterns.len());
+}
+
+#[test]
+fn log_transform_monotone_in_counts() {
+    let (_d, _patterns, counts) = setup();
+    let raw = VectorIndex::from_counts(&counts, Transform::Raw);
+    let log = VectorIndex::from_counts(&counts, Transform::Log1p);
+    // Same sparsity pattern, transformed values, order preserved.
+    for c in &counts {
+        for &x in c.per_node.keys() {
+            let rv = raw.node_vec(NodeId(x));
+            let lv = log.node_vec(NodeId(x));
+            assert_eq!(rv.len(), lv.len());
+            for (&(i, r), &(j, l)) in rv.iter().zip(lv) {
+                assert_eq!(i, j);
+                assert!((l - (1.0 + r).ln()).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based verification of Theorem 1 (properties of MGP) on
+//! randomly generated metagraph vector indexes.
+
+use proptest::prelude::*;
+use semantic_proximity::graph::{FxHashMap, NodeId};
+use semantic_proximity::index::{Transform, VectorIndex};
+use semantic_proximity::learning::proximity;
+use semantic_proximity::matching::AnchorCounts;
+
+/// Builds a random but *consistent* index: for each metagraph, pair counts
+/// are generated and node counts derived as the number of instances the
+/// node appears in (the sum over its pairs is a valid upper bound shape;
+/// we use max to respect m_xy ≤ m_x).
+fn index_from_pairs(n_nodes: u32, pairs_per_mg: &[Vec<(u32, u32, u64)>]) -> VectorIndex {
+    let counts: Vec<AnchorCounts> = pairs_per_mg
+        .iter()
+        .map(|pairs| {
+            let mut per_pair: FxHashMap<u64, u64> = FxHashMap::default();
+            let mut per_node: FxHashMap<u32, u64> = FxHashMap::default();
+            for &(x, y, c) in pairs {
+                let (x, y) = (x % n_nodes, y % n_nodes);
+                if x == y || c == 0 {
+                    continue;
+                }
+                let key = semantic_proximity::graph::ids::pack_pair(NodeId(x), NodeId(y));
+                let e = per_pair.entry(key).or_insert(0);
+                *e = (*e).max(c);
+            }
+            // m_x must dominate every m_xy that involves x; sum is the
+            // natural consistent choice (disjoint instances).
+            for (&key, &c) in &per_pair {
+                let (a, b) = semantic_proximity::graph::ids::unpack_pair(key);
+                *per_node.entry(a.0).or_insert(0) += c;
+                *per_node.entry(b.0).or_insert(0) += c;
+            }
+            AnchorCounts {
+                per_node,
+                per_pair,
+                n_instances: 0,
+            }
+        })
+        .collect();
+    VectorIndex::from_counts(&counts, Transform::Raw)
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<Vec<(u32, u32, u64)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..8, 0u32..8, 1u64..20), 1..10),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn symmetry_self_max_range_scale_invariance(
+        pairs in arb_pairs(),
+        w in prop::collection::vec(0.01f64..1.0, 5),
+        c in 0.1f64..10.0,
+    ) {
+        let idx = index_from_pairs(8, &pairs);
+        let w = &w[..idx.n_metagraphs().min(w.len())];
+        if w.len() < idx.n_metagraphs() {
+            return Ok(()); // not enough weights drawn; skip
+        }
+        let scaled: Vec<f64> = w.iter().map(|x| x * c).collect();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                let (nx, ny) = (NodeId(x), NodeId(y));
+                let p = proximity(&idx, nx, ny, w);
+                // Symmetry.
+                prop_assert_eq!(p.to_bits(), proximity(&idx, ny, nx, w).to_bits());
+                // Range and self-maximum.
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "π={p}");
+                if x == y {
+                    prop_assert_eq!(p, 1.0);
+                }
+                // Scale invariance.
+                let ps = proximity(&idx, nx, ny, &scaled);
+                prop_assert!((p - ps).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_transitivity_near_one(
+        pairs in arb_pairs(),
+        w in prop::collection::vec(0.05f64..1.0, 5),
+    ) {
+        // Theorem 1's partial transitivity: when π(x,y) and π(x,z) are both
+        // ~1, π(y,z) is bounded away from... in fact the theorem gives
+        // π(y,z) ≥ 2ε for suitable thresholds. We verify the qualitative
+        // consequence at the extreme: π(x,y) = π(x,z) = 1 forces y and z to
+        // share all of x's weighted instances, so π(y,z) > 0.
+        let idx = index_from_pairs(8, &pairs);
+        let w = &w[..idx.n_metagraphs().min(w.len())];
+        if w.len() < idx.n_metagraphs() {
+            return Ok(());
+        }
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    if x == y || x == z || y == z {
+                        continue;
+                    }
+                    let pxy = proximity(&idx, NodeId(x), NodeId(y), w);
+                    let pxz = proximity(&idx, NodeId(x), NodeId(z), w);
+                    if pxy > 0.999 && pxz > 0.999 {
+                        let pyz = proximity(&idx, NodeId(y), NodeId(z), w);
+                        prop_assert!(
+                            pyz > 0.0,
+                            "transitivity violated: π(x,y)={pxy}, π(x,z)={pxz}, π(y,z)={pyz}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_transitivity_concrete() {
+    // A hand-built index where x is maximally close to y and z through one
+    // metagraph: then y and z must co-occur too (they share x's instances).
+    // x pairs with y and z; y pairs with z (as instances of a shared-attr
+    // metagraph force overlapping instance sets).
+    let pairs = vec![vec![(0, 1, 5), (0, 2, 5), (1, 2, 5)]];
+    let idx = index_from_pairs(3, &pairs);
+    let w = [1.0];
+    let pxy = proximity(&idx, NodeId(0), NodeId(1), &w);
+    let pxz = proximity(&idx, NodeId(0), NodeId(2), &w);
+    let pyz = proximity(&idx, NodeId(1), NodeId(2), &w);
+    assert!(pxy > 0.4 && pxz > 0.4);
+    assert!(pyz > 0.0);
+}
