@@ -14,7 +14,9 @@ fn bench_graph_ops(c: &mut Criterion) {
     let school_t = g.types().id("school").unwrap();
 
     let mut group = c.benchmark_group("graph");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("neighbors", |b| {
         let mut i = 0usize;

@@ -11,7 +11,9 @@ use std::time::Duration;
 fn bench_index(c: &mut Criterion) {
     let ctx = ExpContext::prepare(Which::Facebook, Scale::Tiny, 42);
     let mut group = c.benchmark_group("index");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("from_counts", |b| {
         b.iter(|| black_box(VectorIndex::from_counts(&ctx.counts, Transform::Log1p)))

@@ -17,7 +17,9 @@ fn bench_matchers(c: &mut Criterion) {
         Box::new(QuickSi),
     ];
     let mut group = c.benchmark_group("fig11_matching");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for size in 3..=5usize {
         // One representative pattern per size: the one with most instances.
         let best = (0..ctx.patterns.len())

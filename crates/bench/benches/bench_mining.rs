@@ -13,7 +13,9 @@ fn bench_mining(c: &mut Criterion) {
     cfg.max_patterns = Some(60);
 
     let mut group = c.benchmark_group("table3_mining");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("mine_facebook_tiny", |b| {
         b.iter(|| black_box(mine(&d.graph, &cfg)))
     });

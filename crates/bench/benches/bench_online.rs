@@ -18,7 +18,9 @@ fn bench_online_query(c: &mut Criterion) {
     let model = train(&ctx.index, &examples, &TrainConfig::fast(42));
 
     let mut group = c.benchmark_group("table3_online");
-    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("rank_top10", |b| {
         let mut qi = 0usize;
         b.iter(|| {

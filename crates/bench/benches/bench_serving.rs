@@ -1,0 +1,195 @@
+//! Serving-layer benchmark: the seed's sequential per-query online loop
+//! (`mgp::rank`, as in `bench_online`) vs `QueryServer::rank_batch` — the
+//! batched, sharded, precomputed-dot serving path — on the Facebook/Tiny
+//! context.
+//!
+//! Before timing anything it asserts the two paths return *identical*
+//! top-k lists, so the speedup is never bought with a behaviour change.
+//! Besides the criterion groups it prints an explicit throughput summary
+//! (queries/s and speedup factor) over the same batch and asserts the
+//! acceptance bar: batched serving ≥ 2× the sequential loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgp_bench::algos::make_examples;
+use mgp_bench::context::{ExpContext, Scale, Which};
+use mgp_eval::repeated_splits;
+use mgp_graph::NodeId;
+use mgp_learning::{mgp, train, TrainConfig};
+use mgp_online::{QueryServer, ServeConfig};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 2048;
+const TOP_K: usize = 10;
+
+struct Setup {
+    ctx: ExpContext,
+    weights: Vec<f64>,
+    server: QueryServer,
+    cached_server: QueryServer,
+    class: usize,
+    cached_class: usize,
+    queries: Vec<NodeId>,
+}
+
+fn setup() -> Setup {
+    let ctx = ExpContext::prepare(Which::Facebook, Scale::Tiny, 42);
+    let class = ctx.dataset.classes()[0];
+    let queries = ctx.dataset.labels.queries_of_class(class);
+    let split = &repeated_splits(&queries, 0.2, 1, 42)[0];
+    let examples = make_examples(&ctx, class, &split.train, 200, 42);
+    let model = train(&ctx.index, &examples, &TrainConfig::fast(42));
+
+    // Cache off: measures pure ranking throughput — an apples-to-apples
+    // comparison with the per-query loop.
+    let mut server = QueryServer::new(ServeConfig {
+        cache_capacity: 0,
+        ..Default::default()
+    });
+    let class_id = server.add_class("class0", &ctx.index, &model.weights);
+    // Cache on: the steady-state hot path for repeated queries.
+    let mut cached_server = QueryServer::new(ServeConfig::default());
+    let cached_class = cached_server.add_class("class0", &ctx.index, &model.weights);
+
+    // A serving-sized batch cycling over the test queries.
+    let batch: Vec<NodeId> = (0..BATCH)
+        .map(|i| split.test[i % split.test.len()])
+        .collect();
+
+    Setup {
+        ctx,
+        weights: model.weights,
+        server,
+        cached_server,
+        class: class_id,
+        cached_class,
+        queries: batch,
+    }
+}
+
+/// The seed's online loop: one `mgp::rank_with_scores` call per query.
+fn sequential_loop(s: &Setup) -> usize {
+    let mut total = 0;
+    for &q in &s.queries {
+        total += mgp::rank_with_scores(&s.ctx.index, q, &s.weights, TOP_K).len();
+    }
+    total
+}
+
+fn assert_identical(s: &Setup) {
+    let batch = s.server.rank_batch(s.class, &s.queries, TOP_K);
+    for (&q, got) in s.queries.iter().zip(&batch) {
+        let want = mgp::rank_with_scores(&s.ctx.index, q, &s.weights, TOP_K);
+        assert_eq!(**got, want, "QueryServer diverged from mgp::rank at q={q}");
+    }
+    let cached = s
+        .cached_server
+        .rank_batch(s.cached_class, &s.queries, TOP_K);
+    for (a, b) in batch.iter().zip(&cached) {
+        assert_eq!(**a, **b, "cached server diverged");
+    }
+}
+
+fn time_queries_per_sec(mut f: impl FnMut() -> usize, n_queries: usize) -> f64 {
+    // Warm-up, then average over a fixed wall-time budget.
+    black_box(f());
+    let budget = Duration::from_millis(750);
+    let t0 = Instant::now();
+    let mut rounds = 0u32;
+    while t0.elapsed() < budget {
+        black_box(f());
+        rounds += 1;
+    }
+    (rounds as f64 * n_queries as f64) / t0.elapsed().as_secs_f64()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let s = setup();
+    assert_identical(&s);
+
+    let mut group = c.benchmark_group("serving");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("sequential_per_query", |b| {
+        b.iter(|| black_box(sequential_loop(&s)))
+    });
+    // Per-query over the precomputed tables, no dedup/cache — isolates the
+    // table-precompute win from the batching wins.
+    group.bench_function("precomputed_per_query", |b| {
+        b.iter(|| black_box(s.server.rank_batch_sequential(s.class, &s.queries, TOP_K)))
+    });
+    group.bench_function("batched_rank_batch", |b| {
+        b.iter(|| black_box(s.server.rank_batch(s.class, &s.queries, TOP_K)))
+    });
+    group.bench_function("batched_rank_batch_hot_cache", |b| {
+        b.iter(|| {
+            black_box(
+                s.cached_server
+                    .rank_batch(s.cached_class, &s.queries, TOP_K),
+            )
+        })
+    });
+    group.finish();
+
+    // Explicit acceptance summary: batched throughput vs the seed loop.
+    let seq_qps = time_queries_per_sec(|| sequential_loop(&s), s.queries.len());
+    let pre_qps = time_queries_per_sec(
+        || {
+            s.server
+                .rank_batch_sequential(s.class, &s.queries, TOP_K)
+                .len()
+        },
+        s.queries.len(),
+    );
+    let batch_qps = time_queries_per_sec(
+        || s.server.rank_batch(s.class, &s.queries, TOP_K).len(),
+        s.queries.len(),
+    );
+    let hot_qps = time_queries_per_sec(
+        || {
+            s.cached_server
+                .rank_batch(s.cached_class, &s.queries, TOP_K)
+                .len()
+        },
+        s.queries.len(),
+    );
+    println!(
+        "--- serving throughput (batch = {} queries, k = {TOP_K}, {} worker(s), {} shard(s)) ---",
+        s.queries.len(),
+        s.server.workers(),
+        s.server.n_shards()
+    );
+    println!("sequential per-query loop : {seq_qps:>12.0} queries/s");
+    println!(
+        "precomputed, per-query    : {pre_qps:>12.0} queries/s  ({:.2}x)  [no dedup/cache]",
+        pre_qps / seq_qps
+    );
+    println!(
+        "QueryServer::rank_batch   : {batch_qps:>12.0} queries/s  ({:.2}x)  [{} distinct queries]",
+        batch_qps / seq_qps,
+        {
+            let mut qs: Vec<u32> = s.queries.iter().map(|q| q.0).collect();
+            qs.sort_unstable();
+            qs.dedup();
+            qs.len()
+        }
+    );
+    println!(
+        "rank_batch, hot cache     : {hot_qps:>12.0} queries/s  ({:.2}x)",
+        hot_qps / seq_qps
+    );
+    let snap = s.cached_server.stats();
+    println!(
+        "cache: {} hits / {} misses; batch latency p50 {:?} p95 {:?} max {:?}",
+        snap.cache_hits, snap.cache_misses, snap.latency.p50, snap.latency.p95, snap.latency.max
+    );
+    assert!(
+        batch_qps / seq_qps >= 2.0,
+        "acceptance: batched serving must be ≥ 2x the sequential loop (got {:.2}x)",
+        batch_qps / seq_qps
+    );
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

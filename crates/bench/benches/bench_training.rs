@@ -16,7 +16,9 @@ fn bench_training(c: &mut Criterion) {
     let split = &repeated_splits(&queries, 0.2, 1, 42)[0];
 
     let mut group = c.benchmark_group("table3_training");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     for n in [10usize, 100] {
         let examples = make_examples(&ctx, class, &split.train, n, 42);
         let cfg = TrainConfig {

@@ -71,6 +71,7 @@ pub fn make_examples(
 
 /// Trains `algo` on the training split and evaluates NDCG@k / MAP@k on the
 /// test queries (paper protocol, k = 10).
+#[allow(clippy::too_many_arguments)] // experiment façade mirroring the paper's parameter grid
 pub fn eval_algo(
     ctx: &ExpContext,
     algo: Algo,

@@ -40,11 +40,7 @@ fn main() {
             println!("\n--- {} / {} ---", ctx.dataset.name, class_name);
             println!("|K|\tCH NDCG\tCH MAP\tRCH NDCG\tRCH MAP");
             for &k in &sweep {
-                let mut row = vec![
-                    ctx.dataset.name.clone(),
-                    class_name.clone(),
-                    k.to_string(),
-                ];
+                let mut row = vec![ctx.dataset.name.clone(), class_name.clone(), k.to_string()];
                 let mut line = format!("{k}");
                 for (label, ranking) in [("CH", &ch), ("RCH", &rch)] {
                     let mut coords = seeds.clone();

@@ -33,7 +33,10 @@ fn count_with_budget(
 
 fn main() {
     let args = parse_args();
-    println!("=== Fig. 11: matching time per metagraph (scale {:?}) ===", args.scale);
+    println!(
+        "=== Fig. 11: matching time per metagraph (scale {:?}) ===",
+        args.scale
+    );
     let matchers: Vec<Box<dyn Matcher>> = vec![
         Box::new(SymIso::new()),
         Box::new(TurboLite),
@@ -46,13 +49,24 @@ fn main() {
 
     let mut csv = CsvWriter::create(
         "fig11",
-        &["dataset", "pattern_nodes", "matcher", "avg_ms", "n_patterns", "capped"],
+        &[
+            "dataset",
+            "pattern_nodes",
+            "matcher",
+            "avg_ms",
+            "n_patterns",
+            "capped",
+        ],
     )
     .expect("csv");
 
     for which in [Which::LinkedIn, Which::Facebook] {
         let ctx = ExpContext::prepare(which, args.scale, args.seed);
-        println!("\n--- {} ({} metagraphs) ---", ctx.dataset.name, ctx.metagraphs.len());
+        println!(
+            "\n--- {} ({} metagraphs) ---",
+            ctx.dataset.name,
+            ctx.metagraphs.len()
+        );
         println!("|V_M|\tMatcher\t\tavg ms/metagraph\t#patterns");
         for size in 3..=5usize {
             let mut group: Vec<usize> = (0..ctx.patterns.len())

@@ -14,7 +14,10 @@ use mgp_learning::{train, TrainConfig};
 
 fn main() {
     let args = parse_args();
-    println!("=== Fig. 4: sparsity of optimal weights (scale {:?}) ===", args.scale);
+    println!(
+        "=== Fig. 4: sparsity of optimal weights (scale {:?}) ===",
+        args.scale
+    );
     let mut csv = CsvWriter::create("fig4", &["dataset", "class", "rank", "weight"]).expect("csv");
 
     for which in [Which::LinkedIn, Which::Facebook] {

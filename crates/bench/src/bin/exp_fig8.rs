@@ -15,10 +15,15 @@ use std::time::Duration;
 
 fn main() {
     let args = parse_args();
-    println!("=== Fig. 8: impact of dual-stage training (scale {:?}) ===", args.scale);
+    println!(
+        "=== Fig. 8: impact of dual-stage training (scale {:?}) ===",
+        args.scale
+    );
     let mut csv = CsvWriter::create(
         "fig8",
-        &["dataset", "class", "k", "ndcg_pct", "map_pct", "time_pct", "ndcg", "map", "time_s"],
+        &[
+            "dataset", "class", "k", "ndcg_pct", "map_pct", "time_pct", "ndcg", "map", "time_s",
+        ],
     )
     .expect("csv");
 
@@ -60,7 +65,10 @@ fn main() {
 
             println!(
                 "\n--- {} / {} (seeds {}, non-seeds {}) ---",
-                ctx.dataset.name, class_name, seeds.len(), n_nonseed
+                ctx.dataset.name,
+                class_name,
+                seeds.len(),
+                n_nonseed
             );
             println!("|K|\tNDCG%\tMAP%\tTime%\t(NDCG\tMAP\tTime s)");
             for &k in &sweep {
@@ -76,11 +84,7 @@ fn main() {
                 };
                 let ndcg_pct = pct(ndcg, ndcg0, ndcg1);
                 let map_pct = pct(map, map0, map1);
-                let time_pct = pct(
-                    time.as_secs_f64(),
-                    time0.as_secs_f64(),
-                    time1.as_secs_f64(),
-                );
+                let time_pct = pct(time.as_secs_f64(), time0.as_secs_f64(), time1.as_secs_f64());
                 println!(
                     "{k}\t{ndcg_pct:.0}%\t{map_pct:.0}%\t{time_pct:.0}%\t({ndcg:.4}\t{map:.4}\t{:.3})",
                     time.as_secs_f64()

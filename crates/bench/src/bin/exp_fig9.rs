@@ -6,6 +6,10 @@
 //! paper's finding — and the foundation of the candidate heuristic — is
 //! that FS rises with SS.
 
+// Triangular pair loops over two parallel vectors read clearer with
+// indices than with the enumerate/skip chains clippy proposes.
+#![allow(clippy::needless_range_loop)]
+
 use mgp_bench::algos::make_examples;
 use mgp_bench::context::Which;
 use mgp_bench::{parse_args, CsvWriter, ExpContext};
@@ -17,10 +21,20 @@ const BINS: [(f64, f64); 5] = [(0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (
 
 fn main() {
     let args = parse_args();
-    println!("=== Fig. 9: structural vs functional similarity (scale {:?}) ===", args.scale);
+    println!(
+        "=== Fig. 9: structural vs functional similarity (scale {:?}) ===",
+        args.scale
+    );
     let mut csv = CsvWriter::create(
         "fig9",
-        &["dataset", "class", "ss_bin_lo", "ss_bin_hi", "mean_fs", "n_pairs"],
+        &[
+            "dataset",
+            "class",
+            "ss_bin_lo",
+            "ss_bin_hi",
+            "mean_fs",
+            "n_pairs",
+        ],
     )
     .expect("csv");
 
@@ -59,7 +73,11 @@ fn main() {
                         }
                     }
                 }
-                let mean = if count == 0 { f64::NAN } else { sum / count as f64 };
+                let mean = if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                };
                 println!("[{lo:.1},{hi:.1})\t{mean:.3}\t{count}");
                 csv.row(&[
                     ctx.dataset.name.clone(),

@@ -4,18 +4,29 @@
 //! symmetric, ≥ 2 anchors), and #Queries per class — the same columns the
 //! paper reports.
 
-use mgp_bench::{parse_args, CsvWriter, ExpContext};
 use mgp_bench::context::Which;
+use mgp_bench::{parse_args, CsvWriter, ExpContext};
 use mgp_graph::GraphStats;
 
 fn main() {
     let args = parse_args();
-    println!("=== Table II: description of datasets (scale: {:?}) ===", args.scale);
+    println!(
+        "=== Table II: description of datasets (scale: {:?}) ===",
+        args.scale
+    );
     println!("Dataset\t#Nodes\t#Edges\t#Types\t#Metagraphs\t#Queries");
 
     let mut csv = CsvWriter::create(
         "table2",
-        &["dataset", "nodes", "edges", "types", "metagraphs", "class", "queries"],
+        &[
+            "dataset",
+            "nodes",
+            "edges",
+            "types",
+            "metagraphs",
+            "class",
+            "queries",
+        ],
     )
     .expect("csv");
 

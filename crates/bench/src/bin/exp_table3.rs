@@ -14,11 +14,20 @@ use std::time::Instant;
 
 fn main() {
     let args = parse_args();
-    println!("=== Table III: time costs without dual-stage training (scale {:?}) ===", args.scale);
+    println!(
+        "=== Table III: time costs without dual-stage training (scale {:?}) ===",
+        args.scale
+    );
     println!("Dataset\tMining(s)\tMatching(s)\tTraining(s)\tTesting(s/query)");
     let mut csv = CsvWriter::create(
         "table3",
-        &["dataset", "mining_s", "matching_s", "training_s", "testing_s_per_query"],
+        &[
+            "dataset",
+            "mining_s",
+            "matching_s",
+            "training_s",
+            "testing_s_per_query",
+        ],
     )
     .expect("csv");
 

@@ -69,8 +69,9 @@ fn main() {
     // Binary-transform variant of the whole index.
     let bin_idx = mgp_index::VectorIndex::from_counts(&ctx.counts, mgp_index::Transform::Binary);
     let eval_bin = |w: &[f64]| {
-        let (ndcg, _) =
-            evaluate_ranker(&split.test, 10, positives, |q| mgp::rank(&bin_idx, q, w, 10));
+        let (ndcg, _) = evaluate_ranker(&split.test, 10, positives, |q| {
+            mgp::rank(&bin_idx, q, w, 10)
+        });
         ndcg
     };
     let uni_b = uniform_weights(n);
@@ -87,7 +88,10 @@ fn main() {
         model_b.log_likelihood,
         eval_bin(&model_b.weights),
         model_b.iterations,
-        iwb.iter().take(4).map(|&(i, w)| format!("M{i}:{w:.2}")).collect::<Vec<_>>()
+        iwb.iter()
+            .take(4)
+            .map(|&(i, w)| format!("M{i}:{w:.2}"))
+            .collect::<Vec<_>>()
     );
 
     // Type legend.

@@ -8,8 +8,8 @@ use mgp_graph::NodeId;
 use mgp_index::{Transform, VectorIndex};
 use mgp_matching::parallel::match_all_timed;
 use mgp_matching::{AnchorCounts, PatternInfo, SymIso};
-use mgp_mining::{mine, MinerConfig};
 use mgp_metagraph::Metagraph;
+use mgp_mining::{mine, MinerConfig};
 use std::time::Duration;
 
 /// Experiment scale.

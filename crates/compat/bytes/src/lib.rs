@@ -1,0 +1,210 @@
+//! Offline shim for the `bytes` crate surface used by `mgp_graph::binary`:
+//! [`Bytes`] / [`BytesMut`] with the little-endian [`Buf`] / [`BufMut`]
+//! accessors. Backed by a plain `Vec<u8>` plus a cursor — no refcounted
+//! zero-copy slicing, which the codec does not need.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Bytes not yet consumed.
+    fn rest(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// An owned copy of a sub-range of the unread bytes.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes::from(&self.rest()[range])
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.rest().len()
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.rest().is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+/// A growable byte buffer for encoding.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+/// Read access with a cursor (little-endian getters).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Advances the cursor.
+    fn advance(&mut self, n: usize);
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Copies `dst.len()` bytes out, advancing. Panics if underfull.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads `len` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes::from(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end");
+        self.pos += n;
+    }
+    fn chunk(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+/// Write access (little-endian putters).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEADBEEF);
+        w.put_u64_le(0x0123456789ABCDEF);
+        w.put_slice(b"tail");
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 2 + 4 + 8 + 4);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(r.get_u64_le(), 0x0123456789ABCDEF);
+        let tail = r.copy_to_bytes(4);
+        assert_eq!(&tail[..], b"tail");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_sees_unread_suffix() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4]);
+        b.advance(1);
+        assert_eq!(&b[..], &[2, 3, 4]);
+        let mut dst = [0u8; 2];
+        b.copy_to_slice(&mut dst);
+        assert_eq!(dst, [2, 3]);
+        assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        b.get_u32_le();
+    }
+}

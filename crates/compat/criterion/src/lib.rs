@@ -1,0 +1,254 @@
+//! Offline shim for the criterion API surface this workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size` / `measurement_time`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Measurement is simpler than real criterion (no outlier analysis or
+//! HTML reports): each benchmark runs a warm-up, sizes its inner batch so a
+//! sample takes ≥ ~200µs, collects up to `sample_size` samples within
+//! `measurement_time`, and prints mean / median / p95 ns per iteration.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 50,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier of a single benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function/parameter`.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            stats: None,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.id);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing statistics for one benchmark, in nanoseconds per iteration.
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    p95_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Runs and times the benchmarked routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `f`, recording per-iteration cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for samples of ≥ ~200µs so timer
+        // overhead stays below ~0.1%.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_micros(200).as_nanos() / once.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let budget = self.measurement_time;
+        let started = Instant::now();
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        while samples_ns.len() < self.sample_size && started.elapsed() < budget {
+            let s0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = s0.elapsed();
+            total_iters += batch;
+            samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = samples_ns.len().max(1);
+        let mean = samples_ns.iter().sum::<f64>() / n as f64;
+        let median = samples_ns[n / 2];
+        let p95 = samples_ns[(n * 95 / 100).min(n - 1)];
+        self.stats = Some(Stats {
+            mean_ns: mean,
+            median_ns: median,
+            p95_ns: p95,
+            samples: n,
+            iters: total_iters,
+        });
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        match &self.stats {
+            Some(s) => println!(
+                "{full}: mean {:>12} median {:>12} p95 {:>12}  ({} samples, {} iters)",
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.median_ns),
+                fmt_ns(s.p95_ns),
+                s.samples,
+                s.iters
+            ),
+            None => println!("{full}: no measurement (Bencher::iter never called)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("matcher", "5nodes");
+        assert_eq!(id.id, "matcher/5nodes");
+    }
+}

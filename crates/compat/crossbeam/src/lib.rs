@@ -1,0 +1,69 @@
+//! Offline shim for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! API-compatible with the one call pattern this workspace uses:
+//!
+//! ```
+//! let sum = std::sync::atomic::AtomicU64::new(0);
+//! crossbeam::scope(|scope| {
+//!     let sum = &sum;
+//!     for i in 0..4u64 {
+//!         scope.spawn(move |_| sum.fetch_add(i, std::sync::atomic::Ordering::Relaxed));
+//!     }
+//! })
+//! .unwrap();
+//! ```
+//!
+//! Behavioural difference: if a spawned thread panics, `std::thread::scope`
+//! resurfaces the panic when the scope exits instead of returning `Err` —
+//! callers that `.expect()` the result observe a panic either way.
+
+/// A scope handle for spawning threads that may borrow from the stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// The argument passed to spawned closures (crossbeam passes a nested scope
+/// here; this shim supports no nested spawning, and every call site ignores
+/// the argument).
+pub struct NestedScope(());
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(move || f(&NestedScope(())))
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; joins all
+/// of them before returning.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let result = super::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(result, "done");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,406 @@
+//! Offline shim for the proptest API surface this workspace's property
+//! tests use: the `proptest!` macro, range / tuple / `any::<T>()` /
+//! `prop::collection::vec` strategies, `prop_map` / `prop_flat_map`
+//! combinators, `ProptestConfig::with_cases`, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed-seed
+//! deterministic RNG (same inputs every run) and failures panic immediately
+//! with the case number — there is no shrinking. For the graph-sized inputs
+//! these tests use, unshrunk counterexamples are already readable.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then draws from the strategy `f`
+    /// builds from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + ((rng.next_u64() as u128) % width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + ((rng.next_u64() as u128) % width) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Length specifications accepted by [`vec`].
+        pub trait SizeRange {
+            /// Draws a concrete length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+        impl SizeRange for Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + (rng.next_u64() as usize) % (self.end - self.start)
+            }
+        }
+        impl SizeRange for RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start() <= self.end(), "empty size range");
+                self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+            }
+        }
+
+        /// Strategy generating `Vec`s of `element` values.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.pick(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// A vector of values drawn from `element` with length in `len`.
+        pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+    }
+}
+
+/// The common imports for property tests.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with the case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition fails.
+///
+/// The shim cannot resample, so rejected cases simply return early; with
+/// the generous case counts used here enough cases survive.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            // Property bodies are closures returning Result (see the
+            // `proptest!` expansion); a rejected case just passes.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `fn` runs `cases` times with arguments
+/// drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg); $($rest)* }
+    };
+    (@impl ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                // Seed derived from the test name for cross-test variety,
+                // stable across runs.
+                let __seed: u64 = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf29ce484222325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x100000001b3)
+                    });
+                let mut __rng = $crate::TestRng::new(__seed);
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                    // Bodies may `return Ok(())` early, like real proptest.
+                    let __run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    if let Err(__panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        __run().expect("property returned Err");
+                    })) {
+                        eprintln!(
+                            "proptest shim: {} failed at case {}/{} (no shrinking)",
+                            stringify!($name), __case + 1, __config.cases
+                        );
+                        std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_cover_their_domains() {
+        let mut rng = crate::TestRng::new(1);
+        let s = prop::collection::vec((0usize..40, 0usize..40), 5..40);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((5..40).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 40 && b < 40);
+            }
+        }
+        let m = (1usize..=6).prop_flat_map(|n| {
+            prop::collection::vec(any::<bool>(), n).prop_map(move |bits| (n, bits))
+        });
+        for _ in 0..100 {
+            let (n, bits) = m.generate(&mut rng);
+            assert!((1..=6).contains(&n));
+            assert_eq!(bits.len(), n);
+        }
+        let f = 0.01f64..1.0;
+        for _ in 0..100 {
+            let x = f.generate(&mut rng);
+            assert!((0.01..1.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_arguments(
+            n in 3usize..8,
+            xs in prop::collection::vec(0u32..10, 2..5),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..8).contains(&n));
+            prop_assert!((2..5).contains(&xs.len()));
+            prop_assert_eq!(flag as u32 * 2 % 2, 0);
+            prop_assert_ne!(n, 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..1000) {
+            prop_assume!(x != 0);
+            prop_assert!(x < 1000 && x > 0);
+        }
+    }
+}

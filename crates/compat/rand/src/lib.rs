@@ -1,0 +1,298 @@
+//! Offline shim for the parts of `rand` 0.9 this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! traits the workspace codes against — [`RngCore`], [`Rng`],
+//! [`SeedableRng`], [`seq::SliceRandom`], [`seq::IndexedRandom`] — with the
+//! rand 0.9 method names (`random`, `random_range`, `random_bool`).
+//!
+//! Statistical quality notes: integer ranges use a modulo reduction (the
+//! bias is ≤ width/2⁶⁴ — irrelevant for test/datagen workloads), floats use
+//! the standard 53-bit mantissa construction. Determinism is per-seed, as
+//! the workspace expects; the exact streams differ from upstream rand,
+//! which nothing in this repo depends on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A deterministic RNG constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the RNG from a `u64`, expanding it with splitmix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types producible by [`Rng::random`].
+pub trait Random: Sized {
+    /// Draws a uniformly distributed value.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Uniform in [0, 1) with 53 bits of precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Random for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+impl Random for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types uniformly samplable within bounds. The blanket
+/// `impl SampleRange<T> for Range<T>` below is generic over this trait —
+/// matching real rand's shape so integer-literal inference propagates from
+/// surrounding expressions into the range (e.g. `rng.random_range(0..n)`
+/// infers `usize` when the result is used as an index).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[start, end)`.
+    fn sample_in<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_incl<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u128;
+                let r = (rng.next_u64() as u128) % width;
+                (start as i128 + r as i128) as $t
+            }
+            fn sample_incl<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128) % width;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let u = <$t as Random>::random_from(rng);
+                start + u * (end - start)
+            }
+            fn sample_incl<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let u = <$t as Random>::random_from(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges samplable by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range. Panics if empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_incl(*self.start(), *self.end(), rng)
+    }
+}
+
+/// User-facing random-value methods (rand 0.9 names).
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T`.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random_from(self)
+    }
+
+    /// A value uniformly distributed over `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related randomness (shuffle / choose).
+pub mod seq {
+    use super::RngCore;
+
+    /// In-place random shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffles the slice.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Random element selection from slices.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Output;
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::*;
+
+    struct Xorshift(u64);
+    impl RngCore for Xorshift {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Xorshift(42);
+        for _ in 0..1000 {
+            let a: usize = rng.random_range(3..8);
+            assert!((3..8).contains(&a));
+            let b: u64 = rng.random_range(0..=5);
+            assert!(b <= 5);
+            let f: f64 = rng.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            let i: i64 = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut rng = Xorshift(7);
+        let n = 10_000;
+        let heads = (0..n).filter(|_| rng.random_bool(0.3)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((0.25..0.35).contains(&frac), "frac={frac}");
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut rng = Xorshift(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+        assert_ne!(v, orig, "shuffle of 50 elements left them in place");
+        assert!(v.choose(&mut rng).is_some());
+        let empty: Vec<u32> = vec![];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline shim providing [`ChaCha8Rng`] over the vendored `rand` traits.
+//!
+//! A real ChaCha stream cipher core with 8 rounds, keyed from a 32-byte
+//! seed. Deterministic per seed (which is all the workspace relies on);
+//! the exact stream differs from upstream `rand_chacha` — no golden values
+//! in this repo depend on upstream streams.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONST: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+
+        let mut work = state;
+        for _ in 0..4 {
+            // Two rounds per iteration (column + diagonal) → 8 rounds.
+            quarter(&mut work, 0, 4, 8, 12);
+            quarter(&mut work, 1, 5, 9, 13);
+            quarter(&mut work, 2, 6, 10, 14);
+            quarter(&mut work, 3, 7, 11, 15);
+            quarter(&mut work, 0, 5, 10, 15);
+            quarter(&mut work, 1, 6, 11, 12);
+            quarter(&mut work, 2, 7, 8, 13);
+            quarter(&mut work, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.buffer[i] = work[i].wrapping_add(state[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let v = self.buffer[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16, // force refill on first use
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((0.48..0.52).contains(&mean), "mean={mean}");
+        // All 64 bit positions toggle.
+        let mut or = 0u64;
+        let mut and = u64::MAX;
+        for _ in 0..1000 {
+            let v = rng.next_u64();
+            or |= v;
+            and &= v;
+        }
+        assert_eq!(or, u64::MAX);
+        assert_eq!(and, 0);
+    }
+}

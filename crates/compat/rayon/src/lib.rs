@@ -1,0 +1,88 @@
+//! Offline shim for the slice of rayon this workspace uses: scoped
+//! fork-join parallelism (`scope`/`spawn`, `join`) and
+//! `current_num_threads`, implemented over `std::thread::scope`.
+//!
+//! Unlike real rayon there is no persistent work-stealing pool — each
+//! `scope` call spawns OS threads. Callers therefore batch work into
+//! per-worker chunks (one `spawn` per worker, not per item), which is also
+//! the access pattern that keeps per-worker scratch state trivially owned.
+
+/// Number of worker threads a parallel section will use by default.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A scope handle for spawning borrowing tasks.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Argument passed to spawned closures (rayon passes the scope for nested
+/// spawns; this shim supports none and call sites use `|_|`).
+pub struct NestedScope(());
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on its own scoped thread.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&NestedScope) + Send + 'scope,
+    {
+        self.inner.spawn(move || f(&NestedScope(())));
+    }
+}
+
+/// Runs `f` with a scope in which tasks borrowing local data can be
+/// spawned; all tasks join before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join task panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let sum = AtomicU64::new(0);
+        let items: Vec<u64> = (0..100).collect();
+        super::scope(|s| {
+            for chunk in items.chunks(25) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,413 @@
+//! Offline mini-serde: the subset of serde this workspace relies on.
+//!
+//! The build environment cannot reach crates.io, so instead of the real
+//! serde this shim provides a *much* simpler data model: values serialise
+//! into a JSON-shaped [`Value`] tree and deserialise back out of one. The
+//! derive macros live in the sibling `serde_derive` shim and target exactly
+//! this model; `serde_json` (also shimmed) renders [`Value`] to/from JSON
+//! text.
+//!
+//! Differences from real serde that matter here:
+//!
+//! * maps serialise as arrays of `[key, value]` pairs regardless of key
+//!   type (round-trips fine; not wire-compatible with serde_json's
+//!   string-keyed objects);
+//! * no zero-copy deserialisation, no lifetimes, no visitors;
+//! * unsupported shapes fail at compile time inside the derive.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasher, Hash};
+use std::time::Duration;
+
+/// The serialisation data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (used for negative values).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Key-value record (insertion-ordered).
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialisation/deserialisation error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can serialise itself into the mini-serde data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// A value that can reconstruct itself from the mini-serde data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`] tree.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let u = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => return Err(Error::new(format!("expected unsigned integer, got {other:?}"))),
+                };
+                <$t>::try_from(u).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let i = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u).map_err(|_| Error::new("integer out of range"))?,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    ref other => return Err(Error::new(format!("expected integer, got {other:?}"))),
+                };
+                <$t>::try_from(i).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::Float(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    ref other => Err(Error::new(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::new(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.serialize(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::new(format!("expected array of length {N}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($(helpers::elem::<$t>(v, $n).map_err(|_| Error::new(format!("bad tuple element {} in {items:?}", $n)))?,)+)),
+                    other => Err(Error::new(format!("expected tuple array, got {other:?}"))),
+                }
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+/// Maps serialise as arrays of `[key, value]` pairs — key types need not be
+/// strings, unlike real serde_json.
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => {
+                let mut map = HashMap::with_capacity_and_hasher(items.len(), S::default());
+                for item in items {
+                    let (k, val): (K, V) = Deserialize::deserialize(item)?;
+                    map.insert(k, val);
+                }
+                Ok(map)
+            }
+            other => Err(Error::new(format!("expected map array, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Array(
+            self.iter()
+                .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => {
+                let mut map = BTreeMap::new();
+                for item in items {
+                    let (k, val): (K, V) = Deserialize::deserialize(item)?;
+                    map.insert(k, val);
+                }
+                Ok(map)
+            }
+            other => Err(Error::new(format!("expected map array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        Ok(items.into_iter().collect())
+    }
+}
+
+/// `Duration` uses real serde's `{secs, nanos}` shape.
+impl Serialize for Duration {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            ("nanos".to_string(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+impl Deserialize for Duration {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let secs: u64 = helpers::field(v, "secs")?;
+        let nanos: u32 = helpers::field(v, "nanos")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Lookup helpers used by the generated derive code.
+pub mod helpers {
+    use super::{Deserialize, Error, Value};
+
+    /// Reads a named field out of an object value.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, val)) => {
+                    T::deserialize(val).map_err(|e| Error::new(format!("field `{name}`: {e}")))
+                }
+                None => Err(Error::new(format!("missing field `{name}`"))),
+            },
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Like [`field`], but falls back to `Default` when the field is absent.
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, val)) => T::deserialize(val),
+                None => Ok(T::default()),
+            },
+            other => Err(Error::new(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads a positional element out of an array value.
+    pub fn elem<T: Deserialize>(v: &Value, i: usize) -> Result<T, Error> {
+        match v {
+            Value::Array(items) => match items.get(i) {
+                Some(val) => T::deserialize(val),
+                None => Err(Error::new(format!("missing array element {i}"))),
+            },
+            other => Err(Error::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Derive macros for the vendored mini-serde (`crates/compat/serde`).
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the mini-serde data model (`serde::Value`) without `syn`/`quote`: the
+//! item is parsed directly from the `proc_macro` token stream and the impl
+//! is emitted as a source string.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields, honouring `#[serde(skip)]` and
+//!   `#[serde(default)]` on fields and `#[serde(transparent)]` on the
+//!   container;
+//! * tuple structs (1-field newtypes serialise as their inner value, like
+//!   real serde; larger ones as arrays);
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generic items are intentionally unsupported and fail with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    body: Body,
+}
+
+/// Scans one `[...]` attribute group; returns the idents inside a
+/// `serde(...)` list (empty for non-serde attributes).
+fn serde_attr_idents(group: &proc_macro::Group) -> Vec<String> {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let mut out = Vec::new();
+    if let Some(TokenTree::Group(inner)) = tokens.next() {
+        for tt in inner.stream() {
+            if let TokenTree::Ident(id) = tt {
+                out.push(id.to_string());
+            }
+        }
+    }
+    out
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes a run of `#[...]` attributes, returning all idents found in
+/// `serde(...)` lists among them.
+fn take_attrs(it: &mut TokenIter) -> Vec<String> {
+    let mut flags = Vec::new();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // Inner attributes (`#![..]`) cannot appear here; the next
+                // token is the bracket group.
+                if let Some(TokenTree::Group(g)) = it.next() {
+                    flags.extend(serde_attr_idents(&g));
+                }
+            }
+            _ => return flags,
+        }
+    }
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn take_vis(it: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes tokens of a type (or expression) until a top-level `,`,
+/// tracking `<`/`>` nesting. The comma itself is consumed.
+fn skip_until_comma(it: &mut TokenIter) {
+    let mut depth = 0i64;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    it.next();
+                    return;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                }
+                it.next();
+            }
+            _ => {
+                it.next();
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let flags = take_attrs(&mut it);
+        take_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        skip_until_comma(&mut it);
+        fields.push(Field {
+            name,
+            skip: flags.iter().any(|f| f == "skip"),
+            default: flags.iter().any(|f| f == "default"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut n = 0usize;
+    loop {
+        take_attrs(&mut it);
+        take_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_until_comma(&mut it);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        let payload = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Payload::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
+                it.next();
+                Payload::Named(names)
+            }
+            _ => Payload::Unit,
+        };
+        // Explicit discriminant and/or trailing comma.
+        skip_until_comma(&mut it);
+        variants.push(Variant { name, payload });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: TokenIter = input.into_iter().peekable();
+    let container_flags = take_attrs(&mut it);
+    take_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    if kind != "struct" && kind != "enum" {
+        panic!("serde_derive: expected struct or enum, got `{kind}`");
+    }
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic items are not supported (item `{name}`)");
+        }
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Body::Named(parse_named_fields(g.stream()))
+            } else {
+                Body::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        other => panic!("serde_derive: unexpected item body {other:?}"),
+    };
+    Item {
+        name,
+        transparent: container_flags.iter().any(|f| f == "transparent"),
+        body,
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            if item.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent struct needs a field");
+                format!("::serde::Serialize::serialize(&self.{})", f.name)
+            } else {
+                let mut s = String::from(
+                    "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    s.push_str(&format!(
+                        "__fields.push((\"{n}\".to_string(), ::serde::Serialize::serialize(&self.{n})));\n",
+                        n = f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__fields)");
+                s
+            }
+        }
+        Body::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Payload::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__a0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::serialize(__a0))]),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Payload::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            if item.transparent {
+                let f = fields
+                    .iter()
+                    .find(|f| !f.skip)
+                    .expect("transparent struct needs a field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::deserialize(__v)? }})",
+                    f.name
+                )
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    if f.skip {
+                        inits.push_str(&format!(
+                            "{}: ::std::default::Default::default(),\n",
+                            f.name
+                        ));
+                    } else if f.default {
+                        inits.push_str(&format!(
+                            "{n}: ::serde::helpers::field_or_default(__v, \"{n}\")?,\n",
+                            n = f.name
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{n}: ::serde::helpers::field(__v, \"{n}\")?,\n",
+                            n = f.name
+                        ));
+                    }
+                }
+                format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+            }
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::helpers::elem(__v, {i})?"))
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", items.join(", "))
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.payload {
+                    Payload::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Payload::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__val)?)),\n"
+                    )),
+                    Payload::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::helpers::elem(__val, {i})?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({})),\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Payload::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::helpers::field(__val, \"{f}\")?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                 let (__k, __val) = &__o[0];\n\
+                 match __k.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::new(\"expected enum representation for {name}\".to_string())),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` (mini-serde data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (mini-serde data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,386 @@
+//! JSON rendering/parsing for the vendored mini-serde (`crates/compat/serde`).
+//!
+//! Provides the two entry points the workspace uses — [`to_string`] and
+//! [`from_str`] — over the mini-serde [`Value`] data model. The encoding is
+//! self-consistent (everything `to_string` emits, `from_str` reads back),
+//! but deliberately simpler than real serde_json: maps are arrays of
+//! `[key, value]` pairs.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serialises a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.serialize(), &mut out);
+    Ok(out)
+}
+
+/// Deserialises a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::deserialize(&v)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::UInt(u) => {
+            out.push_str(&u.to_string());
+        }
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Rust's shortest-roundtrip formatting; may print "1" for
+                // 1.0, which parses back as an integer — the mini-serde
+                // numeric Deserialize impls accept either.
+                out.push_str(&format!("{f}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::new("invalid literal"))
+                }
+            }
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(_) => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !(self.eat_literal("\\u")) {
+                                    return Err(Error::new("lone surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(code).ok_or_else(|| Error::new("bad surrogate"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| Error::new("bad codepoint"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(Error::new("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full character.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos += 4;
+        u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("bad number"))?;
+        if s.is_empty() {
+            return Err(Error::new(format!("unexpected character at byte {start}")));
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number `{s}`")))
+        } else if let Some(stripped) = s.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|u| Value::Int(-(u as i64)))
+                .map_err(|_| Error::new(format!("invalid number `{s}`")))
+        } else {
+            s.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::new(format!("invalid number `{s}`")))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        let x: f64 = from_str(&to_string(&1.5f64).unwrap()).unwrap();
+        assert_eq!(x, 1.5);
+        // Whole floats print as integers but read back fine.
+        let y: f64 = from_str(&to_string(&3.0f64).unwrap()).unwrap();
+        assert_eq!(y, 3.0);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn roundtrip_strings() {
+        for s in ["hello", "quote\"backslash\\", "tab\tnl\nünïcödé 🦀"] {
+            let json = to_string(s).unwrap();
+            let back: String = from_str(&json).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let v = vec![(1u32, 2.5f64), (3, 4.0)];
+        let back: Vec<(u32, f64)> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = std::collections::HashMap::new();
+        m.insert(7u64, vec![1u32, 2, 3]);
+        let back: std::collections::HashMap<u64, Vec<u32>> =
+            from_str(&to_string(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn errors_are_errors() {
+        assert!(from_str::<u32>("not json").is_err());
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("42 trailing").is_err());
+        assert!(from_str::<Vec<u32>>("[1,2").is_err());
+    }
+
+    #[test]
+    fn float_roundtrip_exact() {
+        for f in [0.1, 1.0 / 3.0, 1e-300, std::f64::consts::PI] {
+            let back: f64 = from_str(&to_string(&f).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+}

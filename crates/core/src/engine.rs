@@ -7,8 +7,9 @@ use mgp_learning::baselines::metapath_indices;
 use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all_timed;
 use mgp_matching::{AnchorCounts, PatternInfo, SymIso};
-use mgp_mining::{mine, MinerConfig};
 use mgp_metagraph::Metagraph;
+use mgp_mining::{mine, MinerConfig};
+use mgp_online::{QueryServer, ServeConfig};
 use std::time::Instant;
 
 /// How training budgets metagraph matching.
@@ -367,6 +368,29 @@ impl SearchEngine {
         self.counts_cache.get(&global_idx)
     }
 
+    /// Builds a [`QueryServer`] serving every trained class with default
+    /// settings — the batched online phase. See [`SearchEngine::serve_with`].
+    pub fn serve(&self) -> QueryServer {
+        self.serve_with(ServeConfig::default())
+    }
+
+    /// Builds a [`QueryServer`] over every trained class model: per-class
+    /// score tables are precomputed from the model's restricted index and
+    /// learned weights, sharded by anchor node, with batched rayon-parallel
+    /// ranking, bounded LRU caching of hot queries, and per-batch latency
+    /// histograms (see [`crate::timings::LatencyHistogram`]).
+    ///
+    /// The server answers identically to [`SearchEngine::search`] (asserted
+    /// by tests) but amortises all query-independent work up front, so it
+    /// is the entry point for serving real traffic.
+    pub fn serve_with(&self, cfg: ServeConfig) -> QueryServer {
+        let mut server = QueryServer::new(cfg);
+        for m in &self.models {
+            server.add_class(&m.name, &m.index, &m.weights);
+        }
+        server
+    }
+
     /// Serialises all trained class models to JSON. Together with the
     /// mined metagraph set these fully determine online behaviour — the
     /// offline phase need not be repeated to serve queries elsewhere.
@@ -426,7 +450,11 @@ mod tests {
     fn full_pipeline_learns_both_classes() {
         let d = dataset();
         let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
-        assert!(engine.metagraphs().len() > 3, "mined {} patterns", engine.metagraphs().len());
+        assert!(
+            engine.metagraphs().len() > 3,
+            "mined {} patterns",
+            engine.metagraphs().len()
+        );
         assert!(!engine.seed_indices().is_empty());
 
         for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
@@ -547,13 +575,70 @@ mod tests {
         if score > 0.0 {
             let expl = engine.explain("family", q, v, 3);
             assert!(!expl.is_empty());
-            let total: f64 = engine.explain("family", q, v, 0).iter().map(|&(_, s)| s).sum();
+            let total: f64 = engine
+                .explain("family", q, v, 0)
+                .iter()
+                .map(|&(_, s)| s)
+                .sum();
             assert!((total - 1.0).abs() < 1e-9);
             for (gi, share) in expl {
                 assert!(gi < engine.metagraphs().len());
                 assert!(share > 0.0 && share <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn serving_matches_search_exactly() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+            let ex = examples_for(&d, class, 150, 11);
+            engine.train_class(name, &ex);
+        }
+        let server = engine.serve();
+        assert_eq!(server.class_names(), vec!["family", "classmate"]);
+
+        let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+        for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+            let cid = server.class_id(name).unwrap();
+            let queries: Vec<NodeId> = d
+                .labels
+                .queries_of_class(class)
+                .iter()
+                .chain(anchors.iter().take(10))
+                .copied()
+                .collect();
+            // Batched answers equal the engine's per-query search.
+            let batch = server.rank_batch(cid, &queries, 10);
+            for (&q, got) in queries.iter().zip(&batch) {
+                assert_eq!(**got, engine.search(name, q, 10), "class {name} q {q}");
+            }
+        }
+        let stats = server.stats();
+        assert!(stats.cache_misses > 0);
+        assert_eq!(stats.latency.count, 2, "one histogram entry per batch");
+    }
+
+    #[test]
+    fn serving_cache_serves_repeats() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let ex = examples_for(&d, FAMILY, 100, 13);
+        engine.train_class("family", &ex);
+        let server = engine.serve_with(mgp_online::ServeConfig {
+            cache_capacity: 64,
+            ..Default::default()
+        });
+        let cid = server.class_id("family").unwrap();
+        let queries = d.labels.queries_of_class(FAMILY);
+        let q = queries[0];
+        let first = server.rank(cid, q, 5);
+        let second = server.rank(cid, q, 5);
+        assert_eq!(*first, *second);
+        let stats = server.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
     }
 
     #[test]

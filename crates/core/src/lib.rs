@@ -32,4 +32,5 @@ pub mod engine;
 pub mod timings;
 
 pub use engine::{ClassModel, PipelineConfig, SearchEngine, TrainingStrategy};
+pub use mgp_online::{QueryServer, ServeConfig};
 pub use timings::Timings;

@@ -1,4 +1,13 @@
-//! Offline/online cost accounting (the paper's Table III).
+//! Offline/online cost accounting (the paper's Table III), plus the
+//! online-serving latency instrumentation.
+//!
+//! Offline costs are one-shot wall-clock durations ([`Timings`]); the
+//! online phase serves an open-ended query stream, so its accounting is a
+//! latency *distribution*: [`LatencyHistogram`] (recorded per batch by
+//! `mgp_online::QueryServer`, built via `SearchEngine::serve`) with
+//! p50/p95/p99 snapshots.
+
+pub use mgp_online::{LatencyHistogram, LatencySnapshot};
 
 use serde::{Deserialize, Serialize};
 use std::time::Duration;

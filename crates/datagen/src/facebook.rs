@@ -141,7 +141,9 @@ pub fn generate_facebook(cfg: &FacebookConfig) -> Dataset {
 
     // Attribute value nodes.
     let pool = |b: &mut GraphBuilder, t, prefix: &str, n: usize| -> Vec<NodeId> {
-        (0..n).map(|i| b.add_node(t, format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| b.add_node(t, format!("{prefix}{i}")))
+            .collect()
     };
     let surnames = pool(&mut b, surname_t, "surname", cfg.n_surnames);
     let locations = pool(&mut b, location_t, "loc", cfg.n_locations);
@@ -167,8 +169,7 @@ pub fn generate_facebook(cfg: &FacebookConfig) -> Dataset {
         let surname = surnames[rng.random_range(0..surnames.len())];
         let family_loc = locations[rng.random_range(0..locations.len())];
         let family_home = hometowns[rng.random_range(0..hometowns.len())];
-        for j in i..i + size {
-            let u = users[j];
+        for &u in &users[i..i + size] {
             b.add_edge(u, surname).unwrap();
             let loc = if rng.random_bool(cfg.family_cohesion) {
                 family_loc
@@ -210,23 +211,28 @@ pub fn generate_facebook(cfg: &FacebookConfig) -> Dataset {
         // Some users attended a second school (pure noise for the rules,
         // which still apply to it).
         if rng.random_bool(0.15) {
-            b.add_edge(u, schools[rng.random_range(0..schools.len())]).unwrap();
+            b.add_edge(u, schools[rng.random_range(0..schools.len())])
+                .unwrap();
         }
     }
 
     // --- Work attributes: independent distractors.
     for &u in &users {
         if rng.random_bool(0.7) {
-            b.add_edge(u, employers[rng.random_range(0..employers.len())]).unwrap();
+            b.add_edge(u, employers[rng.random_range(0..employers.len())])
+                .unwrap();
         }
         if rng.random_bool(0.4) {
-            b.add_edge(u, work_locations[rng.random_range(0..work_locations.len())]).unwrap();
+            b.add_edge(u, work_locations[rng.random_range(0..work_locations.len())])
+                .unwrap();
         }
         if rng.random_bool(0.4) {
-            b.add_edge(u, work_projects[rng.random_range(0..work_projects.len())]).unwrap();
+            b.add_edge(u, work_projects[rng.random_range(0..work_projects.len())])
+                .unwrap();
         }
         if rng.random_bool(0.2) {
-            b.add_edge(u, employers[rng.random_range(0..employers.len())]).unwrap();
+            b.add_edge(u, employers[rng.random_range(0..employers.len())])
+                .unwrap();
         }
     }
 
@@ -277,7 +283,11 @@ pub fn generate_facebook(cfg: &FacebookConfig) -> Dataset {
     for _ in 0..n_noise {
         let x = user_ids[rng.random_range(0..user_ids.len())];
         let y = user_ids[rng.random_range(0..user_ids.len())];
-        let class = if rng.random_bool(0.5) { FAMILY } else { CLASSMATE };
+        let class = if rng.random_bool(0.5) {
+            FAMILY
+        } else {
+            CLASSMATE
+        };
         labels.insert(x, y, class);
     }
 
@@ -365,6 +375,10 @@ mod tests {
         // Degrees stay bounded so matching stays tractable. (The `degree`
         // attribute type has only a handful of values, so those nodes are
         // natural hubs — a few hundred is expected at this scale.)
-        assert!(d.graph.max_degree() < 420, "max degree {}", d.graph.max_degree());
+        assert!(
+            d.graph.max_degree() < 420,
+            "max degree {}",
+            d.graph.max_degree()
+        );
     }
 }

@@ -170,7 +170,10 @@ mod tests {
         l.insert(NodeId(1), NodeId(2), FAMILY);
         l.insert(NodeId(1), NodeId(3), FAMILY);
         l.insert(NodeId(4), NodeId(5), CLASSMATE);
-        assert_eq!(l.positives_of(NodeId(1), FAMILY), vec![NodeId(2), NodeId(3)]);
+        assert_eq!(
+            l.positives_of(NodeId(1), FAMILY),
+            vec![NodeId(2), NodeId(3)]
+        );
         assert!(l.positives_of(NodeId(1), CLASSMATE).is_empty());
         assert_eq!(
             l.queries_of_class(FAMILY),

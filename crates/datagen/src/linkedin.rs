@@ -125,12 +125,14 @@ pub fn generate_linkedin(cfg: &LinkedInConfig) -> Dataset {
         let c = rng.random_range(0..colleges.len());
         b.add_edge(u, colleges[c]).unwrap();
         if rng.random_bool(0.1) {
-            b.add_edge(u, colleges[rng.random_range(0..colleges.len())]).unwrap();
+            b.add_edge(u, colleges[rng.random_range(0..colleges.len())])
+                .unwrap();
         }
         let e = rng.random_range(0..employers.len());
         b.add_edge(u, employers[e]).unwrap();
         if rng.random_bool(0.3) {
-            b.add_edge(u, employers[rng.random_range(0..employers.len())]).unwrap();
+            b.add_edge(u, employers[rng.random_range(0..employers.len())])
+                .unwrap();
         }
         // Location correlates with both affiliations (office region,
         // campus town) — the AND-attribute of both semantic classes.
@@ -156,7 +158,9 @@ pub fn generate_linkedin(cfg: &LinkedInConfig) -> Dataset {
     // metagraphs carry signal to different extents (joint college+location
     // strongest, plain paths weak), no pattern is deterministic, and the
     // optimal weights form the long-tailed mixture of Fig. 4.
-    let era: Vec<u8> = (0..cfg.n_users).map(|_| rng.random_range(0..10u8)).collect();
+    let era: Vec<u8> = (0..cfg.n_users)
+        .map(|_| rng.random_range(0..10u8))
+        .collect();
     let era_of = |u: NodeId| {
         // Users were created after all attribute nodes, densely.
         let first_user = (cfg.n_colleges + cfg.n_employers + cfg.n_locations) as u32;
@@ -170,11 +174,11 @@ pub fn generate_linkedin(cfg: &LinkedInConfig) -> Dataset {
             .any(|v| graph.neighbors_of_type(y, location_t).contains(v))
     };
     let co_affiliation_labels = |attr_nodes: &[NodeId],
-                                     class: ClassId,
-                                     strong: f64,
-                                     weak: f64,
-                                     rng: &mut ChaCha8Rng,
-                                     labels: &mut PairLabels| {
+                                 class: ClassId,
+                                 strong: f64,
+                                 weak: f64,
+                                 rng: &mut ChaCha8Rng,
+                                 labels: &mut PairLabels| {
         for &a in attr_nodes {
             let members = graph.neighbors_of_type(a, user_t);
             for (ai, &x) in members.iter().enumerate() {
@@ -215,7 +219,11 @@ pub fn generate_linkedin(cfg: &LinkedInConfig) -> Dataset {
     for _ in 0..n_noise {
         let x = users[rng.random_range(0..users.len())];
         let y = users[rng.random_range(0..users.len())];
-        let class = if rng.random_bool(0.5) { COLLEGE } else { COWORKER };
+        let class = if rng.random_bool(0.5) {
+            COLLEGE
+        } else {
+            COWORKER
+        };
         labels.insert(x, y, class);
     }
 
@@ -269,7 +277,11 @@ mod tests {
                     .any(|v| g.neighbors_of_type(y, college_t).contains(v))
             })
             .count();
-        assert!(ok as f64 >= pairs.len() as f64 * 0.85, "{ok}/{}", pairs.len());
+        assert!(
+            ok as f64 >= pairs.len() as f64 * 0.85,
+            "{ok}/{}",
+            pairs.len()
+        );
     }
 
     #[test]
@@ -293,6 +305,10 @@ mod tests {
     fn default_scale_reasonable() {
         let d = generate_linkedin(&LinkedInConfig::default());
         assert!(d.graph.n_nodes() > 1000);
-        assert!(d.graph.max_degree() < 250, "max degree {}", d.graph.max_degree());
+        assert!(
+            d.graph.max_degree() < 250,
+            "max degree {}",
+            d.graph.max_degree()
+        );
     }
 }

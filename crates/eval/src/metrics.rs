@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn map_averages() {
         let cases = vec![
-            (n(&[1]), n(&[1])),   // AP 1
+            (n(&[1]), n(&[1])),    // AP 1
             (n(&[0, 1]), n(&[1])), // AP 0.5
         ];
         assert!((map_at(&cases, 10) - 0.75).abs() < 1e-12);

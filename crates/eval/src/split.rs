@@ -74,8 +74,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let q = queries(30);
-        assert_eq!(repeated_splits(&q, 0.2, 3, 7), repeated_splits(&q, 0.2, 3, 7));
-        assert_ne!(repeated_splits(&q, 0.2, 3, 7), repeated_splits(&q, 0.2, 3, 8));
+        assert_eq!(
+            repeated_splits(&q, 0.2, 3, 7),
+            repeated_splits(&q, 0.2, 3, 7)
+        );
+        assert_ne!(
+            repeated_splits(&q, 0.2, 3, 7),
+            repeated_splits(&q, 0.2, 3, 8)
+        );
     }
 
     #[test]

@@ -22,9 +22,7 @@ const VERSION: u16 = 1;
 
 /// Serialises a graph into the binary format.
 pub fn encode(g: &Graph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(
-        64 + g.n_nodes() * 8 + (g.n_edges() as usize) * 8,
-    );
+    let mut buf = BytesMut::with_capacity(64 + g.n_nodes() * 8 + (g.n_edges() as usize) * 8);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
 
@@ -85,8 +83,7 @@ pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
         let len = data.get_u16_le() as usize;
         need(&data, len, "type name")?;
         let name_bytes = data.copy_to_bytes(len);
-        let name =
-            std::str::from_utf8(&name_bytes).map_err(|_| fail("type name not utf-8"))?;
+        let name = std::str::from_utf8(&name_bytes).map_err(|_| fail("type name not utf-8"))?;
         b.add_type(name);
     }
 
@@ -106,8 +103,7 @@ pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
         let len = data.get_u32_le() as usize;
         need(&data, len, "label")?;
         let label_bytes = data.copy_to_bytes(len);
-        let label =
-            std::str::from_utf8(&label_bytes).map_err(|_| fail("label not utf-8"))?;
+        let label = std::str::from_utf8(&label_bytes).map_err(|_| fail("label not utf-8"))?;
         b.add_node(ty, label);
     }
 

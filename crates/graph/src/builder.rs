@@ -135,10 +135,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let t = b.add_type("user");
         let n = b.add_node(t, "a");
-        assert_eq!(
-            b.add_edge(n, NodeId(5)),
-            Err(GraphError::UnknownNode(5))
-        );
+        assert_eq!(b.add_edge(n, NodeId(5)), Err(GraphError::UnknownNode(5)));
     }
 
     #[test]

@@ -19,7 +19,12 @@ use std::io::{BufRead, Write};
 
 /// Serialises a graph to the TSV format described in the module docs.
 pub fn write_tsv<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
-    writeln!(w, "# typed object graph: {} nodes, {} edges", g.n_nodes(), g.n_edges())?;
+    writeln!(
+        w,
+        "# typed object graph: {} nodes, {} edges",
+        g.n_nodes(),
+        g.n_edges()
+    )?;
     for (id, name) in g.types().iter() {
         writeln!(w, "T\t{}\t{}", id.0, name)?;
     }
@@ -57,7 +62,9 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<Graph, GraphError> {
                     .next()
                     .ok_or_else(|| err("missing type name".into()))?;
                 if id != next_type {
-                    return Err(err(format!("type ids must be dense, expected {next_type} got {id}")));
+                    return Err(err(format!(
+                        "type ids must be dense, expected {next_type} got {id}"
+                    )));
                 }
                 next_type += 1;
                 b.add_type(name);
@@ -67,7 +74,9 @@ pub fn read_tsv<R: BufRead>(r: R) -> Result<Graph, GraphError> {
                 let ty: u16 = parse_field(fields.next(), lineno, "node type")?;
                 let label = fields.next().unwrap_or("");
                 if id != next_node {
-                    return Err(err(format!("node ids must be dense, expected {next_node} got {id}")));
+                    return Err(err(format!(
+                        "node ids must be dense, expected {next_node} got {id}"
+                    )));
                 }
                 if ty as usize >= b.types().len() {
                     return Err(GraphError::UnknownType(ty));
@@ -157,19 +166,28 @@ mod tests {
         let mut buf = Vec::new();
         write_tsv(&g, &mut buf).unwrap();
         let g2 = read_tsv(std::io::Cursor::new(&buf)).unwrap();
-        assert_eq!(g2.node_by_label("123 Green St"), g.node_by_label("123 Green St"));
+        assert_eq!(
+            g2.node_by_label("123 Green St"),
+            g.node_by_label("123 Green St")
+        );
     }
 
     #[test]
     fn rejects_bad_kind() {
         let r = std::io::Cursor::new(b"X\t1\t2\n".to_vec());
-        assert!(matches!(read_tsv(r), Err(GraphError::Parse { line: 1, .. })));
+        assert!(matches!(
+            read_tsv(r),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
     }
 
     #[test]
     fn rejects_sparse_node_ids() {
         let r = std::io::Cursor::new(b"T\t0\tuser\nN\t5\t0\tAlice\n".to_vec());
-        assert!(matches!(read_tsv(r), Err(GraphError::Parse { line: 2, .. })));
+        assert!(matches!(
+            read_tsv(r),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

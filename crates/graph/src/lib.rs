@@ -71,8 +71,12 @@ impl std::fmt::Display for GraphError {
             GraphError::UnknownNode(n) => write!(f, "unknown node id {n}"),
             GraphError::UnknownType(t) => write!(f, "unknown type id {t}"),
             GraphError::UnknownTypeName(t) => write!(f, "unknown type name {t:?}"),
-            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} (object graphs are simple)"),
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::SelfLoop(n) => {
+                write!(f, "self-loop on node {n} (object graphs are simple)")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

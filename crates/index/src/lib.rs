@@ -157,6 +157,30 @@ impl VectorIndex {
         dot(self.pair_vec(x, y), w)
     }
 
+    /// Iterates over every `(node, m_x)` entry, in arbitrary order.
+    ///
+    /// This is the bulk-export path used by `mgp-online` to precompute
+    /// `m_x · w` tables at class-registration time.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &[(u32, f64)])> {
+        self.node_vecs
+            .iter()
+            .map(|(&x, v)| (NodeId(x), v.as_slice()))
+    }
+
+    /// Iterates over every `(packed pair, m_xy)` entry, in arbitrary order
+    /// (unpack with [`mgp_graph::ids::unpack_pair`]).
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (u64, &[(u32, f64)])> {
+        self.pair_vecs.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Iterates over every `(node, partner list)` entry, in arbitrary
+    /// order; each list is ascending and deduplicated.
+    pub fn iter_partners(&self) -> impl Iterator<Item = (NodeId, &[u32])> {
+        self.partners
+            .iter()
+            .map(|(&x, v)| (NodeId(x), v.as_slice()))
+    }
+
     /// Projects the index onto the metagraph subset `keep` (indices into
     /// the original coordinates); coordinate `j` of the result corresponds
     /// to `keep[j]`.
@@ -297,6 +321,93 @@ mod tests {
         assert_eq!(same.n_metagraphs(), 2);
         assert_eq!(same.node_vec(NodeId(1)), idx.node_vec(NodeId(1)));
         assert_eq!(same.partners(NodeId(1)), idx.partners(NodeId(1)));
+    }
+
+    #[test]
+    fn restrict_permutation_roundtrip() {
+        // Restricting to a permutation of all coordinates and then
+        // restricting back with the inverse permutation must recover the
+        // original index exactly: every node/pair vector and every dot
+        // product, for all three transforms.
+        for transform in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            let idx = sample_index(transform);
+            let perm = [1usize, 0];
+            let inverse = [1usize, 0];
+            let permuted = idx.restrict(&perm);
+            let back = permuted.restrict(&inverse);
+            assert_eq!(back.n_metagraphs(), idx.n_metagraphs());
+            assert_eq!(back.transform(), idx.transform());
+            for x in 0..5u32 {
+                assert_eq!(
+                    back.node_vec(NodeId(x)),
+                    idx.node_vec(NodeId(x)),
+                    "{transform:?}"
+                );
+                assert_eq!(back.partners(NodeId(x)), idx.partners(NodeId(x)));
+                for y in 0..5u32 {
+                    assert_eq!(
+                        back.pair_vec(NodeId(x), NodeId(y)),
+                        idx.pair_vec(NodeId(x), NodeId(y))
+                    );
+                }
+            }
+            // Dot products against permuted weights agree with originals.
+            let w = [0.25, 2.0];
+            let w_perm = [w[perm[0]], w[perm[1]]];
+            for x in 0..5u32 {
+                assert_eq!(
+                    idx.dot_node(NodeId(x), &w),
+                    permuted.dot_node(NodeId(x), &w_perm),
+                    "{transform:?} dot under permutation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_coordinates_remap_to_keep_positions() {
+        let idx = sample_index(Transform::Raw);
+        // keep[j] = original coordinate; result coordinate j carries its
+        // value. Node 1 has (0 → 3.0, 1 → 2.0) originally.
+        let sub = idx.restrict(&[1, 0]);
+        assert_eq!(sub.node_vec(NodeId(1)), &[(0, 2.0), (1, 3.0)]);
+        assert_eq!(sub.pair_vec(NodeId(1), NodeId(2)), &[(1, 3.0)]);
+        assert_eq!(sub.pair_vec(NodeId(1), NodeId(3)), &[(0, 2.0)]);
+    }
+
+    #[test]
+    fn transform_variants_apply_pointwise() {
+        // All three variants on the same counts.
+        assert_eq!(Transform::Raw.apply(0), 0.0);
+        assert_eq!(Transform::Raw.apply(7), 7.0);
+        assert_eq!(Transform::Log1p.apply(0), 0.0);
+        assert!((Transform::Log1p.apply(7) - 8.0f64.ln()).abs() < 1e-12);
+        assert_eq!(Transform::Binary.apply(0), 0.0);
+        assert_eq!(Transform::Binary.apply(7), 1.0);
+        // Default is the paper's log-damped counts.
+        assert_eq!(Transform::default(), Transform::Log1p);
+        // And the built index reports the transform it used.
+        for t in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            assert_eq!(sample_index(t).transform(), t);
+        }
+    }
+
+    #[test]
+    fn iterators_cover_the_whole_index() {
+        let idx = sample_index(Transform::Raw);
+        let nodes: Vec<u32> = idx.iter_nodes().map(|(x, _)| x.0).collect();
+        assert_eq!(nodes.len(), idx.n_nodes());
+        for x in &nodes {
+            assert!(!idx.node_vec(NodeId(*x)).is_empty());
+        }
+        let pairs: Vec<u64> = idx.iter_pairs().map(|(k, _)| k).collect();
+        assert_eq!(pairs.len(), idx.n_pairs());
+        let partner_nodes: usize = idx.iter_partners().count();
+        assert_eq!(partner_nodes, 3); // nodes 1, 2, 3 all have partners
+        for (x, list) in idx.iter_partners() {
+            assert_eq!(list, idx.partners(x));
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        }
     }
 
     #[test]

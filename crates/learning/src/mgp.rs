@@ -66,10 +66,7 @@ mod tests {
         let mut c0 = AnchorCounts::default();
         let mut c1 = AnchorCounts::default();
         let ins = |m: &mut FxHashMap<u64, u64>, x: u32, y: u32, c: u64| {
-            m.insert(
-                mgp_graph::ids::pack_pair(NodeId(x), NodeId(y)),
-                c,
-            );
+            m.insert(mgp_graph::ids::pack_pair(NodeId(x), NodeId(y)), c);
         };
         ins(&mut c0.per_pair, 1, 2, 4);
         c0.per_node.insert(1, 4);

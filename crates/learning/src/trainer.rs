@@ -354,8 +354,7 @@ mod tests {
             wp[i] += eps;
             let mut wm = w.clone();
             wm[i] -= eps;
-            let fd = (log_likelihood(&idx, &ex, 5.0, &wp)
-                - log_likelihood(&idx, &ex, 5.0, &wm))
+            let fd = (log_likelihood(&idx, &ex, 5.0, &wp) - log_likelihood(&idx, &ex, 5.0, &wm))
                 / (2.0 * eps);
             assert!(
                 (fd - grad[i]).abs() < 1e-5,

@@ -43,10 +43,7 @@ fn recovers_the_address_metagraph() {
     // (signal).
     let m_hobby = Metagraph::from_edges(&[U, HOBBY, U], &[(0, 1), (1, 2)]).unwrap();
     let m_addr = Metagraph::from_edges(&[U, ADDR, U], &[(0, 1), (1, 2)]).unwrap();
-    let patterns = [
-        PatternInfo::new(m_hobby, U),
-        PatternInfo::new(m_addr, U),
-    ];
+    let patterns = [PatternInfo::new(m_hobby, U), PatternInfo::new(m_addr, U)];
     let counts: Vec<_> = patterns
         .iter()
         .map(|p| anchor_counts(&SymIso::new(), &g, p))

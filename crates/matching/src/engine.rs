@@ -82,10 +82,7 @@ fn descend(
             }
         }
         // All pattern edges into the matched part must exist in G.
-        if !matched_neighbors
-            .iter()
-            .all(|&w| g.has_edge(v, assign[w]))
-        {
+        if !matched_neighbors.iter().all(|&w| g.has_edge(v, assign[w])) {
             continue;
         }
         assign[u] = v;
@@ -223,8 +220,7 @@ mod tests {
         // M1: users adjacent to one school and one major each.
         let s = TypeId(1);
         let mj = TypeId(2);
-        let m =
-            Metagraph::from_edges(&[U, U, s, mj], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
+        let m = Metagraph::from_edges(&[U, U, s, mj], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
         let p = PatternInfo::new(m, U);
         let req = typed_degree_requirements(&p);
         assert_eq!(req[0], vec![(s, 1), (mj, 1)]);

@@ -127,8 +127,7 @@ mod tests {
             // M1: users sharing school AND major
             Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
             // 5-node chain user-school-user-major-user
-            Metagraph::from_edges(&[U, S, U, M, U], &[(0, 1), (1, 2), (2, 3), (3, 4)])
-                .unwrap(),
+            Metagraph::from_edges(&[U, S, U, M, U], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
             // asymmetric: user-school
             Metagraph::from_edges(&[U, S], &[(0, 1)]).unwrap(),
         ]
@@ -190,10 +189,7 @@ mod tests {
         let inst = Instance {
             assignment: vec![NodeId(9), NodeId(2), NodeId(5)],
         };
-        assert_eq!(
-            inst.nodes_sorted(),
-            vec![NodeId(2), NodeId(5), NodeId(9)]
-        );
+        assert_eq!(inst.nodes_sorted(), vec![NodeId(2), NodeId(5), NodeId(9)]);
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub fn estimated_instance_order(g: &Graph, p: &PatternInfo) -> Vec<usize> {
                 }
             }
             if let Some(r) = ratio {
-                if best.map_or(true, |(b, _)| r < b) {
+                if best.is_none_or(|(b, _)| r < b) {
                     best = Some((r, u));
                 }
             }
@@ -50,8 +50,14 @@ pub fn estimated_instance_order(g: &Graph, p: &PatternInfo) -> Vec<usize> {
             None => (0..n)
                 .filter(|&u| !placed[u])
                 .min_by(|&a, &b| {
-                    let ka = (g.n_nodes_of_type(m.node_type(a)), std::cmp::Reverse(m.degree(a)));
-                    let kb = (g.n_nodes_of_type(m.node_type(b)), std::cmp::Reverse(m.degree(b)));
+                    let ka = (
+                        g.n_nodes_of_type(m.node_type(a)),
+                        std::cmp::Reverse(m.degree(a)),
+                    );
+                    let kb = (
+                        g.n_nodes_of_type(m.node_type(b)),
+                        std::cmp::Reverse(m.degree(b)),
+                    );
                     ka.cmp(&kb)
                 })
                 .expect("some node remains"),
@@ -201,7 +207,10 @@ mod tests {
         let bo = block_order(&g, &p);
         let mut sorted = bo.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..p.decomposition.blocks.len()).collect::<Vec<_>>());
+        assert_eq!(
+            sorted,
+            (0..p.decomposition.blocks.len()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -213,7 +222,10 @@ mod tests {
         assert_eq!(a, b);
         let mut sorted = a.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, (0..p.decomposition.blocks.len()).collect::<Vec<_>>());
+        assert_eq!(
+            sorted,
+            (0..p.decomposition.blocks.len()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

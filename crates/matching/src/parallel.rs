@@ -119,8 +119,7 @@ mod tests {
                 U,
             ),
             PatternInfo::new(
-                Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)])
-                    .unwrap(),
+                Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
                 U,
             ),
         ]

@@ -186,14 +186,20 @@ fn choose(
     let width = block.width();
     if chosen.len() == width {
         // Cross-component edges within the block (Def. 2 connectivity).
-        let ok = st.cross_edges[block_idx].iter().all(|&(ci, ai, cj, bi)| {
-            st.g.has_edge(cands[chosen[ci]][ai], cands[chosen[cj]][bi])
-        });
+        let ok = st.cross_edges[block_idx]
+            .iter()
+            .all(|&(ci, ai, cj, bi)| st.g.has_edge(cands[chosen[ci]][ai], cands[chosen[cj]][bi]));
         if !ok {
             return true;
         }
         for (c, &mi) in block.components.iter().zip(chosen.iter()) {
-            apply_raw(&mut st.assign, &mut st.matched_mask, &mut st.used, c, &cands[mi]);
+            apply_raw(
+                &mut st.assign,
+                &mut st.matched_mask,
+                &mut st.used,
+                c,
+                &cands[mi],
+            );
         }
         let keep = match_blocks(st, k + 1, visit);
         for (c, &mi) in block.components.iter().zip(chosen.iter()) {
@@ -251,7 +257,7 @@ fn inline_descend(
         if st.matched_mask & (1 << w) != 0 {
             let img = st.assign[w];
             constraints.push(img);
-            if pivot.map_or(true, |pv| g.degree(img) < g.degree(pv)) {
+            if pivot.is_none_or(|pv| g.degree(img) < g.degree(pv)) {
                 pivot = Some(img);
             }
         }
@@ -323,7 +329,7 @@ fn component_descend(
         };
         if let Some(img) = img {
             constraints.push(img);
-            if pivot.map_or(true, |pv| g.degree(img) < g.degree(pv)) {
+            if pivot.is_none_or(|pv| g.degree(img) < g.degree(pv)) {
                 pivot = Some(img);
             }
         }
@@ -425,8 +431,7 @@ mod tests {
             }
         }
         let g = b.build();
-        let m1 = Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)])
-            .unwrap();
+        let m1 = Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
         let p = PatternInfo::new(m1, U);
         let mut n = 0u64;
         SymIso::new().enumerate(&g, &p, &mut |_| {

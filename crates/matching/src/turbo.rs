@@ -71,8 +71,7 @@ mod tests {
         b.add_node(user, "loner");
         let g = b.build();
 
-        let m1 = Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)])
-            .unwrap();
+        let m1 = Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
         let p = PatternInfo::new(m1, U);
 
         let mut turbo_count = 0u64;

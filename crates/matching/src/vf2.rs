@@ -49,8 +49,8 @@ mod tests {
             b.add_edge(u, s).unwrap();
         }
         let g = b.build();
-        let m = Metagraph::from_edges(&[TypeId(0), TypeId(1), TypeId(0)], &[(0, 1), (1, 2)])
-            .unwrap();
+        let m =
+            Metagraph::from_edges(&[TypeId(0), TypeId(1), TypeId(0)], &[(0, 1), (1, 2)]).unwrap();
         let p = PatternInfo::new(m, TypeId(0));
         let mut n = 0u64;
         Vf2.enumerate(&g, &p, &mut |_| {

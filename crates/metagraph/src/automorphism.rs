@@ -70,9 +70,8 @@ fn backtrack(
             continue;
         }
         // Adjacency consistency with already-assigned positions.
-        let ok = (0..pos).all(|prev| {
-            m.has_edge(pos, prev) == m.has_edge(cand, assign[prev] as usize)
-        });
+        let ok =
+            (0..pos).all(|prev| m.has_edge(pos, prev) == m.has_edge(cand, assign[prev] as usize));
         if !ok {
             continue;
         }
@@ -142,9 +141,9 @@ impl SymmetryInfo {
         let mut orbit = vec![0u8; n];
         let mut remap: Vec<Option<u8>> = vec![None; n];
         let mut next = 0u8;
-        for u in 0..n {
+        for (u, slot) in orbit.iter_mut().enumerate() {
             let r = find(&mut parent, u as u8) as usize;
-            orbit[u] = *remap[r].get_or_insert_with(|| {
+            *slot = *remap[r].get_or_insert_with(|| {
                 let id = next;
                 next += 1;
                 id
@@ -189,7 +188,11 @@ impl SymmetryInfo {
 
     /// Number of orbits.
     pub fn n_orbits(&self) -> usize {
-        self.orbit.iter().map(|&o| o as usize + 1).max().unwrap_or(0)
+        self.orbit
+            .iter()
+            .map(|&o| o as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `|Aut(M)|` as computed during construction.

@@ -108,19 +108,14 @@ fn permute_classes(
 /// Heap's algorithm over the subrange `[s, e)` of `perm`, calling `f` for
 /// each arrangement (the range is restored afterwards).
 fn heap_permute(perm: &mut Vec<usize>, s: usize, e: usize, f: &mut impl FnMut(&mut Vec<usize>)) {
-    fn rec(
-        perm: &mut Vec<usize>,
-        s: usize,
-        k: usize,
-        f: &mut impl FnMut(&mut Vec<usize>),
-    ) {
+    fn rec(perm: &mut Vec<usize>, s: usize, k: usize, f: &mut impl FnMut(&mut Vec<usize>)) {
         if k <= 1 {
             f(perm);
             return;
         }
         for i in 0..k {
             rec(perm, s, k - 1, f);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 perm.swap(s + i, s + k - 1);
             } else {
                 perm.swap(s, s + k - 1);
@@ -235,11 +230,8 @@ mod tests {
     #[test]
     fn five_node_patterns() {
         // user-attr-user-attr-user chain, relabelled arbitrarily.
-        let chain = Metagraph::from_edges(
-            &[U, A, U, A, U],
-            &[(0, 1), (1, 2), (2, 3), (3, 4)],
-        )
-        .unwrap();
+        let chain =
+            Metagraph::from_edges(&[U, A, U, A, U], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
         let shuffled = chain.permuted(&[4, 3, 2, 1, 0]);
         assert_eq!(CanonicalCode::of(&chain), CanonicalCode::of(&shuffled));
         let shuffled2 = chain.permuted(&[2, 1, 0, 3, 4]);

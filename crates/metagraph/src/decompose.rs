@@ -152,7 +152,11 @@ impl Decomposition {
         }
 
         let h_order: usize = blocks.iter().map(|b| factorial(b.width())).product();
-        let residual_factor = if h_order == 0 { 1 } else { auts.count() / h_order.max(1) };
+        let residual_factor = if h_order == 0 {
+            1
+        } else {
+            auts.count() / h_order.max(1)
+        };
         Decomposition {
             blocks,
             aut_count: auts.count(),
@@ -380,7 +384,11 @@ mod tests {
         let d = Decomposition::compute(&m);
         assert_eq!(d.aut_count, 6);
         assert_eq!(d.n_nodes_covered(), 6);
-        let h: usize = d.blocks.iter().map(|b| (1..=b.width()).product::<usize>()).product();
+        let h: usize = d
+            .blocks
+            .iter()
+            .map(|b| (1..=b.width()).product::<usize>())
+            .product();
         assert_eq!(d.residual_factor, 6 / h);
         assert!(d.residual_factor >= 1);
     }

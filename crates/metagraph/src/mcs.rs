@@ -57,8 +57,8 @@ fn search(
         // Common edges gained: pairs (u, w) with w already mapped and the
         // edge present in both patterns.
         let mut gained = 1usize; // the node itself
-        for w in 0..u {
-            if let Some(vw) = mapping[w] {
+        for (w, &mapped) in mapping.iter().enumerate().take(u) {
+            if let Some(vw) = mapped {
                 if a.has_edge(u, w) && b.has_edge(v, vw as usize) {
                     gained += 1;
                 }
@@ -143,9 +143,7 @@ mod tests {
         let p = path_uau();
         let m = m2();
         assert_eq!(mcs_size(&p, &m), mcs_size(&m, &p));
-        assert!(
-            (structural_similarity(&p, &m) - structural_similarity(&m, &p)).abs() < 1e-12
-        );
+        assert!((structural_similarity(&p, &m) - structural_similarity(&m, &p)).abs() < 1e-12);
     }
 
     #[test]

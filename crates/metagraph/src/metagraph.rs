@@ -76,10 +76,7 @@ impl Metagraph {
     }
 
     /// Creates a metagraph from node types and an edge list.
-    pub fn from_edges(
-        types: &[TypeId],
-        edges: &[(usize, usize)],
-    ) -> Result<Self, MetagraphError> {
+    pub fn from_edges(types: &[TypeId], edges: &[(usize, usize)]) -> Result<Self, MetagraphError> {
         let mut m = Metagraph::new(types)?;
         for &(u, v) in edges {
             m.add_edge(u, v)?;
@@ -338,7 +335,7 @@ mod tests {
             Metagraph::new(&types),
             Err(MetagraphError::TooManyNodes(_))
         ));
-        let mut m = Metagraph::new(&vec![U; MAX_NODES]).unwrap();
+        let mut m = Metagraph::new(&[U; MAX_NODES]).unwrap();
         assert!(matches!(
             m.add_node(U),
             Err(MetagraphError::TooManyNodes(_))

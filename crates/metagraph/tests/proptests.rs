@@ -1,12 +1,12 @@
 //! Property-based tests of the metagraph structure theory: canonical
 //! codes, automorphisms, decomposition, and MCS.
 
-use proptest::prelude::*;
 use mgp_graph::TypeId;
 use mgp_metagraph::{
     mcs_size, structural_similarity, Automorphisms, CanonicalCode, Decomposition, Metagraph,
     SymmetryInfo,
 };
+use proptest::prelude::*;
 
 /// Strategy: a random simple pattern with `n ∈ [1, 6]` nodes, up to 3
 /// types, and a random edge subset.

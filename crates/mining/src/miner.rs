@@ -114,9 +114,7 @@ pub fn mine(g: &Graph, cfg: &MinerConfig) -> Vec<MinedMetagraph> {
         frontier = next;
     }
 
-    results.sort_by(|a, b| {
-        (a.1.metagraph.n_nodes(), &a.0).cmp(&(b.1.metagraph.n_nodes(), &b.0))
-    });
+    results.sort_by(|a, b| (a.1.metagraph.n_nodes(), &a.0).cmp(&(b.1.metagraph.n_nodes(), &b.0)));
     results.into_iter().map(|(_, m)| m).collect()
 }
 
@@ -241,8 +239,14 @@ mod tests {
                 && m.count_type(USER) == 2
                 && m.count_type(TypeId(1)) == 1
         });
-        assert!(has_uschool, "user-school-user missing: {:?}",
-            mined.iter().map(|m| m.metagraph.brief()).collect::<Vec<_>>());
+        assert!(
+            has_uschool,
+            "user-school-user missing: {:?}",
+            mined
+                .iter()
+                .map(|m| m.metagraph.brief())
+                .collect::<Vec<_>>()
+        );
         // M1 (shared school+major) must be found.
         let has_m1 = mined.iter().any(|mm| {
             let m = &mm.metagraph;
@@ -319,10 +323,7 @@ mod tests {
         let g = campus();
         let cfg = MinerConfig::paper_defaults(USER, 2);
         let mined = mine(&g, &cfg);
-        let n_paths = mined
-            .iter()
-            .filter(|mm| is_metapath(&mm.metagraph))
-            .count();
+        let n_paths = mined.iter().filter(|mm| is_metapath(&mm.metagraph)).count();
         assert!(n_paths > 0);
         assert!(n_paths * 2 < mined.len(), "{n_paths} of {}", mined.len());
     }

@@ -119,10 +119,7 @@ mod tests {
             U,
         );
         // Users have 5 images, school only 1 → support = 1.
-        assert_eq!(
-            mni_support(&g, &p, 1, 10_000),
-            SupportOutcome::Frequent
-        );
+        assert_eq!(mni_support(&g, &p, 1, 10_000), SupportOutcome::Frequent);
         // Threshold 2 fails via the type-count bound (only 1 school).
         assert!(matches!(
             mni_support(&g, &p, 2, 10_000),

@@ -1,0 +1,222 @@
+//! A bounded LRU cache with O(1) get/put via an intrusive doubly-linked
+//! list over a slot arena.
+//!
+//! Kept dependency-free (no crates.io access in this build environment)
+//! and generic so the server can key it by `(class, query, k)`. Eviction
+//! is strict LRU: `get` promotes to most-recent, `put` evicts the
+//! least-recent entry once `capacity` is reached.
+
+use mgp_graph::FxHashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A bounded least-recently-used map.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: FxHashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// insertion entirely).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: FxHashMap::default(),
+            slots: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if
+    /// at capacity. Replaces (and promotes) on key collision.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        let i = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot.
+            let i = self.tail;
+            self.unlink(i);
+            let old_key = std::mem::replace(&mut self.slots[i].key, key.clone());
+            self.map.remove(&old_key);
+            self.slots[i].value = value;
+            i
+        } else if let Some(i) = self.free.pop() {
+            self.slots[i].key = key.clone();
+            self.slots[i].value = value;
+            i
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    /// Removes every entry, dropping all stored keys/values (a cleared
+    /// cache must not pin `Arc`ed results from replaced models alive).
+    /// The arena's backing allocation is kept.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_eviction_order() {
+        let mut c: LruCache<u32, &'static str> = LruCache::new(2);
+        c.put(1, "one");
+        c.put(2, "two");
+        assert_eq!(c.get(&1), Some(&"one")); // promotes 1
+        c.put(3, "three"); // evicts 2 (LRU)
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replace_promotes() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11); // replace + promote 1
+        c.put(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), Some(&30));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.put(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_and_reuses_slots() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..3 {
+            c.put(i, i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        for i in 10..16 {
+            c.put(i, i);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&15), Some(&15));
+        assert_eq!(c.get(&10), None); // evicted
+                                      // Arena did not grow past capacity.
+        assert!(c.slots.len() <= 3);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.put(i % 13, i);
+            if let Some(&v) = c.get(&(i % 7)) {
+                // Values are only ever stored under their own key.
+                assert_eq!(v % 13, i % 7);
+            }
+            assert!(c.len() <= 8);
+        }
+        // The 8 most recently touched distinct keys are present.
+        let mut present = 0;
+        for k in 0..13 {
+            if c.get(&k).is_some() {
+                present += 1;
+            }
+        }
+        assert_eq!(present, 8);
+    }
+}

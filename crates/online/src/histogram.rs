@@ -1,0 +1,187 @@
+//! Log-bucketed latency histograms for the serving path.
+//!
+//! Power-of-two nanosecond buckets (64 of them cover 1 ns .. ~584 years)
+//! give ≤ 2× quantile error with a fixed 520-byte footprint — plenty for
+//! batch-latency accounting, and recording is one `leading_zeros` plus an
+//! increment.
+
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A histogram of durations in power-of-two nanosecond buckets.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+/// A point-in-time summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySnapshot {
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Mean duration.
+    pub mean: Duration,
+    /// Median (≤ 2× bucket error).
+    pub p50: Duration,
+    /// 95th percentile (≤ 2× bucket error).
+    pub p95: Duration,
+    /// 99th percentile (≤ 2× bucket error).
+    pub p99: Duration,
+    /// Largest recorded duration (exact).
+    pub max: Duration,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bucket(ns: u64) -> usize {
+        // 0 and 1 ns land in bucket 0; otherwise floor(log2(ns)).
+        (63 - ns.max(1).leading_zeros() as u64) as usize
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The duration at quantile `q` (0.0..=1.0), as the upper edge of the
+    /// containing bucket (so within 2× of the true value).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let upper = if i >= 63 { u64::MAX } else { (2u64 << i) - 1 };
+                return Duration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Summarises the histogram.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let mean = if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+        };
+        LatencySnapshot {
+            count: self.total,
+            mean,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: Duration::from_nanos(self.max_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let h = LatencyHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bracket_true_values() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        // True p50 is 500µs; bucketed answer within [500µs, 1ms].
+        assert!(s.p50 >= Duration::from_micros(500) && s.p50 <= Duration::from_millis(1));
+        assert!(s.p99 >= Duration::from_micros(990) && s.p99 <= Duration::from_millis(2));
+        assert_eq!(s.max, Duration::from_millis(1));
+        assert!(s.mean >= Duration::from_micros(499) && s.mean <= Duration::from_micros(502));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(10));
+        b.record(Duration::from_micros(1000));
+        b.record(Duration::from_micros(2000));
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, Duration::from_micros(2000));
+        assert!(s.p50 >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..100u64 {
+            h.record(Duration::from_nanos(1 << (i % 20)));
+        }
+        let mut last = Duration::ZERO;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) regressed");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # mgp-online — batched concurrent query serving
+//!
+//! The paper's headline online result (Table III) is that ranking with
+//! pre-matched metagraph vectors takes ~10⁻⁴ s per query. This crate turns
+//! that per-query loop (`mgp_learning::mgp::rank` over a
+//! [`mgp_index::VectorIndex`]) into a serving subsystem shaped for heavy
+//! traffic:
+//!
+//! * **Precomputed scoring** — class registration materialises every
+//!   `m_x · w` / `m_xy · w` dot product once and folds them into the
+//!   final per-pair proximity, so serving a query is a posting-list copy
+//!   plus a top-k sort — no arithmetic or per-candidate lookups
+//!   ([`server`]).
+//! * **Sharding by anchor node** — posting lists are partitioned across
+//!   shards keyed by query node, bounding per-shard map size; shards are
+//!   the unit for the roadmap's shard-affine scheduling and incremental
+//!   updates ([`server::ServeConfig::shards`]).
+//! * **Batched parallel ranking** — [`server::QueryServer::rank_batch`]
+//!   coalesces duplicate queries, then fans the distinct misses across
+//!   rayon workers in per-worker chunks; each worker reuses one scratch
+//!   buffer, so the hot loop does no per-query allocation beyond the
+//!   returned result.
+//! * **Bounded LRU caching** — hot `(class, query, k)` results are served
+//!   from an O(1) intrusive-list LRU ([`cache`]) behind `Arc`s, so hits
+//!   copy nothing.
+//! * **Latency accounting** — per-batch wall time lands in a log-bucketed
+//!   [`histogram::LatencyHistogram`] (re-exported by `mgp_core::timings`),
+//!   giving p50/p95/p99 over the serving lifetime.
+//!
+//! Results are bit-identical to `mgp_learning::mgp::rank_with_scores` —
+//! same candidate order, same floating-point expression shapes, same tie
+//! breaking — which the differential tests in this crate and the
+//! `bench_serving` benchmark both assert.
+//!
+//! The usual entry point is `mgp_core::SearchEngine::serve()`, which
+//! registers every trained class model; the crate is also usable directly
+//! from an index + weight vector, which is what the benches do.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod histogram;
+pub mod server;
+
+pub use cache::LruCache;
+pub use histogram::{LatencyHistogram, LatencySnapshot};
+pub use server::{QueryServer, RankedList, ServeConfig, ServerStats};

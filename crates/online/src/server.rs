@@ -1,0 +1,581 @@
+//! The [`QueryServer`]: a batched, concurrent top-k proximity ranker.
+//!
+//! ## From per-query loop to serving layer
+//!
+//! The seed's online phase answers one query at a time with
+//! `mgp_learning::mgp::rank`: for query `q` it walks `q`'s index partners
+//! and evaluates `π(q, v; w) = 2 (m_qv · w) / (m_q · w + m_v · w)` from the
+//! sparse vectors, recomputing every dot product per candidate. A trained
+//! model's weights are *fixed* at serve time, so all of those dot products
+//! are query-independent — the server materialises them once per class:
+//!
+//! * `m_v · w` for every anchor node → one dense score per node,
+//! * `m_qv · w` for every co-occurring pair → one score per posting,
+//!
+//! and folds both into per-query *posting lists* `q → [(v, π(q, v))]`
+//! carrying the **final proximity**, partitioned into shards by `q`. A
+//! query then costs one posting copy plus a top-k sort — no arithmetic,
+//! no per-candidate lookups. Scores come out bit-identical to the seed
+//! path because each dot is evaluated once with the same
+//! `mgp_index::dot` accumulation over the same coordinate order, the
+//! score uses the same final expression, and the tie-break comparator is
+//! copied verbatim.
+//!
+//! ## Concurrency model
+//!
+//! [`QueryServer::rank_batch`] first coalesces duplicate queries, then
+//! splits the distinct misses into one contiguous chunk per rayon
+//! worker. Workers write disjoint slices of the result vector and only
+//! *read* the (immutable, unlocked) shard state, so the compute phase is
+//! lock-free; each worker reuses a [`Scratch`] buffer across its chunk so
+//! the hot loop does no per-query allocation beyond the returned lists.
+//! The bounded LRU cache is consulted once before the parallel section and
+//! updated once after it (two short critical sections per batch, none per
+//! query). Shards bound per-map size and are the natural unit for the
+//! roadmap's shard-affine scheduling and incremental update work; today
+//! every worker may read any shard.
+
+use crate::cache::LruCache;
+use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use mgp_graph::{FxHashMap, NodeId};
+use mgp_index::VectorIndex;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A ranked result list: `(node, score)` in descending score order.
+pub type RankedList = Vec<(NodeId, f64)>;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads for [`QueryServer::rank_batch`] (0 = available
+    /// parallelism).
+    pub workers: usize,
+    /// Posting-list shards per class (0 = 4 × workers, at least 1).
+    pub shards: usize,
+    /// Bounded LRU capacity in `(class, query, k)` entries (0 disables
+    /// caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            shards: 0,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.workers
+        }
+    }
+
+    fn resolved_shards(&self) -> usize {
+        if self.shards == 0 {
+            (4 * self.resolved_workers()).max(1)
+        } else {
+            self.shards
+        }
+    }
+}
+
+/// One shard of a class's posting lists: the anchor nodes `q` with
+/// `q mod n_shards == shard_id`, each mapping to its candidate list
+/// `[(v, π(q, v))]` in ascending `v` (the partner order of the index).
+#[derive(Debug, Default)]
+struct Shard {
+    postings: FxHashMap<u32, Vec<(u32, f64)>>,
+}
+
+/// A registered class: fully precomputed proximity postings sharded by
+/// anchor node. For fixed weights the *entire* score
+/// `π(q, v) = 2 (m_qv · w) / (m_q · w + m_v · w)` is query-independent,
+/// so build time materialises final scores and serving a query is a
+/// posting copy plus a top-k sort — no arithmetic, no lookups.
+struct ClassServing {
+    name: String,
+    shards: Vec<Shard>,
+}
+
+impl ClassServing {
+    fn build(name: &str, index: &VectorIndex, weights: &[f64], n_shards: usize) -> Self {
+        // Dot-product tables, each entry evaluated once with the same
+        // `mgp_index::dot` accumulation order the reference ranker uses.
+        let mut node_dots: FxHashMap<u32, f64> =
+            FxHashMap::with_capacity_and_hasher(index.n_nodes(), Default::default());
+        for (x, v) in index.iter_nodes() {
+            node_dots.insert(x.0, mgp_index::dot(v, weights));
+        }
+        let mut pair_dots: FxHashMap<u64, f64> =
+            FxHashMap::with_capacity_and_hasher(index.n_pairs(), Default::default());
+        for (key, v) in index.iter_pairs() {
+            pair_dots.insert(key, mgp_index::dot(v, weights));
+        }
+        // Postings follow the index's partner order (ascending node id)
+        // and carry the final proximity, evaluated with the same
+        // expression shape as mgp::proximity (q == v cannot occur in a
+        // posting: pairs are strictly unordered distinct nodes).
+        let mut shards: Vec<Shard> = (0..n_shards).map(|_| Shard::default()).collect();
+        for (q, partners) in index.iter_partners() {
+            let nq = node_dots.get(&q.0).copied().unwrap_or(0.0);
+            let posting: Vec<(u32, f64)> = partners
+                .iter()
+                .map(|&v| {
+                    let key = mgp_graph::ids::pack_pair(q, NodeId(v));
+                    let pair_dot = pair_dots.get(&key).copied().unwrap_or(0.0);
+                    let nv = node_dots.get(&v).copied().unwrap_or(0.0);
+                    let denom = nq + nv;
+                    let score = if denom <= 0.0 {
+                        0.0
+                    } else {
+                        2.0 * pair_dot / denom
+                    };
+                    (v, score)
+                })
+                .collect();
+            shards[q.0 as usize % n_shards]
+                .postings
+                .insert(q.0, posting);
+        }
+        ClassServing {
+            name: name.to_owned(),
+            shards,
+        }
+    }
+
+    /// Ranks one query into `out` using `scratch`, replicating
+    /// `mgp_learning::mgp::rank_with_scores` exactly.
+    fn rank_into(&self, q: NodeId, k: usize, scratch: &mut Scratch, out: &mut RankedList) {
+        out.clear();
+        let shard = &self.shards[q.0 as usize % self.shards.len()];
+        let Some(posting) = shard.postings.get(&q.0) else {
+            return;
+        };
+        scratch.scored.clear();
+        scratch
+            .scored
+            .extend(posting.iter().map(|&(v, score)| (score, v)));
+        // Verbatim tie-break from mgp::rank_with_scores: descending score,
+        // then ascending node id.
+        scratch
+            .scored
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scratch.scored.truncate(k);
+        out.extend(scratch.scored.iter().map(|&(s, v)| (NodeId(v), s)));
+    }
+}
+
+/// Per-worker reusable state: the candidate scoring buffer.
+#[derive(Default)]
+struct Scratch {
+    scored: Vec<(f64, u32)>,
+}
+
+/// Cache hit/miss counters and latency summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerStats {
+    /// Queries answered from the LRU cache.
+    pub cache_hits: u64,
+    /// Queries computed from the index.
+    pub cache_misses: u64,
+    /// Per-batch latency summary.
+    pub latency: LatencySnapshot,
+}
+
+/// A query-serving facade over one or more trained class models.
+///
+/// Build one via `mgp_core::SearchEngine::serve()` (which registers every
+/// trained class) or manually with [`QueryServer::new`] +
+/// [`QueryServer::add_class`].
+pub struct QueryServer {
+    cfg: ServeConfig,
+    workers: usize,
+    n_shards: usize,
+    classes: Vec<ClassServing>,
+    cache: Mutex<LruCache<(u32, u32, u32), Arc<RankedList>>>,
+    latency: Mutex<LatencyHistogram>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryServer {
+    /// Creates an empty server.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let workers = cfg.resolved_workers();
+        let n_shards = cfg.resolved_shards();
+        let cache = Mutex::new(LruCache::new(cfg.cache_capacity));
+        QueryServer {
+            cfg,
+            workers,
+            n_shards,
+            classes: Vec::new(),
+            cache,
+            latency: Mutex::new(LatencyHistogram::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a class model, precomputing its score tables. Returns the
+    /// class id used by the ranking entry points. Replaces any same-named
+    /// class (and drops its cached results).
+    pub fn add_class(&mut self, name: &str, index: &VectorIndex, weights: &[f64]) -> usize {
+        let serving = ClassServing::build(name, index, weights, self.n_shards);
+        if let Some(i) = self.classes.iter().position(|c| c.name == name) {
+            self.classes[i] = serving;
+            // Cached entries for the replaced model are stale; class ids
+            // are cache keys, so drop everything for safety.
+            self.cache.lock().clear();
+            i
+        } else {
+            self.classes.push(serving);
+            self.classes.len() - 1
+        }
+    }
+
+    /// The id of a registered class.
+    pub fn class_id(&self, name: &str) -> Option<usize> {
+        self.classes.iter().position(|c| c.name == name)
+    }
+
+    /// Names of registered classes, in id order.
+    pub fn class_names(&self) -> Vec<&str> {
+        self.classes.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Number of posting-list shards per class.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Worker threads used by [`QueryServer::rank_batch`].
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    fn class(&self, class_id: usize) -> &ClassServing {
+        self.classes
+            .get(class_id)
+            .unwrap_or_else(|| panic!("unknown class id {class_id}"))
+    }
+
+    /// Ranks a single query (cache-aware). Panics on an unknown class id.
+    pub fn rank(&self, class_id: usize, q: NodeId, k: usize) -> Arc<RankedList> {
+        let key = (class_id as u32, q.0, k as u32);
+        if self.cfg.cache_capacity > 0 {
+            if let Some(hit) = self.cache.lock().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut scratch = Scratch::default();
+        let mut out = RankedList::new();
+        self.class(class_id).rank_into(q, k, &mut scratch, &mut out);
+        let result = Arc::new(out);
+        if self.cfg.cache_capacity > 0 {
+            self.cache.lock().put(key, Arc::clone(&result));
+        }
+        result
+    }
+
+    /// Ranks a batch of queries rayon-parallel, returning one list per
+    /// query in input order. Records the batch's wall time in the latency
+    /// histogram. Panics on an unknown class id.
+    pub fn rank_batch(
+        &self,
+        class_id: usize,
+        queries: &[NodeId],
+        k: usize,
+    ) -> Vec<Arc<RankedList>> {
+        let t0 = Instant::now();
+        let model = self.class(class_id);
+        let mut out: Vec<Option<Arc<RankedList>>> = vec![None; queries.len()];
+
+        // Cache pass: one critical section for the whole batch.
+        let mut miss_idx: Vec<usize> = Vec::new();
+        if self.cfg.cache_capacity > 0 {
+            let mut cache = self.cache.lock();
+            for (i, q) in queries.iter().enumerate() {
+                match cache.get(&(class_id as u32, q.0, k as u32)) {
+                    Some(hit) => out[i] = Some(Arc::clone(hit)),
+                    None => miss_idx.push(i),
+                }
+            }
+        } else {
+            miss_idx.extend(0..queries.len());
+        }
+        self.hits
+            .fetch_add((queries.len() - miss_idx.len()) as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+
+        // Coalesce duplicate misses: a batch repeating a query (hot keys
+        // under real traffic, cycled batches in the benches) computes each
+        // distinct query once and fans the Arc out.
+        let mut slot_of: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut unique: Vec<NodeId> = Vec::new();
+        for &i in &miss_idx {
+            slot_of.entry(queries[i].0).or_insert_with(|| {
+                unique.push(queries[i]);
+                unique.len() - 1
+            });
+        }
+
+        // Compute pass: per-worker chunks over the distinct misses,
+        // lock-free, one reusable scratch per worker.
+        let mut computed: Vec<Option<Arc<RankedList>>> = vec![None; unique.len()];
+        if !unique.is_empty() {
+            let chunk = unique.len().div_ceil(self.workers);
+            rayon::scope(|s| {
+                for (qs, outs) in unique.chunks(chunk).zip(computed.chunks_mut(chunk)) {
+                    s.spawn(move |_| {
+                        let mut scratch = Scratch::default();
+                        for (slot, &q) in outs.iter_mut().zip(qs) {
+                            let mut list = RankedList::new();
+                            model.rank_into(q, k, &mut scratch, &mut list);
+                            *slot = Some(Arc::new(list));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Merge + cache fill: second short critical section.
+        if self.cfg.cache_capacity > 0 && !unique.is_empty() {
+            let mut cache = self.cache.lock();
+            for (q, result) in unique.iter().zip(computed.iter()) {
+                let result = result.as_ref().expect("worker filled every slot");
+                cache.put((class_id as u32, q.0, k as u32), Arc::clone(result));
+            }
+        }
+        for i in miss_idx {
+            let slot = slot_of[&queries[i].0];
+            out[i] = Some(Arc::clone(
+                computed[slot].as_ref().expect("worker filled every slot"),
+            ));
+        }
+
+        self.latency.lock().record(t0.elapsed());
+        out.into_iter()
+            .map(|slot| slot.expect("every query answered"))
+            .collect()
+    }
+
+    /// Single-threaded, cache-bypassing reference path: ranks each query
+    /// in order with one reused scratch. Used by differential tests and
+    /// the `bench_serving` baseline comparisons.
+    pub fn rank_batch_sequential(
+        &self,
+        class_id: usize,
+        queries: &[NodeId],
+        k: usize,
+    ) -> Vec<Arc<RankedList>> {
+        let model = self.class(class_id);
+        let mut scratch = Scratch::default();
+        queries
+            .iter()
+            .map(|&q| {
+                let mut list = RankedList::new();
+                model.rank_into(q, k, &mut scratch, &mut list);
+                Arc::new(list)
+            })
+            .collect()
+    }
+
+    /// Cache and latency counters accumulated since construction.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            latency: self.latency.lock().snapshot(),
+        }
+    }
+
+    /// Drops every cached result (stats are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+// `rank_batch` shares `&ClassServing` and `&[NodeId]` across scoped
+// workers; all shared state is read-only there.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_index::{Transform, VectorIndex};
+    use mgp_matching::AnchorCounts;
+
+    /// Small consistent index: M0 links (1,2) and (1,3); M1 links (2,3)
+    /// and (1,2) with different counts — enough for distinct rankings.
+    fn sample_index() -> VectorIndex {
+        let mut c0 = AnchorCounts::default();
+        let mut c1 = AnchorCounts::default();
+        let ins = |c: &mut AnchorCounts, x: u32, y: u32, n: u64| {
+            c.per_pair
+                .insert(mgp_graph::ids::pack_pair(NodeId(x), NodeId(y)), n);
+            *c.per_node.entry(x).or_insert(0) += n;
+            *c.per_node.entry(y).or_insert(0) += n;
+        };
+        ins(&mut c0, 1, 2, 4);
+        ins(&mut c0, 1, 3, 1);
+        ins(&mut c1, 2, 3, 2);
+        ins(&mut c1, 1, 2, 1);
+        VectorIndex::from_counts(&[c0, c1], Transform::Raw)
+    }
+
+    fn server(cache: usize) -> (QueryServer, VectorIndex, Vec<f64>) {
+        let idx = sample_index();
+        let w = vec![0.7, 0.3];
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: cache,
+        });
+        srv.add_class("demo", &idx, &w);
+        (srv, idx, w)
+    }
+
+    fn reference(idx: &VectorIndex, w: &[f64], q: NodeId, k: usize) -> RankedList {
+        mgp_learning::mgp::rank_with_scores(idx, q, w, k)
+    }
+
+    #[test]
+    fn matches_reference_ranker_exactly() {
+        let (srv, idx, w) = server(0);
+        for q in 0..6u32 {
+            for k in [0, 1, 2, 10] {
+                let got = srv.rank(0, NodeId(q), k);
+                let want = reference(&idx, &w, NodeId(q), k);
+                assert_eq!(*got, want, "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_reference() {
+        let (srv, idx, w) = server(0);
+        let queries: Vec<NodeId> = (0..40).map(|i| NodeId(i % 5)).collect();
+        let batch = srv.rank_batch(0, &queries, 3);
+        let seq = srv.rank_batch_sequential(0, &queries, 3);
+        assert_eq!(batch.len(), queries.len());
+        for ((b, s), &q) in batch.iter().zip(&seq).zip(&queries) {
+            assert_eq!(**b, **s);
+            assert_eq!(**b, reference(&idx, &w, q, 3));
+        }
+    }
+
+    #[test]
+    fn cache_hits_and_misses_are_counted() {
+        let (srv, _, _) = server(16);
+        let q = NodeId(1);
+        let a = srv.rank(0, q, 2);
+        let b = srv.rank(0, q, 2);
+        assert_eq!(*a, *b);
+        // Same Arc served from cache.
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = srv.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        // Different k is a different cache entry.
+        let _ = srv.rank(0, q, 1);
+        assert_eq!(srv.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn batch_cache_interplay() {
+        let (srv, _, _) = server(16);
+        let queries: Vec<NodeId> = vec![NodeId(1), NodeId(2), NodeId(1), NodeId(3)];
+        // First batch: 1 is deduped through the cache? No — the cache is
+        // filled after the compute pass, so the first batch misses all 4.
+        let first = srv.rank_batch(0, &queries, 2);
+        let s1 = srv.stats();
+        assert_eq!(s1.cache_misses, 4);
+        // Second identical batch: all hits, equal values; duplicates now
+        // share one cached Arc.
+        let second = srv.rank_batch(0, &queries, 2);
+        let s2 = srv.stats();
+        assert_eq!(s2.cache_hits, 4);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(**a, **b);
+        }
+        assert!(Arc::ptr_eq(&second[0], &second[2]));
+        assert_eq!(s2.latency.count, 2, "two batches recorded");
+    }
+
+    #[test]
+    fn cache_eviction_keeps_serving_correct() {
+        let (srv, idx, w) = server(2);
+        for round in 0..3 {
+            for q in 0..5u32 {
+                let got = srv.rank(0, NodeId(q), 2);
+                assert_eq!(
+                    *got,
+                    reference(&idx, &w, NodeId(q), 2),
+                    "round {round} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_query_is_empty_not_error() {
+        let (srv, _, _) = server(4);
+        assert!(srv.rank(0, NodeId(999), 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown class id")]
+    fn unknown_class_panics() {
+        let (srv, _, _) = server(0);
+        let _ = srv.rank(7, NodeId(1), 1);
+    }
+
+    #[test]
+    fn replacing_a_class_clears_its_cache() {
+        let (mut srv, idx, _) = server(16);
+        let before = srv.rank(0, NodeId(1), 2);
+        // Re-register with flipped weights: ranking changes.
+        let w2 = vec![0.0, 1.0];
+        let id = srv.add_class("demo", &idx, &w2);
+        assert_eq!(id, 0);
+        let after = srv.rank(0, NodeId(1), 2);
+        assert_eq!(*after, reference(&idx, &w2, NodeId(1), 2));
+        assert_ne!(*before, *after);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (srv, _, _) = server(4);
+        assert!(srv.rank_batch(0, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn multiple_classes_are_independent() {
+        let idx = sample_index();
+        let mut srv = QueryServer::new(ServeConfig::default());
+        let a = srv.add_class("m0", &idx, &[1.0, 0.0]);
+        let b = srv.add_class("m1", &idx, &[0.0, 1.0]);
+        assert_eq!(srv.class_names(), vec!["m0", "m1"]);
+        assert_eq!(srv.class_id("m1"), Some(b));
+        let ra = srv.rank(a, NodeId(2), 1);
+        let rb = srv.rank(b, NodeId(2), 1);
+        // Under M0-only weights node 2's best is 1; under M1-only it's 3.
+        assert_eq!(ra[0].0, NodeId(1));
+        assert_eq!(rb[0].0, NodeId(3));
+    }
+}

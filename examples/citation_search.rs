@@ -30,9 +30,15 @@ fn main() {
     let venue_t = b.add_type("venue");
     let keyword_t = b.add_type("keyword");
 
-    let venues: Vec<_> = (0..6).map(|i| b.add_node(venue_t, format!("venue{i}"))).collect();
-    let keywords: Vec<_> = (0..30).map(|i| b.add_node(keyword_t, format!("kw{i}"))).collect();
-    let authors: Vec<_> = (0..40).map(|i| b.add_node(author_t, format!("author{i}"))).collect();
+    let venues: Vec<_> = (0..6)
+        .map(|i| b.add_node(venue_t, format!("venue{i}")))
+        .collect();
+    let keywords: Vec<_> = (0..30)
+        .map(|i| b.add_node(keyword_t, format!("kw{i}")))
+        .collect();
+    let authors: Vec<_> = (0..40)
+        .map(|i| b.add_node(author_t, format!("author{i}")))
+        .collect();
 
     // Research "problems": a venue + a couple of characteristic keywords;
     // research "groups": author cliques.
@@ -41,16 +47,23 @@ fn main() {
         let p = b.add_node(paper_t, format!("paper{i}"));
         let problem = rng.random_range(0..12);
         b.add_edge(p, venues[problem % venues.len()]).unwrap();
-        b.add_edge(p, keywords[(problem * 2) % keywords.len()]).unwrap();
+        b.add_edge(p, keywords[(problem * 2) % keywords.len()])
+            .unwrap();
         if rng.random_bool(0.7) {
-            b.add_edge(p, keywords[(problem * 2 + 1) % keywords.len()]).unwrap();
+            b.add_edge(p, keywords[(problem * 2 + 1) % keywords.len()])
+                .unwrap();
         }
         if rng.random_bool(0.4) {
-            b.add_edge(p, keywords[rng.random_range(0..keywords.len())]).unwrap();
+            b.add_edge(p, keywords[rng.random_range(0..keywords.len())])
+                .unwrap();
         }
         let group = rng.random_range(0..10);
         b.add_edge(p, authors[group * 4 % authors.len()]).unwrap();
-        b.add_edge(p, authors[(group * 4 + rng.random_range(1..4)) % authors.len()]).unwrap();
+        b.add_edge(
+            p,
+            authors[(group * 4 + rng.random_range(1..4)) % authors.len()],
+        )
+        .unwrap();
         papers.push(p);
     }
     let graph = b.build();
@@ -84,9 +97,15 @@ fn main() {
     let mut cfg = PipelineConfig::new(paper_t, 5);
     cfg.strategy = TrainingStrategy::Full;
     let mut engine = SearchEngine::build(graph.clone(), cfg);
-    println!("Mined {} paper-anchored metagraphs", engine.metagraphs().len());
+    println!(
+        "Mined {} paper-anchored metagraphs",
+        engine.metagraphs().len()
+    );
 
-    for (name, class) in [("same-problem", SAME_PROBLEM), ("same-community", SAME_COMMUNITY)] {
+    for (name, class) in [
+        ("same-problem", SAME_PROBLEM),
+        ("same-community", SAME_COMMUNITY),
+    ] {
         let queries = labels.queries_of_class(class);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let examples = sample_examples(
@@ -103,7 +122,10 @@ fn main() {
     // Query: filter citations by context.
     let q = papers[0];
     println!("\nQuery paper: {}", graph.label(q));
-    for (name, class) in [("same-problem", SAME_PROBLEM), ("same-community", SAME_COMMUNITY)] {
+    for (name, class) in [
+        ("same-problem", SAME_PROBLEM),
+        ("same-community", SAME_COMMUNITY),
+    ] {
         let results = engine.search(name, q, 5);
         let truth = labels.positives_of(q, class);
         let rendered: Vec<String> = results

@@ -32,7 +32,10 @@ fn main() {
     println!("strategy        matched/mined  matching(s)  NDCG@10  MAP@10");
     for (label, strategy) in [
         ("full", TrainingStrategy::Full),
-        ("dual-stage", TrainingStrategy::DualStage { n_candidates: 8 }),
+        (
+            "dual-stage",
+            TrainingStrategy::DualStage { n_candidates: 8 },
+        ),
         (
             "multi-stage",
             TrainingStrategy::MultiStage {

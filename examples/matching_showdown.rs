@@ -23,7 +23,13 @@ fn main() {
     // Pattern: two users sharing an employer AND a location, one of whom
     // also attended some college ("colleagues in the same office").
     let m = Metagraph::from_edges(
-        &[t("user"), t("user"), t("employer"), t("location"), t("college")],
+        &[
+            t("user"),
+            t("user"),
+            t("employer"),
+            t("location"),
+            t("college"),
+        ],
         &[(0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4)],
     )
     .unwrap();
@@ -58,7 +64,10 @@ fn main() {
             None => reference = Some(instances),
             Some(r) => assert_eq!(instances, r, "matchers must agree"),
         }
-        println!("{:<15} {visits:>8}   {instances:>9}   {ms:>8.2}", matcher.name());
+        println!(
+            "{:<15} {visits:>8}   {instances:>9}   {ms:>8.2}",
+            matcher.name()
+        );
     }
     println!("\nAll matchers agree on |I(M)| = {}.", reference.unwrap());
     println!("SymISO visits each instance once; baselines visit every embedding.");

@@ -59,7 +59,14 @@ fn main() {
                 .filter(|(_, s)| *s > 0.0)
                 .map(|(v, s)| format!("{} (π={s:.2})", g.label(*v)))
                 .collect();
-            println!("    {q} → {}", if shown.is_empty() { "—".into() } else { shown.join(", ") });
+            println!(
+                "    {q} → {}",
+                if shown.is_empty() {
+                    "—".into()
+                } else {
+                    shown.join(", ")
+                }
+            );
         }
     }
 

@@ -1,0 +1,101 @@
+//! Serving: from offline pipeline to a batched online `QueryServer`.
+//!
+//! Runs the full pipeline on the toy-scale Facebook-like dataset (mine →
+//! match → index → train two classes), then serves query batches through
+//! `SearchEngine::serve()`: batched parallel ranking with precomputed
+//! score tables, a bounded LRU cache for hot queries, and per-batch
+//! latency histograms.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::learning::{sample_examples, TrainConfig};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // Offline phase: dataset, mining, matching, indexing, training.
+    let d = generate_facebook(&FacebookConfig::tiny(42));
+    println!(
+        "Dataset: {} nodes, {} edges, {} types",
+        d.graph.n_nodes(),
+        d.graph.n_edges(),
+        d.graph.n_types()
+    );
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = TrainConfig::fast(1);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+    println!(
+        "Mined {} metagraphs ({} metapath seeds)",
+        engine.metagraphs().len(),
+        engine.seed_indices().len()
+    );
+
+    let anchors: Vec<_> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+        let queries = d.labels.queries_of_class(class);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let examples = sample_examples(
+            &queries,
+            |q| d.labels.positives_of(q, class),
+            |q, v| d.labels.has(q, v, class),
+            &anchors,
+            200,
+            &mut rng,
+        );
+        let model = engine.train_class(name, &examples);
+        println!(
+            "Trained `{name}` on {} examples (log-likelihood {:.2})",
+            examples.len(),
+            model.log_likelihood
+        );
+    }
+
+    // Online phase: a QueryServer over both trained classes.
+    let server = engine.serve();
+    println!(
+        "\nServing {:?} with {} worker(s), {} shard(s), cache capacity {}",
+        server.class_names(),
+        server.workers(),
+        server.n_shards(),
+        server.config().cache_capacity
+    );
+
+    let family = server.class_id("family").unwrap();
+    let queries = d.labels.queries_of_class(FAMILY);
+    let batch: Vec<_> = queries.iter().copied().cycle().take(512).collect();
+
+    // Two identical batches: the second is served from the LRU cache.
+    for round in 1..=2 {
+        let results = server.rank_batch(family, &batch, 5);
+        let answered = results.iter().filter(|r| !r.is_empty()).count();
+        println!(
+            "batch {round}: {} queries, {answered} with non-empty top-5",
+            batch.len()
+        );
+    }
+    let q = queries[0];
+    let top = server.rank_batch(family, &[q], 5).pop().unwrap();
+    println!(
+        "\ntop-5 family candidates for {} ({}):",
+        q,
+        d.graph.label(q)
+    );
+    for (v, score) in top.iter() {
+        println!("  {:<18} π = {score:.4}", d.graph.label(*v));
+    }
+
+    let stats = server.stats();
+    println!(
+        "\ncache: {} hits / {} misses  |  batches: {}  latency p50 {:?} p95 {:?} max {:?}",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.latency.count,
+        stats.latency.p50,
+        stats.latency.p95,
+        stats.latency.max
+    );
+}

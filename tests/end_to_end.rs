@@ -53,8 +53,16 @@ fn toy_graph_classmate_search_end_to_end() {
     let bob = g.node_by_label("Bob").unwrap();
     let tom = g.node_by_label("Tom").unwrap();
     let examples = vec![
-        TrainingExample { q: kate, x: jay, y: alice },
-        TrainingExample { q: bob, x: tom, y: alice },
+        TrainingExample {
+            q: kate,
+            x: jay,
+            y: alice,
+        },
+        TrainingExample {
+            q: bob,
+            x: tom,
+            y: alice,
+        },
     ];
     let model = train(&index, &examples, &TrainConfig::fast(1));
 
@@ -78,7 +86,11 @@ fn facebook_pipeline_beats_uniform_weights() {
 
     let positives = |q| d.labels.positives_of(q, FAMILY);
     let (trained_ndcg, _) = evaluate_ranker(&split.test, 10, positives, |q| {
-        engine.search("family", q, 10).into_iter().map(|(v, _)| v).collect()
+        engine
+            .search("family", q, 10)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect()
     });
 
     // Uniform weights over the same index.
@@ -92,7 +104,10 @@ fn facebook_pipeline_beats_uniform_weights() {
         trained_ndcg > uniform_ndcg,
         "trained {trained_ndcg:.3} should beat uniform {uniform_ndcg:.3}"
     );
-    assert!(trained_ndcg > 0.5, "absolute quality too low: {trained_ndcg:.3}");
+    assert!(
+        trained_ndcg > 0.5,
+        "absolute quality too low: {trained_ndcg:.3}"
+    );
 }
 
 #[test]
@@ -117,7 +132,10 @@ fn classes_learn_different_weights() {
     let na: f64 = fam.iter().map(|a| a * a).sum::<f64>().sqrt();
     let nb: f64 = cls.iter().map(|b| b * b).sum::<f64>().sqrt();
     let cosine = dot / (na * nb).max(1e-12);
-    assert!(cosine < 0.95, "weight vectors nearly identical: cos={cosine:.3}");
+    assert!(
+        cosine < 0.95,
+        "weight vectors nearly identical: cos={cosine:.3}"
+    );
 }
 
 #[test]
@@ -148,7 +166,10 @@ fn dual_stage_close_to_full_accuracy() {
     let (dual_ndcg, dual_matched, _) = run(TrainingStrategy::DualStage { n_candidates: 10 });
 
     assert_eq!(full_matched, mined);
-    assert!(dual_matched < full_matched / 2, "dual matched {dual_matched}/{full_matched}");
+    assert!(
+        dual_matched < full_matched / 2,
+        "dual matched {dual_matched}/{full_matched}"
+    );
     assert!(
         dual_ndcg > full_ndcg * 0.85,
         "dual-stage lost too much accuracy: {dual_ndcg:.3} vs {full_ndcg:.3}"

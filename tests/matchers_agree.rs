@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
 use semantic_proximity::matching::{
-    collect_instances, count_embeddings, count_instances, Matcher, PatternInfo, QuickSi, SymIso,
-    TurboLite, Vf2,
+    anchor::anchor_counts, collect_instances, count_embeddings, count_instances, Matcher,
+    PatternInfo, QuickSi, SymIso, TurboLite, Vf2,
 };
 use semantic_proximity::metagraph::Metagraph;
 
@@ -93,6 +93,37 @@ proptest! {
                     count_instances(matcher.as_ref(), &g, &p),
                     reference.len() as u64,
                     "count mismatch for {} on {}", matcher.name(), m.brief()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_matchers_agree_on_anchor_counts(
+        n_users in 3usize..8,
+        n_a in 1usize..4,
+        n_b in 1usize..4,
+        edges in prop::collection::vec((0usize..40, 0usize..40), 5..40),
+        seed in 0u64..1000,
+    ) {
+        // The quantity the rest of the pipeline actually consumes (m_x and
+        // m_xy of Eq. 1-2) must be matcher-independent: every matcher and
+        // every matching order yields the same anchor counts.
+        let g = random_graph(n_users, n_a, n_b, &edges);
+        let matchers: Vec<Box<dyn Matcher>> = vec![
+            Box::new(Vf2),
+            Box::new(TurboLite),
+            Box::new(SymIso::new()),
+            Box::new(SymIso::random_order(seed)),
+        ];
+        for m in pattern_catalogue() {
+            let p = PatternInfo::new(m.clone(), USER);
+            let reference = anchor_counts(&QuickSi, &g, &p);
+            for matcher in &matchers {
+                let got = anchor_counts(matcher.as_ref(), &g, &p);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "anchor counts of {} disagree on {}", matcher.name(), m.brief()
                 );
             }
         }

@@ -46,10 +46,7 @@ fn miner_agrees_with_enumeration_up_to_4_nodes() {
     let mut expected = BTreeSet::new();
     for m in all {
         let p = PatternInfo::new(m.clone(), USER);
-        if matches!(
-            mni_support(&g, &p, 3, 10_000_000),
-            SupportOutcome::Frequent
-        ) {
+        if matches!(mni_support(&g, &p, 3, 10_000_000), SupportOutcome::Frequent) {
             expected.insert(CanonicalCode::of(&m));
         }
     }
@@ -60,7 +57,8 @@ fn miner_agrees_with_enumeration_up_to_4_nodes() {
     // with MNI this cannot happen: MNI is anti-monotone, so every subgraph
     // of a frequent pattern is frequent). Hence exact agreement:
     assert_eq!(
-        mined, expected,
+        mined,
+        expected,
         "mined {} vs expected {}",
         mined.len(),
         expected.len()

@@ -1,0 +1,78 @@
+//! Deterministic end-to-end regression: the full pipeline (generate →
+//! mine → match → index → train → rank) on the toy-scale Facebook dataset
+//! with pinned seeds must stay above a pinned NDCG@10 floor.
+//!
+//! Everything in the pipeline is deterministic given the seeds (dataset
+//! generation, example sampling, training restarts), so a drop below the
+//! floor can only come from a behaviour change in the pipeline itself —
+//! this is the guard rail for future performance refactors. The serving
+//! path (`SearchEngine::serve`) is evaluated alongside the per-query path
+//! and must produce the identical ranking, so the guard covers both.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::eval::{evaluate_ranker, repeated_splits};
+use semantic_proximity::learning::sample_examples;
+
+/// Pinned quality floors, set ≈ 25 % below the values measured at the time
+/// of pinning (family ≈ 0.89, classmate ≈ 0.87 with these seeds) so noise
+/// from a legitimate refactor of float summation order has headroom while
+/// real regressions (broken matching, mis-indexed vectors, training bugs)
+/// fall through.
+const FAMILY_NDCG10_FLOOR: f64 = 0.65;
+const CLASSMATE_NDCG10_FLOOR: f64 = 0.65;
+
+const DATASET_SEED: u64 = 7;
+const SPLIT_SEED: u64 = 11;
+const EXAMPLE_SEED: u64 = 13;
+
+#[test]
+fn full_pipeline_ndcg_stays_above_pinned_floor() {
+    let d = generate_facebook(&FacebookConfig::tiny(DATASET_SEED));
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = semantic_proximity::learning::TrainConfig::fast(1);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+
+    let anchors: Vec<_> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    for (name, class, floor) in [
+        ("family", FAMILY, FAMILY_NDCG10_FLOOR),
+        ("classmate", CLASSMATE, CLASSMATE_NDCG10_FLOOR),
+    ] {
+        let queries = d.labels.queries_of_class(class);
+        let split = &repeated_splits(&queries, 0.2, 1, SPLIT_SEED)[0];
+        let mut rng = ChaCha8Rng::seed_from_u64(EXAMPLE_SEED);
+        let examples = sample_examples(
+            &split.train,
+            |q| d.labels.positives_of(q, class),
+            |q, v| d.labels.has(q, v, class),
+            &anchors,
+            250,
+            &mut rng,
+        );
+        engine.train_class(name, &examples);
+
+        let positives = |q| d.labels.positives_of(q, class);
+        let (ndcg, map) = evaluate_ranker(&split.test, 10, positives, |q| {
+            engine
+                .search(name, q, 10)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect()
+        });
+        assert!(
+            ndcg >= floor,
+            "{name}: NDCG@10 regressed to {ndcg:.3} (floor {floor}); MAP@10 {map:.3}"
+        );
+
+        // The serving path must rank identically, so it inherits the floor.
+        let server = engine.serve();
+        let cid = server.class_id(name).unwrap();
+        let batch = server.rank_batch(cid, &split.test, 10);
+        for (&q, got) in split.test.iter().zip(&batch) {
+            assert_eq!(**got, engine.search(name, q, 10), "serving diverged at {q}");
+        }
+    }
+}

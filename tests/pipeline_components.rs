@@ -34,7 +34,11 @@ fn mined_patterns_are_matchable_and_symmetric() {
         // Every mined pattern is symmetric with an anchor pair.
         assert!(p.is_useful_for_proximity(), "{}", p.metagraph.brief());
         // Support threshold 5 ⇒ some instances must exist on this graph.
-        assert!(c.n_instances > 0, "no instances for {}", p.metagraph.brief());
+        assert!(
+            c.n_instances > 0,
+            "no instances for {}",
+            p.metagraph.brief()
+        );
         // SymISO counts equal a baseline's.
         let q = semantic_proximity::matching::anchor::anchor_counts(&QuickSi, &d.graph, p);
         assert_eq!(&q, c, "QuickSI disagrees on {}", p.metagraph.brief());
