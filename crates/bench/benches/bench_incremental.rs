@@ -1,0 +1,153 @@
+//! Incremental-update benchmark: the delta pipeline (graph delta →
+//! instance delta → index delta → posting-list patch, via
+//! `SearchEngine::ingest_serving`) vs the naive alternative it replaces —
+//! full re-registration (rematch every model pattern, rebuild the vector
+//! index, rebuild the class's score tables, flush the cache).
+//!
+//! Acceptance (asserted, run in CI): on the Facebook-scale dataset a
+//! single-edge delta must apply ≥ 5× faster than full re-registration,
+//! and the patched server must answer bit-identically to one rebuilt from
+//! scratch on the updated graph.
+
+use mgp_core::{PipelineConfig, QueryServer, SearchEngine, TrainingStrategy};
+use mgp_datagen::facebook::{generate_facebook, FacebookConfig, FAMILY};
+use mgp_graph::{GraphDelta, NodeId};
+use mgp_index::{Transform, VectorIndex};
+use mgp_learning::{sample_examples, TrainConfig, TrainingExample};
+use mgp_matching::parallel::match_all;
+use mgp_matching::{AnchorCounts, SymIso};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+fn examples(
+    d: &mgp_datagen::Dataset,
+    class: mgp_datagen::ClassId,
+    n: usize,
+    seed: u64,
+) -> Vec<TrainingExample> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let queries = d.labels.queries_of_class(class);
+    let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    sample_examples(
+        &queries,
+        |q| d.labels.positives_of(q, class),
+        |q, v| d.labels.has(q, v, class),
+        &anchors,
+        n,
+        &mut rng,
+    )
+}
+
+/// Full re-registration cost on the engine's current graph: rematch every
+/// pattern the model uses, rebuild the restricted index, re-register the
+/// class (which also flushes the server cache). This is exactly what the
+/// serving layer had to do per update before the delta pipeline.
+fn full_reregistration(engine: &SearchEngine, coords: &[usize], weights: &[f64]) -> VectorIndex {
+    let pats: Vec<_> = coords
+        .iter()
+        .map(|&i| engine.patterns()[i].clone())
+        .collect();
+    let counts: Vec<AnchorCounts> = match_all(engine.graph(), &pats, &SymIso::new(), 0);
+    let idx = VectorIndex::from_counts(&counts, Transform::Log1p);
+    let mut rebuilt = QueryServer::new(mgp_online::ServeConfig::default());
+    rebuilt.add_class("family", &idx, weights);
+    idx
+}
+
+fn main() {
+    let d = generate_facebook(&FacebookConfig::tiny(42));
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = TrainConfig::fast(1);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+    engine.train_class("family", &examples(&d, FAMILY, 200, 9));
+    let (coords, weights) = {
+        let m = engine.model("family").unwrap();
+        (m.coords.clone(), m.weights.clone())
+    };
+    let mut server = engine.serve();
+    let cid = server.class_id("family").unwrap();
+    println!(
+        "--- incremental updates (facebook-scale: {} nodes, {} edges, {} patterns) ---",
+        engine.graph().n_nodes(),
+        engine.graph().n_edges(),
+        coords.len()
+    );
+
+    // Candidate single-edge insertions: (user, attribute) pairs that do
+    // not exist yet, so every timed ingest does real work.
+    let g = engine.graph().clone();
+    let users: Vec<NodeId> = g.nodes_of_type(d.anchor_type).to_vec();
+    let attrs: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| g.node_type(v) != d.anchor_type && g.degree(v) > 0)
+        .collect();
+    let mut fresh_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+    'outer: for &u in &users {
+        for &a in &attrs {
+            if !g.has_edge(u, a) {
+                fresh_pairs.push((u, a));
+                if fresh_pairs.len() >= 40 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // Timed deltas: one new edge per ingest, averaged. The first few are
+    // warm-up (pool spin-up, allocator).
+    let mut delta_total = Duration::ZERO;
+    let mut timed = 0u32;
+    let mut new_instances = 0u64;
+    for (i, &(u, a)) in fresh_pairs.iter().enumerate() {
+        let mut delta = GraphDelta::for_graph(engine.graph());
+        delta.add_edge(u, a).unwrap();
+        let t0 = Instant::now();
+        let report = engine.ingest_serving(&delta, &mut server).unwrap();
+        let dt = t0.elapsed();
+        if i >= 4 {
+            delta_total += dt;
+            timed += 1;
+            new_instances += report.new_instances;
+        }
+    }
+    let delta_mean = delta_total / timed.max(1);
+
+    // Timed full re-registrations on the final graph.
+    let mut full_total = Duration::ZERO;
+    const FULL_REPS: u32 = 3;
+    let mut rebuilt_idx = None;
+    for _ in 0..FULL_REPS {
+        let t0 = Instant::now();
+        rebuilt_idx = Some(full_reregistration(&engine, &coords, &weights));
+        full_total += t0.elapsed();
+    }
+    let full_mean = full_total / FULL_REPS;
+    let speedup = full_mean.as_secs_f64() / delta_mean.as_secs_f64().max(1e-12);
+
+    println!(
+        "delta apply (1 edge)      : {delta_mean:>12.2?} mean over {timed} ingests \
+         ({new_instances} new instances total)"
+    );
+    println!("full re-registration      : {full_mean:>12.2?} mean over {FULL_REPS} rebuilds");
+    println!("speedup                   : {speedup:>12.1}x (acceptance bar: 5x)");
+
+    // Equivalence: the delta-patched server answers bit-identically to a
+    // ranker over the from-scratch rebuilt index.
+    let rebuilt_idx = rebuilt_idx.expect("at least one rebuild");
+    for &q in users.iter().take(60) {
+        let want = mgp_learning::mgp::rank_with_scores(&rebuilt_idx, q, &weights, 10);
+        assert_eq!(
+            *server.rank(cid, q, 10),
+            want,
+            "delta-updated server diverged from full rebuild at q={q}"
+        );
+    }
+    println!("equivalence               : delta-updated rankings == full-rebuild rankings");
+
+    assert!(
+        speedup >= 5.0,
+        "acceptance: delta apply must be ≥ 5x faster than full re-registration (got {speedup:.1}x)"
+    );
+}

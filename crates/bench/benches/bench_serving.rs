@@ -181,8 +181,13 @@ fn bench_serving(c: &mut Criterion) {
     );
     let snap = s.cached_server.stats();
     println!(
-        "cache: {} hits / {} misses; batch latency p50 {:?} p95 {:?} max {:?}",
-        snap.cache_hits, snap.cache_misses, snap.latency.p50, snap.latency.p95, snap.latency.max
+        "cache: {} hits / {} misses; batch latency p50 {:?} p95 {:?} p99 {:?} max {:?}",
+        snap.cache_hits,
+        snap.cache_misses,
+        snap.latency.p50(),
+        snap.latency.p95(),
+        snap.latency.p99(),
+        snap.latency.max
     );
     assert!(
         batch_qps / seq_qps >= 2.0,

@@ -1,20 +1,103 @@
 //! Offline shim for the slice of rayon this workspace uses: scoped
 //! fork-join parallelism (`scope`/`spawn`, `join`) and
-//! `current_num_threads`, implemented over `std::thread::scope`.
+//! `current_num_threads`, backed by a **persistent thread pool**.
 //!
-//! Unlike real rayon there is no persistent work-stealing pool — each
-//! `scope` call spawns OS threads. Callers therefore batch work into
-//! per-worker chunks (one `spawn` per worker, not per item), which is also
-//! the access pattern that keeps per-worker scratch state trivially owned.
+//! Earlier versions spawned fresh OS threads per `scope` call, which put
+//! thread-creation latency on the serving hot path (`QueryServer::
+//! rank_batch` opens a scope per batch). The pool here is created lazily
+//! on first use, sized to the available parallelism, and shared by every
+//! scope for the life of the process. There is still no work *stealing*
+//! between per-task queues (tasks go through one shared injector), but
+//! call sites batch work into per-worker chunks, so the queue sees a
+//! handful of tasks per scope, not one per item.
+//!
+//! Scoped borrowing works like `std::thread::scope`: `scope` does not
+//! return before every spawned task has finished, which is what makes the
+//! internal lifetime erasure of borrowing closures sound. While waiting,
+//! the scoping thread *helps* drain the shared queue, so scopes opened
+//! from inside pool workers (nesting) cannot deadlock the pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Number of worker threads a parallel section will use by default.
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A pool task: a scope-spawned closure whose borrows have been erased to
+/// `'static` (sound because the owning `scope` joins before returning).
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared injector queue all scopes push into and all workers (and
+/// helping scope threads) pop from.
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+impl Injector {
+    fn push(&self, task: Task) {
+        self.queue
+            .lock()
+            .expect("injector poisoned")
+            .push_back(task);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Task> {
+        self.queue.lock().expect("injector poisoned").pop_front()
+    }
+}
+
+/// The process-wide pool, created on first use. Workers are detached and
+/// live for the rest of the process — that is the point.
+fn injector() -> &'static Injector {
+    static POOL: OnceLock<&'static Injector> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let inj: &'static Injector = Box::leak(Box::new(Injector {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..current_num_threads() {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || loop {
+                    let task = {
+                        let mut q = inj.queue.lock().expect("injector poisoned");
+                        loop {
+                            if let Some(t) = q.pop_front() {
+                                break t;
+                            }
+                            q = inj.available.wait(q).expect("injector poisoned");
+                        }
+                    };
+                    // Panics are caught inside the task wrapper; workers
+                    // never unwind and never exit.
+                    task();
+                })
+                .expect("failed to spawn pool worker");
+        }
+        inj
+    })
+}
+
+/// Join-state shared between a scope and its spawned tasks.
+#[derive(Default)]
+struct ScopeSync {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
 /// A scope handle for spawning borrowing tasks.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    sync: &'scope Arc<ScopeSync>,
+    /// Invariance over `'scope`/`'env`, mirroring `std::thread::Scope`.
+    _marker: std::marker::PhantomData<&'scope mut &'env ()>,
 }
 
 /// Argument passed to spawned closures (rayon passes the scope for nested
@@ -22,25 +105,86 @@ pub struct Scope<'scope, 'env: 'scope> {
 pub struct NestedScope(());
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a task on its own scoped thread.
+    /// Spawns a task onto the shared pool.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&NestedScope) + Send + 'scope,
     {
-        self.inner.spawn(move || f(&NestedScope(())));
+        *self.sync.pending.lock().expect("scope poisoned") += 1;
+        let sync = Arc::clone(self.sync);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(|| f(&NestedScope(())))).is_err() {
+                sync.panicked.store(true, Ordering::Relaxed);
+            }
+            let mut pending = sync.pending.lock().expect("scope poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                sync.done.notify_all();
+            }
+        });
+        // SAFETY: `scope` does not return before `pending` reaches zero,
+        // i.e. before this closure (and everything it borrows from
+        // `'scope`/`'env`) has finished executing — the same argument that
+        // makes `std::thread::scope` sound. Erasing the lifetime is
+        // therefore safe; it never dangles.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        injector().push(task);
     }
 }
 
 /// Runs `f` with a scope in which tasks borrowing local data can be
-/// spawned; all tasks join before `scope` returns.
+/// spawned; all tasks join before `scope` returns. Tasks run on the
+/// persistent pool; the calling thread helps drain the queue while it
+/// waits. Panics in tasks are surfaced as a panic here after all tasks
+/// complete.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    let sync = Arc::new(ScopeSync::default());
+    let result = {
+        let handle = Scope {
+            sync: &sync,
+            _marker: std::marker::PhantomData,
+        };
+        catch_unwind(AssertUnwindSafe(|| f(&handle)))
+    };
+    // Join phase: execute queued work (ours or anyone's) while our
+    // counter drains. Helping keeps nested scopes on pool workers
+    // deadlock-free and gets small scopes done without a context switch.
+    loop {
+        if *sync.pending.lock().expect("scope poisoned") == 0 {
+            break;
+        }
+        if let Some(task) = injector().try_pop() {
+            task();
+            continue;
+        }
+        let pending = sync.pending.lock().expect("scope poisoned");
+        if *pending == 0 {
+            break;
+        }
+        // Bounded wait: re-check the queue occasionally in case every
+        // worker is itself blocked joining a scope.
+        let _ = sync
+            .done
+            .wait_timeout(pending, Duration::from_millis(1))
+            .expect("scope poisoned");
+    }
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(r) => {
+            if sync.panicked.load(Ordering::Relaxed) {
+                panic!("rayon shim: a spawned scope task panicked");
+            }
+            r
+        }
+    }
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+/// `b` is offloaded to the pool while `a` runs on the calling thread.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -48,16 +192,24 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join task panicked"))
-    })
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    scope(|s| {
+        let rb_slot = &mut rb;
+        s.spawn(move |_| *rb_slot = Some(b()));
+        ra = Some(a());
+    });
+    (
+        ra.expect("join: first closure ran"),
+        rb.expect("join: second closure ran"),
+    )
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn scope_joins_all_tasks() {
@@ -84,5 +236,83 @@ mod tests {
     #[test]
     fn num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_scopes() {
+        // std::thread::ThreadId is never reused within a process, so if
+        // every scope spawned fresh threads this set would keep growing.
+        // With the persistent pool it is bounded by pool size + callers.
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        for _ in 0..20 {
+            super::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                        std::thread::yield_now();
+                    });
+                }
+            });
+        }
+        let distinct = ids.lock().unwrap().len();
+        // Bound: pool workers + this thread + a slack for *other* tests in
+        // this binary, whose scope help-loops share the injector and may
+        // legitimately execute a few of our tasks on their threads. A
+        // spawn-per-task regression would produce ~80 distinct ids.
+        let bound = super::current_num_threads() + 1 + 6;
+        assert!(
+            distinct <= bound,
+            "{distinct} distinct worker threads for 20 scopes (bound {bound}) — pool not reused"
+        );
+    }
+
+    #[test]
+    fn scopes_can_nest_through_tasks() {
+        // A scope opened from inside a pool task must complete (the
+        // waiting thread helps drain the queue, so this cannot deadlock
+        // even with every worker occupied).
+        let total = AtomicU64::new(0);
+        super::scope(|outer| {
+            for _ in 0..4 {
+                outer.spawn(|_| {
+                    super::scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|_| {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "spawned scope task panicked")]
+    fn task_panic_propagates_after_join() {
+        let finished = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            s.spawn(|_| {
+                finished.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+    }
+
+    #[test]
+    fn many_sequential_scopes_stay_correct() {
+        for round in 0..50u64 {
+            let sum = AtomicU64::new(0);
+            let sum_ref = &sum;
+            super::scope(|s| {
+                for i in 0..8 {
+                    s.spawn(move |_| {
+                        sum_ref.fetch_add(round + i, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 8 * round + 28);
+        }
     }
 }

@@ -1,12 +1,12 @@
 //! The [`SearchEngine`]: offline pipeline plus online query interface.
 
 use crate::timings::Timings;
-use mgp_graph::{FxHashMap, Graph, NodeId, TypeId};
-use mgp_index::{Transform, VectorIndex};
+use mgp_graph::{FxHashMap, Graph, GraphDelta, GraphError, NodeId, TypeId};
+use mgp_index::{IndexDelta, IndexTouch, Transform, VectorIndex};
 use mgp_learning::baselines::metapath_indices;
 use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all_timed;
-use mgp_matching::{AnchorCounts, PatternInfo, SymIso};
+use mgp_matching::{delta_anchor_counts, merge_counts, AnchorCounts, PatternInfo, SymIso};
 use mgp_metagraph::Metagraph;
 use mgp_mining::{mine, MinerConfig};
 use mgp_online::{QueryServer, ServeConfig};
@@ -90,7 +90,23 @@ impl ClassModel {
     }
 }
 
+/// Summary of one [`SearchEngine::ingest`]: what the delta added and, per
+/// trained class, which index entries it touched (the handle a serving
+/// layer needs to patch itself).
+#[derive(Debug, Clone, Default)]
+pub struct IngestReport {
+    /// Nodes the delta added to the graph.
+    pub new_nodes: usize,
+    /// Genuinely new edges (deduplicated, previously absent).
+    pub new_edges: usize,
+    /// New pattern instances enumerated across all matched metagraphs.
+    pub new_instances: u64,
+    /// Per trained class: the touched nodes/pairs of its restricted index.
+    pub per_class: Vec<(String, IndexTouch)>,
+}
+
 /// The semantic proximity search engine (Fig. 3).
+#[derive(Clone)]
 pub struct SearchEngine {
     graph: Graph,
     anchor_type: TypeId,
@@ -391,6 +407,88 @@ impl SearchEngine {
         server
     }
 
+    /// Ingests a graph delta through the whole offline chain without any
+    /// from-scratch work: the CSR is extended in place of a rebuild, every
+    /// already-matched metagraph is *delta-matched* (only instances
+    /// containing a new edge are enumerated, via the delta rule), the
+    /// increments land in the count cache, and each trained class model's
+    /// restricted index is patched through `VectorIndex::apply_delta`.
+    ///
+    /// Model weights are deliberately left untouched — a delta updates
+    /// what the graph *contains*, retraining remains an explicit
+    /// [`SearchEngine::train_class`] call. After `ingest`, search results
+    /// are bit-identical to a full rematch + reindex of the updated graph
+    /// with the same weights (asserted by the incremental-equivalence
+    /// property test).
+    ///
+    /// Live servers built via [`SearchEngine::serve`] are patched with
+    /// [`SearchEngine::ingest_serving`].
+    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<IngestReport, GraphError> {
+        let t0 = Instant::now();
+        let ext = self.graph.apply_delta(delta)?;
+        self.graph = ext.graph;
+        let mut report = IngestReport {
+            new_nodes: ext.new_nodes.len(),
+            new_edges: ext.new_edges.len(),
+            ..Default::default()
+        };
+        if ext.new_edges.is_empty() && ext.new_nodes.is_empty() {
+            return Ok(report);
+        }
+
+        // Delta-match every pattern that has been matched so far; their
+        // cached counts stay equal to a full match on the current graph.
+        let mut matched: Vec<usize> = self.counts_cache.keys().copied().collect();
+        matched.sort_unstable();
+        let mut incs: FxHashMap<usize, AnchorCounts> = FxHashMap::default();
+        for i in matched {
+            let inc = delta_anchor_counts(
+                &self.graph,
+                &self.patterns[i],
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            report.new_instances += inc.n_instances;
+            merge_counts(self.counts_cache.get_mut(&i).expect("key from cache"), &inc);
+            incs.insert(i, inc);
+        }
+        self.timings.matching += t0.elapsed();
+
+        // Patch each trained model's restricted index with the increments
+        // of exactly its coordinates.
+        let t1 = Instant::now();
+        for m in &mut self.models {
+            let counts: Vec<AnchorCounts> = m
+                .coords
+                .iter()
+                .map(|i| incs.get(i).cloned().unwrap_or_default())
+                .collect();
+            let touch = m.index.apply_delta(&IndexDelta { counts });
+            report.per_class.push((m.name.clone(), touch));
+        }
+        self.timings.indexing += t1.elapsed();
+        Ok(report)
+    }
+
+    /// [`SearchEngine::ingest`], then patches a live [`QueryServer`]'s
+    /// registered classes via `QueryServer::apply_delta` — the full
+    /// graph-delta → instance-delta → index-delta → posting-patch chain in
+    /// one call. Classes the server does not serve are skipped.
+    pub fn ingest_serving(
+        &mut self,
+        delta: &GraphDelta,
+        server: &mut QueryServer,
+    ) -> Result<IngestReport, GraphError> {
+        let report = self.ingest(delta)?;
+        for (name, touch) in &report.per_class {
+            if let Some(cid) = server.class_id(name) {
+                let model = self.model(name).expect("class was just patched");
+                server.apply_delta(cid, &model.index, touch);
+            }
+        }
+        Ok(report)
+    }
+
     /// Serialises all trained class models to JSON. Together with the
     /// mined metagraph set these fully determine online behaviour — the
     /// offline phase need not be repeated to serve queries elsewhere.
@@ -639,6 +737,95 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.cache_hits, 1);
         assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn ingest_serving_matches_full_rebuild() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let ex = examples_for(&d, FAMILY, 150, 17);
+        engine.train_class("family", &ex);
+        let mut server = engine.serve();
+        let cid = server.class_id("family").unwrap();
+        let model = engine.model("family").unwrap();
+        let (coords, weights) = (model.coords.clone(), model.weights.clone());
+
+        // A delta: one new user wired into existing attribute nodes, plus
+        // new edges among existing nodes (one may duplicate an existing
+        // edge — deduplication is part of the contract).
+        let g = engine.graph().clone();
+        let anchors: Vec<NodeId> = g.nodes_of_type(d.anchor_type).to_vec();
+        let attrs: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| g.node_type(v) != d.anchor_type && g.degree(v) > 0)
+            .take(2)
+            .collect();
+        let mut delta = GraphDelta::for_graph(&g);
+        let nu = delta.add_node(d.anchor_type, "new-user");
+        delta.add_edge(nu, attrs[0]).unwrap();
+        delta.add_edge(nu, attrs[1]).unwrap();
+        delta.add_edge(anchors[0], attrs[1]).unwrap();
+        delta.add_edge(anchors[1], attrs[0]).unwrap();
+        let report = engine.ingest_serving(&delta, &mut server).unwrap();
+        assert_eq!(report.new_nodes, 1);
+        assert!(report.new_edges >= 2);
+        assert_eq!(report.per_class.len(), 1);
+
+        // Reference: full rematch of the same metagraph set on the
+        // updated graph, same weights.
+        let fresh = SearchEngine::with_metagraphs(
+            engine.graph().clone(),
+            engine.metagraphs().to_vec(),
+            cfg(&d, TrainingStrategy::Full),
+        );
+        let counts: Vec<AnchorCounts> = coords
+            .iter()
+            .map(|&i| fresh.counts(i).unwrap().clone())
+            .collect();
+        let fresh_idx = VectorIndex::from_counts(&counts, engine.cfg.transform);
+        for &q in anchors.iter().take(40).chain([nu].iter()) {
+            let want = mgp_learning::mgp::rank_with_scores(&fresh_idx, q, &weights, 10);
+            assert_eq!(engine.search("family", q, 10), want, "engine q={q}");
+            assert_eq!(*server.rank(cid, q, 10), want, "server q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_ingest_is_a_noop() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let delta = GraphDelta::for_graph(engine.graph());
+        let report = engine.ingest(&delta).unwrap();
+        assert_eq!(report.new_nodes, 0);
+        assert_eq!(report.new_edges, 0);
+        assert_eq!(report.new_instances, 0);
+        assert!(report.per_class.is_empty());
+    }
+
+    #[test]
+    fn ingest_before_training_updates_counts_only() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let n0: u64 = (0..engine.metagraphs().len())
+            .map(|i| engine.counts(i).unwrap().n_instances)
+            .sum();
+        let g = engine.graph().clone();
+        let anchors: Vec<NodeId> = g.nodes_of_type(d.anchor_type).to_vec();
+        let attr = g
+            .nodes()
+            .find(|&v| g.node_type(v) != d.anchor_type && g.degree(v) > 1)
+            .unwrap();
+        let mut delta = GraphDelta::for_graph(&g);
+        let fresh_user = anchors.iter().find(|&&u| !g.has_edge(u, attr)).unwrap();
+        delta.add_edge(*fresh_user, attr).unwrap();
+        let report = engine.ingest(&delta).unwrap();
+        assert_eq!(report.new_edges, 1);
+        assert!(report.per_class.is_empty(), "no trained classes yet");
+        let n1: u64 = (0..engine.metagraphs().len())
+            .map(|i| engine.counts(i).unwrap().n_instances)
+            .sum();
+        assert!(n1 >= n0);
+        assert_eq!(report.new_instances, n1 - n0);
     }
 
     #[test]

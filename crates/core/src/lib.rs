@@ -25,12 +25,19 @@
 //! Matched instance counts are cached across classes, so two classes that
 //! select overlapping candidates only pay for matching once — matching is
 //! the dominant offline cost (Table III).
+//!
+//! Live graphs are followed with [`SearchEngine::ingest`]: a
+//! `mgp_graph::GraphDelta` flows through CSR extension → delta-rule
+//! incremental matching → index patching, and
+//! [`SearchEngine::ingest_serving`] additionally patches a running
+//! [`QueryServer`]'s posting lists and invalidates only the cache entries
+//! whose results changed — no from-scratch rebuild anywhere on the chain.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod timings;
 
-pub use engine::{ClassModel, PipelineConfig, SearchEngine, TrainingStrategy};
+pub use engine::{ClassModel, IngestReport, PipelineConfig, SearchEngine, TrainingStrategy};
 pub use mgp_online::{QueryServer, ServeConfig};
 pub use timings::Timings;

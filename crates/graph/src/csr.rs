@@ -21,15 +21,17 @@ use serde::{Deserialize, Serialize};
 ///   unordered type pair, feeding the matching-order heuristic (Sect. IV-C).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Graph {
-    types: TypeRegistry,
-    node_types: Vec<TypeId>,
-    labels: Vec<String>,
-    offsets: Vec<u32>,
-    adjacency: Vec<NodeId>,
-    type_offsets: Vec<u32>,
-    type_nodes: Vec<NodeId>,
-    edge_type_counts: Vec<u64>,
-    n_edges: u64,
+    // Fields are crate-visible so the incremental extension path
+    // (`crate::delta`) can splice new adjacency in without a full rebuild.
+    pub(crate) types: TypeRegistry,
+    pub(crate) node_types: Vec<TypeId>,
+    pub(crate) labels: Vec<String>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) adjacency: Vec<NodeId>,
+    pub(crate) type_offsets: Vec<u32>,
+    pub(crate) type_nodes: Vec<NodeId>,
+    pub(crate) edge_type_counts: Vec<u64>,
+    pub(crate) n_edges: u64,
 }
 
 impl Graph {

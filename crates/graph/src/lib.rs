@@ -30,6 +30,7 @@
 pub mod binary;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod fxhash;
 pub mod ids;
 pub mod io;
@@ -38,6 +39,7 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use delta::{GraphDelta, GraphExtension};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{NodeId, TypeId};
 pub use stats::GraphStats;

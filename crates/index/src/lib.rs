@@ -16,6 +16,13 @@
 //! [`VectorIndex::restrict`] projects the index onto a subset of metagraphs
 //! with remapped coordinates; dual-stage training uses this to train on the
 //! seed set and on seed+candidate sets without re-matching anything.
+//!
+//! For live graphs, [`VectorIndex::apply_delta`] ingests per-coordinate
+//! count *increments* (an [`IndexDelta`], produced by the incremental
+//! matcher) and recomputes only the touched vectors and partner lists —
+//! raw counts are kept alongside the transformed values precisely so the
+//! non-linear transforms can be reapplied locally. The returned
+//! [`IndexTouch`] tells the serving layer which anchors/pairs to re-dot.
 
 #![warn(missing_docs)]
 
@@ -53,6 +60,11 @@ impl Transform {
 /// transformed count)`, sorted by index.
 pub type SparseVec = Vec<(u32, f64)>;
 
+/// A sparse vector of *raw* counts, sorted by coordinate. Kept alongside
+/// the transformed vectors because the transforms are non-linear: applying
+/// a count increment requires the old raw count, not the old `f64`.
+pub type RawVec = Vec<(u32, u64)>;
+
 /// The metagraph vector index (Eq. 1–2 materialised for all nodes/pairs).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct VectorIndex {
@@ -61,6 +73,8 @@ pub struct VectorIndex {
     node_vecs: FxHashMap<u32, SparseVec>,
     pair_vecs: FxHashMap<u64, SparseVec>,
     partners: FxHashMap<u32, Vec<u32>>,
+    node_raw: FxHashMap<u32, RawVec>,
+    pair_raw: FxHashMap<u64, RawVec>,
 }
 
 impl VectorIndex {
@@ -70,6 +84,8 @@ impl VectorIndex {
         let mut node_vecs: FxHashMap<u32, SparseVec> = FxHashMap::default();
         let mut pair_vecs: FxHashMap<u64, SparseVec> = FxHashMap::default();
         let mut partners: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        let mut node_raw: FxHashMap<u32, RawVec> = FxHashMap::default();
+        let mut pair_raw: FxHashMap<u64, RawVec> = FxHashMap::default();
 
         for (i, c) in counts.iter().enumerate() {
             let i = i as u32;
@@ -78,15 +94,23 @@ impl VectorIndex {
                     .entry(x)
                     .or_default()
                     .push((i, transform.apply(cnt)));
+                node_raw.entry(x).or_default().push((i, cnt));
             }
             for (&key, &cnt) in &c.per_pair {
                 pair_vecs
                     .entry(key)
                     .or_default()
                     .push((i, transform.apply(cnt)));
+                pair_raw.entry(key).or_default().push((i, cnt));
             }
         }
         for v in node_vecs.values_mut() {
+            v.sort_unstable_by_key(|&(i, _)| i);
+        }
+        for v in node_raw.values_mut() {
+            v.sort_unstable_by_key(|&(i, _)| i);
+        }
+        for v in pair_raw.values_mut() {
             v.sort_unstable_by_key(|&(i, _)| i);
         }
         for (key, v) in pair_vecs.iter_mut() {
@@ -105,6 +129,8 @@ impl VectorIndex {
             node_vecs,
             pair_vecs,
             partners,
+            node_raw,
+            pair_raw,
         }
     }
 
@@ -197,6 +223,14 @@ impl VectorIndex {
             out.sort_unstable_by_key(|&(j, _)| j);
             out
         };
+        let project_raw = |v: &RawVec| -> RawVec {
+            let mut out: RawVec = v
+                .iter()
+                .filter_map(|&(i, c)| remap.get(&i).map(|&j| (j, c)))
+                .collect();
+            out.sort_unstable_by_key(|&(j, _)| j);
+            out
+        };
         let node_vecs: FxHashMap<u32, SparseVec> = self
             .node_vecs
             .iter()
@@ -207,6 +241,18 @@ impl VectorIndex {
             .pair_vecs
             .iter()
             .map(|(&k, v)| (k, project(v)))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let node_raw: FxHashMap<u32, RawVec> = self
+            .node_raw
+            .iter()
+            .map(|(&x, v)| (x, project_raw(v)))
+            .filter(|(_, v)| !v.is_empty())
+            .collect();
+        let pair_raw: FxHashMap<u64, RawVec> = self
+            .pair_raw
+            .iter()
+            .map(|(&k, v)| (k, project_raw(v)))
             .filter(|(_, v)| !v.is_empty())
             .collect();
         let mut partners: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
@@ -225,7 +271,144 @@ impl VectorIndex {
             node_vecs,
             pair_vecs,
             partners,
+            node_raw,
+            pair_raw,
         }
+    }
+
+    /// Applies per-coordinate count increments, recomputing only the
+    /// touched `m_x` / `m_xy` sparse vectors and partner lists, and
+    /// returns which nodes/pairs changed so the serving layer can patch
+    /// just those.
+    ///
+    /// The result is bit-identical to rebuilding via
+    /// [`VectorIndex::from_counts`] with the merged totals: transforms are
+    /// pure functions of the raw count, and coordinate order inside each
+    /// sparse vector is preserved by sorted insertion.
+    ///
+    /// # Panics
+    /// Panics if `delta` was built for a different number of coordinates.
+    pub fn apply_delta(&mut self, delta: &IndexDelta) -> IndexTouch {
+        assert_eq!(
+            delta.counts.len(),
+            self.n_metagraphs,
+            "IndexDelta coordinate count mismatch"
+        );
+        let mut touch = IndexTouch::default();
+        for (i, c) in delta.counts.iter().enumerate() {
+            let i = i as u32;
+            for (&x, &inc) in &c.per_node {
+                if inc == 0 {
+                    continue;
+                }
+                let raw = self.node_raw.entry(x).or_default();
+                let total = bump(raw, i, inc);
+                upsert(
+                    self.node_vecs.entry(x).or_default(),
+                    i,
+                    self.transform.apply(total),
+                );
+                touch.nodes.push(x);
+            }
+            for (&key, &inc) in &c.per_pair {
+                if inc == 0 {
+                    continue;
+                }
+                let raw = self.pair_raw.entry(key).or_default();
+                let is_new_pair = raw.is_empty();
+                let total = bump(raw, i, inc);
+                upsert(
+                    self.pair_vecs.entry(key).or_default(),
+                    i,
+                    self.transform.apply(total),
+                );
+                if is_new_pair {
+                    let (x, y) = mgp_graph::ids::unpack_pair(key);
+                    insert_sorted(self.partners.entry(x.0).or_default(), y.0);
+                    insert_sorted(self.partners.entry(y.0).or_default(), x.0);
+                }
+                touch.pairs.push(key);
+            }
+        }
+        touch.nodes.sort_unstable();
+        touch.nodes.dedup();
+        touch.pairs.sort_unstable();
+        touch.pairs.dedup();
+        touch
+    }
+}
+
+/// Per-coordinate [`AnchorCounts`] *increments* for a delta update:
+/// `counts[i]` carries the new-instance counts of the metagraph backing
+/// coordinate `i` (see `mgp_matching::delta_anchor_counts`).
+#[derive(Debug, Clone, Default)]
+pub struct IndexDelta {
+    /// One increment set per index coordinate, in coordinate order.
+    pub counts: Vec<AnchorCounts>,
+}
+
+impl IndexDelta {
+    /// A delta over `n` coordinates with all increments empty.
+    pub fn empty(n: usize) -> Self {
+        IndexDelta {
+            counts: vec![AnchorCounts::default(); n],
+        }
+    }
+
+    /// Whether every coordinate's increment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts
+            .iter()
+            .all(|c| c.per_node.is_empty() && c.per_pair.is_empty())
+    }
+}
+
+/// The nodes and pairs whose vectors changed in a
+/// [`VectorIndex::apply_delta`] — the exact set the serving layer must
+/// re-dot and re-patch. Both lists are ascending and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexTouch {
+    /// Anchor nodes whose `m_x` changed.
+    pub nodes: Vec<u32>,
+    /// Packed pairs (see [`mgp_graph::ids::pack_pair`]) whose `m_xy`
+    /// changed; includes pairs that are entirely new.
+    pub pairs: Vec<u64>,
+}
+
+impl IndexTouch {
+    /// Whether nothing was touched.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.pairs.is_empty()
+    }
+}
+
+/// Adds `inc` to coordinate `i` of a sorted raw vector, returning the new
+/// total.
+fn bump(raw: &mut RawVec, i: u32, inc: u64) -> u64 {
+    match raw.binary_search_by_key(&i, |&(j, _)| j) {
+        Ok(pos) => {
+            raw[pos].1 += inc;
+            raw[pos].1
+        }
+        Err(pos) => {
+            raw.insert(pos, (i, inc));
+            inc
+        }
+    }
+}
+
+/// Sets coordinate `i` of a sorted sparse vector to `val`.
+fn upsert(vec: &mut SparseVec, i: u32, val: f64) {
+    match vec.binary_search_by_key(&i, |&(j, _)| j) {
+        Ok(pos) => vec[pos].1 = val,
+        Err(pos) => vec.insert(pos, (i, val)),
+    }
+}
+
+/// Inserts `v` into an ascending deduplicated list.
+fn insert_sorted(list: &mut Vec<u32>, v: u32) {
+    if let Err(pos) = list.binary_search(&v) {
+        list.insert(pos, v);
     }
 }
 
@@ -432,5 +615,114 @@ mod tests {
     fn dot_helper() {
         assert_eq!(dot(&[(0, 2.0), (2, 3.0)], &[1.0, 9.0, 0.5]), 3.5);
         assert_eq!(dot(&[], &[1.0]), 0.0);
+    }
+
+    /// Merged-rebuild reference: the index after `apply_delta` must be
+    /// indistinguishable from `from_counts` on the summed totals.
+    fn assert_index_eq(a: &VectorIndex, b: &VectorIndex) {
+        assert_eq!(a.n_metagraphs(), b.n_metagraphs());
+        for x in 0..10u32 {
+            assert_eq!(a.node_vec(NodeId(x)), b.node_vec(NodeId(x)), "m_{x}");
+            assert_eq!(a.partners(NodeId(x)), b.partners(NodeId(x)));
+            for y in 0..10u32 {
+                assert_eq!(
+                    a.pair_vec(NodeId(x), NodeId(y)),
+                    b.pair_vec(NodeId(x), NodeId(y))
+                );
+            }
+        }
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        assert_eq!(a.n_pairs(), b.n_pairs());
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild() {
+        for transform in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            // Base: the sample index. Delta: bumps an existing pair,
+            // introduces a new pair (2,3) and a brand-new node 4.
+            let c0 = counts(&[(1, 3), (2, 3)], &[((1, 2), 3)]);
+            let c1 = counts(&[(1, 2), (3, 2)], &[((1, 3), 2)]);
+            let d0 = counts(&[(1, 1), (2, 1)], &[((1, 2), 1)]);
+            let d1 = counts(&[(2, 2), (3, 2), (4, 1)], &[((2, 3), 2), ((1, 4), 1)]);
+
+            let mut idx = VectorIndex::from_counts(&[c0.clone(), c1.clone()], transform);
+            let touch = idx.apply_delta(&IndexDelta {
+                counts: vec![d0.clone(), d1.clone()],
+            });
+
+            // The same merge production `ingest` uses, so the reference
+            // rebuild can never drift from the real pipeline's semantics.
+            let merge = |mut a: AnchorCounts, b: &AnchorCounts| {
+                mgp_matching::merge_counts(&mut a, b);
+                a
+            };
+            let full = VectorIndex::from_counts(&[merge(c0, &d0), merge(c1, &d1)], transform);
+            assert_index_eq(&idx, &full);
+
+            assert_eq!(touch.nodes, vec![1, 2, 3, 4], "{transform:?}");
+            assert_eq!(
+                touch.pairs,
+                vec![
+                    pack_pair(NodeId(1), NodeId(2)),
+                    pack_pair(NodeId(1), NodeId(4)),
+                    pack_pair(NodeId(2), NodeId(3)),
+                ]
+            );
+            // New partners appeared in sorted order.
+            assert_eq!(idx.partners(NodeId(2)), &[1, 3]);
+            assert_eq!(idx.partners(NodeId(4)), &[1]);
+        }
+    }
+
+    #[test]
+    fn empty_delta_touches_nothing() {
+        let mut idx = sample_index(Transform::Log1p);
+        let before = idx.clone();
+        let touch = idx.apply_delta(&IndexDelta::empty(2));
+        assert!(touch.is_empty());
+        assert!(IndexDelta::empty(2).is_empty());
+        assert_index_eq(&idx, &before);
+    }
+
+    #[test]
+    fn sequential_deltas_accumulate() {
+        let mut idx = sample_index(Transform::Log1p);
+        let d = IndexDelta {
+            counts: vec![counts(&[(1, 1)], &[]), counts(&[(1, 2)], &[((1, 2), 5)])],
+        };
+        idx.apply_delta(&d);
+        idx.apply_delta(&d);
+        let full = VectorIndex::from_counts(
+            &[
+                counts(&[(1, 5), (2, 3)], &[((1, 2), 3)]),
+                counts(&[(1, 6), (3, 2)], &[((1, 3), 2), ((1, 2), 10)]),
+            ],
+            Transform::Log1p,
+        );
+        assert_index_eq(&idx, &full);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate count mismatch")]
+    fn apply_delta_rejects_wrong_arity() {
+        let mut idx = sample_index(Transform::Raw);
+        idx.apply_delta(&IndexDelta::empty(5));
+    }
+
+    #[test]
+    fn restrict_preserves_raw_counts_for_later_deltas() {
+        // Restricting then applying a delta behaves like applying to a
+        // from-scratch index over the kept coordinate.
+        let idx = sample_index(Transform::Log1p);
+        let mut sub = idx.restrict(&[1]);
+        let touch = sub.apply_delta(&IndexDelta {
+            counts: vec![counts(&[(1, 3)], &[])],
+        });
+        assert_eq!(touch.nodes, vec![1]);
+        let full = VectorIndex::from_counts(
+            &[counts(&[(1, 5), (3, 2)], &[((1, 3), 2)])],
+            Transform::Log1p,
+        );
+        assert_eq!(sub.node_vec(NodeId(1)), full.node_vec(NodeId(1)));
     }
 }

@@ -44,39 +44,61 @@ impl AnchorCounts {
     }
 }
 
+/// Adds one visit's (equivalently, one instance's) contribution to the
+/// count maps: each distinct symmetric anchor pair of the assignment once,
+/// each distinct participating node once. Shared by the full matcher path
+/// ([`anchor_counts`]) and the delta path (`crate::delta`) so the two can
+/// never drift apart — bit-identical counts are the incremental pipeline's
+/// contract. `pair_buf`/`node_buf` are caller-owned scratch (perf-book:
+/// workhorse collections outside the loop).
+pub(crate) fn accumulate_contribution(
+    assign: &[NodeId],
+    p: &PatternInfo,
+    pair_buf: &mut Vec<u64>,
+    node_buf: &mut Vec<u32>,
+    per_node: &mut FxHashMap<u32, u64>,
+    per_pair: &mut FxHashMap<u64, u64>,
+) {
+    pair_buf.clear();
+    node_buf.clear();
+    for &(u, v) in &p.anchor_pairs {
+        let (x, y) = (assign[u], assign[v]);
+        let key = pack_pair(x, y);
+        if !pair_buf.contains(&key) {
+            pair_buf.push(key);
+        }
+        for n in [x.0, y.0] {
+            if !node_buf.contains(&n) {
+                node_buf.push(n);
+            }
+        }
+    }
+    for &key in pair_buf.iter() {
+        *per_pair.entry(key).or_insert(0) += 1;
+    }
+    for &n in node_buf.iter() {
+        *per_node.entry(n).or_insert(0) += 1;
+    }
+}
+
 /// Matches `p` on `g` with `matcher` and accumulates anchor counts.
 pub fn anchor_counts(matcher: &dyn Matcher, g: &Graph, p: &PatternInfo) -> AnchorCounts {
     let mut per_node: FxHashMap<u32, u64> = FxHashMap::default();
     let mut per_pair: FxHashMap<u64, u64> = FxHashMap::default();
     let mut visits = 0u64;
-
-    // Scratch buffers reused across visits (perf-book: workhorse
-    // collections outside the loop).
     let mut pair_buf: Vec<u64> = Vec::with_capacity(p.anchor_pairs.len());
     let mut node_buf: Vec<u32> = Vec::with_capacity(2 * p.anchor_pairs.len());
 
     matcher.enumerate(g, p, &mut |assign| {
         visits += 1;
-        pair_buf.clear();
-        node_buf.clear();
-        for &(u, v) in &p.anchor_pairs {
-            let (x, y) = (assign[u], assign[v]);
-            let key = pack_pair(x, y);
-            if !pair_buf.contains(&key) {
-                pair_buf.push(key);
-            }
-            for n in [x.0, y.0] {
-                if !node_buf.contains(&n) {
-                    node_buf.push(n);
-                }
-            }
-        }
-        for &key in &pair_buf {
-            *per_pair.entry(key).or_insert(0) += 1;
-        }
-        for &n in &node_buf {
-            *per_node.entry(n).or_insert(0) += 1;
-        }
+        accumulate_contribution(
+            assign,
+            p,
+            &mut pair_buf,
+            &mut node_buf,
+            &mut per_node,
+            &mut per_pair,
+        );
         true
     });
 

@@ -1,0 +1,286 @@
+//! Delta-rule incremental matching: enumerate only the instances created
+//! by a batch of edge insertions.
+//!
+//! After an edge batch `ΔE` lands (via `mgp_graph::Graph::apply_delta`),
+//! every *new* instance of a pattern must map at least one pattern edge
+//! onto a new graph edge — subgraph matching is monotone, so an instance
+//! whose image uses only old edges existed before the update. Following
+//! the delta-query decomposition of dataflow joins, we therefore anchor:
+//! for each new edge `(a, b)` and each type-compatible pattern edge
+//! `⟨u, v⟩` (both orientations), run the shared backtracking engine with
+//! `u ↦ a, v ↦ b` pinned and complete the embedding over the *updated*
+//! graph. Instances reachable through several anchors (several new edges,
+//! or symmetric pattern edges) are deduplicated by canonical instance
+//! (`Instance::canonical`), so each new instance contributes exactly once
+//! — the same per-instance semantics as [`crate::anchor::anchor_counts`].
+//!
+//! The emitted [`AnchorCounts`] are *increments*: adding them onto the
+//! pre-update counts reproduces, exactly, a from-scratch rematch on the
+//! updated graph (asserted by tests here and by the workspace-level
+//! incremental-equivalence property test).
+
+use crate::anchor::{accumulate_contribution, AnchorCounts};
+use crate::engine::backtrack_embeddings_seeded;
+use crate::instance::Instance;
+use crate::pattern::PatternInfo;
+use mgp_graph::{FxHashSet, Graph, NodeId};
+
+/// Enumerates the instances of `p` created by inserting `new_edges` into
+/// `g` (`g` is the graph *after* the insertion) and returns their anchor
+/// counts as increments over the pre-insertion counts.
+///
+/// `new_nodes` lists delta-added nodes; it only matters for edgeless
+/// single-node patterns, whose instance count grows with matching nodes.
+pub fn delta_anchor_counts(
+    g: &Graph,
+    p: &PatternInfo,
+    new_edges: &[(NodeId, NodeId)],
+    new_nodes: &[NodeId],
+) -> AnchorCounts {
+    let m = &p.metagraph;
+    let pattern_edges = m.edges();
+    if pattern_edges.is_empty() {
+        // No edges to anchor on: a (necessarily single-node) pattern gains
+        // one instance per new node of its type. Larger edgeless patterns
+        // do not occur in mined sets (mining emits connected patterns).
+        let mut counts = AnchorCounts::default();
+        if m.n_nodes() == 1 {
+            counts.n_instances = new_nodes
+                .iter()
+                .filter(|&&x| g.node_type(x) == m.node_type(0))
+                .count() as u64;
+        }
+        return counts;
+    }
+
+    // Collect each new instance once, keyed by canonical assignment. The
+    // anchored edge is *seeded* into the backtracking (no candidate
+    // generation for the pinned positions), so the per-edge cost depends
+    // on the neighbourhood of the new edge, not on graph size; a
+    // type-incompatible anchoring is rejected inside the seeded engine.
+    let mut seen: FxHashSet<Instance> = FxHashSet::default();
+    for &(u, v) in &pattern_edges {
+        let order = pinned_order(p, u, v);
+        for &(a, b) in new_edges {
+            for (x, y) in [(a, b), (b, a)] {
+                backtrack_embeddings_seeded(g, p, &order, &[x, y], None, &mut |assign| {
+                    seen.insert(Instance::canonical(assign, p));
+                    true
+                });
+            }
+        }
+    }
+
+    // Accumulate per-instance contributions exactly like `anchor_counts`
+    // does per visit (same shared helper: pairs and nodes deduplicated
+    // within an instance).
+    let mut counts = AnchorCounts {
+        n_instances: seen.len() as u64,
+        ..Default::default()
+    };
+    let mut pair_buf: Vec<u64> = Vec::with_capacity(p.anchor_pairs.len());
+    let mut node_buf: Vec<u32> = Vec::with_capacity(2 * p.anchor_pairs.len());
+    for inst in &seen {
+        accumulate_contribution(
+            &inst.assignment,
+            p,
+            &mut pair_buf,
+            &mut node_buf,
+            &mut counts.per_node,
+            &mut counts.per_pair,
+        );
+    }
+    counts
+}
+
+/// Adds `delta` counts onto `base` in place (the merge step of an ingest).
+pub fn merge_counts(base: &mut AnchorCounts, delta: &AnchorCounts) {
+    for (&x, &c) in &delta.per_node {
+        *base.per_node.entry(x).or_insert(0) += c;
+    }
+    for (&key, &c) in &delta.per_pair {
+        *base.per_pair.entry(key).or_insert(0) += c;
+    }
+    base.n_instances += delta.n_instances;
+}
+
+/// A valid matching order that starts with the anchored pattern edge
+/// `u, v` and grows connected where possible (detached components are
+/// appended in BFS order, mirroring `order::connectivity_order`).
+fn pinned_order(p: &PatternInfo, u: usize, v: usize) -> Vec<usize> {
+    let m = &p.metagraph;
+    let n = m.n_nodes();
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    order.push(u);
+    placed[u] = true;
+    if v != u {
+        order.push(v);
+        placed[v] = true;
+    }
+    while order.len() < n {
+        // Prefer a node adjacent to the placed prefix.
+        let next = (0..n)
+            .filter(|&w| !placed[w])
+            .find(|&w| m.neighbors(w).any(|nb| placed[nb]))
+            .or_else(|| (0..n).find(|&w| !placed[w]))
+            .expect("some node remains");
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::anchor_counts;
+    use crate::SymIso;
+    use mgp_graph::ids::pack_pair;
+    use mgp_graph::{GraphBuilder, GraphDelta, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+    const M: TypeId = TypeId(2);
+
+    fn campus() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let major = b.add_type("major");
+        let s1 = b.add_node(school, "s1");
+        let s2 = b.add_node(school, "s2");
+        let m1 = b.add_node(major, "m1");
+        for i in 0..6 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, if i < 3 { s1 } else { s2 }).unwrap();
+            if i % 2 == 0 {
+                b.add_edge(u, m1).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    fn patterns() -> Vec<PatternInfo> {
+        vec![
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap(),
+                U,
+            ),
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, M, U], &[(0, 1), (1, 2)]).unwrap(),
+                U,
+            ),
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+                U,
+            ),
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, S, U, M, U], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
+                U,
+            ),
+        ]
+    }
+
+    /// Delta counts added to old counts must equal a fresh full rematch.
+    fn assert_incremental_equals_rematch(g_old: &Graph, delta: &GraphDelta) {
+        let ext = g_old.apply_delta(delta).unwrap();
+        for p in patterns() {
+            let mut old = anchor_counts(&SymIso::new(), g_old, &p);
+            let inc = delta_anchor_counts(&ext.graph, &p, &ext.new_edges, &ext.new_nodes);
+            merge_counts(&mut old, &inc);
+            let full = anchor_counts(&SymIso::new(), &ext.graph, &p);
+            assert_eq!(old, full, "pattern {}", p.metagraph.brief());
+        }
+    }
+
+    #[test]
+    fn single_edge_insertion() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // u5 (node 8) joins major m1 (node 2).
+        d.add_edge(NodeId(8), NodeId(2)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn multi_edge_batch_with_overlap() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // Two edges that jointly create instances using BOTH new edges
+        // (u1 and u3 both join school s2): dedup must not double count.
+        d.add_edge(NodeId(4), NodeId(1)).unwrap();
+        d.add_edge(NodeId(1), NodeId(5)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn new_node_with_edges() {
+        let g = campus();
+        let user = g.types().id("user").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        let nu = d.add_node(user, "u-new");
+        d.add_edge(nu, NodeId(0)).unwrap();
+        d.add_edge(nu, NodeId(2)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn no_new_instances_when_edge_is_irrelevant() {
+        let g = campus();
+        let school = g.types().id("school").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        // A fresh school with a single user attached creates shared-school
+        // pairs only if ≥ 2 users attach; one edge → u-s-u gains nothing,
+        // but the asymmetric u-s edge patterns aren't in our set anyway.
+        let ns = d.add_node(school, "s-new");
+        d.add_edge(NodeId(3), ns).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        let p = &patterns()[0];
+        let inc = delta_anchor_counts(&ext.graph, p, &ext.new_edges, &ext.new_nodes);
+        assert_eq!(inc.n_instances, 0);
+        assert!(inc.per_pair.is_empty());
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn edgeless_single_node_pattern_counts_new_nodes() {
+        let g = campus();
+        let user = g.types().id("user").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_node(user, "a");
+        d.add_node(TypeId(1), "b");
+        let ext = g.apply_delta(&d).unwrap();
+        let p = PatternInfo::new(Metagraph::new(&[U]).unwrap(), U);
+        let inc = delta_anchor_counts(&ext.graph, &p, &ext.new_edges, &ext.new_nodes);
+        assert_eq!(inc.n_instances, 1);
+    }
+
+    #[test]
+    fn empty_delta_yields_empty_counts() {
+        let g = campus();
+        for p in patterns() {
+            let inc = delta_anchor_counts(&g, &p, &[], &[]);
+            assert_eq!(inc, AnchorCounts::default());
+        }
+    }
+
+    #[test]
+    fn merge_counts_adds_pointwise() {
+        let mut a = AnchorCounts::default();
+        a.per_node.insert(1, 2);
+        a.per_pair.insert(pack_pair(NodeId(1), NodeId(2)), 1);
+        a.n_instances = 3;
+        let mut b = AnchorCounts::default();
+        b.per_node.insert(1, 1);
+        b.per_node.insert(7, 4);
+        b.per_pair.insert(pack_pair(NodeId(1), NodeId(2)), 2);
+        b.n_instances = 2;
+        merge_counts(&mut a, &b);
+        assert_eq!(a.node_count(NodeId(1)), 3);
+        assert_eq!(a.node_count(NodeId(7)), 4);
+        assert_eq!(a.pair_count(NodeId(1), NodeId(2)), 3);
+        assert_eq!(a.n_instances, 5);
+    }
+}

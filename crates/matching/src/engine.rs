@@ -36,6 +36,56 @@ pub fn backtrack_embeddings(
     descend(g, p, order, prefilter, 0, &mut assign, &mut used, visit)
 }
 
+/// [`backtrack_embeddings`] with the first `seeds.len()` order positions
+/// pre-assigned (`order[i] ↦ seeds[i]`), skipping candidate generation for
+/// them entirely — the entry point of the delta matcher, which pins a new
+/// graph edge onto a pattern edge and must not pay a type-scan to do so.
+///
+/// Seeds are validated here (type match, injectivity, pattern edges among
+/// seeded positions present in `g`); an inconsistent seeding enumerates
+/// nothing. Returns `false` if the visitor aborted.
+pub fn backtrack_embeddings_seeded(
+    g: &Graph,
+    p: &PatternInfo,
+    order: &[usize],
+    seeds: &[NodeId],
+    prefilter: Option<&dyn Fn(usize, NodeId) -> bool>,
+    visit: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    let n = p.n_nodes();
+    if n == 0 {
+        return true;
+    }
+    debug_assert_eq!(order.len(), n);
+    debug_assert!(seeds.len() <= n);
+    let m = &p.metagraph;
+    let mut assign: Vec<NodeId> = vec![NodeId(0); n];
+    let mut used = vec![false; g.n_nodes()];
+    for (i, &s) in seeds.iter().enumerate() {
+        let u = order[i];
+        let consistent = g.node_type(s) == m.node_type(u)
+            && !used[s.index()]
+            && order[..i]
+                .iter()
+                .all(|&w| !m.has_edge(u, w) || g.has_edge(s, assign[w]));
+        if !consistent {
+            return true;
+        }
+        assign[u] = s;
+        used[s.index()] = true;
+    }
+    descend(
+        g,
+        p,
+        order,
+        prefilter,
+        seeds.len(),
+        &mut assign,
+        &mut used,
+        visit,
+    )
+}
+
 #[allow(clippy::too_many_arguments)]
 fn descend(
     g: &Graph,
@@ -213,6 +263,45 @@ mod tests {
             true
         });
         assert_eq!(found, 0);
+    }
+
+    #[test]
+    fn seeded_backtracking_equals_filtered_full_enumeration() {
+        let g = toy();
+        let m = Metagraph::from_edges(&[U, A, U], &[(0, 1), (1, 2)]).unwrap();
+        let p = PatternInfo::new(m, U);
+        let order = [0usize, 1, 2];
+        // Pin pattern edge (0,1) onto graph edge (u1, a1).
+        let seeds = [NodeId(0), NodeId(3)];
+        let mut seeded = Vec::new();
+        backtrack_embeddings_seeded(&g, &p, &order, &seeds, None, &mut |a| {
+            seeded.push(a.to_vec());
+            true
+        });
+        let mut filtered = Vec::new();
+        backtrack_embeddings(&g, &p, &order, None, &mut |a| {
+            if a[0] == seeds[0] && a[1] == seeds[1] {
+                filtered.push(a.to_vec());
+            }
+            true
+        });
+        assert_eq!(seeded, filtered);
+        assert_eq!(seeded.len(), 1); // (u1, a1, u2)
+
+        // Inconsistent seeds enumerate nothing: wrong type, non-edge,
+        // duplicate node.
+        for bad in [
+            vec![NodeId(3), NodeId(0)], // types flipped
+            vec![NodeId(0), NodeId(4)], // u1–a2 is not an edge
+            vec![NodeId(0), NodeId(0)], // not injective
+        ] {
+            let mut n = 0;
+            backtrack_embeddings_seeded(&g, &p, &order, &bad, None, &mut |_| {
+                n += 1;
+                true
+            });
+            assert_eq!(n, 0, "seeds {bad:?} should yield nothing");
+        }
     }
 
     #[test]

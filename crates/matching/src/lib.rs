@@ -23,6 +23,10 @@
 //!   embeddings into instances and exact instance counting for any matcher,
 //! * [`anchor`]: accumulation of the anchor-pair co-occurrence counts that
 //!   become the metagraph vectors `m_x`, `m_xy` (Eq. 1–2),
+//! * [`delta`]: delta-rule incremental matching — after an edge batch is
+//!   inserted, enumerate only the *new* instances by pinning each new edge
+//!   at every compatible pattern edge, and emit [`AnchorCounts`]
+//!   increments for the index layer,
 //! * [`parallel`]: fan a metagraph set across threads with crossbeam.
 //!
 //! ## Embeddings vs instances
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod anchor;
+pub mod delta;
 pub mod engine;
 pub mod instance;
 pub mod order;
@@ -48,6 +53,7 @@ pub mod turbo;
 pub mod vf2;
 
 pub use anchor::AnchorCounts;
+pub use delta::{delta_anchor_counts, merge_counts};
 pub use instance::{collect_instances, count_embeddings, count_instances, Instance};
 pub use pattern::PatternInfo;
 pub use quicksi::QuickSi;

@@ -46,10 +46,36 @@ pub struct LatencySnapshot {
     pub max: Duration,
 }
 
+impl LatencySnapshot {
+    /// Median latency. The quantile fields stay public; these accessors
+    /// are the method-style spelling for call sites that chain off
+    /// `stats().latency`.
+    pub fn p50(&self) -> Duration {
+        self.p50
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.p95
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.p99
+    }
+}
+
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The raw power-of-two bucket counts (bucket `i` covers
+    /// `[2^i, 2^(i+1))` nanoseconds), for exporters that want more than
+    /// the fixed snapshot quantiles.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
     }
 
     #[inline]
@@ -169,6 +195,18 @@ mod tests {
         assert_eq!(s.count, 3);
         assert_eq!(s.max, Duration::from_micros(2000));
         assert!(s.p50 >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn snapshot_accessors_mirror_fields() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(700));
+        let s = h.snapshot();
+        assert_eq!(s.p50(), s.p50);
+        assert_eq!(s.p95(), s.p95);
+        assert_eq!(s.p99(), s.p99);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
     }
 
     #[test]

@@ -37,8 +37,8 @@
 
 use crate::cache::LruCache;
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
-use mgp_graph::{FxHashMap, NodeId};
-use mgp_index::VectorIndex;
+use mgp_graph::{FxHashMap, FxHashSet, NodeId};
+use mgp_index::{IndexTouch, VectorIndex};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +46,10 @@ use std::time::Instant;
 
 /// A ranked result list: `(node, score)` in descending score order.
 pub type RankedList = Vec<(NodeId, f64)>;
+
+/// Cache payload: the anchor's invalidation generation at fill time plus
+/// the shared result (see the field docs on [`QueryServer`]).
+type CachedEntry = (u64, Arc<RankedList>);
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -101,9 +105,20 @@ struct Shard {
 /// `π(q, v) = 2 (m_qv · w) / (m_q · w + m_v · w)` is query-independent,
 /// so build time materialises final scores and serving a query is a
 /// posting copy plus a top-k sort — no arithmetic, no lookups.
+///
+/// The dot tables and weights are retained after build so
+/// [`QueryServer::apply_delta`] can re-dot only touched anchors/pairs and
+/// patch the affected posting entries in place instead of rebuilding.
 struct ClassServing {
     name: String,
     shards: Vec<Shard>,
+    weights: Vec<f64>,
+    node_dots: FxHashMap<u32, f64>,
+    pair_dots: FxHashMap<u64, f64>,
+    /// Per-anchor invalidation stamp, bumped whenever the anchor's result
+    /// set changes under a delta; cached entries remember the stamp they
+    /// were computed at. Anchors absent from the map are at generation 0.
+    generations: FxHashMap<u32, u64>,
 }
 
 impl ClassServing {
@@ -126,22 +141,7 @@ impl ClassServing {
         // posting: pairs are strictly unordered distinct nodes).
         let mut shards: Vec<Shard> = (0..n_shards).map(|_| Shard::default()).collect();
         for (q, partners) in index.iter_partners() {
-            let nq = node_dots.get(&q.0).copied().unwrap_or(0.0);
-            let posting: Vec<(u32, f64)> = partners
-                .iter()
-                .map(|&v| {
-                    let key = mgp_graph::ids::pack_pair(q, NodeId(v));
-                    let pair_dot = pair_dots.get(&key).copied().unwrap_or(0.0);
-                    let nv = node_dots.get(&v).copied().unwrap_or(0.0);
-                    let denom = nq + nv;
-                    let score = if denom <= 0.0 {
-                        0.0
-                    } else {
-                        2.0 * pair_dot / denom
-                    };
-                    (v, score)
-                })
-                .collect();
+            let posting = posting_for(q, partners, &node_dots, &pair_dots);
             shards[q.0 as usize % n_shards]
                 .postings
                 .insert(q.0, posting);
@@ -149,7 +149,104 @@ impl ClassServing {
         ClassServing {
             name: name.to_owned(),
             shards,
+            weights: weights.to_vec(),
+            node_dots,
+            pair_dots,
+            generations: FxHashMap::default(),
         }
+    }
+
+    fn generation(&self, q: u32) -> u64 {
+        self.generations.get(&q).copied().unwrap_or(0)
+    }
+
+    /// Applies an index delta: re-dots the touched nodes/pairs, rebuilds
+    /// the postings of anchors whose own `m_q · w` changed, and patches
+    /// the individual entries those changes leak into (a changed node dot
+    /// alters the denominator of every posting entry *pointing at* that
+    /// node; a changed pair dot alters the two entries of that pair).
+    fn apply_delta(&mut self, index: &VectorIndex, touch: &IndexTouch, stats: &mut DeltaStats) {
+        // Phase 1: refresh the dot tables for exactly the touched set.
+        let redot: FxHashSet<u32> = touch.nodes.iter().copied().collect();
+        for &x in &touch.nodes {
+            self.node_dots
+                .insert(x, mgp_index::dot(index.node_vec(NodeId(x)), &self.weights));
+        }
+        stats.redotted_nodes += touch.nodes.len();
+        for &key in &touch.pairs {
+            let (x, y) = mgp_graph::ids::unpack_pair(key);
+            self.pair_dots
+                .insert(key, mgp_index::dot(index.pair_vec(x, y), &self.weights));
+        }
+        stats.redotted_pairs += touch.pairs.len();
+
+        // Phase 2: rebuild whole postings for anchors with a changed node
+        // dot (every entry's denominator moved, and new partners may have
+        // appeared).
+        let mut changed: FxHashSet<u32> = FxHashSet::default();
+        for &x in &touch.nodes {
+            let posting = posting_for(
+                NodeId(x),
+                index.partners(NodeId(x)),
+                &self.node_dots,
+                &self.pair_dots,
+            );
+            let n_shards = self.shards.len();
+            self.shards[x as usize % n_shards]
+                .postings
+                .insert(x, posting);
+            changed.insert(x);
+            stats.rebuilt_postings += 1;
+        }
+
+        // Phase 3: patch single entries. (a) For each anchor x with a
+        // changed dot, every partner v of x holds an entry (v → x) whose
+        // denominator moved. (b) A touched pair {x, y} where neither dot
+        // changed (defensive: deltas normally touch both endpoints' node
+        // counts too) needs its two entries rescored.
+        for &x in &touch.nodes {
+            // Clone the partner list view cheaply: it lives in the index.
+            for &v in index.partners(NodeId(x)) {
+                if redot.contains(&v) {
+                    continue; // already rebuilt wholesale
+                }
+                self.patch_entry(v, x, stats);
+                changed.insert(v);
+            }
+        }
+        for &key in &touch.pairs {
+            let (x, y) = mgp_graph::ids::unpack_pair(key);
+            for (q, v) in [(x.0, y.0), (y.0, x.0)] {
+                if redot.contains(&q) {
+                    continue;
+                }
+                self.patch_entry(q, v, stats);
+                changed.insert(q);
+            }
+        }
+
+        // Phase 4: bump invalidation stamps for every anchor whose
+        // ranking may have moved.
+        stats.invalidated_anchors += changed.len();
+        for q in changed {
+            *self.generations.entry(q).or_insert(0) += 1;
+        }
+    }
+
+    /// Rescores (or inserts, for a brand-new partner) the entry for
+    /// candidate `v` in anchor `q`'s posting list.
+    fn patch_entry(&mut self, q: u32, v: u32, stats: &mut DeltaStats) {
+        let score = score_of(q, v, &self.node_dots, &self.pair_dots);
+        let n_shards = self.shards.len();
+        let posting = self.shards[q as usize % n_shards]
+            .postings
+            .entry(q)
+            .or_default();
+        match posting.binary_search_by_key(&v, |&(u, _)| u) {
+            Ok(pos) => posting[pos].1 = score,
+            Err(pos) => posting.insert(pos, (v, score)),
+        }
+        stats.patched_entries += 1;
     }
 
     /// Ranks one query into `out` using `scratch`, replicating
@@ -180,6 +277,58 @@ struct Scratch {
     scored: Vec<(f64, u32)>,
 }
 
+/// Final proximity of `(q, v)` from the dot tables — the exact expression
+/// shape of `mgp_learning::mgp::proximity` for distinct nodes.
+#[inline]
+fn score_of(
+    q: u32,
+    v: u32,
+    node_dots: &FxHashMap<u32, f64>,
+    pair_dots: &FxHashMap<u64, f64>,
+) -> f64 {
+    let key = mgp_graph::ids::pack_pair(NodeId(q), NodeId(v));
+    let pair_dot = pair_dots.get(&key).copied().unwrap_or(0.0);
+    let nq = node_dots.get(&q).copied().unwrap_or(0.0);
+    let nv = node_dots.get(&v).copied().unwrap_or(0.0);
+    let denom = nq + nv;
+    if denom <= 0.0 {
+        0.0
+    } else {
+        2.0 * pair_dot / denom
+    }
+}
+
+/// Materialises an anchor's posting list in the index's partner order
+/// (ascending node id).
+fn posting_for(
+    q: NodeId,
+    partners: &[u32],
+    node_dots: &FxHashMap<u32, f64>,
+    pair_dots: &FxHashMap<u64, f64>,
+) -> Vec<(u32, f64)> {
+    partners
+        .iter()
+        .map(|&v| (v, score_of(q.0, v, node_dots, pair_dots)))
+        .collect()
+}
+
+/// Work accounting for one [`QueryServer::apply_delta`] call — evidence
+/// that a delta stayed proportional to its touch set rather than the
+/// class size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Node dot products recomputed.
+    pub redotted_nodes: usize,
+    /// Pair dot products recomputed.
+    pub redotted_pairs: usize,
+    /// Posting lists rebuilt wholesale (anchors whose own dot changed).
+    pub rebuilt_postings: usize,
+    /// Individual posting entries rescored or inserted.
+    pub patched_entries: usize,
+    /// Anchors whose cached results were invalidated (generation bumped).
+    pub invalidated_anchors: usize,
+}
+
 /// Cache hit/miss counters and latency summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerStats {
@@ -201,7 +350,13 @@ pub struct QueryServer {
     workers: usize,
     n_shards: usize,
     classes: Vec<ClassServing>,
-    cache: Mutex<LruCache<(u32, u32, u32), Arc<RankedList>>>,
+    /// `(class, query, k) → (anchor generation at fill time, result)`.
+    /// Entries whose stamp trails the anchor's current generation are
+    /// stale (the anchor's postings were patched by a delta) and are
+    /// treated as misses, then overwritten — so a delta invalidates
+    /// exactly the keys whose query's result set changed, lazily, without
+    /// scanning the cache.
+    cache: Mutex<LruCache<(u32, u32, u32), CachedEntry>>,
     latency: Mutex<LatencyHistogram>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -275,20 +430,24 @@ impl QueryServer {
 
     /// Ranks a single query (cache-aware). Panics on an unknown class id.
     pub fn rank(&self, class_id: usize, q: NodeId, k: usize) -> Arc<RankedList> {
+        let model = self.class(class_id);
         let key = (class_id as u32, q.0, k as u32);
+        let gen = model.generation(q.0);
         if self.cfg.cache_capacity > 0 {
-            if let Some(hit) = self.cache.lock().get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(hit);
+            if let Some((stamp, hit)) = self.cache.lock().get(&key) {
+                if *stamp == gen {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(hit);
+                }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut scratch = Scratch::default();
         let mut out = RankedList::new();
-        self.class(class_id).rank_into(q, k, &mut scratch, &mut out);
+        model.rank_into(q, k, &mut scratch, &mut out);
         let result = Arc::new(out);
         if self.cfg.cache_capacity > 0 {
-            self.cache.lock().put(key, Arc::clone(&result));
+            self.cache.lock().put(key, (gen, Arc::clone(&result)));
         }
         result
     }
@@ -306,14 +465,18 @@ impl QueryServer {
         let model = self.class(class_id);
         let mut out: Vec<Option<Arc<RankedList>>> = vec![None; queries.len()];
 
-        // Cache pass: one critical section for the whole batch.
+        // Cache pass: one critical section for the whole batch. Entries
+        // stamped with an outdated anchor generation are stale (postings
+        // patched since) and fall through to recompute.
         let mut miss_idx: Vec<usize> = Vec::new();
         if self.cfg.cache_capacity > 0 {
             let mut cache = self.cache.lock();
             for (i, q) in queries.iter().enumerate() {
                 match cache.get(&(class_id as u32, q.0, k as u32)) {
-                    Some(hit) => out[i] = Some(Arc::clone(hit)),
-                    None => miss_idx.push(i),
+                    Some((stamp, hit)) if *stamp == model.generation(q.0) => {
+                        out[i] = Some(Arc::clone(hit))
+                    }
+                    _ => miss_idx.push(i),
                 }
             }
         } else {
@@ -360,7 +523,10 @@ impl QueryServer {
             let mut cache = self.cache.lock();
             for (q, result) in unique.iter().zip(computed.iter()) {
                 let result = result.as_ref().expect("worker filled every slot");
-                cache.put((class_id as u32, q.0, k as u32), Arc::clone(result));
+                cache.put(
+                    (class_id as u32, q.0, k as u32),
+                    (model.generation(q.0), Arc::clone(result)),
+                );
             }
         }
         for i in miss_idx {
@@ -395,6 +561,35 @@ impl QueryServer {
                 Arc::new(list)
             })
             .collect()
+    }
+
+    /// Applies an index delta to a registered class *in place*: re-dots
+    /// only the touched anchors/pairs against the (already-updated)
+    /// `index`, rebuilds/patches just the affected posting entries in the
+    /// touched shards, and bumps the invalidation generation of exactly
+    /// the anchors whose result sets changed — cached entries for
+    /// untouched queries keep serving.
+    ///
+    /// `index` must be the class's vector index *after*
+    /// `VectorIndex::apply_delta` returned `touch`, and the class's
+    /// weights are the ones it was registered with (deltas never retrain).
+    /// Results afterwards are bit-identical to re-registering the class
+    /// from the updated index (asserted by tests and the
+    /// `bench_incremental` acceptance check). Panics on an unknown class
+    /// id.
+    pub fn apply_delta(
+        &mut self,
+        class_id: usize,
+        index: &VectorIndex,
+        touch: &IndexTouch,
+    ) -> DeltaStats {
+        let mut stats = DeltaStats::default();
+        let class = self
+            .classes
+            .get_mut(class_id)
+            .unwrap_or_else(|| panic!("unknown class id {class_id}"));
+        class.apply_delta(index, touch, &mut stats);
+        stats
     }
 
     /// Cache and latency counters accumulated since construction.
@@ -562,6 +757,153 @@ mod tests {
     fn empty_batch_is_fine() {
         let (srv, _, _) = server(4);
         assert!(srv.rank_batch(0, &[], 3).is_empty());
+    }
+
+    /// Applies a count delta to both the index and the server, asserting
+    /// the server now answers identically to a freshly registered class
+    /// over the updated index.
+    fn apply_and_check(
+        srv: &mut QueryServer,
+        idx: &mut VectorIndex,
+        w: &[f64],
+        delta: mgp_index::IndexDelta,
+    ) -> DeltaStats {
+        let touch = idx.apply_delta(&delta);
+        let stats = srv.apply_delta(0, idx, &touch);
+        let mut fresh = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 0,
+        });
+        fresh.add_class("fresh", idx, w);
+        for q in 0..8u32 {
+            for k in [1, 3, 10] {
+                assert_eq!(
+                    *srv.rank(0, NodeId(q), k),
+                    *fresh.rank(0, NodeId(q), k),
+                    "q={q} k={k} after delta"
+                );
+                assert_eq!(
+                    *srv.rank(0, NodeId(q), k),
+                    reference(idx, w, NodeId(q), k),
+                    "q={q} k={k} vs reference"
+                );
+            }
+        }
+        stats
+    }
+
+    fn count_delta(
+        node: &[(u32, u64)],
+        pairs: &[((u32, u32), u64)],
+        coord: usize,
+        n: usize,
+    ) -> mgp_index::IndexDelta {
+        let mut d = mgp_index::IndexDelta::empty(n);
+        for &(x, c) in node {
+            d.counts[coord].per_node.insert(x, c);
+        }
+        for &((x, y), c) in pairs {
+            d.counts[coord]
+                .per_pair
+                .insert(mgp_graph::ids::pack_pair(NodeId(x), NodeId(y)), c);
+        }
+        d
+    }
+
+    #[test]
+    fn delta_patch_matches_full_reregistration() {
+        let (mut srv, mut idx, w) = server(16);
+        // Bump an existing pair (1,2) on coordinate 0.
+        let stats = apply_and_check(
+            &mut srv,
+            &mut idx,
+            &w,
+            count_delta(&[(1, 2), (2, 2)], &[((1, 2), 2)], 0, 2),
+        );
+        assert_eq!(stats.redotted_nodes, 2);
+        assert_eq!(stats.redotted_pairs, 1);
+        assert_eq!(stats.rebuilt_postings, 2);
+        // Nodes 1, 2 rebuilt; partner entries pointing at them patched.
+        assert!(stats.patched_entries > 0);
+        assert!(stats.invalidated_anchors >= 2);
+    }
+
+    #[test]
+    fn delta_with_new_pair_and_new_node() {
+        let (mut srv, mut idx, w) = server(16);
+        // Node 4 never seen before; new pair (3,4) on coordinate 1.
+        apply_and_check(
+            &mut srv,
+            &mut idx,
+            &w,
+            count_delta(&[(3, 1), (4, 1)], &[((3, 4), 1)], 1, 2),
+        );
+        // 4 is now rankable and 3's posting gained an entry.
+        assert_eq!(srv.rank(0, NodeId(4), 5).len(), 1);
+        assert!(srv
+            .rank(0, NodeId(3), 5)
+            .iter()
+            .any(|&(v, _)| v == NodeId(4)));
+    }
+
+    #[test]
+    fn delta_invalidates_only_changed_queries() {
+        let (mut srv, mut idx, w) = server(32);
+        // Warm the cache for all anchors.
+        for q in 1..4u32 {
+            let _ = srv.rank(0, NodeId(q), 2);
+        }
+        let before = srv.stats();
+        assert_eq!(before.cache_misses, 3);
+
+        // Touch only the pair (2,3): anchors 2 and 3 change; their node
+        // dots also move, patching entries that point at them (1 holds an
+        // entry for 2 → 1's results change too in general). Use a delta
+        // touching only node 3's count instead for a clean split: anchors
+        // with 3 in their partner list are 1 (via M1) and 2 (via M1).
+        let touch = idx.apply_delta(&count_delta(&[(3, 5)], &[], 1, 2));
+        srv.apply_delta(0, &idx, &touch);
+
+        // Anchor 3 and its partners 1, 2 were invalidated...
+        let s1 = srv.stats();
+        let _ = srv.rank(0, NodeId(3), 2);
+        assert_eq!(srv.stats().cache_misses, s1.cache_misses + 1);
+        // ...and recomputed answers match a fresh registration.
+        let mut fresh = QueryServer::new(ServeConfig::default());
+        fresh.add_class("fresh", &idx, &w);
+        for q in 1..4u32 {
+            assert_eq!(*srv.rank(0, NodeId(q), 2), *fresh.rank(0, NodeId(q), 2));
+        }
+    }
+
+    #[test]
+    fn untouched_queries_keep_their_cache_entries() {
+        let (mut srv, mut idx, _) = server(32);
+        // Anchor 1's partners are 2 and 3; a delta touching node 9 (an
+        // isolated newcomer with no pairs) changes nobody's results.
+        for q in 1..4u32 {
+            let _ = srv.rank(0, NodeId(q), 2);
+        }
+        let touch = idx.apply_delta(&count_delta(&[(9, 1)], &[], 0, 2));
+        srv.apply_delta(0, &idx, &touch);
+        let before = srv.stats();
+        for q in 1..4u32 {
+            let _ = srv.rank(0, NodeId(q), 2);
+        }
+        let after = srv.stats();
+        // 9 has no partners: every repeat query was a cache hit except 9's
+        // own (rebuilt, empty) posting — queries 1..4 all hit.
+        assert_eq!(after.cache_hits, before.cache_hits + 3);
+        assert_eq!(after.cache_misses, before.cache_misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown class id")]
+    fn delta_on_unknown_class_panics() {
+        let (mut srv, idx, _) = server(4);
+        let touch = mgp_index::IndexTouch::default();
+        let _ = srv.apply_delta(9, &idx, &touch);
     }
 
     #[test]

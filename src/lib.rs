@@ -30,6 +30,7 @@
 //! | [`eval`] | NDCG@k / MAP@k and split management |
 //! | [`datagen`] | synthetic LinkedIn-/Facebook-like datasets + toy graph |
 //! | [`engine`] | offline pipeline + online query facade |
+//! | [`online`] | batched `QueryServer` with live delta updates |
 
 pub use mgp_core as engine;
 pub use mgp_datagen as datagen;
@@ -40,3 +41,4 @@ pub use mgp_learning as learning;
 pub use mgp_matching as matching;
 pub use mgp_metagraph as metagraph;
 pub use mgp_mining as mining;
+pub use mgp_online as online;

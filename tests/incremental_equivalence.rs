@@ -1,0 +1,178 @@
+//! Incremental-equivalence property: for arbitrary edge-insertion
+//! sequences, `SearchEngine::ingest` + `QueryServer::apply_delta` must
+//! produce rankings **bit-identical** to a from-scratch rematch + rebuild
+//! of the updated graph with the same trained weights — the same
+//! equivalence bar PR 1 set for serving-time precomputation.
+//!
+//! Each case draws a random typed base graph, trains one class over a
+//! fixed pattern catalogue, then streams several random insertion batches
+//! (edges among existing nodes plus occasional new nodes with edges)
+//! through the delta pipeline. After every batch, every anchor's top-k is
+//! compared against the rebuilt reference — engine search path and cached
+//! batched server path both.
+
+use proptest::prelude::*;
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::delta::GraphDelta;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::index::{Transform, VectorIndex};
+use semantic_proximity::learning::{mgp, TrainConfig, TrainingExample};
+use semantic_proximity::matching::AnchorCounts;
+use semantic_proximity::metagraph::Metagraph;
+use semantic_proximity::online::ServeConfig;
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+fn base_graph(n_users: usize, n_a: usize, n_b: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let mut nodes = Vec::new();
+    for i in 0..n_users {
+        nodes.push(g.add_node(user, format!("u{i}")));
+    }
+    for i in 0..n_a {
+        nodes.push(g.add_node(ta, format!("a{i}")));
+    }
+    for i in 0..n_b {
+        nodes.push(g.add_node(tb, format!("b{i}")));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % nodes.len(), y % nodes.len());
+        if x != y {
+            g.add_edge(nodes[x], nodes[y]).unwrap();
+        }
+    }
+    g.build()
+}
+
+/// Patterns with shared-attribute joints, chains and a 4-clique-ish
+/// shape — all anchored on `user`.
+fn catalogue() -> Vec<Metagraph> {
+    vec![
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, B, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, USER, B, USER], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap(),
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+    ]
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(USER, 1);
+    cfg.train = TrainConfig::fast(7);
+    cfg.strategy = TrainingStrategy::Full;
+    cfg.threads = 1;
+    cfg
+}
+
+/// A handful of deterministic training triples over the user nodes —
+/// enough for `train_class` to produce a well-defined weight vector (its
+/// quality is irrelevant here; equivalence is about *identical* output).
+fn examples(n_users: usize) -> Vec<TrainingExample> {
+    (0..n_users.min(8))
+        .map(|i| TrainingExample {
+            q: NodeId(i as u32),
+            x: NodeId(((i + 1) % n_users) as u32),
+            y: NodeId(((i + 2) % n_users) as u32),
+        })
+        .collect()
+}
+
+/// Rebuilds the class index from scratch on `engine`'s current graph
+/// (full rematch of the same pattern set) for comparison.
+fn rebuilt_index(engine: &SearchEngine, coords: &[usize]) -> VectorIndex {
+    let fresh = SearchEngine::with_metagraphs(
+        engine.graph().clone(),
+        engine.metagraphs().to_vec(),
+        pipeline_cfg(),
+    );
+    let counts: Vec<AnchorCounts> = coords
+        .iter()
+        .map(|&i| fresh.counts(i).unwrap().clone())
+        .collect();
+    VectorIndex::from_counts(&counts, Transform::Log1p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn delta_updates_are_bit_identical_to_full_rebuild(
+        n_users in 6usize..12,
+        n_a in 2usize..5,
+        n_b in 2usize..5,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 10..40),
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..100, 0usize..100, any::<bool>()), 1..5),
+            1..4,
+        ),
+    ) {
+        let g = base_graph(n_users, n_a, n_b, &base_edges);
+        let mut engine = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+        engine.train_class("c", &examples(n_users));
+        let (coords, weights) = {
+            let m = engine.model("c").unwrap();
+            (m.coords.clone(), m.weights.clone())
+        };
+        let mut server = engine.serve_with(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 64,
+        });
+        let cid = server.class_id("c").unwrap();
+
+        for batch in batches {
+            // Build a random insertion batch against the current graph:
+            // each triple is an edge (skipped when degenerate); `true`
+            // flags route one endpoint through a freshly added node.
+            let g_now = engine.graph().clone();
+            let mut delta = GraphDelta::for_graph(&g_now);
+            let mut n_now = g_now.n_nodes();
+            for (x, y, fresh_node) in batch {
+                let a = NodeId((x % n_now) as u32);
+                let b = if fresh_node {
+                    let ty = [USER, A, B][y % 3];
+                    n_now += 1;
+                    delta.add_node(ty, format!("fresh{n_now}"))
+                } else {
+                    NodeId((y % n_now) as u32)
+                };
+                if a != b {
+                    delta.add_edge(a, b).unwrap();
+                }
+            }
+            engine.ingest_serving(&delta, &mut server).unwrap();
+
+            // Reference: full rematch + rebuild, same weights.
+            let fresh_idx = rebuilt_index(&engine, &coords);
+            let n_nodes = engine.graph().n_nodes() as u32;
+            for q in 0..n_nodes {
+                let q = NodeId(q);
+                for k in [3usize, 10] {
+                    let want = mgp::rank_with_scores(&fresh_idx, q, &weights, k);
+                    prop_assert_eq!(
+                        &engine.search("c", q, k), &want,
+                        "engine diverged at q={} k={}", q, k
+                    );
+                    prop_assert_eq!(
+                        &*server.rank(cid, q, k), &want,
+                        "server diverged at q={} k={}", q, k
+                    );
+                }
+            }
+            // Batched path over every anchor agrees too (and exercises
+            // the generation-stamped cache after invalidation).
+            let all: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+            let ranked = server.rank_batch(cid, &all, 5);
+            for (q, got) in all.iter().zip(&ranked) {
+                let want = mgp::rank_with_scores(&fresh_idx, *q, &weights, 5);
+                prop_assert_eq!(&**got, &want, "batched server diverged at q={}", q);
+            }
+        }
+    }
+}
