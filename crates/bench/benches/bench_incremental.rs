@@ -5,9 +5,12 @@
 //! index, rebuild the class's score tables, flush the cache).
 //!
 //! Acceptance (asserted, run in CI): on the Facebook-scale dataset a
-//! single-edge delta must apply ≥ 5× faster than full re-registration,
-//! and the patched server must answer bit-identically to one rebuilt from
-//! scratch on the updated graph.
+//! single-edge **insert** delta and a single-edge **delete** delta must
+//! each apply ≥ 5× faster than full re-registration, and the patched
+//! server must answer bit-identically to one rebuilt from scratch on the
+//! updated graph after either direction of churn. The delete phase
+//! removes exactly the edges the insert phase added, so it also soaks
+//! the round-trip: the final graph is the original one.
 
 use mgp_core::{PipelineConfig, QueryServer, SearchEngine, TrainingStrategy};
 use mgp_datagen::facebook::{generate_facebook, FacebookConfig, FAMILY};
@@ -19,6 +22,13 @@ use mgp_matching::{AnchorCounts, SymIso};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
+
+/// Ingests to discard as warm-up (pool spin-up, allocator).
+const WARMUP: usize = 4;
+/// Full re-registration timing repetitions.
+const FULL_REPS: u32 = 3;
+/// Query nodes checked for bit-identical equivalence after each phase.
+const EQUIV_QUERIES: usize = 60;
 
 fn examples(
     d: &mgp_datagen::Dataset,
@@ -55,6 +65,80 @@ fn full_reregistration(engine: &SearchEngine, coords: &[usize], weights: &[f64])
     idx
 }
 
+/// One churn direction, measured and asserted: applies one single-edge
+/// delta per `(u, a)` pair (built by `build_delta`, reported instances
+/// read by `instances_of`), averages the ingest cost past the warm-up,
+/// times `FULL_REPS` full re-registrations on the resulting graph, prints
+/// the comparison, and asserts the ≥ 5× acceptance bar plus bit-identical
+/// equivalence of the patched server against the from-scratch rebuild.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    label: &str,
+    engine: &mut SearchEngine,
+    server: &mut QueryServer,
+    cid: usize,
+    coords: &[usize],
+    weights: &[f64],
+    users: &[NodeId],
+    pairs: &[(NodeId, NodeId)],
+    build_delta: impl Fn(&mut GraphDelta, NodeId, NodeId),
+    instances_of: impl Fn(&mgp_core::IngestReport) -> u64,
+) {
+    let mut delta_total = Duration::ZERO;
+    let mut timed = 0u32;
+    let mut instances = 0u64;
+    for (i, &(u, a)) in pairs.iter().enumerate() {
+        let mut delta = GraphDelta::for_graph(engine.graph());
+        build_delta(&mut delta, u, a);
+        let t0 = Instant::now();
+        let report = engine.ingest_serving(&delta, server).unwrap();
+        let dt = t0.elapsed();
+        if i >= WARMUP {
+            delta_total += dt;
+            timed += 1;
+            instances += instances_of(&report);
+        }
+    }
+    let delta_mean = delta_total / timed.max(1);
+
+    // Timed full re-registrations on the post-churn graph.
+    let mut full_total = Duration::ZERO;
+    let mut rebuilt_idx = None;
+    for _ in 0..FULL_REPS {
+        let t0 = Instant::now();
+        rebuilt_idx = Some(full_reregistration(engine, coords, weights));
+        full_total += t0.elapsed();
+    }
+    let full_mean = full_total / FULL_REPS;
+    let speedup = full_mean.as_secs_f64() / delta_mean.as_secs_f64().max(1e-12);
+
+    println!(
+        "delta apply ({label:>10}) : {delta_mean:>12.2?} mean over {timed} ingests \
+         ({instances} instances changed total)"
+    );
+    println!("full re-registration      : {full_mean:>12.2?} mean over {FULL_REPS} rebuilds");
+    println!("{label:<10} speedup        : {speedup:>12.1}x (acceptance bar: 5x)");
+
+    // Equivalence: the delta-patched server answers bit-identically to a
+    // ranker over the from-scratch rebuilt index.
+    let rebuilt_idx = rebuilt_idx.expect("at least one rebuild");
+    for &q in users.iter().take(EQUIV_QUERIES) {
+        let want = mgp_learning::mgp::rank_with_scores(&rebuilt_idx, q, weights, 10);
+        assert_eq!(
+            *server.rank(cid, q, 10),
+            want,
+            "delta-patched server diverged from full rebuild at q={q} ({label})"
+        );
+    }
+    println!("equivalence               : {label}-churned rankings == full-rebuild rankings");
+
+    assert!(
+        speedup >= 5.0,
+        "acceptance: single-edge {label} must apply ≥ 5x faster than full \
+         re-registration (got {speedup:.1}x)"
+    );
+}
+
 fn main() {
     let d = generate_facebook(&FacebookConfig::tiny(42));
     let mut cfg = PipelineConfig::new(d.anchor_type, 5);
@@ -76,7 +160,8 @@ fn main() {
     );
 
     // Candidate single-edge insertions: (user, attribute) pairs that do
-    // not exist yet, so every timed ingest does real work.
+    // not exist yet, so every timed ingest does real work — and can be
+    // removed again one by one in the delete phase.
     let g = engine.graph().clone();
     let users: Vec<NodeId> = g.nodes_of_type(d.anchor_type).to_vec();
     let attrs: Vec<NodeId> = g
@@ -94,60 +179,39 @@ fn main() {
             }
         }
     }
+    let n_edges_base = engine.graph().n_edges();
 
-    // Timed deltas: one new edge per ingest, averaged. The first few are
-    // warm-up (pool spin-up, allocator).
-    let mut delta_total = Duration::ZERO;
-    let mut timed = 0u32;
-    let mut new_instances = 0u64;
-    for (i, &(u, a)) in fresh_pairs.iter().enumerate() {
-        let mut delta = GraphDelta::for_graph(engine.graph());
-        delta.add_edge(u, a).unwrap();
-        let t0 = Instant::now();
-        let report = engine.ingest_serving(&delta, &mut server).unwrap();
-        let dt = t0.elapsed();
-        if i >= 4 {
-            delta_total += dt;
-            timed += 1;
-            new_instances += report.new_instances;
-        }
-    }
-    let delta_mean = delta_total / timed.max(1);
-
-    // Timed full re-registrations on the final graph.
-    let mut full_total = Duration::ZERO;
-    const FULL_REPS: u32 = 3;
-    let mut rebuilt_idx = None;
-    for _ in 0..FULL_REPS {
-        let t0 = Instant::now();
-        rebuilt_idx = Some(full_reregistration(&engine, &coords, &weights));
-        full_total += t0.elapsed();
-    }
-    let full_mean = full_total / FULL_REPS;
-    let speedup = full_mean.as_secs_f64() / delta_mean.as_secs_f64().max(1e-12);
-
-    println!(
-        "delta apply (1 edge)      : {delta_mean:>12.2?} mean over {timed} ingests \
-         ({new_instances} new instances total)"
+    run_phase(
+        "insert",
+        &mut engine,
+        &mut server,
+        cid,
+        &coords,
+        &weights,
+        &users,
+        &fresh_pairs,
+        |delta, u, a| delta.add_edge(u, a).unwrap(),
+        |report| report.new_instances,
     );
-    println!("full re-registration      : {full_mean:>12.2?} mean over {FULL_REPS} rebuilds");
-    println!("speedup                   : {speedup:>12.1}x (acceptance bar: 5x)");
 
-    // Equivalence: the delta-patched server answers bit-identically to a
-    // ranker over the from-scratch rebuilt index.
-    let rebuilt_idx = rebuilt_idx.expect("at least one rebuild");
-    for &q in users.iter().take(60) {
-        let want = mgp_learning::mgp::rank_with_scores(&rebuilt_idx, q, &weights, 10);
-        assert_eq!(
-            *server.rank(cid, q, 10),
-            want,
-            "delta-updated server diverged from full rebuild at q={q}"
-        );
-    }
-    println!("equivalence               : delta-updated rankings == full-rebuild rankings");
-
-    assert!(
-        speedup >= 5.0,
-        "acceptance: delta apply must be ≥ 5x faster than full re-registration (got {speedup:.1}x)"
+    run_phase(
+        "delete",
+        &mut engine,
+        &mut server,
+        cid,
+        &coords,
+        &weights,
+        &users,
+        &fresh_pairs,
+        |delta, u, a| delta.remove_edge(u, a).unwrap(),
+        |report| report.doomed_instances,
     );
+
+    // The delete phase unwound the insert phase exactly.
+    assert_eq!(
+        engine.graph().n_edges(),
+        n_edges_base,
+        "insert + delete phases must round-trip to the original edge count"
+    );
+    println!("round-trip                : graph restored to {n_edges_base} edges");
 }

@@ -6,7 +6,7 @@ use mgp_index::{IndexDelta, IndexTouch, Transform, VectorIndex};
 use mgp_learning::baselines::metapath_indices;
 use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all_timed;
-use mgp_matching::{delta_anchor_counts, merge_counts, AnchorCounts, PatternInfo, SymIso};
+use mgp_matching::{delta_count_changes, AnchorCounts, CountDelta, PatternInfo, SymIso};
 use mgp_metagraph::Metagraph;
 use mgp_mining::{mine, MinerConfig};
 use mgp_online::{QueryServer, ServeConfig};
@@ -90,17 +90,23 @@ impl ClassModel {
     }
 }
 
-/// Summary of one [`SearchEngine::ingest`]: what the delta added and, per
-/// trained class, which index entries it touched (the handle a serving
-/// layer needs to patch itself).
+/// Summary of one [`SearchEngine::ingest`]: what the delta changed and,
+/// per trained class, which index entries it touched (the handle a
+/// serving layer needs to patch itself).
 #[derive(Debug, Clone, Default)]
 pub struct IngestReport {
     /// Nodes the delta added to the graph.
     pub new_nodes: usize,
     /// Genuinely new edges (deduplicated, previously absent).
     pub new_edges: usize,
+    /// Genuinely removed edges (deduplicated, previously present) —
+    /// includes edges detached by node removals.
+    pub removed_edges: usize,
     /// New pattern instances enumerated across all matched metagraphs.
     pub new_instances: u64,
+    /// Doomed pattern instances (destroyed by removals) across all
+    /// matched metagraphs.
+    pub doomed_instances: u64,
     /// Per trained class: the touched nodes/pairs of its restricted index.
     pub per_class: Vec<(String, IndexTouch)>,
 }
@@ -407,58 +413,72 @@ impl SearchEngine {
         server
     }
 
-    /// Ingests a graph delta through the whole offline chain without any
-    /// from-scratch work: the CSR is extended in place of a rebuild, every
-    /// already-matched metagraph is *delta-matched* (only instances
-    /// containing a new edge are enumerated, via the delta rule), the
-    /// increments land in the count cache, and each trained class model's
-    /// restricted index is patched through `VectorIndex::apply_delta`.
+    /// Ingests a graph churn delta — insertions *and* removals, mixed in
+    /// one batch — through the whole offline chain without any
+    /// from-scratch work: the CSR is spliced in place of a rebuild, every
+    /// already-matched metagraph is *delta-matched* symmetrically (new
+    /// instances are enumerated by seeding each inserted edge against the
+    /// updated graph, doomed instances by seeding each removed edge
+    /// against the *pre*-delete graph — the same seeded backtracking
+    /// entry point both ways), the signed changes land in the count
+    /// cache, and each trained class model's restricted index is patched
+    /// through `VectorIndex::apply_delta` (which drops entries that churn
+    /// emptied).
     ///
     /// Model weights are deliberately left untouched — a delta updates
     /// what the graph *contains*, retraining remains an explicit
     /// [`SearchEngine::train_class`] call. After `ingest`, search results
     /// are bit-identical to a full rematch + reindex of the updated graph
     /// with the same weights (asserted by the incremental-equivalence
-    /// property test).
+    /// property test and the churn soak test).
     ///
     /// Live servers built via [`SearchEngine::serve`] are patched with
     /// [`SearchEngine::ingest_serving`].
     pub fn ingest(&mut self, delta: &GraphDelta) -> Result<IngestReport, GraphError> {
         let t0 = Instant::now();
         let ext = self.graph.apply_delta(delta)?;
-        self.graph = ext.graph;
         let mut report = IngestReport {
             new_nodes: ext.new_nodes.len(),
             new_edges: ext.new_edges.len(),
+            removed_edges: ext.removed_edges.len(),
             ..Default::default()
         };
-        if ext.new_edges.is_empty() && ext.new_nodes.is_empty() {
+        if ext.new_edges.is_empty() && ext.new_nodes.is_empty() && ext.removed_edges.is_empty() {
+            self.graph = ext.graph;
             return Ok(report);
         }
 
         // Delta-match every pattern that has been matched so far; their
-        // cached counts stay equal to a full match on the current graph.
+        // cached counts stay equal to a full match on the updated graph.
+        // Doomed instances are enumerated against `self.graph` (still the
+        // pre-delta graph — the removed edges exist only there), new
+        // instances against the updated `ext.graph`.
         let mut matched: Vec<usize> = self.counts_cache.keys().copied().collect();
         matched.sort_unstable();
-        let mut incs: FxHashMap<usize, AnchorCounts> = FxHashMap::default();
+        let mut incs: FxHashMap<usize, CountDelta> = FxHashMap::default();
         for i in matched {
-            let inc = delta_anchor_counts(
+            let m = delta_count_changes(
                 &self.graph,
+                &ext.graph,
                 &self.patterns[i],
+                &ext.removed_edges,
                 &ext.new_edges,
                 &ext.new_nodes,
             );
-            report.new_instances += inc.n_instances;
-            merge_counts(self.counts_cache.get_mut(&i).expect("key from cache"), &inc);
-            incs.insert(i, inc);
+            report.doomed_instances += m.doomed_instances;
+            report.new_instances += m.new_instances;
+            m.changes
+                .apply_to(self.counts_cache.get_mut(&i).expect("key from cache"));
+            incs.insert(i, m.changes);
         }
+        self.graph = ext.graph;
         self.timings.matching += t0.elapsed();
 
-        // Patch each trained model's restricted index with the increments
-        // of exactly its coordinates.
+        // Patch each trained model's restricted index with the signed
+        // changes of exactly its coordinates.
         let t1 = Instant::now();
         for m in &mut self.models {
-            let counts: Vec<AnchorCounts> = m
+            let counts: Vec<CountDelta> = m
                 .coords
                 .iter()
                 .map(|i| incs.get(i).cloned().unwrap_or_default())
@@ -787,6 +807,63 @@ mod tests {
             let want = mgp_learning::mgp::rank_with_scores(&fresh_idx, q, &weights, 10);
             assert_eq!(engine.search("family", q, 10), want, "engine q={q}");
             assert_eq!(*server.rank(cid, q, 10), want, "server q={q}");
+        }
+    }
+
+    #[test]
+    fn churn_ingest_serving_matches_full_rebuild() {
+        // Mixed insert + delete batch, then a node detach — the full
+        // deletion path through graph → matching → index → serving.
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let ex = examples_for(&d, FAMILY, 150, 23);
+        engine.train_class("family", &ex);
+        let mut server = engine.serve();
+        let cid = server.class_id("family").unwrap();
+        let model = engine.model("family").unwrap();
+        let (coords, weights) = (model.coords.clone(), model.weights.clone());
+
+        let g = engine.graph().clone();
+        let anchors: Vec<NodeId> = g.nodes_of_type(d.anchor_type).to_vec();
+        // A user with attribute edges to detach, an existing edge to
+        // remove, and a new edge to insert — all in one delta. The insert
+        // endpoint must differ from the detached user, or net semantics
+        // would let it keep that edge (and regain instances).
+        let busy = *anchors.iter().max_by_key(|&&u| g.degree(u)).unwrap();
+        let other = *anchors.iter().find(|&&u| u != busy).unwrap();
+        let (va, vb) = g.edges().find(|&(a, b)| a != busy && b != busy).unwrap();
+        let attr = g
+            .nodes()
+            .find(|&v| g.node_type(v) != d.anchor_type && !g.has_edge(other, v))
+            .unwrap();
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.remove_node(busy).unwrap();
+        delta.remove_edge(va, vb).unwrap();
+        delta.add_edge(other, attr).unwrap();
+        let report = engine.ingest_serving(&delta, &mut server).unwrap();
+        assert!(report.removed_edges >= 1);
+        assert!(report.doomed_instances > 0, "busy user must doom instances");
+
+        // Reference: full rematch of the same metagraph set on the
+        // churned graph, same weights.
+        let fresh = SearchEngine::with_metagraphs(
+            engine.graph().clone(),
+            engine.metagraphs().to_vec(),
+            cfg(&d, TrainingStrategy::Full),
+        );
+        let counts: Vec<AnchorCounts> = coords
+            .iter()
+            .map(|&i| fresh.counts(i).unwrap().clone())
+            .collect();
+        let fresh_idx = VectorIndex::from_counts(&counts, engine.cfg.transform);
+        for &q in anchors.iter().take(40).chain([busy].iter()) {
+            let want = mgp_learning::mgp::rank_with_scores(&fresh_idx, q, &weights, 10);
+            assert_eq!(engine.search("family", q, 10), want, "engine q={q}");
+            assert_eq!(*server.rank(cid, q, 10), want, "server q={q}");
+        }
+        // The detached user fell out of the count caches entirely.
+        for &i in &coords {
+            assert!(!engine.counts(i).unwrap().per_node.contains_key(&busy.0));
         }
     }
 

@@ -27,11 +27,15 @@
 //! the dominant offline cost (Table III).
 //!
 //! Live graphs are followed with [`SearchEngine::ingest`]: a
-//! `mgp_graph::GraphDelta` flows through CSR extension → delta-rule
-//! incremental matching → index patching, and
+//! `mgp_graph::GraphDelta` — insertions *and* removals, mixed in one
+//! batch — flows through CSR splicing → symmetric delta-rule incremental
+//! matching (new instances seeded on inserted edges against the updated
+//! graph, doomed instances seeded on removed edges against the
+//! pre-delete graph) → signed index patching, and
 //! [`SearchEngine::ingest_serving`] additionally patches a running
-//! [`QueryServer`]'s posting lists and invalidates only the cache entries
-//! whose results changed — no from-scratch rebuild anywhere on the chain.
+//! [`QueryServer`]'s posting lists (removing dead entries) and
+//! invalidates only the cache entries whose results changed — no
+//! from-scratch rebuild anywhere on the chain.
 
 #![warn(missing_docs)]
 

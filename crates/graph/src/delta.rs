@@ -1,34 +1,55 @@
-//! Incremental graph growth: [`GraphDelta`] batches of node/edge
-//! insertions and a CSR *extension* path that avoids the full rebuild of
-//! [`crate::GraphBuilder::build`].
+//! Incremental graph churn: [`GraphDelta`] batches of node/edge
+//! insertions *and removals*, with a CSR *splicing* path that avoids the
+//! full rebuild of [`crate::GraphBuilder::build`].
 //!
 //! The object graph is immutable CSR for matching speed, which makes naive
 //! updates O(|V| + |E|) re-sorts. [`Graph::apply_delta`] instead produces
-//! the extended graph by splicing: untouched adjacency lists are copied
+//! the updated graph by splicing: untouched adjacency lists are copied
 //! verbatim (they are already `(type, id)`-sorted), and only the lists of
-//! nodes gaining edges are merged with their sorted additions. Per-type
-//! node lists stay sorted for free because new node ids are larger than
-//! every existing id. The result is indistinguishable from rebuilding from
-//! scratch (asserted by tests) at a fraction of the cost — the substrate
-//! for the delta-driven matching/index/serving pipeline upstream.
+//! nodes gaining or losing edges are re-merged — a three-way linear merge
+//! of the old sorted run minus its sorted removals plus its sorted
+//! additions. Per-type node lists stay sorted for free because new node
+//! ids are larger than every existing id. The result is indistinguishable
+//! from rebuilding from scratch (asserted by tests) at a fraction of the
+//! cost — the substrate for the delta-driven matching/index/serving
+//! pipeline upstream.
+//!
+//! ## Removal semantics
+//!
+//! * Edge removal targets the *pre-batch* graph: removing an edge absent
+//!   from the base is tolerated and ignored (dangling CDC events are
+//!   common), as are duplicate removals of the same edge.
+//! * Node removal is a **tombstone detach**: all of the node's current
+//!   edges are removed, but the id survives with degree 0 — dense node
+//!   ids are never reused or compacted (compaction is a follow-on, see
+//!   ROADMAP). Only base nodes can be removed; removing a node added in
+//!   the same delta is rejected eagerly.
+//! * A batch is *net*: an edge both removed and inserted in one delta
+//!   survives (insertion defines the post-state), and appears in neither
+//!   [`GraphExtension::new_edges`] nor [`GraphExtension::removed_edges`].
+//!   In particular, edges inserted towards a node that the same batch
+//!   removes do land — the removal detaches the node's *current* edges.
 
 use crate::csr::Graph;
 use crate::{GraphError, NodeId, TypeId};
 
-/// A batch of insertions against a fixed base graph: new nodes (each with
-/// a type already registered in the base) and new undirected edges among
-/// old and new nodes.
+/// A batch of churn against a fixed base graph: new nodes (each with a
+/// type already registered in the base), new undirected edges among old
+/// and new nodes, and removals of base edges and base nodes.
 ///
 /// Deltas are constructed against a specific base via
 /// [`GraphDelta::for_graph`] so node-id assignment matches the extended
-/// graph. Edges already present in the base, and duplicates within the
-/// delta, are tolerated and dropped during [`Graph::apply_delta`].
+/// graph. Edges already present in the base, duplicates within the delta,
+/// and removals of absent edges are tolerated and dropped during
+/// [`Graph::apply_delta`].
 #[derive(Debug, Clone, Default)]
 pub struct GraphDelta {
     base_nodes: u32,
     node_types: Vec<TypeId>,
     node_labels: Vec<String>,
     edges: Vec<(NodeId, NodeId)>,
+    removed_edges: Vec<(NodeId, NodeId)>,
+    removed_nodes: Vec<NodeId>,
 }
 
 impl GraphDelta {
@@ -37,9 +58,7 @@ impl GraphDelta {
     pub fn for_graph(base: &Graph) -> Self {
         GraphDelta {
             base_nodes: base.n_nodes() as u32,
-            node_types: Vec::new(),
-            node_labels: Vec::new(),
-            edges: Vec::new(),
+            ..Default::default()
         }
     }
 
@@ -68,6 +87,35 @@ impl GraphDelta {
         Ok(())
     }
 
+    /// Records the removal of an undirected base edge. Both endpoints must
+    /// be base nodes (an edge towards a delta-added node cannot pre-exist,
+    /// so removing one is meaningless and rejected eagerly). Removing an
+    /// edge the base does not have is tolerated at apply time.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a.0));
+        }
+        for v in [a, b] {
+            if v.0 >= self.base_nodes {
+                return Err(GraphError::UnknownNode(v.0));
+            }
+        }
+        self.removed_edges
+            .push(if a.0 < b.0 { (a, b) } else { (b, a) });
+        Ok(())
+    }
+
+    /// Records the removal of a base node: a *tombstone detach* that drops
+    /// every edge the node has in the base graph while keeping its id (at
+    /// degree 0). Only base nodes are removable.
+    pub fn remove_node(&mut self, v: NodeId) -> Result<(), GraphError> {
+        if v.0 >= self.base_nodes {
+            return Err(GraphError::UnknownNode(v.0));
+        }
+        self.removed_nodes.push(v);
+        Ok(())
+    }
+
     /// Number of nodes this delta adds.
     pub fn n_new_nodes(&self) -> usize {
         self.node_types.len()
@@ -78,9 +126,24 @@ impl GraphDelta {
         self.edges.len()
     }
 
-    /// Whether the delta carries no insertions at all.
+    /// Number of edge removals recorded (before deduplication; node
+    /// removals expand to their incident edges at apply time and are not
+    /// counted here).
+    pub fn n_edge_removals(&self) -> usize {
+        self.removed_edges.len()
+    }
+
+    /// Number of node removals (tombstone detaches) recorded.
+    pub fn n_node_removals(&self) -> usize {
+        self.removed_nodes.len()
+    }
+
+    /// Whether the delta carries no insertions or removals at all.
     pub fn is_empty(&self) -> bool {
-        self.node_types.is_empty() && self.edges.is_empty()
+        self.node_types.is_empty()
+            && self.edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.removed_nodes.is_empty()
     }
 
     /// Types of the delta-added nodes, in id order.
@@ -89,26 +152,35 @@ impl GraphDelta {
     }
 }
 
-/// The outcome of [`Graph::apply_delta`]: the extended graph plus the
-/// edges that were genuinely new (deduplicated, absent from the base) —
-/// exactly the set downstream incremental matching must anchor on.
+/// The outcome of [`Graph::apply_delta`]: the updated graph plus the edge
+/// sets that genuinely changed — exactly what downstream incremental
+/// matching must anchor on (new edges against the updated graph, removed
+/// edges against the *pre*-delta graph).
 #[derive(Debug, Clone)]
 pub struct GraphExtension {
-    /// The extended graph.
+    /// The updated graph.
     pub graph: Graph,
     /// Genuinely new edges as `(a, b)` with `a < b`, sorted, deduplicated.
     pub new_edges: Vec<(NodeId, NodeId)>,
     /// Ids of the delta-added nodes (dense continuation of the base ids).
     pub new_nodes: Vec<NodeId>,
+    /// Genuinely removed edges (present in the base, absent afterwards),
+    /// as `(a, b)` with `a < b`, sorted, deduplicated. Includes the edges
+    /// detached by node removals.
+    pub removed_edges: Vec<(NodeId, NodeId)>,
+    /// Ids of the tombstone-detached nodes, sorted, deduplicated. Their
+    /// detached edges are part of [`GraphExtension::removed_edges`]; the
+    /// ids themselves survive in the graph at degree 0.
+    pub removed_nodes: Vec<NodeId>,
 }
 
 impl Graph {
-    /// Extends the graph with a delta without rebuilding from scratch.
+    /// Applies a churn delta without rebuilding from scratch.
     ///
-    /// Only adjacency lists of nodes that gain edges are rewritten (a
-    /// linear merge of two sorted runs); everything else is copied. Errors
-    /// if the delta was built against a different-sized base, references a
-    /// type the base does not know, or contains an invalid edge.
+    /// Only adjacency lists of nodes that gain or lose edges are rewritten
+    /// (a linear three-way merge of sorted runs); everything else is
+    /// copied. Errors if the delta was built against a different-sized
+    /// base or references a type the base does not know.
     pub fn apply_delta(&self, delta: &GraphDelta) -> Result<GraphExtension, GraphError> {
         if delta.base_nodes as usize != self.n_nodes() {
             return Err(GraphError::UnknownNode(delta.base_nodes));
@@ -127,24 +199,47 @@ impl Graph {
         let mut labels = self.labels.clone();
         labels.extend(delta.node_labels.iter().cloned());
 
-        // Normalise the edge batch: sorted `(a, b)` with `a < b`, deduped,
-        // minus edges the base already has. Edges touching a delta-added
-        // node cannot pre-exist, so only old-old pairs need the probe.
+        // Normalise the insertion batch: sorted `(a, b)` with `a < b`,
+        // deduped. Base-present edges are retained *after* the doomed set
+        // is fixed (net semantics needs the full insert set first).
         let mut new_edges: Vec<(NodeId, NodeId)> = delta.edges.clone();
         new_edges.sort_unstable();
         new_edges.dedup();
+
+        // Doomed set: explicit edge removals plus every base edge incident
+        // to a removed node, restricted to edges the base actually has
+        // (dangling removals are tolerated), minus edges the same batch
+        // re-inserts (net semantics: insertion defines the post-state).
+        let mut doomed: Vec<(NodeId, NodeId)> = delta.removed_edges.clone();
+        for &v in &delta.removed_nodes {
+            for &u in self.neighbors(v) {
+                doomed.push(if v.0 < u.0 { (v, u) } else { (u, v) });
+            }
+        }
+        doomed.sort_unstable();
+        doomed.dedup();
+        doomed.retain(|&(a, b)| self.has_edge(a, b) && new_edges.binary_search(&(a, b)).is_err());
+
+        // Genuinely new edges: absent from the base. Edges touching a
+        // delta-added node cannot pre-exist, so only old-old pairs probe.
         new_edges.retain(|&(a, b)| b.index() >= n_old || !self.has_edge(a, b));
 
-        // Added degree per node; the touched set is exactly the nodes with
-        // a non-zero entry.
+        // Degree changes per node; the touched set is exactly the nodes
+        // with a non-zero added or removed degree.
         let mut add_deg = vec![0u32; n_new];
         for &(a, b) in &new_edges {
             add_deg[a.index()] += 1;
             add_deg[b.index()] += 1;
         }
+        let mut rem_deg = vec![0u32; n_old];
+        for &(a, b) in &doomed {
+            rem_deg[a.index()] += 1;
+            rem_deg[b.index()] += 1;
+        }
 
-        // Per-endpoint sorted insertion runs, keyed like adjacency:
-        // `(type, id)`. Built by bucketing then sorting each short run.
+        // Per-endpoint sorted insertion/removal runs, keyed like
+        // adjacency: `(type, id)`. Built by bucketing then sorting each
+        // short run.
         let mut additions: Vec<Vec<NodeId>> = vec![Vec::new(); n_new];
         for &(a, b) in &new_edges {
             additions[a.index()].push(b);
@@ -153,49 +248,78 @@ impl Graph {
         for run in additions.iter_mut() {
             run.sort_unstable_by_key(|&u| (node_types[u.index()], u));
         }
+        let mut removals: Vec<Vec<NodeId>> = vec![Vec::new(); n_old];
+        for &(a, b) in &doomed {
+            removals[a.index()].push(b);
+            removals[b.index()].push(a);
+        }
+        for run in removals.iter_mut() {
+            run.sort_unstable_by_key(|&u| (node_types[u.index()], u));
+        }
 
         // New offsets, then splice adjacency: verbatim copy for untouched
-        // nodes, two-run merge for touched ones, empty-plus-run for new.
+        // nodes, three-way merge (old − removals + additions) for touched
+        // ones, empty-plus-run for new.
         let mut offsets = vec![0u32; n_new + 1];
         for v in 0..n_new {
             let old_deg = if v < n_old {
-                self.degree(NodeId(v as u32))
+                self.degree(NodeId(v as u32)) as u32
             } else {
                 0
             };
-            offsets[v + 1] = offsets[v] + old_deg as u32 + add_deg[v];
+            let removed = if v < n_old { rem_deg[v] } else { 0 };
+            offsets[v + 1] = offsets[v] + old_deg + add_deg[v] - removed;
         }
         let mut adjacency: Vec<NodeId> = Vec::with_capacity(offsets[n_new] as usize);
-        for (v, run) in additions.iter().enumerate() {
+        for (v, add) in additions.iter().enumerate() {
             if v >= n_old {
-                adjacency.extend_from_slice(run);
+                adjacency.extend_from_slice(add);
                 continue;
             }
             let old = self.neighbors(NodeId(v as u32));
-            if run.is_empty() {
+            let rem = &removals[v];
+            if add.is_empty() && rem.is_empty() {
                 adjacency.extend_from_slice(old);
                 continue;
             }
-            // Merge two `(type, id)`-sorted runs.
-            let (mut i, mut j) = (0, 0);
-            while i < old.len() && j < run.len() {
-                let ka = (node_types[old[i].index()], old[i]);
-                let kb = (node_types[run[j].index()], run[j]);
-                if ka <= kb {
-                    adjacency.push(old[i]);
+            // Three-way merge of `(type, id)`-sorted runs: every removal
+            // entry occurs in `old` exactly once (doomed ⊆ base edges) and
+            // both are sorted by the same key, so a single skip pointer
+            // filters `old` while the additions merge in.
+            let (mut i, mut j, mut k) = (0, 0, 0);
+            loop {
+                while i < old.len() && k < rem.len() && old[i] == rem[k] {
                     i += 1;
-                } else {
-                    adjacency.push(run[j]);
-                    j += 1;
+                    k += 1;
+                }
+                match (i < old.len(), j < add.len()) {
+                    (false, false) => break,
+                    (true, false) => {
+                        adjacency.push(old[i]);
+                        i += 1;
+                    }
+                    (false, true) => {
+                        adjacency.push(add[j]);
+                        j += 1;
+                    }
+                    (true, true) => {
+                        let ka = (node_types[old[i].index()], old[i]);
+                        let kb = (node_types[add[j].index()], add[j]);
+                        if ka <= kb {
+                            adjacency.push(old[i]);
+                            i += 1;
+                        } else {
+                            adjacency.push(add[j]);
+                            j += 1;
+                        }
+                    }
                 }
             }
-            adjacency.extend_from_slice(&old[i..]);
-            adjacency.extend_from_slice(&run[j..]);
         }
 
-        // Per-type node lists: new ids exceed all old ids, so appending
-        // each type's newcomers after its existing (ascending) run keeps
-        // the invariant.
+        // Per-type node lists: removals are tombstones (ids survive), and
+        // new ids exceed all old ids, so appending each type's newcomers
+        // after its existing (ascending) run keeps the invariant.
         let mut type_offsets = vec![0u32; t + 1];
         for i in 0..t {
             let added = delta.node_types.iter().filter(|ty| ty.index() == i).count() as u32;
@@ -216,12 +340,17 @@ impl Graph {
             }
         }
 
-        // Edge-type statistics pick up only the new edges.
+        // Edge-type statistics pick up the new edges and shed the doomed.
         let mut edge_type_counts = self.edge_type_counts.clone();
         for &(a, b) in &new_edges {
             let (ta, tb) = (node_types[a.index()], node_types[b.index()]);
             let (lo, hi) = if ta <= tb { (ta, tb) } else { (tb, ta) };
             edge_type_counts[lo.index() * t + hi.index()] += 1;
+        }
+        for &(a, b) in &doomed {
+            let (ta, tb) = (node_types[a.index()], node_types[b.index()]);
+            let (lo, hi) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+            edge_type_counts[lo.index() * t + hi.index()] -= 1;
         }
 
         let graph = Graph {
@@ -233,13 +362,18 @@ impl Graph {
             type_offsets,
             type_nodes,
             edge_type_counts,
-            n_edges: self.n_edges + new_edges.len() as u64,
+            n_edges: self.n_edges + new_edges.len() as u64 - doomed.len() as u64,
         };
         let new_nodes = (n_old..n_new).map(|v| NodeId(v as u32)).collect();
+        let mut removed_nodes = delta.removed_nodes.clone();
+        removed_nodes.sort_unstable();
+        removed_nodes.dedup();
         Ok(GraphExtension {
             graph,
             new_edges,
             new_nodes,
+            removed_edges: doomed,
+            removed_nodes,
         })
     }
 }
@@ -266,7 +400,9 @@ mod tests {
         b.build()
     }
 
-    /// Rebuild-from-scratch reference for an extension.
+    /// Rebuild-from-scratch reference: the final edge set under the net
+    /// semantics — `(base ∖ doomed) ∪ inserted`, where node removals
+    /// expand to their base-incident edges.
     fn rebuilt(g: &Graph, delta: &GraphDelta) -> Graph {
         let mut b = GraphBuilder::new();
         for i in 0..g.types().len() {
@@ -278,10 +414,31 @@ mod tests {
         for (i, &ty) in delta.node_types.iter().enumerate() {
             b.add_node(ty, delta.node_labels[i].clone());
         }
-        for (a, bb) in g.edges() {
-            b.add_edge(a, bb).unwrap();
+        let norm = |a: NodeId, bb: NodeId| if a.0 < bb.0 { (a, bb) } else { (bb, a) };
+        let mut doomed: Vec<(NodeId, NodeId)> = delta
+            .removed_edges
+            .iter()
+            .map(|&(a, bb)| norm(a, bb))
+            .collect();
+        for &v in &delta.removed_nodes {
+            for &u in g.neighbors(v) {
+                doomed.push(norm(v, u));
+            }
         }
-        for &(a, bb) in &delta.edges {
+        let mut inserted: Vec<(NodeId, NodeId)> =
+            delta.edges.iter().map(|&(a, bb)| norm(a, bb)).collect();
+        inserted.sort_unstable();
+        inserted.dedup();
+        let mut final_edges: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .filter(|e| !doomed.contains(e))
+            .chain(inserted.iter().copied().filter(|&(a, bb)| {
+                bb.index() >= g.n_nodes() || doomed.contains(&(a, bb)) || !g.has_edge(a, bb)
+            }))
+            .collect();
+        final_edges.sort_unstable();
+        final_edges.dedup();
+        for (a, bb) in final_edges {
             b.add_edge(a, bb).unwrap();
         }
         b.build()
@@ -322,6 +479,7 @@ mod tests {
         assert_same(&ext.graph, &rebuilt(&g, &d));
         assert_eq!(ext.new_nodes, vec![u_new, s_new]);
         assert_eq!(ext.new_edges.len(), 4);
+        assert!(ext.removed_edges.is_empty());
     }
 
     #[test]
@@ -346,6 +504,8 @@ mod tests {
         let ext = g.apply_delta(&d).unwrap();
         assert!(ext.new_edges.is_empty());
         assert!(ext.new_nodes.is_empty());
+        assert!(ext.removed_edges.is_empty());
+        assert!(ext.removed_nodes.is_empty());
         assert_same(&ext.graph, &g);
     }
 
@@ -413,5 +573,166 @@ mod tests {
         assert_eq!(g2.degree(u), 2);
         assert_eq!(g2.n_edges(), g.n_edges() + 2);
         assert!(g2.has_edge(u, NodeId(0)) && g2.has_edge(u, NodeId(1)));
+    }
+
+    // ---- removal-side tests --------------------------------------------
+
+    #[test]
+    fn edge_removal_matches_full_rebuild() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // u0 (node 2) — s0 (node 0) and u0 — m0 (node 1) exist in base.
+        d.remove_edge(NodeId(2), NodeId(0)).unwrap();
+        d.remove_edge(NodeId(1), NodeId(2)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        assert_eq!(
+            ext.removed_edges,
+            vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]
+        );
+        assert!(ext.new_edges.is_empty());
+        assert_eq!(ext.graph.n_edges(), g.n_edges() - 2);
+        assert_eq!(ext.graph.degree(NodeId(2)), 0);
+        assert!(!ext.graph.has_edge(NodeId(2), NodeId(0)));
+        assert_same(&ext.graph, &rebuilt(&g, &d));
+    }
+
+    #[test]
+    fn dangling_and_duplicate_removals_are_tolerated() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // u0 (node 2) — u1 (node 3): never an edge — dangling removal.
+        d.remove_edge(NodeId(2), NodeId(3)).unwrap();
+        // The same real edge three times, once flipped.
+        d.remove_edge(NodeId(2), NodeId(0)).unwrap();
+        d.remove_edge(NodeId(0), NodeId(2)).unwrap();
+        d.remove_edge(NodeId(2), NodeId(0)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        assert_eq!(ext.removed_edges, vec![(NodeId(0), NodeId(2))]);
+        assert_eq!(ext.graph.n_edges(), g.n_edges() - 1);
+        assert_same(&ext.graph, &rebuilt(&g, &d));
+    }
+
+    #[test]
+    fn node_removal_is_a_tombstone_detach() {
+        let g = base();
+        let user = g.types().id("user").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        // Node 2 (u0) has edges to s0 and m0.
+        d.remove_node(NodeId(2)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        assert_eq!(
+            ext.removed_edges,
+            vec![(NodeId(0), NodeId(2)), (NodeId(1), NodeId(2))]
+        );
+        assert_eq!(ext.removed_nodes, vec![NodeId(2)]);
+        // Tombstone: the id, label and type survive at degree 0.
+        assert_eq!(ext.graph.n_nodes(), g.n_nodes());
+        assert_eq!(ext.graph.degree(NodeId(2)), 0);
+        assert_eq!(ext.graph.label(NodeId(2)), "u0");
+        assert!(ext.graph.nodes_of_type(user).contains(&NodeId(2)));
+        assert_same(&ext.graph, &rebuilt(&g, &d));
+    }
+
+    #[test]
+    fn removing_a_dangling_node_is_a_noop() {
+        let g = base();
+        let user = g.types().id("user").unwrap();
+        let mut d0 = GraphDelta::for_graph(&g);
+        let lone = d0.add_node(user, "loner");
+        let g1 = g.apply_delta(&d0).unwrap().graph;
+        let mut d1 = GraphDelta::for_graph(&g1);
+        d1.remove_node(lone).unwrap();
+        // Removing an edgeless node and a node twice are both fine.
+        d1.remove_node(lone).unwrap();
+        let ext = g1.apply_delta(&d1).unwrap();
+        assert!(ext.removed_edges.is_empty());
+        assert_eq!(ext.removed_nodes, vec![lone]);
+        assert_same(&ext.graph, &g1);
+    }
+
+    #[test]
+    fn remove_then_reinsert_in_one_batch_is_net_zero() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // u0 (node 2) — s0 (node 0) is a base edge: removing and
+        // re-inserting it in the same batch nets to "still there", and
+        // neither change set reports it.
+        d.remove_edge(NodeId(2), NodeId(0)).unwrap();
+        d.add_edge(NodeId(2), NodeId(0)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        assert!(ext.new_edges.is_empty());
+        assert!(ext.removed_edges.is_empty());
+        assert_same(&ext.graph, &g);
+        assert_same(&ext.graph, &rebuilt(&g, &d));
+    }
+
+    #[test]
+    fn node_removal_with_reinserted_edge_in_one_batch() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // Detach u0 (node 2) but keep (insert) its school edge in the same
+        // batch: the major edge goes, the school edge survives (net).
+        d.remove_node(NodeId(2)).unwrap();
+        d.add_edge(NodeId(2), NodeId(0)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        assert_eq!(ext.removed_edges, vec![(NodeId(1), NodeId(2))]);
+        assert!(ext.new_edges.is_empty());
+        assert!(ext.graph.has_edge(NodeId(2), NodeId(0)));
+        assert!(!ext.graph.has_edge(NodeId(2), NodeId(1)));
+        assert_same(&ext.graph, &rebuilt(&g, &d));
+    }
+
+    #[test]
+    fn mixed_insert_and_delete_batch_matches_rebuild() {
+        let g = base();
+        let user = g.types().id("user").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        let nu = d.add_node(user, "u-new");
+        d.add_edge(nu, NodeId(0)).unwrap();
+        d.add_edge(NodeId(3), NodeId(1)).unwrap();
+        d.remove_edge(NodeId(4), NodeId(0)).unwrap();
+        d.remove_node(NodeId(6)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        assert_eq!(ext.new_edges.len(), 2);
+        assert!(!ext.removed_edges.is_empty());
+        assert_same(&ext.graph, &rebuilt(&g, &d));
+        // Churn round-trip: reinsert what was removed, remove what was
+        // added — back to the base graph exactly.
+        let g1 = ext.graph.clone();
+        let mut back = GraphDelta::for_graph(&g1);
+        for &(a, b) in &ext.removed_edges {
+            back.add_edge(a, b).unwrap();
+        }
+        for &(a, b) in &ext.new_edges {
+            back.remove_edge(a, b).unwrap();
+        }
+        let ext2 = g1.apply_delta(&back).unwrap();
+        for v in g.nodes() {
+            assert_eq!(ext2.graph.neighbors(v), g.neighbors(v));
+        }
+        assert_eq!(ext2.graph.n_edges(), g.n_edges());
+    }
+
+    #[test]
+    fn removal_rejects_bad_targets() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        assert_eq!(
+            d.remove_edge(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop(1))
+        );
+        assert_eq!(
+            d.remove_edge(NodeId(1), NodeId(99)),
+            Err(GraphError::UnknownNode(99))
+        );
+        assert_eq!(d.remove_node(NodeId(99)), Err(GraphError::UnknownNode(99)));
+        // Delta-added nodes are not removable (no base edges to detach).
+        let user = g.types().id("user").unwrap();
+        let u = d.add_node(user, "x");
+        assert_eq!(d.remove_node(u), Err(GraphError::UnknownNode(u.0)));
+        assert_eq!(
+            d.remove_edge(NodeId(1), u),
+            Err(GraphError::UnknownNode(u.0))
+        );
     }
 }

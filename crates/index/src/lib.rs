@@ -17,18 +17,22 @@
 //! with remapped coordinates; dual-stage training uses this to train on the
 //! seed set and on seed+candidate sets without re-matching anything.
 //!
-//! For live graphs, [`VectorIndex::apply_delta`] ingests per-coordinate
-//! count *increments* (an [`IndexDelta`], produced by the incremental
-//! matcher) and recomputes only the touched vectors and partner lists —
-//! raw counts are kept alongside the transformed values precisely so the
-//! non-linear transforms can be reapplied locally. The returned
-//! [`IndexTouch`] tells the serving layer which anchors/pairs to re-dot.
+//! For live graphs, [`VectorIndex::apply_delta`] ingests *signed*
+//! per-coordinate count changes (an [`IndexDelta`] of
+//! [`mgp_matching::CountDelta`]s, produced by the incremental matcher)
+//! and recomputes only the touched vectors and partner lists — raw counts
+//! are kept alongside the transformed values precisely so the non-linear
+//! transforms can be reapplied locally. Decrements that zero a coordinate
+//! drop it; vectors, pairs and partner links that empty out are removed
+//! entirely, so churn that nets to nothing restores the index
+//! bit-identically (no tombstoned empties). The returned [`IndexTouch`]
+//! tells the serving layer which anchors/pairs to re-dot.
 
 #![warn(missing_docs)]
 
 use mgp_graph::ids::pack_pair;
 use mgp_graph::{FxHashMap, NodeId};
-use mgp_matching::AnchorCounts;
+use mgp_matching::{AnchorCounts, CountDelta};
 use serde::{Deserialize, Serialize};
 
 /// How raw instance counts become vector entries.
@@ -276,18 +280,23 @@ impl VectorIndex {
         }
     }
 
-    /// Applies per-coordinate count increments, recomputing only the
-    /// touched `m_x` / `m_xy` sparse vectors and partner lists, and
+    /// Applies *signed* per-coordinate count changes, recomputing only
+    /// the touched `m_x` / `m_xy` sparse vectors and partner lists, and
     /// returns which nodes/pairs changed so the serving layer can patch
-    /// just those.
+    /// just those (including entries that vanished — their vectors read
+    /// empty afterwards).
     ///
     /// The result is bit-identical to rebuilding via
-    /// [`VectorIndex::from_counts`] with the merged totals: transforms are
-    /// pure functions of the raw count, and coordinate order inside each
-    /// sparse vector is preserved by sorted insertion.
+    /// [`VectorIndex::from_counts`] with the merged totals: transforms
+    /// are pure functions of the raw count, coordinate order inside each
+    /// sparse vector is preserved by sorted insertion, and coordinates,
+    /// vectors, pairs and partner links that reach zero are *dropped*,
+    /// exactly as a fresh build (which never emits them) would.
     ///
     /// # Panics
-    /// Panics if `delta` was built for a different number of coordinates.
+    /// Panics if `delta` was built for a different number of coordinates,
+    /// or if a decrement underflows a raw count (a corrupt pipeline: the
+    /// delta was not produced against this index's graph).
     pub fn apply_delta(&mut self, delta: &IndexDelta) -> IndexTouch {
         assert_eq!(
             delta.counts.len(),
@@ -302,12 +311,17 @@ impl VectorIndex {
                     continue;
                 }
                 let raw = self.node_raw.entry(x).or_default();
-                let total = bump(raw, i, inc);
-                upsert(
-                    self.node_vecs.entry(x).or_default(),
-                    i,
-                    self.transform.apply(total),
-                );
+                let total = bump_signed(raw, i, inc);
+                let vec = self.node_vecs.entry(x).or_default();
+                if total == 0 {
+                    drop_coord(vec, i);
+                } else {
+                    upsert(vec, i, self.transform.apply(total));
+                }
+                if raw.is_empty() {
+                    self.node_raw.remove(&x);
+                    self.node_vecs.remove(&x);
+                }
                 touch.nodes.push(x);
             }
             for (&key, &inc) in &c.per_pair {
@@ -315,17 +329,26 @@ impl VectorIndex {
                     continue;
                 }
                 let raw = self.pair_raw.entry(key).or_default();
-                let is_new_pair = raw.is_empty();
-                let total = bump(raw, i, inc);
-                upsert(
-                    self.pair_vecs.entry(key).or_default(),
-                    i,
-                    self.transform.apply(total),
-                );
-                if is_new_pair {
-                    let (x, y) = mgp_graph::ids::unpack_pair(key);
+                let was_present = !raw.is_empty();
+                let total = bump_signed(raw, i, inc);
+                let vec = self.pair_vecs.entry(key).or_default();
+                if total == 0 {
+                    drop_coord(vec, i);
+                } else {
+                    upsert(vec, i, self.transform.apply(total));
+                }
+                let now_present = !raw.is_empty();
+                if !now_present {
+                    self.pair_raw.remove(&key);
+                    self.pair_vecs.remove(&key);
+                }
+                let (x, y) = mgp_graph::ids::unpack_pair(key);
+                if !was_present && now_present {
                     insert_sorted(self.partners.entry(x.0).or_default(), y.0);
                     insert_sorted(self.partners.entry(y.0).or_default(), x.0);
+                } else if was_present && !now_present {
+                    remove_partner(&mut self.partners, x.0, y.0);
+                    remove_partner(&mut self.partners, y.0, x.0);
                 }
                 touch.pairs.push(key);
             }
@@ -338,28 +361,35 @@ impl VectorIndex {
     }
 }
 
-/// Per-coordinate [`AnchorCounts`] *increments* for a delta update:
-/// `counts[i]` carries the new-instance counts of the metagraph backing
-/// coordinate `i` (see `mgp_matching::delta_anchor_counts`).
+/// Per-coordinate *signed* [`CountDelta`]s for a churn update:
+/// `counts[i]` carries the net count changes (new instances minus doomed
+/// instances) of the metagraph backing coordinate `i` (see
+/// `mgp_matching::delta_count_changes`).
 #[derive(Debug, Clone, Default)]
 pub struct IndexDelta {
-    /// One increment set per index coordinate, in coordinate order.
-    pub counts: Vec<AnchorCounts>,
+    /// One signed change set per index coordinate, in coordinate order.
+    pub counts: Vec<CountDelta>,
 }
 
 impl IndexDelta {
-    /// A delta over `n` coordinates with all increments empty.
+    /// A delta over `n` coordinates with all changes empty.
     pub fn empty(n: usize) -> Self {
         IndexDelta {
-            counts: vec![AnchorCounts::default(); n],
+            counts: vec![CountDelta::default(); n],
         }
     }
 
-    /// Whether every coordinate's increment is empty.
+    /// A pure-insertion delta (every change positive) from per-coordinate
+    /// anchor-count increments.
+    pub fn from_increments(counts: &[AnchorCounts]) -> Self {
+        IndexDelta {
+            counts: counts.iter().map(CountDelta::from).collect(),
+        }
+    }
+
+    /// Whether every coordinate's change set is empty.
     pub fn is_empty(&self) -> bool {
-        self.counts
-            .iter()
-            .all(|c| c.per_node.is_empty() && c.per_pair.is_empty())
+        self.counts.iter().all(|c| c.is_empty())
     }
 }
 
@@ -382,17 +412,30 @@ impl IndexTouch {
     }
 }
 
-/// Adds `inc` to coordinate `i` of a sorted raw vector, returning the new
-/// total.
-fn bump(raw: &mut RawVec, i: u32, inc: u64) -> u64 {
+/// Adds signed `inc` to coordinate `i` of a sorted raw vector, removing
+/// the coordinate when it cancels to zero, and returns the new total.
+/// Panics on underflow (the delta was not built against these counts).
+fn bump_signed(raw: &mut RawVec, i: u32, inc: i64) -> u64 {
     match raw.binary_search_by_key(&i, |&(j, _)| j) {
         Ok(pos) => {
-            raw[pos].1 += inc;
-            raw[pos].1
+            let total = raw[pos].1 as i64 + inc;
+            assert!(
+                total >= 0,
+                "count underflow at coordinate {i}: {} + {inc}",
+                raw[pos].1
+            );
+            if total == 0 {
+                raw.remove(pos);
+                0
+            } else {
+                raw[pos].1 = total as u64;
+                total as u64
+            }
         }
         Err(pos) => {
-            raw.insert(pos, (i, inc));
-            inc
+            assert!(inc >= 0, "count underflow at coordinate {i}: 0 + {inc}");
+            raw.insert(pos, (i, inc as u64));
+            inc as u64
         }
     }
 }
@@ -405,10 +448,30 @@ fn upsert(vec: &mut SparseVec, i: u32, val: f64) {
     }
 }
 
+/// Removes coordinate `i` from a sorted sparse vector if present.
+fn drop_coord(vec: &mut SparseVec, i: u32) {
+    if let Ok(pos) = vec.binary_search_by_key(&i, |&(j, _)| j) {
+        vec.remove(pos);
+    }
+}
+
 /// Inserts `v` into an ascending deduplicated list.
 fn insert_sorted(list: &mut Vec<u32>, v: u32) {
     if let Err(pos) = list.binary_search(&v) {
         list.insert(pos, v);
+    }
+}
+
+/// Removes `v` from `x`'s partner list, dropping the list entirely when
+/// it empties (a fresh build never materialises empty partner lists).
+fn remove_partner(partners: &mut FxHashMap<u32, Vec<u32>>, x: u32, v: u32) {
+    if let Some(list) = partners.get_mut(&x) {
+        if let Ok(pos) = list.binary_search(&v) {
+            list.remove(pos);
+        }
+        if list.is_empty() {
+            partners.remove(&x);
+        }
     }
 }
 
@@ -646,9 +709,7 @@ mod tests {
             let d1 = counts(&[(2, 2), (3, 2), (4, 1)], &[((2, 3), 2), ((1, 4), 1)]);
 
             let mut idx = VectorIndex::from_counts(&[c0.clone(), c1.clone()], transform);
-            let touch = idx.apply_delta(&IndexDelta {
-                counts: vec![d0.clone(), d1.clone()],
-            });
+            let touch = idx.apply_delta(&IndexDelta::from_increments(&[d0.clone(), d1.clone()]));
 
             // The same merge production `ingest` uses, so the reference
             // rebuild can never drift from the real pipeline's semantics.
@@ -687,9 +748,10 @@ mod tests {
     #[test]
     fn sequential_deltas_accumulate() {
         let mut idx = sample_index(Transform::Log1p);
-        let d = IndexDelta {
-            counts: vec![counts(&[(1, 1)], &[]), counts(&[(1, 2)], &[((1, 2), 5)])],
-        };
+        let d = IndexDelta::from_increments(&[
+            counts(&[(1, 1)], &[]),
+            counts(&[(1, 2)], &[((1, 2), 5)]),
+        ]);
         idx.apply_delta(&d);
         idx.apply_delta(&d);
         let full = VectorIndex::from_counts(
@@ -715,14 +777,104 @@ mod tests {
         // from-scratch index over the kept coordinate.
         let idx = sample_index(Transform::Log1p);
         let mut sub = idx.restrict(&[1]);
-        let touch = sub.apply_delta(&IndexDelta {
-            counts: vec![counts(&[(1, 3)], &[])],
-        });
+        let touch = sub.apply_delta(&IndexDelta::from_increments(&[counts(&[(1, 3)], &[])]));
         assert_eq!(touch.nodes, vec![1]);
         let full = VectorIndex::from_counts(
             &[counts(&[(1, 5), (3, 2)], &[((1, 3), 2)])],
             Transform::Log1p,
         );
         assert_eq!(sub.node_vec(NodeId(1)), full.node_vec(NodeId(1)));
+    }
+
+    /// A pure-removal delta subtracting each coordinate layer once.
+    fn removal_delta(layers: &[AnchorCounts]) -> IndexDelta {
+        IndexDelta {
+            counts: layers
+                .iter()
+                .map(|c| {
+                    let mut d = CountDelta::default();
+                    d.accumulate(c, -1);
+                    d
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn apply_delta_with_removals_matches_full_rebuild() {
+        for transform in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            // Base: sample index. Removals: drop one count off pair (1,2)
+            // on coordinate 0 and kill pair (1,3) / node 3 entirely on
+            // coordinate 1.
+            let c0 = counts(&[(1, 3), (2, 3)], &[((1, 2), 3)]);
+            let c1 = counts(&[(1, 2), (3, 2)], &[((1, 3), 2)]);
+            let r0 = counts(&[(1, 1), (2, 1)], &[((1, 2), 1)]);
+            let r1 = counts(&[(1, 2), (3, 2)], &[((1, 3), 2)]);
+            let mut idx = VectorIndex::from_counts(&[c0, c1], transform);
+            let touch = idx.apply_delta(&removal_delta(&[r0, r1]));
+
+            let full = VectorIndex::from_counts(
+                &[counts(&[(1, 2), (2, 2)], &[((1, 2), 2)]), counts(&[], &[])],
+                transform,
+            );
+            assert_index_eq(&idx, &full);
+
+            // Node 3 and pair (1,3) are gone, not lingering empty.
+            assert!(idx.node_vec(NodeId(3)).is_empty(), "{transform:?}");
+            assert!(idx.pair_vec(NodeId(1), NodeId(3)).is_empty());
+            assert_eq!(idx.partners(NodeId(1)), &[2]);
+            assert!(idx.partners(NodeId(3)).is_empty());
+            assert_eq!(idx.n_nodes(), 2);
+            assert_eq!(idx.n_pairs(), 1);
+            // The touch still reports the vanished entries so the serving
+            // layer can drop its own.
+            assert_eq!(touch.nodes, vec![1, 2, 3]);
+            assert!(touch.pairs.contains(&pack_pair(NodeId(1), NodeId(3))));
+        }
+    }
+
+    #[test]
+    fn churn_roundtrip_restores_index_exactly() {
+        for transform in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            let original = sample_index(transform);
+            let mut idx = original.clone();
+            // Remove pair (1,3) and its node contributions, add a new pair
+            // (2,4) — then invert both.
+            let gone = counts(&[(1, 2), (3, 2)], &[((1, 3), 2)]);
+            let fresh = counts(&[(2, 1), (4, 1)], &[((2, 4), 1)]);
+            let mut forward = IndexDelta::empty(2);
+            forward.counts[1].accumulate(&gone, -1);
+            forward.counts[0].accumulate(&fresh, 1);
+            let mut backward = IndexDelta::empty(2);
+            backward.counts[1].accumulate(&gone, 1);
+            backward.counts[0].accumulate(&fresh, -1);
+
+            idx.apply_delta(&forward);
+            assert!(idx.node_vec(NodeId(3)).is_empty());
+            assert_eq!(idx.partners(NodeId(4)), &[2]);
+            idx.apply_delta(&backward);
+
+            assert_index_eq(&idx, &original);
+            // No leaked empties anywhere: every surviving vector and
+            // partner list is non-empty.
+            assert!(idx.iter_nodes().all(|(_, v)| !v.is_empty()));
+            assert!(idx.iter_pairs().all(|(_, v)| !v.is_empty()));
+            assert!(idx.iter_partners().all(|(_, l)| !l.is_empty()));
+            assert_eq!(
+                idx.iter_partners().count(),
+                original.iter_partners().count()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "count underflow")]
+    fn apply_delta_panics_on_underflow() {
+        let mut idx = sample_index(Transform::Raw);
+        // Node 1 has count 3 on coordinate 0; removing 5 is corrupt.
+        let r = counts(&[(1, 5)], &[]);
+        let mut d = IndexDelta::empty(2);
+        d.counts[0].accumulate(&r, -1);
+        idx.apply_delta(&d);
     }
 }

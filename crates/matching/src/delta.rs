@@ -1,29 +1,178 @@
 //! Delta-rule incremental matching: enumerate only the instances created
-//! by a batch of edge insertions.
+//! by a batch of edge insertions or destroyed by a batch of edge
+//! removals.
 //!
-//! After an edge batch `ΔE` lands (via `mgp_graph::Graph::apply_delta`),
-//! every *new* instance of a pattern must map at least one pattern edge
-//! onto a new graph edge — subgraph matching is monotone, so an instance
-//! whose image uses only old edges existed before the update. Following
-//! the delta-query decomposition of dataflow joins, we therefore anchor:
-//! for each new edge `(a, b)` and each type-compatible pattern edge
-//! `⟨u, v⟩` (both orientations), run the shared backtracking engine with
-//! `u ↦ a, v ↦ b` pinned and complete the embedding over the *updated*
-//! graph. Instances reachable through several anchors (several new edges,
-//! or symmetric pattern edges) are deduplicated by canonical instance
-//! (`Instance::canonical`), so each new instance contributes exactly once
-//! — the same per-instance semantics as [`crate::anchor::anchor_counts`].
+//! Subgraph matching is monotone, so after a churn batch lands (via
+//! `mgp_graph::Graph::apply_delta`):
 //!
-//! The emitted [`AnchorCounts`] are *increments*: adding them onto the
-//! pre-update counts reproduces, exactly, a from-scratch rematch on the
-//! updated graph (asserted by tests here and by the workspace-level
-//! incremental-equivalence property test).
+//! * every *new* instance of a pattern must map at least one pattern edge
+//!   onto an inserted graph edge — an instance whose image uses only old
+//!   edges existed before the update;
+//! * every *doomed* instance must map at least one pattern edge onto a
+//!   removed graph edge — an instance avoiding all removed edges
+//!   survives.
+//!
+//! Following the delta-query decomposition of dataflow joins, both sides
+//! therefore anchor the same way ([`edge_seeded_instances`]): for each
+//! changed edge `(a, b)` and each type-compatible pattern edge `⟨u, v⟩`
+//! (both orientations), run the shared backtracking engine with
+//! `u ↦ a, v ↦ b` pinned and complete the embedding. The only asymmetry
+//! is *which graph* is searched: insertions complete over the *updated*
+//! graph (new instances exist only there), removals complete over the
+//! ***pre*-delete** graph (doomed instances exist only there — the
+//! removed edges are still present in it). Instances reachable through
+//! several anchors (several changed edges, or symmetric pattern edges)
+//! are deduplicated by canonical instance (`Instance::canonical`), so
+//! each contributes exactly once — the same per-instance semantics as
+//! [`crate::anchor::anchor_counts`].
+//!
+//! The two sides meet in [`CountDelta`], a *signed* per-coordinate count
+//! change (`+1` per new instance contribution, `−1` per doomed one).
+//! Applying a [`CountDelta`] onto the pre-update counts reproduces,
+//! exactly, a from-scratch rematch on the updated graph — including the
+//! disappearance of zeroed entries (asserted by tests here and by the
+//! workspace-level incremental-equivalence and churn-soak tests).
 
 use crate::anchor::{accumulate_contribution, AnchorCounts};
 use crate::engine::backtrack_embeddings_seeded;
 use crate::instance::Instance;
 use crate::pattern::PatternInfo;
-use mgp_graph::{FxHashSet, Graph, NodeId};
+use mgp_graph::{FxHashMap, FxHashSet, Graph, NodeId};
+
+/// A *signed* change to one metagraph coordinate's anchor counts: the
+/// symmetric meeting point of the insertion and deletion delta rules.
+/// Produced by [`delta_count_changes`], consumed by
+/// `mgp_index::VectorIndex::apply_delta` (via `IndexDelta`) and by
+/// [`CountDelta::apply_to`] for the matcher-side count caches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountDelta {
+    /// `x → Δm_x[i]` (entries never zero).
+    pub per_node: FxHashMap<u32, i64>,
+    /// `pack_pair(x, y) → Δm_xy[i]` (entries never zero).
+    pub per_pair: FxHashMap<u64, i64>,
+    /// Signed change to `|I(Mᵢ)|`.
+    pub n_instances: i64,
+}
+
+impl CountDelta {
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty() && self.per_pair.is_empty() && self.n_instances == 0
+    }
+
+    /// Folds `counts` in with the given sign (`+1` for insertions, `−1`
+    /// for removals), dropping entries that cancel to zero so the touch
+    /// set downstream stays minimal.
+    pub fn accumulate(&mut self, counts: &AnchorCounts, sign: i64) {
+        for (&x, &c) in &counts.per_node {
+            let e = self.per_node.entry(x).or_insert(0);
+            *e += sign * c as i64;
+            if *e == 0 {
+                self.per_node.remove(&x);
+            }
+        }
+        for (&key, &c) in &counts.per_pair {
+            let e = self.per_pair.entry(key).or_insert(0);
+            *e += sign * c as i64;
+            if *e == 0 {
+                self.per_pair.remove(&key);
+            }
+        }
+        self.n_instances += sign * counts.n_instances as i64;
+    }
+
+    /// Applies the signed delta onto absolute counts in place (the merge
+    /// step of an ingest). Entries that reach zero are *removed*, so the
+    /// result is bit-identical to a fresh rematch (which never emits
+    /// zero-count entries).
+    ///
+    /// # Panics
+    /// Panics if a count would go negative — that means the delta was not
+    /// produced against these counts' graph and the pipeline is corrupt.
+    pub fn apply_to(&self, base: &mut AnchorCounts) {
+        for (&x, &d) in &self.per_node {
+            let e = base.per_node.entry(x).or_insert(0);
+            let total = *e as i64 + d;
+            assert!(total >= 0, "node {x}: count {e} + delta {d} is negative");
+            if total == 0 {
+                base.per_node.remove(&x);
+            } else {
+                *e = total as u64;
+            }
+        }
+        for (&key, &d) in &self.per_pair {
+            let e = base.per_pair.entry(key).or_insert(0);
+            let total = *e as i64 + d;
+            assert!(total >= 0, "pair {key}: count {e} + delta {d} is negative");
+            if total == 0 {
+                base.per_pair.remove(&key);
+            } else {
+                *e = total as u64;
+            }
+        }
+        let n = base.n_instances as i64 + self.n_instances;
+        assert!(n >= 0, "instance count went negative");
+        base.n_instances = n as u64;
+    }
+}
+
+impl From<&AnchorCounts> for CountDelta {
+    /// A pure-insertion delta (every count positive).
+    fn from(counts: &AnchorCounts) -> Self {
+        let mut d = CountDelta::default();
+        d.accumulate(counts, 1);
+        d
+    }
+}
+
+/// Enumerates, deduplicated by canonical instance, every instance of `p`
+/// in `g` whose image uses at least one of `seed_edges` — the shared core
+/// of both delta-rule directions. Each seed edge is pinned (both
+/// orientations) onto every pattern edge and the embedding is completed
+/// by the shared seeded backtracking engine, so the per-edge cost depends
+/// on the neighbourhood of the seed edge, not on graph size.
+pub fn edge_seeded_instances(
+    g: &Graph,
+    p: &PatternInfo,
+    seed_edges: &[(NodeId, NodeId)],
+) -> FxHashSet<Instance> {
+    let mut seen: FxHashSet<Instance> = FxHashSet::default();
+    for &(u, v) in &p.metagraph.edges() {
+        let order = pinned_order(p, u, v);
+        for &(a, b) in seed_edges {
+            for (x, y) in [(a, b), (b, a)] {
+                backtrack_embeddings_seeded(g, p, &order, &[x, y], None, &mut |assign| {
+                    seen.insert(Instance::canonical(assign, p));
+                    true
+                });
+            }
+        }
+    }
+    seen
+}
+
+/// Accumulates per-instance contributions exactly like `anchor_counts`
+/// does per visit (same shared helper: pairs and nodes deduplicated
+/// within an instance).
+fn counts_of_instances(instances: &FxHashSet<Instance>, p: &PatternInfo) -> AnchorCounts {
+    let mut counts = AnchorCounts {
+        n_instances: instances.len() as u64,
+        ..Default::default()
+    };
+    let mut pair_buf: Vec<u64> = Vec::with_capacity(p.anchor_pairs.len());
+    let mut node_buf: Vec<u32> = Vec::with_capacity(2 * p.anchor_pairs.len());
+    for inst in instances {
+        accumulate_contribution(
+            &inst.assignment,
+            p,
+            &mut pair_buf,
+            &mut node_buf,
+            &mut counts.per_node,
+            &mut counts.per_pair,
+        );
+    }
+    counts
+}
 
 /// Enumerates the instances of `p` created by inserting `new_edges` into
 /// `g` (`g` is the graph *after* the insertion) and returns their anchor
@@ -38,8 +187,7 @@ pub fn delta_anchor_counts(
     new_nodes: &[NodeId],
 ) -> AnchorCounts {
     let m = &p.metagraph;
-    let pattern_edges = m.edges();
-    if pattern_edges.is_empty() {
+    if m.edges().is_empty() {
         // No edges to anchor on: a (necessarily single-node) pattern gains
         // one instance per new node of its type. Larger edgeless patterns
         // do not occur in mined sets (mining emits connected patterns).
@@ -52,48 +200,72 @@ pub fn delta_anchor_counts(
         }
         return counts;
     }
-
-    // Collect each new instance once, keyed by canonical assignment. The
-    // anchored edge is *seeded* into the backtracking (no candidate
-    // generation for the pinned positions), so the per-edge cost depends
-    // on the neighbourhood of the new edge, not on graph size; a
-    // type-incompatible anchoring is rejected inside the seeded engine.
-    let mut seen: FxHashSet<Instance> = FxHashSet::default();
-    for &(u, v) in &pattern_edges {
-        let order = pinned_order(p, u, v);
-        for &(a, b) in new_edges {
-            for (x, y) in [(a, b), (b, a)] {
-                backtrack_embeddings_seeded(g, p, &order, &[x, y], None, &mut |assign| {
-                    seen.insert(Instance::canonical(assign, p));
-                    true
-                });
-            }
-        }
-    }
-
-    // Accumulate per-instance contributions exactly like `anchor_counts`
-    // does per visit (same shared helper: pairs and nodes deduplicated
-    // within an instance).
-    let mut counts = AnchorCounts {
-        n_instances: seen.len() as u64,
-        ..Default::default()
-    };
-    let mut pair_buf: Vec<u64> = Vec::with_capacity(p.anchor_pairs.len());
-    let mut node_buf: Vec<u32> = Vec::with_capacity(2 * p.anchor_pairs.len());
-    for inst in &seen {
-        accumulate_contribution(
-            &inst.assignment,
-            p,
-            &mut pair_buf,
-            &mut node_buf,
-            &mut counts.per_node,
-            &mut counts.per_pair,
-        );
-    }
-    counts
+    counts_of_instances(&edge_seeded_instances(g, p, new_edges), p)
 }
 
-/// Adds `delta` counts onto `base` in place (the merge step of an ingest).
+/// Enumerates the instances of `p` destroyed by removing `removed_edges`
+/// and returns their anchor counts (to be *subtracted* from the
+/// pre-removal counts).
+///
+/// `g_pre` is the graph **before** the removal — doomed instances exist
+/// only there, and the removed edges are still present in it, so the same
+/// seeded backtracking entry point the insertion side uses applies
+/// unchanged. Node removals are tombstone detaches (the id survives), so
+/// edgeless single-node patterns never lose instances.
+pub fn doomed_anchor_counts(
+    g_pre: &Graph,
+    p: &PatternInfo,
+    removed_edges: &[(NodeId, NodeId)],
+) -> AnchorCounts {
+    if p.metagraph.edges().is_empty() {
+        return AnchorCounts::default();
+    }
+    counts_of_instances(&edge_seeded_instances(g_pre, p, removed_edges), p)
+}
+
+/// The outcome of one symmetric delta-match ([`delta_count_changes`]):
+/// the net signed count changes plus the gross per-side instance tallies
+/// (which cancel inside [`MatchDelta::changes`] and would otherwise be
+/// lost — ingest reporting wants both).
+#[derive(Debug, Clone, Default)]
+pub struct MatchDelta {
+    /// Net signed count changes (new minus doomed).
+    pub changes: CountDelta,
+    /// Instances created by the inserted edges / nodes.
+    pub new_instances: u64,
+    /// Instances destroyed by the removed edges.
+    pub doomed_instances: u64,
+}
+
+/// The symmetric delta rule in one call: signed count changes for a mixed
+/// insert+delete batch. Doomed instances are enumerated against `g_pre`
+/// (seeded at `removed_edges`), new instances against `g_post` (seeded at
+/// `new_edges`); the two sides cancel where they overlap.
+///
+/// Applying [`MatchDelta::changes`] onto the pre-batch counts (via
+/// [`CountDelta::apply_to`]) equals a from-scratch rematch on `g_post`.
+pub fn delta_count_changes(
+    g_pre: &Graph,
+    g_post: &Graph,
+    p: &PatternInfo,
+    removed_edges: &[(NodeId, NodeId)],
+    new_edges: &[(NodeId, NodeId)],
+    new_nodes: &[NodeId],
+) -> MatchDelta {
+    let mut out = MatchDelta::default();
+    if !removed_edges.is_empty() {
+        let doomed = doomed_anchor_counts(g_pre, p, removed_edges);
+        out.doomed_instances = doomed.n_instances;
+        out.changes.accumulate(&doomed, -1);
+    }
+    let fresh = delta_anchor_counts(g_post, p, new_edges, new_nodes);
+    out.new_instances = fresh.n_instances;
+    out.changes.accumulate(&fresh, 1);
+    out
+}
+
+/// Adds `delta` counts onto `base` in place (the merge step of a pure
+/// insertion ingest; the signed equivalent is [`CountDelta::apply_to`]).
 pub fn merge_counts(base: &mut AnchorCounts, delta: &AnchorCounts) {
     for (&x, &c) in &delta.per_node {
         *base.per_node.entry(x).or_insert(0) += c;
@@ -183,13 +355,21 @@ mod tests {
         ]
     }
 
-    /// Delta counts added to old counts must equal a fresh full rematch.
+    /// Signed delta applied to old counts must equal a fresh full rematch
+    /// on the updated graph — the symmetric churn contract.
     fn assert_incremental_equals_rematch(g_old: &Graph, delta: &GraphDelta) {
         let ext = g_old.apply_delta(delta).unwrap();
         for p in patterns() {
             let mut old = anchor_counts(&SymIso::new(), g_old, &p);
-            let inc = delta_anchor_counts(&ext.graph, &p, &ext.new_edges, &ext.new_nodes);
-            merge_counts(&mut old, &inc);
+            let d = delta_count_changes(
+                g_old,
+                &ext.graph,
+                &p,
+                &ext.removed_edges,
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            d.changes.apply_to(&mut old);
             let full = anchor_counts(&SymIso::new(), &ext.graph, &p);
             assert_eq!(old, full, "pattern {}", p.metagraph.brief());
         }
@@ -227,6 +407,103 @@ mod tests {
     }
 
     #[test]
+    fn single_edge_removal() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // u0 (node 3) leaves major m1 (node 2): shared-major instances
+        // through u0 die, counts drop to a fresh rematch exactly.
+        d.remove_edge(NodeId(3), NodeId(2)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn multi_edge_removal_with_overlap() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // u0 and u2 both leave school s1: instances using both removed
+        // edges must be subtracted exactly once (canonical dedup).
+        d.remove_edge(NodeId(3), NodeId(0)).unwrap();
+        d.remove_edge(NodeId(5), NodeId(0)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn node_removal_dooms_all_incident_instances() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // u0 (node 3) is detached entirely (school + major edges).
+        d.remove_node(NodeId(3)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn mixed_insert_and_delete_batch() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // u5 joins m1 while u0 leaves s1 and a fresh user joins s2 — both
+        // delta-rule directions in one batch.
+        d.add_edge(NodeId(8), NodeId(2)).unwrap();
+        d.remove_edge(NodeId(3), NodeId(0)).unwrap();
+        let user = g.types().id("user").unwrap();
+        let nu = d.add_node(user, "u-new");
+        d.add_edge(nu, NodeId(1)).unwrap();
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn remove_then_reinsert_nets_to_zero_changes() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_edge(NodeId(3), NodeId(0)).unwrap();
+        d.add_edge(NodeId(3), NodeId(0)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        for p in patterns() {
+            let inc = delta_count_changes(
+                &g,
+                &ext.graph,
+                &p,
+                &ext.removed_edges,
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            assert!(inc.changes.is_empty(), "pattern {}", p.metagraph.brief());
+            assert_eq!((inc.new_instances, inc.doomed_instances), (0, 0));
+        }
+        assert_incremental_equals_rematch(&g, &d);
+    }
+
+    #[test]
+    fn removal_then_full_detach_leaves_no_zero_entries() {
+        // After removing every instance a node participates in, the node
+        // must vanish from the count maps entirely (not linger at zero).
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_node(NodeId(3)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        for p in patterns() {
+            let mut counts = anchor_counts(&SymIso::new(), &g, &p);
+            let inc = delta_count_changes(
+                &g,
+                &ext.graph,
+                &p,
+                &ext.removed_edges,
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            inc.changes.apply_to(&mut counts);
+            assert!(
+                counts.per_node.values().all(|&c| c > 0),
+                "zero node count leaked"
+            );
+            assert!(
+                counts.per_pair.values().all(|&c| c > 0),
+                "zero pair count leaked"
+            );
+            assert!(!counts.per_node.contains_key(&3));
+        }
+    }
+
+    #[test]
     fn no_new_instances_when_edge_is_irrelevant() {
         let g = campus();
         let school = g.types().id("school").unwrap();
@@ -255,6 +532,8 @@ mod tests {
         let p = PatternInfo::new(Metagraph::new(&[U]).unwrap(), U);
         let inc = delta_anchor_counts(&ext.graph, &p, &ext.new_edges, &ext.new_nodes);
         assert_eq!(inc.n_instances, 1);
+        // Tombstone node removals never subtract single-node instances.
+        assert_eq!(doomed_anchor_counts(&g, &p, &[]), AnchorCounts::default());
     }
 
     #[test]
@@ -263,6 +542,11 @@ mod tests {
         for p in patterns() {
             let inc = delta_anchor_counts(&g, &p, &[], &[]);
             assert_eq!(inc, AnchorCounts::default());
+            let doomed = doomed_anchor_counts(&g, &p, &[]);
+            assert_eq!(doomed, AnchorCounts::default());
+            assert!(delta_count_changes(&g, &g, &p, &[], &[], &[])
+                .changes
+                .is_empty());
         }
     }
 
@@ -282,5 +566,48 @@ mod tests {
         assert_eq!(a.node_count(NodeId(7)), 4);
         assert_eq!(a.pair_count(NodeId(1), NodeId(2)), 3);
         assert_eq!(a.n_instances, 5);
+    }
+
+    #[test]
+    fn count_delta_accumulate_and_apply() {
+        let mut add = AnchorCounts::default();
+        add.per_node.insert(1, 2);
+        add.per_pair.insert(pack_pair(NodeId(1), NodeId(2)), 1);
+        add.n_instances = 2;
+        let mut sub = AnchorCounts::default();
+        sub.per_node.insert(1, 2);
+        sub.per_node.insert(5, 1);
+        sub.per_pair.insert(pack_pair(NodeId(1), NodeId(5)), 1);
+        sub.n_instances = 1;
+
+        let mut d = CountDelta::from(&add);
+        d.accumulate(&sub, -1);
+        // Node 1 cancels exactly → dropped from the delta.
+        assert!(!d.per_node.contains_key(&1));
+        assert_eq!(d.per_node[&5], -1);
+        assert_eq!(d.n_instances, 1);
+
+        let mut base = AnchorCounts::default();
+        base.per_node.insert(5, 1);
+        base.per_pair.insert(pack_pair(NodeId(1), NodeId(5)), 1);
+        base.n_instances = 1;
+        d.apply_to(&mut base);
+        // Node 5 and pair (1,5) hit zero → removed, not kept at 0.
+        assert!(!base.per_node.contains_key(&5));
+        assert!(!base.per_pair.contains_key(&pack_pair(NodeId(1), NodeId(5))));
+        assert_eq!(base.pair_count(NodeId(1), NodeId(2)), 1);
+        assert_eq!(base.n_instances, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn apply_to_panics_on_underflow() {
+        let mut sub = AnchorCounts::default();
+        sub.per_node.insert(9, 3);
+        let mut d = CountDelta::default();
+        d.accumulate(&sub, -1);
+        let mut base = AnchorCounts::default();
+        base.per_node.insert(9, 1);
+        d.apply_to(&mut base);
     }
 }

@@ -23,10 +23,12 @@
 //!   embeddings into instances and exact instance counting for any matcher,
 //! * [`anchor`]: accumulation of the anchor-pair co-occurrence counts that
 //!   become the metagraph vectors `m_x`, `m_xy` (Eq. 1–2),
-//! * [`delta`]: delta-rule incremental matching — after an edge batch is
-//!   inserted, enumerate only the *new* instances by pinning each new edge
-//!   at every compatible pattern edge, and emit [`AnchorCounts`]
-//!   increments for the index layer,
+//! * [`delta`]: delta-rule incremental matching — after a churn batch
+//!   (edge insertions *and* removals), enumerate only the *new* instances
+//!   (each inserted edge pinned at every compatible pattern edge, over the
+//!   updated graph) and the *doomed* instances (each removed edge pinned
+//!   the same way, over the pre-delete graph), and emit signed
+//!   [`CountDelta`] increments for the index layer,
 //! * [`parallel`]: fan a metagraph set across threads with crossbeam.
 //!
 //! ## Embeddings vs instances
@@ -53,7 +55,10 @@ pub mod turbo;
 pub mod vf2;
 
 pub use anchor::AnchorCounts;
-pub use delta::{delta_anchor_counts, merge_counts};
+pub use delta::{
+    delta_anchor_counts, delta_count_changes, doomed_anchor_counts, edge_seeded_instances,
+    merge_counts, CountDelta, MatchDelta,
+};
 pub use instance::{collect_instances, count_embeddings, count_instances, Instance};
 pub use pattern::PatternInfo;
 pub use quicksi::QuickSi;

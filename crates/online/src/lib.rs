@@ -23,11 +23,14 @@
 //! * **Bounded LRU caching** — hot `(class, query, k)` results are served
 //!   from an O(1) intrusive-list LRU ([`cache`]) behind `Arc`s, so hits
 //!   copy nothing.
-//! * **Live delta updates** — [`server::QueryServer::apply_delta`] follows
-//!   an `mgp_index::IndexTouch`: only touched dot products are recomputed,
-//!   only affected posting entries are patched in place, and cache entries
-//!   are generation-stamped per anchor so a delta invalidates exactly the
-//!   queries whose result sets changed (lazily, no cache scan).
+//! * **Live delta updates, insertions and deletions alike** —
+//!   [`server::QueryServer::apply_delta`] follows an
+//!   `mgp_index::IndexTouch`: only touched dot products are recomputed,
+//!   only affected posting entries are patched in place (dead entries,
+//!   dots and whole postings are *removed*, so churn never leaves
+//!   tombstoned empties), and cache entries are generation-stamped per
+//!   anchor so a delta invalidates exactly the queries whose result sets
+//!   changed (lazily, no cache scan).
 //! * **Latency accounting** — per-batch wall time lands in a log-bucketed
 //!   [`histogram::LatencyHistogram`] (re-exported by `mgp_core::timings`),
 //!   giving p50/p95/p99 over the serving lifetime.
@@ -49,4 +52,4 @@ pub mod server;
 
 pub use cache::LruCache;
 pub use histogram::{LatencyHistogram, LatencySnapshot};
-pub use server::{DeltaStats, QueryServer, RankedList, ServeConfig, ServerStats};
+pub use server::{DeltaStats, QueryServer, RankedList, ServeConfig, ServerStats, TableStats};

@@ -160,50 +160,71 @@ impl ClassServing {
         self.generations.get(&q).copied().unwrap_or(0)
     }
 
-    /// Applies an index delta: re-dots the touched nodes/pairs, rebuilds
-    /// the postings of anchors whose own `m_q · w` changed, and patches
-    /// the individual entries those changes leak into (a changed node dot
-    /// alters the denominator of every posting entry *pointing at* that
-    /// node; a changed pair dot alters the two entries of that pair).
+    /// Applies an index delta: re-dots the touched nodes/pairs (dropping
+    /// dots of entries the delta erased), rebuilds the postings of anchors
+    /// whose own `m_q · w` changed (dropping postings of anchors with no
+    /// partners left), and patches the individual entries those changes
+    /// leak into (a changed node dot alters the denominator of every
+    /// posting entry *pointing at* that node; a changed pair dot alters
+    /// the two entries of that pair; a *dead* pair removes them).
+    ///
+    /// `index` is the class's vector index *after*
+    /// `VectorIndex::apply_delta`, so "erased" is visible as an empty
+    /// vector / missing partner there — churn that nets to nothing leaves
+    /// the tables bit-identical to a fresh registration, with no
+    /// tombstoned empties.
     fn apply_delta(&mut self, index: &VectorIndex, touch: &IndexTouch, stats: &mut DeltaStats) {
-        // Phase 1: refresh the dot tables for exactly the touched set.
+        // Phase 1: refresh the dot tables for exactly the touched set;
+        // vanished nodes/pairs leave the tables instead of staying at 0.
         let redot: FxHashSet<u32> = touch.nodes.iter().copied().collect();
         for &x in &touch.nodes {
-            self.node_dots
-                .insert(x, mgp_index::dot(index.node_vec(NodeId(x)), &self.weights));
+            let vec = index.node_vec(NodeId(x));
+            if vec.is_empty() {
+                self.node_dots.remove(&x);
+            } else {
+                self.node_dots.insert(x, mgp_index::dot(vec, &self.weights));
+            }
         }
         stats.redotted_nodes += touch.nodes.len();
         for &key in &touch.pairs {
             let (x, y) = mgp_graph::ids::unpack_pair(key);
-            self.pair_dots
-                .insert(key, mgp_index::dot(index.pair_vec(x, y), &self.weights));
+            let vec = index.pair_vec(x, y);
+            if vec.is_empty() {
+                self.pair_dots.remove(&key);
+            } else {
+                self.pair_dots
+                    .insert(key, mgp_index::dot(vec, &self.weights));
+            }
         }
         stats.redotted_pairs += touch.pairs.len();
 
         // Phase 2: rebuild whole postings for anchors with a changed node
-        // dot (every entry's denominator moved, and new partners may have
-        // appeared).
+        // dot (every entry's denominator moved, and partners may have
+        // appeared or vanished). An anchor with no partners left loses
+        // its posting list entirely.
         let mut changed: FxHashSet<u32> = FxHashSet::default();
+        let n_shards = self.shards.len();
         for &x in &touch.nodes {
-            let posting = posting_for(
-                NodeId(x),
-                index.partners(NodeId(x)),
-                &self.node_dots,
-                &self.pair_dots,
-            );
-            let n_shards = self.shards.len();
-            self.shards[x as usize % n_shards]
-                .postings
-                .insert(x, posting);
+            let partners = index.partners(NodeId(x));
+            let postings = &mut self.shards[x as usize % n_shards].postings;
+            if partners.is_empty() {
+                if postings.remove(&x).is_some() {
+                    stats.dropped_postings += 1;
+                }
+            } else {
+                let posting = posting_for(NodeId(x), partners, &self.node_dots, &self.pair_dots);
+                postings.insert(x, posting);
+                stats.rebuilt_postings += 1;
+            }
             changed.insert(x);
-            stats.rebuilt_postings += 1;
         }
 
         // Phase 3: patch single entries. (a) For each anchor x with a
-        // changed dot, every partner v of x holds an entry (v → x) whose
-        // denominator moved. (b) A touched pair {x, y} where neither dot
-        // changed (defensive: deltas normally touch both endpoints' node
-        // counts too) needs its two entries rescored.
+        // changed dot, every surviving partner v of x holds an entry
+        // (v → x) whose denominator moved. (b) A touched pair {x, y}
+        // where neither dot changed (defensive: deltas normally touch
+        // both endpoints' node counts too) needs its two entries rescored
+        // — or removed, when the pair died.
         for &x in &touch.nodes {
             // Clone the partner list view cheaply: it lives in the index.
             for &v in index.partners(NodeId(x)) {
@@ -215,12 +236,17 @@ impl ClassServing {
             }
         }
         for &key in &touch.pairs {
+            let alive = self.pair_dots.contains_key(&key);
             let (x, y) = mgp_graph::ids::unpack_pair(key);
             for (q, v) in [(x.0, y.0), (y.0, x.0)] {
                 if redot.contains(&q) {
                     continue;
                 }
-                self.patch_entry(q, v, stats);
+                if alive {
+                    self.patch_entry(q, v, stats);
+                } else {
+                    self.remove_entry(q, v, stats);
+                }
                 changed.insert(q);
             }
         }
@@ -247,6 +273,24 @@ impl ClassServing {
             Err(pos) => posting.insert(pos, (v, score)),
         }
         stats.patched_entries += 1;
+    }
+
+    /// Removes the dead entry for candidate `v` from anchor `q`'s posting
+    /// list, dropping the posting entirely when it empties.
+    fn remove_entry(&mut self, q: u32, v: u32, stats: &mut DeltaStats) {
+        let n_shards = self.shards.len();
+        let postings = &mut self.shards[q as usize % n_shards].postings;
+        let Some(posting) = postings.get_mut(&q) else {
+            return;
+        };
+        if let Ok(pos) = posting.binary_search_by_key(&v, |&(u, _)| u) {
+            posting.remove(pos);
+            stats.removed_entries += 1;
+        }
+        if posting.is_empty() {
+            postings.remove(&q);
+            stats.dropped_postings += 1;
+        }
     }
 
     /// Ranks one query into `out` using `scratch`, replicating
@@ -325,8 +369,27 @@ pub struct DeltaStats {
     pub rebuilt_postings: usize,
     /// Individual posting entries rescored or inserted.
     pub patched_entries: usize,
+    /// Individual posting entries removed (dead pairs).
+    pub removed_entries: usize,
+    /// Whole posting lists dropped (anchors left with no partners).
+    pub dropped_postings: usize,
     /// Anchors whose cached results were invalidated (generation bumped).
     pub invalidated_anchors: usize,
+}
+
+/// Sizes of one class's precomputed serving tables — observability for
+/// capacity planning, and the churn-soak tests' leak detector (a delta
+/// sequence that nets to nothing must restore these exactly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Posting lists across all shards (one per anchor with partners).
+    pub n_postings: usize,
+    /// Total posting entries across all lists.
+    pub n_posting_entries: usize,
+    /// Entries in the `m_x · w` node-dot table.
+    pub n_node_dots: usize,
+    /// Entries in the `m_xy · w` pair-dot table.
+    pub n_pair_dots: usize,
 }
 
 /// Cache hit/miss counters and latency summary.
@@ -592,6 +655,33 @@ impl QueryServer {
         stats
     }
 
+    /// The invalidation generation of an anchor in a class (0 until a
+    /// delta changes the anchor's result set). Cached results are stamped
+    /// with this at fill time; a stamp behind the current generation is
+    /// stale. Exposed so tests and operators can verify that a delta
+    /// invalidated exactly the anchors it should have.
+    pub fn anchor_generation(&self, class_id: usize, q: NodeId) -> u64 {
+        self.class(class_id).generation(q.0)
+    }
+
+    /// Sizes of a class's serving tables (postings, dot tables). A churn
+    /// sequence that nets to nothing restores these exactly — no leaked
+    /// empty entries. Panics on an unknown class id.
+    pub fn table_stats(&self, class_id: usize) -> TableStats {
+        let class = self.class(class_id);
+        TableStats {
+            n_postings: class.shards.iter().map(|s| s.postings.len()).sum(),
+            n_posting_entries: class
+                .shards
+                .iter()
+                .flat_map(|s| s.postings.values())
+                .map(Vec::len)
+                .sum(),
+            n_node_dots: class.node_dots.len(),
+            n_pair_dots: class.pair_dots.len(),
+        }
+    }
+
     /// Cache and latency counters accumulated since construction.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
@@ -794,8 +884,8 @@ mod tests {
     }
 
     fn count_delta(
-        node: &[(u32, u64)],
-        pairs: &[((u32, u32), u64)],
+        node: &[(u32, i64)],
+        pairs: &[((u32, u32), i64)],
         coord: usize,
         n: usize,
     ) -> mgp_index::IndexDelta {
@@ -904,6 +994,113 @@ mod tests {
         let (mut srv, idx, _) = server(4);
         let touch = mgp_index::IndexTouch::default();
         let _ = srv.apply_delta(9, &idx, &touch);
+    }
+
+    #[test]
+    fn deletion_patch_matches_full_reregistration() {
+        let (mut srv, mut idx, w) = server(16);
+        // Kill pair (1,3) on coordinate 0 (its only coordinate): its
+        // entries must vanish from both endpoints' postings.
+        let stats = apply_and_check(
+            &mut srv,
+            &mut idx,
+            &w,
+            count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2),
+        );
+        assert_eq!(stats.redotted_nodes, 2);
+        assert_eq!(stats.redotted_pairs, 1);
+        // 1 and 3 remain partners through M1's pair (1,3)? No — the
+        // sample index pairs are (1,2),(1,3) on M0 and (2,3),(1,2) on M1;
+        // killing (1,3) on M0 removes the pair entirely.
+        assert!(!srv
+            .rank(0, NodeId(1), 5)
+            .iter()
+            .any(|&(v, _)| v == NodeId(3)));
+        assert!(!srv
+            .rank(0, NodeId(3), 5)
+            .iter()
+            .any(|&(v, _)| v == NodeId(1)));
+    }
+
+    #[test]
+    fn deletion_that_empties_an_anchor_drops_its_posting() {
+        let (mut srv, mut idx, w) = server(16);
+        let before = srv.table_stats(0);
+        // Remove every contribution node 3 has: pair (1,3) on M0 and
+        // pair (2,3) on M1, with the matching node decrements.
+        let mut d = count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2);
+        let d2 = count_delta(&[(2, -2), (3, -2)], &[((2, 3), -2)], 1, 2);
+        d.counts[1] = d2.counts[1].clone();
+        apply_and_check(&mut srv, &mut idx, &w, d);
+        // Node 3 is unrankable and holds no serving state at all.
+        assert!(srv.rank(0, NodeId(3), 5).is_empty());
+        let after = srv.table_stats(0);
+        assert_eq!(after.n_postings, before.n_postings - 1);
+        assert_eq!(after.n_pair_dots, before.n_pair_dots - 2);
+        assert_eq!(after.n_node_dots, before.n_node_dots - 1);
+    }
+
+    #[test]
+    fn churn_roundtrip_restores_tables_exactly() {
+        let (mut srv, mut idx, w) = server(16);
+        let before = srv.table_stats(0);
+        // Forward: kill pair (1,3), add brand-new pair (4,5).
+        let mut fwd = count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2);
+        fwd.counts[1] = count_delta(&[(4, 3), (5, 3)], &[((4, 5), 3)], 1, 2).counts[1].clone();
+        apply_and_check(&mut srv, &mut idx, &w, fwd);
+        assert_ne!(srv.table_stats(0), before);
+        // Backward: exact inverse.
+        let mut bwd = count_delta(&[(1, 1), (3, 1)], &[((1, 3), 1)], 0, 2);
+        bwd.counts[1] = count_delta(&[(4, -3), (5, -3)], &[((4, 5), -3)], 1, 2).counts[1].clone();
+        apply_and_check(&mut srv, &mut idx, &w, bwd);
+        // Tables restored exactly: same posting/dot footprint, no leaked
+        // empties from the churn.
+        assert_eq!(srv.table_stats(0), before);
+        assert!(srv.rank(0, NodeId(4), 5).is_empty());
+    }
+
+    /// Satellite: a query whose result set is unchanged by a delta keeps
+    /// serving from cache — its generation stamp is untouched — for both
+    /// an insertion-only and a deletion-only delta.
+    #[test]
+    fn unchanged_result_set_still_serves_from_cache() {
+        let (mut srv, mut idx, _) = server(32);
+        for q in 1..4u32 {
+            let _ = srv.rank(0, NodeId(q), 2);
+        }
+        let gens: Vec<u64> = (1..4)
+            .map(|q| srv.anchor_generation(0, NodeId(q)))
+            .collect();
+
+        // Insertion far away: brand-new pair (8,9) on coordinate 0.
+        let touch = idx.apply_delta(&count_delta(&[(8, 1), (9, 1)], &[((8, 9), 1)], 0, 2));
+        srv.apply_delta(0, &idx, &touch);
+        for (i, q) in (1..4u32).enumerate() {
+            assert_eq!(srv.anchor_generation(0, NodeId(q)), gens[i], "insert");
+        }
+        let s0 = srv.stats();
+        for q in 1..4u32 {
+            let _ = srv.rank(0, NodeId(q), 2);
+        }
+        assert_eq!(srv.stats().cache_hits, s0.cache_hits + 3);
+        assert_eq!(srv.stats().cache_misses, s0.cache_misses);
+
+        // Deletion of the same far-away pair: still nobody's result set
+        // in 1..4 changed — still all cache hits, stamps untouched.
+        let touch = idx.apply_delta(&count_delta(&[(8, -1), (9, -1)], &[((8, 9), -1)], 0, 2));
+        srv.apply_delta(0, &idx, &touch);
+        for (i, q) in (1..4u32).enumerate() {
+            assert_eq!(srv.anchor_generation(0, NodeId(q)), gens[i], "delete");
+        }
+        let s1 = srv.stats();
+        for q in 1..4u32 {
+            let _ = srv.rank(0, NodeId(q), 2);
+        }
+        assert_eq!(srv.stats().cache_hits, s1.cache_hits + 3);
+        assert_eq!(srv.stats().cache_misses, s1.cache_misses);
+        // ...while the churned anchors 8/9 were invalidated and emptied.
+        assert!(srv.rank(0, NodeId(8), 2).is_empty());
+        assert!(srv.anchor_generation(0, NodeId(8)) > 0);
     }
 
     #[test]

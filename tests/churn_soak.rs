@@ -1,0 +1,225 @@
+//! Churn soak: a sequence of deltas that *nets to the original graph*
+//! must restore every derived structure **exactly** — matcher count
+//! caches, the model's vector index (vectors, pairs, partners), and the
+//! `QueryServer` tables (postings, dot tables) — with no leaked empty
+//! entries anywhere. This is the strongest form of the deletion
+//! contract: insertions and deletions are exact inverses through the
+//! whole graph → matching → index → serving chain.
+
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::delta::GraphDelta;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::index::VectorIndex;
+use semantic_proximity::learning::{mgp, TrainConfig, TrainingExample};
+use semantic_proximity::matching::AnchorCounts;
+use semantic_proximity::metagraph::Metagraph;
+use semantic_proximity::online::ServeConfig;
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+fn base_graph() -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let users: Vec<NodeId> = (0..10).map(|i| g.add_node(user, format!("u{i}"))).collect();
+    let attrs_a: Vec<NodeId> = (0..4).map(|i| g.add_node(ta, format!("a{i}"))).collect();
+    let attrs_b: Vec<NodeId> = (0..3).map(|i| g.add_node(tb, format!("b{i}"))).collect();
+    for (i, &u) in users.iter().enumerate() {
+        g.add_edge(u, attrs_a[i % attrs_a.len()]).unwrap();
+        g.add_edge(u, attrs_b[i % attrs_b.len()]).unwrap();
+        if i % 2 == 0 {
+            g.add_edge(u, attrs_a[(i + 1) % attrs_a.len()]).unwrap();
+        }
+        if i > 0 {
+            g.add_edge(u, users[i - 1]).unwrap();
+        }
+    }
+    g.build()
+}
+
+fn catalogue() -> Vec<Metagraph> {
+    vec![
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, B, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+    ]
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(USER, 1);
+    cfg.train = TrainConfig::fast(5);
+    cfg.strategy = TrainingStrategy::Full;
+    cfg.threads = 1;
+    cfg
+}
+
+fn examples() -> Vec<TrainingExample> {
+    (0..8)
+        .map(|i| TrainingExample {
+            q: NodeId(i),
+            x: NodeId((i + 1) % 10),
+            y: NodeId((i + 2) % 10),
+        })
+        .collect()
+}
+
+/// Exact structural equality of two vector indexes: same vectors, same
+/// pairs, same partner lists — in both directions, so neither side may
+/// hold extra (even empty) entries.
+fn assert_index_identical(got: &VectorIndex, want: &VectorIndex) {
+    assert_eq!(got.n_metagraphs(), want.n_metagraphs());
+    assert_eq!(got.n_nodes(), want.n_nodes(), "node-vector table size");
+    assert_eq!(got.n_pairs(), want.n_pairs(), "pair-vector table size");
+    assert_eq!(
+        got.iter_partners().count(),
+        want.iter_partners().count(),
+        "partner table size"
+    );
+    for (x, v) in want.iter_nodes() {
+        assert_eq!(got.node_vec(x), v, "m_{x} diverged");
+    }
+    for (key, v) in want.iter_pairs() {
+        let (x, y) = semantic_proximity::graph::ids::unpack_pair(key);
+        assert_eq!(got.pair_vec(x, y), v, "m_{x},{y} diverged");
+    }
+    for (x, l) in want.iter_partners() {
+        assert_eq!(got.partners(x), l, "partners of {x} diverged");
+    }
+    // No leaked empties on the churned side.
+    assert!(got.iter_nodes().all(|(_, v)| !v.is_empty()));
+    assert!(got.iter_pairs().all(|(_, v)| !v.is_empty()));
+    assert!(got.iter_partners().all(|(_, l)| !l.is_empty()));
+}
+
+#[test]
+fn churn_that_nets_to_zero_restores_everything_exactly() {
+    let g0 = base_graph();
+    let mut engine = SearchEngine::with_metagraphs(g0.clone(), catalogue(), pipeline_cfg());
+    engine.train_class("c", &examples());
+    let (coords, weights) = {
+        let m = engine.model("c").unwrap();
+        (m.coords.clone(), m.weights.clone())
+    };
+    let mut server = engine.serve_with(ServeConfig {
+        workers: 2,
+        shards: 3,
+        cache_capacity: 64,
+    });
+    let cid = server.class_id("c").unwrap();
+
+    // Baselines to restore.
+    let counts0: Vec<AnchorCounts> = coords
+        .iter()
+        .map(|&i| engine.counts(i).unwrap().clone())
+        .collect();
+    let index0 = engine.model("c").unwrap().index.clone();
+    let tables0 = server.table_stats(cid);
+
+    // Delta 1: remove a third of the existing edges.
+    let edges: Vec<(NodeId, NodeId)> = g0.edges().collect();
+    let removed: Vec<(NodeId, NodeId)> = edges.iter().step_by(3).copied().collect();
+    let mut d1 = GraphDelta::for_graph(engine.graph());
+    for &(a, b) in &removed {
+        d1.remove_edge(a, b).unwrap();
+    }
+    let r1 = engine.ingest_serving(&d1, &mut server).unwrap();
+    assert_eq!(r1.removed_edges, removed.len());
+    assert!(r1.doomed_instances > 0);
+
+    // Delta 2: re-add them.
+    let mut d2 = GraphDelta::for_graph(engine.graph());
+    for &(a, b) in &removed {
+        d2.add_edge(a, b).unwrap();
+    }
+    engine.ingest_serving(&d2, &mut server).unwrap();
+
+    // Delta 3: a fresh user with edges, plus brand-new edges among
+    // existing nodes.
+    let g_now = engine.graph().clone();
+    let non_edges: Vec<(NodeId, NodeId)> = {
+        let users: Vec<NodeId> = g_now.nodes_of_type(USER).to_vec();
+        let mut found = Vec::new();
+        'outer: for &u in &users {
+            for &v in &users {
+                if u < v && !g_now.has_edge(u, v) {
+                    found.push((u, v));
+                    if found.len() == 3 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        found
+    };
+    let mut d3 = GraphDelta::for_graph(&g_now);
+    let fresh = d3.add_node(USER, "fresh");
+    d3.add_edge(fresh, NodeId(10)).unwrap(); // first `a` attribute
+    d3.add_edge(fresh, NodeId(0)).unwrap();
+    for &(a, b) in &non_edges {
+        d3.add_edge(a, b).unwrap();
+    }
+    engine.ingest_serving(&d3, &mut server).unwrap();
+
+    // Delta 4: undo delta 3 — detach the fresh node, drop the new edges.
+    let mut d4 = GraphDelta::for_graph(engine.graph());
+    d4.remove_node(fresh).unwrap();
+    for &(a, b) in &non_edges {
+        d4.remove_edge(a, b).unwrap();
+    }
+    engine.ingest_serving(&d4, &mut server).unwrap();
+
+    // Delta 5 + 6: tombstone-detach a busy user, then re-wire it.
+    let busy = NodeId(5);
+    let former: Vec<NodeId> = engine.graph().neighbors(busy).to_vec();
+    let mut d5 = GraphDelta::for_graph(engine.graph());
+    d5.remove_node(busy).unwrap();
+    let r5 = engine.ingest_serving(&d5, &mut server).unwrap();
+    assert_eq!(r5.removed_edges, former.len());
+    let mut d6 = GraphDelta::for_graph(engine.graph());
+    for &u in &former {
+        d6.add_edge(busy, u).unwrap();
+    }
+    engine.ingest_serving(&d6, &mut server).unwrap();
+
+    // --- everything must be exactly restored -------------------------
+
+    // Graph: every original adjacency list (the fresh node survives as a
+    // degree-0 tombstone; ids are never reused).
+    assert_eq!(engine.graph().n_edges(), g0.n_edges());
+    for v in g0.nodes() {
+        assert_eq!(engine.graph().neighbors(v), g0.neighbors(v));
+    }
+    assert_eq!(engine.graph().degree(fresh), 0);
+
+    // Matcher count caches: exact map equality — no zero-count leftovers.
+    for (j, &i) in coords.iter().enumerate() {
+        assert_eq!(engine.counts(i).unwrap(), &counts0[j], "counts of {i}");
+        assert!(engine.counts(i).unwrap().per_node.values().all(|&c| c > 0));
+        assert!(engine.counts(i).unwrap().per_pair.values().all(|&c| c > 0));
+    }
+
+    // Vector index: structurally identical, no empties.
+    assert_index_identical(&engine.model("c").unwrap().index, &index0);
+
+    // QueryServer tables: same footprint as before the churn, and the
+    // same as a freshly registered server.
+    assert_eq!(server.table_stats(cid), tables0);
+    let fresh_server = engine.serve_with(ServeConfig {
+        workers: 2,
+        shards: 3,
+        cache_capacity: 0,
+    });
+    assert_eq!(fresh_server.table_stats(cid), tables0);
+
+    // Rankings: bit-identical to the pre-churn index for every node.
+    for q in 0..engine.graph().n_nodes() as u32 {
+        let q = NodeId(q);
+        let want = mgp::rank_with_scores(&index0, q, &weights, 10);
+        assert_eq!(engine.search("c", q, 10), want, "engine q={q}");
+        assert_eq!(*server.rank(cid, q, 10), want, "server q={q}");
+    }
+}

@@ -1,12 +1,13 @@
-//! Incremental-equivalence property: for arbitrary edge-insertion
-//! sequences, `SearchEngine::ingest` + `QueryServer::apply_delta` must
-//! produce rankings **bit-identical** to a from-scratch rematch + rebuild
-//! of the updated graph with the same trained weights — the same
-//! equivalence bar PR 1 set for serving-time precomputation.
+//! Incremental-equivalence property: for arbitrary churn sequences —
+//! edge insertions *and* removals, node additions *and* tombstone
+//! detaches, interleaved — `SearchEngine::ingest` +
+//! `QueryServer::apply_delta` must produce rankings **bit-identical** to
+//! a from-scratch rematch + rebuild of the updated graph with the same
+//! trained weights — the same equivalence bar PR 1 set for serving-time
+//! precomputation.
 //!
 //! Each case draws a random typed base graph, trains one class over a
-//! fixed pattern catalogue, then streams several random insertion batches
-//! (edges among existing nodes plus occasional new nodes with edges)
+//! fixed pattern catalogue, then streams several random churn batches
 //! through the delta pipeline. After every batch, every anchor's top-k is
 //! compared against the rebuilt reference — engine search path and cached
 //! batched server path both.
@@ -167,6 +168,101 @@ proptest! {
             }
             // Batched path over every anchor agrees too (and exercises
             // the generation-stamped cache after invalidation).
+            let all: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+            let ranked = server.rank_batch(cid, &all, 5);
+            for (q, got) in all.iter().zip(&ranked) {
+                let want = mgp::rank_with_scores(&fresh_idx, *q, &weights, 5);
+                prop_assert_eq!(&**got, &want, "batched server diverged at q={}", q);
+            }
+        }
+    }
+
+    /// The tentpole property: random *interleaved* insert/delete
+    /// sequences stay bit-identical to a full rematch + rebuild. Each op
+    /// is decoded from `(x, y, kind)`: insert an edge among existing
+    /// nodes, insert an edge through a fresh node, remove an existing
+    /// edge, or tombstone-detach a node.
+    #[test]
+    fn interleaved_insert_delete_equivalence(
+        n_users in 6usize..12,
+        n_a in 2usize..5,
+        n_b in 2usize..5,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 15..40),
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 1..6),
+            1..4,
+        ),
+    ) {
+        let g = base_graph(n_users, n_a, n_b, &base_edges);
+        let mut engine = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+        engine.train_class("c", &examples(n_users));
+        let (coords, weights) = {
+            let m = engine.model("c").unwrap();
+            (m.coords.clone(), m.weights.clone())
+        };
+        let mut server = engine.serve_with(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 64,
+        });
+        let cid = server.class_id("c").unwrap();
+
+        for batch in batches {
+            let g_now = engine.graph().clone();
+            let edges_now: Vec<(NodeId, NodeId)> = g_now.edges().collect();
+            let mut delta = GraphDelta::for_graph(&g_now);
+            let mut n_now = g_now.n_nodes();
+            for (x, y, kind) in batch {
+                match kind {
+                    // Insert an edge among existing nodes.
+                    0 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let b = NodeId((y % n_now) as u32);
+                        if a != b {
+                            delta.add_edge(a, b).unwrap();
+                        }
+                    }
+                    // Insert an edge through a freshly added node.
+                    1 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let ty = [USER, A, B][y % 3];
+                        n_now += 1;
+                        let b = delta.add_node(ty, format!("fresh{n_now}"));
+                        delta.add_edge(a, b).unwrap();
+                    }
+                    // Remove an existing edge (possibly already removed
+                    // in this batch — duplicates are tolerated).
+                    2 if !edges_now.is_empty() => {
+                        let (a, b) = edges_now[x % edges_now.len()];
+                        delta.remove_edge(a, b).unwrap();
+                    }
+                    // Tombstone-detach a base node.
+                    3 => {
+                        delta.remove_node(NodeId((x % g_now.n_nodes()) as u32)).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            engine.ingest_serving(&delta, &mut server).unwrap();
+
+            // Reference: full rematch + rebuild, same weights.
+            let fresh_idx = rebuilt_index(&engine, &coords);
+            let n_nodes = engine.graph().n_nodes() as u32;
+            for q in 0..n_nodes {
+                let q = NodeId(q);
+                for k in [3usize, 10] {
+                    let want = mgp::rank_with_scores(&fresh_idx, q, &weights, k);
+                    prop_assert_eq!(
+                        &engine.search("c", q, k), &want,
+                        "engine diverged at q={} k={}", q, k
+                    );
+                    prop_assert_eq!(
+                        &*server.rank(cid, q, k), &want,
+                        "server diverged at q={} k={}", q, k
+                    );
+                }
+            }
+            // Batched path over every anchor agrees too.
             let all: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
             let ranked = server.rank_batch(cid, &all, 5);
             for (q, got) in all.iter().zip(&ranked) {
