@@ -75,7 +75,7 @@ fn full_reregistration(engine: &SearchEngine, coords: &[usize], weights: &[f64])
 fn run_phase(
     label: &str,
     engine: &mut SearchEngine,
-    server: &mut QueryServer,
+    server: &QueryServer,
     cid: usize,
     coords: &[usize],
     weights: &[f64],
@@ -87,6 +87,7 @@ fn run_phase(
     let mut delta_total = Duration::ZERO;
     let mut timed = 0u32;
     let mut instances = 0u64;
+    let mut patch_work = mgp_online::DeltaStats::default();
     for (i, &(u, a)) in pairs.iter().enumerate() {
         let mut delta = GraphDelta::for_graph(engine.graph());
         build_delta(&mut delta, u, a);
@@ -97,6 +98,9 @@ fn run_phase(
             delta_total += dt;
             timed += 1;
             instances += instances_of(&report);
+            for &(_, stats) in &report.serving {
+                patch_work += stats;
+            }
         }
     }
     let delta_mean = delta_total / timed.max(1);
@@ -116,6 +120,7 @@ fn run_phase(
         "delta apply ({label:>10}) : {delta_mean:>12.2?} mean over {timed} ingests \
          ({instances} instances changed total)"
     );
+    println!("serving patch work        : {patch_work}");
     println!("full re-registration      : {full_mean:>12.2?} mean over {FULL_REPS} rebuilds");
     println!("{label:<10} speedup        : {speedup:>12.1}x (acceptance bar: 5x)");
 
@@ -150,7 +155,7 @@ fn main() {
         let m = engine.model("family").unwrap();
         (m.coords.clone(), m.weights.clone())
     };
-    let mut server = engine.serve();
+    let server = engine.serve();
     let cid = server.class_id("family").unwrap();
     println!(
         "--- incremental updates (facebook-scale: {} nodes, {} edges, {} patterns) ---",
@@ -184,7 +189,7 @@ fn main() {
     run_phase(
         "insert",
         &mut engine,
-        &mut server,
+        &server,
         cid,
         &coords,
         &weights,
@@ -197,7 +202,7 @@ fn main() {
     run_phase(
         "delete",
         &mut engine,
-        &mut server,
+        &server,
         cid,
         &coords,
         &weights,

@@ -218,7 +218,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Length specifications accepted by [`vec`].
+        /// Length specifications accepted by [`vec`](fn@vec).
         pub trait SizeRange {
             /// Draws a concrete length.
             fn pick(&self, rng: &mut TestRng) -> usize;

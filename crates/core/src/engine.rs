@@ -9,7 +9,8 @@ use mgp_matching::parallel::match_all_timed;
 use mgp_matching::{delta_count_changes, AnchorCounts, CountDelta, PatternInfo, SymIso};
 use mgp_metagraph::Metagraph;
 use mgp_mining::{mine, MinerConfig};
-use mgp_online::{QueryServer, ServeConfig};
+use mgp_online::{DeltaStats, QueryServer, ServeConfig, ServerHandle};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How training budgets metagraph matching.
@@ -109,6 +110,10 @@ pub struct IngestReport {
     pub doomed_instances: u64,
     /// Per trained class: the touched nodes/pairs of its restricted index.
     pub per_class: Vec<(String, IndexTouch)>,
+    /// Per served class (filled by [`SearchEngine::ingest_serving`] only):
+    /// the serving-table patch work, including per-shard epoch-swap
+    /// accounting.
+    pub serving: Vec<(String, DeltaStats)>,
 }
 
 /// The semantic proximity search engine (Fig. 3).
@@ -413,6 +418,21 @@ impl SearchEngine {
         server
     }
 
+    /// [`SearchEngine::serve`] wrapped in a [`ServerHandle`]
+    /// (`Arc<QueryServer>`): clone the handle into every serving thread
+    /// while one writer thread keeps streaming deltas through
+    /// [`SearchEngine::ingest_serving`] — ranking and delta application
+    /// are both `&self`, so neither side ever waits for the other beyond
+    /// a per-shard pointer swap.
+    pub fn serve_shared(&self) -> ServerHandle {
+        Arc::new(self.serve())
+    }
+
+    /// [`SearchEngine::serve_with`] wrapped in a [`ServerHandle`].
+    pub fn serve_shared_with(&self, cfg: ServeConfig) -> ServerHandle {
+        Arc::new(self.serve_with(cfg))
+    }
+
     /// Ingests a graph churn delta — insertions *and* removals, mixed in
     /// one batch — through the whole offline chain without any
     /// from-scratch work: the CSR is spliced in place of a rebuild, every
@@ -494,16 +514,24 @@ impl SearchEngine {
     /// registered classes via `QueryServer::apply_delta` — the full
     /// graph-delta → instance-delta → index-delta → posting-patch chain in
     /// one call. Classes the server does not serve are skipped.
+    ///
+    /// The server is taken by `&self` reference: patches land shard by
+    /// shard through epoch swaps, so concurrent `rank`/`rank_batch`
+    /// callers (other threads holding a [`ServerHandle`] clone) keep
+    /// serving throughout, each query observing a consistent pre- or
+    /// post-delta shard. The per-class patch work, including the
+    /// epoch-swap accounting, is reported in [`IngestReport::serving`].
     pub fn ingest_serving(
         &mut self,
         delta: &GraphDelta,
-        server: &mut QueryServer,
+        server: &QueryServer,
     ) -> Result<IngestReport, GraphError> {
-        let report = self.ingest(delta)?;
+        let mut report = self.ingest(delta)?;
         for (name, touch) in &report.per_class {
             if let Some(cid) = server.class_id(name) {
                 let model = self.model(name).expect("class was just patched");
-                server.apply_delta(cid, &model.index, touch);
+                let stats = server.apply_delta(cid, &model.index, touch);
+                report.serving.push((name.clone(), stats));
             }
         }
         Ok(report)
@@ -765,7 +793,7 @@ mod tests {
         let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
         let ex = examples_for(&d, FAMILY, 150, 17);
         engine.train_class("family", &ex);
-        let mut server = engine.serve();
+        let server = engine.serve();
         let cid = server.class_id("family").unwrap();
         let model = engine.model("family").unwrap();
         let (coords, weights) = (model.coords.clone(), model.weights.clone());
@@ -786,7 +814,7 @@ mod tests {
         delta.add_edge(nu, attrs[1]).unwrap();
         delta.add_edge(anchors[0], attrs[1]).unwrap();
         delta.add_edge(anchors[1], attrs[0]).unwrap();
-        let report = engine.ingest_serving(&delta, &mut server).unwrap();
+        let report = engine.ingest_serving(&delta, &server).unwrap();
         assert_eq!(report.new_nodes, 1);
         assert!(report.new_edges >= 2);
         assert_eq!(report.per_class.len(), 1);
@@ -818,7 +846,7 @@ mod tests {
         let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
         let ex = examples_for(&d, FAMILY, 150, 23);
         engine.train_class("family", &ex);
-        let mut server = engine.serve();
+        let server = engine.serve();
         let cid = server.class_id("family").unwrap();
         let model = engine.model("family").unwrap();
         let (coords, weights) = (model.coords.clone(), model.weights.clone());
@@ -840,7 +868,7 @@ mod tests {
         delta.remove_node(busy).unwrap();
         delta.remove_edge(va, vb).unwrap();
         delta.add_edge(other, attr).unwrap();
-        let report = engine.ingest_serving(&delta, &mut server).unwrap();
+        let report = engine.ingest_serving(&delta, &server).unwrap();
         assert!(report.removed_edges >= 1);
         assert!(report.doomed_instances > 0, "busy user must doom instances");
 

@@ -1,7 +1,7 @@
 //! Matching-order heuristics (Sect. IV-C).
 //!
 //! The search space of backtracking matching depends heavily on the order
-//! pattern nodes are matched in. The paper (following [19], [23]) grows the
+//! pattern nodes are matched in. The paper (following \[19\], \[23\]) grows the
 //! order greedily, always picking the extension minimising the *estimated*
 //! intermediate instance count: extending a partial pattern `M⁽ⁱ⁾` with an
 //! edge `⟨u, u′⟩` (where `u` is already ordered) multiplies the estimate by

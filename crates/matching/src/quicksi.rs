@@ -1,6 +1,6 @@
 //! QuickSI-style baseline: selectivity-ordered backtracking.
 //!
-//! Following Shang et al. [19], the pattern is matched node-at-a-time in an
+//! Following Shang et al. \[19\], the pattern is matched node-at-a-time in an
 //! order chosen from graph statistics (infrequent structures first), with no
 //! other filtering and no symmetry awareness — each *embedding* is
 //! enumerated, so an instance is visited `|Aut(M)|` times.

@@ -1,6 +1,6 @@
 //! TurboISO-lite baseline: typed-degree candidate filtering.
 //!
-//! TurboISO [21] prunes the search space by building candidate regions and
+//! TurboISO \[21\] prunes the search space by building candidate regions and
 //! merging equivalent pattern nodes. This lite reconstruction keeps the
 //! filtering idea that does most of the work at this scale: a graph node can
 //! match pattern node `u` only if, for every neighbour type `t` of `u` in

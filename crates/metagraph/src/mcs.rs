@@ -7,7 +7,7 @@
 //! SS(Mi, Mj) = (|V_M| + |E_M|)² / ((|V_Mi| + |E_Mi|) · (|V_Mj| + |E_Mj|))
 //! ```
 //!
-//! where `M` is the maximum common subgraph of `Mi` and `Mj` [18]. We
+//! where `M` is the maximum common subgraph of `Mi` and `Mj` \[18\]. We
 //! compute MCS size by branch-and-bound over partial type-preserving
 //! injections: a common subgraph is a pair of subgraphs, one in each
 //! pattern, related by an isomorphism, and we maximise `|V| + |E|`. The

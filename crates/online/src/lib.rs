@@ -26,11 +26,18 @@
 //! * **Live delta updates, insertions and deletions alike** —
 //!   [`server::QueryServer::apply_delta`] follows an
 //!   `mgp_index::IndexTouch`: only touched dot products are recomputed,
-//!   only affected posting entries are patched in place (dead entries,
-//!   dots and whole postings are *removed*, so churn never leaves
-//!   tombstoned empties), and cache entries are generation-stamped per
-//!   anchor so a delta invalidates exactly the queries whose result sets
-//!   changed (lazily, no cache scan).
+//!   only affected posting entries are patched (dead entries, dots and
+//!   whole postings are *removed*, so churn never leaves tombstoned
+//!   empties), and cache entries are generation-stamped per anchor so a
+//!   delta invalidates exactly the queries whose result sets changed
+//!   (lazily, no cache scan).
+//! * **Ingest concurrent with serving** — shards are epoch-swapped
+//!   `Arc` snapshots behind shard-level `RwLock`s: readers clone the
+//!   `Arc` and never block, writers patch copy-on-write shard clones and
+//!   install each with one pointer swap, so `apply_delta` is `&self` and
+//!   queries keep flowing (each observing every shard wholly pre- or
+//!   wholly post-delta) while a delta lands. Share the server between
+//!   serving threads and a writer via [`server::ServerHandle`].
 //! * **Latency accounting** — per-batch wall time lands in a log-bucketed
 //!   [`histogram::LatencyHistogram`] (re-exported by `mgp_core::timings`),
 //!   giving p50/p95/p99 over the serving lifetime.
@@ -52,4 +59,6 @@ pub mod server;
 
 pub use cache::LruCache;
 pub use histogram::{LatencyHistogram, LatencySnapshot};
-pub use server::{DeltaStats, QueryServer, RankedList, ServeConfig, ServerStats, TableStats};
+pub use server::{
+    DeltaStats, QueryServer, RankedList, ServeConfig, ServerHandle, ServerStats, TableStats,
+};

@@ -21,31 +21,54 @@
 //! score uses the same final expression, and the tie-break comparator is
 //! copied verbatim.
 //!
-//! ## Concurrency model
+//! ## Concurrency model: epoch-swapped shard snapshots
+//!
+//! Every shard lives behind an `RwLock<Arc<Shard>>`. Readers take the
+//! read lock just long enough to clone the `Arc` — an *epoch snapshot* —
+//! and then rank entirely from that snapshot without holding any lock.
+//! [`QueryServer::apply_delta`] takes `&self`: the writer prepares a
+//! patched **copy** of each touched shard off to the side (posting lists
+//! are individually `Arc`'d, so the copy shares every untouched list and
+//! deep-clones only the patched ones) and installs it with one pointer
+//! swap under a momentary write lock. Serving therefore never pauses for
+//! ingest; a query observes each shard either entirely pre-delta or
+//! entirely post-delta, never a half-patched one.
+//!
+//! Generation stamps ride *inside* the shard snapshot next to the
+//! postings, so the pair (generation, posting) a query reads is always
+//! mutually consistent — a cache fill can never stamp a pre-delta result
+//! with a post-delta generation, which is what makes the lazy
+//! generation-stamped invalidation safe under concurrency. Writers to the
+//! *same* class serialise on a per-class ingest lock; writers to
+//! different classes, and all readers, proceed in parallel.
 //!
 //! [`QueryServer::rank_batch`] first coalesces duplicate queries, then
 //! splits the distinct misses into one contiguous chunk per rayon
 //! worker. Workers write disjoint slices of the result vector and only
-//! *read* the (immutable, unlocked) shard state, so the compute phase is
-//! lock-free; each worker reuses a [`Scratch`] buffer across its chunk so
-//! the hot loop does no per-query allocation beyond the returned lists.
-//! The bounded LRU cache is consulted once before the parallel section and
+//! *read* the batch's shard snapshots, so the compute phase is lock-free;
+//! each worker reuses a scratch buffer across its chunk so the hot
+//! loop does no per-query allocation beyond the returned lists. The
+//! bounded LRU cache is consulted once before the parallel section and
 //! updated once after it (two short critical sections per batch, none per
-//! query). Shards bound per-map size and are the natural unit for the
-//! roadmap's shard-affine scheduling and incremental update work; today
-//! every worker may read any shard.
+//! query).
 
 use crate::cache::LruCache;
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
 use mgp_graph::{FxHashMap, FxHashSet, NodeId};
 use mgp_index::{IndexTouch, VectorIndex};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// A ranked result list: `(node, score)` in descending score order.
 pub type RankedList = Vec<(NodeId, f64)>;
+
+/// A shareable server handle: clone it into every serving thread while a
+/// writer thread keeps calling [`QueryServer::apply_delta`] (all of it
+/// `&self`) through its own clone.
+pub type ServerHandle = Arc<QueryServer>;
 
 /// Cache payload: the anchor's invalidation generation at fill time plus
 /// the shared result (see the field docs on [`QueryServer`]).
@@ -92,12 +115,123 @@ impl ServeConfig {
     }
 }
 
-/// One shard of a class's posting lists: the anchor nodes `q` with
+/// One epoch snapshot of a shard: the anchor nodes `q` with
 /// `q mod n_shards == shard_id`, each mapping to its candidate list
-/// `[(v, π(q, v))]` in ascending `v` (the partner order of the index).
+/// `[(v, π(q, v))]` in ascending `v` (the partner order of the index),
+/// plus the per-anchor invalidation generations of exactly those anchors.
+///
+/// Posting lists are individually `Arc`'d so a copy-on-write shard clone
+/// shares every untouched list. Generations live *in* the snapshot so a
+/// reader always observes a (generation, posting) pair from the same
+/// epoch.
 #[derive(Debug, Default)]
 struct Shard {
-    postings: FxHashMap<u32, Vec<(u32, f64)>>,
+    postings: FxHashMap<u32, Arc<Vec<(u32, f64)>>>,
+    /// Per-anchor invalidation stamp, bumped whenever the anchor's result
+    /// set changes under a delta; cached entries remember the stamp they
+    /// were computed at. Anchors absent from the map are at generation 0.
+    generations: FxHashMap<u32, u64>,
+}
+
+impl Shard {
+    fn generation(&self, q: u32) -> u64 {
+        self.generations.get(&q).copied().unwrap_or(0)
+    }
+
+    /// Ranks one query into `out` using `scratch`, replicating
+    /// `mgp_learning::mgp::rank_with_scores` exactly.
+    fn rank_into(&self, q: NodeId, k: usize, scratch: &mut Scratch, out: &mut RankedList) {
+        out.clear();
+        let Some(posting) = self.postings.get(&q.0) else {
+            return;
+        };
+        scratch.scored.clear();
+        scratch
+            .scored
+            .extend(posting.iter().map(|&(v, score)| (score, v)));
+        // Verbatim tie-break from mgp::rank_with_scores: descending score,
+        // then ascending node id.
+        scratch
+            .scored
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scratch.scored.truncate(k);
+        out.extend(scratch.scored.iter().map(|&(s, v)| (NodeId(v), s)));
+    }
+
+    /// Rebuilds anchor `x`'s posting list from the index wholesale,
+    /// dropping it when `x` has no partners left.
+    fn rebuild_posting(
+        &mut self,
+        x: u32,
+        index: &VectorIndex,
+        w: &WriterState,
+        stats: &mut DeltaStats,
+    ) {
+        let partners = index.partners(NodeId(x));
+        if partners.is_empty() {
+            if self.postings.remove(&x).is_some() {
+                stats.dropped_postings += 1;
+            }
+        } else {
+            let posting = posting_for(NodeId(x), partners, &w.node_dots, &w.pair_dots);
+            self.postings.insert(x, Arc::new(posting));
+            stats.rebuilt_postings += 1;
+        }
+    }
+
+    /// Rescores (or inserts, for a brand-new partner) the entry for
+    /// candidate `v` in anchor `q`'s posting list.
+    fn patch_entry(&mut self, q: u32, v: u32, w: &WriterState, stats: &mut DeltaStats) {
+        let score = score_of(q, v, &w.node_dots, &w.pair_dots);
+        let posting = Arc::make_mut(self.postings.entry(q).or_default());
+        match posting.binary_search_by_key(&v, |&(u, _)| u) {
+            Ok(pos) => posting[pos].1 = score,
+            Err(pos) => posting.insert(pos, (v, score)),
+        }
+        stats.patched_entries += 1;
+    }
+
+    /// Removes the dead entry for candidate `v` from anchor `q`'s posting
+    /// list, dropping the posting entirely when it empties.
+    fn remove_entry(&mut self, q: u32, v: u32, stats: &mut DeltaStats) {
+        let Some(slot) = self.postings.get_mut(&q) else {
+            return;
+        };
+        // Search the shared list before make_mut: a no-op remove (entry
+        // already absent) must not deep-clone the posting and lose the
+        // structural sharing with the previous epoch.
+        let Ok(pos) = slot.binary_search_by_key(&v, |&(u, _)| u) else {
+            return;
+        };
+        let posting = Arc::make_mut(slot);
+        posting.remove(pos);
+        stats.removed_entries += 1;
+        if posting.is_empty() {
+            self.postings.remove(&q);
+            stats.dropped_postings += 1;
+        }
+    }
+}
+
+/// One planned posting mutation, replayed against the copy-on-write clone
+/// of its shard in the order the monolithic algorithm would have applied
+/// it.
+enum Op {
+    /// Rebuild anchor's whole posting (its own dot changed).
+    Rebuild(u32),
+    /// Rescore/insert the entry for candidate `.1` in anchor `.0`'s list.
+    Patch(u32, u32),
+    /// Remove the dead entry for candidate `.1` from anchor `.0`'s list.
+    Remove(u32, u32),
+}
+
+/// Writer-side state of a class: the dot tables and weights needed to
+/// score patched entries. Only [`ClassServing::apply_delta`] touches it,
+/// under the per-class ingest lock — readers never look here.
+struct WriterState {
+    weights: Vec<f64>,
+    node_dots: FxHashMap<u32, f64>,
+    pair_dots: FxHashMap<u64, f64>,
 }
 
 /// A registered class: fully precomputed proximity postings sharded by
@@ -106,19 +240,16 @@ struct Shard {
 /// so build time materialises final scores and serving a query is a
 /// posting copy plus a top-k sort — no arithmetic, no lookups.
 ///
-/// The dot tables and weights are retained after build so
-/// [`QueryServer::apply_delta`] can re-dot only touched anchors/pairs and
-/// patch the affected posting entries in place instead of rebuilding.
+/// Shards are epoch-swapped: readers snapshot an `Arc<Shard>` per query
+/// and never block on a writer; [`ClassServing::apply_delta`] swaps in
+/// patched shard copies one at a time (see the module docs).
 struct ClassServing {
     name: String,
-    shards: Vec<Shard>,
-    weights: Vec<f64>,
-    node_dots: FxHashMap<u32, f64>,
-    pair_dots: FxHashMap<u64, f64>,
-    /// Per-anchor invalidation stamp, bumped whenever the anchor's result
-    /// set changes under a delta; cached entries remember the stamp they
-    /// were computed at. Anchors absent from the map are at generation 0.
-    generations: FxHashMap<u32, u64>,
+    shards: Vec<RwLock<Arc<Shard>>>,
+    /// Dot tables + weights, retained after build so `apply_delta` can
+    /// re-dot only touched anchors/pairs. Doubles as the per-class ingest
+    /// lock serialising concurrent writers.
+    writer: Mutex<WriterState>,
 }
 
 impl ClassServing {
@@ -144,45 +275,70 @@ impl ClassServing {
             let posting = posting_for(q, partners, &node_dots, &pair_dots);
             shards[q.0 as usize % n_shards]
                 .postings
-                .insert(q.0, posting);
+                .insert(q.0, Arc::new(posting));
         }
         ClassServing {
             name: name.to_owned(),
-            shards,
-            weights: weights.to_vec(),
-            node_dots,
-            pair_dots,
-            generations: FxHashMap::default(),
+            shards: shards
+                .into_iter()
+                .map(|s| RwLock::new(Arc::new(s)))
+                .collect(),
+            writer: Mutex::new(WriterState {
+                weights: weights.to_vec(),
+                node_dots,
+                pair_dots,
+            }),
         }
     }
 
-    fn generation(&self, q: u32) -> u64 {
-        self.generations.get(&q).copied().unwrap_or(0)
+    fn shard_of(&self, q: u32) -> usize {
+        q as usize % self.shards.len()
     }
 
-    /// Applies an index delta: re-dots the touched nodes/pairs (dropping
-    /// dots of entries the delta erased), rebuilds the postings of anchors
-    /// whose own `m_q · w` changed (dropping postings of anchors with no
-    /// partners left), and patches the individual entries those changes
-    /// leak into (a changed node dot alters the denominator of every
-    /// posting entry *pointing at* that node; a changed pair dot alters
-    /// the two entries of that pair; a *dead* pair removes them).
+    /// Clones the current epoch snapshot of one shard — the only reader
+    /// critical section, held for the duration of an `Arc` clone.
+    fn snapshot_shard(&self, sid: usize) -> Arc<Shard> {
+        Arc::clone(&self.shards[sid].read())
+    }
+
+    /// The epoch snapshot covering anchor `q`.
+    fn snapshot(&self, q: u32) -> Arc<Shard> {
+        self.snapshot_shard(self.shard_of(q))
+    }
+
+    /// Applies an index delta without pausing readers: re-dots the touched
+    /// nodes/pairs (dropping dots of entries the delta erased), then plans
+    /// the posting mutations — rebuild the postings of anchors whose own
+    /// `m_q · w` changed (dropping postings of anchors with no partners
+    /// left) and patch the individual entries those changes leak into (a
+    /// changed node dot alters the denominator of every posting entry
+    /// *pointing at* that node; a changed pair dot alters the two entries
+    /// of that pair; a *dead* pair removes them) — and replays the plan
+    /// shard by shard against copy-on-write shard clones, each installed
+    /// with one pointer swap. In-flight queries keep ranking from the
+    /// snapshot they already hold.
     ///
     /// `index` is the class's vector index *after*
     /// `VectorIndex::apply_delta`, so "erased" is visible as an empty
     /// vector / missing partner there — churn that nets to nothing leaves
     /// the tables bit-identical to a fresh registration, with no
     /// tombstoned empties.
-    fn apply_delta(&mut self, index: &VectorIndex, touch: &IndexTouch, stats: &mut DeltaStats) {
+    fn apply_delta(&self, index: &VectorIndex, touch: &IndexTouch, stats: &mut DeltaStats) {
+        // Per-class ingest lock: one writer at a time per class. The
+        // guard is reborrowed so the dot tables and weights can be
+        // borrowed disjointly below.
+        let mut guard = self.writer.lock();
+        let w = &mut *guard;
+
         // Phase 1: refresh the dot tables for exactly the touched set;
         // vanished nodes/pairs leave the tables instead of staying at 0.
         let redot: FxHashSet<u32> = touch.nodes.iter().copied().collect();
         for &x in &touch.nodes {
             let vec = index.node_vec(NodeId(x));
             if vec.is_empty() {
-                self.node_dots.remove(&x);
+                w.node_dots.remove(&x);
             } else {
-                self.node_dots.insert(x, mgp_index::dot(vec, &self.weights));
+                w.node_dots.insert(x, mgp_index::dot(vec, &w.weights));
             }
         }
         stats.redotted_nodes += touch.nodes.len();
@@ -190,128 +346,96 @@ impl ClassServing {
             let (x, y) = mgp_graph::ids::unpack_pair(key);
             let vec = index.pair_vec(x, y);
             if vec.is_empty() {
-                self.pair_dots.remove(&key);
+                w.pair_dots.remove(&key);
             } else {
-                self.pair_dots
-                    .insert(key, mgp_index::dot(vec, &self.weights));
+                w.pair_dots.insert(key, mgp_index::dot(vec, &w.weights));
             }
         }
         stats.redotted_pairs += touch.pairs.len();
 
-        // Phase 2: rebuild whole postings for anchors with a changed node
-        // dot (every entry's denominator moved, and partners may have
-        // appeared or vanished). An anchor with no partners left loses
-        // its posting list entirely.
-        let mut changed: FxHashSet<u32> = FxHashSet::default();
+        // Phase 2: plan whole-posting rebuilds for anchors with a changed
+        // node dot (every entry's denominator moved, and partners may have
+        // appeared or vanished).
         let n_shards = self.shards.len();
+        let mut ops: FxHashMap<usize, Vec<Op>> = FxHashMap::default();
+        let mut changed: FxHashSet<u32> = FxHashSet::default();
         for &x in &touch.nodes {
-            let partners = index.partners(NodeId(x));
-            let postings = &mut self.shards[x as usize % n_shards].postings;
-            if partners.is_empty() {
-                if postings.remove(&x).is_some() {
-                    stats.dropped_postings += 1;
-                }
-            } else {
-                let posting = posting_for(NodeId(x), partners, &self.node_dots, &self.pair_dots);
-                postings.insert(x, posting);
-                stats.rebuilt_postings += 1;
-            }
+            ops.entry(x as usize % n_shards)
+                .or_default()
+                .push(Op::Rebuild(x));
             changed.insert(x);
         }
 
-        // Phase 3: patch single entries. (a) For each anchor x with a
+        // Phase 3: plan single-entry patches. (a) For each anchor x with a
         // changed dot, every surviving partner v of x holds an entry
         // (v → x) whose denominator moved. (b) A touched pair {x, y}
         // where neither dot changed (defensive: deltas normally touch
         // both endpoints' node counts too) needs its two entries rescored
         // — or removed, when the pair died.
         for &x in &touch.nodes {
-            // Clone the partner list view cheaply: it lives in the index.
             for &v in index.partners(NodeId(x)) {
                 if redot.contains(&v) {
-                    continue; // already rebuilt wholesale
+                    continue; // rebuilt wholesale
                 }
-                self.patch_entry(v, x, stats);
+                ops.entry(v as usize % n_shards)
+                    .or_default()
+                    .push(Op::Patch(v, x));
                 changed.insert(v);
             }
         }
         for &key in &touch.pairs {
-            let alive = self.pair_dots.contains_key(&key);
+            let alive = w.pair_dots.contains_key(&key);
             let (x, y) = mgp_graph::ids::unpack_pair(key);
             for (q, v) in [(x.0, y.0), (y.0, x.0)] {
                 if redot.contains(&q) {
                     continue;
                 }
-                if alive {
-                    self.patch_entry(q, v, stats);
+                let op = if alive {
+                    Op::Patch(q, v)
                 } else {
-                    self.remove_entry(q, v, stats);
-                }
+                    Op::Remove(q, v)
+                };
+                ops.entry(q as usize % n_shards).or_default().push(op);
                 changed.insert(q);
             }
         }
-
-        // Phase 4: bump invalidation stamps for every anchor whose
-        // ranking may have moved.
         stats.invalidated_anchors += changed.len();
+
+        // Phase 4: group the invalidation-stamp bumps of every anchor
+        // whose ranking may have moved by shard. Every op's target anchor
+        // is in `changed`, so the bump shards are a superset of the op
+        // shards.
+        let mut bumps: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
         for q in changed {
-            *self.generations.entry(q).or_insert(0) += 1;
+            bumps.entry(q as usize % n_shards).or_default().push(q);
         }
-    }
 
-    /// Rescores (or inserts, for a brand-new partner) the entry for
-    /// candidate `v` in anchor `q`'s posting list.
-    fn patch_entry(&mut self, q: u32, v: u32, stats: &mut DeltaStats) {
-        let score = score_of(q, v, &self.node_dots, &self.pair_dots);
-        let n_shards = self.shards.len();
-        let posting = self.shards[q as usize % n_shards]
-            .postings
-            .entry(q)
-            .or_default();
-        match posting.binary_search_by_key(&v, |&(u, _)| u) {
-            Ok(pos) => posting[pos].1 = score,
-            Err(pos) => posting.insert(pos, (v, score)),
+        // Phase 5: epoch swap. For each affected shard: clone the current
+        // snapshot (Arc'd postings, so the clone is shallow until an op
+        // actually touches a list), replay its ops, bump its generations,
+        // and install the new epoch with one pointer swap — the only
+        // writer critical section a reader can ever contend with.
+        let mut affected: Vec<usize> = bumps.keys().copied().collect();
+        affected.sort_unstable();
+        for sid in affected {
+            let cur = self.snapshot_shard(sid);
+            let mut next = Shard {
+                postings: cur.postings.clone(),
+                generations: cur.generations.clone(),
+            };
+            for op in ops.remove(&sid).unwrap_or_default() {
+                match op {
+                    Op::Rebuild(x) => next.rebuild_posting(x, index, w, stats),
+                    Op::Patch(q, v) => next.patch_entry(q, v, w, stats),
+                    Op::Remove(q, v) => next.remove_entry(q, v, stats),
+                }
+            }
+            for &q in &bumps[&sid] {
+                *next.generations.entry(q).or_insert(0) += 1;
+            }
+            *self.shards[sid].write() = Arc::new(next);
+            stats.swapped_shards += 1;
         }
-        stats.patched_entries += 1;
-    }
-
-    /// Removes the dead entry for candidate `v` from anchor `q`'s posting
-    /// list, dropping the posting entirely when it empties.
-    fn remove_entry(&mut self, q: u32, v: u32, stats: &mut DeltaStats) {
-        let n_shards = self.shards.len();
-        let postings = &mut self.shards[q as usize % n_shards].postings;
-        let Some(posting) = postings.get_mut(&q) else {
-            return;
-        };
-        if let Ok(pos) = posting.binary_search_by_key(&v, |&(u, _)| u) {
-            posting.remove(pos);
-            stats.removed_entries += 1;
-        }
-        if posting.is_empty() {
-            postings.remove(&q);
-            stats.dropped_postings += 1;
-        }
-    }
-
-    /// Ranks one query into `out` using `scratch`, replicating
-    /// `mgp_learning::mgp::rank_with_scores` exactly.
-    fn rank_into(&self, q: NodeId, k: usize, scratch: &mut Scratch, out: &mut RankedList) {
-        out.clear();
-        let shard = &self.shards[q.0 as usize % self.shards.len()];
-        let Some(posting) = shard.postings.get(&q.0) else {
-            return;
-        };
-        scratch.scored.clear();
-        scratch
-            .scored
-            .extend(posting.iter().map(|&(v, score)| (score, v)));
-        // Verbatim tie-break from mgp::rank_with_scores: descending score,
-        // then ascending node id.
-        scratch
-            .scored
-            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-        scratch.scored.truncate(k);
-        out.extend(scratch.scored.iter().map(|&(s, v)| (NodeId(v), s)));
     }
 }
 
@@ -375,6 +499,41 @@ pub struct DeltaStats {
     pub dropped_postings: usize,
     /// Anchors whose cached results were invalidated (generation bumped).
     pub invalidated_anchors: usize,
+    /// Shard snapshots copy-on-write-cloned and epoch-swapped — the
+    /// shards readers could observe flipping from the pre- to the
+    /// post-delta epoch while this delta landed.
+    pub swapped_shards: usize,
+}
+
+impl std::ops::AddAssign for DeltaStats {
+    fn add_assign(&mut self, rhs: DeltaStats) {
+        self.redotted_nodes += rhs.redotted_nodes;
+        self.redotted_pairs += rhs.redotted_pairs;
+        self.rebuilt_postings += rhs.rebuilt_postings;
+        self.patched_entries += rhs.patched_entries;
+        self.removed_entries += rhs.removed_entries;
+        self.dropped_postings += rhs.dropped_postings;
+        self.invalidated_anchors += rhs.invalidated_anchors;
+        self.swapped_shards += rhs.swapped_shards;
+    }
+}
+
+impl fmt::Display for DeltaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} node / {} pair dots redone; postings: {} rebuilt, {} patched, \
+             {} removed, {} dropped; {} anchors invalidated across {} shard swaps",
+            self.redotted_nodes,
+            self.redotted_pairs,
+            self.rebuilt_postings,
+            self.patched_entries,
+            self.removed_entries,
+            self.dropped_postings,
+            self.invalidated_anchors,
+            self.swapped_shards
+        )
+    }
 }
 
 /// Sizes of one class's precomputed serving tables — observability for
@@ -392,6 +551,16 @@ pub struct TableStats {
     pub n_pair_dots: usize,
 }
 
+impl fmt::Display for TableStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} postings ({} entries), {} node dots, {} pair dots",
+            self.n_postings, self.n_posting_entries, self.n_node_dots, self.n_pair_dots
+        )
+    }
+}
+
 /// Cache hit/miss counters and latency summary.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerStats {
@@ -407,7 +576,10 @@ pub struct ServerStats {
 ///
 /// Build one via `mgp_core::SearchEngine::serve()` (which registers every
 /// trained class) or manually with [`QueryServer::new`] +
-/// [`QueryServer::add_class`].
+/// [`QueryServer::add_class`]. Registration needs `&mut self`; everything
+/// after — ranking *and* [`QueryServer::apply_delta`] — is `&self`, so the
+/// built server can be shared as a [`ServerHandle`] (`Arc<QueryServer>`)
+/// between serving threads and a delta-ingesting writer.
 pub struct QueryServer {
     cfg: ServeConfig,
     workers: usize,
@@ -418,7 +590,9 @@ pub struct QueryServer {
     /// stale (the anchor's postings were patched by a delta) and are
     /// treated as misses, then overwritten — so a delta invalidates
     /// exactly the keys whose query's result set changed, lazily, without
-    /// scanning the cache.
+    /// scanning the cache. Both the stamp and the result of an entry come
+    /// from the same shard snapshot, so they are mutually consistent even
+    /// when a fill races a delta.
     cache: Mutex<LruCache<(u32, u32, u32), CachedEntry>>,
     latency: Mutex<LatencyHistogram>,
     hits: AtomicU64,
@@ -494,8 +668,11 @@ impl QueryServer {
     /// Ranks a single query (cache-aware). Panics on an unknown class id.
     pub fn rank(&self, class_id: usize, q: NodeId, k: usize) -> Arc<RankedList> {
         let model = self.class(class_id);
+        // One snapshot serves the generation read, the cache-staleness
+        // check and the ranking — all from the same epoch.
+        let snap = model.snapshot(q.0);
+        let gen = snap.generation(q.0);
         let key = (class_id as u32, q.0, k as u32);
-        let gen = model.generation(q.0);
         if self.cfg.cache_capacity > 0 {
             if let Some((stamp, hit)) = self.cache.lock().get(&key) {
                 if *stamp == gen {
@@ -507,7 +684,7 @@ impl QueryServer {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut scratch = Scratch::default();
         let mut out = RankedList::new();
-        model.rank_into(q, k, &mut scratch, &mut out);
+        snap.rank_into(q, k, &mut scratch, &mut out);
         let result = Arc::new(out);
         if self.cfg.cache_capacity > 0 {
             self.cache.lock().put(key, (gen, Arc::clone(&result)));
@@ -518,6 +695,11 @@ impl QueryServer {
     /// Ranks a batch of queries rayon-parallel, returning one list per
     /// query in input order. Records the batch's wall time in the latency
     /// histogram. Panics on an unknown class id.
+    ///
+    /// The batch pins one epoch snapshot per distinct shard up front; a
+    /// delta landing mid-batch is simply not observed by this batch, and
+    /// cache fills stamp each result with the generation of the snapshot
+    /// that produced it.
     pub fn rank_batch(
         &self,
         class_id: usize,
@@ -528,6 +710,16 @@ impl QueryServer {
         let model = self.class(class_id);
         let mut out: Vec<Option<Arc<RankedList>>> = vec![None; queries.len()];
 
+        // Snapshot pass: clone the epoch of every shard this batch reads.
+        let n_shards = model.shards.len();
+        let mut snaps: FxHashMap<usize, Arc<Shard>> = FxHashMap::default();
+        for q in queries {
+            let sid = q.0 as usize % n_shards;
+            snaps
+                .entry(sid)
+                .or_insert_with(|| model.snapshot_shard(sid));
+        }
+
         // Cache pass: one critical section for the whole batch. Entries
         // stamped with an outdated anchor generation are stale (postings
         // patched since) and fall through to recompute.
@@ -535,10 +727,9 @@ impl QueryServer {
         if self.cfg.cache_capacity > 0 {
             let mut cache = self.cache.lock();
             for (i, q) in queries.iter().enumerate() {
+                let gen = snaps[&(q.0 as usize % n_shards)].generation(q.0);
                 match cache.get(&(class_id as u32, q.0, k as u32)) {
-                    Some((stamp, hit)) if *stamp == model.generation(q.0) => {
-                        out[i] = Some(Arc::clone(hit))
-                    }
+                    Some((stamp, hit)) if *stamp == gen => out[i] = Some(Arc::clone(hit)),
                     _ => miss_idx.push(i),
                 }
             }
@@ -563,17 +754,24 @@ impl QueryServer {
         }
 
         // Compute pass: per-worker chunks over the distinct misses,
-        // lock-free, one reusable scratch per worker.
+        // lock-free (workers read only the batch's pinned snapshots), one
+        // reusable scratch per worker.
         let mut computed: Vec<Option<Arc<RankedList>>> = vec![None; unique.len()];
         if !unique.is_empty() {
             let chunk = unique.len().div_ceil(self.workers);
+            let snaps_ref = &snaps;
             rayon::scope(|s| {
                 for (qs, outs) in unique.chunks(chunk).zip(computed.chunks_mut(chunk)) {
                     s.spawn(move |_| {
                         let mut scratch = Scratch::default();
                         for (slot, &q) in outs.iter_mut().zip(qs) {
                             let mut list = RankedList::new();
-                            model.rank_into(q, k, &mut scratch, &mut list);
+                            snaps_ref[&(q.0 as usize % n_shards)].rank_into(
+                                q,
+                                k,
+                                &mut scratch,
+                                &mut list,
+                            );
                             *slot = Some(Arc::new(list));
                         }
                     });
@@ -581,15 +779,14 @@ impl QueryServer {
             });
         }
 
-        // Merge + cache fill: second short critical section.
+        // Merge + cache fill: second short critical section. Stamps come
+        // from the same snapshots the results were computed from.
         if self.cfg.cache_capacity > 0 && !unique.is_empty() {
             let mut cache = self.cache.lock();
             for (q, result) in unique.iter().zip(computed.iter()) {
                 let result = result.as_ref().expect("worker filled every slot");
-                cache.put(
-                    (class_id as u32, q.0, k as u32),
-                    (model.generation(q.0), Arc::clone(result)),
-                );
+                let gen = snaps[&(q.0 as usize % n_shards)].generation(q.0);
+                cache.put((class_id as u32, q.0, k as u32), (gen, Arc::clone(result)));
             }
         }
         for i in miss_idx {
@@ -620,18 +817,24 @@ impl QueryServer {
             .iter()
             .map(|&q| {
                 let mut list = RankedList::new();
-                model.rank_into(q, k, &mut scratch, &mut list);
+                model.snapshot(q.0).rank_into(q, k, &mut scratch, &mut list);
                 Arc::new(list)
             })
             .collect()
     }
 
-    /// Applies an index delta to a registered class *in place*: re-dots
-    /// only the touched anchors/pairs against the (already-updated)
-    /// `index`, rebuilds/patches just the affected posting entries in the
-    /// touched shards, and bumps the invalidation generation of exactly
-    /// the anchors whose result sets changed — cached entries for
-    /// untouched queries keep serving.
+    /// Applies an index delta to a registered class **without pausing
+    /// serving**: re-dots only the touched anchors/pairs against the
+    /// (already-updated) `index`, rebuilds/patches just the affected
+    /// posting entries in copy-on-write clones of the touched shards,
+    /// epoch-swaps each clone in with one pointer write, and bumps the
+    /// invalidation generation of exactly the anchors whose result sets
+    /// changed — cached entries for untouched queries keep serving, and
+    /// concurrent `rank`/`rank_batch` calls keep flowing throughout,
+    /// each observing every shard either pre- or post-delta, never torn.
+    ///
+    /// Concurrent deltas to the *same* class serialise on a per-class
+    /// ingest lock; deltas to different classes run in parallel.
     ///
     /// `index` must be the class's vector index *after*
     /// `VectorIndex::apply_delta` returned `touch`, and the class's
@@ -641,17 +844,13 @@ impl QueryServer {
     /// `bench_incremental` acceptance check). Panics on an unknown class
     /// id.
     pub fn apply_delta(
-        &mut self,
+        &self,
         class_id: usize,
         index: &VectorIndex,
         touch: &IndexTouch,
     ) -> DeltaStats {
         let mut stats = DeltaStats::default();
-        let class = self
-            .classes
-            .get_mut(class_id)
-            .unwrap_or_else(|| panic!("unknown class id {class_id}"));
-        class.apply_delta(index, touch, &mut stats);
+        self.class(class_id).apply_delta(index, touch, &mut stats);
         stats
     }
 
@@ -661,25 +860,33 @@ impl QueryServer {
     /// stale. Exposed so tests and operators can verify that a delta
     /// invalidated exactly the anchors it should have.
     pub fn anchor_generation(&self, class_id: usize, q: NodeId) -> u64 {
-        self.class(class_id).generation(q.0)
+        self.class(class_id).snapshot(q.0).generation(q.0)
     }
 
     /// Sizes of a class's serving tables (postings, dot tables). A churn
     /// sequence that nets to nothing restores these exactly — no leaked
     /// empty entries. Panics on an unknown class id.
+    ///
+    /// Serialises with in-flight deltas on the per-class ingest lock, so
+    /// the reported totals always describe one delta boundary — never a
+    /// mix of shards from different epochs (a concurrent call blocks
+    /// until the in-flight delta finishes; readers are unaffected).
     pub fn table_stats(&self, class_id: usize) -> TableStats {
         let class = self.class(class_id);
-        TableStats {
-            n_postings: class.shards.iter().map(|s| s.postings.len()).sum(),
-            n_posting_entries: class
-                .shards
-                .iter()
-                .flat_map(|s| s.postings.values())
-                .map(Vec::len)
-                .sum(),
-            n_node_dots: class.node_dots.len(),
-            n_pair_dots: class.pair_dots.len(),
+        // Ingest lock first, shard reads second — the same order
+        // `apply_delta` takes them, so no deadlock and no torn totals.
+        let w = class.writer.lock();
+        let mut t = TableStats {
+            n_node_dots: w.node_dots.len(),
+            n_pair_dots: w.pair_dots.len(),
+            ..Default::default()
+        };
+        for sid in 0..class.shards.len() {
+            let snap = class.snapshot_shard(sid);
+            t.n_postings += snap.postings.len();
+            t.n_posting_entries += snap.postings.values().map(|p| p.len()).sum::<usize>();
         }
+        t
     }
 
     /// Cache and latency counters accumulated since construction.
@@ -697,8 +904,6 @@ impl QueryServer {
     }
 }
 
-// `rank_batch` shares `&ClassServing` and `&[NodeId]` across scoped
-// workers; all shared state is read-only there.
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +942,13 @@ mod tests {
 
     fn reference(idx: &VectorIndex, w: &[f64], q: NodeId, k: usize) -> RankedList {
         mgp_learning::mgp::rank_with_scores(idx, q, w, k)
+    }
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryServer>();
+        assert_send_sync::<ServerHandle>();
     }
 
     #[test]
@@ -851,9 +1063,10 @@ mod tests {
 
     /// Applies a count delta to both the index and the server, asserting
     /// the server now answers identically to a freshly registered class
-    /// over the updated index.
+    /// over the updated index. `apply_delta` goes through `&self` — the
+    /// server is shared, not exclusively borrowed.
     fn apply_and_check(
-        srv: &mut QueryServer,
+        srv: &QueryServer,
         idx: &mut VectorIndex,
         w: &[f64],
         delta: mgp_index::IndexDelta,
@@ -903,10 +1116,10 @@ mod tests {
 
     #[test]
     fn delta_patch_matches_full_reregistration() {
-        let (mut srv, mut idx, w) = server(16);
+        let (srv, mut idx, w) = server(16);
         // Bump an existing pair (1,2) on coordinate 0.
         let stats = apply_and_check(
-            &mut srv,
+            &srv,
             &mut idx,
             &w,
             count_delta(&[(1, 2), (2, 2)], &[((1, 2), 2)], 0, 2),
@@ -917,14 +1130,17 @@ mod tests {
         // Nodes 1, 2 rebuilt; partner entries pointing at them patched.
         assert!(stats.patched_entries > 0);
         assert!(stats.invalidated_anchors >= 2);
+        // Every invalidated anchor's shard was epoch-swapped (3 shards,
+        // anchors 1, 2, 3 all changed → all 3 swapped).
+        assert!(stats.swapped_shards >= 1 && stats.swapped_shards <= 3);
     }
 
     #[test]
     fn delta_with_new_pair_and_new_node() {
-        let (mut srv, mut idx, w) = server(16);
+        let (srv, mut idx, w) = server(16);
         // Node 4 never seen before; new pair (3,4) on coordinate 1.
         apply_and_check(
-            &mut srv,
+            &srv,
             &mut idx,
             &w,
             count_delta(&[(3, 1), (4, 1)], &[((3, 4), 1)], 1, 2),
@@ -939,7 +1155,7 @@ mod tests {
 
     #[test]
     fn delta_invalidates_only_changed_queries() {
-        let (mut srv, mut idx, w) = server(32);
+        let (srv, mut idx, w) = server(32);
         // Warm the cache for all anchors.
         for q in 1..4u32 {
             let _ = srv.rank(0, NodeId(q), 2);
@@ -969,7 +1185,7 @@ mod tests {
 
     #[test]
     fn untouched_queries_keep_their_cache_entries() {
-        let (mut srv, mut idx, _) = server(32);
+        let (srv, mut idx, _) = server(32);
         // Anchor 1's partners are 2 and 3; a delta touching node 9 (an
         // isolated newcomer with no pairs) changes nobody's results.
         for q in 1..4u32 {
@@ -991,18 +1207,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown class id")]
     fn delta_on_unknown_class_panics() {
-        let (mut srv, idx, _) = server(4);
+        let (srv, idx, _) = server(4);
         let touch = mgp_index::IndexTouch::default();
         let _ = srv.apply_delta(9, &idx, &touch);
     }
 
     #[test]
     fn deletion_patch_matches_full_reregistration() {
-        let (mut srv, mut idx, w) = server(16);
+        let (srv, mut idx, w) = server(16);
         // Kill pair (1,3) on coordinate 0 (its only coordinate): its
         // entries must vanish from both endpoints' postings.
         let stats = apply_and_check(
-            &mut srv,
+            &srv,
             &mut idx,
             &w,
             count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2),
@@ -1024,14 +1240,14 @@ mod tests {
 
     #[test]
     fn deletion_that_empties_an_anchor_drops_its_posting() {
-        let (mut srv, mut idx, w) = server(16);
+        let (srv, mut idx, w) = server(16);
         let before = srv.table_stats(0);
         // Remove every contribution node 3 has: pair (1,3) on M0 and
         // pair (2,3) on M1, with the matching node decrements.
         let mut d = count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2);
         let d2 = count_delta(&[(2, -2), (3, -2)], &[((2, 3), -2)], 1, 2);
         d.counts[1] = d2.counts[1].clone();
-        apply_and_check(&mut srv, &mut idx, &w, d);
+        apply_and_check(&srv, &mut idx, &w, d);
         // Node 3 is unrankable and holds no serving state at all.
         assert!(srv.rank(0, NodeId(3), 5).is_empty());
         let after = srv.table_stats(0);
@@ -1042,17 +1258,17 @@ mod tests {
 
     #[test]
     fn churn_roundtrip_restores_tables_exactly() {
-        let (mut srv, mut idx, w) = server(16);
+        let (srv, mut idx, w) = server(16);
         let before = srv.table_stats(0);
         // Forward: kill pair (1,3), add brand-new pair (4,5).
         let mut fwd = count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2);
         fwd.counts[1] = count_delta(&[(4, 3), (5, 3)], &[((4, 5), 3)], 1, 2).counts[1].clone();
-        apply_and_check(&mut srv, &mut idx, &w, fwd);
+        apply_and_check(&srv, &mut idx, &w, fwd);
         assert_ne!(srv.table_stats(0), before);
         // Backward: exact inverse.
         let mut bwd = count_delta(&[(1, 1), (3, 1)], &[((1, 3), 1)], 0, 2);
         bwd.counts[1] = count_delta(&[(4, -3), (5, -3)], &[((4, 5), -3)], 1, 2).counts[1].clone();
-        apply_and_check(&mut srv, &mut idx, &w, bwd);
+        apply_and_check(&srv, &mut idx, &w, bwd);
         // Tables restored exactly: same posting/dot footprint, no leaked
         // empties from the churn.
         assert_eq!(srv.table_stats(0), before);
@@ -1064,7 +1280,7 @@ mod tests {
     /// an insertion-only and a deletion-only delta.
     #[test]
     fn unchanged_result_set_still_serves_from_cache() {
-        let (mut srv, mut idx, _) = server(32);
+        let (srv, mut idx, _) = server(32);
         for q in 1..4u32 {
             let _ = srv.rank(0, NodeId(q), 2);
         }
@@ -1116,5 +1332,78 @@ mod tests {
         // Under M0-only weights node 2's best is 1; under M1-only it's 3.
         assert_eq!(ra[0].0, NodeId(1));
         assert_eq!(rb[0].0, NodeId(3));
+    }
+
+    /// Tentpole: queries flow while a delta lands. Readers hammer the
+    /// shared server from other threads while this thread applies a
+    /// delta through `&self` — no `&mut` anywhere after registration.
+    #[test]
+    fn rank_batch_runs_concurrently_with_apply_delta() {
+        let (srv, mut idx, w) = server(64);
+        let srv = Arc::new(srv);
+        let queries: Vec<NodeId> = (0..6u32).map(NodeId).collect();
+        let stop = std::sync::atomic::AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        let batch = srv.rank_batch(0, &queries, 3);
+                        assert_eq!(batch.len(), queries.len());
+                    }
+                });
+            }
+            // Writer: a burst of forward/backward deltas on pair (1,2).
+            for round in 0..20 {
+                let sign = if round % 2 == 0 { 1 } else { -1 };
+                let touch = idx.apply_delta(&count_delta(
+                    &[(1, sign), (2, sign)],
+                    &[((1, 2), sign)],
+                    0,
+                    2,
+                ));
+                let stats = srv.apply_delta(0, &idx, &touch);
+                assert!(stats.swapped_shards > 0);
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // Settled state answers like a fresh registration.
+        let mut fresh = QueryServer::new(ServeConfig::default());
+        fresh.add_class("fresh", &idx, &w);
+        for &q in &queries {
+            assert_eq!(*srv.rank(0, q, 3), *fresh.rank(0, q, 3));
+        }
+    }
+
+    #[test]
+    fn delta_stats_display_and_sum() {
+        let mut a = DeltaStats {
+            redotted_nodes: 2,
+            redotted_pairs: 1,
+            rebuilt_postings: 2,
+            patched_entries: 3,
+            removed_entries: 1,
+            dropped_postings: 1,
+            invalidated_anchors: 4,
+            swapped_shards: 2,
+        };
+        let shown = a.to_string();
+        assert!(shown.contains("2 node / 1 pair dots"), "{shown}");
+        assert!(shown.contains("2 shard swaps"), "{shown}");
+        a += a;
+        assert_eq!(a.redotted_nodes, 4);
+        assert_eq!(a.swapped_shards, 4);
+
+        let t = TableStats {
+            n_postings: 3,
+            n_posting_entries: 6,
+            n_node_dots: 4,
+            n_pair_dots: 3,
+        };
+        assert_eq!(
+            t.to_string(),
+            "3 postings (6 entries), 4 node dots, 3 pair dots"
+        );
     }
 }

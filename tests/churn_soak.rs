@@ -104,7 +104,7 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
         let m = engine.model("c").unwrap();
         (m.coords.clone(), m.weights.clone())
     };
-    let mut server = engine.serve_with(ServeConfig {
+    let server = engine.serve_with(ServeConfig {
         workers: 2,
         shards: 3,
         cache_capacity: 64,
@@ -126,7 +126,7 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     for &(a, b) in &removed {
         d1.remove_edge(a, b).unwrap();
     }
-    let r1 = engine.ingest_serving(&d1, &mut server).unwrap();
+    let r1 = engine.ingest_serving(&d1, &server).unwrap();
     assert_eq!(r1.removed_edges, removed.len());
     assert!(r1.doomed_instances > 0);
 
@@ -135,7 +135,7 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     for &(a, b) in &removed {
         d2.add_edge(a, b).unwrap();
     }
-    engine.ingest_serving(&d2, &mut server).unwrap();
+    engine.ingest_serving(&d2, &server).unwrap();
 
     // Delta 3: a fresh user with edges, plus brand-new edges among
     // existing nodes.
@@ -162,7 +162,7 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     for &(a, b) in &non_edges {
         d3.add_edge(a, b).unwrap();
     }
-    engine.ingest_serving(&d3, &mut server).unwrap();
+    engine.ingest_serving(&d3, &server).unwrap();
 
     // Delta 4: undo delta 3 — detach the fresh node, drop the new edges.
     let mut d4 = GraphDelta::for_graph(engine.graph());
@@ -170,20 +170,20 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     for &(a, b) in &non_edges {
         d4.remove_edge(a, b).unwrap();
     }
-    engine.ingest_serving(&d4, &mut server).unwrap();
+    engine.ingest_serving(&d4, &server).unwrap();
 
     // Delta 5 + 6: tombstone-detach a busy user, then re-wire it.
     let busy = NodeId(5);
     let former: Vec<NodeId> = engine.graph().neighbors(busy).to_vec();
     let mut d5 = GraphDelta::for_graph(engine.graph());
     d5.remove_node(busy).unwrap();
-    let r5 = engine.ingest_serving(&d5, &mut server).unwrap();
+    let r5 = engine.ingest_serving(&d5, &server).unwrap();
     assert_eq!(r5.removed_edges, former.len());
     let mut d6 = GraphDelta::for_graph(engine.graph());
     for &u in &former {
         d6.add_edge(busy, u).unwrap();
     }
-    engine.ingest_serving(&d6, &mut server).unwrap();
+    engine.ingest_serving(&d6, &server).unwrap();
 
     // --- everything must be exactly restored -------------------------
 

@@ -1,0 +1,139 @@
+//! Torn-read race test for the epoch-swapped serving tables.
+//!
+//! `QueryServer::apply_delta` swaps shards one at a time, so while a
+//! delta is in flight different *queries* may observe different epochs —
+//! but any single query must observe its shard either entirely pre-delta
+//! or entirely post-delta. This test races `rank_batch` readers against a
+//! writer toggling a delta forward and backward, and asserts every
+//! returned ranking is **bit-identical** to one of the two full-rebuild
+//! reference states — never a mix of the two (a torn posting list, or a
+//! cached result served under the wrong generation, would both show up
+//! here as a third state).
+
+use semantic_proximity::graph::{ids::pack_pair, NodeId};
+use semantic_proximity::index::{IndexDelta, Transform, VectorIndex};
+use semantic_proximity::matching::AnchorCounts;
+use semantic_proximity::online::{QueryServer, RankedList, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const N_ANCHORS: u32 = 120;
+const TOP_K: usize = 5;
+const ROUNDS: usize = 60;
+const READERS: usize = 3;
+
+/// A ring-plus-chords index over `N_ANCHORS` anchors: coordinate 0 links
+/// each `i` to `i+1`, coordinate 1 links each `i` to `i+7` — every anchor
+/// gets a handful of partners with distinct scores.
+fn base_index() -> VectorIndex {
+    let mut c0 = AnchorCounts::default();
+    let mut c1 = AnchorCounts::default();
+    let link = |c: &mut AnchorCounts, x: u32, y: u32, n: u64| {
+        c.per_pair.insert(pack_pair(NodeId(x), NodeId(y)), n);
+        *c.per_node.entry(x).or_insert(0) += n;
+        *c.per_node.entry(y).or_insert(0) += n;
+    };
+    for i in 0..N_ANCHORS {
+        link(&mut c0, i, (i + 1) % N_ANCHORS, 1 + u64::from(i % 5));
+        link(&mut c1, i, (i + 7) % N_ANCHORS, 1 + u64::from(i % 3));
+    }
+    VectorIndex::from_counts(&[c0, c1], Transform::Log1p)
+}
+
+/// The delta under race: bump a spread of ring pairs (and their endpoint
+/// node counts) by `sign` on coordinate 0 — it touches many shards, so a
+/// mid-flight reader genuinely sees mixed epochs across queries.
+fn toggle_delta(sign: i64) -> IndexDelta {
+    let mut d = IndexDelta::empty(2);
+    for j in 0..12u32 {
+        let x = j * 10 % N_ANCHORS;
+        let y = (x + 1) % N_ANCHORS;
+        d.counts[0]
+            .per_pair
+            .insert(pack_pair(NodeId(x), NodeId(y)), 2 * sign);
+        *d.counts[0].per_node.entry(x).or_insert(0) += 2 * sign;
+        *d.counts[0].per_node.entry(y).or_insert(0) += 2 * sign;
+    }
+    d
+}
+
+/// Full-rebuild reference rankings for every anchor over `idx`.
+fn reference_states(idx: &VectorIndex, weights: &[f64]) -> Vec<RankedList> {
+    let mut fresh = QueryServer::new(ServeConfig {
+        workers: 2,
+        shards: 5,
+        cache_capacity: 0,
+    });
+    fresh.add_class("ref", idx, weights);
+    (0..N_ANCHORS)
+        .map(|q| (*fresh.rank(0, NodeId(q), TOP_K)).clone())
+        .collect()
+}
+
+#[test]
+fn racing_rank_batch_never_observes_a_torn_ranking() {
+    let weights = vec![0.6, 0.4];
+    let mut idx = base_index();
+
+    // State A: the base index. State B: after the forward delta.
+    let state_a = reference_states(&idx, &weights);
+    let mut idx_b = idx.clone();
+    idx_b.apply_delta(&toggle_delta(1));
+    let state_b = reference_states(&idx_b, &weights);
+    assert_ne!(state_a, state_b, "the delta must actually change rankings");
+
+    // The live server starts at state A; the cache is on so generation
+    // stamping is exercised under the race too.
+    let mut server = QueryServer::new(ServeConfig {
+        workers: 2,
+        shards: 5,
+        cache_capacity: 512,
+    });
+    let cid = server.add_class("live", &idx, &weights);
+    let server = Arc::new(server);
+
+    let queries: Vec<NodeId> = (0..N_ANCHORS).map(NodeId).collect();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(|| {
+                let mut batches = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let results = server.rank_batch(cid, &queries, TOP_K);
+                    for (q, got) in results.iter().enumerate() {
+                        let a = &state_a[q];
+                        let b = &state_b[q];
+                        assert!(
+                            **got == *a || **got == *b,
+                            "torn read at q={q}: got {got:?}, want pre {a:?} or post {b:?}"
+                        );
+                    }
+                    batches += 1;
+                }
+                assert!(batches > 0, "reader never completed a batch");
+            });
+        }
+
+        // Writer: toggle the delta forward and backward. Each apply
+        // transitions the live tables A → B or B → A shard by shard while
+        // the readers above keep ranking.
+        for round in 0..ROUNDS {
+            let sign = if round % 2 == 0 { 1 } else { -1 };
+            let touch = idx.apply_delta(&toggle_delta(sign));
+            let stats = server.apply_delta(cid, &idx, &touch);
+            assert!(stats.swapped_shards > 0, "delta must swap shards");
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // ROUNDS is even, so the settled state is A again — exactly.
+    for (q, want) in state_a.iter().enumerate() {
+        assert_eq!(
+            *server.rank(cid, NodeId(q as u32), TOP_K),
+            *want,
+            "settled state diverged at q={q}"
+        );
+    }
+}

@@ -120,7 +120,7 @@ proptest! {
             let m = engine.model("c").unwrap();
             (m.coords.clone(), m.weights.clone())
         };
-        let mut server = engine.serve_with(ServeConfig {
+        let server = engine.serve_with(ServeConfig {
             workers: 2,
             shards: 3,
             cache_capacity: 64,
@@ -147,7 +147,7 @@ proptest! {
                     delta.add_edge(a, b).unwrap();
                 }
             }
-            engine.ingest_serving(&delta, &mut server).unwrap();
+            engine.ingest_serving(&delta, &server).unwrap();
 
             // Reference: full rematch + rebuild, same weights.
             let fresh_idx = rebuilt_index(&engine, &coords);
@@ -200,7 +200,7 @@ proptest! {
             let m = engine.model("c").unwrap();
             (m.coords.clone(), m.weights.clone())
         };
-        let mut server = engine.serve_with(ServeConfig {
+        let server = engine.serve_with(ServeConfig {
             workers: 2,
             shards: 3,
             cache_capacity: 64,
@@ -243,7 +243,7 @@ proptest! {
                     _ => {}
                 }
             }
-            engine.ingest_serving(&delta, &mut server).unwrap();
+            engine.ingest_serving(&delta, &server).unwrap();
 
             // Reference: full rematch + rebuild, same weights.
             let fresh_idx = rebuilt_index(&engine, &coords);
