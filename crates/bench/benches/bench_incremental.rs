@@ -88,6 +88,7 @@ fn run_phase(
     let mut timed = 0u32;
     let mut instances = 0u64;
     let mut patch_work = mgp_online::DeltaStats::default();
+    let mut fused_visits = 0usize;
     for (i, &(u, a)) in pairs.iter().enumerate() {
         let mut delta = GraphDelta::for_graph(engine.graph());
         build_delta(&mut delta, u, a);
@@ -98,6 +99,7 @@ fn run_phase(
             delta_total += dt;
             timed += 1;
             instances += instances_of(&report);
+            fused_visits += report.fused_shard_visits;
             for &(_, stats) in &report.serving {
                 patch_work += stats;
             }
@@ -120,7 +122,7 @@ fn run_phase(
         "delta apply ({label:>10}) : {delta_mean:>12.2?} mean over {timed} ingests \
          ({instances} instances changed total)"
     );
-    println!("serving patch work        : {patch_work}");
+    println!("serving patch work        : {patch_work} ({fused_visits} fused shard visits)");
     println!("full re-registration      : {full_mean:>12.2?} mean over {FULL_REPS} rebuilds");
     println!("{label:<10} speedup        : {speedup:>12.1}x (acceptance bar: 5x)");
 

@@ -2,14 +2,14 @@
 
 use crate::timings::Timings;
 use mgp_graph::{FxHashMap, Graph, GraphDelta, GraphError, NodeId, TypeId};
-use mgp_index::{IndexDelta, IndexTouch, Transform, VectorIndex};
+use mgp_index::{IndexDeltaBatch, IndexTouch, Transform, VectorIndex};
 use mgp_learning::baselines::metapath_indices;
 use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all_timed;
-use mgp_matching::{delta_count_changes, AnchorCounts, CountDelta, PatternInfo, SymIso};
+use mgp_matching::{delta_count_changes, AnchorCounts, PatternInfo, SymIso};
 use mgp_metagraph::Metagraph;
 use mgp_mining::{mine, MinerConfig};
-use mgp_online::{DeltaStats, QueryServer, ServeConfig, ServerHandle};
+use mgp_online::{ClassDelta, DeltaStats, QueryServer, ServeConfig, ServerHandle};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -114,6 +114,21 @@ pub struct IngestReport {
     /// the serving-table patch work, including per-shard epoch-swap
     /// accounting.
     pub serving: Vec<(String, DeltaStats)>,
+    /// Shards the serving layer actually cloned/swapped — **once for all
+    /// classes together** via `QueryServer::apply_delta_fused` (filled by
+    /// [`SearchEngine::ingest_serving`] only). Compare against the sum of
+    /// `swapped_shards` across [`IngestReport::serving`] (what sequential
+    /// per-class patching would have paid) to see the fusion saving.
+    pub fused_shard_visits: usize,
+}
+
+impl IngestReport {
+    /// The shard visits per-class serving patches would have cost: each
+    /// served class's `swapped_shards`, summed — the `classes × shards`
+    /// product that [`IngestReport::fused_shard_visits`] collapses.
+    pub fn sequential_shard_visits(&self) -> usize {
+        self.serving.iter().map(|(_, s)| s.swapped_shards).sum()
+    }
 }
 
 /// The semantic proximity search engine (Fig. 3).
@@ -441,9 +456,11 @@ impl SearchEngine {
     /// updated graph, doomed instances by seeding each removed edge
     /// against the *pre*-delete graph — the same seeded backtracking
     /// entry point both ways), the signed changes land in the count
-    /// cache, and each trained class model's restricted index is patched
-    /// through `VectorIndex::apply_delta` (which drops entries that churn
-    /// emptied).
+    /// cache **and in one shared `mgp_index::IndexDeltaBatch`**, from
+    /// which every trained class model's restricted index is patched
+    /// (dropping entries that churn emptied) — the class dimension
+    /// multiplies only the cheap coordinate fan-out, never the
+    /// delta-matching.
     ///
     /// Model weights are deliberately left untouched — a delta updates
     /// what the graph *contains*, retraining remains an explicit
@@ -468,14 +485,17 @@ impl SearchEngine {
             return Ok(report);
         }
 
-        // Delta-match every pattern that has been matched so far; their
-        // cached counts stay equal to a full match on the updated graph.
-        // Doomed instances are enumerated against `self.graph` (still the
+        // Delta-match every pattern that has been matched so far —
+        // **exactly once per ingest**, never once per class: a pattern's
+        // instance delta is class-independent, so the signed changes land
+        // in one shared `IndexDeltaBatch` and fan out below. The cached
+        // counts stay equal to a full match on the updated graph. Doomed
+        // instances are enumerated against `self.graph` (still the
         // pre-delta graph — the removed edges exist only there), new
         // instances against the updated `ext.graph`.
         let mut matched: Vec<usize> = self.counts_cache.keys().copied().collect();
         matched.sort_unstable();
-        let mut incs: FxHashMap<usize, CountDelta> = FxHashMap::default();
+        let mut batch = IndexDeltaBatch::default();
         for i in matched {
             let m = delta_count_changes(
                 &self.graph,
@@ -485,25 +505,25 @@ impl SearchEngine {
                 &ext.new_edges,
                 &ext.new_nodes,
             );
+            if m.is_empty() {
+                continue;
+            }
             report.doomed_instances += m.doomed_instances;
             report.new_instances += m.new_instances;
             m.changes
                 .apply_to(self.counts_cache.get_mut(&i).expect("key from cache"));
-            incs.insert(i, m.changes);
+            batch.insert(i, m.changes);
         }
         self.graph = ext.graph;
         self.timings.matching += t0.elapsed();
 
-        // Patch each trained model's restricted index with the signed
-        // changes of exactly its coordinates.
+        // Fan the shared per-pattern changes out to each trained model's
+        // restricted index — the changes are borrowed from the batch, so
+        // class count multiplies only the coordinate projection, not the
+        // matching work or any cloning.
         let t1 = Instant::now();
         for m in &mut self.models {
-            let counts: Vec<CountDelta> = m
-                .coords
-                .iter()
-                .map(|i| incs.get(i).cloned().unwrap_or_default())
-                .collect();
-            let touch = m.index.apply_delta(&IndexDelta { counts });
+            let touch = batch.apply_to(&mut m.index, &m.coords);
             report.per_class.push((m.name.clone(), touch));
         }
         self.timings.indexing += t1.elapsed();
@@ -511,27 +531,47 @@ impl SearchEngine {
     }
 
     /// [`SearchEngine::ingest`], then patches a live [`QueryServer`]'s
-    /// registered classes via `QueryServer::apply_delta` — the full
-    /// graph-delta → instance-delta → index-delta → posting-patch chain in
-    /// one call. Classes the server does not serve are skipped.
+    /// registered classes via `QueryServer::apply_delta_fused` — the full
+    /// graph-delta → instance-delta → index-delta → posting-patch chain
+    /// in one call, with **every served class landing in one pass**: the
+    /// fused patch plans all classes' posting ops first and then visits
+    /// each affected shard once (one copy-on-write clone, one replay, one
+    /// pointer swap) instead of once per class. Classes the server does
+    /// not serve are skipped.
     ///
     /// The server is taken by `&self` reference: patches land shard by
-    /// shard through epoch swaps, so concurrent `rank`/`rank_batch`
-    /// callers (other threads holding a [`ServerHandle`] clone) keep
-    /// serving throughout, each query observing a consistent pre- or
-    /// post-delta shard. The per-class patch work, including the
-    /// epoch-swap accounting, is reported in [`IngestReport::serving`].
+    /// shard through epoch swaps, so concurrent `rank`/`rank_batch`/
+    /// `rank_multi` callers (other threads holding a [`ServerHandle`]
+    /// clone) keep serving throughout, each query observing a consistent
+    /// pre- or post-delta shard — and, because all classes share the
+    /// swap, a multi-class query sees the delta atomically across
+    /// classes. The per-class patch work lands in
+    /// [`IngestReport::serving`]; the fused shard-visit count (vs the
+    /// per-class sum) in [`IngestReport::fused_shard_visits`].
     pub fn ingest_serving(
         &mut self,
         delta: &GraphDelta,
         server: &QueryServer,
     ) -> Result<IngestReport, GraphError> {
         let mut report = self.ingest(delta)?;
+        let mut served: Vec<String> = Vec::new();
+        let mut updates: Vec<ClassDelta<'_>> = Vec::new();
         for (name, touch) in &report.per_class {
             if let Some(cid) = server.class_id(name) {
                 let model = self.model(name).expect("class was just patched");
-                let stats = server.apply_delta(cid, &model.index, touch);
-                report.serving.push((name.clone(), stats));
+                updates.push(ClassDelta {
+                    class_id: cid,
+                    index: &model.index,
+                    touch,
+                });
+                served.push(name.clone());
+            }
+        }
+        if !updates.is_empty() {
+            let fused = server.apply_delta_fused(&updates);
+            report.fused_shard_visits = fused.fused_shard_visits;
+            for (name, stats) in served.into_iter().zip(fused.per_class) {
+                report.serving.push((name, stats));
             }
         }
         Ok(report)
@@ -892,6 +932,74 @@ mod tests {
         // The detached user fell out of the count caches entirely.
         for &i in &coords {
             assert!(!engine.counts(i).unwrap().per_node.contains_key(&busy.0));
+        }
+    }
+
+    /// Tentpole: one ingest fans out to every served class through one
+    /// matching pass and one fused serving patch — and the fused path's
+    /// answers (single- and multi-class alike) match per-class rebuilds.
+    #[test]
+    fn fused_multiclass_ingest_patches_all_classes_in_one_pass() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+            let ex = examples_for(&d, class, 150, 19);
+            engine.train_class(name, &ex);
+        }
+        let server = engine.serve();
+        let cids: Vec<usize> = ["family", "classmate"]
+            .iter()
+            .map(|n| server.class_id(n).unwrap())
+            .collect();
+
+        let g = engine.graph().clone();
+        let anchors: Vec<NodeId> = g.nodes_of_type(d.anchor_type).to_vec();
+        let attr = g
+            .nodes()
+            .find(|&v| g.node_type(v) != d.anchor_type && g.degree(v) > 1)
+            .unwrap();
+        let fresh_user = *anchors.iter().find(|&&u| !g.has_edge(u, attr)).unwrap();
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.add_edge(fresh_user, attr).unwrap();
+        let report = engine.ingest_serving(&delta, &server).unwrap();
+
+        // Both classes were patched, through one fused pass: the shard
+        // visits paid are at most (and typically well under) the
+        // per-class sum, and at least each class's own touch set.
+        assert_eq!(report.serving.len(), 2);
+        assert!(report.fused_shard_visits > 0);
+        let sequential = report.sequential_shard_visits();
+        assert!(
+            report.fused_shard_visits <= sequential,
+            "fused {} vs sequential {sequential}",
+            report.fused_shard_visits
+        );
+        for (_, stats) in &report.serving {
+            assert!(report.fused_shard_visits >= stats.swapped_shards);
+        }
+
+        // Fused answers equal per-class reference rebuilds, via both the
+        // single-class and the multi-class query paths.
+        let fresh = SearchEngine::with_metagraphs(
+            engine.graph().clone(),
+            engine.metagraphs().to_vec(),
+            cfg(&d, TrainingStrategy::Full),
+        );
+        for (name, &cid) in ["family", "classmate"].iter().zip(&cids) {
+            let model = engine.model(name).unwrap();
+            let counts: Vec<AnchorCounts> = model
+                .coords
+                .iter()
+                .map(|&i| fresh.counts(i).unwrap().clone())
+                .collect();
+            let fresh_idx = VectorIndex::from_counts(&counts, engine.cfg.transform);
+            for &q in anchors.iter().take(25) {
+                let want = mgp_learning::mgp::rank_with_scores(&fresh_idx, q, &model.weights, 10);
+                assert_eq!(*server.rank(cid, q, 10), want, "{name} q={q}");
+                let multi = server.rank_multi(&cids, q, 10);
+                let j = cids.iter().position(|c| c == &cid).unwrap();
+                assert_eq!(*multi[j], want, "rank_multi {name} q={q}");
+            }
         }
     }
 

@@ -27,6 +27,12 @@
 //! entirely, so churn that nets to nothing restores the index
 //! bit-identically (no tombstoned empties). The returned [`IndexTouch`]
 //! tells the serving layer which anchors/pairs to re-dot.
+//!
+//! When several classes serve the same graph, their restricted indexes
+//! share the underlying per-pattern changes: an [`IndexDeltaBatch`] holds
+//! each changed pattern's [`CountDelta`] once (keyed by global pattern
+//! index) and [`IndexDeltaBatch::apply_to`] fans it out to every class's
+//! coordinate list by reference — one delta-match feeds all classes.
 
 #![warn(missing_docs)]
 
@@ -305,59 +311,63 @@ impl VectorIndex {
         );
         let mut touch = IndexTouch::default();
         for (i, c) in delta.counts.iter().enumerate() {
-            let i = i as u32;
-            for (&x, &inc) in &c.per_node {
-                if inc == 0 {
-                    continue;
-                }
-                let raw = self.node_raw.entry(x).or_default();
-                let total = bump_signed(raw, i, inc);
-                let vec = self.node_vecs.entry(x).or_default();
-                if total == 0 {
-                    drop_coord(vec, i);
-                } else {
-                    upsert(vec, i, self.transform.apply(total));
-                }
-                if raw.is_empty() {
-                    self.node_raw.remove(&x);
-                    self.node_vecs.remove(&x);
-                }
-                touch.nodes.push(x);
-            }
-            for (&key, &inc) in &c.per_pair {
-                if inc == 0 {
-                    continue;
-                }
-                let raw = self.pair_raw.entry(key).or_default();
-                let was_present = !raw.is_empty();
-                let total = bump_signed(raw, i, inc);
-                let vec = self.pair_vecs.entry(key).or_default();
-                if total == 0 {
-                    drop_coord(vec, i);
-                } else {
-                    upsert(vec, i, self.transform.apply(total));
-                }
-                let now_present = !raw.is_empty();
-                if !now_present {
-                    self.pair_raw.remove(&key);
-                    self.pair_vecs.remove(&key);
-                }
-                let (x, y) = mgp_graph::ids::unpack_pair(key);
-                if !was_present && now_present {
-                    insert_sorted(self.partners.entry(x.0).or_default(), y.0);
-                    insert_sorted(self.partners.entry(y.0).or_default(), x.0);
-                } else if was_present && !now_present {
-                    remove_partner(&mut self.partners, x.0, y.0);
-                    remove_partner(&mut self.partners, y.0, x.0);
-                }
-                touch.pairs.push(key);
-            }
+            self.apply_coord(i as u32, c, &mut touch);
         }
-        touch.nodes.sort_unstable();
-        touch.nodes.dedup();
-        touch.pairs.sort_unstable();
-        touch.pairs.dedup();
+        touch.normalize();
         touch
+    }
+
+    /// Applies one coordinate's signed changes — the shared body of
+    /// [`VectorIndex::apply_delta`] and [`IndexDeltaBatch::apply_to`].
+    /// Touched nodes/pairs are appended to `touch` unsorted; callers
+    /// finish with [`IndexTouch::normalize`].
+    fn apply_coord(&mut self, i: u32, c: &CountDelta, touch: &mut IndexTouch) {
+        for (&x, &inc) in &c.per_node {
+            if inc == 0 {
+                continue;
+            }
+            let raw = self.node_raw.entry(x).or_default();
+            let total = bump_signed(raw, i, inc);
+            let vec = self.node_vecs.entry(x).or_default();
+            if total == 0 {
+                drop_coord(vec, i);
+            } else {
+                upsert(vec, i, self.transform.apply(total));
+            }
+            if raw.is_empty() {
+                self.node_raw.remove(&x);
+                self.node_vecs.remove(&x);
+            }
+            touch.nodes.push(x);
+        }
+        for (&key, &inc) in &c.per_pair {
+            if inc == 0 {
+                continue;
+            }
+            let raw = self.pair_raw.entry(key).or_default();
+            let was_present = !raw.is_empty();
+            let total = bump_signed(raw, i, inc);
+            let vec = self.pair_vecs.entry(key).or_default();
+            if total == 0 {
+                drop_coord(vec, i);
+            } else {
+                upsert(vec, i, self.transform.apply(total));
+            }
+            let now_present = !raw.is_empty();
+            if !now_present {
+                self.pair_raw.remove(&key);
+                self.pair_vecs.remove(&key);
+            }
+            let (x, y) = mgp_graph::ids::unpack_pair(key);
+            if !was_present && now_present {
+                insert_sorted(self.partners.entry(x.0).or_default(), y.0);
+                insert_sorted(self.partners.entry(y.0).or_default(), x.0);
+            } else if was_present && !now_present {
+                remove_partner(&mut self.partners, x.0, y.0);
+                remove_partner(&mut self.partners, y.0, x.0);
+            }
+            touch.pairs.push(key);
+        }
     }
 }
 
@@ -393,6 +403,69 @@ impl IndexDelta {
     }
 }
 
+/// A **fused multi-class** index delta: the shared per-pattern signed
+/// count changes of one graph event, keyed by *global* pattern index.
+///
+/// One ingest delta-matches every pattern exactly once; the resulting
+/// [`CountDelta`]s land here and are fanned out to every class whose
+/// coordinate list uses the pattern via [`IndexDeltaBatch::apply_to`] —
+/// no per-class cloning, no per-class re-enumeration. A class whose
+/// coordinates miss every changed pattern gets an empty touch for free.
+#[derive(Debug, Clone, Default)]
+pub struct IndexDeltaBatch {
+    changes: FxHashMap<usize, CountDelta>,
+}
+
+impl IndexDeltaBatch {
+    /// Records the signed change of a global pattern. Empty changes are
+    /// dropped so the fan-out below skips them without a lookup.
+    pub fn insert(&mut self, pattern: usize, change: CountDelta) {
+        if !change.is_empty() {
+            self.changes.insert(pattern, change);
+        }
+    }
+
+    /// The shared change of a global pattern, if it changed at all.
+    pub fn get(&self, pattern: usize) -> Option<&CountDelta> {
+        self.changes.get(&pattern)
+    }
+
+    /// Number of patterns with a non-empty change.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether no pattern changed.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// Applies the batch to one class's restricted index: coordinate `j`
+    /// of `index` takes the shared change of global pattern `coords[j]`,
+    /// borrowed straight from the batch. Semantically identical to
+    /// building a per-class [`IndexDelta`] and calling
+    /// [`VectorIndex::apply_delta`], without materialising it.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` disagrees with the index's coordinate
+    /// count (the coords list is not the one the index was restricted to).
+    pub fn apply_to(&self, index: &mut VectorIndex, coords: &[usize]) -> IndexTouch {
+        assert_eq!(
+            coords.len(),
+            index.n_metagraphs,
+            "IndexDeltaBatch coordinate list mismatch"
+        );
+        let mut touch = IndexTouch::default();
+        for (j, g) in coords.iter().enumerate() {
+            if let Some(c) = self.changes.get(g) {
+                index.apply_coord(j as u32, c, &mut touch);
+            }
+        }
+        touch.normalize();
+        touch
+    }
+}
+
 /// The nodes and pairs whose vectors changed in a
 /// [`VectorIndex::apply_delta`] — the exact set the serving layer must
 /// re-dot and re-patch. Both lists are ascending and deduplicated.
@@ -409,6 +482,14 @@ impl IndexTouch {
     /// Whether nothing was touched.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty() && self.pairs.is_empty()
+    }
+
+    /// Sorts and deduplicates both lists (idempotent).
+    fn normalize(&mut self) {
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+        self.pairs.sort_unstable();
+        self.pairs.dedup();
     }
 }
 
@@ -865,6 +946,60 @@ mod tests {
                 original.iter_partners().count()
             );
         }
+    }
+
+    /// Fused fan-out contract: applying a batch through each class's
+    /// coordinate list equals applying the per-class `IndexDelta` the old
+    /// path would have built.
+    #[test]
+    fn delta_batch_fans_out_identically_to_per_class_deltas() {
+        for transform in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            // Three "global patterns"; two classes restrict to different,
+            // overlapping subsets of them.
+            let c0 = counts(&[(1, 3), (2, 3)], &[((1, 2), 3)]);
+            let c1 = counts(&[(1, 2), (3, 2)], &[((1, 3), 2)]);
+            let c2 = counts(&[(2, 1), (4, 1)], &[((2, 4), 1)]);
+            let full = VectorIndex::from_counts(&[c0, c1, c2], transform);
+            let class_coords: [&[usize]; 2] = [&[0, 2], &[1, 2]];
+
+            // Shared per-pattern changes: bump pattern 0, kill pattern 2's
+            // pair entirely, leave pattern 1 untouched.
+            let mut batch = IndexDeltaBatch::default();
+            batch.insert(
+                0,
+                CountDelta::from(&counts(&[(1, 1), (2, 1)], &[((1, 2), 1)])),
+            );
+            let mut kill = CountDelta::default();
+            kill.accumulate(&counts(&[(2, 1), (4, 1)], &[((2, 4), 1)]), -1);
+            batch.insert(2, kill);
+            batch.insert(1, CountDelta::default()); // empty → dropped
+            assert_eq!(batch.len(), 2);
+            assert!(batch.get(1).is_none());
+            assert!(!batch.is_empty());
+
+            for coords in class_coords {
+                let mut fused = full.restrict(coords);
+                let mut classic = fused.clone();
+                let touch = batch.apply_to(&mut fused, coords);
+
+                let per_class = IndexDelta {
+                    counts: coords
+                        .iter()
+                        .map(|g| batch.get(*g).cloned().unwrap_or_default())
+                        .collect(),
+                };
+                let classic_touch = classic.apply_delta(&per_class);
+                assert_eq!(touch, classic_touch, "{transform:?} {coords:?}");
+                assert_index_eq(&fused, &classic);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate list mismatch")]
+    fn delta_batch_rejects_wrong_coords() {
+        let mut idx = sample_index(Transform::Raw);
+        IndexDeltaBatch::default().apply_to(&mut idx, &[0, 1, 2]);
     }
 
     #[test]

@@ -32,6 +32,13 @@
 //! exactly, a from-scratch rematch on the updated graph — including the
 //! disappearance of zeroed entries (asserted by tests here and by the
 //! workspace-level incremental-equivalence and churn-soak tests).
+//!
+//! A [`CountDelta`] is a property of the *pattern*, not of any class:
+//! every class whose coordinates use the pattern consumes the same
+//! change. The engine therefore delta-matches each pattern **once per
+//! ingest** and fans the resulting deltas out to all class indexes
+//! through `mgp_index::IndexDeltaBatch` — class count multiplies only
+//! the cheap fan-out, never the enumeration.
 
 use crate::anchor::{accumulate_contribution, AnchorCounts};
 use crate::engine::backtrack_embeddings_seeded;
@@ -235,6 +242,15 @@ pub struct MatchDelta {
     pub new_instances: u64,
     /// Instances destroyed by the removed edges.
     pub doomed_instances: u64,
+}
+
+impl MatchDelta {
+    /// Whether the batch changed nothing for this pattern — neither side
+    /// enumerated an instance (or they cancelled exactly). Ingest uses
+    /// this to skip the pattern in the multi-class fan-out.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.new_instances == 0 && self.doomed_instances == 0
+    }
 }
 
 /// The symmetric delta rule in one call: signed count changes for a mixed

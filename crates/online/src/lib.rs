@@ -38,6 +38,18 @@
 //!   queries keep flowing (each observing every shard wholly pre- or
 //!   wholly post-delta) while a delta lands. Share the server between
 //!   serving threads and a writer via [`server::ServerHandle`].
+//! * **Multi-class fusion** — shards are shared across classes (one
+//!   shard holds every class's postings for its anchors), so
+//!   [`server::QueryServer::apply_delta_fused`] lands one graph event on
+//!   all classes with **one** clone/replay/swap per shard (reported as
+//!   [`server::FusedDeltaStats::fused_shard_visits`] vs the per-class
+//!   product), and [`server::QueryServer::rank_multi`] ranks a query for
+//!   several classes from **one** pinned snapshot with one cache
+//!   round-trip and a shared scratch.
+//! * **Epoch GC accounting** — slow readers pin old epochs;
+//!   [`server::QueryServer::epoch_stats`] gauges how many retired
+//!   snapshots are still alive and how much unshared copy-on-write
+//!   posting data they retain.
 //! * **Latency accounting** — per-batch wall time lands in a log-bucketed
 //!   [`histogram::LatencyHistogram`] (re-exported by `mgp_core::timings`),
 //!   giving p50/p95/p99 over the serving lifetime.
@@ -60,5 +72,6 @@ pub mod server;
 pub use cache::LruCache;
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{
-    DeltaStats, QueryServer, RankedList, ServeConfig, ServerHandle, ServerStats, TableStats,
+    ClassCacheStats, ClassDelta, DeltaStats, EpochStats, FusedDeltaStats, QueryServer, RankedList,
+    ServeConfig, ServerHandle, ServerStats, TableStats,
 };

@@ -23,16 +23,35 @@
 //!
 //! ## Concurrency model: epoch-swapped shard snapshots
 //!
-//! Every shard lives behind an `RwLock<Arc<Shard>>`. Readers take the
-//! read lock just long enough to clone the `Arc` — an *epoch snapshot* —
-//! and then rank entirely from that snapshot without holding any lock.
+//! Shards live at the **server** level: shard `q mod n` carries *every*
+//! registered class's postings for the anchors it owns, each class's
+//! slice individually `Arc`'d. Every shard sits behind an
+//! `RwLock<Arc<Shard>>`. Readers take the read lock just long enough to
+//! clone the `Arc` — an *epoch snapshot* — and then rank entirely from
+//! that snapshot without holding any lock; because one snapshot covers
+//! all classes, a multi-class query ([`QueryServer::rank_multi`]) pins
+//! exactly one epoch however many classes it ranks.
 //! [`QueryServer::apply_delta`] takes `&self`: the writer prepares a
-//! patched **copy** of each touched shard off to the side (posting lists
-//! are individually `Arc`'d, so the copy shares every untouched list and
-//! deep-clones only the patched ones) and installs it with one pointer
-//! swap under a momentary write lock. Serving therefore never pauses for
-//! ingest; a query observes each shard either entirely pre-delta or
-//! entirely post-delta, never a half-patched one.
+//! patched **copy** of each touched shard off to the side (class slices
+//! and posting lists are individually `Arc`'d, so the copy shares every
+//! untouched class and list and deep-clones only the patched ones) and
+//! installs it with one pointer swap under a momentary write lock.
+//! Serving therefore never pauses for ingest; a query observes each
+//! shard either entirely pre-delta or entirely post-delta, never a
+//! half-patched one.
+//!
+//! ## Multi-class fusion
+//!
+//! One graph event usually touches *every* class (classes share the
+//! per-pattern instance deltas upstream). [`QueryServer::apply_delta_fused`]
+//! therefore plans the posting ops of **all** classes first and then
+//! visits each affected shard **once**: one copy-on-write clone, one
+//! replay covering every class's ops, one pointer swap — instead of the
+//! `classes × shards` clone/swap cycles that per-class application costs.
+//! The saving is reported as [`FusedDeltaStats::fused_shard_visits`]
+//! against the per-class sum. Writers to a shard serialise on a
+//! per-shard patch lock (readers never touch it), so concurrent
+//! different-class deltas still interleave safely at shard granularity.
 //!
 //! Generation stamps ride *inside* the shard snapshot next to the
 //! postings, so the pair (generation, posting) a query reads is always
@@ -56,10 +75,10 @@ use crate::cache::LruCache;
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
 use mgp_graph::{FxHashMap, FxHashSet, NodeId};
 use mgp_index::{IndexTouch, VectorIndex};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 
 /// A ranked result list: `(node, score)` in descending score order.
@@ -115,17 +134,17 @@ impl ServeConfig {
     }
 }
 
-/// One epoch snapshot of a shard: the anchor nodes `q` with
-/// `q mod n_shards == shard_id`, each mapping to its candidate list
+/// One class's slice of a shard: the anchor nodes `q` owned by the shard
+/// that this class can rank, each mapping to its candidate list
 /// `[(v, π(q, v))]` in ascending `v` (the partner order of the index),
 /// plus the per-anchor invalidation generations of exactly those anchors.
 ///
-/// Posting lists are individually `Arc`'d so a copy-on-write shard clone
+/// Posting lists are individually `Arc`'d so a copy-on-write clone
 /// shares every untouched list. Generations live *in* the snapshot so a
 /// reader always observes a (generation, posting) pair from the same
 /// epoch.
-#[derive(Debug, Default)]
-struct Shard {
+#[derive(Debug, Default, Clone)]
+struct ClassPostings {
     postings: FxHashMap<u32, Arc<Vec<(u32, f64)>>>,
     /// Per-anchor invalidation stamp, bumped whenever the anchor's result
     /// set changes under a delta; cached entries remember the stamp they
@@ -133,7 +152,7 @@ struct Shard {
     generations: FxHashMap<u32, u64>,
 }
 
-impl Shard {
+impl ClassPostings {
     fn generation(&self, q: u32) -> u64 {
         self.generations.get(&q).copied().unwrap_or(0)
     }
@@ -226,217 +245,194 @@ enum Op {
 }
 
 /// Writer-side state of a class: the dot tables and weights needed to
-/// score patched entries. Only [`ClassServing::apply_delta`] touches it,
-/// under the per-class ingest lock — readers never look here.
+/// score patched entries. Only delta application touches it, under the
+/// per-class ingest lock — readers never look here.
 struct WriterState {
     weights: Vec<f64>,
     node_dots: FxHashMap<u32, f64>,
     pair_dots: FxHashMap<u64, f64>,
 }
 
-/// A registered class: fully precomputed proximity postings sharded by
-/// anchor node. For fixed weights the *entire* score
-/// `π(q, v) = 2 (m_qv · w) / (m_q · w + m_v · w)` is query-independent,
-/// so build time materialises final scores and serving a query is a
-/// posting copy plus a top-k sort — no arithmetic, no lookups.
-///
-/// Shards are epoch-swapped: readers snapshot an `Arc<Shard>` per query
-/// and never block on a writer; [`ClassServing::apply_delta`] swaps in
-/// patched shard copies one at a time (see the module docs).
-struct ClassServing {
-    name: String,
-    shards: Vec<RwLock<Arc<Shard>>>,
-    /// Dot tables + weights, retained after build so `apply_delta` can
-    /// re-dot only touched anchors/pairs. Doubles as the per-class ingest
-    /// lock serialising concurrent writers.
-    writer: Mutex<WriterState>,
+/// One epoch snapshot of a server-level shard: every registered class's
+/// [`ClassPostings`] for the anchors `q` with `q mod n_shards ==
+/// shard_id`, indexed by class id. Class slices are individually `Arc`'d
+/// so a copy-on-write shard clone is one `Vec` of pointer copies and
+/// only the classes a delta actually touches are deep-cloned
+/// (`Arc::make_mut`) — a single-class delta costs the same as it did
+/// when shards were per-class, while a fused delta patches every class
+/// in the same clone.
+#[derive(Debug, Default)]
+struct Shard {
+    classes: Vec<Arc<ClassPostings>>,
 }
 
-impl ClassServing {
-    fn build(name: &str, index: &VectorIndex, weights: &[f64], n_shards: usize) -> Self {
-        // Dot-product tables, each entry evaluated once with the same
-        // `mgp_index::dot` accumulation order the reference ranker uses.
-        let mut node_dots: FxHashMap<u32, f64> =
-            FxHashMap::with_capacity_and_hasher(index.n_nodes(), Default::default());
-        for (x, v) in index.iter_nodes() {
-            node_dots.insert(x.0, mgp_index::dot(v, weights));
+impl Shard {
+    /// This class's slice of the snapshot. `None` for a class registered
+    /// after the snapshot was taken (impossible in practice — class
+    /// registration needs `&mut self` — but handled as "no postings").
+    fn class(&self, class_id: usize) -> Option<&ClassPostings> {
+        self.classes.get(class_id).map(|arc| &**arc)
+    }
+}
+
+/// A shard's slot in the server: the live epoch plus writer-side
+/// bookkeeping.
+struct ShardSlot {
+    /// The live epoch. Readers hold the read lock for one `Arc` clone.
+    current: RwLock<Arc<Shard>>,
+    /// Serialises writers *to this shard* (clone → replay → swap), so
+    /// two concurrent deltas to different classes can never lose each
+    /// other's swap. Readers never touch it.
+    patch: Mutex<()>,
+    /// Weak handles to replaced epochs, pruned as readers drop them —
+    /// the raw data behind [`QueryServer::epoch_stats`].
+    retired: Mutex<Vec<Weak<Shard>>>,
+}
+
+impl ShardSlot {
+    fn new() -> Self {
+        ShardSlot {
+            current: RwLock::new(Arc::new(Shard::default())),
+            patch: Mutex::new(()),
+            retired: Mutex::new(Vec::new()),
         }
-        let mut pair_dots: FxHashMap<u64, f64> =
-            FxHashMap::with_capacity_and_hasher(index.n_pairs(), Default::default());
-        for (key, v) in index.iter_pairs() {
-            pair_dots.insert(key, mgp_index::dot(v, weights));
-        }
-        // Postings follow the index's partner order (ascending node id)
-        // and carry the final proximity, evaluated with the same
-        // expression shape as mgp::proximity (q == v cannot occur in a
-        // posting: pairs are strictly unordered distinct nodes).
-        let mut shards: Vec<Shard> = (0..n_shards).map(|_| Shard::default()).collect();
-        for (q, partners) in index.iter_partners() {
-            let posting = posting_for(q, partners, &node_dots, &pair_dots);
-            shards[q.0 as usize % n_shards]
-                .postings
-                .insert(q.0, Arc::new(posting));
-        }
-        ClassServing {
+    }
+}
+
+/// A registered class: its name, cache counters, and the writer-side dot
+/// tables (the postings themselves live in the server-level shards).
+struct ClassState {
+    name: String,
+    /// Dot tables + weights, retained after build so delta application
+    /// can re-dot only touched anchors/pairs. Doubles as the per-class
+    /// ingest lock serialising same-class writers.
+    writer: Mutex<WriterState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ClassState {
+    fn new(name: &str, writer: WriterState) -> Self {
+        ClassState {
             name: name.to_owned(),
-            shards: shards
-                .into_iter()
-                .map(|s| RwLock::new(Arc::new(s)))
-                .collect(),
-            writer: Mutex::new(WriterState {
-                weights: weights.to_vec(),
-                node_dots,
-                pair_dots,
-            }),
+            writer: Mutex::new(writer),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
+}
 
-    fn shard_of(&self, q: u32) -> usize {
-        q as usize % self.shards.len()
+/// One class's planned contribution to a (possibly fused) delta
+/// application: its writer guard (held until every shard is swapped),
+/// the per-shard op lists and generation bumps, and the stats being
+/// accumulated.
+struct ClassPlan<'a> {
+    /// Position in the caller's update slice (stats come back in input
+    /// order even though locks are taken in class-id order).
+    input_slot: usize,
+    class_id: usize,
+    index: &'a VectorIndex,
+    guard: MutexGuard<'a, WriterState>,
+    ops: FxHashMap<usize, Vec<Op>>,
+    bumps: FxHashMap<usize, Vec<u32>>,
+    stats: DeltaStats,
+}
+
+/// Phases 1–4 of delta application for one class: refresh the dot tables
+/// for exactly the touched set and plan the posting mutations — rebuild
+/// the postings of anchors whose own `m_q · w` changed (dropping postings
+/// of anchors with no partners left), patch the individual entries those
+/// changes leak into (a changed node dot alters the denominator of every
+/// posting entry *pointing at* that node; a changed pair dot alters the
+/// two entries of that pair; a *dead* pair removes them), and group the
+/// invalidation-stamp bumps by shard. Replay (phase 5) happens in
+/// [`QueryServer::apply_delta_fused`], which fuses it across classes.
+fn plan_class_delta(
+    w: &mut WriterState,
+    index: &VectorIndex,
+    touch: &IndexTouch,
+    n_shards: usize,
+    stats: &mut DeltaStats,
+) -> (FxHashMap<usize, Vec<Op>>, FxHashMap<usize, Vec<u32>>) {
+    // Phase 1: refresh the dot tables for exactly the touched set;
+    // vanished nodes/pairs leave the tables instead of staying at 0.
+    let redot: FxHashSet<u32> = touch.nodes.iter().copied().collect();
+    for &x in &touch.nodes {
+        let vec = index.node_vec(NodeId(x));
+        if vec.is_empty() {
+            w.node_dots.remove(&x);
+        } else {
+            w.node_dots.insert(x, mgp_index::dot(vec, &w.weights));
+        }
+    }
+    stats.redotted_nodes += touch.nodes.len();
+    for &key in &touch.pairs {
+        let (x, y) = mgp_graph::ids::unpack_pair(key);
+        let vec = index.pair_vec(x, y);
+        if vec.is_empty() {
+            w.pair_dots.remove(&key);
+        } else {
+            w.pair_dots.insert(key, mgp_index::dot(vec, &w.weights));
+        }
+    }
+    stats.redotted_pairs += touch.pairs.len();
+
+    // Phase 2: plan whole-posting rebuilds for anchors with a changed
+    // node dot (every entry's denominator moved, and partners may have
+    // appeared or vanished).
+    let mut ops: FxHashMap<usize, Vec<Op>> = FxHashMap::default();
+    let mut changed: FxHashSet<u32> = FxHashSet::default();
+    for &x in &touch.nodes {
+        ops.entry(x as usize % n_shards)
+            .or_default()
+            .push(Op::Rebuild(x));
+        changed.insert(x);
     }
 
-    /// Clones the current epoch snapshot of one shard — the only reader
-    /// critical section, held for the duration of an `Arc` clone.
-    fn snapshot_shard(&self, sid: usize) -> Arc<Shard> {
-        Arc::clone(&self.shards[sid].read())
-    }
-
-    /// The epoch snapshot covering anchor `q`.
-    fn snapshot(&self, q: u32) -> Arc<Shard> {
-        self.snapshot_shard(self.shard_of(q))
-    }
-
-    /// Applies an index delta without pausing readers: re-dots the touched
-    /// nodes/pairs (dropping dots of entries the delta erased), then plans
-    /// the posting mutations — rebuild the postings of anchors whose own
-    /// `m_q · w` changed (dropping postings of anchors with no partners
-    /// left) and patch the individual entries those changes leak into (a
-    /// changed node dot alters the denominator of every posting entry
-    /// *pointing at* that node; a changed pair dot alters the two entries
-    /// of that pair; a *dead* pair removes them) — and replays the plan
-    /// shard by shard against copy-on-write shard clones, each installed
-    /// with one pointer swap. In-flight queries keep ranking from the
-    /// snapshot they already hold.
-    ///
-    /// `index` is the class's vector index *after*
-    /// `VectorIndex::apply_delta`, so "erased" is visible as an empty
-    /// vector / missing partner there — churn that nets to nothing leaves
-    /// the tables bit-identical to a fresh registration, with no
-    /// tombstoned empties.
-    fn apply_delta(&self, index: &VectorIndex, touch: &IndexTouch, stats: &mut DeltaStats) {
-        // Per-class ingest lock: one writer at a time per class. The
-        // guard is reborrowed so the dot tables and weights can be
-        // borrowed disjointly below.
-        let mut guard = self.writer.lock();
-        let w = &mut *guard;
-
-        // Phase 1: refresh the dot tables for exactly the touched set;
-        // vanished nodes/pairs leave the tables instead of staying at 0.
-        let redot: FxHashSet<u32> = touch.nodes.iter().copied().collect();
-        for &x in &touch.nodes {
-            let vec = index.node_vec(NodeId(x));
-            if vec.is_empty() {
-                w.node_dots.remove(&x);
-            } else {
-                w.node_dots.insert(x, mgp_index::dot(vec, &w.weights));
+    // Phase 3: plan single-entry patches. (a) For each anchor x with a
+    // changed dot, every surviving partner v of x holds an entry
+    // (v → x) whose denominator moved. (b) A touched pair {x, y}
+    // where neither dot changed (defensive: deltas normally touch
+    // both endpoints' node counts too) needs its two entries rescored
+    // — or removed, when the pair died.
+    for &x in &touch.nodes {
+        for &v in index.partners(NodeId(x)) {
+            if redot.contains(&v) {
+                continue; // rebuilt wholesale
             }
-        }
-        stats.redotted_nodes += touch.nodes.len();
-        for &key in &touch.pairs {
-            let (x, y) = mgp_graph::ids::unpack_pair(key);
-            let vec = index.pair_vec(x, y);
-            if vec.is_empty() {
-                w.pair_dots.remove(&key);
-            } else {
-                w.pair_dots.insert(key, mgp_index::dot(vec, &w.weights));
-            }
-        }
-        stats.redotted_pairs += touch.pairs.len();
-
-        // Phase 2: plan whole-posting rebuilds for anchors with a changed
-        // node dot (every entry's denominator moved, and partners may have
-        // appeared or vanished).
-        let n_shards = self.shards.len();
-        let mut ops: FxHashMap<usize, Vec<Op>> = FxHashMap::default();
-        let mut changed: FxHashSet<u32> = FxHashSet::default();
-        for &x in &touch.nodes {
-            ops.entry(x as usize % n_shards)
+            ops.entry(v as usize % n_shards)
                 .or_default()
-                .push(Op::Rebuild(x));
-            changed.insert(x);
-        }
-
-        // Phase 3: plan single-entry patches. (a) For each anchor x with a
-        // changed dot, every surviving partner v of x holds an entry
-        // (v → x) whose denominator moved. (b) A touched pair {x, y}
-        // where neither dot changed (defensive: deltas normally touch
-        // both endpoints' node counts too) needs its two entries rescored
-        // — or removed, when the pair died.
-        for &x in &touch.nodes {
-            for &v in index.partners(NodeId(x)) {
-                if redot.contains(&v) {
-                    continue; // rebuilt wholesale
-                }
-                ops.entry(v as usize % n_shards)
-                    .or_default()
-                    .push(Op::Patch(v, x));
-                changed.insert(v);
-            }
-        }
-        for &key in &touch.pairs {
-            let alive = w.pair_dots.contains_key(&key);
-            let (x, y) = mgp_graph::ids::unpack_pair(key);
-            for (q, v) in [(x.0, y.0), (y.0, x.0)] {
-                if redot.contains(&q) {
-                    continue;
-                }
-                let op = if alive {
-                    Op::Patch(q, v)
-                } else {
-                    Op::Remove(q, v)
-                };
-                ops.entry(q as usize % n_shards).or_default().push(op);
-                changed.insert(q);
-            }
-        }
-        stats.invalidated_anchors += changed.len();
-
-        // Phase 4: group the invalidation-stamp bumps of every anchor
-        // whose ranking may have moved by shard. Every op's target anchor
-        // is in `changed`, so the bump shards are a superset of the op
-        // shards.
-        let mut bumps: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
-        for q in changed {
-            bumps.entry(q as usize % n_shards).or_default().push(q);
-        }
-
-        // Phase 5: epoch swap. For each affected shard: clone the current
-        // snapshot (Arc'd postings, so the clone is shallow until an op
-        // actually touches a list), replay its ops, bump its generations,
-        // and install the new epoch with one pointer swap — the only
-        // writer critical section a reader can ever contend with.
-        let mut affected: Vec<usize> = bumps.keys().copied().collect();
-        affected.sort_unstable();
-        for sid in affected {
-            let cur = self.snapshot_shard(sid);
-            let mut next = Shard {
-                postings: cur.postings.clone(),
-                generations: cur.generations.clone(),
-            };
-            for op in ops.remove(&sid).unwrap_or_default() {
-                match op {
-                    Op::Rebuild(x) => next.rebuild_posting(x, index, w, stats),
-                    Op::Patch(q, v) => next.patch_entry(q, v, w, stats),
-                    Op::Remove(q, v) => next.remove_entry(q, v, stats),
-                }
-            }
-            for &q in &bumps[&sid] {
-                *next.generations.entry(q).or_insert(0) += 1;
-            }
-            *self.shards[sid].write() = Arc::new(next);
-            stats.swapped_shards += 1;
+                .push(Op::Patch(v, x));
+            changed.insert(v);
         }
     }
+    for &key in &touch.pairs {
+        let alive = w.pair_dots.contains_key(&key);
+        let (x, y) = mgp_graph::ids::unpack_pair(key);
+        for (q, v) in [(x.0, y.0), (y.0, x.0)] {
+            if redot.contains(&q) {
+                continue;
+            }
+            let op = if alive {
+                Op::Patch(q, v)
+            } else {
+                Op::Remove(q, v)
+            };
+            ops.entry(q as usize % n_shards).or_default().push(op);
+            changed.insert(q);
+        }
+    }
+    stats.invalidated_anchors += changed.len();
+
+    // Phase 4: group the invalidation-stamp bumps of every anchor
+    // whose ranking may have moved by shard. Every op's target anchor
+    // is in `changed`, so the bump shards are a superset of the op
+    // shards.
+    let mut bumps: FxHashMap<usize, Vec<u32>> = FxHashMap::default();
+    for q in changed {
+        bumps.entry(q as usize % n_shards).or_default().push(q);
+    }
+    (ops, bumps)
 }
 
 /// Per-worker reusable state: the candidate scoring buffer.
@@ -536,6 +532,116 @@ impl fmt::Display for DeltaStats {
     }
 }
 
+/// One class's slice of a fused delta: the class to patch, its vector
+/// index *after* `VectorIndex::apply_delta`, and the touch that call
+/// returned. Input to [`QueryServer::apply_delta_fused`].
+#[derive(Clone, Copy)]
+pub struct ClassDelta<'a> {
+    /// The registered class id (see [`QueryServer::class_id`]).
+    pub class_id: usize,
+    /// The class's vector index, already patched by the same graph event.
+    pub index: &'a VectorIndex,
+    /// The nodes/pairs the index patch touched.
+    pub touch: &'a IndexTouch,
+}
+
+/// Work accounting for one [`QueryServer::apply_delta_fused`] call: the
+/// per-class patch work plus the fused shard-visit count — the evidence
+/// that one graph event touched each shard once, not once per class.
+#[derive(Debug, Clone, Default)]
+pub struct FusedDeltaStats {
+    /// Per-class patch work, in the order of the updates passed in.
+    pub per_class: Vec<DeltaStats>,
+    /// Shards copy-on-write-cloned and epoch-swapped by this call —
+    /// each visited **once** for all classes together.
+    pub fused_shard_visits: usize,
+}
+
+impl FusedDeltaStats {
+    /// The shard visits per-class application would have paid (the
+    /// `classes × shards` product the fusion collapses): each class's
+    /// `swapped_shards` summed.
+    pub fn sequential_shard_visits(&self) -> usize {
+        self.per_class.iter().map(|s| s.swapped_shards).sum()
+    }
+
+    /// All classes' patch work summed.
+    pub fn total(&self) -> DeltaStats {
+        let mut t = DeltaStats::default();
+        for &s in &self.per_class {
+            t += s;
+        }
+        t
+    }
+}
+
+impl fmt::Display for FusedDeltaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} classes in {} fused shard visits (sequential would take {}); total: {}",
+            self.per_class.len(),
+            self.fused_shard_visits,
+            self.sequential_shard_visits(),
+            self.total()
+        )
+    }
+}
+
+/// Copy-on-write memory retained by old epochs that slow readers still
+/// pin — the gauges operators watch to see memory amplification under
+/// churn (see [`QueryServer::epoch_stats`]). All values are zero when no
+/// reader holds a pre-delta snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Retired shard epochs still alive because a reader pins them.
+    pub retained_epochs: usize,
+    /// Posting lists in retained epochs **not shared** with the live
+    /// epoch — the lists churn actually duplicated.
+    pub retained_postings: usize,
+    /// Entries across those unshared posting lists.
+    pub retained_posting_entries: usize,
+    /// Approximate heap bytes the retained epochs keep alive beyond the
+    /// live tables (unshared posting entries plus map-slot overhead of
+    /// diverged class slices).
+    pub approx_retained_bytes: usize,
+}
+
+impl fmt::Display for EpochStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} retained epochs holding {} unshared postings ({} entries, ~{} bytes)",
+            self.retained_epochs,
+            self.retained_postings,
+            self.retained_posting_entries,
+            self.approx_retained_bytes
+        )
+    }
+}
+
+/// Per-class cache counters (the server-wide totals live in
+/// [`ServerStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCacheStats {
+    /// Queries for this class answered from the LRU cache.
+    pub hits: u64,
+    /// Queries for this class computed from the postings.
+    pub misses: u64,
+}
+
+impl ClassCacheStats {
+    /// Hit fraction in `[0, 1]` (0 when the class was never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Sizes of one class's precomputed serving tables — observability for
 /// capacity planning, and the churn-soak tests' leak detector (a delta
 /// sequence that nets to nothing must restore these exactly).
@@ -577,14 +683,22 @@ pub struct ServerStats {
 /// Build one via `mgp_core::SearchEngine::serve()` (which registers every
 /// trained class) or manually with [`QueryServer::new`] +
 /// [`QueryServer::add_class`]. Registration needs `&mut self`; everything
-/// after — ranking *and* [`QueryServer::apply_delta`] — is `&self`, so the
+/// after — ranking *and* [`QueryServer::apply_delta`] /
+/// [`QueryServer::apply_delta_fused`] — is `&self`, so the
 /// built server can be shared as a [`ServerHandle`] (`Arc<QueryServer>`)
 /// between serving threads and a delta-ingesting writer.
+///
+/// Shards are shared across classes (shard `q mod n` holds every class's
+/// postings for its anchors), so a multi-class query pins one snapshot
+/// ([`QueryServer::rank_multi`]) and a fused delta touches each shard
+/// once ([`QueryServer::apply_delta_fused`]) however many classes are
+/// registered.
 pub struct QueryServer {
     cfg: ServeConfig,
     workers: usize,
     n_shards: usize,
-    classes: Vec<ClassServing>,
+    classes: Vec<ClassState>,
+    shards: Vec<ShardSlot>,
     /// `(class, query, k) → (anchor generation at fill time, result)`.
     /// Entries whose stamp trails the anchor's current generation are
     /// stale (the anchor's postings were patched by a delta) and are
@@ -610,6 +724,7 @@ impl QueryServer {
             workers,
             n_shards,
             classes: Vec::new(),
+            shards: (0..n_shards).map(|_| ShardSlot::new()).collect(),
             cache,
             latency: Mutex::new(LatencyHistogram::new()),
             hits: AtomicU64::new(0),
@@ -621,17 +736,68 @@ impl QueryServer {
     /// class id used by the ranking entry points. Replaces any same-named
     /// class (and drops its cached results).
     pub fn add_class(&mut self, name: &str, index: &VectorIndex, weights: &[f64]) -> usize {
-        let serving = ClassServing::build(name, index, weights, self.n_shards);
-        if let Some(i) = self.classes.iter().position(|c| c.name == name) {
-            self.classes[i] = serving;
+        // Dot-product tables, each entry evaluated once with the same
+        // `mgp_index::dot` accumulation order the reference ranker uses.
+        let mut node_dots: FxHashMap<u32, f64> =
+            FxHashMap::with_capacity_and_hasher(index.n_nodes(), Default::default());
+        for (x, v) in index.iter_nodes() {
+            node_dots.insert(x.0, mgp_index::dot(v, weights));
+        }
+        let mut pair_dots: FxHashMap<u64, f64> =
+            FxHashMap::with_capacity_and_hasher(index.n_pairs(), Default::default());
+        for (key, v) in index.iter_pairs() {
+            pair_dots.insert(key, mgp_index::dot(v, weights));
+        }
+        // Postings follow the index's partner order (ascending node id)
+        // and carry the final proximity, evaluated with the same
+        // expression shape as mgp::proximity (q == v cannot occur in a
+        // posting: pairs are strictly unordered distinct nodes).
+        let mut per_shard: Vec<ClassPostings> = (0..self.n_shards)
+            .map(|_| ClassPostings::default())
+            .collect();
+        for (q, partners) in index.iter_partners() {
+            let posting = posting_for(q, partners, &node_dots, &pair_dots);
+            per_shard[q.0 as usize % self.n_shards]
+                .postings
+                .insert(q.0, Arc::new(posting));
+        }
+
+        let writer = WriterState {
+            weights: weights.to_vec(),
+            node_dots,
+            pair_dots,
+        };
+        let replaced = self.classes.iter().position(|c| c.name == name);
+        let slot = match replaced {
+            Some(i) => {
+                self.classes[i] = ClassState::new(name, writer);
+                i
+            }
+            None => {
+                self.classes.push(ClassState::new(name, writer));
+                self.classes.len() - 1
+            }
+        };
+        // Install the class's slice into every shard epoch. Registration
+        // is `&mut self`, so no reader can race these swaps.
+        for (sid, cp) in per_shard.into_iter().enumerate() {
+            let cur = Arc::clone(&self.shards[sid].current.read());
+            let mut next = Shard {
+                classes: cur.classes.clone(),
+            };
+            if next.classes.len() <= slot {
+                next.classes.resize_with(slot + 1, Default::default);
+            }
+            next.classes[slot] = Arc::new(cp);
+            drop(cur);
+            *self.shards[sid].current.write() = Arc::new(next);
+        }
+        if replaced.is_some() {
             // Cached entries for the replaced model are stale; class ids
             // are cache keys, so drop everything for safety.
             self.cache.lock().clear();
-            i
-        } else {
-            self.classes.push(serving);
-            self.classes.len() - 1
         }
+        slot
     }
 
     /// The id of a registered class.
@@ -659,37 +825,135 @@ impl QueryServer {
         &self.cfg
     }
 
-    fn class(&self, class_id: usize) -> &ClassServing {
+    fn class(&self, class_id: usize) -> &ClassState {
         self.classes
             .get(class_id)
             .unwrap_or_else(|| panic!("unknown class id {class_id}"))
     }
 
+    fn shard_of(&self, q: u32) -> usize {
+        q as usize % self.n_shards
+    }
+
+    /// Clones the current epoch snapshot of one shard — the only reader
+    /// critical section, held for the duration of an `Arc` clone. The
+    /// snapshot covers **every** class's postings for the shard's anchors.
+    fn snapshot_shard(&self, sid: usize) -> Arc<Shard> {
+        Arc::clone(&self.shards[sid].current.read())
+    }
+
+    /// The epoch snapshot covering anchor `q`.
+    fn snapshot(&self, q: u32) -> Arc<Shard> {
+        self.snapshot_shard(self.shard_of(q))
+    }
+
     /// Ranks a single query (cache-aware). Panics on an unknown class id.
     pub fn rank(&self, class_id: usize, q: NodeId, k: usize) -> Arc<RankedList> {
-        let model = self.class(class_id);
+        let class = self.class(class_id);
         // One snapshot serves the generation read, the cache-staleness
         // check and the ranking — all from the same epoch.
-        let snap = model.snapshot(q.0);
-        let gen = snap.generation(q.0);
+        let snap = self.snapshot(q.0);
+        let cp = snap.class(class_id);
+        let gen = cp.map_or(0, |c| c.generation(q.0));
         let key = (class_id as u32, q.0, k as u32);
         if self.cfg.cache_capacity > 0 {
             if let Some((stamp, hit)) = self.cache.lock().get(&key) {
                 if *stamp == gen {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    class.hits.fetch_add(1, Ordering::Relaxed);
                     return Arc::clone(hit);
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        class.misses.fetch_add(1, Ordering::Relaxed);
         let mut scratch = Scratch::default();
         let mut out = RankedList::new();
-        snap.rank_into(q, k, &mut scratch, &mut out);
+        if let Some(cp) = cp {
+            cp.rank_into(q, k, &mut scratch, &mut out);
+        }
         let result = Arc::new(out);
         if self.cfg.cache_capacity > 0 {
             self.cache.lock().put(key, (gen, Arc::clone(&result)));
         }
         result
+    }
+
+    /// Ranks one query for **several classes in one pass**: pins a single
+    /// epoch snapshot (one lock acquisition however many classes), checks
+    /// and fills the cache in one critical section each, and walks the
+    /// missing classes' postings with one shared scratch buffer. Returns
+    /// one list per entry of `class_ids`, in order — each bit-identical
+    /// to what [`QueryServer::rank`] returns for that class.
+    ///
+    /// Cache entries are keyed per class exactly as `rank` keys them, so
+    /// the two entry points share hits freely and single-class callers
+    /// are unaffected. Panics on an unknown class id.
+    pub fn rank_multi(&self, class_ids: &[usize], q: NodeId, k: usize) -> Vec<Arc<RankedList>> {
+        for &cid in class_ids {
+            let _ = self.class(cid);
+        }
+        let snap = self.snapshot(q.0);
+        let mut out: Vec<Option<Arc<RankedList>>> = vec![None; class_ids.len()];
+
+        // Cache pass: one lock round-trip covers every class. `miss`
+        // stays unallocated on the all-hit fast path.
+        let mut miss: Vec<usize> = Vec::new();
+        if self.cfg.cache_capacity > 0 {
+            let mut cache = self.cache.lock();
+            for (j, &cid) in class_ids.iter().enumerate() {
+                let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
+                match cache.get(&(cid as u32, q.0, k as u32)) {
+                    Some((stamp, hit)) if *stamp == gen => out[j] = Some(Arc::clone(hit)),
+                    _ => miss.push(j),
+                }
+            }
+        } else {
+            miss.extend(0..class_ids.len());
+        }
+        let n_hits = (class_ids.len() - miss.len()) as u64;
+        if n_hits > 0 {
+            self.hits.fetch_add(n_hits, Ordering::Relaxed);
+        }
+        if !miss.is_empty() {
+            self.misses.fetch_add(miss.len() as u64, Ordering::Relaxed);
+        }
+        for (j, &cid) in class_ids.iter().enumerate() {
+            let counter = if out[j].is_some() {
+                &self.classes[cid].hits
+            } else {
+                &self.classes[cid].misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Compute pass: the posting walk, once per missing class, all
+        // from the same pinned epoch and one scratch buffer.
+        if !miss.is_empty() {
+            let mut scratch = Scratch::default();
+            for &j in &miss {
+                let mut list = RankedList::new();
+                if let Some(cp) = snap.class(class_ids[j]) {
+                    cp.rank_into(q, k, &mut scratch, &mut list);
+                }
+                out[j] = Some(Arc::new(list));
+            }
+
+            // Fill pass: second single lock round-trip, stamped with the
+            // generations of the snapshot the results came from.
+            if self.cfg.cache_capacity > 0 {
+                let mut cache = self.cache.lock();
+                for &j in &miss {
+                    let cid = class_ids[j];
+                    let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
+                    let result = out[j].as_ref().expect("just computed");
+                    cache.put((cid as u32, q.0, k as u32), (gen, Arc::clone(result)));
+                }
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every class answered"))
+            .collect()
     }
 
     /// Ranks a batch of queries rayon-parallel, returning one list per
@@ -706,100 +970,9 @@ impl QueryServer {
         queries: &[NodeId],
         k: usize,
     ) -> Vec<Arc<RankedList>> {
-        let t0 = Instant::now();
-        let model = self.class(class_id);
-        let mut out: Vec<Option<Arc<RankedList>>> = vec![None; queries.len()];
-
-        // Snapshot pass: clone the epoch of every shard this batch reads.
-        let n_shards = model.shards.len();
-        let mut snaps: FxHashMap<usize, Arc<Shard>> = FxHashMap::default();
-        for q in queries {
-            let sid = q.0 as usize % n_shards;
-            snaps
-                .entry(sid)
-                .or_insert_with(|| model.snapshot_shard(sid));
-        }
-
-        // Cache pass: one critical section for the whole batch. Entries
-        // stamped with an outdated anchor generation are stale (postings
-        // patched since) and fall through to recompute.
-        let mut miss_idx: Vec<usize> = Vec::new();
-        if self.cfg.cache_capacity > 0 {
-            let mut cache = self.cache.lock();
-            for (i, q) in queries.iter().enumerate() {
-                let gen = snaps[&(q.0 as usize % n_shards)].generation(q.0);
-                match cache.get(&(class_id as u32, q.0, k as u32)) {
-                    Some((stamp, hit)) if *stamp == gen => out[i] = Some(Arc::clone(hit)),
-                    _ => miss_idx.push(i),
-                }
-            }
-        } else {
-            miss_idx.extend(0..queries.len());
-        }
-        self.hits
-            .fetch_add((queries.len() - miss_idx.len()) as u64, Ordering::Relaxed);
-        self.misses
-            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
-
-        // Coalesce duplicate misses: a batch repeating a query (hot keys
-        // under real traffic, cycled batches in the benches) computes each
-        // distinct query once and fans the Arc out.
-        let mut slot_of: FxHashMap<u32, usize> = FxHashMap::default();
-        let mut unique: Vec<NodeId> = Vec::new();
-        for &i in &miss_idx {
-            slot_of.entry(queries[i].0).or_insert_with(|| {
-                unique.push(queries[i]);
-                unique.len() - 1
-            });
-        }
-
-        // Compute pass: per-worker chunks over the distinct misses,
-        // lock-free (workers read only the batch's pinned snapshots), one
-        // reusable scratch per worker.
-        let mut computed: Vec<Option<Arc<RankedList>>> = vec![None; unique.len()];
-        if !unique.is_empty() {
-            let chunk = unique.len().div_ceil(self.workers);
-            let snaps_ref = &snaps;
-            rayon::scope(|s| {
-                for (qs, outs) in unique.chunks(chunk).zip(computed.chunks_mut(chunk)) {
-                    s.spawn(move |_| {
-                        let mut scratch = Scratch::default();
-                        for (slot, &q) in outs.iter_mut().zip(qs) {
-                            let mut list = RankedList::new();
-                            snaps_ref[&(q.0 as usize % n_shards)].rank_into(
-                                q,
-                                k,
-                                &mut scratch,
-                                &mut list,
-                            );
-                            *slot = Some(Arc::new(list));
-                        }
-                    });
-                }
-            });
-        }
-
-        // Merge + cache fill: second short critical section. Stamps come
-        // from the same snapshots the results were computed from.
-        if self.cfg.cache_capacity > 0 && !unique.is_empty() {
-            let mut cache = self.cache.lock();
-            for (q, result) in unique.iter().zip(computed.iter()) {
-                let result = result.as_ref().expect("worker filled every slot");
-                let gen = snaps[&(q.0 as usize % n_shards)].generation(q.0);
-                cache.put((class_id as u32, q.0, k as u32), (gen, Arc::clone(result)));
-            }
-        }
-        for i in miss_idx {
-            let slot = slot_of[&queries[i].0];
-            out[i] = Some(Arc::clone(
-                computed[slot].as_ref().expect("worker filled every slot"),
-            ));
-        }
-
-        self.latency.lock().record(t0.elapsed());
-        out.into_iter()
-            .map(|slot| slot.expect("every query answered"))
-            .collect()
+        // The single-class case of the shared grid protocol: with one
+        // class the row-major grid IS the per-query result vector.
+        self.rank_grid(&[class_id], queries, k)
     }
 
     /// Single-threaded, cache-bypassing reference path: ranks each query
@@ -811,15 +984,162 @@ impl QueryServer {
         queries: &[NodeId],
         k: usize,
     ) -> Vec<Arc<RankedList>> {
-        let model = self.class(class_id);
+        let _ = self.class(class_id);
         let mut scratch = Scratch::default();
         queries
             .iter()
             .map(|&q| {
                 let mut list = RankedList::new();
-                model.snapshot(q.0).rank_into(q, k, &mut scratch, &mut list);
+                if let Some(cp) = self.snapshot(q.0).class(class_id) {
+                    cp.rank_into(q, k, &mut scratch, &mut list);
+                }
                 Arc::new(list)
             })
+            .collect()
+    }
+
+    /// The batch form of [`QueryServer::rank_multi`]: ranks every query
+    /// for every class in `class_ids`, returning `result[i][j]` for query
+    /// `i` under class `class_ids[j]`. Pins one epoch snapshot per
+    /// distinct shard up front (shared by all classes), runs one cache
+    /// pass over the whole query × class grid, coalesces duplicate
+    /// `(query, class)` misses, and fans the distinct ones across rayon
+    /// workers. Records one latency histogram entry, like
+    /// [`QueryServer::rank_batch`]. Panics on an unknown class id.
+    pub fn rank_multi_batch(
+        &self,
+        class_ids: &[usize],
+        queries: &[NodeId],
+        k: usize,
+    ) -> Vec<Vec<Arc<RankedList>>> {
+        if class_ids.is_empty() {
+            return queries.iter().map(|_| Vec::new()).collect();
+        }
+        let mut flat = self.rank_grid(class_ids, queries, k).into_iter();
+        (0..queries.len())
+            .map(|_| flat.by_ref().take(class_ids.len()).collect())
+            .collect()
+    }
+
+    /// The shared batched-ranking core: ranks every query under every
+    /// class, returning the row-major grid (`result[i * n_classes + j]`
+    /// is query `i` under class `class_ids[j]`). One epoch snapshot per
+    /// distinct shard (covering all classes), one cache critical section
+    /// over the whole grid, duplicate `(query, class)` misses coalesced,
+    /// distinct misses fanned across per-worker chunks (lock-free — the
+    /// workers read only the pinned snapshots, one reusable scratch
+    /// each), one stamped cache fill, one latency histogram entry. Both
+    /// public batch entry points are thin views of this grid, so the
+    /// generation-stamp protocol lives exactly once.
+    fn rank_grid(&self, class_ids: &[usize], queries: &[NodeId], k: usize) -> Vec<Arc<RankedList>> {
+        let t0 = Instant::now();
+        for &cid in class_ids {
+            let _ = self.class(cid);
+        }
+        let n_classes = class_ids.len();
+        let n_shards = self.n_shards;
+        let mut out: Vec<Option<Arc<RankedList>>> = vec![None; queries.len() * n_classes];
+
+        // Snapshot pass: clone the epoch of every shard this grid reads.
+        let mut snaps: FxHashMap<usize, Arc<Shard>> = FxHashMap::default();
+        for q in queries {
+            let sid = q.0 as usize % n_shards;
+            snaps.entry(sid).or_insert_with(|| self.snapshot_shard(sid));
+        }
+
+        // Cache pass: one critical section for the whole grid. Entries
+        // stamped with an outdated anchor generation are stale (postings
+        // patched since) and fall through to recompute.
+        let mut miss_idx: Vec<usize> = Vec::new();
+        if self.cfg.cache_capacity > 0 {
+            let mut cache = self.cache.lock();
+            for (i, q) in queries.iter().enumerate() {
+                let snap = &snaps[&(q.0 as usize % n_shards)];
+                for (j, &cid) in class_ids.iter().enumerate() {
+                    let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
+                    match cache.get(&(cid as u32, q.0, k as u32)) {
+                        Some((stamp, hit)) if *stamp == gen => {
+                            out[i * n_classes + j] = Some(Arc::clone(hit))
+                        }
+                        _ => miss_idx.push(i * n_classes + j),
+                    }
+                }
+            }
+        } else {
+            miss_idx.extend(0..queries.len() * n_classes);
+        }
+        let total = (queries.len() * n_classes) as u64;
+        self.hits
+            .fetch_add(total - miss_idx.len() as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(miss_idx.len() as u64, Ordering::Relaxed);
+        let mut miss_per_class = vec![0u64; n_classes];
+        for &slot in &miss_idx {
+            miss_per_class[slot % n_classes] += 1;
+        }
+        for (j, &cid) in class_ids.iter().enumerate() {
+            let c = &self.classes[cid];
+            c.hits
+                .fetch_add(queries.len() as u64 - miss_per_class[j], Ordering::Relaxed);
+            c.misses.fetch_add(miss_per_class[j], Ordering::Relaxed);
+        }
+
+        // Coalesce duplicate (query, class) misses: a batch repeating a
+        // hot key computes each distinct pair once and fans the Arc out.
+        let mut slot_of: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        let mut unique: Vec<(NodeId, usize)> = Vec::new();
+        for &slot in &miss_idx {
+            let (q, cid) = (queries[slot / n_classes], class_ids[slot % n_classes]);
+            slot_of.entry((q.0, cid as u32)).or_insert_with(|| {
+                unique.push((q, cid));
+                unique.len() - 1
+            });
+        }
+
+        // Compute pass: per-worker chunks over the distinct misses.
+        let mut computed: Vec<Option<Arc<RankedList>>> = vec![None; unique.len()];
+        if !unique.is_empty() {
+            let chunk = unique.len().div_ceil(self.workers);
+            let snaps_ref = &snaps;
+            rayon::scope(|s| {
+                for (qs, outs) in unique.chunks(chunk).zip(computed.chunks_mut(chunk)) {
+                    s.spawn(move |_| {
+                        let mut scratch = Scratch::default();
+                        for (slot, &(q, cid)) in outs.iter_mut().zip(qs) {
+                            let mut list = RankedList::new();
+                            if let Some(cp) = snaps_ref[&(q.0 as usize % n_shards)].class(cid) {
+                                cp.rank_into(q, k, &mut scratch, &mut list);
+                            }
+                            *slot = Some(Arc::new(list));
+                        }
+                    });
+                }
+            });
+        }
+
+        // Merge + cache fill: second short critical section. Stamps come
+        // from the same snapshots the results were computed from.
+        if self.cfg.cache_capacity > 0 && !unique.is_empty() {
+            let mut cache = self.cache.lock();
+            for ((q, cid), result) in unique.iter().zip(computed.iter()) {
+                let result = result.as_ref().expect("worker filled every slot");
+                let gen = snaps[&(q.0 as usize % n_shards)]
+                    .class(*cid)
+                    .map_or(0, |c| c.generation(q.0));
+                cache.put((*cid as u32, q.0, k as u32), (gen, Arc::clone(result)));
+            }
+        }
+        for slot in miss_idx {
+            let (q, cid) = (queries[slot / n_classes], class_ids[slot % n_classes]);
+            let u = slot_of[&(q.0, cid as u32)];
+            out[slot] = Some(Arc::clone(
+                computed[u].as_ref().expect("worker filled every slot"),
+            ));
+        }
+
+        self.latency.lock().record(t0.elapsed());
+        out.into_iter()
+            .map(|slot| slot.expect("every query × class answered"))
             .collect()
     }
 
@@ -849,9 +1169,138 @@ impl QueryServer {
         index: &VectorIndex,
         touch: &IndexTouch,
     ) -> DeltaStats {
-        let mut stats = DeltaStats::default();
-        self.class(class_id).apply_delta(index, touch, &mut stats);
-        stats
+        let fused = self.apply_delta_fused(&[ClassDelta {
+            class_id,
+            index,
+            touch,
+        }]);
+        fused.per_class[0]
+    }
+
+    /// Applies one graph event's index deltas to **several classes in one
+    /// pass**: plans every class's posting ops first (each under its
+    /// per-class ingest lock, taken in ascending class-id order), then
+    /// visits each affected shard **once** — one copy-on-write clone, one
+    /// replay covering every class's ops and generation bumps, one
+    /// pointer swap — instead of the `classes × shards` clone/swap cycles
+    /// sequential [`QueryServer::apply_delta`] calls would pay. Readers
+    /// keep flowing throughout, exactly as for the single-class path; a
+    /// query observes each shard either wholly pre- or wholly post-swap
+    /// (and since all classes land in the same swap, a multi-class query
+    /// pinning one snapshot sees the delta atomically across classes).
+    ///
+    /// Each update's `index` must be that class's vector index *after*
+    /// `VectorIndex::apply_delta` returned its `touch` (typically all
+    /// patched from one shared `mgp_index::IndexDeltaBatch`). Results
+    /// afterwards are bit-identical to applying the updates one class at
+    /// a time, which in turn equals re-registering each class from its
+    /// updated index. Per-class stats come back in input order;
+    /// `swapped_shards` counts the shards *that class* changed, while
+    /// [`FusedDeltaStats::fused_shard_visits`] counts the actual
+    /// clone/swap cycles paid.
+    ///
+    /// # Panics
+    /// Panics on an unknown class id or a class appearing twice.
+    pub fn apply_delta_fused(&self, updates: &[ClassDelta<'_>]) -> FusedDeltaStats {
+        // Lock order: writer locks in ascending class id (so concurrent
+        // fused writers with overlapping class sets cannot deadlock),
+        // then per-shard patch locks one at a time.
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        order.sort_unstable_by_key(|&s| updates[s].class_id);
+        for w in order.windows(2) {
+            assert!(
+                updates[w[0]].class_id != updates[w[1]].class_id,
+                "class id {} appears twice in a fused delta",
+                updates[w[1]].class_id
+            );
+        }
+        let mut plans: Vec<ClassPlan<'_>> = Vec::with_capacity(updates.len());
+        for &input_slot in &order {
+            let u = updates[input_slot];
+            let class = self.class(u.class_id);
+            let mut guard = class.writer.lock();
+            let mut stats = DeltaStats::default();
+            let (ops, bumps) =
+                plan_class_delta(&mut guard, u.index, u.touch, self.n_shards, &mut stats);
+            plans.push(ClassPlan {
+                input_slot,
+                class_id: u.class_id,
+                index: u.index,
+                guard,
+                ops,
+                bumps,
+                stats,
+            });
+        }
+
+        // Phase 5, fused epoch swap: for each shard any class affects,
+        // clone the current snapshot once (a Vec of per-class Arcs — the
+        // clone is shallow until a class's ops actually touch it), replay
+        // every class's ops, bump every class's generations, and install
+        // the new epoch with one pointer swap — the only writer critical
+        // section a reader can ever contend with.
+        let mut affected: Vec<usize> = plans.iter().flat_map(|p| p.bumps.keys().copied()).collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let mut fused_shard_visits = 0usize;
+        for sid in affected {
+            let slot = &self.shards[sid];
+            // Per-shard writer exclusion: a concurrent delta to *other*
+            // classes must not clone the same epoch and lose this swap.
+            let _patch = slot.patch.lock();
+            let cur = Arc::clone(&slot.current.read());
+            let mut next = Shard {
+                classes: cur.classes.clone(),
+            };
+            for plan in plans.iter_mut() {
+                let ops = plan.ops.remove(&sid);
+                let bumps = plan.bumps.get(&sid);
+                if ops.is_none() && bumps.is_none() {
+                    continue;
+                }
+                // Deep-clone only this class's slice; its posting lists
+                // stay Arc-shared until an op touches them.
+                let cp = Arc::make_mut(&mut next.classes[plan.class_id]);
+                for op in ops.unwrap_or_default() {
+                    match op {
+                        Op::Rebuild(x) => {
+                            cp.rebuild_posting(x, plan.index, &plan.guard, &mut plan.stats)
+                        }
+                        Op::Patch(q, v) => cp.patch_entry(q, v, &plan.guard, &mut plan.stats),
+                        Op::Remove(q, v) => cp.remove_entry(q, v, &mut plan.stats),
+                    }
+                }
+                if let Some(bumps) = bumps {
+                    for &q in bumps {
+                        *cp.generations.entry(q).or_insert(0) += 1;
+                    }
+                }
+                plan.stats.swapped_shards += 1;
+            }
+            // Swap first, drop after: `cur` (and `prev`, the same epoch)
+            // keep the old shard alive across the write lock, so its
+            // teardown — potentially thousands of Arc'd posting lists —
+            // happens out here where readers aren't waiting, keeping the
+            // critical section to the pointer write alone.
+            let next = Arc::new(next);
+            let prev = std::mem::replace(&mut *slot.current.write(), next);
+            let weak = Arc::downgrade(&prev);
+            drop(prev);
+            drop(cur);
+            let mut retired = slot.retired.lock();
+            retired.push(weak);
+            retired.retain(|w| w.strong_count() > 0);
+            fused_shard_visits += 1;
+        }
+
+        let mut per_class = vec![DeltaStats::default(); updates.len()];
+        for plan in plans {
+            per_class[plan.input_slot] = plan.stats;
+        }
+        FusedDeltaStats {
+            per_class,
+            fused_shard_visits,
+        }
     }
 
     /// The invalidation generation of an anchor in a class (0 until a
@@ -860,7 +1309,10 @@ impl QueryServer {
     /// stale. Exposed so tests and operators can verify that a delta
     /// invalidated exactly the anchors it should have.
     pub fn anchor_generation(&self, class_id: usize, q: NodeId) -> u64 {
-        self.class(class_id).snapshot(q.0).generation(q.0)
+        let _ = self.class(class_id);
+        self.snapshot(q.0)
+            .class(class_id)
+            .map_or(0, |c| c.generation(q.0))
     }
 
     /// Sizes of a class's serving tables (postings, dot tables). A churn
@@ -881,12 +1333,75 @@ impl QueryServer {
             n_pair_dots: w.pair_dots.len(),
             ..Default::default()
         };
-        for sid in 0..class.shards.len() {
-            let snap = class.snapshot_shard(sid);
-            t.n_postings += snap.postings.len();
-            t.n_posting_entries += snap.postings.values().map(|p| p.len()).sum::<usize>();
+        for sid in 0..self.n_shards {
+            let snap = self.snapshot_shard(sid);
+            if let Some(cp) = snap.class(class_id) {
+                t.n_postings += cp.postings.len();
+                t.n_posting_entries += cp.postings.values().map(|p| p.len()).sum::<usize>();
+            }
         }
         t
+    }
+
+    /// Copy-on-write memory gauges for retired epochs: how many replaced
+    /// shard snapshots are still alive because slow readers pin their
+    /// `Arc`, and how much posting data those snapshots keep that the
+    /// live epoch no longer shares. A healthy server with no in-flight
+    /// readers reports all zeros — every swap's predecessor dies as soon
+    /// as its last reader drops it (asserted by a unit test). Under churn
+    /// with long-running batches, these gauges bound the transient memory
+    /// amplification of the epoch-swap design.
+    ///
+    /// The byte figure is approximate: unshared posting entries plus a
+    /// nominal per-map-slot overhead for diverged class slices.
+    pub fn epoch_stats(&self) -> EpochStats {
+        /// Nominal hash-map slot overhead (key + `Arc` pointer + control
+        /// byte, rounded up) for the approximate byte gauge.
+        const MAP_SLOT_BYTES: usize = 24;
+        let mut s = EpochStats::default();
+        for slot in &self.shards {
+            let mut retired = slot.retired.lock();
+            retired.retain(|w| w.strong_count() > 0);
+            if retired.is_empty() {
+                continue;
+            }
+            let cur = Arc::clone(&slot.current.read());
+            for weak in retired.iter() {
+                let Some(old) = weak.upgrade() else { continue };
+                s.retained_epochs += 1;
+                for (cid, cp) in old.classes.iter().enumerate() {
+                    // A class slice shared with the live epoch costs
+                    // nothing beyond the Arc — skip it entirely.
+                    let live = cur.classes.get(cid);
+                    if live.is_some_and(|l| Arc::ptr_eq(l, cp)) {
+                        continue;
+                    }
+                    for (q, posting) in &cp.postings {
+                        let shared = live
+                            .and_then(|l| l.postings.get(q))
+                            .is_some_and(|lp| Arc::ptr_eq(lp, posting));
+                        if !shared {
+                            s.retained_postings += 1;
+                            s.retained_posting_entries += posting.len();
+                        }
+                    }
+                    s.approx_retained_bytes +=
+                        (cp.postings.len() + cp.generations.len()) * MAP_SLOT_BYTES;
+                }
+            }
+        }
+        s.approx_retained_bytes += s.retained_posting_entries * std::mem::size_of::<(u32, f64)>();
+        s
+    }
+
+    /// Per-class cache counters (the totals across classes are in
+    /// [`QueryServer::stats`]). Panics on an unknown class id.
+    pub fn class_stats(&self, class_id: usize) -> ClassCacheStats {
+        let class = self.class(class_id);
+        ClassCacheStats {
+            hits: class.hits.load(Ordering::Relaxed),
+            misses: class.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Cache and latency counters accumulated since construction.
@@ -1374,6 +1889,196 @@ mod tests {
         for &q in &queries {
             assert_eq!(*srv.rank(0, q, 3), *fresh.rank(0, q, 3));
         }
+    }
+
+    /// A two-class server over the sample index with distinct weights —
+    /// the fused-path fixture.
+    fn two_class_server(cache: usize) -> (QueryServer, VectorIndex, Vec<f64>, Vec<f64>) {
+        let idx = sample_index();
+        let (wa, wb) = (vec![0.7, 0.3], vec![0.2, 0.8]);
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: cache,
+        });
+        srv.add_class("a", &idx, &wa);
+        srv.add_class("b", &idx, &wb);
+        (srv, idx, wa, wb)
+    }
+
+    #[test]
+    fn rank_multi_matches_per_class_rank() {
+        let (srv, idx, wa, wb) = two_class_server(16);
+        for q in 0..6u32 {
+            for k in [1, 2, 10] {
+                let multi = srv.rank_multi(&[0, 1], NodeId(q), k);
+                assert_eq!(multi.len(), 2);
+                assert_eq!(*multi[0], reference(&idx, &wa, NodeId(q), k), "a q={q}");
+                assert_eq!(*multi[1], reference(&idx, &wb, NodeId(q), k), "b q={q}");
+                assert_eq!(*multi[0], *srv.rank(0, NodeId(q), k));
+                assert_eq!(*multi[1], *srv.rank(1, NodeId(q), k));
+            }
+        }
+        // Duplicate class ids are answered per slot.
+        let dup = srv.rank_multi(&[1, 1], NodeId(2), 2);
+        assert_eq!(*dup[0], *dup[1]);
+    }
+
+    #[test]
+    fn rank_multi_shares_cache_entries_with_rank() {
+        let (srv, _, _, _) = two_class_server(32);
+        // rank_multi fills (class, q, k) entries that rank then hits...
+        let first = srv.rank_multi(&[0, 1], NodeId(1), 2);
+        let s0 = srv.stats();
+        assert_eq!(s0.cache_misses, 2);
+        let a = srv.rank(0, NodeId(1), 2);
+        let b = srv.rank(1, NodeId(1), 2);
+        assert!(Arc::ptr_eq(&a, &first[0]));
+        assert!(Arc::ptr_eq(&b, &first[1]));
+        assert_eq!(srv.stats().cache_hits, 2);
+        // ...and vice versa: a warmed single-class entry hits in multi.
+        let again = srv.rank_multi(&[0, 1], NodeId(1), 2);
+        assert!(Arc::ptr_eq(&again[0], &a));
+        assert_eq!(srv.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn rank_multi_batch_matches_singles() {
+        let (srv, idx, wa, wb) = two_class_server(16);
+        let queries: Vec<NodeId> = (0..20).map(|i| NodeId(i % 6)).collect();
+        let grid = srv.rank_multi_batch(&[0, 1], &queries, 3);
+        assert_eq!(grid.len(), queries.len());
+        for (row, &q) in grid.iter().zip(&queries) {
+            assert_eq!(*row[0], reference(&idx, &wa, q, 3), "a q={q}");
+            assert_eq!(*row[1], reference(&idx, &wb, q, 3), "b q={q}");
+        }
+        assert_eq!(srv.stats().latency.count, 1, "one histogram entry");
+        assert!(srv.rank_multi_batch(&[0, 1], &[], 3).is_empty());
+    }
+
+    #[test]
+    fn fused_apply_matches_sequential_applies() {
+        // The same churn (bump pair (1,2) on coordinate 0, kill pair
+        // (2,3) on coordinate 1) lands on two servers: one via
+        // apply_delta_fused across both classes, one via two sequential
+        // single-class apply_delta calls. Both must equal each other and
+        // a fresh registration, entry for entry.
+        let (fused_srv, mut idx_f, wa, wb) = two_class_server(16);
+        let (seq_srv, mut idx_s, _, _) = two_class_server(16);
+
+        let mut d = count_delta(&[(1, 2), (2, 2)], &[((1, 2), 2)], 0, 2);
+        d.counts[1] = count_delta(&[(2, -2), (3, -2)], &[((2, 3), -2)], 1, 2).counts[1].clone();
+
+        let touch_f = idx_f.apply_delta(&d);
+        let fused = fused_srv.apply_delta_fused(&[
+            ClassDelta {
+                class_id: 0,
+                index: &idx_f,
+                touch: &touch_f,
+            },
+            ClassDelta {
+                class_id: 1,
+                index: &idx_f,
+                touch: &touch_f,
+            },
+        ]);
+        let touch_s = idx_s.apply_delta(&d);
+        let sa = seq_srv.apply_delta(0, &idx_s, &touch_s);
+        let sb = seq_srv.apply_delta(1, &idx_s, &touch_s);
+
+        // Same per-class work, reported in input order.
+        assert_eq!(fused.per_class[0], sa);
+        assert_eq!(fused.per_class[1], sb);
+        // The fusion saving: every shard visited once, not once per class.
+        assert_eq!(
+            fused.sequential_shard_visits(),
+            sa.swapped_shards + sb.swapped_shards
+        );
+        assert!(fused.fused_shard_visits < fused.sequential_shard_visits());
+        assert!(fused.fused_shard_visits >= sa.swapped_shards.max(sb.swapped_shards));
+        let shown = fused.to_string();
+        assert!(shown.contains("fused shard visits"), "{shown}");
+
+        // Bit-identical serving state on both paths and vs fresh builds.
+        let mut fresh = QueryServer::new(ServeConfig::default());
+        fresh.add_class("a", &idx_f, &wa);
+        fresh.add_class("b", &idx_f, &wb);
+        for cid in 0..2 {
+            assert_eq!(fused_srv.table_stats(cid), seq_srv.table_stats(cid));
+            for q in 0..8u32 {
+                for k in [1, 3, 10] {
+                    let want = fresh.rank(cid, NodeId(q), k);
+                    assert_eq!(*fused_srv.rank(cid, NodeId(q), k), *want, "fused {cid} {q}");
+                    assert_eq!(*seq_srv.rank(cid, NodeId(q), k), *want, "seq {cid} {q}");
+                }
+            }
+        }
+        assert_eq!(
+            fused.total().redotted_nodes,
+            sa.redotted_nodes + sb.redotted_nodes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn fused_apply_rejects_duplicate_class() {
+        let (srv, idx, _, _) = two_class_server(0);
+        let touch = mgp_index::IndexTouch::default();
+        let d = ClassDelta {
+            class_id: 0,
+            index: &idx,
+            touch: &touch,
+        };
+        let _ = srv.apply_delta_fused(&[d, d]);
+    }
+
+    /// Satellite: GC accounting. A reader pinning a pre-delta snapshot
+    /// keeps exactly that epoch (and its unshared postings) alive; when
+    /// the last reader drops it, the epoch is released and every gauge
+    /// returns to zero.
+    #[test]
+    fn dropping_last_reader_releases_retired_epoch() {
+        let (srv, mut idx, _) = server(16);
+        assert_eq!(srv.epoch_stats(), EpochStats::default());
+
+        // Pin the shard that anchor 1 lives in, then churn anchor 1.
+        let pin = srv.snapshot(1);
+        let touch = idx.apply_delta(&count_delta(&[(1, 2), (2, 2)], &[((1, 2), 2)], 0, 2));
+        srv.apply_delta(0, &idx, &touch);
+
+        let held = srv.epoch_stats();
+        assert!(held.retained_epochs >= 1, "{held}");
+        assert!(
+            held.retained_postings >= 1,
+            "the pinned epoch holds anchor 1's pre-delta posting: {held}"
+        );
+        assert!(held.retained_posting_entries >= 1);
+        assert!(held.approx_retained_bytes > 0);
+        assert!(held.to_string().contains("retained epochs"));
+
+        drop(pin);
+        assert_eq!(
+            srv.epoch_stats(),
+            EpochStats::default(),
+            "dropping the last reader must release the epoch"
+        );
+    }
+
+    #[test]
+    fn class_stats_track_per_class_hits_and_misses() {
+        let (srv, _, _, _) = two_class_server(32);
+        let _ = srv.rank(0, NodeId(1), 2); // a: miss
+        let _ = srv.rank(0, NodeId(1), 2); // a: hit
+        let _ = srv.rank_multi(&[0, 1], NodeId(1), 2); // a: hit, b: miss
+        let a = srv.class_stats(0);
+        let b = srv.class_stats(1);
+        assert_eq!((a.hits, a.misses), (2, 1));
+        assert_eq!((b.hits, b.misses), (0, 1));
+        assert!((a.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ClassCacheStats::default().hit_rate(), 0.0);
+        let s = srv.stats();
+        assert_eq!(s.cache_hits, a.hits + b.hits);
+        assert_eq!(s.cache_misses, a.misses + b.misses);
     }
 
     #[test]

@@ -208,6 +208,13 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     // QueryServer tables: same footprint as before the churn, and the
     // same as a freshly registered server.
     assert_eq!(server.table_stats(cid), tables0);
+    // With no reader pinning an old snapshot, every epoch the churn
+    // retired has been released — no copy-on-write memory lingers.
+    assert_eq!(
+        server.epoch_stats(),
+        semantic_proximity::online::EpochStats::default(),
+        "settled churn must leave no retained epochs"
+    );
     let fresh_server = engine.serve_with(ServeConfig {
         workers: 2,
         shards: 3,

@@ -99,6 +99,58 @@ fn rebuilt_index(engine: &SearchEngine, coords: &[usize]) -> VectorIndex {
     VectorIndex::from_counts(&counts, Transform::Log1p)
 }
 
+/// Per-class training triples that differ per class (distinct weight
+/// vectors), deterministically derived from a salt.
+fn salted_examples(n_users: usize, salt: usize) -> Vec<TrainingExample> {
+    (0..n_users.min(8))
+        .map(|i| TrainingExample {
+            q: NodeId(((i + salt) % n_users) as u32),
+            x: NodeId(((i + salt + 1) % n_users) as u32),
+            y: NodeId(((i + 2 * salt + 2) % n_users) as u32),
+        })
+        .collect()
+}
+
+/// Decodes one `(x, y, kind)` churn op into `delta` against the state
+/// described by `edges_now` / `n_now` (shared by the fused and per-class
+/// proptests so both build identical batches).
+fn push_churn_op(
+    delta: &mut GraphDelta,
+    edges_now: &[(NodeId, NodeId)],
+    n_base: usize,
+    n_now: &mut usize,
+    (x, y, kind): (usize, usize, u8),
+) {
+    match kind {
+        // Insert an edge among existing nodes.
+        0 => {
+            let a = NodeId((x % *n_now) as u32);
+            let b = NodeId((y % *n_now) as u32);
+            if a != b {
+                delta.add_edge(a, b).unwrap();
+            }
+        }
+        // Insert an edge through a freshly added node.
+        1 => {
+            let a = NodeId((x % *n_now) as u32);
+            let ty = [USER, A, B][y % 3];
+            *n_now += 1;
+            let b = delta.add_node(ty, format!("fresh{n_now}"));
+            delta.add_edge(a, b).unwrap();
+        }
+        // Remove an existing edge (duplicates tolerated).
+        2 if !edges_now.is_empty() => {
+            let (a, b) = edges_now[x % edges_now.len()];
+            delta.remove_edge(a, b).unwrap();
+        }
+        // Tombstone-detach a base node.
+        3 => {
+            delta.remove_node(NodeId((x % n_base) as u32)).unwrap();
+        }
+        _ => {}
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -268,6 +320,142 @@ proptest! {
             for (q, got) in all.iter().zip(&ranked) {
                 let want = mgp::rank_with_scores(&fresh_idx, *q, &weights, 5);
                 prop_assert_eq!(&**got, &want, "batched server diverged at q={}", q);
+            }
+        }
+    }
+
+    /// Multi-class fusion equivalence: one engine serving **three**
+    /// classes through the fused chain (one matching pass →
+    /// `IndexDeltaBatch` fan-out → `apply_delta_fused` → `rank_multi`)
+    /// must answer bit-identically to three per-class silos — separate
+    /// engines, separate servers, per-class `ingest_serving` and `rank`
+    /// — and to a from-scratch rematch + rebuild, across random
+    /// interleaved insert/delete batches.
+    #[test]
+    fn fused_multiclass_equals_per_class_pipelines(
+        n_users in 6usize..11,
+        n_a in 2usize..5,
+        n_b in 2usize..5,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 15..35),
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 1..5),
+            1..3,
+        ),
+    ) {
+        const CLASSES: [&str; 3] = ["c0", "c1", "c2"];
+        let g = base_graph(n_users, n_a, n_b, &base_edges);
+        let serve_cfg = || ServeConfig { workers: 2, shards: 3, cache_capacity: 64 };
+
+        // Fused side: one engine, all three classes, one server.
+        let mut fused = SearchEngine::with_metagraphs(g.clone(), catalogue(), pipeline_cfg());
+        for (salt, name) in CLASSES.iter().enumerate() {
+            fused.train_class(name, &salted_examples(n_users, 3 * salt + 1));
+        }
+        let fused_server = fused.serve_with(serve_cfg());
+        let cids: Vec<usize> = CLASSES
+            .iter()
+            .map(|n| fused_server.class_id(n).unwrap())
+            .collect();
+
+        // Per-class silos: each engine trains and serves only its class
+        // (training is deterministic, so weights match the fused side).
+        let mut silos: Vec<(SearchEngine, semantic_proximity::online::QueryServer)> = CLASSES
+            .iter()
+            .enumerate()
+            .map(|(salt, name)| {
+                let mut e =
+                    SearchEngine::with_metagraphs(g.clone(), catalogue(), pipeline_cfg());
+                e.train_class(name, &salted_examples(n_users, 3 * salt + 1));
+                let s = e.serve_with(serve_cfg());
+                (e, s)
+            })
+            .collect();
+        for (name, (silo, _)) in CLASSES.iter().zip(&silos) {
+            prop_assert_eq!(
+                &fused.model(name).unwrap().weights,
+                &silo.model(name).unwrap().weights,
+                "training must be deterministic for the comparison to mean anything"
+            );
+        }
+
+        for batch in batches {
+            // One identical churn batch for every pipeline, decoded
+            // against the (identical) current graph state.
+            let g_now = fused.graph().clone();
+            let edges_now: Vec<(NodeId, NodeId)> = g_now.edges().collect();
+            let n_base = g_now.n_nodes();
+            let mut deltas: Vec<GraphDelta> = (0..=silos.len())
+                .map(|_| GraphDelta::for_graph(&g_now))
+                .collect();
+            let mut n_nows = vec![n_base; deltas.len()];
+            for &op in &batch {
+                for (d, n_now) in deltas.iter_mut().zip(n_nows.iter_mut()) {
+                    push_churn_op(d, &edges_now, n_base, n_now, op);
+                }
+            }
+            let fused_delta = deltas.pop().unwrap();
+            let report = fused.ingest_serving(&fused_delta, &fused_server).unwrap();
+            prop_assert!(
+                report.fused_shard_visits <= report.sequential_shard_visits(),
+                "fused visits {} exceed the per-class product {}",
+                report.fused_shard_visits, report.sequential_shard_visits()
+            );
+            for ((silo, server), d) in silos.iter_mut().zip(deltas) {
+                silo.ingest_serving(&d, server).unwrap();
+            }
+
+            // Reference per class: full rematch + rebuild, same weights
+            // (one rebuild per class per batch, shared by all queries).
+            let references: Vec<(VectorIndex, Vec<f64>)> = CLASSES
+                .iter()
+                .zip(&silos)
+                .map(|(name, (silo, _))| {
+                    let model = silo.model(name).unwrap();
+                    (
+                        rebuilt_index(silo, &model.coords),
+                        model.weights.clone(),
+                    )
+                })
+                .collect();
+
+            // Every anchor, every k: the fused multi-class walk equals
+            // each silo's single-class answer and the full rebuild.
+            let n_nodes = fused.graph().n_nodes() as u32;
+            for q in 0..n_nodes {
+                let q = NodeId(q);
+                for k in [3usize, 10] {
+                    let multi = fused_server.rank_multi(&cids, q, k);
+                    for (((name, (_, server)), (rebuilt, weights)), (j, &cid)) in CLASSES
+                        .iter()
+                        .zip(&silos)
+                        .zip(&references)
+                        .zip(cids.iter().enumerate())
+                    {
+                        let want = mgp::rank_with_scores(rebuilt, q, weights, k);
+                        prop_assert_eq!(
+                            &*multi[j], &want,
+                            "fused rank_multi diverged: class {} q={} k={}", name, q, k
+                        );
+                        let silo_cid = server.class_id(name).unwrap();
+                        prop_assert_eq!(
+                            &*server.rank(silo_cid, q, k), &want,
+                            "silo diverged: class {} q={} k={}", name, q, k
+                        );
+                        prop_assert_eq!(
+                            &*fused_server.rank(cid, q, k), &want,
+                            "fused single-class rank diverged: class {} q={} k={}", name, q, k
+                        );
+                    }
+                }
+            }
+            // The fused batch path agrees as well.
+            let all: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+            let grid = fused_server.rank_multi_batch(&cids, &all, 5);
+            for (q, row) in all.iter().zip(&grid) {
+                let single = fused_server.rank_multi(&cids, *q, 5);
+                for (j, got) in row.iter().enumerate() {
+                    prop_assert_eq!(&**got, &*single[j], "batched multi diverged at q={}", q);
+                }
             }
         }
     }
