@@ -1,0 +1,393 @@
+//! Front-end micro-batching benchmark: duplicate-heavy zipfian traffic
+//! through the async serving front-end, with churn landing concurrently
+//! through the same epoch-swapped server.
+//!
+//! Open-loop callers (each keeps a bounded number of requests in flight,
+//! as a real RPC fan-in would) drive one `Frontend` per arm over an
+//! LRU-disabled server, so any win is carried by **window coalescing**
+//! alone — duplicate `(class, q, k)` requests inside a micro-batch
+//! window execute once and fan the shared `Arc` ranking back to every
+//! waiter — not by the result cache:
+//!
+//! * the **coalescing arm** batches and deduplicates each window;
+//! * the **baseline arm** is the same front-end with coalescing off —
+//!   every request is ranked individually, the pre-front-end cost model.
+//!
+//! Acceptance (asserted, run in CI):
+//!
+//! * coalesced sustained QPS ≥ 2× the no-coalescing baseline under the
+//!   same zipfian open-loop traffic with concurrent single-edge churn;
+//! * at that higher throughput the coalesced p99 holds the baseline's
+//!   p99 SLO (≤ baseline p99 × 1.25 noise guard) — more throughput at
+//!   no worse tail, not throughput bought with latency;
+//! * both arms answer quiesced spot-checks bit-identically to direct
+//!   `QueryServer::rank` calls;
+//! * forced memory pressure (a pinned epoch + retained postings over a
+//!   1-byte high-water mark) makes admission shed with a typed
+//!   `Overloaded { pressured: true }` rejection, and releasing the pin
+//!   restores service with answers identical to direct calls.
+
+use mgp_core::{PipelineConfig, SearchEngine, TrainingStrategy};
+use mgp_datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use mgp_graph::{GraphDelta, NodeId};
+use mgp_learning::{sample_examples, TrainConfig, TrainingExample};
+use mgp_online::{Frontend, FrontendConfig, FrontendError, ServeConfig, Ticket};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Caller threads per arm.
+const CALLERS: usize = 8;
+/// Measured requests per caller.
+const PER_CALLER: usize = 4_000;
+/// Warm-up requests per caller (unmeasured, closed-loop).
+const WARMUP: usize = 100;
+/// In-flight requests each caller keeps pipelined (open-loop fan-in).
+const OUTSTANDING: usize = 64;
+/// Zipf exponent and hot-set size: the duplicate-heavy regime the
+/// front-end exists for.
+const ZIPF_S: f64 = 1.4;
+const HOT_SET: usize = 16;
+/// Acceptance bars.
+const QPS_BAR: f64 = 2.0;
+const P99_SLACK: f64 = 1.25;
+
+/// Minimal xorshift64* — deterministic per-caller traffic without
+/// threading a rand `Rng` through every worker.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Cumulative zipfian distribution over ranks `1..=n`: rank r carries
+/// weight `1 / r^s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf: Vec<f64> = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 1..=n {
+        acc += 1.0 / (r as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+fn sample(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+fn examples(
+    d: &mgp_datagen::Dataset,
+    class: mgp_datagen::ClassId,
+    n: usize,
+    seed: u64,
+) -> Vec<TrainingExample> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let queries = d.labels.queries_of_class(class);
+    let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    sample_examples(
+        &queries,
+        |q| d.labels.positives_of(q, class),
+        |q, v| d.labels.has(q, v, class),
+        &anchors,
+        n,
+        &mut rng,
+    )
+}
+
+fn submit_retrying(fe: &Frontend, cid: usize, q: NodeId, k: usize) -> Ticket {
+    loop {
+        match fe.submit(cid, q, k) {
+            Ok(t) => return t,
+            Err(FrontendError::Overloaded { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected submit rejection: {e}"),
+        }
+    }
+}
+
+/// Edges not present in the graph yet — the churn thread inserts and
+/// removes them in alternation, so the graph nets back every two passes.
+fn fresh_pairs(
+    engine: &SearchEngine,
+    anchor: mgp_graph::TypeId,
+    n: usize,
+) -> Vec<(NodeId, NodeId)> {
+    let g = engine.graph();
+    let users: Vec<NodeId> = g.nodes_of_type(anchor).to_vec();
+    let attrs: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| g.node_type(v) != anchor && g.degree(v) > 0)
+        .collect();
+    let mut pairs = Vec::new();
+    'outer: for &u in &users {
+        for &a in &attrs {
+            if !g.has_edge(u, a) {
+                pairs.push((u, a));
+                if pairs.len() >= n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    pairs
+}
+
+struct ArmResult {
+    qps: f64,
+    p99: Duration,
+    ingests: usize,
+    stats: mgp_online::FrontendStats,
+}
+
+/// Runs one traffic arm: `CALLERS` open-loop zipfian callers against a
+/// fresh front-end over `engine` (moved in, returned out through the
+/// churn thread), while a churn thread streams single-edge deltas
+/// through `ingest_serving`.
+fn run_arm(
+    mut engine: SearchEngine,
+    anchor: mgp_graph::TypeId,
+    coalesce: bool,
+) -> (SearchEngine, ArmResult) {
+    let frontend = engine.serve_frontend_with(
+        ServeConfig {
+            workers: 2,
+            shards: 4,
+            // LRU off: any duplicate win below is the coalescer's.
+            cache_capacity: 0,
+        },
+        FrontendConfig {
+            workers: 2,
+            coalesce,
+            ..FrontendConfig::default()
+        },
+    );
+    let users: Vec<NodeId> = engine.graph().nodes_of_type(anchor).to_vec();
+    let hot: Vec<NodeId> = users.iter().copied().take(HOT_SET).collect();
+    let cdf = zipf_cdf(hot.len(), ZIPF_S);
+    let churn_pairs = fresh_pairs(&engine, anchor, 16);
+    let stop = AtomicBool::new(false);
+
+    let (engine, latencies, elapsed, ingests) = std::thread::scope(|s| {
+        let fe = &frontend;
+        let churn = s.spawn(|| {
+            let mut ingests = 0usize;
+            'churn: loop {
+                for remove in [false, true] {
+                    for &(u, a) in &churn_pairs {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'churn;
+                        }
+                        let mut delta = GraphDelta::for_graph(engine.graph());
+                        if remove {
+                            delta.remove_edge(u, a).unwrap();
+                        } else {
+                            delta.add_edge(u, a).unwrap();
+                        }
+                        engine.ingest_serving(&delta, fe.server()).unwrap();
+                        ingests += 1;
+                    }
+                }
+            }
+            (engine, ingests)
+        });
+
+        let callers: Vec<_> = (0..CALLERS)
+            .map(|c| {
+                let cdf = &cdf;
+                let hot = &hot;
+                s.spawn(move || {
+                    let mut rng = XorShift(0x9E37_79B9 + c as u64 * 0x61C8_8647);
+                    // Unmeasured closed-loop warm-up: first touches sort
+                    // shard postings in both arms.
+                    for _ in 0..WARMUP {
+                        let q = hot[sample(cdf, rng.next_f64())];
+                        submit_retrying(fe, 0, q, 10).wait().unwrap();
+                    }
+                    // Measured open-loop phase: keep OUTSTANDING requests
+                    // in flight, record each submit→answer latency.
+                    let mut lat = Vec::with_capacity(PER_CALLER);
+                    let mut inflight: VecDeque<(Instant, Ticket)> =
+                        VecDeque::with_capacity(OUTSTANDING);
+                    for _ in 0..PER_CALLER {
+                        let q = hot[sample(cdf, rng.next_f64())];
+                        inflight.push_back((Instant::now(), submit_retrying(fe, 0, q, 10)));
+                        if inflight.len() >= OUTSTANDING {
+                            let (t0, t) = inflight.pop_front().unwrap();
+                            t.wait().unwrap();
+                            lat.push(t0.elapsed());
+                        }
+                    }
+                    for (t0, t) in inflight {
+                        t.wait().unwrap();
+                        lat.push(t0.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let mut latencies: Vec<Duration> = Vec::with_capacity(CALLERS * PER_CALLER);
+        for c in callers {
+            latencies.extend(c.join().unwrap());
+        }
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        let (engine, ingests) = churn.join().unwrap();
+        (engine, latencies, elapsed, ingests)
+    });
+
+    // Quiesced spot-check: the front-end answers exactly like the server
+    // it wraps (the full equivalence property lives in the test suite).
+    for (i, &q) in hot.iter().enumerate().take(8) {
+        let got = submit_retrying(&frontend, i % 2, q, 10).wait().unwrap();
+        assert_eq!(
+            *got,
+            *frontend.server().rank(i % 2, q, 10),
+            "arm coalesce={coalesce} diverged from direct rank at q={q}"
+        );
+    }
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let p99 = sorted[(sorted.len() - 1) * 99 / 100];
+    let qps = latencies.len() as f64 / elapsed.as_secs_f64();
+    let stats = frontend.shutdown();
+    (
+        engine,
+        ArmResult {
+            qps,
+            p99,
+            ingests,
+            stats,
+        },
+    )
+}
+
+fn main() {
+    // Denser attribute pools than the CI default: larger cohorts mean
+    // longer posting walks per rank, so the benchmark measures the
+    // coalescer against realistic per-query work rather than
+    // channel/synchronization overhead.
+    let d = generate_facebook(&FacebookConfig {
+        n_locations: 15,
+        n_hometowns: 15,
+        n_schools: 10,
+        n_majors: 5,
+        n_employers: 20,
+        n_work_locations: 8,
+        n_work_projects: 15,
+        ..FacebookConfig::default()
+    });
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = TrainConfig::fast(1);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+    engine.train_class("family", &examples(&d, FAMILY, 200, 9));
+    engine.train_class("classmate", &examples(&d, CLASSMATE, 200, 11));
+
+    println!(
+        "--- front-end micro-batching ({} nodes, {} edges, {CALLERS} callers x {PER_CALLER} reqs, \
+         zipf s={ZIPF_S} over {HOT_SET} hot queries, concurrent churn) ---",
+        engine.graph().n_nodes(),
+        engine.graph().n_edges(),
+    );
+
+    let (engine, base) = run_arm(engine, d.anchor_type, false);
+    let (mut engine, coal) = run_arm(engine, d.anchor_type, true);
+
+    println!(
+        "baseline (no coalescing) : {:>9.0} qps, p99 {:>10.2?}, {} churn ingests",
+        base.qps, base.p99, base.ingests
+    );
+    println!("  {}", base.stats);
+    println!(
+        "coalescing               : {:>9.0} qps, p99 {:>10.2?}, {} churn ingests",
+        coal.qps, coal.p99, coal.ingests
+    );
+    println!("  {}", coal.stats);
+
+    let speedup = coal.qps / base.qps.max(1e-9);
+    println!(
+        "coalescing speedup       : {speedup:>9.1}x qps (bar: {QPS_BAR}x), \
+         coalesce ratio {:.1} reqs/execution",
+        coal.stats.coalesce_ratio
+    );
+    assert!(
+        coal.stats.coalesce_ratio > 1.0,
+        "duplicate-heavy traffic must coalesce (got ratio {:.2})",
+        coal.stats.coalesce_ratio
+    );
+    assert!(
+        speedup >= QPS_BAR,
+        "acceptance: coalesced QPS must be ≥ {QPS_BAR}x the no-coalescing \
+         baseline (got {speedup:.2}x)"
+    );
+    assert!(
+        coal.p99 <= base.p99.mul_f64(P99_SLACK),
+        "acceptance: coalesced p99 ({:?}) must hold the baseline p99 SLO \
+         ({:?} x {P99_SLACK})",
+        coal.p99,
+        base.p99
+    );
+
+    // --- Forced-pressure shedding ------------------------------------
+    // A pinned epoch (slow reader) plus churn retains postings; with a
+    // 1-byte high-water mark the gauge trips immediately and the
+    // tightened depth-0 queue sheds every request with a typed,
+    // pressure-attributed rejection. Releasing the pin restores service.
+    let fe = engine.serve_frontend_with(
+        ServeConfig {
+            workers: 1,
+            shards: 2,
+            cache_capacity: 0,
+        },
+        FrontendConfig {
+            workers: 1,
+            high_water_bytes: 1,
+            pressure_queue_depth: 0,
+            ..FrontendConfig::default()
+        },
+    );
+    let q0 = engine.graph().nodes_of_type(d.anchor_type)[0];
+    let pin = fe.server().pin_epoch(q0);
+    let (u, a) = fresh_pairs(&engine, d.anchor_type, 1)[0];
+    let mut delta = GraphDelta::for_graph(engine.graph());
+    delta.add_edge(u, a).unwrap();
+    engine.ingest_serving(&delta, fe.server()).unwrap();
+    assert!(
+        fe.refresh_pressure(),
+        "a pinned epoch over a 1-byte high-water mark must read as pressure"
+    );
+    let mut pressure_sheds = 0u64;
+    for _ in 0..64 {
+        match fe.submit(0, q0, 10) {
+            Err(FrontendError::Overloaded {
+                pressured: true, ..
+            }) => pressure_sheds += 1,
+            other => panic!("expected pressure shed, got {other:?}"),
+        }
+    }
+    drop(pin);
+    assert!(!fe.refresh_pressure(), "releasing the pin clears pressure");
+    let recovered = submit_retrying(&fe, 0, q0, 10).wait().unwrap();
+    assert_eq!(*recovered, *fe.server().rank(0, q0, 10));
+    let shed_stats = fe.shutdown();
+    assert_eq!(shed_stats.shed_pressure, pressure_sheds);
+    println!(
+        "forced pressure          : {pressure_sheds} typed sheds at depth 0, \
+         service restored after pin release"
+    );
+    println!("acceptance               : all bars passed");
+}

@@ -1,0 +1,472 @@
+//! Offline shim for the `crossbeam-channel` subset the workspace uses:
+//! cloneable multi-producer multi-consumer channels with `bounded` /
+//! `unbounded` constructors, blocking `send` / `recv`, non-blocking
+//! `try_send` / `try_recv`, timed `recv_timeout`, and `len` / `is_empty`
+//! gauges. Backed by one `Mutex<VecDeque>` + two `Condvar`s per channel
+//! (no lock-free ring — throughput is plenty for micro-batched serving,
+//! and the API matches upstream so the real crate can be swapped in by
+//! editing only the workspace dependency spec).
+//!
+//! Disconnect semantics follow upstream: receivers drain buffered
+//! messages *before* reporting disconnection; `send` on a channel with
+//! no receivers returns the message in the error.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Sending on a channel whose receivers are all gone; carries the
+/// unsent message back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Why [`Sender::try_send`] could not enqueue; carries the message back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Receiving on a channel that is empty with every sender gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Why [`Receiver::try_recv`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders may still produce).
+    Empty,
+    /// Empty and every sender is gone — nothing will ever arrive.
+    Disconnected,
+}
+
+/// Why [`Receiver::recv_timeout`] returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with no message.
+    Timeout,
+    /// Empty and every sender is gone — nothing will ever arrive.
+    Disconnected,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    /// Capacity for bounded channels; `None` = unbounded.
+    cap: Option<usize>,
+    /// Signalled when a message arrives or the last sender leaves.
+    recv_cv: Condvar,
+    /// Signalled when capacity frees up or the last receiver leaves.
+    send_cv: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half; clone freely across producer threads.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The receiving half; clone freely across consumer threads (each
+/// message is delivered to exactly one receiver).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel buffering at most `cap` messages; `send` blocks and
+/// `try_send` returns [`TrySendError::Full`] at capacity. `cap == 0` is
+/// clamped to 1 (upstream's rendezvous semantics need paired blocking,
+/// which no call site in this workspace uses).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            items: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        cap,
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `msg`, blocking while a bounded channel is at capacity.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut st = self.chan.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            match self.chan.cap {
+                Some(cap) if st.items.len() >= cap => {
+                    st = self
+                        .chan
+                        .send_cv
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                _ => break,
+            }
+        }
+        st.items.push_back(msg);
+        drop(st);
+        self.chan.recv_cv.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `msg` without blocking; a bounded channel at capacity
+    /// returns it in [`TrySendError::Full`].
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.chan.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if let Some(cap) = self.chan.cap {
+            if st.items.len() >= cap {
+                return Err(TrySendError::Full(msg));
+            }
+        }
+        st.items.push_back(msg);
+        drop(st);
+        self.chan.recv_cv.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.chan.lock().items.len()
+    }
+
+    /// Whether no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking until one arrives; returns
+    /// [`RecvError`] only once the channel is empty *and* every sender
+    /// is gone (buffered messages are always drained first).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(msg) = st.items.pop_front() {
+                drop(st);
+                self.chan.send_cv.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .chan
+                .recv_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`Receiver::recv`] with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.chan.lock();
+        loop {
+            if let Some(msg) = st.items.pop_front() {
+                drop(st);
+                self.chan.send_cv.notify_one();
+                return Ok(msg);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = self
+                .chan
+                .recv_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.chan.lock();
+        if let Some(msg) = st.items.pop_front() {
+            drop(st);
+            self.chan.send_cv.notify_one();
+            return Ok(msg);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Drains up to `max` immediately-available messages into `out`
+    /// under **one** lock acquisition — the batch-consumer fast path
+    /// (real crossbeam offers the same via `try_iter`, which locks per
+    /// item in this shim). Returns the number appended: `Ok(0)` means
+    /// the channel is empty but still connected;
+    /// [`TryRecvError::Disconnected`] means empty *and* every sender is
+    /// gone.
+    pub fn try_recv_many(&self, out: &mut Vec<T>, max: usize) -> Result<usize, TryRecvError> {
+        let mut st = self.chan.lock();
+        let n = max.min(st.items.len());
+        out.extend(st.items.drain(..n));
+        if n == 0 && st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        drop(st);
+        if n > 0 {
+            self.chan.send_cv.notify_all();
+        }
+        Ok(n)
+    }
+
+    /// Messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.chan.lock().items.len()
+    }
+
+    /// Whether no message is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().senders += 1;
+        Sender {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.lock().receivers += 1;
+        Receiver {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Blocked receivers must wake to observe the disconnect.
+            self.chan.recv_cv.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.chan.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Blocked senders must wake to observe the disconnect.
+            self.chan.send_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_across_threads() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert!(rx.is_empty() && tx.is_empty());
+    }
+
+    #[test]
+    fn drained_before_disconnected() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Ok(8));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_no_receiver_returns_message() {
+        let (tx, rx) = bounded::<u32>(4);
+        drop(rx);
+        assert_eq!(tx.send(5), Err(SendError(5)));
+        assert!(matches!(tx.try_send(6), Err(TrySendError::Disconnected(6))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+        });
+    }
+
+    #[test]
+    fn mpmc_delivers_each_message_once() {
+        let (tx, rx) = bounded(64);
+        let total: usize = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut n = 0usize;
+                        while rx.recv().is_ok() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            for w in 0..2 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(w * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            drop(rx);
+            consumers.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn try_recv_many_drains_in_order_then_reports_disconnect() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let mut out = vec![99];
+        assert_eq!(rx.try_recv_many(&mut out, 3), Ok(3));
+        assert_eq!(out, vec![99, 0, 1, 2]);
+        // Capped by what is buffered, appended after existing contents.
+        assert_eq!(rx.try_recv_many(&mut out, 10), Ok(2));
+        assert_eq!(out, vec![99, 0, 1, 2, 3, 4]);
+        // Empty but connected: Ok(0).
+        assert_eq!(rx.try_recv_many(&mut out, 10), Ok(0));
+        // Buffered messages still drain after the last sender is gone;
+        // only then does the call report the disconnect.
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv_many(&mut out, 10), Ok(1));
+        assert_eq!(
+            rx.try_recv_many(&mut out, 10),
+            Err(TryRecvError::Disconnected)
+        );
+    }
+}

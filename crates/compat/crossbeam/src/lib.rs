@@ -16,6 +16,13 @@
 //! Behavioural difference: if a spawned thread panics, `std::thread::scope`
 //! resurfaces the panic when the scope exits instead of returning `Err` —
 //! callers that `.expect()` the result observe a panic either way.
+//!
+//! Also ships the [`channel`] subset of `crossbeam-channel` (cloneable
+//! mpmc `bounded`/`unbounded` channels with blocking, timed and
+//! non-blocking operations) over `std::sync::{Mutex, Condvar}` — the
+//! serving front-end's request queue and per-request oneshots run on it.
+
+pub mod channel;
 
 /// A scope handle for spawning threads that may borrow from the stack.
 pub struct Scope<'scope, 'env: 'scope> {

@@ -6,10 +6,14 @@ use mgp_index::{IndexDeltaBatch, IndexTouch, Transform, VectorIndex};
 use mgp_learning::baselines::metapath_indices;
 use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all_timed;
-use mgp_matching::{delta_count_changes, AnchorCounts, PatternInfo, SymIso};
+use mgp_matching::{
+    delta_count_changes, AnchorCounts, CountUnderflow, MatchDelta, PatternInfo, SymIso,
+};
 use mgp_metagraph::Metagraph;
 use mgp_mining::{mine, MinerConfig};
-use mgp_online::{ClassDelta, DeltaStats, QueryServer, ServeConfig, ServerHandle};
+use mgp_online::{
+    ClassDelta, DeltaStats, Frontend, FrontendConfig, QueryServer, ServeConfig, ServerHandle,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -128,6 +132,67 @@ impl IngestReport {
     /// product that [`IngestReport::fused_shard_visits`] collapses.
     pub fn sequential_shard_visits(&self) -> usize {
         self.serving.iter().map(|(_, s)| s.swapped_shards).sum()
+    }
+}
+
+/// Why [`SearchEngine::ingest`] rejected a delta. Rejection is **atomic**:
+/// when `ingest` returns an error, the graph, the count cache, every class
+/// model and any live server are exactly as they were before the call —
+/// the engine validates the complete delta against every structure it
+/// would touch *before* mutating any of them, so a malformed batch can
+/// never panic (or half-apply) a long-lived serving process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The graph layer rejected the delta (unknown endpoint, unknown
+    /// type, …) before any splicing happened.
+    Graph(GraphError),
+    /// The delta's signed instance-count changes would drive a cached
+    /// count below zero — it was not produced against this engine's
+    /// graph. The classic way to get here is [`SearchEngine::import_models`]
+    /// with a model trained on a *different* graph, then ingesting
+    /// removals the stale model never saw.
+    Underflow {
+        /// Global index of the metagraph pattern whose counts underflow.
+        pattern: usize,
+        /// The trained class whose restricted index tripped the check, or
+        /// `None` when the shared count cache itself underflows.
+        class: Option<String>,
+        /// The offending entry and amounts.
+        underflow: CountUnderflow,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Graph(e) => write!(f, "graph delta rejected: {e}"),
+            IngestError::Underflow {
+                pattern,
+                class,
+                underflow,
+            } => {
+                write!(f, "ingest rejected: pattern {pattern}")?;
+                if let Some(class) = class {
+                    write!(f, " (class {class:?})")?;
+                }
+                write!(f, " {underflow}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Graph(e) => Some(e),
+            IngestError::Underflow { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for IngestError {
+    fn from(e: GraphError) -> Self {
+        IngestError::Graph(e)
     }
 }
 
@@ -448,6 +513,26 @@ impl SearchEngine {
         Arc::new(self.serve_with(cfg))
     }
 
+    /// Builds the async serving front-end over a fresh shared server with
+    /// default settings — see [`SearchEngine::serve_frontend_with`].
+    pub fn serve_frontend(&self) -> Frontend {
+        self.serve_frontend_with(ServeConfig::default(), FrontendConfig::default())
+    }
+
+    /// [`SearchEngine::serve_shared_with`] wrapped in a
+    /// [`Frontend`]: a pool of batcher threads that
+    /// accumulate concurrent `(class, query, k)` requests into
+    /// micro-batches under a latency budget, coalesce duplicates into one
+    /// ranking execution, and shed load with a typed rejection when the
+    /// bounded queue fills (tightening under retained-epoch memory
+    /// pressure). Callers submit from any thread and block on a
+    /// [`Ticket`](mgp_online::Ticket); the underlying [`ServerHandle`] is
+    /// reachable via `Frontend::server` for [`SearchEngine::ingest_serving`]
+    /// so churn keeps landing while the front-end serves.
+    pub fn serve_frontend_with(&self, cfg: ServeConfig, fcfg: FrontendConfig) -> Frontend {
+        Frontend::new(self.serve_shared_with(cfg), fcfg)
+    }
+
     /// Ingests a graph churn delta — insertions *and* removals, mixed in
     /// one batch — through the whole offline chain without any
     /// from-scratch work: the CSR is spliced in place of a rebuild, every
@@ -471,7 +556,18 @@ impl SearchEngine {
     ///
     /// Live servers built via [`SearchEngine::serve`] are patched with
     /// [`SearchEngine::ingest_serving`].
-    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<IngestReport, GraphError> {
+    ///
+    /// # Atomicity
+    ///
+    /// The call either applies the delta completely or rejects it with a
+    /// typed [`IngestError`] **before any state is touched**: the signed
+    /// changes are computed for every matched pattern first, validated
+    /// against the count cache and every class model's restricted index
+    /// (a stale imported model whose counts the delta would drive
+    /// negative fails here — see [`IngestError::Underflow`]), and only
+    /// then committed. A rejected ingest leaves graph, counts, models and
+    /// any live server bit-identical to before the call.
+    pub fn ingest(&mut self, delta: &GraphDelta) -> Result<IngestReport, IngestError> {
         let t0 = Instant::now();
         let ext = self.graph.apply_delta(delta)?;
         let mut report = IngestReport {
@@ -485,17 +581,18 @@ impl SearchEngine {
             return Ok(report);
         }
 
-        // Delta-match every pattern that has been matched so far —
-        // **exactly once per ingest**, never once per class: a pattern's
-        // instance delta is class-independent, so the signed changes land
-        // in one shared `IndexDeltaBatch` and fan out below. The cached
-        // counts stay equal to a full match on the updated graph. Doomed
-        // instances are enumerated against `self.graph` (still the
-        // pre-delta graph — the removed edges exist only there), new
-        // instances against the updated `ext.graph`.
+        // Phase 1 — compute. Delta-match every pattern that has been
+        // matched so far — **exactly once per ingest**, never once per
+        // class: a pattern's instance delta is class-independent, so the
+        // signed changes land in one shared `IndexDeltaBatch` and fan out
+        // below. The cached counts stay equal to a full match on the
+        // updated graph. Doomed instances are enumerated against
+        // `self.graph` (still the pre-delta graph — the removed edges
+        // exist only there), new instances against the updated
+        // `ext.graph`. Nothing is mutated yet.
         let mut matched: Vec<usize> = self.counts_cache.keys().copied().collect();
         matched.sort_unstable();
-        let mut batch = IndexDeltaBatch::default();
+        let mut pending: Vec<(usize, MatchDelta)> = Vec::new();
         for i in matched {
             let m = delta_count_changes(
                 &self.graph,
@@ -505,22 +602,54 @@ impl SearchEngine {
                 &ext.new_edges,
                 &ext.new_nodes,
             );
-            if m.is_empty() {
-                continue;
+            if !m.is_empty() {
+                pending.push((i, m));
             }
-            report.doomed_instances += m.doomed_instances;
-            report.new_instances += m.new_instances;
-            m.changes
-                .apply_to(self.counts_cache.get_mut(&i).expect("key from cache"));
-            batch.insert(i, m.changes);
         }
-        self.graph = ext.graph;
         self.timings.matching += t0.elapsed();
 
-        // Fan the shared per-pattern changes out to each trained model's
-        // restricted index — the changes are borrowed from the batch, so
-        // class count multiplies only the coordinate projection, not the
-        // matching work or any cloning.
+        // Phase 2 — validate. Probe the count cache and every trained
+        // model's restricted index for underflow without mutating either;
+        // the first offender aborts the whole ingest.
+        for (i, m) in &pending {
+            let counts = self.counts_cache.get(i).expect("key from cache");
+            m.changes
+                .check_against(counts)
+                .map_err(|underflow| IngestError::Underflow {
+                    pattern: *i,
+                    class: None,
+                    underflow,
+                })?;
+        }
+        let mut batch = IndexDeltaBatch::default();
+        for (i, m) in &mut pending {
+            batch.insert(*i, std::mem::take(&mut m.changes));
+        }
+        for model in &self.models {
+            batch
+                .check_against(&model.index, &model.coords)
+                .map_err(|e| IngestError::Underflow {
+                    pattern: model.coords[e.coordinate as usize],
+                    class: Some(model.name.clone()),
+                    underflow: e.underflow,
+                })?;
+        }
+
+        // Phase 3 — commit. Everything below is infallible: counts are
+        // patched, the spliced graph is swapped in, and the shared
+        // per-pattern changes fan out to each trained model's restricted
+        // index — the changes are borrowed from the batch, so class count
+        // multiplies only the coordinate projection, not the matching
+        // work or any cloning.
+        for (i, m) in &pending {
+            report.doomed_instances += m.doomed_instances;
+            report.new_instances += m.new_instances;
+            if let Some(changes) = batch.get(*i) {
+                changes.apply_to(self.counts_cache.get_mut(i).expect("key from cache"));
+            }
+        }
+        self.graph = ext.graph;
+
         let t1 = Instant::now();
         for m in &mut self.models {
             let touch = batch.apply_to(&mut m.index, &m.coords);
@@ -552,7 +681,7 @@ impl SearchEngine {
         &mut self,
         delta: &GraphDelta,
         server: &QueryServer,
-    ) -> Result<IngestReport, GraphError> {
+    ) -> Result<IngestReport, IngestError> {
         let mut report = self.ingest(delta)?;
         let mut served: Vec<String> = Vec::new();
         let mut updates: Vec<ClassDelta<'_>> = Vec::new();

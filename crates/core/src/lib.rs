@@ -42,6 +42,8 @@
 pub mod engine;
 pub mod timings;
 
-pub use engine::{ClassModel, IngestReport, PipelineConfig, SearchEngine, TrainingStrategy};
-pub use mgp_online::{QueryServer, ServeConfig};
+pub use engine::{
+    ClassModel, IngestError, IngestReport, PipelineConfig, SearchEngine, TrainingStrategy,
+};
+pub use mgp_online::{Frontend, FrontendConfig, FrontendError, QueryServer, ServeConfig};
 pub use timings::Timings;

@@ -38,7 +38,7 @@
 
 use mgp_graph::ids::pack_pair;
 use mgp_graph::{FxHashMap, NodeId};
-use mgp_matching::{AnchorCounts, CountDelta};
+use mgp_matching::{AnchorCounts, CountDelta, CountUnderflow};
 use serde::{Deserialize, Serialize};
 
 /// How raw instance counts become vector entries.
@@ -317,6 +317,50 @@ impl VectorIndex {
         touch
     }
 
+    /// Verifies that applying `c` at coordinate `i` would not underflow
+    /// any raw count, without mutating anything — the per-coordinate
+    /// core of [`IndexDeltaBatch::check_against`]. Only decrements can
+    /// underflow, so positive changes are skipped outright.
+    pub fn check_coord(&self, i: u32, c: &CountDelta) -> Result<(), CountUnderflow> {
+        let raw_at = |raw: Option<&RawVec>| -> u64 {
+            raw.and_then(|r| {
+                r.binary_search_by_key(&i, |&(j, _)| j)
+                    .ok()
+                    .map(|pos| r[pos].1)
+            })
+            .unwrap_or(0)
+        };
+        for (&x, &inc) in &c.per_node {
+            if inc >= 0 {
+                continue;
+            }
+            let have = raw_at(self.node_raw.get(&x));
+            if (have as i128) + (inc as i128) < 0 {
+                return Err(CountUnderflow {
+                    node: Some(x),
+                    pair: None,
+                    have,
+                    change: inc,
+                });
+            }
+        }
+        for (&key, &inc) in &c.per_pair {
+            if inc >= 0 {
+                continue;
+            }
+            let have = raw_at(self.pair_raw.get(&key));
+            if (have as i128) + (inc as i128) < 0 {
+                return Err(CountUnderflow {
+                    node: None,
+                    pair: Some(key),
+                    have,
+                    change: inc,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Applies one coordinate's signed changes — the shared body of
     /// [`VectorIndex::apply_delta`] and [`IndexDeltaBatch::apply_to`].
     /// Touched nodes/pairs are appended to `touch` unsorted; callers
@@ -464,7 +508,63 @@ impl IndexDeltaBatch {
         touch.normalize();
         touch
     }
+
+    /// Verifies that [`IndexDeltaBatch::apply_to`] would not underflow
+    /// any raw count of `index`, **without mutating anything** — the
+    /// validation gate the engine runs before committing an ingest to a
+    /// class index (a stale or foreign index, e.g. one imported from a
+    /// model trained on a different graph, fails here as a typed error
+    /// instead of panicking mid-mutation). Returns the first offending
+    /// coordinate.
+    ///
+    /// # Panics
+    /// Panics if `coords.len()` disagrees with the index's coordinate
+    /// count — a caller bug, exactly as in [`IndexDeltaBatch::apply_to`].
+    pub fn check_against(
+        &self,
+        index: &VectorIndex,
+        coords: &[usize],
+    ) -> Result<(), IndexUnderflow> {
+        assert_eq!(
+            coords.len(),
+            index.n_metagraphs,
+            "IndexDeltaBatch coordinate list mismatch"
+        );
+        for (j, g) in coords.iter().enumerate() {
+            let Some(c) = self.changes.get(g) else {
+                continue;
+            };
+            index
+                .check_coord(j as u32, c)
+                .map_err(|underflow| IndexUnderflow {
+                    coordinate: j as u32,
+                    underflow,
+                })?;
+        }
+        Ok(())
+    }
 }
+
+/// A would-be raw-count underflow found by
+/// [`IndexDeltaBatch::check_against`] / [`VectorIndex::check_coord`]:
+/// applying the signed change to this coordinate of this entry's vector
+/// would drive the count negative, i.e. the delta was not produced
+/// against the graph this index was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexUnderflow {
+    /// The (restricted) coordinate that would underflow.
+    pub coordinate: u32,
+    /// The offending entry and amounts.
+    pub underflow: CountUnderflow,
+}
+
+impl std::fmt::Display for IndexUnderflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "coordinate {}: {}", self.coordinate, self.underflow)
+    }
+}
+
+impl std::error::Error for IndexUnderflow {}
 
 /// The nodes and pairs whose vectors changed in a
 /// [`VectorIndex::apply_delta`] — the exact set the serving layer must
@@ -1011,5 +1111,57 @@ mod tests {
         let mut d = IndexDelta::empty(2);
         d.counts[0].accumulate(&r, -1);
         idx.apply_delta(&d);
+    }
+
+    #[test]
+    fn check_coord_flags_underflow_without_mutating() {
+        let idx = sample_index(Transform::Raw);
+        let before = idx.clone();
+
+        // Node 1 has count 3 on coordinate 0; removing 5 underflows …
+        let mut bad = CountDelta::default();
+        bad.accumulate(&counts(&[(1, 5)], &[]), -1);
+        let err = idx.check_coord(0, &bad).unwrap_err();
+        assert_eq!((err.node, err.have, err.change), (Some(1), 3, -5));
+
+        // … but the same removal on coordinate 1 (count 2 → checks
+        // against a different raw entry) still underflows, while a
+        // removal of 2 there is fine, as are pure increments anywhere.
+        assert!(idx.check_coord(1, &bad).is_err());
+        let mut ok = CountDelta::default();
+        ok.accumulate(&counts(&[(1, 2)], &[((1, 3), 2)]), -1);
+        assert!(idx.check_coord(1, &ok).is_ok());
+        let grow = CountDelta::from(&counts(&[(1, 9)], &[((1, 2), 9)]));
+        assert!(idx.check_coord(0, &grow).is_ok());
+
+        // Probing never mutates the index.
+        assert_index_eq(&idx, &before);
+    }
+
+    #[test]
+    fn delta_batch_check_against_names_the_coordinate() {
+        // Class restricted to global patterns [0, 1]: local coordinate 1
+        // is global pattern 1, where node 1 holds count 2.
+        let idx = sample_index(Transform::Raw);
+        let mut batch = IndexDeltaBatch::default();
+        let mut bad = CountDelta::default();
+        bad.accumulate(&counts(&[(1, 4)], &[]), -1);
+        batch.insert(1, bad);
+
+        let err = batch.check_against(&idx, &[0, 1]).unwrap_err();
+        assert_eq!(err.coordinate, 1);
+        assert_eq!(err.underflow.node, Some(1));
+        assert!(err.to_string().contains("coordinate 1"));
+
+        // A restriction that skips pattern 1 never sees the bad delta.
+        let narrow = idx.restrict(&[0]);
+        assert!(batch.check_against(&narrow, &[0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate list mismatch")]
+    fn delta_batch_check_rejects_wrong_coords() {
+        let idx = sample_index(Transform::Raw);
+        let _ = IndexDeltaBatch::default().check_against(&idx, &[0]);
     }
 }

@@ -121,6 +121,80 @@ impl CountDelta {
         assert!(n >= 0, "instance count went negative");
         base.n_instances = n as u64;
     }
+
+    /// Verifies that [`CountDelta::apply_to`] on `base` would not drive
+    /// any count negative, **without mutating anything** — the
+    /// validation gate the engine runs before committing an ingest, so a
+    /// malformed delta (one produced against a different graph, e.g. via
+    /// a stale model import) is rejected as a typed error instead of
+    /// panicking a long-lived serving process mid-mutation. Returns the
+    /// first offending entry.
+    pub fn check_against(&self, base: &AnchorCounts) -> Result<(), CountUnderflow> {
+        for (&x, &d) in &self.per_node {
+            let have = base.per_node.get(&x).copied().unwrap_or(0);
+            if (have as i128) + (d as i128) < 0 {
+                return Err(CountUnderflow {
+                    node: Some(x),
+                    pair: None,
+                    have,
+                    change: d,
+                });
+            }
+        }
+        for (&key, &d) in &self.per_pair {
+            let have = base.per_pair.get(&key).copied().unwrap_or(0);
+            if (have as i128) + (d as i128) < 0 {
+                return Err(CountUnderflow {
+                    node: None,
+                    pair: Some(key),
+                    have,
+                    change: d,
+                });
+            }
+        }
+        if (base.n_instances as i128) + (self.n_instances as i128) < 0 {
+            return Err(CountUnderflow {
+                node: None,
+                pair: None,
+                have: base.n_instances,
+                change: self.n_instances,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The first count underflow [`CountDelta::check_against`] found: the
+/// entry (a node, a pair, or — with both `None` — the instance total)
+/// whose current count plus the signed change would go negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountUnderflow {
+    /// Offending per-node key, if a node count underflows.
+    pub node: Option<u32>,
+    /// Offending packed per-pair key, if a pair count underflows.
+    pub pair: Option<u64>,
+    /// The count currently present.
+    pub have: u64,
+    /// The signed change that would push it below zero.
+    pub change: i64,
+}
+
+impl std::fmt::Display for CountUnderflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.node, self.pair) {
+            (Some(x), _) => write!(f, "node {x}"),
+            (None, Some(key)) => {
+                let (a, b) = mgp_graph::ids::unpack_pair(key);
+                write!(f, "pair ({a}, {b})")
+            }
+            (None, None) => write!(f, "instance total"),
+        }?;
+        write!(
+            f,
+            ": count {} + change {} would go negative",
+            self.have, self.change
+        )
+    }
 }
 
 impl From<&AnchorCounts> for CountDelta {
@@ -625,5 +699,51 @@ mod tests {
         let mut base = AnchorCounts::default();
         base.per_node.insert(9, 1);
         d.apply_to(&mut base);
+    }
+
+    #[test]
+    fn check_against_flags_underflow_without_mutating() {
+        let mut sub = AnchorCounts::default();
+        sub.per_node.insert(9, 3);
+        let mut d = CountDelta::default();
+        d.accumulate(&sub, -1);
+        let mut base = AnchorCounts::default();
+        base.per_node.insert(9, 1);
+
+        let err = d.check_against(&base).unwrap_err();
+        assert_eq!(err.node, Some(9));
+        assert_eq!((err.have, err.change), (1, -3));
+        assert!(err.to_string().contains("node 9"));
+        // The probe must leave `base` untouched.
+        assert_eq!(base.per_node[&9], 1);
+
+        // With enough headroom the same delta validates and applies.
+        base.per_node.insert(9, 3);
+        assert!(d.check_against(&base).is_ok());
+        d.apply_to(&mut base);
+        assert!(!base.per_node.contains_key(&9));
+    }
+
+    #[test]
+    fn check_against_catches_pair_and_instance_underflow() {
+        let mut sub = AnchorCounts::default();
+        sub.per_pair.insert(pack_pair(NodeId(1), NodeId(2)), 2);
+        sub.n_instances = 2;
+        let mut d = CountDelta::default();
+        d.accumulate(&sub, -1);
+
+        let mut base = AnchorCounts::default();
+        base.per_pair.insert(pack_pair(NodeId(1), NodeId(2)), 1);
+        base.n_instances = 5;
+        let err = d.check_against(&base).unwrap_err();
+        assert_eq!(err.node, None);
+        assert!(err.pair.is_some());
+        assert!(err.to_string().contains("pair (n1, n2)"));
+
+        base.per_pair.insert(pack_pair(NodeId(1), NodeId(2)), 2);
+        base.n_instances = 1;
+        let err = d.check_against(&base).unwrap_err();
+        assert_eq!((err.node, err.pair), (None, None));
+        assert!(err.to_string().contains("instance total"));
     }
 }

@@ -57,7 +57,7 @@ pub mod vf2;
 pub use anchor::AnchorCounts;
 pub use delta::{
     delta_anchor_counts, delta_count_changes, doomed_anchor_counts, edge_seeded_instances,
-    merge_counts, CountDelta, MatchDelta,
+    merge_counts, CountDelta, CountUnderflow, MatchDelta,
 };
 pub use instance::{collect_instances, count_embeddings, count_instances, Instance};
 pub use pattern::PatternInfo;

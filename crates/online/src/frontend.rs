@@ -1,0 +1,937 @@
+//! The async serving front-end: micro-batching, coalescing, admission
+//! control and backpressure over a [`ServerHandle`].
+//!
+//! ## Why a front-end
+//!
+//! The paper's online result (Table III, ~10⁻⁴ s per query) and this
+//! repo's batched server both assume *someone* hands the ranker a
+//! pre-formed batch. Production traffic is the opposite: millions of
+//! independent `(class, q, k)` requests from independent callers. The
+//! [`Frontend`] closes that gap — callers [`Frontend::submit`] single
+//! requests and block on a [`Ticket`]; a pool of batcher workers turns
+//! the request stream back into the batches the server is fast at.
+//!
+//! ## Request lifecycle
+//!
+//! 1. **Admission** — `submit` validates the class id (typed
+//!    [`QueryError`], never a panic), reads the cached backpressure
+//!    gauge, and enqueues onto a bounded mpmc channel. Past the depth
+//!    limit the request is *shed* with a typed
+//!    [`FrontendError::Overloaded`] — the queue never grows without
+//!    bound, so memory stays bounded no matter the offered load.
+//! 2. **Micro-batching** — a batcher worker takes the first queued
+//!    request, then keeps accumulating until either the window budget
+//!    ([`FrontendConfig::window`], default 1 ms) elapses or
+//!    [`FrontendConfig::max_batch`] requests are in hand, whichever
+//!    comes first. An idle front-end therefore adds at most one window
+//!    of latency, and a busy one fills whole batches with no added wait.
+//! 3. **Coalescing** — the batch is grouped by `k`; each group issues
+//!    **one** [`QueryServer::try_rank_multi_batch`](crate::QueryServer::try_rank_multi_batch)
+//!    execution over its
+//!    distinct classes × distinct queries, and the resulting
+//!    `Arc<RankedList>`s are fanned back to every waiter — duplicate
+//!    queries across callers cost one posting walk however many tickets
+//!    asked. Results are bit-identical to calling the server directly:
+//!    the front-end *is* a caller of the same entry point.
+//! 4. **Completion** — each ticket's oneshot receives the shared `Arc`;
+//!    [`Ticket::wait`] returns it.
+//!
+//! ## Backpressure
+//!
+//! The epoch-swap design (PR 4/5) retires shard snapshots that slow
+//! readers still pin; [`QueryServer::epoch_stats`](crate::QueryServer::epoch_stats)
+//! gauges how much
+//! copy-on-write memory those retired epochs retain. The front-end
+//! treats that gauge as its overload signal: when
+//! `approx_retained_bytes` crosses [`FrontendConfig::high_water_bytes`],
+//! admission tightens from [`FrontendConfig::queue_depth`] to the much
+//! smaller [`FrontendConfig::pressure_queue_depth`] — shedding load
+//! while the server is already memory-amplified instead of stacking more
+//! pinned epochs on top. The gauge is refreshed by the batcher workers
+//! after every executed window (and periodically from `submit`), so the
+//! per-request admission check is one atomic load, not an epoch walk;
+//! [`Frontend::refresh_pressure`] forces a refresh for tests/operators.
+//!
+//! Everything here is panic-free by construction (`unwrap`/`expect` are
+//! denied lints in this module): degenerate inputs come back as typed
+//! errors and a poisoned serving thread cannot happen.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use crate::server::{QueryError, RankedList, ServerHandle};
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use mgp_graph::{FxHashMap, FxHashSet, NodeId};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many `submit` calls between opportunistic backpressure-gauge
+/// refreshes (workers also refresh after every executed window, so this
+/// only matters for traffic arriving while all workers sit idle).
+const PRESSURE_REFRESH_EVERY: u64 = 64;
+
+/// Front-end construction parameters.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Batcher worker threads (0 = 2).
+    pub workers: usize,
+    /// Micro-batch latency budget: a worker holding a partial batch
+    /// waits at most this long for more requests before executing.
+    pub window: Duration,
+    /// Micro-batch size cap: a full batch executes immediately, before
+    /// the window elapses.
+    pub max_batch: usize,
+    /// Bounded request-queue depth under normal operation; submissions
+    /// past it are shed with [`FrontendError::Overloaded`].
+    pub queue_depth: usize,
+    /// Tightened queue depth while the epoch gauges are past the
+    /// high-water mark (must be ≤ `queue_depth` to have any effect).
+    pub pressure_queue_depth: usize,
+    /// High-water mark on `epoch_stats().approx_retained_bytes` beyond
+    /// which admission tightens to `pressure_queue_depth`. `0` means
+    /// *any* retained epoch memory counts as pressure.
+    pub high_water_bytes: usize,
+    /// Whether to coalesce batches through one `try_rank_multi_batch`
+    /// per `k` group (`true`, the production path) or execute every
+    /// request individually (`false` — the measurement baseline
+    /// `bench_frontend` compares against).
+    pub coalesce: bool,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            workers: 0,
+            window: Duration::from_millis(1),
+            max_batch: 64,
+            queue_depth: 4096,
+            pressure_queue_depth: 256,
+            high_water_bytes: 8 << 20,
+            coalesce: true,
+        }
+    }
+}
+
+impl FrontendConfig {
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            2
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Why the front-end rejected a request or could not answer a ticket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendError {
+    /// Admission control shed the request: the bounded queue was at its
+    /// current depth limit. `pressured` says which limit applied — the
+    /// normal [`FrontendConfig::queue_depth`] or the tightened
+    /// [`FrontendConfig::pressure_queue_depth`] (epoch gauges past the
+    /// high-water mark). Retry after backing off; a retried request
+    /// returns exactly what an unshed one would have.
+    Overloaded {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// Whether the tightened under-pressure limit was in force.
+        pressured: bool,
+    },
+    /// The request itself was invalid (e.g. an unknown class id) —
+    /// rejected at submit time, before queuing.
+    Query(QueryError),
+    /// The front-end shut down before the request completed.
+    Closed,
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Overloaded { depth, pressured } => {
+                let limit = if *pressured {
+                    " under epoch pressure"
+                } else {
+                    ""
+                };
+                write!(f, "overloaded: request shed at queue depth {depth}{limit}")
+            }
+            FrontendError::Query(e) => write!(f, "invalid request: {e}"),
+            FrontendError::Closed => write!(f, "front-end closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<QueryError> for FrontendError {
+    fn from(e: QueryError) -> Self {
+        FrontendError::Query(e)
+    }
+}
+
+/// One admitted request travelling from `submit` to a batcher worker.
+struct Request {
+    class_id: usize,
+    q: NodeId,
+    k: usize,
+    resp: Sender<Result<Arc<RankedList>, FrontendError>>,
+}
+
+/// A claim on an in-flight request: block on [`Ticket::wait`] for the
+/// shared result. Dropping the ticket abandons the request (the worker's
+/// fan-out to it is silently discarded).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<Arc<RankedList>, FrontendError>>,
+}
+
+impl Ticket {
+    /// Blocks until the batcher answers, returning the same
+    /// `Arc<RankedList>` every co-batched duplicate of this query got.
+    pub fn wait(self) -> Result<Arc<RankedList>, FrontendError> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(FrontendError::Closed),
+        }
+    }
+
+    /// Non-blocking probe: `Some` once the batcher has answered.
+    pub fn try_wait(&self) -> Option<Result<Arc<RankedList>, FrontendError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(channel::TryRecvError::Empty) => None,
+            Err(channel::TryRecvError::Disconnected) => Some(Err(FrontendError::Closed)),
+        }
+    }
+}
+
+/// Log₂-bucketed histogram of observed queue depths (same shape as
+/// [`LatencyHistogram`], but over a count instead of a duration) — feeds
+/// the `queue_depth_p99` stat. Lock-free: `record` sits on the `submit`
+/// fast path of every caller thread, so buckets are independent atomics
+/// rather than a shared mutex.
+struct DepthHistogram {
+    counts: [AtomicU64; 33],
+    total: AtomicU64,
+    max: AtomicUsize,
+}
+
+impl Default for DepthHistogram {
+    fn default() -> Self {
+        DepthHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            max: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl DepthHistogram {
+    fn bucket(depth: usize) -> usize {
+        // Depth 0 → bucket 0, otherwise 1 + floor(log2(depth)), capped.
+        match depth {
+            0 => 0,
+            d => (usize::BITS - d.leading_zeros()) as usize,
+        }
+        .min(32)
+    }
+
+    fn record(&self, depth: usize) {
+        self.counts[Self::bucket(depth)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn max(&self) -> usize {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Upper bucket edge at quantile `q` (≤ 2× error), capped at the
+    /// exact max; 0 when nothing was recorded.
+    fn quantile(&self, q: f64) -> usize {
+        let total = self.total.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper = if i == 0 { 0 } else { (1usize << i) - 1 };
+                return upper.min(self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// A point-in-time [`Frontend::stats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct FrontendStats {
+    /// Valid requests that reached admission control — admitted *plus*
+    /// shed, so `completed + shed() == submitted` once the queue drains
+    /// (rejected class ids are not counted; they never reach admission).
+    pub submitted: u64,
+    /// Requests answered (fanned out to their tickets).
+    pub completed: u64,
+    /// Requests shed at the normal queue-depth bound.
+    pub shed_capacity: u64,
+    /// Requests shed at the tightened under-pressure bound.
+    pub shed_pressure: u64,
+    /// Micro-batch windows executed.
+    pub windows: u64,
+    /// Requests across all executed windows.
+    pub windowed_requests: u64,
+    /// Distinct `(class, q, k)` executions after coalescing.
+    pub distinct_executed: u64,
+    /// Largest queue depth ever observed at admission.
+    pub max_queue_depth: usize,
+    /// 99th-percentile queue depth observed at admission (≤ 2× bucket
+    /// error), 0 with no traffic.
+    pub queue_depth_p99: usize,
+    /// Mean window fill `windowed_requests / (windows × max_batch)` in
+    /// `[0, 1]` (0 with no windows).
+    pub window_fill: f64,
+    /// `windowed_requests / distinct_executed` — 1.0 means no duplicate
+    /// work was saved, 2.0 means every posting walk served two tickets
+    /// on average (1.0 with no traffic; always 1.0 when coalescing is
+    /// disabled).
+    pub coalesce_ratio: f64,
+    /// Wall-time summary over executed windows (empty ⇒ all-zero
+    /// percentiles, see [`LatencySnapshot::is_empty`]).
+    pub window_latency: LatencySnapshot,
+    /// Whether the backpressure gauge currently reads past the
+    /// high-water mark.
+    pub pressured: bool,
+}
+
+impl FrontendStats {
+    /// Total shed requests across both admission regimes.
+    pub fn shed(&self) -> u64 {
+        self.shed_capacity + self.shed_pressure
+    }
+}
+
+impl fmt::Display for FrontendStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} submitted / {} completed / {} shed ({} under pressure), \
+             {} windows ({:.0}% fill, coalesce ×{:.2}), queue depth p99 {} (max {})",
+            self.submitted,
+            self.completed,
+            self.shed(),
+            self.shed_pressure,
+            self.windows,
+            100.0 * self.window_fill,
+            self.coalesce_ratio,
+            self.queue_depth_p99,
+            self.max_queue_depth,
+        )
+    }
+}
+
+/// State shared between `submit` callers and the batcher workers.
+struct Shared {
+    server: ServerHandle,
+    cfg: FrontendConfig,
+    /// Cached backpressure verdict (see module docs — refreshed by
+    /// workers per window and periodically by `submit`, read by every
+    /// admission check as one atomic load).
+    pressured: AtomicBool,
+    /// Requests currently buffered in the queue — incremented *before*
+    /// enqueue, decremented as workers dequeue, so admitted occupancy
+    /// can never exceed the depth limit even with concurrent
+    /// submitters: a submitter only proceeds when its pre-increment
+    /// reading was below the limit, and backs its increment out when it
+    /// sheds. Lock-free — this is the whole admission mechanism.
+    queued: AtomicUsize,
+    submit_ticks: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed_capacity: AtomicU64,
+    shed_pressure: AtomicU64,
+    windows: AtomicU64,
+    windowed_requests: AtomicU64,
+    distinct_executed: AtomicU64,
+    depths: DepthHistogram,
+    window_latency: Mutex<LatencyHistogram>,
+}
+
+impl Shared {
+    fn refresh_pressure(&self) -> bool {
+        let retained = self.server.epoch_stats().approx_retained_bytes;
+        let pressured = retained > 0 && retained >= self.cfg.high_water_bytes;
+        self.pressured.store(pressured, Ordering::Relaxed);
+        pressured
+    }
+
+    /// Workers call this once per dequeued chunk to release admission
+    /// slots.
+    fn dequeued(&self, n: usize) {
+        self.queued.fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+/// The async request layer over a [`ServerHandle`] — see the module docs
+/// for the full lifecycle. Construct with [`Frontend::new`] or
+/// `SearchEngine::serve_frontend[_with]`; share `&Frontend` (or wrap in
+/// an `Arc`) across caller threads — [`Frontend::submit`] is `&self`.
+/// Dropping the front-end drains the queue, answers every in-flight
+/// ticket and joins the workers.
+pub struct Frontend {
+    shared: Arc<Shared>,
+    /// `None` only during shutdown (taken so workers see disconnect).
+    tx: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Frontend {
+    /// Spawns the batcher pool over `server`.
+    pub fn new(server: ServerHandle, cfg: FrontendConfig) -> Frontend {
+        let n_workers = cfg.resolved_workers();
+        let (tx, rx) = channel::bounded::<Request>(cfg.queue_depth.max(1));
+        let shared = Arc::new(Shared {
+            server,
+            cfg,
+            pressured: AtomicBool::new(false),
+            queued: AtomicUsize::new(0),
+            submit_ticks: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_capacity: AtomicU64::new(0),
+            shed_pressure: AtomicU64::new(0),
+            windows: AtomicU64::new(0),
+            windowed_requests: AtomicU64::new(0),
+            distinct_executed: AtomicU64::new(0),
+            depths: DepthHistogram::default(),
+            window_latency: Mutex::new(LatencyHistogram::new()),
+        });
+        shared.refresh_pressure();
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("mgp-frontend-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .unwrap_or_else(|e| panic!("spawning batcher worker: {e}"))
+            })
+            .collect();
+        Frontend {
+            shared,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The server this front-end serves from (e.g. for a concurrent
+    /// churn writer to `apply_delta` through).
+    pub fn server(&self) -> &ServerHandle {
+        &self.shared.server
+    }
+
+    /// The configuration the front-end was built with.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits one `(class, q, k)` request. Returns a [`Ticket`] to wait
+    /// on, or a typed rejection: [`FrontendError::Query`] for an invalid
+    /// class (checked here so batcher workers only ever see valid
+    /// requests) or [`FrontendError::Overloaded`] when admission control
+    /// sheds the request at the current depth limit.
+    pub fn submit(&self, class_id: usize, q: NodeId, k: usize) -> Result<Ticket, FrontendError> {
+        let shared = &self.shared;
+        let Some(tx) = self.tx.as_ref() else {
+            return Err(FrontendError::Closed);
+        };
+        if !shared.server.has_class(class_id) {
+            return Err(QueryError::UnknownClass(class_id).into());
+        }
+        if shared
+            .submit_ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(PRESSURE_REFRESH_EVERY)
+        {
+            shared.refresh_pressure();
+        }
+        shared.submitted.fetch_add(1, Ordering::Relaxed);
+        let pressured = shared.pressured.load(Ordering::Relaxed);
+        let limit = if pressured {
+            shared.cfg.pressure_queue_depth.min(shared.cfg.queue_depth)
+        } else {
+            shared.cfg.queue_depth
+        };
+        // Lock-free admission: reserve a queue slot by incrementing the
+        // depth counter, backing the increment out on a shed. A
+        // submitter only proceeds when its pre-increment reading was
+        // below the limit, so admitted occupancy can never exceed the
+        // limit — the memory bound holds exactly, with no lock on the
+        // submit fast path.
+        let depth = shared.queued.fetch_add(1, Ordering::Relaxed);
+        if depth >= limit {
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
+            let counter = if pressured {
+                &shared.shed_pressure
+            } else {
+                &shared.shed_capacity
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            return Err(FrontendError::Overloaded {
+                depth: depth.min(limit),
+                pressured,
+            });
+        }
+        let (resp, rx) = channel::bounded(1);
+        let req = Request {
+            class_id,
+            q,
+            k,
+            resp,
+        };
+        match tx.try_send(req) {
+            Ok(()) => {}
+            // The channel's own capacity is `queue_depth`, which the
+            // counter never lets admitted occupancy exceed; `Full` here
+            // would be a slot-accounting bug, answered as a shed rather
+            // than a panic on the serving path.
+            Err(TrySendError::Full(_)) => {
+                shared.queued.fetch_sub(1, Ordering::Relaxed);
+                shared.shed_capacity.fetch_add(1, Ordering::Relaxed);
+                return Err(FrontendError::Overloaded { depth, pressured });
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                shared.queued.fetch_sub(1, Ordering::Relaxed);
+                return Err(FrontendError::Closed);
+            }
+        }
+        shared.depths.record(depth + 1);
+        Ok(Ticket { rx })
+    }
+
+    /// Recomputes the backpressure gauge *now* instead of waiting for
+    /// the next window/periodic refresh; returns whether the front-end
+    /// is pressured. For tests and operators forcing a deterministic
+    /// admission state.
+    pub fn refresh_pressure(&self) -> bool {
+        self.shared.refresh_pressure()
+    }
+
+    /// Current counters and percentile summaries.
+    pub fn stats(&self) -> FrontendStats {
+        let shared = &self.shared;
+        let windows = shared.windows.load(Ordering::Relaxed);
+        let windowed = shared.windowed_requests.load(Ordering::Relaxed);
+        let distinct = shared.distinct_executed.load(Ordering::Relaxed);
+        let depths = &shared.depths;
+        FrontendStats {
+            submitted: shared.submitted.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            shed_capacity: shared.shed_capacity.load(Ordering::Relaxed),
+            shed_pressure: shared.shed_pressure.load(Ordering::Relaxed),
+            windows,
+            windowed_requests: windowed,
+            distinct_executed: distinct,
+            max_queue_depth: depths.max(),
+            queue_depth_p99: depths.quantile(0.99),
+            window_fill: if windows == 0 {
+                0.0
+            } else {
+                windowed as f64 / (windows * shared.cfg.max_batch.max(1) as u64) as f64
+            },
+            coalesce_ratio: if distinct == 0 {
+                1.0
+            } else {
+                windowed as f64 / distinct as f64
+            },
+            window_latency: shared.window_latency.lock().snapshot(),
+            pressured: shared.pressured.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new requests, drains the queue (every in-flight
+    /// ticket still gets its answer), joins the workers and returns the
+    /// final stats. Dropping the front-end does the same minus the
+    /// stats.
+    pub fn shutdown(mut self) -> FrontendStats {
+        self.close();
+        self.stats()
+    }
+
+    fn close(&mut self) {
+        // Dropping the last Sender disconnects the channel; workers
+        // drain what is buffered, then exit.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Frontend {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// One batcher worker: block for the first request, accumulate up to
+/// `max_batch` within the window budget, execute, fan out, refresh the
+/// backpressure gauge, repeat until the channel disconnects. A backlog
+/// is drained in chunks (one channel lock per chunk, not per request);
+/// `recv_timeout` is only paid when the queue runs dry inside the
+/// window. Each dequeue releases admission slots, so "queue depth"
+/// bounds requests *waiting*, with at most one partial batch per worker
+/// in flight on top.
+fn worker_loop(shared: &Shared, rx: &Receiver<Request>) {
+    let mut batch: Vec<Request> = Vec::with_capacity(shared.cfg.max_batch.max(1));
+    loop {
+        batch.clear();
+        let Ok(first) = rx.recv() else {
+            return; // Disconnected and drained: shutdown.
+        };
+        shared.dequeued(1);
+        batch.push(first);
+        let deadline = Instant::now() + shared.cfg.window;
+        while batch.len() < shared.cfg.max_batch {
+            let want = shared.cfg.max_batch - batch.len();
+            match rx.try_recv_many(&mut batch, want) {
+                Ok(0) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(req) => {
+                            shared.dequeued(1);
+                            batch.push(req);
+                        }
+                        // Timeout: the window budget is spent, run what
+                        // we have. Disconnected: run the final partial
+                        // batch too.
+                        Err(_) => break,
+                    }
+                }
+                Ok(n) => shared.dequeued(n),
+                Err(_) => break, // Disconnected and drained.
+            }
+        }
+        execute_window(shared, &batch);
+        shared.refresh_pressure();
+    }
+}
+
+/// Executes one micro-batch and fans the results out to the tickets.
+fn execute_window(shared: &Shared, batch: &[Request]) {
+    let t0 = Instant::now();
+    shared.windows.fetch_add(1, Ordering::Relaxed);
+    shared
+        .windowed_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+    if !shared.cfg.coalesce {
+        // Measurement baseline: every request is its own execution.
+        shared
+            .distinct_executed
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        for req in batch {
+            let result = shared
+                .server
+                .try_rank(req.class_id, req.q, req.k)
+                .map_err(FrontendError::from);
+            let _ = req.resp.try_send(result);
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.window_latency.lock().record(t0.elapsed());
+        return;
+    }
+
+    // Group by k (k changes result shape), then coalesce each group into
+    // one grid execution over its distinct classes × distinct queries.
+    let mut by_k: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for (i, req) in batch.iter().enumerate() {
+        by_k.entry(req.k as u64).or_default().push(i);
+    }
+    for group in by_k.values() {
+        let mut classes: Vec<usize> = Vec::new();
+        let mut class_col: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut queries: Vec<NodeId> = Vec::new();
+        let mut query_row: FxHashMap<u32, usize> = FxHashMap::default();
+        for &i in group {
+            let req = &batch[i];
+            class_col.entry(req.class_id).or_insert_with(|| {
+                classes.push(req.class_id);
+                classes.len() - 1
+            });
+            query_row.entry(req.q.0).or_insert_with(|| {
+                queries.push(req.q);
+                queries.len() - 1
+            });
+        }
+        let k = batch[group[0]].k;
+        // Distinct (class, query) *requested* pairs measure the saved
+        // work; the grid may compute extra cross-product cells, which
+        // land in the shared cache and serve later traffic.
+        let mut seen_pairs: FxHashSet<(usize, u32)> = FxHashSet::default();
+        for &i in group {
+            seen_pairs.insert((batch[i].class_id, batch[i].q.0));
+        }
+        shared
+            .distinct_executed
+            .fetch_add(seen_pairs.len() as u64, Ordering::Relaxed);
+
+        // One execution for the whole group; submit validated every
+        // class id, so an error here is structural and is fanned to
+        // every waiter instead of panicking a worker.
+        let grid = shared.server.try_rank_multi_batch(&classes, &queries, k);
+        for &i in group {
+            let req = &batch[i];
+            let result = match &grid {
+                Ok(rows) => Ok(Arc::clone(
+                    &rows[query_row[&req.q.0]][class_col[&req.class_id]],
+                )),
+                Err(e) => Err(FrontendError::Query(*e)),
+            };
+            let _ = req.resp.try_send(result);
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    shared.window_latency.lock().record(t0.elapsed());
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic; the serving path may not
+mod tests {
+    use super::*;
+    use crate::server::{QueryServer, ServeConfig};
+    use mgp_index::{Transform, VectorIndex};
+    use mgp_matching::AnchorCounts;
+
+    fn sample_index() -> VectorIndex {
+        let mut c0 = AnchorCounts::default();
+        let mut c1 = AnchorCounts::default();
+        let ins = |c: &mut AnchorCounts, x: u32, y: u32, n: u64| {
+            c.per_pair
+                .insert(mgp_graph::ids::pack_pair(NodeId(x), NodeId(y)), n);
+            *c.per_node.entry(x).or_insert(0) += n;
+            *c.per_node.entry(y).or_insert(0) += n;
+        };
+        ins(&mut c0, 1, 2, 4);
+        ins(&mut c0, 1, 3, 1);
+        ins(&mut c1, 2, 3, 2);
+        ins(&mut c1, 1, 2, 1);
+        VectorIndex::from_counts(&[c0, c1], Transform::Raw)
+    }
+
+    fn handle(cache: usize) -> ServerHandle {
+        let idx = sample_index();
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: cache,
+        });
+        srv.add_class("a", &idx, &[0.7, 0.3]);
+        srv.add_class("b", &idx, &[0.2, 0.8]);
+        Arc::new(srv)
+    }
+
+    #[test]
+    fn answers_match_direct_server_calls() {
+        let server = handle(64);
+        let fe = Frontend::new(Arc::clone(&server), FrontendConfig::default());
+        let tickets: Vec<(usize, NodeId, usize, Ticket)> = (0..40u32)
+            .map(|i| {
+                let (cid, q, k) = ((i % 2) as usize, NodeId(i % 6), 1 + (i % 3) as usize);
+                (cid, q, k, fe.submit(cid, q, k).unwrap())
+            })
+            .collect();
+        for (cid, q, k, t) in tickets {
+            let got = t.wait().unwrap();
+            assert_eq!(*got, *server.rank(cid, q, k), "cid={cid} q={q} k={k}");
+        }
+        let stats = fe.shutdown();
+        assert_eq!(stats.submitted, 40);
+        assert_eq!(stats.completed, 40);
+        assert_eq!(stats.shed(), 0);
+        assert!(stats.windows >= 1);
+    }
+
+    #[test]
+    fn duplicates_coalesce_to_one_shared_arc() {
+        // Cache off: identical Arcs can only come from coalescing.
+        let server = handle(0);
+        let cfg = FrontendConfig {
+            workers: 1,
+            window: Duration::from_millis(50),
+            max_batch: 8,
+            ..FrontendConfig::default()
+        };
+        let fe = Frontend::new(server, cfg);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| fe.submit(0, NodeId(1), 2).unwrap())
+            .collect();
+        let results: Vec<Arc<RankedList>> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        for r in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], r),
+                "coalesced duplicates share one allocation"
+            );
+        }
+        let stats = fe.shutdown();
+        assert_eq!(stats.windowed_requests, 8);
+        assert_eq!(stats.distinct_executed, 1);
+        assert!(stats.coalesce_ratio >= 7.9, "{stats}");
+    }
+
+    #[test]
+    fn degenerate_requests_are_typed_not_panics() {
+        let fe = Frontend::new(handle(16), FrontendConfig::default());
+        assert_eq!(
+            fe.submit(9, NodeId(1), 2).unwrap_err(),
+            FrontendError::Query(QueryError::UnknownClass(9))
+        );
+        // k == 0 flows through and answers empty.
+        assert!(fe
+            .submit(0, NodeId(1), 0)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .is_empty());
+        // Unknown anchors answer empty, like the server itself.
+        assert!(fe
+            .submit(0, NodeId(999), 5)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .is_empty());
+        assert!(fe.stats().to_string().contains("submitted"));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_typed_overloaded() {
+        let server = handle(0);
+        // Zero-length windows make each request a full execute cycle —
+        // far more work per item for the single worker than a submit
+        // costs the flooder — so a depth-2 queue must back up and shed.
+        let cfg = FrontendConfig {
+            workers: 1,
+            queue_depth: 2,
+            pressure_queue_depth: 2,
+            window: Duration::ZERO,
+            max_batch: 4,
+            ..FrontendConfig::default()
+        };
+        let fe = Frontend::new(server, cfg);
+        let mut shed = 0;
+        let mut tickets = Vec::new();
+        for i in 0..2000u32 {
+            match fe.submit(0, NodeId(i % 6), 3) {
+                Ok(t) => tickets.push(t),
+                Err(FrontendError::Overloaded { depth, .. }) => {
+                    assert!(depth <= 2);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected rejection {e}"),
+            }
+        }
+        assert!(shed > 0, "flooding a depth-2 queue must shed");
+        let stats = fe.stats();
+        assert_eq!(stats.shed(), shed);
+        assert!(
+            stats.max_queue_depth <= 2,
+            "bounded queue must bound memory: {stats}"
+        );
+        // Every admitted request still completes with an answer.
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = fe.shutdown();
+        assert_eq!(stats.completed + stats.shed(), stats.submitted);
+    }
+
+    #[test]
+    fn epoch_pressure_tightens_admission_deterministically() {
+        // Build a server, pin an epoch (a slow reader), apply a delta so
+        // the retired epoch retains bytes, and watch admission flip to
+        // the tightened limit — depth 0 here, so every request sheds.
+        let idx = sample_index();
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 16,
+        });
+        srv.add_class("a", &idx, &[0.7, 0.3]);
+        let server: ServerHandle = Arc::new(srv);
+        let cfg = FrontendConfig {
+            high_water_bytes: 1,
+            pressure_queue_depth: 0,
+            ..FrontendConfig::default()
+        };
+        let fe = Frontend::new(Arc::clone(&server), cfg);
+        assert!(!fe.refresh_pressure(), "healthy server: no pressure");
+
+        let pin = server.pin_epoch(NodeId(1));
+        let mut idx = idx;
+        let mut delta = mgp_index::IndexDelta::empty(2);
+        delta.counts[0].per_node.insert(1, 2);
+        delta.counts[0].per_node.insert(2, 2);
+        delta.counts[0]
+            .per_pair
+            .insert(mgp_graph::ids::pack_pair(NodeId(1), NodeId(2)), 2);
+        let touch = idx.apply_delta(&delta);
+        server.apply_delta(0, &idx, &touch);
+
+        assert!(fe.refresh_pressure(), "pinned retired epoch is pressure");
+        let err = fe.submit(0, NodeId(1), 2).unwrap_err();
+        assert_eq!(
+            err,
+            FrontendError::Overloaded {
+                depth: 0,
+                pressured: true
+            }
+        );
+        assert!(err.to_string().contains("epoch pressure"));
+        assert_eq!(fe.stats().shed_pressure, 1);
+        assert!(fe.stats().pressured);
+
+        // The slow reader finishes: pressure clears, and the retried
+        // request answers exactly what a direct call does.
+        drop(pin);
+        assert!(!fe.refresh_pressure());
+        let got = fe.submit(0, NodeId(1), 2).unwrap().wait().unwrap();
+        assert_eq!(*got, *server.rank(0, NodeId(1), 2));
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_tickets() {
+        let server = handle(16);
+        let fe = Frontend::new(Arc::clone(&server), FrontendConfig::default());
+        let stats = fe.shutdown();
+        assert_eq!(stats.shed(), 0);
+        let fe2 = Frontend::new(server, FrontendConfig::default());
+        let t = fe2.submit(0, NodeId(1), 2).unwrap();
+        drop(fe2); // shutdown drains: the ticket still answers.
+        assert!(t.wait().is_ok());
+    }
+
+    #[test]
+    fn depth_histogram_quantiles() {
+        let h = DepthHistogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        for d in 1..=100 {
+            h.record(d);
+        }
+        assert_eq!(h.max(), 100);
+        assert!(h.quantile(0.99) >= 64 && h.quantile(0.99) <= 100);
+        assert!(h.quantile(0.5) >= 50);
+        let z = DepthHistogram::default();
+        z.record(0);
+        assert_eq!(z.quantile(1.0), 0);
+    }
+}

@@ -30,23 +30,39 @@ impl Default for LatencyHistogram {
 }
 
 /// A point-in-time summary of a [`LatencyHistogram`].
+///
+/// ## Empty windows
+///
+/// A snapshot of a histogram that recorded nothing (`count == 0`) is
+/// well-defined, not a bogus bucket: every quantile field (`p50`, `p95`,
+/// `p99`), `mean` and `max` are exactly `Duration::ZERO`, and the
+/// `try_*` accessors return `None`. The front-end reports per-window
+/// percentiles where idle windows are common, so callers that need to
+/// distinguish "no traffic" from "all sub-nanosecond" should use
+/// [`LatencySnapshot::is_empty`] or the `try_*` accessors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySnapshot {
     /// Number of recorded durations.
     pub count: u64,
-    /// Mean duration.
+    /// Mean duration (`ZERO` when empty).
     pub mean: Duration,
-    /// Median (≤ 2× bucket error).
+    /// Median (≤ 2× bucket error; `ZERO` when empty).
     pub p50: Duration,
-    /// 95th percentile (≤ 2× bucket error).
+    /// 95th percentile (≤ 2× bucket error; `ZERO` when empty).
     pub p95: Duration,
-    /// 99th percentile (≤ 2× bucket error).
+    /// 99th percentile (≤ 2× bucket error; `ZERO` when empty).
     pub p99: Duration,
-    /// Largest recorded duration (exact).
+    /// Largest recorded duration (exact; `ZERO` when empty).
     pub max: Duration,
 }
 
 impl LatencySnapshot {
+    /// Whether the window recorded nothing. Empty snapshots report
+    /// `Duration::ZERO` from every quantile field, never a bucket value.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// Median latency. The quantile fields stay public; these accessors
     /// are the method-style spelling for call sites that chain off
     /// `stats().latency`.
@@ -62,6 +78,21 @@ impl LatencySnapshot {
     /// 99th-percentile latency.
     pub fn p99(&self) -> Duration {
         self.p99
+    }
+
+    /// Median latency, or `None` for an empty window.
+    pub fn try_p50(&self) -> Option<Duration> {
+        (!self.is_empty()).then_some(self.p50)
+    }
+
+    /// 95th-percentile latency, or `None` for an empty window.
+    pub fn try_p95(&self) -> Option<Duration> {
+        (!self.is_empty()).then_some(self.p95)
+    }
+
+    /// 99th-percentile latency, or `None` for an empty window.
+    pub fn try_p99(&self) -> Option<Duration> {
+        (!self.is_empty()).then_some(self.p99)
     }
 }
 
@@ -152,9 +183,32 @@ mod tests {
     fn empty_snapshot_is_zero() {
         let h = LatencyHistogram::new();
         let s = h.snapshot();
+        assert!(s.is_empty());
         assert_eq!(s.count, 0);
+        // Every quantile is consistently ZERO — no bogus bucket edge.
         assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p95, Duration::ZERO);
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.mean, Duration::ZERO);
         assert_eq!(s.max, Duration::ZERO);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Duration::ZERO);
+        }
+        // The fallible accessors say "no window" rather than 0 ns.
+        assert_eq!(s.try_p50(), None);
+        assert_eq!(s.try_p95(), None);
+        assert_eq!(s.try_p99(), None);
+    }
+
+    #[test]
+    fn try_accessors_are_some_once_recorded() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(7));
+        let s = h.snapshot();
+        assert!(!s.is_empty());
+        assert_eq!(s.try_p50(), Some(s.p50));
+        assert_eq!(s.try_p95(), Some(s.p95));
+        assert_eq!(s.try_p99(), Some(s.p99));
     }
 
     #[test]

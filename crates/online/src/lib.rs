@@ -53,6 +53,16 @@
 //! * **Latency accounting** — per-batch wall time lands in a log-bucketed
 //!   [`histogram::LatencyHistogram`] (re-exported by `mgp_core::timings`),
 //!   giving p50/p95/p99 over the serving lifetime.
+//! * **An async front-end** — [`frontend::Frontend`] turns independent
+//!   per-caller `(class, q, k)` requests back into the batches the
+//!   server is fast at: micro-batching windows, duplicate coalescing
+//!   (one posting walk fans one `Arc` to every waiter), and admission
+//!   control that reads the epoch gauges and sheds load with a typed
+//!   [`frontend::FrontendError::Overloaded`] instead of growing an
+//!   unbounded queue. Degenerate requests (unknown class, `k == 0`)
+//!   come back as typed errors or empty results — the serving path
+//!   never panics ([`server::QueryServer::try_rank_multi_batch`] and
+//!   friends).
 //!
 //! Results are bit-identical to `mgp_learning::mgp::rank_with_scores` —
 //! same candidate order, same floating-point expression shapes, same tie
@@ -66,12 +76,14 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod frontend;
 pub mod histogram;
 pub mod server;
 
 pub use cache::LruCache;
+pub use frontend::{Frontend, FrontendConfig, FrontendError, FrontendStats, Ticket};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{
-    ClassCacheStats, ClassDelta, DeltaStats, EpochStats, FusedDeltaStats, QueryServer, RankedList,
-    ServeConfig, ServerHandle, ServerStats, TableStats,
+    ClassCacheStats, ClassDelta, DeltaStats, EpochPin, EpochStats, FusedDeltaStats, QueryError,
+    QueryServer, RankedList, ServeConfig, ServerHandle, ServerStats, TableStats,
 };

@@ -678,6 +678,44 @@ pub struct ServerStats {
     pub latency: LatencySnapshot,
 }
 
+/// Why a `try_rank*` entry point rejected a query instead of answering
+/// it. The panicking entry points ([`QueryServer::rank`] and friends)
+/// are thin wrappers that turn this into a panic for callers who treat a
+/// bad class id as a programming error; the serving front-end
+/// ([`crate::frontend`]) uses the `try_` forms exclusively, so a
+/// degenerate request comes back as data instead of poisoning a serving
+/// thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The class id is not registered on this server. Unknown *anchor*
+    /// ids are not an error — an anchor without postings simply ranks to
+    /// an empty list, exactly like the reference ranker.
+    UnknownClass(usize),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownClass(id) => write!(f, "unknown class id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An opaque guard pinning one shard's current epoch snapshot alive, as
+/// a slow reader implicitly does mid-batch. While the guard lives, every
+/// delta landing on that shard retires an epoch that
+/// [`QueryServer::epoch_stats`] reports as retained — which is exactly
+/// the gauge the serving front-end's admission control watches. Tests,
+/// benches and operators use [`QueryServer::pin_epoch`] to exercise that
+/// backpressure path deterministically instead of racing a real slow
+/// reader.
+#[derive(Debug)]
+pub struct EpochPin {
+    _snap: Arc<Shard>,
+}
+
 /// A query-serving facade over one or more trained class models.
 ///
 /// Build one via `mgp_core::SearchEngine::serve()` (which registers every
@@ -711,6 +749,9 @@ pub struct QueryServer {
     latency: Mutex<LatencyHistogram>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Shared `k == 0` answer: every degenerate request returns a clone
+    /// of this one allocation and never consults or fills the cache.
+    empty: Arc<RankedList>,
 }
 
 impl QueryServer {
@@ -729,6 +770,7 @@ impl QueryServer {
             latency: Mutex::new(LatencyHistogram::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            empty: Arc::new(RankedList::new()),
         }
     }
 
@@ -826,9 +868,36 @@ impl QueryServer {
     }
 
     fn class(&self, class_id: usize) -> &ClassState {
+        self.try_class(class_id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_class(&self, class_id: usize) -> Result<&ClassState, QueryError> {
         self.classes
             .get(class_id)
-            .unwrap_or_else(|| panic!("unknown class id {class_id}"))
+            .ok_or(QueryError::UnknownClass(class_id))
+    }
+
+    /// Number of registered classes (valid ids are `0..n_classes()`).
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether `class_id` is registered — the admission-time check the
+    /// front-end runs so batcher workers only ever see valid classes.
+    pub fn has_class(&self, class_id: usize) -> bool {
+        class_id < self.classes.len()
+    }
+
+    /// The cache key for a `(class, query, k)` request. `k` saturates at
+    /// `u32::MAX` instead of truncating: a truncated `k = 2³²` used to
+    /// collide with `k = 0`, poisoning the degenerate-k entry with a
+    /// full result list. Saturation is lossless — any `k ≥ u32::MAX`
+    /// returns the whole posting list (postings are keyed by `u32` node
+    /// ids, so no list reaches that length), so every saturated `k` maps
+    /// to the same result. `k == 0` never reaches the cache at all (it
+    /// short-circuits to the shared empty list).
+    fn cache_key(class_id: usize, q: u32, k: usize) -> (u32, u32, u32) {
+        (class_id as u32, q, k.min(u32::MAX as usize) as u32)
     }
 
     fn shard_of(&self, q: u32) -> usize {
@@ -847,21 +916,49 @@ impl QueryServer {
         self.snapshot_shard(self.shard_of(q))
     }
 
-    /// Ranks a single query (cache-aware). Panics on an unknown class id.
+    /// Pins the current epoch of the shard owning anchor `q` — exactly
+    /// what a slow reader does implicitly for the duration of a batch —
+    /// and returns an opaque guard holding it alive. See [`EpochPin`].
+    pub fn pin_epoch(&self, q: NodeId) -> EpochPin {
+        EpochPin {
+            _snap: self.snapshot(q.0),
+        }
+    }
+
+    /// Ranks a single query (cache-aware). Panics on an unknown class id;
+    /// [`QueryServer::try_rank`] is the non-panicking form.
     pub fn rank(&self, class_id: usize, q: NodeId, k: usize) -> Arc<RankedList> {
-        let class = self.class(class_id);
+        self.try_rank(class_id, q, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Ranks a single query (cache-aware), returning a typed error on an
+    /// unknown class id instead of panicking. `k == 0` short-circuits to
+    /// a shared empty list without touching the cache or the hit/miss
+    /// counters, so a degenerate request can neither poison nor evict
+    /// cached entries.
+    pub fn try_rank(
+        &self,
+        class_id: usize,
+        q: NodeId,
+        k: usize,
+    ) -> Result<Arc<RankedList>, QueryError> {
+        let class = self.try_class(class_id)?;
+        if k == 0 {
+            return Ok(Arc::clone(&self.empty));
+        }
         // One snapshot serves the generation read, the cache-staleness
         // check and the ranking — all from the same epoch.
         let snap = self.snapshot(q.0);
         let cp = snap.class(class_id);
         let gen = cp.map_or(0, |c| c.generation(q.0));
-        let key = (class_id as u32, q.0, k as u32);
+        let key = Self::cache_key(class_id, q.0, k);
         if self.cfg.cache_capacity > 0 {
             if let Some((stamp, hit)) = self.cache.lock().get(&key) {
                 if *stamp == gen {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     class.hits.fetch_add(1, Ordering::Relaxed);
-                    return Arc::clone(hit);
+                    return Ok(Arc::clone(hit));
                 }
             }
         }
@@ -876,7 +973,7 @@ impl QueryServer {
         if self.cfg.cache_capacity > 0 {
             self.cache.lock().put(key, (gen, Arc::clone(&result)));
         }
-        result
+        Ok(result)
     }
 
     /// Ranks one query for **several classes in one pass**: pins a single
@@ -888,10 +985,30 @@ impl QueryServer {
     ///
     /// Cache entries are keyed per class exactly as `rank` keys them, so
     /// the two entry points share hits freely and single-class callers
-    /// are unaffected. Panics on an unknown class id.
+    /// are unaffected. Panics on an unknown class id;
+    /// [`QueryServer::try_rank_multi`] is the non-panicking form.
+    /// Duplicate class ids are fine — each slot is answered
+    /// independently (and duplicates share the cached `Arc`).
     pub fn rank_multi(&self, class_ids: &[usize], q: NodeId, k: usize) -> Vec<Arc<RankedList>> {
+        self.try_rank_multi(class_ids, q, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`QueryServer::rank_multi`] with a typed error on an unknown class
+    /// id instead of a panic. No class is queried (and no counter moves)
+    /// unless every id validates; `k == 0` short-circuits every slot to
+    /// the shared empty list without touching the cache.
+    pub fn try_rank_multi(
+        &self,
+        class_ids: &[usize],
+        q: NodeId,
+        k: usize,
+    ) -> Result<Vec<Arc<RankedList>>, QueryError> {
         for &cid in class_ids {
-            let _ = self.class(cid);
+            self.try_class(cid)?;
+        }
+        if k == 0 {
+            return Ok(vec![Arc::clone(&self.empty); class_ids.len()]);
         }
         let snap = self.snapshot(q.0);
         let mut out: Vec<Option<Arc<RankedList>>> = vec![None; class_ids.len()];
@@ -903,7 +1020,7 @@ impl QueryServer {
             let mut cache = self.cache.lock();
             for (j, &cid) in class_ids.iter().enumerate() {
                 let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
-                match cache.get(&(cid as u32, q.0, k as u32)) {
+                match cache.get(&Self::cache_key(cid, q.0, k)) {
                     Some((stamp, hit)) if *stamp == gen => out[j] = Some(Arc::clone(hit)),
                     _ => miss.push(j),
                 }
@@ -947,18 +1064,20 @@ impl QueryServer {
                     let cid = class_ids[j];
                     let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
                     let result = out[j].as_ref().expect("just computed");
-                    cache.put((cid as u32, q.0, k as u32), (gen, Arc::clone(result)));
+                    cache.put(Self::cache_key(cid, q.0, k), (gen, Arc::clone(result)));
                 }
             }
         }
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|slot| slot.expect("every class answered"))
-            .collect()
+            .collect())
     }
 
     /// Ranks a batch of queries rayon-parallel, returning one list per
     /// query in input order. Records the batch's wall time in the latency
-    /// histogram. Panics on an unknown class id.
+    /// histogram. Panics on an unknown class id;
+    /// [`QueryServer::try_rank_batch`] is the non-panicking form.
     ///
     /// The batch pins one epoch snapshot per distinct shard up front; a
     /// delta landing mid-batch is simply not observed by this batch, and
@@ -970,9 +1089,21 @@ impl QueryServer {
         queries: &[NodeId],
         k: usize,
     ) -> Vec<Arc<RankedList>> {
+        self.try_rank_batch(class_id, queries, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`QueryServer::rank_batch`] with a typed error on an unknown class
+    /// id instead of a panic.
+    pub fn try_rank_batch(
+        &self,
+        class_id: usize,
+        queries: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<Arc<RankedList>>, QueryError> {
         // The single-class case of the shared grid protocol: with one
         // class the row-major grid IS the per-query result vector.
-        self.rank_grid(&[class_id], queries, k)
+        self.try_rank_grid(&[class_id], queries, k)
     }
 
     /// Single-threaded, cache-bypassing reference path: ranks each query
@@ -1005,20 +1136,35 @@ impl QueryServer {
     /// pass over the whole query × class grid, coalesces duplicate
     /// `(query, class)` misses, and fans the distinct ones across rayon
     /// workers. Records one latency histogram entry, like
-    /// [`QueryServer::rank_batch`]. Panics on an unknown class id.
+    /// [`QueryServer::rank_batch`]. Panics on an unknown class id;
+    /// [`QueryServer::try_rank_multi_batch`] is the non-panicking form.
     pub fn rank_multi_batch(
         &self,
         class_ids: &[usize],
         queries: &[NodeId],
         k: usize,
     ) -> Vec<Vec<Arc<RankedList>>> {
+        self.try_rank_multi_batch(class_ids, queries, k)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`QueryServer::rank_multi_batch`] with a typed error on an unknown
+    /// class id instead of a panic — the front-end's execution primitive.
+    /// Nothing is computed (and no counter moves) unless every class id
+    /// validates.
+    pub fn try_rank_multi_batch(
+        &self,
+        class_ids: &[usize],
+        queries: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<Vec<Arc<RankedList>>>, QueryError> {
         if class_ids.is_empty() {
-            return queries.iter().map(|_| Vec::new()).collect();
+            return Ok(queries.iter().map(|_| Vec::new()).collect());
         }
-        let mut flat = self.rank_grid(class_ids, queries, k).into_iter();
-        (0..queries.len())
+        let mut flat = self.try_rank_grid(class_ids, queries, k)?.into_iter();
+        Ok((0..queries.len())
             .map(|_| flat.by_ref().take(class_ids.len()).collect())
-            .collect()
+            .collect())
     }
 
     /// The shared batched-ranking core: ranks every query under every
@@ -1031,10 +1177,26 @@ impl QueryServer {
     /// each), one stamped cache fill, one latency histogram entry. Both
     /// public batch entry points are thin views of this grid, so the
     /// generation-stamp protocol lives exactly once.
-    fn rank_grid(&self, class_ids: &[usize], queries: &[NodeId], k: usize) -> Vec<Arc<RankedList>> {
+    ///
+    /// Degenerate inputs are handled here once for both entry points:
+    /// every class id validates before anything is computed, and `k == 0`
+    /// fills the whole grid from the shared empty list without touching
+    /// the cache, the hit/miss counters or the latency histogram.
+    fn try_rank_grid(
+        &self,
+        class_ids: &[usize],
+        queries: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<Arc<RankedList>>, QueryError> {
         let t0 = Instant::now();
         for &cid in class_ids {
-            let _ = self.class(cid);
+            self.try_class(cid)?;
+        }
+        if k == 0 {
+            return Ok(vec![
+                Arc::clone(&self.empty);
+                queries.len() * class_ids.len()
+            ]);
         }
         let n_classes = class_ids.len();
         let n_shards = self.n_shards;
@@ -1057,7 +1219,7 @@ impl QueryServer {
                 let snap = &snaps[&(q.0 as usize % n_shards)];
                 for (j, &cid) in class_ids.iter().enumerate() {
                     let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
-                    match cache.get(&(cid as u32, q.0, k as u32)) {
+                    match cache.get(&Self::cache_key(cid, q.0, k)) {
                         Some((stamp, hit)) if *stamp == gen => {
                             out[i * n_classes + j] = Some(Arc::clone(hit))
                         }
@@ -1126,7 +1288,7 @@ impl QueryServer {
                 let gen = snaps[&(q.0 as usize % n_shards)]
                     .class(*cid)
                     .map_or(0, |c| c.generation(q.0));
-                cache.put((*cid as u32, q.0, k as u32), (gen, Arc::clone(result)));
+                cache.put(Self::cache_key(*cid, q.0, k), (gen, Arc::clone(result)));
             }
         }
         for slot in miss_idx {
@@ -1138,9 +1300,10 @@ impl QueryServer {
         }
 
         self.latency.lock().record(t0.elapsed());
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|slot| slot.expect("every query × class answered"))
-            .collect()
+            .collect())
     }
 
     /// Applies an index delta to a registered class **without pausing
@@ -1555,6 +1718,97 @@ mod tests {
     fn unknown_class_panics() {
         let (srv, _, _) = server(0);
         let _ = srv.rank(7, NodeId(1), 1);
+    }
+
+    #[test]
+    fn try_rank_rejects_unknown_class_without_moving_counters() {
+        let (srv, _, _) = server(16);
+        assert_eq!(
+            srv.try_rank(7, NodeId(1), 1).unwrap_err(),
+            QueryError::UnknownClass(7)
+        );
+        // A mixed list fails atomically: the valid class is not queried.
+        assert_eq!(
+            srv.try_rank_multi(&[0, 7], NodeId(1), 1).unwrap_err(),
+            QueryError::UnknownClass(7)
+        );
+        assert_eq!(
+            srv.try_rank_multi_batch(&[7], &[NodeId(1)], 1).unwrap_err(),
+            QueryError::UnknownClass(7)
+        );
+        assert_eq!(
+            srv.try_rank_batch(9, &[NodeId(1)], 1).unwrap_err(),
+            QueryError::UnknownClass(9)
+        );
+        let s = srv.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+        assert_eq!(s.latency.count, 0);
+        assert_eq!(
+            srv.try_rank(7, NodeId(1), 1).unwrap_err().to_string(),
+            "unknown class id 7"
+        );
+        assert!(srv.has_class(0) && !srv.has_class(7));
+        assert_eq!(srv.n_classes(), 1);
+        // The happy path answers through the same entry points.
+        assert_eq!(
+            *srv.try_rank(0, NodeId(1), 2).unwrap(),
+            *srv.rank(0, NodeId(1), 2)
+        );
+    }
+
+    #[test]
+    fn k_zero_is_empty_and_never_touches_the_cache() {
+        let (srv, _, _) = server(16);
+        let a = srv.rank(0, NodeId(1), 0);
+        assert!(a.is_empty());
+        // Neither a hit nor a miss, no cache fill, no latency entry.
+        let s = srv.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (0, 0));
+        // All entry points share the one preallocated empty list.
+        let multi = srv.rank_multi(&[0, 0], NodeId(1), 0);
+        let grid = srv.rank_multi_batch(&[0], &[NodeId(1), NodeId(2)], 0);
+        assert!(multi.iter().all(|r| Arc::ptr_eq(r, &a)));
+        assert!(grid.iter().flatten().all(|r| Arc::ptr_eq(r, &a)));
+        assert_eq!(srv.stats().latency.count, 0);
+        // And the k == 0 entry cannot have displaced or poisoned real
+        // keys: a k = 2 lookup computes fresh and a repeat hits.
+        let _ = srv.rank(0, NodeId(1), 2);
+        let _ = srv.rank(0, NodeId(1), 2);
+        let s = srv.stats();
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn huge_k_saturates_instead_of_truncating_into_k_zero() {
+        let (srv, idx, w) = server(16);
+        // Before the fix `k as u32` truncated: k = 2³² + 17 landed in the
+        // k = 17 slot and k = 2³² landed in the k = 0 slot. Saturating at
+        // u32::MAX is lossless — no posting list has 2³² entries — so all
+        // huge ks share one (correct, full-list) cache entry.
+        let huge = (u32::MAX as usize).saturating_add(17);
+        let full = srv.rank(0, NodeId(1), huge);
+        assert_eq!(*full, reference(&idx, &w, NodeId(1), huge));
+        let also = srv.rank(0, NodeId(1), (u32::MAX as usize).saturating_add(99));
+        assert_eq!(*full, *also);
+        // A degenerate k = 0 request after the huge-k fill stays empty.
+        assert!(srv.rank(0, NodeId(1), 0).is_empty());
+        assert_eq!(
+            *srv.rank(0, NodeId(1), 17),
+            reference(&idx, &w, NodeId(1), 17)
+        );
+    }
+
+    #[test]
+    fn pin_epoch_is_a_public_slow_reader() {
+        let (srv, mut idx, _) = server(16);
+        assert_eq!(srv.epoch_stats(), EpochStats::default());
+        let pin = srv.pin_epoch(NodeId(1));
+        let touch = idx.apply_delta(&count_delta(&[(1, 2), (2, 2)], &[((1, 2), 2)], 0, 2));
+        srv.apply_delta(0, &idx, &touch);
+        let held = srv.epoch_stats();
+        assert!(held.retained_epochs >= 1, "{held}");
+        drop(pin);
+        assert_eq!(srv.epoch_stats(), EpochStats::default());
     }
 
     #[test]

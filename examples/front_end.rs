@@ -1,0 +1,257 @@
+//! Front-end serving: micro-batching, coalescing, admission control.
+//!
+//! Puts the async request layer ([`Frontend`]) through its production
+//! motions: a pool of open-loop callers fires zipfian (duplicate-heavy)
+//! `submit` traffic while a churn thread streams graph deltas through
+//! `ingest_serving` — the same concurrent regime `bench_frontend`
+//! measures under CI. Each caller keeps a pipeline of in-flight
+//! [`Ticket`]s and handles the two typed refusals a well-behaved client
+//! must expect:
+//!
+//! * [`FrontendError::Overloaded`] — the bounded queue (or its
+//!   tightened under-pressure bound) shed the request; back off and
+//!   retry.
+//! * [`FrontendError::Query`] — the request itself is malformed
+//!   (unknown class id); retrying is pointless.
+//!
+//! At the end it prints the [`FrontendStats`] snapshot: window fill,
+//! coalesce ratio (requests served per posting walk), shed counts and
+//! queue-depth percentiles.
+//!
+//! Run with: `cargo run --release --example front_end`
+//!
+//! [`Frontend`]: semantic_proximity::online::Frontend
+//! [`Ticket`]: semantic_proximity::online::Ticket
+//! [`FrontendError::Overloaded`]: semantic_proximity::online::FrontendError
+//! [`FrontendError::Query`]: semantic_proximity::online::FrontendError
+//! [`FrontendStats`]: semantic_proximity::online::FrontendStats
+
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::{GraphDelta, NodeId};
+use semantic_proximity::learning::{sample_examples, TrainConfig};
+use semantic_proximity::online::{FrontendConfig, FrontendError, ServeConfig, Ticket};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
+
+const CALLERS: usize = 4;
+const PER_CALLER: usize = 2_000;
+/// In-flight tickets each caller keeps pipelined.
+const OUTSTANDING: usize = 32;
+/// Zipf exponent / hot-set size of the duplicate-heavy traffic.
+const ZIPF_S: f64 = 1.3;
+const HOT_SET: usize = 16;
+
+/// Minimal xorshift64* — deterministic per-caller traffic.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf: Vec<f64> = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 1..=n {
+        acc += 1.0 / (r as f64).powf(s);
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+fn main() {
+    // Offline phase: dataset, mining, matching, indexing, two classes.
+    let d = generate_facebook(&FacebookConfig::tiny(42));
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = TrainConfig::fast(1);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+    let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+        let queries = d.labels.queries_of_class(class);
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + class.0 as u64);
+        let examples = sample_examples(
+            &queries,
+            |q| d.labels.positives_of(q, class),
+            |q, v| d.labels.has(q, v, class),
+            &anchors,
+            200,
+            &mut rng,
+        );
+        engine.train_class(name, &examples);
+    }
+
+    // Online phase: the async front-end over a shared server handle.
+    // A small queue makes admission control visible in the stats below.
+    let frontend = engine.serve_frontend_with(
+        ServeConfig {
+            workers: 2,
+            shards: 4,
+            cache_capacity: 0, // every duplicate win below is the coalescer's
+        },
+        FrontendConfig {
+            workers: 2,
+            queue_depth: 96,
+            ..FrontendConfig::default()
+        },
+    );
+    println!(
+        "Front-end over {} nodes / {} edges: {CALLERS} zipfian callers \
+         (s={ZIPF_S} over {HOT_SET} hot queries, {OUTSTANDING} in flight each) \
+         + concurrent churn\n",
+        engine.graph().n_nodes(),
+        engine.graph().n_edges(),
+    );
+
+    // Churn events: fresh user–attribute edges added then removed again.
+    let churn_pairs: Vec<(NodeId, NodeId)> = {
+        let g = engine.graph();
+        let attrs: Vec<NodeId> = g
+            .nodes()
+            .filter(|&v| g.node_type(v) != d.anchor_type && g.degree(v) > 0)
+            .collect();
+        let mut pairs = Vec::new();
+        'outer: for &u in &anchors {
+            for &a in &attrs {
+                if !g.has_edge(u, a) {
+                    pairs.push((u, a));
+                    if pairs.len() >= 8 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        pairs
+    };
+
+    let hot: Vec<NodeId> = anchors.iter().copied().take(HOT_SET).collect();
+    let cdf = zipf_cdf(hot.len(), ZIPF_S);
+    let stop = AtomicBool::new(false);
+    let retries = AtomicUsize::new(0);
+
+    let (_engine, ingests) = std::thread::scope(|s| {
+        let fe = &frontend;
+
+        // Churn thread: single-edge add/remove deltas through the full
+        // graph → matching → index → serving chain, while callers fly.
+        let churn = s.spawn(|| {
+            let mut ingests = 0usize;
+            'churn: loop {
+                for remove in [false, true] {
+                    for &(u, a) in &churn_pairs {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'churn;
+                        }
+                        let mut delta = GraphDelta::for_graph(engine.graph());
+                        if remove {
+                            delta.remove_edge(u, a).unwrap();
+                        } else {
+                            delta.add_edge(u, a).unwrap();
+                        }
+                        engine.ingest_serving(&delta, fe.server()).unwrap();
+                        ingests += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            (engine, ingests)
+        });
+
+        // Open-loop callers: submit, keep OUTSTANDING tickets in flight,
+        // retry (with a yield) when admission sheds.
+        let callers: Vec<_> = (0..CALLERS)
+            .map(|c| {
+                let (cdf, hot, retries) = (&cdf, &hot, &retries);
+                s.spawn(move || {
+                    let mut rng = XorShift(0x9E37_79B9 + c as u64 * 0x61C8_8647);
+                    let mut inflight: VecDeque<Ticket> = VecDeque::with_capacity(OUTSTANDING);
+                    for i in 0..PER_CALLER {
+                        let q = hot[cdf
+                            .partition_point(|&p| p < rng.next_f64())
+                            .min(hot.len() - 1)];
+                        let class = i % 2;
+                        let ticket = loop {
+                            match fe.submit(class, q, 10) {
+                                Ok(t) => break t,
+                                Err(FrontendError::Overloaded { .. }) => {
+                                    // Shed: typed, not a panic. Back off.
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected refusal: {e}"),
+                            }
+                        };
+                        inflight.push_back(ticket);
+                        if inflight.len() >= OUTSTANDING {
+                            inflight.pop_front().unwrap().wait().unwrap();
+                        }
+                    }
+                    for t in inflight {
+                        t.wait().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for c in callers {
+            c.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        churn.join().unwrap()
+    });
+
+    // Malformed traffic gets a typed refusal, never a worker panic.
+    match frontend.submit(99, hot[0], 10) {
+        Err(FrontendError::Query(e)) => println!("bogus class 99 refused up front: {e}"),
+        other => panic!("expected a typed Query error, got {other:?}"),
+    }
+    // k = 0 is answered (empty), and never poisons the result cache.
+    assert!(frontend
+        .submit(0, hot[0], 0)
+        .unwrap()
+        .wait()
+        .unwrap()
+        .is_empty());
+
+    let stats = frontend.shutdown();
+    println!(
+        "\n--- {} requests answered, {ingests} churn ingests ---",
+        stats.completed
+    );
+    println!(
+        "windows: {} executed, {:.0}% full, coalesce ratio x{:.2} \
+         ({} posting walks served {} requests)",
+        stats.windows,
+        100.0 * stats.window_fill,
+        stats.coalesce_ratio,
+        stats.distinct_executed,
+        stats.windowed_requests,
+    );
+    println!(
+        "admission: {} submitted, {} shed ({} under pressure, {} caller retries), \
+         queue depth p99 {} / max {}",
+        stats.submitted,
+        stats.shed(),
+        stats.shed_pressure,
+        retries.load(Ordering::Relaxed),
+        stats.queue_depth_p99,
+        stats.max_queue_depth,
+    );
+    println!(
+        "window latency: p50 {:?}, p99 {:?}",
+        stats.window_latency.p50(),
+        stats.window_latency.p99()
+    );
+    assert_eq!(stats.completed + stats.shed(), stats.submitted);
+}

@@ -1,0 +1,330 @@
+//! Front-end equivalence and robustness: the async micro-batching
+//! front-end must be a *transparent* layer — every answer it returns is
+//! bit-identical to calling the underlying `QueryServer` directly, no
+//! matter how requests interleave with churn batches, how duplicates
+//! coalesce, or how often the bounded admission queue sheds a request
+//! (a shed retried after the queue drains gets the same answer a direct
+//! call would). Alongside: the bounded queue actually bounds buffered
+//! work under a sustained flood, and a malformed churn delta (stale
+//! imported models) is rejected atomically with a typed error instead
+//! of panicking the serving process.
+
+use proptest::prelude::*;
+use semantic_proximity::engine::{IngestError, PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::delta::GraphDelta;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::learning::{TrainConfig, TrainingExample};
+use semantic_proximity::metagraph::Metagraph;
+use semantic_proximity::online::{FrontendConfig, FrontendError, ServeConfig};
+use std::time::Duration;
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+fn base_graph(n_users: usize, n_a: usize, n_b: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let mut nodes = Vec::new();
+    for i in 0..n_users {
+        nodes.push(g.add_node(user, format!("u{i}")));
+    }
+    for i in 0..n_a {
+        nodes.push(g.add_node(ta, format!("a{i}")));
+    }
+    for i in 0..n_b {
+        nodes.push(g.add_node(tb, format!("b{i}")));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % nodes.len(), y % nodes.len());
+        if x != y {
+            g.add_edge(nodes[x], nodes[y]).unwrap();
+        }
+    }
+    g.build()
+}
+
+fn catalogue() -> Vec<Metagraph> {
+    vec![
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, B, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+    ]
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(USER, 1);
+    cfg.train = TrainConfig::fast(7);
+    cfg.strategy = TrainingStrategy::Full;
+    cfg.threads = 1;
+    cfg
+}
+
+fn salted_examples(n_users: usize, salt: usize) -> Vec<TrainingExample> {
+    (0..n_users.min(8))
+        .map(|i| TrainingExample {
+            q: NodeId(((i + salt) % n_users) as u32),
+            x: NodeId(((i + salt + 1) % n_users) as u32),
+            y: NodeId(((i + 2 * salt + 2) % n_users) as u32),
+        })
+        .collect()
+}
+
+/// Submits with a bounded retry loop: a shed request is retried until the
+/// queue drains — the ISSUE contract is that the *retried* request's
+/// answer matches a direct call, not that no request is ever shed.
+fn submit_retrying(
+    frontend: &semantic_proximity::online::Frontend,
+    class_id: usize,
+    q: NodeId,
+    k: usize,
+) -> semantic_proximity::online::Ticket {
+    for _ in 0..100_000 {
+        match frontend.submit(class_id, q, k) {
+            Ok(t) => return t,
+            Err(FrontendError::Overloaded { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    panic!("queue never drained");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Waves of front-end requests interleaved with churn batches: every
+    /// ticket answer is bit-identical to ranking the same `(class, q, k)`
+    /// directly on the shared server — through micro-batch windows,
+    /// duplicate coalescing, and a deliberately tiny admission queue that
+    /// sheds under each wave.
+    #[test]
+    fn frontend_answers_are_bit_identical_to_direct_calls(
+        n_users in 6usize..10,
+        n_a in 2usize..4,
+        n_b in 2usize..4,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 12..30),
+        batches in prop::collection::vec(
+            (
+                prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 1..4),
+                prop::collection::vec((any::<bool>(), 0usize..1000, 0u8..3), 6..20),
+            ),
+            1..3,
+        ),
+    ) {
+        let g = base_graph(n_users, n_a, n_b, &base_edges);
+        let mut engine = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+        engine.train_class("c0", &salted_examples(n_users, 1));
+        engine.train_class("c1", &salted_examples(n_users, 3));
+        let frontend = engine.serve_frontend_with(
+            ServeConfig { workers: 2, shards: 3, cache_capacity: 64 },
+            FrontendConfig {
+                workers: 2,
+                window: Duration::from_micros(200),
+                max_batch: 4,
+                queue_depth: 4,
+                ..FrontendConfig::default()
+            },
+        );
+        let server = frontend.server().clone();
+        let c0 = server.class_id("c0").unwrap();
+        let c1 = server.class_id("c1").unwrap();
+
+        for (churn, wave) in batches {
+            // Churn lands through the same epoch-swapped server the
+            // front-end ranks on; requests in the next wave see the
+            // post-delta shards.
+            let g_now = engine.graph().clone();
+            let edges_now: Vec<(NodeId, NodeId)> = g_now.edges().collect();
+            let mut delta = GraphDelta::for_graph(&g_now);
+            let mut n_now = g_now.n_nodes();
+            for (x, y, kind) in churn {
+                match kind {
+                    0 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let b = NodeId((y % n_now) as u32);
+                        if a != b {
+                            delta.add_edge(a, b).unwrap();
+                        }
+                    }
+                    1 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let ty = [USER, A, B][y % 3];
+                        n_now += 1;
+                        let b = delta.add_node(ty, format!("fresh{n_now}"));
+                        delta.add_edge(a, b).unwrap();
+                    }
+                    2 if !edges_now.is_empty() => {
+                        let (a, b) = edges_now[x % edges_now.len()];
+                        delta.remove_edge(a, b).unwrap();
+                    }
+                    3 => {
+                        delta.remove_node(NodeId((x % g_now.n_nodes()) as u32)).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            engine.ingest_serving(&delta, frontend.server()).unwrap();
+
+            // One wave: duplicate-heavy (q drawn mod a small range),
+            // mixed classes and ks, submitted all at once so windows
+            // actually batch and the depth-4 queue actually sheds.
+            let n_nodes = engine.graph().n_nodes();
+            let mut inflight = Vec::new();
+            for (pick_c1, x, kk) in wave {
+                let cid = if pick_c1 { c1 } else { c0 };
+                let q = NodeId((x % n_nodes.min(6)) as u32);
+                let k = [0usize, 3, 10][kk as usize % 3];
+                inflight.push((cid, q, k, submit_retrying(&frontend, cid, q, k)));
+            }
+            for (cid, q, k, ticket) in inflight {
+                let got = ticket.wait().unwrap();
+                let want = server.rank(cid, q, k);
+                prop_assert_eq!(
+                    &*got, &*want,
+                    "front-end diverged at class={} q={} k={}", cid, q, k
+                );
+                if k == 0 {
+                    prop_assert!(got.is_empty());
+                }
+            }
+        }
+
+        // Degenerate class ids come back as typed errors, not panics.
+        let bogus = server.n_classes() + 7;
+        prop_assert!(matches!(
+            frontend.submit(bogus, NodeId(0), 5),
+            Err(FrontendError::Query(_))
+        ));
+
+        let stats = frontend.shutdown();
+        prop_assert_eq!(stats.completed + stats.shed(), stats.submitted);
+    }
+}
+
+/// A sustained multi-thread flood against a depth-3 queue: admission
+/// keeps the number of buffered requests bounded (the memory bound), every
+/// non-shed request completes, and the front-end still answers correctly
+/// afterwards.
+#[test]
+fn bounded_queue_bounds_buffered_work_under_flood() {
+    let g = base_graph(6, 3, 2, &[(0, 6), (1, 6), (0, 7), (2, 7), (1, 9), (2, 9)]);
+    let mut engine = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+    engine.train_class("c", &salted_examples(6, 1));
+    let frontend = engine.serve_frontend_with(
+        ServeConfig {
+            workers: 1,
+            shards: 2,
+            cache_capacity: 0,
+        },
+        FrontendConfig {
+            workers: 1,
+            window: Duration::ZERO,
+            max_batch: 1,
+            queue_depth: 3,
+            ..FrontendConfig::default()
+        },
+    );
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 500;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let frontend = &frontend;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Tickets are dropped immediately: even a caller that
+                    // walks away must not leak or wedge a worker.
+                    let _ = frontend.submit(0, NodeId(((t + i) % 6) as u32), 5);
+                }
+            });
+        }
+    });
+
+    // A request submitted after the flood still answers correctly.
+    let direct = frontend.server().rank(0, NodeId(1), 5);
+    let ticket = submit_retrying(&frontend, 0, NodeId(1), 5);
+    assert_eq!(&*ticket.wait().unwrap(), &*direct);
+
+    let stats = frontend.shutdown();
+    // ≥: the post-flood submit may itself get shed and retried while the
+    // queue drains, and every shed attempt counts as a submission.
+    assert!(stats.submitted >= (THREADS * PER_THREAD) as u64 + 1);
+    assert!(
+        stats.max_queue_depth <= 3,
+        "queue depth {} escaped the bound",
+        stats.max_queue_depth
+    );
+    assert!(
+        stats.shed() > 0,
+        "a depth-3 queue must shed under this flood"
+    );
+    assert_eq!(
+        stats.completed + stats.shed(),
+        stats.submitted,
+        "every admitted request must complete by shutdown"
+    );
+}
+
+/// The no-more-panics-on-ingest contract, end to end: importing models
+/// trained against a *different* (older) graph and then ingesting
+/// removals the stale model never counted must return a typed
+/// [`IngestError::Underflow`] naming the class — with the engine's
+/// graph, counts and search results bit-identical to before the call —
+/// instead of panicking mid-mutation. Re-importing correct models makes
+/// the same delta apply cleanly.
+#[test]
+fn stale_model_import_rejects_removal_atomically() {
+    // Users u4 (NodeId 4) and u5 (NodeId 5) start with no edges at all:
+    // any instance through them exists only after the insertion below,
+    // so a stale (pre-insertion) model must underflow when it is asked
+    // to forget them.
+    let g = base_graph(
+        6,
+        3,
+        2,
+        &[(0, 6), (1, 6), (0, 7), (2, 7), (1, 9), (2, 9), (3, 8)],
+    );
+    let mut engine = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+    engine.train_class("c", &salted_examples(6, 1));
+    let stale = engine.export_models();
+
+    // Churn: a0 (NodeId 6) gains edges to u4 and u5 — new USER-A-USER
+    // instances (u4, a0, u5), (u0, a0, u4), … land in counts and models.
+    let mut grow = GraphDelta::for_graph(engine.graph());
+    grow.add_edge(NodeId(4), NodeId(6)).unwrap();
+    grow.add_edge(NodeId(5), NodeId(6)).unwrap();
+    let report = engine.ingest(&grow).unwrap();
+    assert!(report.new_instances > 0, "insertion must create instances");
+    let correct = engine.export_models();
+
+    // Swap in the stale models and try to remove one of those edges.
+    engine.import_models(&stale).unwrap();
+    let n_edges_before = engine.graph().n_edges();
+    let counts_before = engine.counts(0).unwrap().clone();
+    let results_before = engine.search("c", NodeId(0), 5);
+
+    let mut shrink = GraphDelta::for_graph(engine.graph());
+    shrink.remove_edge(NodeId(4), NodeId(6)).unwrap();
+    let err = engine.ingest(&shrink).unwrap_err();
+    match &err {
+        IngestError::Underflow { class, .. } => {
+            assert_eq!(class.as_deref(), Some("c"), "the stale class is named");
+        }
+        other => panic!("expected Underflow, got {other:?}"),
+    }
+    assert!(err.to_string().contains("would go negative"));
+
+    // Atomic rejection: nothing moved.
+    assert_eq!(engine.graph().n_edges(), n_edges_before);
+    assert_eq!(engine.counts(0).unwrap(), &counts_before);
+    assert_eq!(engine.search("c", NodeId(0), 5), results_before);
+
+    // Recovery: with the correct models back, the same delta applies.
+    engine.import_models(&correct).unwrap();
+    let report = engine.ingest(&shrink).unwrap();
+    assert_eq!(report.removed_edges, 1);
+    assert!(report.doomed_instances > 0);
+}
