@@ -115,21 +115,26 @@ fn drive_readers(
     samples.into_inner().unwrap()
 }
 
-/// Read-side lock-cost micro-measurement (pre-work for the roadmap's
-/// lock-free epoch swap): a reader's snapshot pin is an `RwLock` read
-/// acquisition wrapping an `Arc` clone; an ArcSwap-style design would
-/// pay the `Arc` clone alone. Measures both on this machine and prints
-/// the per-pin delta, so the "is the lock worth removing?" decision is
-/// data-driven rather than guessed.
+/// Read-side lock-cost regression gate (asserted, run in CI). The old
+/// shard pin was an `RwLock` read acquisition wrapping an `Arc` clone;
+/// this bench used to print how much the lock cost so the "is it worth
+/// removing?" decision was data-driven. The lock is now gone — readers
+/// pin an epoch through the `arc_swap` shim with one hazard-slot store —
+/// so the print has been promoted to the acceptance bar it argued for:
+/// an atomic snapshot pin must cost **no more than a raw `Arc` clone**
+/// (the floor the `RwLock` comparison measured against). A clone+drop
+/// pays two contended-capable RMWs on the shared refcount; a pin+unpin
+/// pays two stores to a thread-owned slot, so regressing past the clone
+/// means the shim's fast path broke.
 fn measure_snapshot_pin_cost() {
     const N: u32 = 2_000_000;
     let payload: Arc<Vec<u64>> = Arc::new(vec![0; 16]);
-    let lock = parking_lot::RwLock::new(Arc::clone(&payload));
+    let swap = arc_swap::ArcSwap::new(Arc::clone(&payload));
 
-    // Warm both paths (page in the lock word and the Arc cache line).
+    // Warm both paths (claim the hazard slot, page in the Arc line).
     for _ in 0..1000 {
         std::hint::black_box(Arc::clone(&payload));
-        std::hint::black_box(Arc::clone(&lock.read()));
+        std::hint::black_box(&**swap.load());
     }
 
     let t0 = Instant::now();
@@ -140,18 +145,21 @@ fn measure_snapshot_pin_cost() {
 
     let t1 = Instant::now();
     for _ in 0..N {
-        std::hint::black_box(Arc::clone(&lock.read()));
+        std::hint::black_box(&**swap.load());
     }
-    let locked = t1.elapsed();
+    let pinned = t1.elapsed();
 
     let raw_ns = raw.as_nanos() as f64 / N as f64;
-    let locked_ns = locked.as_nanos() as f64 / N as f64;
+    let pin_ns = pinned.as_nanos() as f64 / N as f64;
     println!(
-        "snapshot pin: RwLock read + Arc clone {locked_ns:.1} ns vs raw Arc clone \
-         {raw_ns:.1} ns — the lock costs {:.1} ns/pin ({:.1}x); an ArcSwap-style \
-         swap would save exactly that read-side delta",
-        locked_ns - raw_ns,
-        locked_ns / raw_ns.max(1e-9)
+        "snapshot pin: ArcSwap load {pin_ns:.1} ns vs raw Arc clone {raw_ns:.1} ns \
+         ({:.2}x) — acceptance bar: pin \u{2264} clone",
+        pin_ns / raw_ns.max(1e-9)
+    );
+    assert!(
+        pin_ns <= raw_ns,
+        "lock-free snapshot pin ({pin_ns:.1} ns) regressed past the raw Arc-clone \
+         baseline ({raw_ns:.1} ns)"
     );
 }
 

@@ -11,6 +11,14 @@
 //! updated graph after either direction of churn. The delete phase
 //! removes exactly the edges the insert phase added, so it also soaks
 //! the round-trip: the final graph is the original one.
+//!
+//! A **wide-ingest** section then replays many-edge deltas against two
+//! 16-shard servers — one through the parallel phase-5 shard patching,
+//! one through the sequential replay baseline — asserting bit-identical
+//! stats and rankings always, and a ≥ 1.5× parallel speedup whenever
+//! the rayon pool actually has ≥ 2 workers (on a single-core runner the
+//! bar is reported but not enforced: there is no parallelism to buy the
+//! speedup with).
 
 use mgp_core::{PipelineConfig, QueryServer, SearchEngine, TrainingStrategy};
 use mgp_datagen::facebook::{generate_facebook, FacebookConfig, FAMILY};
@@ -221,4 +229,111 @@ fn main() {
         "insert + delete phases must round-trip to the original edge count"
     );
     println!("round-trip                : graph restored to {n_edges_base} edges");
+
+    wide_ingest_section(&mut engine, &users, &fresh_pairs);
+}
+
+/// Wide-ingest comparison: one delta touching anchors across a 16-shard
+/// server, applied through the parallel phase-5 fan-out on one server
+/// and [`QueryServer::apply_delta_fused_sequential`] on its twin. The
+/// two replays must be bit-identical (stats and rankings — asserted
+/// unconditionally); the ≥ 1.5× speedup bar is asserted only when the
+/// rayon pool has ≥ 2 workers to parallelise across.
+fn wide_ingest_section(engine: &mut SearchEngine, users: &[NodeId], pairs: &[(NodeId, NodeId)]) {
+    const WIDE_SHARDS: usize = 16;
+    const WIDE_CYCLES: usize = 6;
+    const WIDE_WARMUP: usize = 2;
+    const WIDE_BAR: f64 = 1.5;
+
+    let wide_cfg = || mgp_online::ServeConfig {
+        shards: WIDE_SHARDS,
+        cache_capacity: 0,
+        ..Default::default()
+    };
+    let par = engine.serve_shared_with(wide_cfg());
+    let seq = engine.serve_shared_with(wide_cfg());
+    let cid = par.class_id("family").unwrap();
+    let wide_pairs = &pairs[..pairs.len().min(32)];
+    println!(
+        "--- wide ingest ({WIDE_SHARDS} shards, {}-edge deltas, {} rayon workers) ---",
+        wide_pairs.len(),
+        par.workers()
+    );
+
+    let mut par_total = Duration::ZERO;
+    let mut seq_total = Duration::ZERO;
+    let mut timed = 0u32;
+    let mut visits = 0usize;
+    for cycle in 0..WIDE_CYCLES {
+        // Forward then backward: each cycle nets the graph to zero, so
+        // the loop can repeat for stable timings without drift.
+        for remove in [false, true] {
+            let mut delta = GraphDelta::for_graph(engine.graph());
+            for &(u, a) in wide_pairs {
+                if remove {
+                    delta.remove_edge(u, a).unwrap();
+                } else {
+                    delta.add_edge(u, a).unwrap();
+                }
+            }
+            let report = engine.ingest(&delta).unwrap();
+            for (name, touch) in &report.per_class {
+                let index = &engine.model(name).unwrap().index;
+                let update = [mgp_online::ClassDelta {
+                    class_id: cid,
+                    index,
+                    touch,
+                }];
+                let t0 = Instant::now();
+                let fp = par.apply_delta_fused(&update);
+                let dt_par = t0.elapsed();
+                let t1 = Instant::now();
+                let fs = seq.apply_delta_fused_sequential(&update);
+                let dt_seq = t1.elapsed();
+                assert_eq!(
+                    fp.per_class, fs.per_class,
+                    "parallel and sequential replay must report identical stats"
+                );
+                assert_eq!(fp.fused_shard_visits, fs.fused_shard_visits);
+                if cycle >= WIDE_WARMUP {
+                    par_total += dt_par;
+                    seq_total += dt_seq;
+                    timed += 1;
+                    visits += fp.fused_shard_visits;
+                }
+            }
+        }
+    }
+    let par_mean = par_total / timed.max(1);
+    let seq_mean = seq_total / timed.max(1);
+    let speedup = seq_mean.as_secs_f64() / par_mean.as_secs_f64().max(1e-12);
+    println!(
+        "parallel patching         : {par_mean:>12.2?} mean over {timed} wide deltas \
+         ({visits} shard visits)"
+    );
+    println!("sequential replay         : {seq_mean:>12.2?} mean");
+    println!("wide-ingest speedup       : {speedup:>12.1}x (acceptance bar: {WIDE_BAR}x with ≥ 2 workers)");
+
+    // Equivalence is unconditional: the two replay modes must be
+    // indistinguishable to readers.
+    for &q in users.iter().take(EQUIV_QUERIES) {
+        assert_eq!(
+            *par.rank(cid, q, 10),
+            *seq.rank(cid, q, 10),
+            "parallel and sequential replay diverged at q={q}"
+        );
+    }
+    println!("equivalence               : parallel rankings == sequential rankings");
+
+    if par.workers() >= 2 {
+        assert!(
+            speedup >= WIDE_BAR,
+            "acceptance: parallel shard patching must beat sequential replay by \
+             ≥ {WIDE_BAR}x on a 16-shard wide delta (got {speedup:.1}x)"
+        );
+    } else {
+        println!(
+            "wide-ingest bar           : not enforced — 1 rayon worker, no parallelism available"
+        );
+    }
 }

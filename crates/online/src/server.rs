@@ -12,33 +12,48 @@
 //! * `m_v · w` for every anchor node → one dense score per node,
 //! * `m_qv · w` for every co-occurring pair → one score per posting,
 //!
-//! and folds both into per-query *posting lists* `q → [(v, π(q, v))]`
-//! carrying the **final proximity**, partitioned into shards by `q`. A
-//! query then costs one posting copy plus a top-k sort — no arithmetic,
+//! and folds both into per-anchor **fused posting blocks** carrying the
+//! **final proximity**, partitioned into shards by `q`. A query then
+//! costs one contiguous column sweep plus a top-k sort — no arithmetic,
 //! no per-candidate lookups. Scores come out bit-identical to the seed
 //! path because each dot is evaluated once with the same
 //! `mgp_index::dot` accumulation over the same coordinate order, the
 //! score uses the same final expression, and the tie-break comparator is
 //! copied verbatim.
 //!
+//! ## Fused posting layout: one block per anchor, one column per class
+//!
+//! Each anchor `q` owns a single structure-of-arrays `FusedBlock`:
+//! one sorted candidate-id array shared by every class, plus one dense
+//! `f64` score column **per registered class** (absent `(class,
+//! candidate)` combinations hold a sentinel). Ranking class `c` for `q`
+//! is one branch-light sweep over `columns[c]` in fixed-width chunks —
+//! a chunk whose maximum can't reach the current top-k gate is skipped
+//! wholesale, and the loop shape auto-vectorizes — so
+//! [`QueryServer::rank_multi`] walks N classes over **one** hot
+//! candidate array instead of N pointer-chased posting lists. Delta
+//! replay patches score columns in place and rebuilds an anchor's block
+//! only when its candidate union actually changes.
+//!
 //! ## Concurrency model: epoch-swapped shard snapshots
 //!
 //! Shards live at the **server** level: shard `q mod n` carries *every*
-//! registered class's postings for the anchors it owns, each class's
-//! slice individually `Arc`'d. Every shard sits behind an
-//! `RwLock<Arc<Shard>>`. Readers take the read lock just long enough to
-//! clone the `Arc` — an *epoch snapshot* — and then rank entirely from
-//! that snapshot without holding any lock; because one snapshot covers
+//! registered class's columns for the anchors it owns. Every shard sits
+//! behind an `arc_swap::ArcSwap<Shard>`: readers pin the current epoch
+//! with **one atomic load** (no lock, no reference-count contention) and
+//! then rank entirely from that snapshot; because one snapshot covers
 //! all classes, a multi-class query ([`QueryServer::rank_multi`]) pins
 //! exactly one epoch however many classes it ranks.
 //! [`QueryServer::apply_delta`] takes `&self`: the writer prepares a
-//! patched **copy** of each touched shard off to the side (class slices
-//! and posting lists are individually `Arc`'d, so the copy shares every
-//! untouched class and list and deep-clones only the patched ones) and
-//! installs it with one pointer swap under a momentary write lock.
-//! Serving therefore never pauses for ingest; a query observes each
-//! shard either entirely pre-delta or entirely post-delta, never a
-//! half-patched one.
+//! patched **copy** of each touched shard off to the side (blocks are
+//! individually `Arc`'d, so the copy shares every untouched block and
+//! deep-clones only the patched ones) and installs it with one atomic
+//! pointer swap; the replaced epoch is reclaimed only after every
+//! in-flight reader pin has drained. Serving therefore never pauses for
+//! ingest; a query observes each shard either entirely pre-delta or
+//! entirely post-delta, never a half-patched one. Independent shards of
+//! one wide delta are patched **in parallel** across the rayon pool
+//! (see [`QueryServer::apply_delta_fused`]).
 //!
 //! ## Multi-class fusion
 //!
@@ -73,9 +88,10 @@
 
 use crate::cache::LruCache;
 use crate::histogram::{LatencyHistogram, LatencySnapshot};
+use arc_swap::ArcSwap;
 use mgp_graph::{FxHashMap, FxHashSet, NodeId};
 use mgp_index::{IndexTouch, VectorIndex};
-use parking_lot::{Mutex, MutexGuard, RwLock};
+use parking_lot::{Mutex, MutexGuard};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -134,101 +150,278 @@ impl ServeConfig {
     }
 }
 
-/// One class's slice of a shard: the anchor nodes `q` owned by the shard
-/// that this class can rank, each mapping to its candidate list
-/// `[(v, π(q, v))]` in ascending `v` (the partner order of the index),
-/// plus the per-anchor invalidation generations of exactly those anchors.
+/// Score sentinel for a `(class, candidate)` combination with no posting
+/// entry. `NEG_INFINITY` (not `NaN`) so the sentinel stays inside the
+/// comparator's total order — the verbatim tie-break uses
+/// `partial_cmp().unwrap()`, which a `NaN` would panic. Real proximities
+/// are always finite (finite count vectors and weights produce finite
+/// dots, and `score_of` returns `0.0` for a non-positive denominator),
+/// so the sentinel can never collide with a live score.
+const ABSENT: f64 = f64::NEG_INFINITY;
+
+/// Chunk width of the fused scoring sweep: the per-chunk max reduction
+/// and the gated copy both run over fixed 8-wide lanes, the shape LLVM
+/// auto-vectorizes on every target with 128/256-bit vector units.
+const LANES: usize = 8;
+
+/// One anchor's fused posting block, structure-of-arrays: a single
+/// candidate-id array sorted ascending (the union of every class's
+/// partner set) plus one dense score column **per class slot**, aligned
+/// index-for-index with `candidates`. A candidate a class has no entry
+/// for holds [`ABSENT`] in that class's column.
 ///
-/// Posting lists are individually `Arc`'d so a copy-on-write clone
-/// shares every untouched list. Generations live *in* the snapshot so a
-/// reader always observes a (generation, posting) pair from the same
-/// epoch.
+/// Columns may be *shorter* than the server's class-slot count: a block
+/// untouched since before a class registered simply has no column for it
+/// (equivalent to all-[`ABSENT`]). Blocks are individually `Arc`'d so a
+/// copy-on-write shard clone shares every untouched block; delta replay
+/// writes score columns in place (under `Arc::make_mut`) and only
+/// rebuilds a block when its candidate union changes.
 #[derive(Debug, Default, Clone)]
-struct ClassPostings {
-    postings: FxHashMap<u32, Arc<Vec<(u32, f64)>>>,
-    /// Per-anchor invalidation stamp, bumped whenever the anchor's result
-    /// set changes under a delta; cached entries remember the stamp they
-    /// were computed at. Anchors absent from the map are at generation 0.
-    generations: FxHashMap<u32, u64>,
+struct FusedBlock {
+    candidates: Vec<u32>,
+    columns: Vec<Vec<f64>>,
 }
 
-impl ClassPostings {
-    fn generation(&self, q: u32) -> u64 {
-        self.generations.get(&q).copied().unwrap_or(0)
+impl FusedBlock {
+    /// Present (non-sentinel) entries in one class's column — the fused
+    /// equivalent of that class's old posting-list length for this
+    /// anchor (0 when the column is missing or all-absent).
+    fn column_entries(&self, cid: usize) -> usize {
+        self.columns
+            .get(cid)
+            .map_or(0, |col| col.iter().filter(|&&s| s != ABSENT).count())
     }
 
-    /// Ranks one query into `out` using `scratch`, replicating
-    /// `mgp_learning::mgp::rank_with_scores` exactly.
-    fn rank_into(&self, q: NodeId, k: usize, scratch: &mut Scratch, out: &mut RankedList) {
-        out.clear();
-        let Some(posting) = self.postings.get(&q.0) else {
-            return;
-        };
-        scratch.scored.clear();
-        scratch
-            .scored
-            .extend(posting.iter().map(|&(v, score)| (score, v)));
-        // Verbatim tie-break from mgp::rank_with_scores: descending score,
-        // then ascending node id.
-        scratch
-            .scored
-            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
-        scratch.scored.truncate(k);
-        out.extend(scratch.scored.iter().map(|&(s, v)| (NodeId(v), s)));
+    /// Whether the class logically has a posting for this anchor.
+    fn has_column_entries(&self, cid: usize) -> bool {
+        self.columns
+            .get(cid)
+            .is_some_and(|col| col.iter().any(|&s| s != ABSENT))
     }
 
-    /// Rebuilds anchor `x`'s posting list from the index wholesale,
-    /// dropping it when `x` has no partners left.
-    fn rebuild_posting(
-        &mut self,
-        x: u32,
-        index: &VectorIndex,
-        w: &WriterState,
-        stats: &mut DeltaStats,
-    ) {
-        let partners = index.partners(NodeId(x));
-        if partners.is_empty() {
-            if self.postings.remove(&x).is_some() {
-                stats.dropped_postings += 1;
+    /// Grow `columns` (all-absent) so slot `cid` exists.
+    fn ensure_slot(&mut self, cid: usize) {
+        if self.columns.len() <= cid {
+            let len = self.candidates.len();
+            self.columns.resize_with(cid + 1, || vec![ABSENT; len]);
+        }
+    }
+}
+
+/// Per-worker scratch for delta replay: the rebuilt posting and the
+/// candidate-union merge buffer, reused across every op a worker replays
+/// so the hot loop allocates only for blocks that genuinely change shape.
+#[derive(Default)]
+struct PatchScratch {
+    posting: Vec<(u32, f64)>,
+    union: Vec<u32>,
+}
+
+/// Install `posting` (sorted ascending by candidate id — the index
+/// partner order) as class `cid`'s column of anchor `q`'s block. Merges
+/// with the candidates other classes keep: when the block's candidate
+/// union is unchanged the column is overwritten **in place** (one
+/// copy-on-write of the block, no remap of other columns); otherwise the
+/// block is rebuilt around the new union. A block left with no present
+/// entry in any class is dropped from the shard.
+fn install_column(
+    blocks: &mut FxHashMap<u32, Arc<FusedBlock>>,
+    cid: usize,
+    q: u32,
+    posting: &[(u32, f64)],
+    union: &mut Vec<u32>,
+) {
+    use std::collections::hash_map::Entry;
+    let mut slot = match blocks.entry(q) {
+        Entry::Occupied(slot) => slot,
+        Entry::Vacant(slot) => {
+            if !posting.is_empty() {
+                let mut block = FusedBlock {
+                    candidates: posting.iter().map(|&(v, _)| v).collect(),
+                    columns: Vec::new(),
+                };
+                block.ensure_slot(cid);
+                for (dst, &(_, s)) in block.columns[cid].iter_mut().zip(posting) {
+                    *dst = s;
+                }
+                slot.insert(Arc::new(block));
             }
-        } else {
-            let posting = posting_for(NodeId(x), partners, &w.node_dots, &w.pair_dots);
-            self.postings.insert(x, Arc::new(posting));
-            stats.rebuilt_postings += 1;
+            return;
+        }
+    };
+
+    // New candidate union: every old candidate some *other* class still
+    // scores, merged with the new posting's ids (both sides sorted).
+    let old = slot.get();
+    union.clear();
+    let mut pi = 0;
+    for (i, &c) in old.candidates.iter().enumerate() {
+        while pi < posting.len() && posting[pi].0 < c {
+            union.push(posting[pi].0);
+            pi += 1;
+        }
+        let in_posting = pi < posting.len() && posting[pi].0 == c;
+        if in_posting {
+            pi += 1;
+        }
+        let kept_by_others = old
+            .columns
+            .iter()
+            .enumerate()
+            .any(|(s, col)| s != cid && col[i] != ABSENT);
+        if in_posting || kept_by_others {
+            union.push(c);
         }
     }
+    union.extend(posting[pi..].iter().map(|&(v, _)| v));
 
-    /// Rescores (or inserts, for a brand-new partner) the entry for
-    /// candidate `v` in anchor `q`'s posting list.
-    fn patch_entry(&mut self, q: u32, v: u32, w: &WriterState, stats: &mut DeltaStats) {
-        let score = score_of(q, v, &w.node_dots, &w.pair_dots);
-        let posting = Arc::make_mut(self.postings.entry(q).or_default());
-        match posting.binary_search_by_key(&v, |&(u, _)| u) {
-            Ok(pos) => posting[pos].1 = score,
-            Err(pos) => posting.insert(pos, (v, score)),
+    if union.is_empty() {
+        slot.remove();
+    } else if *union == old.candidates {
+        // Candidate set unchanged: overwrite the one column in place.
+        let block = Arc::make_mut(slot.get_mut());
+        block.ensure_slot(cid);
+        let col = &mut block.columns[cid];
+        col.iter_mut().for_each(|s| *s = ABSENT);
+        let mut pi = 0;
+        for (i, &c) in block.candidates.iter().enumerate() {
+            if pi < posting.len() && posting[pi].0 == c {
+                col[i] = posting[pi].1;
+                pi += 1;
+            }
         }
-        stats.patched_entries += 1;
+    } else {
+        // Union changed: rebuild the block, remapping every other
+        // class's column onto the new candidate array.
+        let n_slots = old.columns.len().max(cid + 1);
+        let mut next = FusedBlock {
+            candidates: union.clone(),
+            columns: Vec::with_capacity(n_slots),
+        };
+        for s in 0..n_slots {
+            let mut col = vec![ABSENT; next.candidates.len()];
+            if s == cid {
+                let mut pi = 0;
+                for (i, &c) in next.candidates.iter().enumerate() {
+                    if pi < posting.len() && posting[pi].0 == c {
+                        col[i] = posting[pi].1;
+                        pi += 1;
+                    }
+                }
+            } else if let Some(old_col) = old.columns.get(s) {
+                let mut oi = 0;
+                for (i, &c) in next.candidates.iter().enumerate() {
+                    while oi < old.candidates.len() && old.candidates[oi] < c {
+                        oi += 1;
+                    }
+                    if oi < old.candidates.len() && old.candidates[oi] == c {
+                        col[i] = old_col[oi];
+                    }
+                }
+            }
+            next.columns.push(col);
+        }
+        *slot.get_mut() = Arc::new(next);
     }
+}
 
-    /// Removes the dead entry for candidate `v` from anchor `q`'s posting
-    /// list, dropping the posting entirely when it empties.
-    fn remove_entry(&mut self, q: u32, v: u32, stats: &mut DeltaStats) {
-        let Some(slot) = self.postings.get_mut(&q) else {
-            return;
-        };
-        // Search the shared list before make_mut: a no-op remove (entry
-        // already absent) must not deep-clone the posting and lose the
-        // structural sharing with the previous epoch.
-        let Ok(pos) = slot.binary_search_by_key(&v, |&(u, _)| u) else {
-            return;
-        };
-        let posting = Arc::make_mut(slot);
-        posting.remove(pos);
-        stats.removed_entries += 1;
-        if posting.is_empty() {
-            self.postings.remove(&q);
+/// Rebuild anchor `x`'s column for class `cid` from the index wholesale,
+/// clearing it (and possibly the whole block) when `x` has no partners
+/// left. Stats semantics match the pre-fusion per-class posting lists
+/// exactly: `rebuilt_postings` per non-empty rebuild, `dropped_postings`
+/// when an existing posting vanishes.
+fn rebuild_block_column(
+    blocks: &mut FxHashMap<u32, Arc<FusedBlock>>,
+    cid: usize,
+    x: u32,
+    index: &VectorIndex,
+    w: &WriterState,
+    stats: &mut DeltaStats,
+    scratch: &mut PatchScratch,
+) {
+    let PatchScratch { posting, union } = scratch;
+    let partners = index.partners(NodeId(x));
+    if partners.is_empty() {
+        let had = blocks.get(&x).is_some_and(|b| b.has_column_entries(cid));
+        if had {
             stats.dropped_postings += 1;
+            install_column(blocks, cid, x, &[], union);
         }
+    } else {
+        posting.clear();
+        posting.extend(
+            partners
+                .iter()
+                .map(|&v| (v, score_of(x, v, &w.node_dots, &w.pair_dots))),
+        );
+        install_column(blocks, cid, x, posting, union);
+        stats.rebuilt_postings += 1;
+    }
+}
+
+/// Rescore (or insert, for a brand-new partner) class `cid`'s entry for
+/// candidate `v` in anchor `q`'s block.
+fn patch_block_entry(
+    blocks: &mut FxHashMap<u32, Arc<FusedBlock>>,
+    cid: usize,
+    q: u32,
+    v: u32,
+    w: &WriterState,
+    stats: &mut DeltaStats,
+) {
+    let score = score_of(q, v, &w.node_dots, &w.pair_dots);
+    let slot = blocks.entry(q).or_default();
+    let block = Arc::make_mut(slot);
+    block.ensure_slot(cid);
+    match block.candidates.binary_search(&v) {
+        Ok(pos) => block.columns[cid][pos] = score,
+        Err(pos) => {
+            block.candidates.insert(pos, v);
+            for (s, col) in block.columns.iter_mut().enumerate() {
+                col.insert(pos, if s == cid { score } else { ABSENT });
+            }
+        }
+    }
+    stats.patched_entries += 1;
+}
+
+/// Remove class `cid`'s dead entry for candidate `v` from anchor `q`'s
+/// block: the score reverts to [`ABSENT`]; a candidate no class scores
+/// any more is spliced out of the block (tombstone compaction), and a
+/// block with no candidates left leaves the shard.
+fn remove_block_entry(
+    blocks: &mut FxHashMap<u32, Arc<FusedBlock>>,
+    cid: usize,
+    q: u32,
+    v: u32,
+    stats: &mut DeltaStats,
+) {
+    let Some(slot) = blocks.get_mut(&q) else {
+        return;
+    };
+    // Probe the shared block before make_mut: a no-op remove (entry
+    // already absent) must not deep-clone the block and lose the
+    // structural sharing with the previous epoch.
+    let Ok(pos) = slot.candidates.binary_search(&v) else {
+        return;
+    };
+    if slot.columns.get(cid).is_none_or(|col| col[pos] == ABSENT) {
+        return;
+    }
+    let block = Arc::make_mut(slot);
+    block.columns[cid][pos] = ABSENT;
+    stats.removed_entries += 1;
+    if !block.has_column_entries(cid) {
+        stats.dropped_postings += 1;
+    }
+    if block.columns.iter().all(|col| col[pos] == ABSENT) {
+        block.candidates.remove(pos);
+        for col in &mut block.columns {
+            col.remove(pos);
+        }
+    }
+    if block.candidates.is_empty() {
+        blocks.remove(&q);
     }
 }
 
@@ -253,33 +446,100 @@ struct WriterState {
     pair_dots: FxHashMap<u64, f64>,
 }
 
-/// One epoch snapshot of a server-level shard: every registered class's
-/// [`ClassPostings`] for the anchors `q` with `q mod n_shards ==
-/// shard_id`, indexed by class id. Class slices are individually `Arc`'d
-/// so a copy-on-write shard clone is one `Vec` of pointer copies and
-/// only the classes a delta actually touches are deep-cloned
-/// (`Arc::make_mut`) — a single-class delta costs the same as it did
-/// when shards were per-class, while a fused delta patches every class
-/// in the same clone.
+/// One epoch snapshot of a server-level shard: the fused posting blocks
+/// of every anchor `q` with `q mod n_shards == shard_id` (each block
+/// carrying **all** classes' score columns), plus one invalidation
+/// generation map per class slot. Blocks and generation maps are
+/// individually `Arc`'d so a copy-on-write shard clone is a map of
+/// pointer copies — a delta deep-clones only the blocks it patches and
+/// the generation maps of the classes it bumps. Generations live *in*
+/// the snapshot so a reader always observes a (generation, block) pair
+/// from the same epoch.
 #[derive(Debug, Default)]
 struct Shard {
-    classes: Vec<Arc<ClassPostings>>,
+    blocks: FxHashMap<u32, Arc<FusedBlock>>,
+    /// Per-class-slot `anchor → generation` maps; anchors absent from a
+    /// map are at generation 0, as is any class slot registered after
+    /// this snapshot was taken.
+    generations: Vec<Arc<FxHashMap<u32, u64>>>,
 }
 
 impl Shard {
-    /// This class's slice of the snapshot. `None` for a class registered
-    /// after the snapshot was taken (impossible in practice — class
-    /// registration needs `&mut self` — but handled as "no postings").
-    fn class(&self, class_id: usize) -> Option<&ClassPostings> {
-        self.classes.get(class_id).map(|arc| &**arc)
+    /// Class `cid`'s invalidation stamp for anchor `q`.
+    fn generation(&self, cid: usize, q: u32) -> u64 {
+        self.generations
+            .get(cid)
+            .map_or(0, |g| g.get(&q).copied().unwrap_or(0))
+    }
+
+    /// Ranks one query for one class into `out`, replicating
+    /// `mgp_learning::mgp::rank_with_scores` bit-for-bit: one chunked
+    /// sweep over the class's score column collects a superset of the
+    /// true top-k, and the verbatim tie-break sort finishes it.
+    ///
+    /// The sweep processes [`LANES`]-wide chunks: a branch-free max
+    /// reduction prices each chunk, and once `k` candidates are
+    /// collected a *gate* (the minimum collected score — a lower bound
+    /// on the final k-th score, which only rises as more candidates
+    /// land) skips every chunk whose max falls strictly below it.
+    /// Strictness keeps score-ties: a candidate tying the gate can still
+    /// enter the final top-k on the ascending-id tie-break.
+    fn rank_into(
+        &self,
+        cid: usize,
+        q: NodeId,
+        k: usize,
+        scratch: &mut Scratch,
+        out: &mut RankedList,
+    ) {
+        out.clear();
+        let Some(block) = self.blocks.get(&q.0) else {
+            return;
+        };
+        let Some(col) = block.columns.get(cid) else {
+            return;
+        };
+        scratch.scored.clear();
+        let mut gate = ABSENT;
+        let mut gated = false;
+        for (cands, scores) in block.candidates.chunks(LANES).zip(col.chunks(LANES)) {
+            let mut m = ABSENT;
+            for &s in scores {
+                m = if s > m { s } else { m };
+            }
+            if m == ABSENT || m < gate {
+                continue; // all-absent, or provably below the top-k
+            }
+            for (&v, &s) in cands.iter().zip(scores) {
+                if s != ABSENT && s >= gate {
+                    scratch.scored.push((s, v));
+                }
+            }
+            if !gated && scratch.scored.len() >= k {
+                gated = true;
+                gate = scratch
+                    .scored
+                    .iter()
+                    .fold(f64::INFINITY, |g, &(s, _)| if s < g { s } else { g });
+            }
+        }
+        // Verbatim tie-break from mgp::rank_with_scores: descending score,
+        // then ascending node id.
+        scratch
+            .scored
+            .sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        scratch.scored.truncate(k);
+        out.extend(scratch.scored.iter().map(|&(s, v)| (NodeId(v), s)));
     }
 }
 
 /// A shard's slot in the server: the live epoch plus writer-side
 /// bookkeeping.
 struct ShardSlot {
-    /// The live epoch. Readers hold the read lock for one `Arc` clone.
-    current: RwLock<Arc<Shard>>,
+    /// The live epoch. Readers pin it with one atomic load — no lock,
+    /// no shared-refcount bump (see the `arc_swap` shim); a replaced
+    /// epoch is reclaimed only after every in-flight pin drains.
+    current: ArcSwap<Shard>,
     /// Serialises writers *to this shard* (clone → replay → swap), so
     /// two concurrent deltas to different classes can never lose each
     /// other's swap. Readers never touch it.
@@ -292,7 +552,7 @@ struct ShardSlot {
 impl ShardSlot {
     fn new() -> Self {
         ShardSlot {
-            current: RwLock::new(Arc::new(Shard::default())),
+            current: ArcSwap::from_pointee(Shard::default()),
             patch: Mutex::new(()),
             retired: Mutex::new(Vec::new()),
         }
@@ -336,6 +596,16 @@ struct ClassPlan<'a> {
     ops: FxHashMap<usize, Vec<Op>>,
     bumps: FxHashMap<usize, Vec<u32>>,
     stats: DeltaStats,
+}
+
+/// The read-only slice of a [`ClassPlan`] that phase-5 replay workers
+/// share: replay only *reads* the writer state (dot tables, weights), so
+/// one plan's context can fan out to every shard worker at once.
+struct ReplayCtx<'a> {
+    class_id: usize,
+    index: &'a VectorIndex,
+    writer: &'a WriterState,
+    bumps: &'a FxHashMap<usize, Vec<u32>>,
 }
 
 /// Phases 1–4 of delta application for one class: refresh the dot tables
@@ -596,14 +866,14 @@ impl fmt::Display for FusedDeltaStats {
 pub struct EpochStats {
     /// Retired shard epochs still alive because a reader pins them.
     pub retained_epochs: usize,
-    /// Posting lists in retained epochs **not shared** with the live
-    /// epoch — the lists churn actually duplicated.
+    /// Fused posting blocks in retained epochs **not shared** with the
+    /// live epoch — the blocks churn actually duplicated.
     pub retained_postings: usize,
-    /// Entries across those unshared posting lists.
+    /// Candidate rows across those unshared blocks (each row spans every
+    /// class column).
     pub retained_posting_entries: usize,
     /// Approximate heap bytes the retained epochs keep alive beyond the
-    /// live tables (unshared posting entries plus map-slot overhead of
-    /// diverged class slices).
+    /// live tables (unshared block payloads plus map-slot overhead).
     pub approx_retained_bytes: usize,
 }
 
@@ -794,14 +1064,11 @@ impl QueryServer {
         // and carry the final proximity, evaluated with the same
         // expression shape as mgp::proximity (q == v cannot occur in a
         // posting: pairs are strictly unordered distinct nodes).
-        let mut per_shard: Vec<ClassPostings> = (0..self.n_shards)
-            .map(|_| ClassPostings::default())
-            .collect();
+        let mut per_shard: Vec<FxHashMap<u32, Vec<(u32, f64)>>> =
+            (0..self.n_shards).map(|_| FxHashMap::default()).collect();
         for (q, partners) in index.iter_partners() {
             let posting = posting_for(q, partners, &node_dots, &pair_dots);
-            per_shard[q.0 as usize % self.n_shards]
-                .postings
-                .insert(q.0, Arc::new(posting));
+            per_shard[q.0 as usize % self.n_shards].insert(q.0, posting);
         }
 
         let writer = WriterState {
@@ -820,19 +1087,39 @@ impl QueryServer {
                 self.classes.len() - 1
             }
         };
-        // Install the class's slice into every shard epoch. Registration
-        // is `&mut self`, so no reader can race these swaps.
-        for (sid, cp) in per_shard.into_iter().enumerate() {
-            let cur = Arc::clone(&self.shards[sid].current.read());
+        // Merge the class's score column into every shard epoch's fused
+        // blocks. Registration is `&mut self`, so no reader can race
+        // these swaps. Replacement wipes the class's old state: a fresh
+        // generation map, and a cleared column on every block the new
+        // index no longer covers.
+        let mut union = Vec::new();
+        for (sid, mut postings) in per_shard.into_iter().enumerate() {
+            let cur = self.shards[sid].current.load_full();
             let mut next = Shard {
-                classes: cur.classes.clone(),
+                blocks: cur.blocks.clone(),
+                generations: cur.generations.clone(),
             };
-            if next.classes.len() <= slot {
-                next.classes.resize_with(slot + 1, Default::default);
+            if next.generations.len() <= slot {
+                next.generations.resize_with(slot + 1, Default::default);
             }
-            next.classes[slot] = Arc::new(cp);
-            drop(cur);
-            *self.shards[sid].current.write() = Arc::new(next);
+            next.generations[slot] = Arc::new(FxHashMap::default());
+            let existing: Vec<u32> = next.blocks.keys().copied().collect();
+            for q in existing {
+                let posting = postings.remove(&q).unwrap_or_default();
+                if posting.is_empty()
+                    && !next
+                        .blocks
+                        .get(&q)
+                        .is_some_and(|b| b.has_column_entries(slot))
+                {
+                    continue; // nothing to install, nothing to clear
+                }
+                install_column(&mut next.blocks, slot, q, &posting, &mut union);
+            }
+            for (q, posting) in postings {
+                install_column(&mut next.blocks, slot, q, &posting, &mut union);
+            }
+            self.shards[sid].current.store(Arc::new(next));
         }
         if replaced.is_some() {
             // Cached entries for the replaced model are stale; class ids
@@ -904,11 +1191,12 @@ impl QueryServer {
         q as usize % self.n_shards
     }
 
-    /// Clones the current epoch snapshot of one shard — the only reader
-    /// critical section, held for the duration of an `Arc` clone. The
-    /// snapshot covers **every** class's postings for the shard's anchors.
+    /// Pins the current epoch snapshot of one shard: one atomic pin plus
+    /// one refcount bump, no lock — readers never contend with writers
+    /// or each other. The snapshot covers **every** class's columns for
+    /// the shard's anchors.
     fn snapshot_shard(&self, sid: usize) -> Arc<Shard> {
-        Arc::clone(&self.shards[sid].current.read())
+        self.shards[sid].current.load_full()
     }
 
     /// The epoch snapshot covering anchor `q`.
@@ -950,8 +1238,7 @@ impl QueryServer {
         // One snapshot serves the generation read, the cache-staleness
         // check and the ranking — all from the same epoch.
         let snap = self.snapshot(q.0);
-        let cp = snap.class(class_id);
-        let gen = cp.map_or(0, |c| c.generation(q.0));
+        let gen = snap.generation(class_id, q.0);
         let key = Self::cache_key(class_id, q.0, k);
         if self.cfg.cache_capacity > 0 {
             if let Some((stamp, hit)) = self.cache.lock().get(&key) {
@@ -966,9 +1253,7 @@ impl QueryServer {
         class.misses.fetch_add(1, Ordering::Relaxed);
         let mut scratch = Scratch::default();
         let mut out = RankedList::new();
-        if let Some(cp) = cp {
-            cp.rank_into(q, k, &mut scratch, &mut out);
-        }
+        snap.rank_into(class_id, q, k, &mut scratch, &mut out);
         let result = Arc::new(out);
         if self.cfg.cache_capacity > 0 {
             self.cache.lock().put(key, (gen, Arc::clone(&result)));
@@ -1011,7 +1296,10 @@ impl QueryServer {
             return Ok(vec![Arc::clone(&self.empty); class_ids.len()]);
         }
         let snap = self.snapshot(q.0);
-        let mut out: Vec<Option<Arc<RankedList>>> = vec![None; class_ids.len()];
+        // Miss slots hold the shared empty list until the compute pass
+        // overwrites them — no `Option` wrapper, no second allocation on
+        // the all-hit fast path (the steady state warm traffic lives in).
+        let mut out: Vec<Arc<RankedList>> = Vec::with_capacity(class_ids.len());
 
         // Cache pass: one lock round-trip covers every class. `miss`
         // stays unallocated on the all-hit fast path.
@@ -1019,14 +1307,18 @@ impl QueryServer {
         if self.cfg.cache_capacity > 0 {
             let mut cache = self.cache.lock();
             for (j, &cid) in class_ids.iter().enumerate() {
-                let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
+                let gen = snap.generation(cid, q.0);
                 match cache.get(&Self::cache_key(cid, q.0, k)) {
-                    Some((stamp, hit)) if *stamp == gen => out[j] = Some(Arc::clone(hit)),
-                    _ => miss.push(j),
+                    Some((stamp, hit)) if *stamp == gen => out.push(Arc::clone(hit)),
+                    _ => {
+                        miss.push(j);
+                        out.push(Arc::clone(&self.empty));
+                    }
                 }
             }
         } else {
             miss.extend(0..class_ids.len());
+            out.resize_with(class_ids.len(), || Arc::clone(&self.empty));
         }
         let n_hits = (class_ids.len() - miss.len()) as u64;
         if n_hits > 0 {
@@ -1035,25 +1327,26 @@ impl QueryServer {
         if !miss.is_empty() {
             self.misses.fetch_add(miss.len() as u64, Ordering::Relaxed);
         }
+        let mut next_miss = miss.iter().peekable();
         for (j, &cid) in class_ids.iter().enumerate() {
-            let counter = if out[j].is_some() {
-                &self.classes[cid].hits
-            } else {
+            let missed = next_miss.next_if_eq(&&j).is_some();
+            let counter = if missed {
                 &self.classes[cid].misses
+            } else {
+                &self.classes[cid].hits
             };
             counter.fetch_add(1, Ordering::Relaxed);
         }
 
-        // Compute pass: the posting walk, once per missing class, all
-        // from the same pinned epoch and one scratch buffer.
+        // Compute pass: the missing classes sweep their columns of the
+        // *same* fused block — resident in cache after the first class's
+        // walk — all from the same pinned epoch and one scratch buffer.
         if !miss.is_empty() {
             let mut scratch = Scratch::default();
             for &j in &miss {
                 let mut list = RankedList::new();
-                if let Some(cp) = snap.class(class_ids[j]) {
-                    cp.rank_into(q, k, &mut scratch, &mut list);
-                }
-                out[j] = Some(Arc::new(list));
+                snap.rank_into(class_ids[j], q, k, &mut scratch, &mut list);
+                out[j] = Arc::new(list);
             }
 
             // Fill pass: second single lock round-trip, stamped with the
@@ -1062,16 +1355,12 @@ impl QueryServer {
                 let mut cache = self.cache.lock();
                 for &j in &miss {
                     let cid = class_ids[j];
-                    let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
-                    let result = out[j].as_ref().expect("just computed");
-                    cache.put(Self::cache_key(cid, q.0, k), (gen, Arc::clone(result)));
+                    let gen = snap.generation(cid, q.0);
+                    cache.put(Self::cache_key(cid, q.0, k), (gen, Arc::clone(&out[j])));
                 }
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|slot| slot.expect("every class answered"))
-            .collect())
+        Ok(out)
     }
 
     /// Ranks a batch of queries rayon-parallel, returning one list per
@@ -1121,9 +1410,8 @@ impl QueryServer {
             .iter()
             .map(|&q| {
                 let mut list = RankedList::new();
-                if let Some(cp) = self.snapshot(q.0).class(class_id) {
-                    cp.rank_into(q, k, &mut scratch, &mut list);
-                }
+                self.snapshot(q.0)
+                    .rank_into(class_id, q, k, &mut scratch, &mut list);
                 Arc::new(list)
             })
             .collect()
@@ -1218,7 +1506,7 @@ impl QueryServer {
             for (i, q) in queries.iter().enumerate() {
                 let snap = &snaps[&(q.0 as usize % n_shards)];
                 for (j, &cid) in class_ids.iter().enumerate() {
-                    let gen = snap.class(cid).map_or(0, |c| c.generation(q.0));
+                    let gen = snap.generation(cid, q.0);
                     match cache.get(&Self::cache_key(cid, q.0, k)) {
                         Some((stamp, hit)) if *stamp == gen => {
                             out[i * n_classes + j] = Some(Arc::clone(hit))
@@ -1258,7 +1546,10 @@ impl QueryServer {
             });
         }
 
-        // Compute pass: per-worker chunks over the distinct misses.
+        // Compute pass: per-worker chunks over the distinct misses. The
+        // miss list is row-major, so a query missing several classes
+        // occupies a consecutive run and its later classes sweep a
+        // block the first class just pulled into cache.
         let mut computed: Vec<Option<Arc<RankedList>>> = vec![None; unique.len()];
         if !unique.is_empty() {
             let chunk = unique.len().div_ceil(self.workers);
@@ -1269,9 +1560,13 @@ impl QueryServer {
                         let mut scratch = Scratch::default();
                         for (slot, &(q, cid)) in outs.iter_mut().zip(qs) {
                             let mut list = RankedList::new();
-                            if let Some(cp) = snaps_ref[&(q.0 as usize % n_shards)].class(cid) {
-                                cp.rank_into(q, k, &mut scratch, &mut list);
-                            }
+                            snaps_ref[&(q.0 as usize % n_shards)].rank_into(
+                                cid,
+                                q,
+                                k,
+                                &mut scratch,
+                                &mut list,
+                            );
                             *slot = Some(Arc::new(list));
                         }
                     });
@@ -1285,9 +1580,7 @@ impl QueryServer {
             let mut cache = self.cache.lock();
             for ((q, cid), result) in unique.iter().zip(computed.iter()) {
                 let result = result.as_ref().expect("worker filled every slot");
-                let gen = snaps[&(q.0 as usize % n_shards)]
-                    .class(*cid)
-                    .map_or(0, |c| c.generation(q.0));
+                let gen = snaps[&(q.0 as usize % n_shards)].generation(*cid, q.0);
                 cache.put(Self::cache_key(*cid, q.0, k), (gen, Arc::clone(result)));
             }
         }
@@ -1360,14 +1653,40 @@ impl QueryServer {
     /// updated index. Per-class stats come back in input order;
     /// `swapped_shards` counts the shards *that class* changed, while
     /// [`FusedDeltaStats::fused_shard_visits`] counts the actual
-    /// clone/swap cycles paid.
+    /// clone/swap cycles paid — one per affected shard, however many
+    /// classes patch (or drop postings in) it.
+    ///
+    /// After planning, the affected shards are **independent**: each
+    /// clone/replay/swap touches only its own slot. A wide delta
+    /// therefore fans the shard patching across the rayon pool (one
+    /// reusable scratch per worker);
+    /// [`QueryServer::apply_delta_fused_sequential`] is the
+    /// single-threaded replay the benches and differential tests compare
+    /// against.
     ///
     /// # Panics
     /// Panics on an unknown class id or a class appearing twice.
     pub fn apply_delta_fused(&self, updates: &[ClassDelta<'_>]) -> FusedDeltaStats {
+        self.apply_delta_fused_inner(updates, true)
+    }
+
+    /// [`QueryServer::apply_delta_fused`] with the per-shard patching
+    /// replayed sequentially on the calling thread — the differential
+    /// baseline for the parallel fan-out (bit-identical results and
+    /// stats, minus the parallelism). `bench_incremental`'s wide-ingest
+    /// section measures the speedup between the two.
+    pub fn apply_delta_fused_sequential(&self, updates: &[ClassDelta<'_>]) -> FusedDeltaStats {
+        self.apply_delta_fused_inner(updates, false)
+    }
+
+    fn apply_delta_fused_inner(
+        &self,
+        updates: &[ClassDelta<'_>],
+        parallel: bool,
+    ) -> FusedDeltaStats {
         // Lock order: writer locks in ascending class id (so concurrent
         // fused writers with overlapping class sets cannot deadlock),
-        // then per-shard patch locks one at a time.
+        // then per-shard patch locks, at most one held per worker.
         let mut order: Vec<usize> = (0..updates.len()).collect();
         order.sort_unstable_by_key(|&s| updates[s].class_id);
         for w in order.windows(2) {
@@ -1397,63 +1716,107 @@ impl QueryServer {
         }
 
         // Phase 5, fused epoch swap: for each shard any class affects,
-        // clone the current snapshot once (a Vec of per-class Arcs — the
-        // clone is shallow until a class's ops actually touch it), replay
+        // clone the current snapshot once (block and generation maps of
+        // `Arc`s — shallow until an op actually touches an entry), replay
         // every class's ops, bump every class's generations, and install
-        // the new epoch with one pointer swap — the only writer critical
-        // section a reader can ever contend with.
-        let mut affected: Vec<usize> = plans.iter().flat_map(|p| p.bumps.keys().copied()).collect();
+        // the new epoch with one pointer swap — the only writer step a
+        // reader can ever observe.
+        //
+        // A shard with a dropped-posting op also has a generation bump
+        // for that anchor (its result set changed), so collecting both
+        // key sets — then deduping — counts a shard that is patched AND
+        // loses postings as ONE visit, matching the clone/swap cycles
+        // actually paid.
+        let mut affected: Vec<usize> = plans
+            .iter()
+            .flat_map(|p| p.ops.keys().chain(p.bumps.keys()).copied())
+            .collect();
         affected.sort_unstable();
         affected.dedup();
-        let mut fused_shard_visits = 0usize;
-        for sid in affected {
-            let slot = &self.shards[sid];
-            // Per-shard writer exclusion: a concurrent delta to *other*
-            // classes must not clone the same epoch and lose this swap.
-            let _patch = slot.patch.lock();
-            let cur = Arc::clone(&slot.current.read());
-            let mut next = Shard {
-                classes: cur.classes.clone(),
-            };
-            for plan in plans.iter_mut() {
-                let ops = plan.ops.remove(&sid);
-                let bumps = plan.bumps.get(&sid);
-                if ops.is_none() && bumps.is_none() {
-                    continue;
-                }
-                // Deep-clone only this class's slice; its posting lists
-                // stay Arc-shared until an op touches them.
-                let cp = Arc::make_mut(&mut next.classes[plan.class_id]);
-                for op in ops.unwrap_or_default() {
-                    match op {
-                        Op::Rebuild(x) => {
-                            cp.rebuild_posting(x, plan.index, &plan.guard, &mut plan.stats)
-                        }
-                        Op::Patch(q, v) => cp.patch_entry(q, v, &plan.guard, &mut plan.stats),
-                        Op::Remove(q, v) => cp.remove_entry(q, v, &mut plan.stats),
-                    }
-                }
-                if let Some(bumps) = bumps {
-                    for &q in bumps {
-                        *cp.generations.entry(q).or_insert(0) += 1;
-                    }
-                }
-                plan.stats.swapped_shards += 1;
+        let fused_shard_visits = affected.len();
+
+        // Split each plan's op map into per-shard rows up front so the
+        // borrows fan out cleanly: workers get disjoint `&mut` rows of
+        // ops and stats, plus a shared read-only replay context per class
+        // (the writer guard is only *read* during replay).
+        let n_plans = plans.len();
+        let pos_of: FxHashMap<usize, usize> = affected
+            .iter()
+            .enumerate()
+            .map(|(i, &sid)| (sid, i))
+            .collect();
+        let mut shard_ops: Vec<Vec<Vec<Op>>> = affected
+            .iter()
+            .map(|_| (0..n_plans).map(|_| Vec::new()).collect())
+            .collect();
+        for (pi, plan) in plans.iter_mut().enumerate() {
+            for (sid, ops) in plan.ops.drain() {
+                shard_ops[pos_of[&sid]][pi] = ops;
             }
-            // Swap first, drop after: `cur` (and `prev`, the same epoch)
-            // keep the old shard alive across the write lock, so its
-            // teardown — potentially thousands of Arc'd posting lists —
-            // happens out here where readers aren't waiting, keeping the
-            // critical section to the pointer write alone.
-            let next = Arc::new(next);
-            let prev = std::mem::replace(&mut *slot.current.write(), next);
-            let weak = Arc::downgrade(&prev);
-            drop(prev);
-            drop(cur);
-            let mut retired = slot.retired.lock();
-            retired.push(weak);
-            retired.retain(|w| w.strong_count() > 0);
-            fused_shard_visits += 1;
+        }
+        let ctx: Vec<ReplayCtx<'_>> = plans
+            .iter()
+            .map(|p| ReplayCtx {
+                class_id: p.class_id,
+                index: p.index,
+                writer: &p.guard,
+                bumps: &p.bumps,
+            })
+            .collect();
+        let mut stats_grid: Vec<Vec<DeltaStats>> = affected
+            .iter()
+            .map(|_| vec![DeltaStats::default(); n_plans])
+            .collect();
+
+        // The affected shards are independent (each worker touches only
+        // its own slots), so a wide delta fans the clone+replay+swap
+        // across the rayon pool in contiguous chunks, one reusable
+        // scratch per worker. Narrow deltas (or the sequential baseline)
+        // replay inline — no pool round-trip for the common 1-shard case.
+        let workers = if parallel {
+            self.workers.min(affected.len()).max(1)
+        } else {
+            1
+        };
+        if workers <= 1 {
+            let mut scratch = PatchScratch::default();
+            for ((&sid, ops_row), stats_row) in affected
+                .iter()
+                .zip(shard_ops.iter_mut())
+                .zip(stats_grid.iter_mut())
+            {
+                self.patch_shard(sid, ops_row, &ctx, stats_row, &mut scratch);
+            }
+        } else {
+            let chunk = affected.len().div_ceil(workers);
+            let ctx = &ctx;
+            rayon::scope(|s| {
+                for ((sid_chunk, ops_chunk), stats_chunk) in affected
+                    .chunks(chunk)
+                    .zip(shard_ops.chunks_mut(chunk))
+                    .zip(stats_grid.chunks_mut(chunk))
+                {
+                    s.spawn(move |_| {
+                        let mut scratch = PatchScratch::default();
+                        for ((&sid, ops_row), stats_row) in
+                            sid_chunk.iter().zip(ops_chunk).zip(stats_chunk)
+                        {
+                            self.patch_shard(sid, ops_row, ctx, stats_row, &mut scratch);
+                        }
+                    });
+                }
+            });
+        }
+        drop(ctx);
+
+        // Fold the replay stats back into the planning stats. Every
+        // counter is a sum, so the shard fold order cannot change the
+        // per-class totals — parallel and sequential replay report
+        // identical stats.
+        for stats_row in stats_grid {
+            for (pi, st) in stats_row.into_iter().enumerate() {
+                plans[pi].stats += st;
+            }
         }
 
         let mut per_class = vec![DeltaStats::default(); updates.len()];
@@ -1466,6 +1829,79 @@ impl QueryServer {
         }
     }
 
+    /// Phase-5 worker: clone, replay, and swap **one** shard for every
+    /// class of a fused delta. `ops_by_plan[pi]`/`out[pi]` are plan
+    /// `pi`'s ops for this shard and its stats slot (written by exactly
+    /// one worker — the grid rows are disjoint across workers).
+    fn patch_shard(
+        &self,
+        sid: usize,
+        ops_by_plan: &mut [Vec<Op>],
+        ctx: &[ReplayCtx<'_>],
+        out: &mut [DeltaStats],
+        scratch: &mut PatchScratch,
+    ) {
+        let slot = &self.shards[sid];
+        // Per-shard writer exclusion: a concurrent delta to *other*
+        // classes must not clone the same epoch and lose this swap.
+        let _patch = slot.patch.lock();
+        let cur = slot.current.load_full();
+        let mut next = Shard {
+            blocks: cur.blocks.clone(),
+            generations: cur.generations.clone(),
+        };
+        for (pi, ops) in ops_by_plan.iter_mut().enumerate() {
+            let c = &ctx[pi];
+            let bumps = c.bumps.get(&sid);
+            if ops.is_empty() && bumps.is_none() {
+                continue;
+            }
+            let stats = &mut out[pi];
+            for op in ops.drain(..) {
+                match op {
+                    Op::Rebuild(x) => rebuild_block_column(
+                        &mut next.blocks,
+                        c.class_id,
+                        x,
+                        c.index,
+                        c.writer,
+                        stats,
+                        scratch,
+                    ),
+                    Op::Patch(q, v) => {
+                        patch_block_entry(&mut next.blocks, c.class_id, q, v, c.writer, stats)
+                    }
+                    Op::Remove(q, v) => {
+                        remove_block_entry(&mut next.blocks, c.class_id, q, v, stats)
+                    }
+                }
+            }
+            if let Some(bumps) = bumps {
+                if next.generations.len() <= c.class_id {
+                    next.generations
+                        .resize_with(c.class_id + 1, Default::default);
+                }
+                let g = Arc::make_mut(&mut next.generations[c.class_id]);
+                for &q in bumps {
+                    *g.entry(q).or_insert(0) += 1;
+                }
+            }
+            stats.swapped_shards += 1;
+        }
+        // Swap first, drop after: `cur` (and `prev`, the same epoch)
+        // keep the old shard alive across the pointer swap, so its
+        // teardown — potentially thousands of Arc'd blocks — happens out
+        // here (or in the shim's graveyard if a reader still pins it),
+        // never on a reader's load path.
+        let prev = slot.current.swap(Arc::new(next));
+        let weak = Arc::downgrade(&prev);
+        drop(prev);
+        drop(cur);
+        let mut retired = slot.retired.lock();
+        retired.push(weak);
+        retired.retain(|w| w.strong_count() > 0);
+    }
+
     /// The invalidation generation of an anchor in a class (0 until a
     /// delta changes the anchor's result set). Cached results are stamped
     /// with this at fill time; a stamp behind the current generation is
@@ -1473,9 +1909,7 @@ impl QueryServer {
     /// invalidated exactly the anchors it should have.
     pub fn anchor_generation(&self, class_id: usize, q: NodeId) -> u64 {
         let _ = self.class(class_id);
-        self.snapshot(q.0)
-            .class(class_id)
-            .map_or(0, |c| c.generation(q.0))
+        self.snapshot(q.0).generation(class_id, q.0)
     }
 
     /// Sizes of a class's serving tables (postings, dot tables). A churn
@@ -1498,9 +1932,16 @@ impl QueryServer {
         };
         for sid in 0..self.n_shards {
             let snap = self.snapshot_shard(sid);
-            if let Some(cp) = snap.class(class_id) {
-                t.n_postings += cp.postings.len();
-                t.n_posting_entries += cp.postings.values().map(|p| p.len()).sum::<usize>();
+            // A "posting" in the fused layout is a block column with at
+            // least one present entry; churn that nets to nothing must
+            // restore both counts exactly (no lingering all-absent
+            // columns, no tombstoned candidate rows).
+            for block in snap.blocks.values() {
+                let entries = block.column_entries(class_id);
+                if entries > 0 {
+                    t.n_postings += 1;
+                    t.n_posting_entries += entries;
+                }
             }
         }
         t
@@ -1515,45 +1956,55 @@ impl QueryServer {
     /// with long-running batches, these gauges bound the transient memory
     /// amplification of the epoch-swap design.
     ///
-    /// The byte figure is approximate: unshared posting entries plus a
-    /// nominal per-map-slot overhead for diverged class slices.
+    /// The byte figure is approximate: unshared block payloads (candidate
+    /// ids plus every score column) plus a nominal per-map-slot overhead
+    /// for the retired epoch's own maps.
     pub fn epoch_stats(&self) -> EpochStats {
         /// Nominal hash-map slot overhead (key + `Arc` pointer + control
         /// byte, rounded up) for the approximate byte gauge.
         const MAP_SLOT_BYTES: usize = 24;
         let mut s = EpochStats::default();
         for slot in &self.shards {
+            // Drain the swap shim's deferred-reclamation list first: a
+            // replaced epoch whose readers are all gone may still be
+            // parked there, and it must count as dead, not retained.
+            slot.current.collect();
             let mut retired = slot.retired.lock();
             retired.retain(|w| w.strong_count() > 0);
             if retired.is_empty() {
                 continue;
             }
-            let cur = Arc::clone(&slot.current.read());
+            let cur = slot.current.load_full();
             for weak in retired.iter() {
                 let Some(old) = weak.upgrade() else { continue };
                 s.retained_epochs += 1;
-                for (cid, cp) in old.classes.iter().enumerate() {
-                    // A class slice shared with the live epoch costs
-                    // nothing beyond the Arc — skip it entirely.
-                    let live = cur.classes.get(cid);
-                    if live.is_some_and(|l| Arc::ptr_eq(l, cp)) {
+                for (q, block) in &old.blocks {
+                    // A block shared with the live epoch costs nothing
+                    // beyond the Arc — skip it entirely.
+                    let shared = cur.blocks.get(q).is_some_and(|lb| Arc::ptr_eq(lb, block));
+                    if shared {
                         continue;
                     }
-                    for (q, posting) in &cp.postings {
-                        let shared = live
-                            .and_then(|l| l.postings.get(q))
-                            .is_some_and(|lp| Arc::ptr_eq(lp, posting));
-                        if !shared {
-                            s.retained_postings += 1;
-                            s.retained_posting_entries += posting.len();
-                        }
-                    }
-                    s.approx_retained_bytes +=
-                        (cp.postings.len() + cp.generations.len()) * MAP_SLOT_BYTES;
+                    s.retained_postings += 1;
+                    s.retained_posting_entries += block.candidates.len();
+                    s.approx_retained_bytes += block.candidates.len() * std::mem::size_of::<u32>()
+                        + block.columns.iter().map(Vec::len).sum::<usize>()
+                            * std::mem::size_of::<f64>();
                 }
+                let unshared_gens = old
+                    .generations
+                    .iter()
+                    .enumerate()
+                    .filter(|(cid, g)| {
+                        !cur.generations
+                            .get(*cid)
+                            .is_some_and(|lg| Arc::ptr_eq(lg, g))
+                    })
+                    .map(|(_, g)| g.len())
+                    .sum::<usize>();
+                s.approx_retained_bytes += (old.blocks.len() + unshared_gens) * MAP_SLOT_BYTES;
             }
         }
-        s.approx_retained_bytes += s.retained_posting_entries * std::mem::size_of::<(u32, f64)>();
         s
     }
 
@@ -2271,6 +2722,114 @@ mod tests {
             fused.total().redotted_nodes,
             sa.redotted_nodes + sb.redotted_nodes
         );
+    }
+
+    #[test]
+    fn parallel_and_sequential_fused_replay_are_bit_identical() {
+        // The same wide two-class churn (touching anchors in every
+        // shard) lands on two servers: one replays phase 5 through the
+        // rayon fan-out, the other through the sequential baseline.
+        // Stats, tables, and rankings must all be bit-identical.
+        let (par, mut idx_p, wa, wb) = two_class_server(0);
+        let (seq, mut idx_s, _, _) = two_class_server(0);
+
+        let mut d = count_delta(
+            &[(1, 2), (2, 2), (4, 3), (5, 3)],
+            &[((1, 2), 2), ((4, 5), 3)],
+            0,
+            2,
+        );
+        d.counts[1] = count_delta(
+            &[(2, 1), (3, 1), (6, 2), (7, 2)],
+            &[((2, 3), 1), ((6, 7), 2)],
+            1,
+            2,
+        )
+        .counts[1]
+            .clone();
+
+        let tp = idx_p.apply_delta(&d);
+        let fp = par.apply_delta_fused(&[
+            ClassDelta {
+                class_id: 0,
+                index: &idx_p,
+                touch: &tp,
+            },
+            ClassDelta {
+                class_id: 1,
+                index: &idx_p,
+                touch: &tp,
+            },
+        ]);
+        let ts = idx_s.apply_delta(&d);
+        let fs = seq.apply_delta_fused_sequential(&[
+            ClassDelta {
+                class_id: 0,
+                index: &idx_s,
+                touch: &ts,
+            },
+            ClassDelta {
+                class_id: 1,
+                index: &idx_s,
+                touch: &ts,
+            },
+        ]);
+
+        assert_eq!(fp.per_class, fs.per_class);
+        assert_eq!(fp.fused_shard_visits, fs.fused_shard_visits);
+        assert!(fp.fused_shard_visits <= fp.sequential_shard_visits());
+
+        let mut fresh = QueryServer::new(ServeConfig::default());
+        fresh.add_class("a", &idx_p, &wa);
+        fresh.add_class("b", &idx_p, &wb);
+        for cid in 0..2 {
+            assert_eq!(par.table_stats(cid), seq.table_stats(cid));
+            for q in 0..10u32 {
+                let want = fresh.rank(cid, NodeId(q), 4);
+                assert_eq!(*par.rank(cid, NodeId(q), 4), *want, "par {cid} q={q}");
+                assert_eq!(*seq.rank(cid, NodeId(q), 4), *want, "seq {cid} q={q}");
+            }
+        }
+    }
+
+    /// Satellite: the shard-visit fix. A delta that both rescores an
+    /// entry and drops a whole posting **in the same shard** pays (and
+    /// reports) one clone/swap cycle, not two.
+    #[test]
+    fn patch_and_drop_in_one_shard_is_one_visit() {
+        let (srv, mut idx, w) = server(0);
+        // Grow anchor 6 (shard 0) a posting that points at node 1.
+        let t1 = idx.apply_delta(&count_delta(&[(1, 2), (6, 2)], &[((1, 6), 2)], 0, 2));
+        srv.apply_delta(0, &idx, &t1);
+        // One delta kills anchor 3's last pairs — dropping its posting
+        // in shard 0 — while node 1's changed dot rescores entry
+        // (6 → 1), also shard 0.
+        let mut d = count_delta(&[(1, -1), (3, -1)], &[((1, 3), -1)], 0, 2);
+        d.counts[1] = count_delta(&[(2, -2), (3, -2)], &[((2, 3), -2)], 1, 2).counts[1].clone();
+        let t2 = idx.apply_delta(&d);
+        let fused = srv.apply_delta_fused(&[ClassDelta {
+            class_id: 0,
+            index: &idx,
+            touch: &t2,
+        }]);
+        let st = fused.per_class[0];
+        assert!(st.dropped_postings >= 1, "{st}");
+        assert!(st.patched_entries >= 1, "{st}");
+        assert_eq!(
+            fused.fused_shard_visits, st.swapped_shards,
+            "a single-class fusion visits each affected shard exactly once"
+        );
+        assert!(fused.fused_shard_visits <= fused.sequential_shard_visits());
+
+        let mut fresh = QueryServer::new(ServeConfig::default());
+        fresh.add_class("demo", &idx, &w);
+        for q in 0..8u32 {
+            assert_eq!(
+                *srv.rank(0, NodeId(q), 5),
+                *fresh.rank(0, NodeId(q), 5),
+                "q={q}"
+            );
+        }
     }
 
     #[test]

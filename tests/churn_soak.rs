@@ -129,6 +129,14 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     let r1 = engine.ingest_serving(&d1, &server).unwrap();
     assert_eq!(r1.removed_edges, removed.len());
     assert!(r1.doomed_instances > 0);
+    // Fused replay touches each affected shard once, even when a delta
+    // both patches postings and drops others in the same shard.
+    assert!(
+        r1.fused_shard_visits <= r1.sequential_shard_visits(),
+        "fused visits {} exceed per-class sum {}",
+        r1.fused_shard_visits,
+        r1.sequential_shard_visits()
+    );
 
     // Delta 2: re-add them.
     let mut d2 = GraphDelta::for_graph(engine.graph());
@@ -179,6 +187,12 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
     d5.remove_node(busy).unwrap();
     let r5 = engine.ingest_serving(&d5, &server).unwrap();
     assert_eq!(r5.removed_edges, former.len());
+    assert!(
+        r5.fused_shard_visits <= r5.sequential_shard_visits(),
+        "fused visits {} exceed per-class sum {}",
+        r5.fused_shard_visits,
+        r5.sequential_shard_visits()
+    );
     let mut d6 = GraphDelta::for_graph(engine.graph());
     for &u in &former {
         d6.add_edge(busy, u).unwrap();

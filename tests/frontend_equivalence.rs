@@ -251,7 +251,7 @@ fn bounded_queue_bounds_buffered_work_under_flood() {
     let stats = frontend.shutdown();
     // ≥: the post-flood submit may itself get shed and retried while the
     // queue drains, and every shed attempt counts as a submission.
-    assert!(stats.submitted >= (THREADS * PER_THREAD) as u64 + 1);
+    assert!(stats.submitted > (THREADS * PER_THREAD) as u64);
     assert!(
         stats.max_queue_depth <= 3,
         "queue depth {} escaped the bound",

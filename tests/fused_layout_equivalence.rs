@@ -1,0 +1,249 @@
+//! Layout-equivalence property for the fused SoA posting blocks: under
+//! random interleaved churn — including batches that empty an anchor's
+//! candidate set (its block column must drop) and tombstone-detach nodes
+//! that appear as candidates — `rank`, `rank_multi`, and
+//! `rank_multi_batch` over the patched per-anchor SoA columns must stay
+//! **bit-identical** to a full rematch + rebuild oracle, and the server's
+//! posting footprint must match a freshly registered server exactly (no
+//! leaked all-absent columns, no stale candidates surviving in a block).
+
+use proptest::prelude::*;
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::delta::GraphDelta;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::index::{Transform, VectorIndex};
+use semantic_proximity::learning::{mgp, TrainConfig, TrainingExample};
+use semantic_proximity::matching::AnchorCounts;
+use semantic_proximity::metagraph::Metagraph;
+use semantic_proximity::online::ServeConfig;
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+fn base_graph(n_users: usize, n_a: usize, n_b: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let mut nodes = Vec::new();
+    for i in 0..n_users {
+        nodes.push(g.add_node(user, format!("u{i}")));
+    }
+    for i in 0..n_a {
+        nodes.push(g.add_node(ta, format!("a{i}")));
+    }
+    for i in 0..n_b {
+        nodes.push(g.add_node(tb, format!("b{i}")));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % nodes.len(), y % nodes.len());
+        if x != y {
+            g.add_edge(nodes[x], nodes[y]).unwrap();
+        }
+    }
+    g.build()
+}
+
+fn catalogue() -> Vec<Metagraph> {
+    vec![
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, B, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+    ]
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(USER, 1);
+    cfg.train = TrainConfig::fast(5);
+    cfg.strategy = TrainingStrategy::Full;
+    cfg.threads = 1;
+    cfg
+}
+
+/// Per-class training triples, deterministically derived from a salt so
+/// the three classes get distinct weight vectors.
+fn salted_examples(n_users: usize, salt: usize) -> Vec<TrainingExample> {
+    (0..n_users.min(8))
+        .map(|i| TrainingExample {
+            q: NodeId(((i + salt) % n_users) as u32),
+            x: NodeId(((i + salt + 1) % n_users) as u32),
+            y: NodeId(((i + 2 * salt + 2) % n_users) as u32),
+        })
+        .collect()
+}
+
+/// Full rematch + rebuild of one class's index on `engine`'s current
+/// graph — the oracle the fused SoA layout is pinned against.
+fn rebuilt_index(engine: &SearchEngine, coords: &[usize]) -> VectorIndex {
+    let fresh = SearchEngine::with_metagraphs(
+        engine.graph().clone(),
+        engine.metagraphs().to_vec(),
+        pipeline_cfg(),
+    );
+    let counts: Vec<AnchorCounts> = coords
+        .iter()
+        .map(|&i| fresh.counts(i).unwrap().clone())
+        .collect();
+    VectorIndex::from_counts(&counts, Transform::Log1p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Drives removal-heavy churn through the fused delta path and pins
+    /// every rank flavour — plus the posting footprint itself — against
+    /// a from-scratch rebuild. Op kinds are removal-biased on purpose:
+    /// emptied anchors and tombstoned candidates are exactly where an
+    /// in-place SoA patch can leave a stale column behind.
+    #[test]
+    fn fused_soa_layout_matches_full_rebuild_under_churn(
+        n_users in 6usize..11,
+        n_a in 2usize..5,
+        n_b in 2usize..5,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 15..35),
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..1000, 0usize..1000, 0u8..6), 2..6),
+            1..4,
+        ),
+    ) {
+        const CLASSES: [&str; 3] = ["c0", "c1", "c2"];
+        let g = base_graph(n_users, n_a, n_b, &base_edges);
+        let mut engine = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+        for (salt, name) in CLASSES.iter().enumerate() {
+            engine.train_class(name, &salted_examples(n_users, 3 * salt + 1));
+        }
+        let models: Vec<(Vec<usize>, Vec<f64>)> = CLASSES
+            .iter()
+            .map(|name| {
+                let m = engine.model(name).unwrap();
+                (m.coords.clone(), m.weights.clone())
+            })
+            .collect();
+        let server = engine.serve_with(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 64,
+        });
+        let cids: Vec<usize> = CLASSES
+            .iter()
+            .map(|n| server.class_id(n).unwrap())
+            .collect();
+
+        for batch in batches {
+            let g_now = engine.graph().clone();
+            let edges_now: Vec<(NodeId, NodeId)> = g_now.edges().collect();
+            let mut delta = GraphDelta::for_graph(&g_now);
+            let mut n_now = g_now.n_nodes();
+            for (x, y, kind) in batch {
+                match kind {
+                    // Insert an edge among existing nodes.
+                    0 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let b = NodeId((y % n_now) as u32);
+                        if a != b {
+                            delta.add_edge(a, b).unwrap();
+                        }
+                    }
+                    // Insert an edge through a freshly added node.
+                    1 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let ty = [USER, A, B][y % 3];
+                        n_now += 1;
+                        let b = delta.add_node(ty, format!("fresh{n_now}"));
+                        delta.add_edge(a, b).unwrap();
+                    }
+                    // Remove an existing edge (duplicates tolerated).
+                    2 | 4 if !edges_now.is_empty() => {
+                        let (a, b) = edges_now[(x.wrapping_mul(7 + kind as usize))
+                            % edges_now.len()];
+                        delta.remove_edge(a, b).unwrap();
+                    }
+                    // Tombstone-detach a node — any postings naming it
+                    // as a candidate must vanish from their blocks.
+                    3 => {
+                        delta
+                            .remove_node(NodeId((x % g_now.n_nodes()) as u32))
+                            .unwrap();
+                    }
+                    // Drain one anchor edge-by-edge: removing every
+                    // incident edge empties its candidate set, so its
+                    // whole SoA block must drop, not linger all-absent.
+                    5 => {
+                        let v = NodeId((x % g_now.n_nodes()) as u32);
+                        for &(a, b) in &edges_now {
+                            if a == v || b == v {
+                                delta.remove_edge(a, b).unwrap();
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let report = engine.ingest_serving(&delta, &server).unwrap();
+            prop_assert!(
+                report.fused_shard_visits <= report.sequential_shard_visits(),
+                "fused visits {} exceed the per-class sum {}",
+                report.fused_shard_visits, report.sequential_shard_visits()
+            );
+
+            // Oracle per class: full rematch + rebuild, same weights.
+            let references: Vec<(VectorIndex, &[f64])> = models
+                .iter()
+                .map(|(coords, weights)| (rebuilt_index(&engine, coords), &weights[..]))
+                .collect();
+
+            // Every rank flavour over the patched SoA columns equals the
+            // oracle, for every anchor — including k=1 (top-gate edge)
+            // and k beyond any candidate-set size.
+            let n_nodes = engine.graph().n_nodes() as u32;
+            for q in 0..n_nodes {
+                let q = NodeId(q);
+                for k in [1usize, 4, 16] {
+                    let multi = server.rank_multi(&cids, q, k);
+                    for (j, (rebuilt, weights)) in references.iter().enumerate() {
+                        let want = mgp::rank_with_scores(rebuilt, q, weights, k);
+                        prop_assert_eq!(
+                            &*multi[j], &want,
+                            "rank_multi diverged: class {} q={} k={}", CLASSES[j], q, k
+                        );
+                        prop_assert_eq!(
+                            &*server.rank(cids[j], q, k), &want,
+                            "rank diverged: class {} q={} k={}", CLASSES[j], q, k
+                        );
+                    }
+                }
+            }
+            let all: Vec<NodeId> = (0..n_nodes).map(NodeId).collect();
+            let grid = server.rank_multi_batch(&cids, &all, 5);
+            for (q, row) in all.iter().zip(&grid) {
+                for (j, (rebuilt, weights)) in references.iter().enumerate() {
+                    let want = mgp::rank_with_scores(rebuilt, *q, weights, 5);
+                    prop_assert_eq!(
+                        &*row[j], &want,
+                        "rank_multi_batch diverged: class {} q={}", CLASSES[j], q
+                    );
+                }
+            }
+
+            // The patched posting footprint is byte-for-byte what a
+            // freshly registered server would build: emptied anchors
+            // dropped their blocks, tombstoned candidates their rows.
+            let fresh_server = engine.serve_with(ServeConfig {
+                workers: 2,
+                shards: 3,
+                cache_capacity: 0,
+            });
+            for (name, &cid) in CLASSES.iter().zip(&cids) {
+                let fresh_cid = fresh_server.class_id(name).unwrap();
+                prop_assert_eq!(
+                    server.table_stats(cid),
+                    fresh_server.table_stats(fresh_cid),
+                    "posting footprint diverged from fresh build for class {}",
+                    name
+                );
+            }
+        }
+    }
+}
