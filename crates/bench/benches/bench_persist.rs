@@ -1,0 +1,196 @@
+//! Persistence benchmark: warm start from an mmap snapshot
+//! (`SearchEngine::open_snapshot` — map the typed sections, verify
+//! checksums, replay the journal tail) vs the cold start it replaces —
+//! full re-registration: mine, rematch every pattern, retrain, rebuild
+//! the serving tables from scratch.
+//!
+//! Acceptance (asserted, run in CI): on the Facebook-scale dataset the
+//! warm start must be **≥ 10× faster** than the cold start, and the
+//! warm-started engine + server must answer bit-identically to the live
+//! pair that wrote the snapshot — both straight off the sections and
+//! after journal-tail replay of post-snapshot churn.
+
+use mgp_core::{PipelineConfig, SearchEngine, TrainingStrategy};
+use mgp_datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use mgp_graph::{GraphDelta, NodeId};
+use mgp_learning::{sample_examples, TrainConfig, TrainingExample};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Warm-start timing repetitions (cheap, so average several).
+const WARM_REPS: u32 = 5;
+/// Cold-start timing repetitions (expensive — mining + matching).
+const COLD_REPS: u32 = 2;
+/// Query nodes checked for bit-identical equivalence.
+const EQUIV_QUERIES: usize = 60;
+/// Post-snapshot churn deltas replayed from the journal tail.
+const TAIL_DELTAS: usize = 5;
+
+fn examples(
+    d: &mgp_datagen::Dataset,
+    class: mgp_datagen::ClassId,
+    n: usize,
+    seed: u64,
+) -> Vec<TrainingExample> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let queries = d.labels.queries_of_class(class);
+    let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    sample_examples(
+        &queries,
+        |q| d.labels.positives_of(q, class),
+        |q, v| d.labels.has(q, v, class),
+        &anchors,
+        n,
+        &mut rng,
+    )
+}
+
+/// The cold path a restart pays without a snapshot: mine + match + train
+/// + build serving tables, from the graph alone.
+fn cold_start(d: &mgp_datagen::Dataset) -> (SearchEngine, mgp_core::QueryServer) {
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.train = TrainConfig::fast(1);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+    engine.train_class("family", &examples(d, FAMILY, 200, 9));
+    engine.train_class("classmate", &examples(d, CLASSMATE, 200, 11));
+    let server = engine.serve();
+    (engine, server)
+}
+
+fn churn_delta(engine: &SearchEngine, salt: usize) -> GraphDelta {
+    let g = engine.graph();
+    let anchors = g.nodes_of_type(engine.anchor_type());
+    let attrs: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| g.node_type(v) != engine.anchor_type() && g.degree(v) > 0)
+        .collect();
+    let mut delta = GraphDelta::for_graph(g);
+    let nu = delta.add_node(engine.anchor_type(), format!("bench-user-{salt}"));
+    delta.add_edge(nu, attrs[salt % attrs.len()]).unwrap();
+    delta
+        .add_edge(
+            anchors[(salt * 13) % anchors.len()],
+            attrs[(salt + 5) % attrs.len()],
+        )
+        .unwrap();
+    delta
+}
+
+/// Asserts live and restored answers match bit-for-bit over a spread of
+/// queries, both at the engine and at the serving layer.
+fn assert_equiv(
+    live: (&SearchEngine, &mgp_core::QueryServer),
+    restored: (&SearchEngine, &mgp_core::QueryServer),
+    context: &str,
+) {
+    let queries: Vec<NodeId> = live
+        .0
+        .graph()
+        .nodes_of_type(live.0.anchor_type())
+        .iter()
+        .step_by(3)
+        .copied()
+        .take(EQUIV_QUERIES)
+        .collect();
+    for class in ["family", "classmate"] {
+        let lcid = live.1.class_id(class).unwrap();
+        let rcid = restored.1.class_id(class).unwrap();
+        assert_eq!(
+            live.1.table_stats(lcid),
+            restored.1.table_stats(rcid),
+            "{context}: table_stats {class}"
+        );
+        for &q in &queries {
+            assert_eq!(
+                live.0.search(class, q, 10),
+                restored.0.search(class, q, 10),
+                "{context}: search {class} q={q}"
+            );
+            assert_eq!(
+                *live.1.rank(lcid, q, 10),
+                *restored.1.rank(rcid, q, 10),
+                "{context}: rank {class} q={q}"
+            );
+        }
+    }
+}
+
+fn main() {
+    let d = generate_facebook(&FacebookConfig::tiny(42));
+    let dir = std::env::temp_dir().join(format!("mgp_bench_persist_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.snap");
+
+    // Cold start, timed: this is what every restart costs without a
+    // snapshot (and what the snapshot amortises away).
+    let mut cold_total = Duration::ZERO;
+    let mut built = None;
+    for _ in 0..COLD_REPS {
+        let t0 = Instant::now();
+        built = Some(cold_start(&d));
+        cold_total += t0.elapsed();
+    }
+    let cold_mean = cold_total / COLD_REPS;
+    let (mut engine, server) = built.unwrap();
+    println!(
+        "--- persistence (facebook-scale: {} nodes, {} edges, {} patterns, 2 classes) ---",
+        engine.graph().n_nodes(),
+        engine.graph().n_edges(),
+        engine.metagraphs().len()
+    );
+    println!("cold start (mine+match+train+serve) : {cold_mean:>12.2?} mean of {COLD_REPS}");
+
+    // Snapshot, then warm start, timed.
+    engine.save_snapshot_with(&path, &server).unwrap();
+    let snap_bytes = std::fs::metadata(&path).unwrap().len();
+    let mut warm_total = Duration::ZERO;
+    let mut restored = None;
+    for _ in 0..WARM_REPS {
+        let t0 = Instant::now();
+        restored = Some(SearchEngine::open_snapshot(&path).unwrap());
+        warm_total += t0.elapsed();
+    }
+    let warm_mean = warm_total / WARM_REPS;
+    let load = restored.unwrap();
+    assert_eq!(load.replayed, 0);
+    let restored_server = load.server.expect("snapshot carries postings");
+    assert_equiv(
+        (&engine, &server),
+        (&load.engine, &restored_server),
+        "cold sections",
+    );
+    let speedup = cold_mean.as_secs_f64() / warm_mean.as_secs_f64().max(1e-12);
+    println!(
+        "warm start (mmap + verify + import) : {warm_mean:>12.2?} mean of {WARM_REPS} \
+         ({snap_bytes} snapshot bytes)"
+    );
+    println!("warm-start speedup                  : {speedup:>11.1}x (bar: >= 10x)");
+    assert!(
+        speedup >= 10.0,
+        "warm start must be >= 10x faster than cold start, got {speedup:.1}x"
+    );
+
+    // Journal tail: post-snapshot churn replays on warm start and the
+    // result still matches the live pair bit-for-bit.
+    for salt in 0..TAIL_DELTAS {
+        let delta = churn_delta(&engine, salt);
+        engine.ingest_serving(&delta, &server).unwrap();
+    }
+    let t0 = Instant::now();
+    let tail = SearchEngine::open_snapshot(&path).unwrap();
+    let tail_dt = t0.elapsed();
+    assert_eq!(tail.replayed, TAIL_DELTAS);
+    let tail_server = tail.server.expect("postings restored");
+    assert_equiv((&engine, &server), (&tail.engine, &tail_server), "tail");
+    println!(
+        "warm start + {TAIL_DELTAS}-delta journal tail : {tail_dt:>12.2?} \
+         (replayed {})",
+        tail.replayed
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(mgp_core::journal_path_for(&path)).ok();
+    println!("persistence acceptance: PASS");
+}

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// How training budgets metagraph matching.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum TrainingStrategy {
     /// Match every mined metagraph up front.
     Full,
@@ -43,7 +43,7 @@ pub enum TrainingStrategy {
 }
 
 /// Pipeline configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PipelineConfig {
     /// Miner settings (pattern size, support, anchor constraints).
     pub miner: MinerConfig,
@@ -160,6 +160,11 @@ pub enum IngestError {
         /// The offending entry and amounts.
         underflow: CountUnderflow,
     },
+    /// The attached write-ahead journal (see
+    /// `SearchEngine::attach_journal`) failed to append the delta. The
+    /// ingest is aborted *before* any in-memory commit, so engine state
+    /// is untouched — durability is never silently weaker than promised.
+    Journal(String),
 }
 
 impl std::fmt::Display for IngestError {
@@ -177,6 +182,7 @@ impl std::fmt::Display for IngestError {
                 }
                 write!(f, " {underflow}")
             }
+            IngestError::Journal(m) => write!(f, "ingest rejected: journal append failed: {m}"),
         }
     }
 }
@@ -186,6 +192,7 @@ impl std::error::Error for IngestError {
         match self {
             IngestError::Graph(e) => Some(e),
             IngestError::Underflow { .. } => None,
+            IngestError::Journal(_) => None,
         }
     }
 }
@@ -199,15 +206,20 @@ impl From<GraphError> for IngestError {
 /// The semantic proximity search engine (Fig. 3).
 #[derive(Clone)]
 pub struct SearchEngine {
-    graph: Graph,
-    anchor_type: TypeId,
-    cfg: PipelineConfig,
-    metagraphs: Vec<Metagraph>,
-    patterns: Vec<PatternInfo>,
-    seed_indices: Vec<usize>,
-    counts_cache: FxHashMap<usize, AnchorCounts>,
-    models: Vec<ClassModel>,
-    timings: Timings,
+    pub(crate) graph: Graph,
+    pub(crate) anchor_type: TypeId,
+    pub(crate) cfg: PipelineConfig,
+    pub(crate) metagraphs: Vec<Metagraph>,
+    pub(crate) patterns: Vec<PatternInfo>,
+    pub(crate) seed_indices: Vec<usize>,
+    pub(crate) counts_cache: FxHashMap<usize, AnchorCounts>,
+    pub(crate) models: Vec<ClassModel>,
+    pub(crate) timings: Timings,
+    /// Write-ahead delta journal (see `crate::persist`): when attached,
+    /// every committed [`SearchEngine::ingest`] first appends the delta,
+    /// `fsync`ed, so a crash replays it on the next warm start. Shared
+    /// (`Arc`) so cloned engines keep appending to the same log.
+    pub(crate) journal: Option<Arc<std::sync::Mutex<mgp_persist::Journal>>>,
 }
 
 impl SearchEngine {
@@ -234,6 +246,7 @@ impl SearchEngine {
             counts_cache: FxHashMap::default(),
             models: Vec::new(),
             timings: Timings::default(),
+            journal: None,
         };
         engine.timings.mining = mining;
         engine.timings.n_mined = engine.metagraphs.len();
@@ -264,6 +277,7 @@ impl SearchEngine {
             counts_cache: FxHashMap::default(),
             models: Vec::new(),
             timings: Timings::default(),
+            journal: None,
         };
         engine.timings.n_mined = engine.metagraphs.len();
         if matches!(engine.cfg.strategy, TrainingStrategy::Full) {
@@ -633,6 +647,19 @@ impl SearchEngine {
                     class: Some(model.name.clone()),
                     underflow: e.underflow,
                 })?;
+        }
+
+        // Phase 2½ — write-ahead. With a journal attached the validated
+        // delta is appended and `fsync`ed *before* the in-memory commit:
+        // if the append fails the ingest aborts untouched, and once the
+        // commit below starts the delta is already durable — a crash at
+        // any instant either replays it or never knew it.
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .expect("journal lock")
+                .append(delta)
+                .map_err(|e| IngestError::Journal(e.to_string()))?;
         }
 
         // Phase 3 — commit. Everything below is infallible: counts are

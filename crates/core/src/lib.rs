@@ -40,10 +40,13 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod persist;
 pub mod timings;
 
 pub use engine::{
     ClassModel, IngestError, IngestReport, PipelineConfig, SearchEngine, TrainingStrategy,
 };
 pub use mgp_online::{Frontend, FrontendConfig, FrontendError, QueryServer, ServeConfig};
+pub use mgp_persist::PersistError;
+pub use persist::{journal_path_for, SnapshotLoad};
 pub use timings::Timings;

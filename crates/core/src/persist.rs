@@ -1,0 +1,589 @@
+//! Snapshot + journal orchestration for [`SearchEngine`]: what the
+//! durable artifacts *contain* (the format layer itself lives in
+//! [`mgp_persist`]).
+//!
+//! A snapshot holds everything the online phase needs, laid out as typed
+//! columns the loader views **directly over the mmap** — no per-entry
+//! parsing on warm start:
+//!
+//! | section | type | contents |
+//! |---------|------|----------|
+//! | `META` | JSON | config, metagraphs, model/count/posting directories, covered journal sequence |
+//! | `GRAPH` | bytes | the CSR graph's binary encoding |
+//! | `CNTNKEY`/`CNTNVAL` | `u32`/`u64` | count-cache per-node entries, concatenated per pattern |
+//! | `CNTPKEY`/`CNTPVAL` | `u64`/`u64` | count-cache per-pair entries |
+//! | `VIXNKEY`/`VIXNLEN`/`VIXNCRD`/`VIXNCNT` | mixed | per-model node raw vectors |
+//! | `VIXPKEY`/`VIXPLEN`/`VIXPCRD`/`VIXPCNT` | mixed | per-model pair raw vectors |
+//! | `PSTANCH`/`PSTNCAN`/`PSTNCOL`/`PSTCAND`/`PSTSCOR` | mixed | fused posting blocks (only with [`SearchEngine::save_snapshot_with`]) |
+//!
+//! Alongside the snapshot sits a write-ahead journal (snapshot path +
+//! `.journal`): every committed ingest appends its [`mgp_graph::GraphDelta`] there,
+//! `fsync`ed, *before* the in-memory commit. The snapshot records the
+//! last journal sequence it covers, so [`SearchEngine::open_snapshot`]
+//! replays only the tail — and a record torn by a crash mid-append is
+//! truncated, never fatal.
+
+use crate::engine::{ClassModel, PipelineConfig, SearchEngine};
+use crate::timings::Timings;
+use mgp_graph::{FxHashMap, TypeId};
+use mgp_index::{RawVec, Transform, VectorIndex};
+use mgp_matching::{AnchorCounts, PatternInfo};
+use mgp_metagraph::Metagraph;
+use mgp_online::{ClassExport, PostingExport, QueryServer, ServeConfig};
+use mgp_persist::{Journal, PersistError, Snapshot, SnapshotWriter};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Everything [`SearchEngine::open_snapshot`] restores.
+pub struct SnapshotLoad {
+    /// The warm engine: graph, matched counts, trained models — with the
+    /// journal re-attached so subsequent ingests stay durable.
+    pub engine: SearchEngine,
+    /// A serving table, if the snapshot was taken with
+    /// [`SearchEngine::save_snapshot_with`] — posting blocks imported
+    /// bit-for-bit, then patched by any replayed journal tail.
+    pub server: Option<QueryServer>,
+    /// Journal records replayed on top of the snapshot (the tail).
+    pub replayed: usize,
+    /// Bytes of a torn final journal record that were truncated away.
+    pub truncated_bytes: u64,
+}
+
+/// Per-pattern directory entry for the count-cache columns.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CountsDir {
+    pattern: usize,
+    n_nodes: u64,
+    n_pairs: u64,
+    n_instances: u64,
+}
+
+/// Per-model directory entry for the index columns.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ModelDir {
+    name: String,
+    coords: Vec<usize>,
+    weights: Vec<f64>,
+    log_likelihood: f64,
+    n_metagraphs: usize,
+    transform: Transform,
+    n_node_entries: u64,
+    n_pair_entries: u64,
+}
+
+/// Directory for the posting sections: the server's construction
+/// parameters and its class order (block columns are indexed by class
+/// id, so order is part of the format).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct ServingDir {
+    workers: usize,
+    shards: usize,
+    cache_capacity: usize,
+    class_names: Vec<String>,
+    n_blocks: u64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct MetaV1 {
+    version: u32,
+    anchor_type: u16,
+    cfg: PipelineConfig,
+    metagraphs: Vec<Metagraph>,
+    seed_indices: Vec<usize>,
+    /// Last journal sequence whose effects this snapshot already
+    /// contains; [`SearchEngine::open_snapshot`] replays only beyond it.
+    journal_seq: u64,
+    counts: Vec<CountsDir>,
+    models: Vec<ModelDir>,
+    serving: Option<ServingDir>,
+}
+
+/// The write-ahead journal that pairs with a snapshot at `path`:
+/// `<path>.journal`, next to it.
+pub fn journal_path_for(path: impl AsRef<Path>) -> PathBuf {
+    let p = path.as_ref();
+    let mut name = p.file_name().unwrap_or_default().to_os_string();
+    name.push(".journal");
+    p.with_file_name(name)
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+/// Slices `n` elements off the front of a column, advancing the cursor;
+/// a directory/column length mismatch is typed corruption, not a panic.
+fn take<'a, T>(col: &'a [T], at: &mut usize, n: u64, what: &str) -> Result<&'a [T], PersistError> {
+    let n = usize::try_from(n).map_err(|_| corrupt(format!("{what} count overflows")))?;
+    let end = at
+        .checked_add(n)
+        .filter(|&e| e <= col.len())
+        .ok_or_else(|| corrupt(format!("{what} column shorter than its directory claims")))?;
+    let s = &col[*at..end];
+    *at = end;
+    Ok(s)
+}
+
+/// Checks a column was consumed exactly — extra bytes mean the
+/// directory and the columns disagree.
+fn drained<T>(col: &[T], at: usize, what: &str) -> Result<(), PersistError> {
+    if at != col.len() {
+        return Err(corrupt(format!(
+            "{what} column has {} trailing entries",
+            col.len() - at
+        )));
+    }
+    Ok(())
+}
+
+/// Sorted `(key, value)` view of a count map, so snapshot bytes are
+/// deterministic for identical state regardless of hash-map iteration.
+fn sorted_entries<K: Ord + Copy, V: Copy>(map: &FxHashMap<K, V>) -> Vec<(K, V)> {
+    let mut v: Vec<(K, V)> = map.iter().map(|(&k, &val)| (k, val)).collect();
+    v.sort_unstable_by_key(|&(k, _)| k);
+    v
+}
+
+impl SearchEngine {
+    /// Writes a warm-start snapshot of the engine — graph, matched
+    /// pattern counts, every trained model's raw index columns — to
+    /// `path`, atomically (temp file + rename: a crash mid-save leaves
+    /// any previous snapshot intact).
+    ///
+    /// If no journal is attached yet, a fresh one is created at
+    /// [`journal_path_for`]`(path)` and attached, so every ingest after
+    /// this call is write-ahead logged and
+    /// [`SearchEngine::open_snapshot`] replays exactly the tail.
+    pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.save_snapshot_inner(path.as_ref(), None)
+    }
+
+    /// [`SearchEngine::save_snapshot`] plus the live server's fused
+    /// posting blocks, exported bit-for-bit — warm start then skips the
+    /// posting build too and serves the imported tables directly.
+    pub fn save_snapshot_with(
+        &mut self,
+        path: impl AsRef<Path>,
+        server: &QueryServer,
+    ) -> Result<(), PersistError> {
+        self.save_snapshot_inner(path.as_ref(), Some(server))
+    }
+
+    fn save_snapshot_inner(
+        &mut self,
+        path: &Path,
+        server: Option<&QueryServer>,
+    ) -> Result<(), PersistError> {
+        let journal_seq = match &self.journal {
+            Some(j) => j.lock().expect("journal lock").last_seq(),
+            None => 0,
+        };
+        let mut w = SnapshotWriter::new();
+
+        // Count-cache columns, patterns in ascending order.
+        let mut counts_dir = Vec::new();
+        let (mut cnk, mut cnv, mut cpk, mut cpv) = (vec![], vec![], vec![], vec![]);
+        let mut patterns: Vec<usize> = self.counts_cache.keys().copied().collect();
+        patterns.sort_unstable();
+        for i in patterns {
+            let c = &self.counts_cache[&i];
+            let nodes = sorted_entries(&c.per_node);
+            let pairs = sorted_entries(&c.per_pair);
+            counts_dir.push(CountsDir {
+                pattern: i,
+                n_nodes: nodes.len() as u64,
+                n_pairs: pairs.len() as u64,
+                n_instances: c.n_instances,
+            });
+            cnk.extend(nodes.iter().map(|&(k, _)| k));
+            cnv.extend(nodes.iter().map(|&(_, v)| v));
+            cpk.extend(pairs.iter().map(|&(k, _)| k));
+            cpv.extend(pairs.iter().map(|&(_, v)| v));
+        }
+
+        // Per-model raw index columns (entry-sorted; each raw vector is
+        // already coordinate-sorted — `VectorIndex::from_raw_parts`
+        // re-validates that on load).
+        let mut models_dir = Vec::new();
+        let (mut vnk, mut vnl, mut vncrd, mut vncnt) = (vec![], vec![], vec![], vec![]);
+        let (mut vpk, mut vpl, mut vpcrd, mut vpcnt) = (vec![], vec![], vec![], vec![]);
+        for m in &self.models {
+            let mut nodes: Vec<(u32, &[(u32, u64)])> =
+                m.index.iter_node_raw().map(|(x, v)| (x.0, v)).collect();
+            nodes.sort_unstable_by_key(|&(k, _)| k);
+            let mut pairs: Vec<(u64, &[(u32, u64)])> = m.index.iter_pair_raw().collect();
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            models_dir.push(ModelDir {
+                name: m.name.clone(),
+                coords: m.coords.clone(),
+                weights: m.weights.clone(),
+                log_likelihood: m.log_likelihood,
+                n_metagraphs: m.index.n_metagraphs(),
+                transform: m.index.transform(),
+                n_node_entries: nodes.len() as u64,
+                n_pair_entries: pairs.len() as u64,
+            });
+            for (k, raw) in nodes {
+                vnk.push(k);
+                vnl.push(raw.len() as u64);
+                vncrd.extend(raw.iter().map(|&(c, _)| c));
+                vncnt.extend(raw.iter().map(|&(_, n)| n));
+            }
+            for (k, raw) in pairs {
+                vpk.push(k);
+                vpl.push(raw.len() as u64);
+                vpcrd.extend(raw.iter().map(|&(c, _)| c));
+                vpcnt.extend(raw.iter().map(|&(_, n)| n));
+            }
+        }
+
+        // Fused posting blocks, flattened to columns.
+        let mut serving_dir = None;
+        let (mut pa, mut pnc, mut pncol, mut pcand, mut pscor) =
+            (vec![], vec![], vec![], vec![], Vec::<f64>::new());
+        if let Some(server) = server {
+            let blocks = server.export_postings();
+            let cfg = server.config();
+            serving_dir = Some(ServingDir {
+                workers: cfg.workers,
+                shards: cfg.shards,
+                cache_capacity: cfg.cache_capacity,
+                class_names: server.class_names().iter().map(|s| s.to_string()).collect(),
+                n_blocks: blocks.len() as u64,
+            });
+            for b in &blocks {
+                pa.push(b.anchor);
+                pnc.push(b.candidates.len() as u64);
+                pncol.push(b.columns.len() as u64);
+                pcand.extend_from_slice(&b.candidates);
+                for col in &b.columns {
+                    pscor.extend_from_slice(col);
+                }
+            }
+        }
+
+        let meta = MetaV1 {
+            version: SNAPSHOT_VERSION,
+            anchor_type: self.anchor_type.0,
+            cfg: self.cfg.clone(),
+            metagraphs: self.metagraphs.clone(),
+            seed_indices: self.seed_indices.clone(),
+            journal_seq,
+            counts: counts_dir,
+            models: models_dir,
+            serving: serving_dir,
+        };
+        let meta_json = serde_json::to_string(&meta)
+            .map_err(|e| corrupt(format!("meta serialisation failed: {e}")))?
+            .into_bytes();
+
+        w.add_section("META", meta_json)?;
+        w.add_section("GRAPH", mgp_graph::binary::encode(&self.graph)?.to_vec())?;
+        w.add_u32s("CNTNKEY", &cnk)?;
+        w.add_u64s("CNTNVAL", &cnv)?;
+        w.add_u64s("CNTPKEY", &cpk)?;
+        w.add_u64s("CNTPVAL", &cpv)?;
+        w.add_u32s("VIXNKEY", &vnk)?;
+        w.add_u64s("VIXNLEN", &vnl)?;
+        w.add_u32s("VIXNCRD", &vncrd)?;
+        w.add_u64s("VIXNCNT", &vncnt)?;
+        w.add_u64s("VIXPKEY", &vpk)?;
+        w.add_u64s("VIXPLEN", &vpl)?;
+        w.add_u32s("VIXPCRD", &vpcrd)?;
+        w.add_u64s("VIXPCNT", &vpcnt)?;
+        if meta.serving.is_some() {
+            w.add_u32s("PSTANCH", &pa)?;
+            w.add_u64s("PSTNCAN", &pnc)?;
+            w.add_u64s("PSTNCOL", &pncol)?;
+            w.add_u32s("PSTCAND", &pcand)?;
+            w.add_f64s("PSTSCOR", &pscor)?;
+        }
+        w.finish(path)?;
+
+        if self.journal.is_none() {
+            let journal = Journal::create(journal_path_for(path))?;
+            self.journal = Some(Arc::new(Mutex::new(journal)));
+        }
+        Ok(())
+    }
+
+    /// Warm-starts an engine from a snapshot: the file is memory-mapped,
+    /// checksum-verified, and read as typed columns — no mining, no
+    /// matching, no training. If the paired journal
+    /// ([`journal_path_for`]) exists, its tail (records past the
+    /// sequence the snapshot covers) is replayed through the normal
+    /// ingest path — patching the restored server too, when one is
+    /// present — and a record torn by a crash mid-append is truncated,
+    /// not an error. The journal is re-attached to the returned engine.
+    pub fn open_snapshot(path: impl AsRef<Path>) -> Result<SnapshotLoad, PersistError> {
+        let path = path.as_ref();
+        let snap = Snapshot::open(path)?;
+        let meta_str = std::str::from_utf8(snap.require("META")?)
+            .map_err(|e| corrupt(format!("meta section is not utf-8: {e}")))?;
+        let meta: MetaV1 =
+            serde_json::from_str(meta_str).map_err(|e| corrupt(format!("meta section: {e}")))?;
+        if meta.version != SNAPSHOT_VERSION {
+            return Err(corrupt(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                meta.version
+            )));
+        }
+        let graph = mgp_graph::binary::decode(mgp_graph::bytes::Bytes::from(
+            snap.require("GRAPH")?.to_vec(),
+        ))?;
+
+        // Count cache from the CNT columns. Key/value columns advance in
+        // lockstep, so equal lengths are checked once up front.
+        let (cnk, cnv) = (snap.u32s("CNTNKEY")?, snap.u64s("CNTNVAL")?);
+        let (cpk, cpv) = (snap.u64s("CNTPKEY")?, snap.u64s("CNTPVAL")?);
+        if cnk.len() != cnv.len() || cpk.len() != cpv.len() {
+            return Err(corrupt("count key/value columns differ in length"));
+        }
+        let mut counts_cache: FxHashMap<usize, AnchorCounts> = FxHashMap::default();
+        let (mut nat, mut pat) = (0usize, 0usize);
+        for d in &meta.counts {
+            let (mut vat, mut pvat) = (nat, pat);
+            let keys = take(cnk, &mut nat, d.n_nodes, "CNTNKEY")?;
+            let vals = take(cnv, &mut vat, d.n_nodes, "CNTNVAL")?;
+            let per_node: FxHashMap<u32, u64> =
+                keys.iter().copied().zip(vals.iter().copied()).collect();
+            let pkeys = take(cpk, &mut pat, d.n_pairs, "CNTPKEY")?;
+            let pvals = take(cpv, &mut pvat, d.n_pairs, "CNTPVAL")?;
+            let per_pair: FxHashMap<u64, u64> =
+                pkeys.iter().copied().zip(pvals.iter().copied()).collect();
+            if counts_cache
+                .insert(
+                    d.pattern,
+                    AnchorCounts {
+                        per_node,
+                        per_pair,
+                        n_instances: d.n_instances,
+                    },
+                )
+                .is_some()
+            {
+                return Err(corrupt(format!(
+                    "duplicate counts for pattern {}",
+                    d.pattern
+                )));
+            }
+        }
+        drained(cnk, nat, "CNTNKEY")?;
+        drained(cpk, pat, "CNTPKEY")?;
+
+        // Models from the VIX columns.
+        let (vnk, vnl) = (snap.u32s("VIXNKEY")?, snap.u64s("VIXNLEN")?);
+        let (vncrd, vncnt) = (snap.u32s("VIXNCRD")?, snap.u64s("VIXNCNT")?);
+        let (vpk, vpl) = (snap.u64s("VIXPKEY")?, snap.u64s("VIXPLEN")?);
+        let (vpcrd, vpcnt) = (snap.u32s("VIXPCRD")?, snap.u64s("VIXPCNT")?);
+        if vnk.len() != vnl.len() || vncrd.len() != vncnt.len() {
+            return Err(corrupt("node index columns differ in length"));
+        }
+        if vpk.len() != vpl.len() || vpcrd.len() != vpcnt.len() {
+            return Err(corrupt("pair index columns differ in length"));
+        }
+        let mut models = Vec::with_capacity(meta.models.len());
+        let (mut ke, mut ce) = (0usize, 0usize);
+        let (mut pke, mut pce) = (0usize, 0usize);
+        for d in &meta.models {
+            let mut node_raw: FxHashMap<u32, RawVec> = FxHashMap::default();
+            let mut lat = ke;
+            let keys = take(vnk, &mut ke, d.n_node_entries, "VIXNKEY")?;
+            let lens = take(vnl, &mut lat, d.n_node_entries, "VIXNLEN")?;
+            for (&k, &len) in keys.iter().zip(lens) {
+                let mut cat = ce;
+                let coords = take(vncrd, &mut ce, len, "VIXNCRD")?;
+                let cnts = take(vncnt, &mut cat, len, "VIXNCNT")?;
+                node_raw.insert(
+                    k,
+                    coords.iter().copied().zip(cnts.iter().copied()).collect(),
+                );
+            }
+            let mut pair_raw: FxHashMap<u64, RawVec> = FxHashMap::default();
+            let mut lat = pke;
+            let keys = take(vpk, &mut pke, d.n_pair_entries, "VIXPKEY")?;
+            let lens = take(vpl, &mut lat, d.n_pair_entries, "VIXPLEN")?;
+            for (&k, &len) in keys.iter().zip(lens) {
+                let mut cat = pce;
+                let coords = take(vpcrd, &mut pce, len, "VIXPCRD")?;
+                let cnts = take(vpcnt, &mut cat, len, "VIXPCNT")?;
+                pair_raw.insert(
+                    k,
+                    coords.iter().copied().zip(cnts.iter().copied()).collect(),
+                );
+            }
+            let index =
+                VectorIndex::from_raw_parts(d.n_metagraphs, d.transform, node_raw, pair_raw)
+                    .map_err(|e| corrupt(format!("model {:?}: {e}", d.name)))?;
+            if d.weights.len() != d.coords.len() {
+                return Err(corrupt(format!(
+                    "model {:?}: {} weights for {} coordinates",
+                    d.name,
+                    d.weights.len(),
+                    d.coords.len()
+                )));
+            }
+            models.push(ClassModel {
+                name: d.name.clone(),
+                coords: d.coords.clone(),
+                index,
+                weights: d.weights.clone(),
+                log_likelihood: d.log_likelihood,
+            });
+        }
+        drained(vnk, ke, "VIXNKEY")?;
+        drained(vpk, pke, "VIXPKEY")?;
+
+        let anchor_type = TypeId(meta.anchor_type);
+        let patterns: Vec<PatternInfo> = meta
+            .metagraphs
+            .iter()
+            .map(|m| PatternInfo::new(m.clone(), anchor_type))
+            .collect();
+        let timings = Timings {
+            n_mined: meta.metagraphs.len(),
+            n_matched: counts_cache.len(),
+            ..Timings::default()
+        };
+        let mut engine = SearchEngine {
+            graph,
+            anchor_type,
+            cfg: meta.cfg,
+            metagraphs: meta.metagraphs,
+            patterns,
+            seed_indices: meta.seed_indices,
+            counts_cache,
+            models,
+            timings,
+            journal: None,
+        };
+
+        // Serving tables from the PST columns, if exported.
+        let server = match &meta.serving {
+            None => None,
+            Some(dir) => {
+                let (pa, pnc) = (snap.u32s("PSTANCH")?, snap.u64s("PSTNCAN")?);
+                let pncol = snap.u64s("PSTNCOL")?;
+                let (pcand, pscor) = (snap.u32s("PSTCAND")?, snap.f64s("PSTSCOR")?);
+                if pa.len() as u64 != dir.n_blocks
+                    || pnc.len() != pa.len()
+                    || pncol.len() != pa.len()
+                {
+                    return Err(corrupt("posting block directory/column mismatch"));
+                }
+                let mut postings = Vec::with_capacity(pa.len());
+                let (mut cat, mut sat) = (0usize, 0usize);
+                for (i, &anchor) in pa.iter().enumerate() {
+                    let candidates = take(pcand, &mut cat, pnc[i], "PSTCAND")?.to_vec();
+                    let mut columns = Vec::with_capacity(pncol[i] as usize);
+                    for _ in 0..pncol[i] {
+                        columns.push(take(pscor, &mut sat, pnc[i], "PSTSCOR")?.to_vec());
+                    }
+                    postings.push(PostingExport {
+                        anchor,
+                        candidates,
+                        columns,
+                    });
+                }
+                drained(pcand, cat, "PSTCAND")?;
+                drained(pscor, sat, "PSTSCOR")?;
+
+                // Class order is part of the posting format: columns are
+                // indexed by the class id the server assigned at save time.
+                let mut exports = Vec::with_capacity(dir.class_names.len());
+                for name in &dir.class_names {
+                    let m = engine
+                        .models
+                        .iter()
+                        .find(|m| &m.name == name)
+                        .ok_or_else(|| {
+                            corrupt(format!("served class {name:?} has no model in snapshot"))
+                        })?;
+                    exports.push(ClassExport {
+                        name: &m.name,
+                        index: &m.index,
+                        weights: &m.weights,
+                    });
+                }
+                let cfg = ServeConfig {
+                    workers: dir.workers,
+                    shards: dir.shards,
+                    cache_capacity: dir.cache_capacity,
+                };
+                Some(QueryServer::from_parts(cfg, &exports, postings).map_err(corrupt)?)
+            }
+        };
+
+        // Journal tail: replay everything past the snapshot's horizon,
+        // then attach for future ingests. Replay happens with the
+        // journal *detached* so the records are not re-appended.
+        let jpath = journal_path_for(path);
+        let (mut replayed, mut truncated_bytes) = (0usize, 0u64);
+        let journal = if jpath.exists() {
+            let (journal, recovery) = Journal::open(&jpath)?;
+            truncated_bytes = recovery.truncated_bytes;
+            for (seq, delta) in &recovery.records {
+                if *seq <= meta.journal_seq {
+                    continue;
+                }
+                let result = match &server {
+                    Some(server) => engine.ingest_serving(delta, server),
+                    None => engine.ingest(delta),
+                };
+                result
+                    .map_err(|e| corrupt(format!("journal record {seq} failed to apply: {e}")))?;
+                replayed += 1;
+            }
+            journal
+        } else {
+            Journal::create(&jpath)?
+        };
+        engine.journal = Some(Arc::new(Mutex::new(journal)));
+
+        Ok(SnapshotLoad {
+            engine,
+            server,
+            replayed,
+            truncated_bytes,
+        })
+    }
+
+    /// Attaches a **fresh** write-ahead journal at `path` (truncating
+    /// any existing file): from now on every committed
+    /// [`SearchEngine::ingest`] appends its delta, `fsync`ed, before the
+    /// in-memory commit. [`SearchEngine::save_snapshot`] and
+    /// [`SearchEngine::open_snapshot`] manage the journal automatically;
+    /// call this directly to log churn *before* the first snapshot.
+    pub fn attach_journal(&mut self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let journal = Journal::create(path)?;
+        self.journal = Some(Arc::new(Mutex::new(journal)));
+        Ok(())
+    }
+
+    /// Crash recovery *without* a snapshot: opens the journal at `path`
+    /// (truncating any torn tail), replays **every** record onto this
+    /// engine — which must be in the state the journal started from,
+    /// e.g. freshly built from the base graph — and attaches it.
+    /// Returns `(records replayed, torn bytes truncated)`.
+    pub fn replay_journal(&mut self, path: impl AsRef<Path>) -> Result<(usize, u64), PersistError> {
+        let (journal, recovery) = Journal::open(path)?;
+        for (seq, delta) in &recovery.records {
+            self.ingest(delta)
+                .map_err(|e| corrupt(format!("journal record {seq} failed to apply: {e}")))?;
+        }
+        let n = recovery.records.len();
+        self.journal = Some(Arc::new(Mutex::new(journal)));
+        Ok((n, recovery.truncated_bytes))
+    }
+
+    /// The sequence number of the last journaled delta (`0` when no
+    /// journal is attached or nothing has been appended).
+    pub fn journal_seq(&self) -> u64 {
+        match &self.journal {
+            Some(j) => j.lock().expect("journal lock").last_seq(),
+            None => 0,
+        }
+    }
+}

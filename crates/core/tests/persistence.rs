@@ -1,0 +1,371 @@
+//! Warm-start persistence: a snapshot + journal pair must restore an
+//! engine (and its serving tables) **bit-identically** — every `search`,
+//! `rank`, `rank_multi` and `table_stats` answer equal to the live
+//! process that wrote it, including after journal-tail replay and after
+//! crash-torn journal records.
+
+use mgp_core::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use mgp_core::{journal_path_for, QueryServer};
+use mgp_datagen::facebook::{generate_facebook, FacebookConfig, CLASSMATE, FAMILY};
+use mgp_datagen::Dataset;
+use mgp_graph::{GraphDelta, NodeId};
+use mgp_learning::{sample_examples, TrainConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+const CLASSES: [&str; 2] = ["family", "classmate"];
+
+/// A fresh path under the test temp dir (unique per call, cleaned by the
+/// caller).
+fn snap_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!("mgp_persistence_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!(
+        "{tag}_{}.snap",
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn cleanup(path: &PathBuf) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(journal_path_for(path)).ok();
+}
+
+/// One fully built + trained engine, shared (cloned) across tests —
+/// mining/matching/training is by far the slowest part of this suite.
+fn base() -> (&'static Dataset, SearchEngine) {
+    static BASE: OnceLock<(Dataset, SearchEngine)> = OnceLock::new();
+    let (d, engine) = BASE.get_or_init(|| {
+        let d = generate_facebook(&FacebookConfig::tiny(42));
+        let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+        cfg.train = TrainConfig::fast(1);
+        cfg.strategy = TrainingStrategy::Full;
+        cfg.threads = 2;
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+        for (name, class) in [("family", FAMILY), ("classmate", CLASSMATE)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let queries = d.labels.queries_of_class(class);
+            let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+            let ex = sample_examples(
+                &queries,
+                |q| d.labels.positives_of(q, class),
+                |q, v| d.labels.has(q, v, class),
+                &anchors,
+                150,
+                &mut rng,
+            );
+            engine.train_class(name, &ex);
+        }
+        (d, engine)
+    });
+    (d, engine.clone())
+}
+
+/// Query nodes to probe: a spread of anchors plus every node id the
+/// graph might have grown to (ids past the end are valid queries too —
+/// they rank empty).
+fn probes(engine: &SearchEngine) -> Vec<NodeId> {
+    let anchors = engine.graph().nodes_of_type(engine.anchor_type());
+    anchors.iter().step_by(7).copied().take(30).collect()
+}
+
+/// Asserts engine + server answers are bit-identical between a live
+/// (`want`) and restored (`got`) pair, across classes, queries and k.
+fn assert_identical(
+    want: (&SearchEngine, &QueryServer),
+    got: (&SearchEngine, &QueryServer),
+    context: &str,
+) {
+    let queries = probes(want.0);
+    let class_ids: Vec<usize> = CLASSES
+        .iter()
+        .map(|c| {
+            let w = want.1.class_id(c).expect("live class");
+            let g = got.1.class_id(c).expect("restored class");
+            assert_eq!(w, g, "{context}: class id for {c}");
+            w
+        })
+        .collect();
+    for (c, &cid) in CLASSES.iter().zip(&class_ids) {
+        assert_eq!(
+            want.1.table_stats(cid),
+            got.1.table_stats(cid),
+            "{context}: table_stats for {c}"
+        );
+        for &q in &queries {
+            for k in [1usize, 3, 10] {
+                assert_eq!(
+                    want.0.search(c, q, k),
+                    got.0.search(c, q, k),
+                    "{context}: search {c} q={q} k={k}"
+                );
+                assert_eq!(
+                    *want.1.rank(cid, q, k),
+                    *got.1.rank(cid, q, k),
+                    "{context}: rank {c} q={q} k={k}"
+                );
+            }
+        }
+    }
+    for &q in queries.iter().take(10) {
+        let w = want.1.rank_multi(&class_ids, q, 5);
+        let g = got.1.rank_multi(&class_ids, q, 5);
+        assert_eq!(w.len(), g.len());
+        for (wi, gi) in w.iter().zip(&g) {
+            assert_eq!(**wi, **gi, "{context}: rank_multi q={q}");
+        }
+    }
+}
+
+/// A small churn delta: one new anchor wired to two attributes, one new
+/// edge between existing nodes, one removal. `salt` varies the choices.
+fn churn_delta(engine: &SearchEngine, salt: usize) -> GraphDelta {
+    let g = engine.graph();
+    let anchor_type = engine.anchor_type();
+    let anchors = g.nodes_of_type(anchor_type);
+    let attrs: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| g.node_type(v) != anchor_type && g.degree(v) > 0)
+        .collect();
+    let mut delta = GraphDelta::for_graph(g);
+    let nu = delta.add_node(anchor_type, format!("wal-user-{salt}"));
+    delta.add_edge(nu, attrs[salt % attrs.len()]).unwrap();
+    delta.add_edge(nu, attrs[(salt + 3) % attrs.len()]).unwrap();
+    delta
+        .add_edge(
+            anchors[salt % anchors.len()],
+            attrs[(salt + 1) % attrs.len()],
+        )
+        .unwrap();
+    if let Some((a, b)) = g.edges().nth(salt % g.n_edges() as usize) {
+        delta.remove_edge(a, b).unwrap();
+    }
+    delta
+}
+
+#[test]
+fn snapshot_roundtrip_is_bit_identical() {
+    let (_d, mut engine) = base();
+    let server = engine.serve();
+    let path = snap_path("roundtrip");
+    engine.save_snapshot_with(&path, &server).unwrap();
+
+    let load = SearchEngine::open_snapshot(&path).unwrap();
+    assert_eq!(load.replayed, 0);
+    assert_eq!(load.truncated_bytes, 0);
+    let restored_server = load.server.expect("snapshot carried postings");
+    assert_identical(
+        (&engine, &server),
+        (&load.engine, &restored_server),
+        "cold roundtrip",
+    );
+
+    // The restored engine keeps full function: it can ingest and serve.
+    let delta = churn_delta(&load.engine, 1);
+    let mut restored = load.engine;
+    restored.ingest_serving(&delta, &restored_server).unwrap();
+    cleanup(&path);
+}
+
+#[test]
+fn snapshot_without_server_restores_engine_only() {
+    let (_d, mut engine) = base();
+    let path = snap_path("engine_only");
+    engine.save_snapshot(&path).unwrap();
+    let load = SearchEngine::open_snapshot(&path).unwrap();
+    assert!(load.server.is_none());
+    let queries = probes(&engine);
+    for c in CLASSES {
+        for &q in &queries {
+            assert_eq!(engine.search(c, q, 10), load.engine.search(c, q, 10));
+        }
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn journal_tail_replays_on_warm_start() {
+    let (_d, mut engine) = base();
+    let server = engine.serve();
+    let path = snap_path("tail");
+    engine.save_snapshot_with(&path, &server).unwrap();
+
+    // Post-snapshot churn: journaled, not re-snapshotted.
+    for salt in 0..3 {
+        let delta = churn_delta(&engine, salt);
+        engine.ingest_serving(&delta, &server).unwrap();
+    }
+    assert_eq!(engine.journal_seq(), 3);
+
+    let load = SearchEngine::open_snapshot(&path).unwrap();
+    assert_eq!(load.replayed, 3, "exactly the tail replays");
+    assert_eq!(load.truncated_bytes, 0);
+    let restored_server = load.server.expect("postings restored");
+    assert_identical(
+        (&engine, &server),
+        (&load.engine, &restored_server),
+        "journal tail",
+    );
+
+    // A second snapshot advances the horizon: nothing replays after it.
+    let mut warm = load.engine;
+    warm.save_snapshot_with(&path, &restored_server).unwrap();
+    let again = SearchEngine::open_snapshot(&path).unwrap();
+    assert_eq!(again.replayed, 0, "snapshot covers the whole journal");
+    cleanup(&path);
+}
+
+#[test]
+fn torn_journal_tail_is_truncated_not_fatal() {
+    let (_d, mut engine) = base();
+    let server = engine.serve();
+    let path = snap_path("torn");
+    engine.save_snapshot_with(&path, &server).unwrap();
+
+    // First delta lands fully; capture the expected answers *before* the
+    // second delta, whose journal record we will tear.
+    let d1 = churn_delta(&engine, 5);
+    engine.ingest_serving(&d1, &server).unwrap();
+    let queries = probes(&engine);
+    let mut expected = Vec::new();
+    for c in CLASSES {
+        let cid = server.class_id(c).unwrap();
+        for &q in &queries {
+            expected.push((
+                c,
+                q,
+                engine.search(c, q, 10),
+                (*server.rank(cid, q, 10)).clone(),
+            ));
+        }
+    }
+    let jpath = journal_path_for(&path);
+    let clean_len = std::fs::metadata(&jpath).unwrap().len();
+
+    let d2 = churn_delta(&engine, 11);
+    engine.ingest_serving(&d2, &server).unwrap();
+
+    // Simulate a crash mid-append: cut the final record short.
+    let bytes = std::fs::read(&jpath).unwrap();
+    assert!(bytes.len() as u64 > clean_len);
+    let cut = clean_len as usize + (bytes.len() - clean_len as usize) / 2;
+    std::fs::write(&jpath, &bytes[..cut]).unwrap();
+
+    let load = SearchEngine::open_snapshot(&path).unwrap();
+    assert_eq!(load.replayed, 1, "only the intact record replays");
+    assert_eq!(load.truncated_bytes, (cut as u64) - clean_len);
+    assert_eq!(
+        std::fs::metadata(&jpath).unwrap().len(),
+        clean_len,
+        "torn record physically truncated"
+    );
+    let restored_server = load.server.expect("postings restored");
+    for (c, q, search, rank) in &expected {
+        assert_eq!(
+            &load.engine.search(c, *q, 10),
+            search,
+            "torn: search {c} q={q}"
+        );
+        let cid = restored_server.class_id(c).unwrap();
+        assert_eq!(
+            &*restored_server.rank(cid, *q, 10),
+            rank,
+            "torn: rank {c} q={q}"
+        );
+    }
+
+    // The recovered journal stays writable at the truncated position.
+    let mut warm = load.engine;
+    warm.ingest_serving(&d2, &restored_server).unwrap();
+    assert_eq!(warm.journal_seq(), 2);
+    cleanup(&path);
+}
+
+#[test]
+fn corrupt_snapshot_bytes_are_rejected() {
+    let (_d, mut engine) = base();
+    let path = snap_path("corrupt");
+    engine.save_snapshot(&path).unwrap();
+    let clean = std::fs::read(&path).unwrap();
+    // A flip in the header/table region and one deep inside the sections.
+    for at in [9usize, 24, clean.len() / 2, clean.len() - 1] {
+        let mut bad = clean.clone();
+        bad[at] ^= 0x20;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(
+            SearchEngine::open_snapshot(&path).is_err(),
+            "flip at {at} accepted"
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn replay_journal_recovers_without_a_snapshot() {
+    let (_d, mut engine) = base();
+    let baseline = engine.clone();
+    let path = snap_path("wal_only");
+    let jpath = journal_path_for(&path);
+    engine.attach_journal(&jpath).unwrap();
+    for salt in 0..2 {
+        let delta = churn_delta(&engine, salt);
+        engine.ingest(&delta).unwrap();
+    }
+
+    // "Crash": start over from the pre-journal engine and replay.
+    let mut recovered = baseline;
+    let (replayed, torn) = recovered.replay_journal(&jpath).unwrap();
+    assert_eq!(replayed, 2);
+    assert_eq!(torn, 0);
+    let queries = probes(&engine);
+    for c in CLASSES {
+        for &q in &queries {
+            assert_eq!(engine.search(c, q, 10), recovered.search(c, q, 10));
+        }
+    }
+    cleanup(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random churn both before and after the snapshot: the snapshot +
+    /// journal-tail warm start answers bit-identically to the live
+    /// engine, whatever the split.
+    #[test]
+    fn random_churn_roundtrips(
+        salts in prop::collection::vec(0usize..1000, 1..5),
+        split in 0usize..5,
+    ) {
+        let (_d, mut engine) = base();
+        let server = engine.serve();
+        let path = snap_path("prop");
+        let split = split.min(salts.len());
+        // Pre-snapshot churn (baked into the sections)…
+        for &salt in &salts[..split] {
+            let delta = churn_delta(&engine, salt);
+            engine.ingest_serving(&delta, &server).unwrap();
+        }
+        engine.save_snapshot_with(&path, &server).unwrap();
+        // …and post-snapshot churn (journal tail only).
+        for &salt in &salts[split..] {
+            let delta = churn_delta(&engine, salt);
+            engine.ingest_serving(&delta, &server).unwrap();
+        }
+
+        let load = SearchEngine::open_snapshot(&path).unwrap();
+        prop_assert_eq!(load.replayed, salts.len() - split);
+        let restored_server = load.server.expect("postings restored");
+        assert_identical(
+            (&engine, &server),
+            (&load.engine, &restored_server),
+            "random churn",
+        );
+        cleanup(&path);
+    }
+}

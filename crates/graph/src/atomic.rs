@@ -1,0 +1,114 @@
+//! Crash-safe file replacement: write to a temporary file in the target
+//! directory, flush it to stable storage, then atomically rename over the
+//! destination. A crash at any point leaves either the old file or the new
+//! one at `path` — never a truncated mix. Shared by the graph binary codec
+//! ([`crate::binary::save_binary`]) and the snapshot writer in
+//! `mgp-persist`.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator so concurrent writers in one process never
+/// collide on a temp name (the pid distinguishes processes).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `fsync`, rename, then (on unix) `fsync` of the directory so the rename
+/// itself is durable. The temp file is removed on any failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        seq
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+
+    let write_all = || -> io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Data must hit the disk before the rename publishes it, or a
+        // crash could surface the new name with missing contents.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    };
+    if let Err(e) = write_all() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+
+    // Make the rename durable: without the directory fsync a power loss
+    // can roll back to the old file, which is safe but not persistent.
+    #[cfg(unix)]
+    if let Some(d) = dir {
+        if let Ok(dirf) = File::open(d) {
+            let _ = dirf.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mgp_atomic_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("f.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temp_litter() {
+        let dir = tmp_dir("litter");
+        let path = dir.join("f.bin");
+        atomic_write(&path, b"x").unwrap();
+        let extras: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "f.bin")
+            .collect();
+        assert!(extras.is_empty(), "temp litter: {extras:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_cleans_up_temp() {
+        let dir = tmp_dir("fail");
+        // Destination is a directory, so the final rename must fail — and
+        // the temp file must be gone afterwards.
+        let path = dir.join("sub");
+        std::fs::create_dir_all(&path).unwrap();
+        assert!(atomic_write(&path, b"x").is_err());
+        let extras: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "sub")
+            .collect();
+        assert!(extras.is_empty(), "temp litter: {extras:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,6 +3,12 @@
 //! The TSV format ([`crate::io`]) is diff-friendly; this module is the fast
 //! path for large graphs (the paper-scale LinkedIn-like graph has ~66k
 //! nodes and 220k edges — a few MB in this encoding vs tens in TSV).
+//! It is also the graph section payload of the `mgp-persist` snapshot
+//! format, so both directions are hardened: [`encode`] refuses dimensions
+//! the layout cannot represent instead of silently truncating counts, and
+//! [`decode`] treats every header field as attacker-controlled — all size
+//! arithmetic is checked, and malformed input yields a typed
+//! [`GraphError`], never a panic or an unbounded allocation.
 //!
 //! Layout (little-endian throughout):
 //!
@@ -14,31 +20,49 @@
 //! n_edges u64 | per edge: a u32, b u32   (a < b)
 //! ```
 
-use crate::{Graph, GraphBuilder, GraphError, NodeId, TypeId};
+use crate::{atomic_write, Graph, GraphBuilder, GraphError, NodeId, TypeId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"MGPG";
 const VERSION: u16 = 1;
 
-/// Serialises a graph into the binary format.
-pub fn encode(g: &Graph) -> Bytes {
+/// Checked narrowing for encode-side counts: a value the wire format
+/// cannot hold is a typed error, never a silent `as` wrap (a wrapped
+/// count would produce a file that decodes to a *different* graph).
+fn fit<T: TryFrom<usize>>(value: usize, what: &str) -> Result<T, GraphError> {
+    T::try_from(value).map_err(|_| GraphError::TooLarge {
+        what: what.to_owned(),
+        value: value as u64,
+        // All wire widths here are ≤ 64 bits, so the max fits a u64.
+        max: match std::mem::size_of::<T>() {
+            2 => u16::MAX as u64,
+            4 => u32::MAX as u64,
+            _ => u64::MAX,
+        },
+    })
+}
+
+/// Serialises a graph into the binary format. Fails with
+/// [`GraphError::TooLarge`] when a dimension (type count, type-name or
+/// label length, node count) exceeds its wire width.
+pub fn encode(g: &Graph) -> Result<Bytes, GraphError> {
     let mut buf = BytesMut::with_capacity(64 + g.n_nodes() * 8 + (g.n_edges() as usize) * 8);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
 
-    buf.put_u16_le(g.n_types() as u16);
+    buf.put_u16_le(fit::<u16>(g.n_types(), "type count")?);
     for (_, name) in g.types().iter() {
-        buf.put_u16_le(name.len() as u16);
+        buf.put_u16_le(fit::<u16>(name.len(), "type name length")?);
         buf.put_slice(name.as_bytes());
     }
 
-    buf.put_u32_le(g.n_nodes() as u32);
+    buf.put_u32_le(fit::<u32>(g.n_nodes(), "node count")?);
     for v in g.nodes() {
         buf.put_u16_le(g.node_type(v).0);
     }
     for v in g.nodes() {
         let label = g.label(v);
-        buf.put_u32_le(label.len() as u32);
+        buf.put_u32_le(fit::<u32>(label.len(), "label length")?);
         buf.put_slice(label.as_bytes());
     }
 
@@ -47,10 +71,14 @@ pub fn encode(g: &Graph) -> Bytes {
         buf.put_u32_le(a.0);
         buf.put_u32_le(b.0);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
-/// Deserialises a graph from the binary format.
+/// Deserialises a graph from the binary format. Every count in the input
+/// is validated against the remaining byte budget **with checked
+/// arithmetic** before anything is allocated or read, so hostile headers
+/// (a `n_edges` of 2⁶¹ whose byte product wraps, oversized label lengths,
+/// truncated tails) fail with a typed [`GraphError`] instead of panicking.
 pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
     let fail = |message: &str| GraphError::Parse {
         line: 0,
@@ -62,6 +90,15 @@ pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
         } else {
             Ok(())
         }
+    };
+    // `count * width` on untrusted counts must not wrap: a crafted count
+    // near usize::MAX would wrap to a small product, pass the bounds
+    // check, and let the read loop run off the end of the buffer.
+    let need_n = |data: &Bytes, count: usize, width: usize, what: &str| {
+        let bytes = count
+            .checked_mul(width)
+            .ok_or_else(|| fail(&format!("{what} count {count} overflows size arithmetic")))?;
+        need(data, bytes, what)
     };
 
     need(&data, 6, "header")?;
@@ -89,7 +126,7 @@ pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
 
     need(&data, 4, "node count")?;
     let n_nodes = data.get_u32_le() as usize;
-    need(&data, n_nodes * 2, "node types")?;
+    need_n(&data, n_nodes, 2, "node types")?;
     let mut node_types = Vec::with_capacity(n_nodes);
     for _ in 0..n_nodes {
         let t = data.get_u16_le();
@@ -108,8 +145,10 @@ pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
     }
 
     need(&data, 8, "edge count")?;
-    let n_edges = data.get_u64_le() as usize;
-    need(&data, n_edges * 8, "edges")?;
+    let n_edges64 = data.get_u64_le();
+    let n_edges = usize::try_from(n_edges64)
+        .map_err(|_| fail(&format!("edge count {n_edges64} overflows size arithmetic")))?;
+    need_n(&data, n_edges, 8, "edges")?;
     for _ in 0..n_edges {
         let a = data.get_u32_le();
         let c = data.get_u32_le();
@@ -118,9 +157,12 @@ pub fn decode(mut data: Bytes) -> Result<Graph, GraphError> {
     Ok(b.build())
 }
 
-/// Writes the binary encoding to a file.
+/// Writes the binary encoding to a file **atomically** (temp file +
+/// rename via [`crate::atomic_write`]): a crash mid-write leaves the
+/// previous file intact, never a truncated one at `path`.
 pub fn save_binary(g: &Graph, path: impl AsRef<std::path::Path>) -> Result<(), GraphError> {
-    std::fs::write(path, encode(g))?;
+    let bytes = encode(g)?;
+    atomic_write(path, &bytes)?;
     Ok(())
 }
 
@@ -149,7 +191,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let g = sample();
-        let g2 = decode(encode(&g)).unwrap();
+        let g2 = decode(encode(&g).unwrap()).unwrap();
         assert_eq!(g2.n_nodes(), g.n_nodes());
         assert_eq!(g2.n_edges(), g.n_edges());
         assert_eq!(g2.n_types(), g.n_types());
@@ -164,7 +206,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_magic() {
-        let mut data = encode(&sample()).to_vec();
+        let mut data = encode(&sample()).unwrap().to_vec();
         data[0] = b'X';
         assert!(matches!(
             decode(Bytes::from(data)),
@@ -174,14 +216,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_version() {
-        let mut data = encode(&sample()).to_vec();
+        let mut data = encode(&sample()).unwrap().to_vec();
         data[4] = 99;
         assert!(decode(Bytes::from(data)).is_err());
     }
 
     #[test]
     fn rejects_truncation_everywhere() {
-        let data = encode(&sample());
+        let data = encode(&sample()).unwrap();
         // Every prefix must fail cleanly, never panic.
         for cut in 0..data.len() {
             let sliced = data.slice(0..cut);
@@ -192,7 +234,7 @@ mod tests {
     #[test]
     fn rejects_out_of_range_type() {
         let g = sample();
-        let mut data = encode(&g).to_vec();
+        let mut data = encode(&g).unwrap().to_vec();
         // Node type table starts after magic+version+types+node count.
         // Corrupt the first node's type to 0xFFFF.
         let tyoff = 4 + 2 + 2 + (2 + 4) + (2 + 7) + 4;
@@ -201,6 +243,109 @@ mod tests {
         assert!(matches!(
             decode(Bytes::from(data)),
             Err(GraphError::UnknownType(0xFFFF))
+        ));
+    }
+
+    /// Byte offset of the `n_edges` field in the sample encoding.
+    fn edge_count_offset(data: &[u8]) -> usize {
+        // Everything up to and including the label table, computed by
+        // re-walking the layout (the sample has 2 types, 3 nodes).
+        let mut off = 4 + 2; // magic + version
+        off += 2; // n_types
+        off += 2 + 4; // "user"
+        off += 2 + 7; // "address"
+        off += 4; // n_nodes
+        off += 3 * 2; // node types
+        for label in ["Alice", "Bob", "123 Green St"] {
+            off += 4 + label.len();
+        }
+        assert!(off + 8 <= data.len(), "offset walk out of bounds");
+        off
+    }
+
+    #[test]
+    fn hostile_edge_count_cannot_wrap_bounds_check() {
+        // A crafted n_edges of 2^61 makes `n_edges * 8` wrap to 0 with
+        // unchecked arithmetic — the bounds check would pass and the read
+        // loop would panic. It must be a typed parse error instead.
+        let g = sample();
+        let mut data = encode(&g).unwrap().to_vec();
+        let off = edge_count_offset(&data);
+        data[off..off + 8].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        match decode(Bytes::from(data)) {
+            Err(GraphError::Parse { message, .. }) => {
+                assert!(
+                    message.contains("edges") || message.contains("overflow"),
+                    "{message}"
+                );
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_edge_count_just_past_the_tail() {
+        // Plausible but oversized count: no wrap, plain truncation error.
+        let g = sample();
+        let mut data = encode(&g).unwrap().to_vec();
+        let off = edge_count_offset(&data);
+        data[off..off + 8].copy_from_slice(&1_000_000u64.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(data)),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_node_count_rejected_before_allocation() {
+        // Huge n_nodes with a tiny tail: the checked `n_nodes * 2` budget
+        // test must fire before the node-type Vec is reserved.
+        let mut data = Vec::new();
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&VERSION.to_le_bytes());
+        data.extend_from_slice(&0u16.to_le_bytes()); // no types
+        data.extend_from_slice(&u32::MAX.to_le_bytes()); // n_nodes
+        assert!(matches!(
+            decode(Bytes::from(data)),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_label_length_rejected() {
+        let g = sample();
+        let data = encode(&g).unwrap().to_vec();
+        let off = edge_count_offset(&data) - (4 + "123 Green St".len());
+        let mut data = data;
+        data[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(data)),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_refuses_oversized_type_name() {
+        let mut b = GraphBuilder::new();
+        let long = "x".repeat(u16::MAX as usize + 1);
+        b.add_type(&long);
+        let g = b.build();
+        assert!(matches!(
+            encode(&g),
+            Err(GraphError::TooLarge { ref what, .. }) if what == "type name length"
+        ));
+    }
+
+    #[test]
+    fn encode_refuses_too_many_types() {
+        let mut b = GraphBuilder::new();
+        for i in 0..=u16::MAX as usize {
+            b.add_type(&format!("t{i}"));
+        }
+        let g = b.build();
+        assert!(matches!(
+            encode(&g),
+            Err(GraphError::TooLarge { ref what, .. }) if what == "type count"
         ));
     }
 
@@ -217,9 +362,30 @@ mod tests {
     }
 
     #[test]
+    fn save_binary_is_atomic_over_existing_file() {
+        // Overwriting must go through the temp+rename path: afterwards the
+        // destination decodes cleanly and no temp files remain.
+        let g = sample();
+        let dir = std::env::temp_dir().join(format!("mgp_binary_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        std::fs::write(&path, b"garbage from a previous run").unwrap();
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g2.n_nodes(), g.n_nodes());
+        let extras: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "g.bin")
+            .collect();
+        assert!(extras.is_empty(), "temp litter: {extras:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn empty_graph_roundtrip() {
         let g = GraphBuilder::new().build();
-        let g2 = decode(encode(&g)).unwrap();
+        let g2 = decode(encode(&g).unwrap()).unwrap();
         assert_eq!(g2.n_nodes(), 0);
         assert_eq!(g2.n_edges(), 0);
     }

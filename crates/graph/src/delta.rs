@@ -42,7 +42,7 @@ use crate::{GraphError, NodeId, TypeId};
 /// graph. Edges already present in the base, duplicates within the delta,
 /// and removals of absent edges are tolerated and dropped during
 /// [`Graph::apply_delta`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphDelta {
     base_nodes: u32,
     node_types: Vec<TypeId>,
@@ -149,6 +149,188 @@ impl GraphDelta {
     /// Types of the delta-added nodes, in id order.
     pub fn new_node_types(&self) -> &[TypeId] {
         &self.node_types
+    }
+
+    /// Serialises the delta into the compact journal-record layout
+    /// (little-endian):
+    ///
+    /// ```text
+    /// magic "MGPD" | version u16
+    /// base_nodes u32
+    /// n_new u32   | per new node: type u16
+    ///             | per new node: label_len u32, label bytes
+    /// n_edges u64         | per edge: a u32, b u32
+    /// n_removed_edges u64 | per edge: a u32, b u32
+    /// n_removed_nodes u64 | per node: v u32
+    /// ```
+    ///
+    /// This is the payload of one `mgp-persist` delta-journal record;
+    /// like [`crate::binary::encode`] it refuses dimensions the layout
+    /// cannot hold instead of silently truncating them.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, GraphError> {
+        let too_large = |what: &str, value: usize| GraphError::TooLarge {
+            what: what.to_owned(),
+            value: value as u64,
+            max: u32::MAX as u64,
+        };
+        let mut buf = Vec::with_capacity(
+            32 + self.node_labels.iter().map(|l| l.len() + 6).sum::<usize>()
+                + (self.edges.len() + self.removed_edges.len()) * 8
+                + self.removed_nodes.len() * 4,
+        );
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.base_nodes.to_le_bytes());
+        let n_new = u32::try_from(self.node_types.len())
+            .map_err(|_| too_large("new-node count", self.node_types.len()))?;
+        buf.extend_from_slice(&n_new.to_le_bytes());
+        for ty in &self.node_types {
+            buf.extend_from_slice(&ty.0.to_le_bytes());
+        }
+        for label in &self.node_labels {
+            let len =
+                u32::try_from(label.len()).map_err(|_| too_large("label length", label.len()))?;
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.extend_from_slice(label.as_bytes());
+        }
+        for list in [&self.edges, &self.removed_edges] {
+            buf.extend_from_slice(&(list.len() as u64).to_le_bytes());
+            for (a, b) in list {
+                buf.extend_from_slice(&a.0.to_le_bytes());
+                buf.extend_from_slice(&b.0.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.removed_nodes.len() as u64).to_le_bytes());
+        for v in &self.removed_nodes {
+            buf.extend_from_slice(&v.0.to_le_bytes());
+        }
+        Ok(buf)
+    }
+
+    /// Deserialises a delta previously produced by
+    /// [`GraphDelta::to_bytes`]. All counts are treated as untrusted:
+    /// size arithmetic is checked and malformed input yields a typed
+    /// [`GraphError::Parse`], never a panic — a corrupt journal record
+    /// must be detectable, not fatal. Structural validity against a
+    /// concrete base graph is still [`Graph::apply_delta`]'s job.
+    pub fn from_bytes(data: &[u8]) -> Result<GraphDelta, GraphError> {
+        let mut cur = RecordCursor { data };
+        let fail = |message: &str| GraphError::Parse {
+            line: 0,
+            message: message.to_owned(),
+        };
+
+        let magic = cur.take(4, "header")?;
+        if magic != DELTA_MAGIC {
+            return Err(fail("bad delta magic"));
+        }
+        let version = cur.u16("header")?;
+        if version != DELTA_VERSION {
+            return Err(fail(&format!("unsupported delta version {version}")));
+        }
+
+        let base_nodes = cur.u32("base node count")?;
+        let n_new = cur.u32("new-node count")? as usize;
+        cur.check(n_new, 2, "new-node types")?;
+        let mut node_types = Vec::with_capacity(n_new);
+        for _ in 0..n_new {
+            node_types.push(TypeId(cur.u16("new-node types")?));
+        }
+        let mut node_labels = Vec::with_capacity(n_new);
+        for _ in 0..n_new {
+            let len = cur.u32("label length")? as usize;
+            let bytes = cur.take(len, "label")?;
+            let label = std::str::from_utf8(bytes).map_err(|_| fail("label not utf-8"))?;
+            node_labels.push(label.to_owned());
+        }
+
+        let mut edge_list = |what: &str| -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+            let n = cur.u64_count(what)?;
+            cur.check(n, 8, what)?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                let a = cur.u32(what)?;
+                let b = cur.u32(what)?;
+                list.push((NodeId(a), NodeId(b)));
+            }
+            Ok(list)
+        };
+        let edges = edge_list("edges")?;
+        let removed_edges = edge_list("removed edges")?;
+
+        let n_removed = cur.u64_count("removed nodes")?;
+        cur.check(n_removed, 4, "removed nodes")?;
+        let mut removed_nodes = Vec::with_capacity(n_removed);
+        for _ in 0..n_removed {
+            removed_nodes.push(NodeId(cur.u32("removed nodes")?));
+        }
+        if !cur.data.is_empty() {
+            return Err(fail("trailing bytes after delta record"));
+        }
+        Ok(GraphDelta {
+            base_nodes,
+            node_types,
+            node_labels,
+            edges,
+            removed_edges,
+            removed_nodes,
+        })
+    }
+}
+
+const DELTA_MAGIC: &[u8; 4] = b"MGPD";
+const DELTA_VERSION: u16 = 1;
+
+/// Bounds-checked little-endian reader over an untrusted record: every
+/// read validates the remaining budget first (with checked size
+/// arithmetic for counted payloads), so a corrupt or truncated record is
+/// a typed [`GraphError::Parse`], never a panic.
+struct RecordCursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> RecordCursor<'a> {
+    fn fail(message: String) -> GraphError {
+        GraphError::Parse { line: 0, message }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], GraphError> {
+        if self.data.len() < n {
+            return Err(Self::fail(format!("truncated delta record reading {what}")));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    /// Verifies that `count` items of `width` bytes fit the remaining
+    /// budget without letting the product wrap.
+    fn check(&self, count: usize, width: usize, what: &str) -> Result<(), GraphError> {
+        let bytes = count
+            .checked_mul(width)
+            .ok_or_else(|| Self::fail(format!("{what} count {count} overflows size arithmetic")))?;
+        if self.data.len() < bytes {
+            return Err(Self::fail(format!("truncated delta record reading {what}")));
+        }
+        Ok(())
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, GraphError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, GraphError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a u64 count and narrows it to `usize` with a typed error.
+    fn u64_count(&mut self, what: &str) -> Result<usize, GraphError> {
+        let b = self.take(8, what)?;
+        let n = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        usize::try_from(n)
+            .map_err(|_| Self::fail(format!("{what} count {n} overflows size arithmetic")))
     }
 }
 
@@ -375,6 +557,98 @@ impl Graph {
             removed_edges: doomed,
             removed_nodes,
         })
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn base() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let s = b.add_node(school, "s0");
+        for i in 0..4 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, s).unwrap();
+        }
+        b.build()
+    }
+
+    fn busy_delta(g: &Graph) -> GraphDelta {
+        let mut d = GraphDelta::for_graph(g);
+        let u = d.add_node(TypeId(0), "new-user");
+        let v = d.add_node(TypeId(1), "new-school ✓ unicode");
+        d.add_edge(u, v).unwrap();
+        d.add_edge(NodeId(1), v).unwrap();
+        d.remove_edge(NodeId(2), NodeId(0)).unwrap();
+        d.remove_node(NodeId(3)).unwrap();
+        d
+    }
+
+    #[test]
+    fn roundtrips_bitwise() {
+        let g = base();
+        for d in [GraphDelta::for_graph(&g), busy_delta(&g)] {
+            let bytes = d.to_bytes().unwrap();
+            let back = GraphDelta::from_bytes(&bytes).unwrap();
+            assert_eq!(back, d);
+            // And the re-encoding is byte-identical (canonical form).
+            assert_eq!(back.to_bytes().unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_every_truncation() {
+        let bytes = busy_delta(&base()).to_bytes().unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                GraphDelta::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = busy_delta(&base()).to_bytes().unwrap();
+        bytes.push(0);
+        assert!(GraphDelta::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_cannot_wrap() {
+        // Patch the edge count (after header + node section) to 2^61:
+        // the 8-byte product wraps with unchecked arithmetic.
+        let d = {
+            let g = base();
+            let mut d = GraphDelta::for_graph(&g);
+            d.add_edge(NodeId(0), NodeId(1)).unwrap();
+            d
+        };
+        let mut bytes = d.to_bytes().unwrap();
+        let off = 4 + 2 + 4 + 4; // magic, version, base_nodes, n_new (0 new nodes)
+        bytes[off..off + 8].copy_from_slice(&(1u64 << 61).to_le_bytes());
+        assert!(matches!(
+            GraphDelta::from_bytes(&bytes),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn decoded_delta_applies_identically() {
+        let g = base();
+        let d = busy_delta(&g);
+        let bytes = d.to_bytes().unwrap();
+        let back = GraphDelta::from_bytes(&bytes).unwrap();
+        let a = g.apply_delta(&d).unwrap();
+        let b = g.apply_delta(&back).unwrap();
+        assert_eq!(a.new_edges, b.new_edges);
+        assert_eq!(a.removed_edges, b.removed_edges);
+        assert_eq!(a.new_nodes, b.new_nodes);
+        assert_eq!(a.graph.n_edges(), b.graph.n_edges());
     }
 }
 

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod binary;
 pub mod builder;
 pub mod csr;
@@ -37,7 +38,9 @@ pub mod io;
 pub mod stats;
 pub mod types;
 
+pub use atomic::atomic_write;
 pub use builder::GraphBuilder;
+pub use bytes;
 pub use csr::Graph;
 pub use delta::{GraphDelta, GraphExtension};
 pub use fxhash::{FxHashMap, FxHashSet};
@@ -65,6 +68,17 @@ pub enum GraphError {
     },
     /// Underlying I/O error (stringified so the error stays `Clone + Eq`).
     Io(String),
+    /// A dimension exceeds what a binary encoding can represent — the
+    /// encoder refuses rather than silently truncating the count and
+    /// producing a file that decodes to a *different* graph.
+    TooLarge {
+        /// What overflowed (e.g. `"type count"`).
+        what: String,
+        /// The actual value.
+        value: u64,
+        /// The largest encodable value.
+        max: u64,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -80,6 +94,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::TooLarge { what, value, max } => {
+                write!(f, "{what} {value} exceeds encodable maximum {max}")
+            }
         }
     }
 }

@@ -100,7 +100,7 @@ proptest! {
         let g = build(&types, &edges);
 
         // Binary.
-        let g2 = mgp_graph::binary::decode(mgp_graph::binary::encode(&g)).unwrap();
+        let g2 = mgp_graph::binary::decode(mgp_graph::binary::encode(&g).unwrap()).unwrap();
         prop_assert_eq!(g2.n_nodes(), g.n_nodes());
         prop_assert_eq!(g2.n_edges(), g.n_edges());
         for (a, b) in g.edges() {

@@ -144,6 +144,96 @@ impl VectorIndex {
         }
     }
 
+    /// Rebuilds an index from its raw-count columns — the warm-start
+    /// path of the `mgp-persist` snapshot format, which stores only
+    /// `(key, coord, raw count)` triples. The transformed sparse vectors
+    /// and partner lists are pure functions of the raw counts (every
+    /// [`Transform`] is deterministic per entry and the vectors are
+    /// coordinate-sorted), so the result is **bit-identical** to the
+    /// index the raw columns were exported from, regardless of hash-map
+    /// iteration order at export time.
+    ///
+    /// Each raw vector must be coordinate-sorted with strictly positive
+    /// counts and in-range coordinates — the invariant
+    /// [`VectorIndex::iter_node_raw`]/[`VectorIndex::iter_pair_raw`]
+    /// exports. Violations are rejected with a message naming the
+    /// offending key.
+    pub fn from_raw_parts(
+        n_metagraphs: usize,
+        transform: Transform,
+        node_raw: FxHashMap<u32, RawVec>,
+        pair_raw: FxHashMap<u64, RawVec>,
+    ) -> Result<Self, String> {
+        for (key, v) in node_raw
+            .iter()
+            .map(|(k, v)| (*k as u64, v))
+            .chain(pair_raw.iter().map(|(k, v)| (*k, v)))
+        {
+            if v.is_empty() {
+                return Err(format!("raw vector of key {key} is empty"));
+            }
+            for pair in v.windows(2) {
+                if pair[0].0 >= pair[1].0 {
+                    return Err(format!("raw vector of key {key} is not coordinate-sorted"));
+                }
+            }
+            for &(coord, cnt) in v {
+                if coord as usize >= n_metagraphs {
+                    return Err(format!(
+                        "raw vector of key {key} has coordinate {coord} out of range"
+                    ));
+                }
+                if cnt == 0 {
+                    return Err(format!("raw vector of key {key} stores a zero count"));
+                }
+            }
+        }
+
+        let apply = |v: &RawVec| -> SparseVec {
+            v.iter()
+                .map(|&(i, cnt)| (i, transform.apply(cnt)))
+                .collect()
+        };
+        let node_vecs: FxHashMap<u32, SparseVec> =
+            node_raw.iter().map(|(&x, v)| (x, apply(v))).collect();
+        let pair_vecs: FxHashMap<u64, SparseVec> =
+            pair_raw.iter().map(|(&k, v)| (k, apply(v))).collect();
+        let mut partners: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &key in pair_vecs.keys() {
+            let (x, y) = mgp_graph::ids::unpack_pair(key);
+            partners.entry(x.0).or_default().push(y.0);
+            partners.entry(y.0).or_default().push(x.0);
+        }
+        for v in partners.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        Ok(VectorIndex {
+            n_metagraphs,
+            transform,
+            node_vecs,
+            pair_vecs,
+            partners,
+            node_raw,
+            pair_raw,
+        })
+    }
+
+    /// Iterates over every `(node, raw counts)` column, in arbitrary
+    /// order — the snapshot export path ([`VectorIndex::from_raw_parts`]
+    /// is the inverse). Each column is coordinate-sorted.
+    pub fn iter_node_raw(&self) -> impl Iterator<Item = (NodeId, &[(u32, u64)])> {
+        self.node_raw
+            .iter()
+            .map(|(&x, v)| (NodeId(x), v.as_slice()))
+    }
+
+    /// Iterates over every `(packed pair, raw counts)` column, in
+    /// arbitrary order (unpack with [`mgp_graph::ids::unpack_pair`]).
+    pub fn iter_pair_raw(&self) -> impl Iterator<Item = (u64, &[(u32, u64)])> {
+        self.pair_raw.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
     /// Number of metagraph coordinates `|M|`.
     pub fn n_metagraphs(&self) -> usize {
         self.n_metagraphs
@@ -717,6 +807,74 @@ mod tests {
         assert_eq!(idx.pair_vec(NodeId(1), NodeId(2)), &[(0, 1.0)]);
         assert_eq!(Transform::Binary.apply(0), 0.0);
         assert_eq!(Transform::Binary.apply(100), 1.0);
+    }
+
+    /// Round-trips an index through its raw columns and asserts every
+    /// observable table is restored bit-identically.
+    fn assert_raw_roundtrip(idx: &VectorIndex) {
+        let node_raw: Map<u32, RawVec> = idx
+            .iter_node_raw()
+            .map(|(x, v)| (x.0, v.to_vec()))
+            .collect();
+        let pair_raw: Map<u64, RawVec> =
+            idx.iter_pair_raw().map(|(k, v)| (k, v.to_vec())).collect();
+        let back =
+            VectorIndex::from_raw_parts(idx.n_metagraphs(), idx.transform(), node_raw, pair_raw)
+                .unwrap();
+        assert_eq!(back.n_metagraphs(), idx.n_metagraphs());
+        assert_eq!(back.transform(), idx.transform());
+        assert_eq!(back.n_nodes(), idx.n_nodes());
+        assert_eq!(back.n_pairs(), idx.n_pairs());
+        for (x, v) in idx.iter_nodes() {
+            assert_eq!(back.node_vec(x), v, "node {x:?}");
+            assert_eq!(back.partners(x), idx.partners(x), "partners of {x:?}");
+        }
+        for (k, v) in idx.iter_pairs() {
+            let (x, y) = mgp_graph::ids::unpack_pair(k);
+            assert_eq!(back.pair_vec(x, y), v, "pair {k}");
+        }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_is_bit_identical() {
+        for t in [Transform::Raw, Transform::Log1p, Transform::Binary] {
+            assert_raw_roundtrip(&sample_index(t));
+        }
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_after_delta() {
+        // The export invariant must survive churn: apply a delta that
+        // zeroes coordinate 0 everywhere and grows coordinate 1, then
+        // round-trip.
+        let mut idx = sample_index(Transform::Log1p);
+        let mut c0 = CountDelta::default();
+        c0.accumulate(&counts(&[(1, 3), (2, 3)], &[((1, 2), 3)]), -1);
+        let mut c1 = CountDelta::default();
+        c1.accumulate(&counts(&[(4, 7), (1, 1)], &[((1, 4), 7)]), 1);
+        let delta = IndexDelta {
+            counts: vec![c0, c1],
+        };
+        let _ = idx.apply_delta(&delta);
+        assert_raw_roundtrip(&idx);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_broken_invariants() {
+        let mk = |v: RawVec| {
+            let mut node_raw: Map<u32, RawVec> = Map::default();
+            node_raw.insert(7, v);
+            VectorIndex::from_raw_parts(2, Transform::Raw, node_raw, Map::default())
+        };
+        assert!(mk(vec![]).is_err(), "empty vector accepted");
+        assert!(mk(vec![(1, 2), (0, 1)]).is_err(), "unsorted accepted");
+        assert!(
+            mk(vec![(0, 1), (0, 2)]).is_err(),
+            "duplicate coord accepted"
+        );
+        assert!(mk(vec![(5, 1)]).is_err(), "out-of-range coord accepted");
+        assert!(mk(vec![(0, 0)]).is_err(), "zero count accepted");
+        assert!(mk(vec![(0, 1), (1, 2)]).is_ok());
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub use cache::LruCache;
 pub use frontend::{Frontend, FrontendConfig, FrontendError, FrontendStats, Ticket};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{
-    ClassCacheStats, ClassDelta, DeltaStats, EpochPin, EpochStats, FusedDeltaStats, QueryError,
-    QueryServer, RankedList, ServeConfig, ServerHandle, ServerStats, TableStats,
+    ClassCacheStats, ClassDelta, ClassExport, DeltaStats, EpochPin, EpochStats, FusedDeltaStats,
+    PostingExport, QueryError, QueryServer, RankedList, ServeConfig, ServerHandle, ServerStats,
+    TableStats, ABSENT_SCORE,
 };

@@ -159,6 +159,44 @@ impl ServeConfig {
 /// so the sentinel can never collide with a live score.
 const ABSENT: f64 = f64::NEG_INFINITY;
 
+/// The sentinel marking "this class has no entry for this candidate" in
+/// an exported score column ([`PostingExport::columns`]). Snapshot
+/// readers and writers must preserve it bit-for-bit.
+pub const ABSENT_SCORE: f64 = ABSENT;
+
+/// One anchor's fused posting block in export form — the payload
+/// [`QueryServer::export_postings`] emits and
+/// [`QueryServer::from_parts`] installs. The field layout mirrors the
+/// internal structure-of-arrays block: one ascending candidate array
+/// plus one dense score column per class slot (a column may be missing
+/// for classes registered after the block was last rebuilt, which is
+/// equivalent to all-[`ABSENT_SCORE`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostingExport {
+    /// The anchor (query) node id owning this block.
+    pub anchor: u32,
+    /// Candidate node ids, strictly ascending — the union of every
+    /// class's partner set for this anchor.
+    pub candidates: Vec<u32>,
+    /// Per-class-slot score columns, each exactly `candidates.len()`
+    /// long; absent entries hold [`ABSENT_SCORE`].
+    pub columns: Vec<Vec<f64>>,
+}
+
+/// A class to register on the warm-start path
+/// ([`QueryServer::from_parts`]): the same `(name, index, weights)`
+/// triple [`QueryServer::add_class`] takes, borrowed so callers can
+/// hand over their model storage without cloning.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassExport<'a> {
+    /// Class name (the id is the position in the slice).
+    pub name: &'a str,
+    /// The class's restricted vector index.
+    pub index: &'a VectorIndex,
+    /// Learned weights, one per index coordinate.
+    pub weights: &'a [f64],
+}
+
 /// Chunk width of the fused scoring sweep: the per-chunk max reduction
 /// and the gated copy both run over fixed 8-wide lanes, the shape LLVM
 /// auto-vectorizes on every target with 128/256-bit vector units.
@@ -1129,6 +1167,128 @@ impl QueryServer {
         slot
     }
 
+    /// Exports every shard's fused posting blocks, sorted by anchor id —
+    /// the serving-table payload of the `mgp-persist` snapshot format.
+    /// Candidate arrays and score columns are copied bit-for-bit
+    /// (absent entries keep the [`ABSENT_SCORE`] sentinel), so a server
+    /// rebuilt with [`QueryServer::from_parts`] answers identically to
+    /// this one without recomputing a single posting. The export is
+    /// shard-count-independent: anchors are re-distributed by
+    /// `anchor % n_shards` on import, so the snapshot can be reopened
+    /// with a different shard layout.
+    ///
+    /// Each shard is read from one pinned epoch snapshot, so a concurrent
+    /// delta never tears an individual block; callers that need a single
+    /// cross-shard cut (e.g. a snapshot paired with a journal sequence
+    /// number) should quiesce ingest around the call, as
+    /// `SearchEngine::save_snapshot` does.
+    pub fn export_postings(&self) -> Vec<PostingExport> {
+        let mut out = Vec::new();
+        for sid in 0..self.n_shards {
+            let snap = self.snapshot_shard(sid);
+            for (&q, block) in &snap.blocks {
+                out.push(PostingExport {
+                    anchor: q,
+                    candidates: block.candidates.clone(),
+                    columns: block.columns.clone(),
+                });
+            }
+        }
+        out.sort_unstable_by_key(|b| b.anchor);
+        out
+    }
+
+    /// Rebuilds a server from registered-class descriptions plus the
+    /// posting blocks a previous [`QueryServer::export_postings`]
+    /// returned — the warm-start path. The per-class dot tables are
+    /// recomputed from each class's index (entry-for-entry with
+    /// `mgp_index::dot`, exactly as [`QueryServer::add_class`] does — the
+    /// tables are pure per-entry functions, so hash iteration order
+    /// cannot change them), while the expensive posting construction is
+    /// skipped entirely: the exported blocks are installed as-is,
+    /// re-sharded by `anchor % n_shards`.
+    ///
+    /// The result answers bit-identically to registering every class
+    /// from scratch (asserted by tests and `bench_persist`). Blocks are
+    /// validated structurally — unsorted or duplicate candidates,
+    /// column-length mismatches, column counts beyond the class count,
+    /// or duplicate anchors are rejected with a message — so a corrupt
+    /// snapshot fails loudly instead of serving garbage.
+    pub fn from_parts(
+        cfg: ServeConfig,
+        classes: &[ClassExport<'_>],
+        postings: Vec<PostingExport>,
+    ) -> Result<Self, String> {
+        let mut server = QueryServer::new(cfg);
+        for c in classes {
+            let mut node_dots: FxHashMap<u32, f64> =
+                FxHashMap::with_capacity_and_hasher(c.index.n_nodes(), Default::default());
+            for (x, v) in c.index.iter_nodes() {
+                node_dots.insert(x.0, mgp_index::dot(v, c.weights));
+            }
+            let mut pair_dots: FxHashMap<u64, f64> =
+                FxHashMap::with_capacity_and_hasher(c.index.n_pairs(), Default::default());
+            for (key, v) in c.index.iter_pairs() {
+                pair_dots.insert(key, mgp_index::dot(v, c.weights));
+            }
+            if server.classes.iter().any(|s| s.name == c.name) {
+                return Err(format!("class {:?} appears twice", c.name));
+            }
+            server.classes.push(ClassState::new(
+                c.name,
+                WriterState {
+                    weights: c.weights.to_vec(),
+                    node_dots,
+                    pair_dots,
+                },
+            ));
+        }
+
+        let n_classes = server.classes.len();
+        let mut per_shard: Vec<FxHashMap<u32, Arc<FusedBlock>>> =
+            (0..server.n_shards).map(|_| FxHashMap::default()).collect();
+        for p in postings {
+            if p.columns.len() > n_classes {
+                return Err(format!(
+                    "anchor {} has {} columns but only {n_classes} classes are registered",
+                    p.anchor,
+                    p.columns.len()
+                ));
+            }
+            for (cid, col) in p.columns.iter().enumerate() {
+                if col.len() != p.candidates.len() {
+                    return Err(format!(
+                        "anchor {} column {cid} has {} entries for {} candidates",
+                        p.anchor,
+                        col.len(),
+                        p.candidates.len()
+                    ));
+                }
+            }
+            if p.candidates.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "anchor {} candidates are not strictly ascending",
+                    p.anchor
+                ));
+            }
+            let sid = p.anchor as usize % server.n_shards;
+            let block = FusedBlock {
+                candidates: p.candidates,
+                columns: p.columns,
+            };
+            if per_shard[sid].insert(p.anchor, Arc::new(block)).is_some() {
+                return Err(format!("anchor {} appears twice", p.anchor));
+            }
+        }
+        for (sid, blocks) in per_shard.into_iter().enumerate() {
+            server.shards[sid].current.store(Arc::new(Shard {
+                blocks,
+                generations: (0..n_classes).map(|_| Default::default()).collect(),
+            }));
+        }
+        Ok(server)
+    }
+
     /// The id of a registered class.
     pub fn class_id(&self, name: &str) -> Option<usize> {
         self.classes.iter().position(|c| c.name == name)
@@ -2071,6 +2231,76 @@ mod tests {
 
     fn reference(idx: &VectorIndex, w: &[f64], q: NodeId, k: usize) -> RankedList {
         mgp_learning::mgp::rank_with_scores(idx, q, w, k)
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_bit_identical() {
+        let (srv, idx, w) = server(0);
+        let postings = srv.export_postings();
+        assert!(!postings.is_empty());
+        // Re-shard on import: 5 shards instead of 3.
+        let back = QueryServer::from_parts(
+            ServeConfig {
+                workers: 2,
+                shards: 5,
+                cache_capacity: 0,
+            },
+            &[ClassExport {
+                name: "demo",
+                index: &idx,
+                weights: &w,
+            }],
+            postings.clone(),
+        )
+        .unwrap();
+        assert_eq!(back.class_id("demo"), Some(0));
+        for q in 0..6u32 {
+            for k in [0, 1, 2, 10] {
+                assert_eq!(*back.rank(0, NodeId(q), k), *srv.rank(0, NodeId(q), k));
+            }
+        }
+        assert_eq!(back.table_stats(0), srv.table_stats(0));
+        // A second export from the rebuilt server is identical too.
+        assert_eq!(back.export_postings(), postings);
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_blocks() {
+        let (srv, idx, w) = server(0);
+        let classes = [ClassExport {
+            name: "demo",
+            index: &idx,
+            weights: &w,
+        }];
+        let cfg = || ServeConfig {
+            workers: 1,
+            shards: 2,
+            cache_capacity: 0,
+        };
+        let good = srv.export_postings();
+
+        let mut unsorted = good.clone();
+        unsorted[0].candidates.reverse();
+        let mut short_col = good.clone();
+        short_col[0].columns[0].pop();
+        let mut extra_col = good.clone();
+        let n = extra_col[0].candidates.len();
+        extra_col[0].columns = vec![vec![0.0; n]; 3];
+        let mut dup = good.clone();
+        let copy = dup[0].clone();
+        dup.push(copy);
+        for (what, bad) in [
+            ("unsorted candidates", unsorted),
+            ("short column", short_col),
+            ("too many columns", extra_col),
+            ("duplicate anchor", dup),
+        ] {
+            assert!(
+                QueryServer::from_parts(cfg(), &classes, bad).is_err(),
+                "{what} accepted"
+            );
+        }
+        assert!(QueryServer::from_parts(cfg(), &classes, good).is_ok());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! CRC-32 (IEEE 802.3, the zlib/`crc32fast` polynomial), table-driven.
+//! Vendored because the build environment is offline; the table is a
+//! compile-time constant so there is no runtime init.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 of `bytes` (IEEE polynomial, standard init/final XOR — matches
+/// zlib's `crc32` and the `crc32fast` crate).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed `state` (start from `0xFFFF_FFFF`, finish by
+/// XORing with `0xFFFF_FFFF`) through successive chunks.
+pub(crate) fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for this polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut s = 0xFFFF_FFFF;
+        for chunk in data.chunks(7) {
+            s = crc32_update(s, chunk);
+        }
+        assert_eq!(s ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"some payload worth protecting".to_vec();
+        let clean = crc32(&data);
+        for i in 0..data.len() * 8 {
+            data[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&data), clean, "bit {i} flip undetected");
+            data[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

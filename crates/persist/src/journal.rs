@@ -1,0 +1,346 @@
+//! The delta journal: an append-only write-ahead log of
+//! [`GraphDelta`] records. Each ingest appends one record and
+//! `fsync`s before the in-memory commit, so a crash at any instant
+//! loses at most the delta being written — and that torn tail is
+//! detected by checksum/length and truncated away on reopen, never
+//! reported as corruption.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0: magic "MGPJRNL\x01"                          (8 bytes)
+//! 8: record*
+//!    record = seq u64 | len u32 | crc32 u32 | payload[len]
+//!    crc32 covers seq's 8 LE bytes ++ payload
+//! ```
+//!
+//! Sequence numbers start at 1 and must increase by exactly 1 per
+//! record; a snapshot stores the last sequence it covers so warm start
+//! replays only `seq > covered`.
+
+use crate::crc::crc32;
+use crate::PersistError;
+use mgp_graph::GraphDelta;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MGPJRNL\x01";
+const RECORD_HEADER: usize = 16; // seq u64 + len u32 + crc u32
+
+/// What [`Journal::open`] found on disk: the decoded records and
+/// whether a torn tail had to be dropped.
+#[derive(Debug)]
+pub struct JournalRecovery {
+    /// Every intact record, in order: `(sequence, delta)`.
+    pub records: Vec<(u64, GraphDelta)>,
+    /// Bytes of a torn (incomplete or checksum-failing) final record
+    /// that were truncated away. `0` means the file ended cleanly.
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-position journal file.
+///
+/// Obtained from [`Journal::create`] (new file) or [`Journal::open`]
+/// (existing file, with tail recovery). Appends are durable: each
+/// [`Journal::append`] writes one framed record and syncs file data
+/// before returning.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, overwriting any existing file.
+    /// The first appended record gets sequence 1.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_all()?;
+        Ok(Journal { file, next_seq: 1 })
+    }
+
+    /// Opens an existing journal, decoding every record. A final record
+    /// cut short by a crash — incomplete header, payload shorter than
+    /// its length prefix, or a checksum mismatch *at the very tail* —
+    /// is truncated off the file and reported in
+    /// [`JournalRecovery::truncated_bytes`]. Corruption anywhere
+    /// *before* the tail (a record that decodes but is followed by more
+    /// intact data after a bad one) still truncates at the first bad
+    /// record: everything after it is unreachable without its sequence
+    /// link, so the journal keeps the longest intact prefix.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, JournalRecovery), PersistError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::Corrupt("bad journal magic".into()));
+        }
+
+        let mut records = Vec::new();
+        let mut at = MAGIC.len();
+        let mut expect_seq = 1u64;
+        let valid_end;
+        loop {
+            if at == data.len() {
+                valid_end = at;
+                break;
+            }
+            let Some(rec) = decode_record(&data[at..], expect_seq) else {
+                valid_end = at;
+                break;
+            };
+            let (delta, consumed) = rec?;
+            records.push((expect_seq, delta));
+            expect_seq += 1;
+            at += consumed;
+        }
+
+        let truncated_bytes = (data.len() - valid_end) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(valid_end as u64)?;
+            file.sync_all()?;
+        }
+        // Reposition for appends: set_len does not move the cursor, and
+        // read_to_end left it at the (old) end.
+        use std::io::{Seek, SeekFrom};
+        file.seek(SeekFrom::Start(valid_end as u64))?;
+
+        Ok((
+            Journal {
+                file,
+                next_seq: expect_seq,
+            },
+            JournalRecovery {
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// Appends one delta as the next record and syncs file data to disk
+    /// before returning. On success the record is durable: a crash
+    /// immediately after `append` returns will replay it.
+    pub fn append(&mut self, delta: &GraphDelta) -> Result<u64, PersistError> {
+        let payload = delta.to_bytes()?;
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            PersistError::Corrupt(format!(
+                "delta payload of {} bytes exceeds journal record limit",
+                payload.len()
+            ))
+        })?;
+        let seq = self.next_seq;
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&seq.to_le_bytes());
+        crc_input.extend_from_slice(&payload);
+        let crc = crc32(&crc_input);
+
+        let mut frame = Vec::with_capacity(RECORD_HEADER + payload.len());
+        frame.extend_from_slice(&seq.to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&crc.to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// The sequence number the next [`Journal::append`] will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The sequence number of the last durable record (`0` if none).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+}
+
+/// Tries to decode one record at the start of `data`. Returns `None`
+/// when the bytes look like a torn tail (to be truncated): incomplete
+/// header, payload extending past the end, checksum mismatch, or a
+/// sequence number that is not the expected next one. Returns
+/// `Some(Err)` only for payloads that frame correctly but fail the
+/// delta codec — that is real corruption, not a torn write.
+#[allow(clippy::type_complexity)]
+fn decode_record(
+    data: &[u8],
+    expect_seq: u64,
+) -> Option<Result<(GraphDelta, usize), PersistError>> {
+    if data.len() < RECORD_HEADER {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+    let len = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes"));
+    let total = RECORD_HEADER.checked_add(len)?;
+    if seq != expect_seq || data.len() < total {
+        return None;
+    }
+    let payload = &data[RECORD_HEADER..total];
+    let mut crc_input = Vec::with_capacity(8 + len);
+    crc_input.extend_from_slice(&data[..8]);
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != crc {
+        return None;
+    }
+    Some(
+        GraphDelta::from_bytes(payload)
+            .map(|d| (d, total))
+            .map_err(PersistError::from),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mgp_journal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_deltas() -> Vec<GraphDelta> {
+        use mgp_graph::{GraphBuilder, NodeId};
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let n0 = b.add_node(user, "n0");
+        let n1 = b.add_node(user, "n1");
+        let n2 = b.add_node(user, "n2");
+        b.add_edge(n0, n1).unwrap();
+        b.add_edge(n1, n2).unwrap();
+        let g = b.build();
+
+        let mut a = GraphDelta::for_graph(&g);
+        let fresh = a.add_node(user, "alpha");
+        a.add_edge(NodeId(0), fresh).unwrap();
+        let mut b = GraphDelta::for_graph(&g);
+        b.remove_edge(NodeId(0), NodeId(1)).unwrap();
+        let mut c = GraphDelta::for_graph(&g);
+        c.remove_node(NodeId(2)).unwrap();
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let path = tmp("roundtrip.wal");
+        let deltas = sample_deltas();
+        {
+            let mut j = Journal::create(&path).unwrap();
+            for (i, d) in deltas.iter().enumerate() {
+                assert_eq!(j.append(d).unwrap(), i as u64 + 1);
+            }
+            assert_eq!(j.last_seq(), 3);
+        }
+        let (j, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.records.len(), 3);
+        for (i, (seq, d)) in rec.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert_eq!(d, &deltas[i]);
+        }
+        assert_eq!(j.next_seq(), 4);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn append_after_reopen_continues_sequence() {
+        let path = tmp("continue.wal");
+        let deltas = sample_deltas();
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(&deltas[0]).unwrap();
+        }
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            assert_eq!(j.append(&deltas[1]).unwrap(), 2);
+        }
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.records[1].1, deltas[1]);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// A crash mid-append leaves a partial record at the tail; every
+    /// possible cut point must recover to the intact prefix.
+    #[test]
+    fn torn_tail_truncates_at_every_cut_point() {
+        let path = tmp("torn.wal");
+        let deltas = sample_deltas();
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&deltas[0]).unwrap();
+        j.append(&deltas[1]).unwrap();
+        let two = std::fs::read(&path).unwrap();
+        j.append(&deltas[2]).unwrap();
+        drop(j);
+        let three = std::fs::read(&path).unwrap();
+
+        for cut in two.len() + 1..three.len() {
+            std::fs::write(&path, &three[..cut]).unwrap();
+            let (mut j, rec) = Journal::open(&path).unwrap();
+            assert_eq!(rec.records.len(), 2, "cut at {cut}");
+            assert_eq!(rec.truncated_bytes, (cut - two.len()) as u64);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), two.len() as u64);
+            // The journal stays usable: the tail slot is rewritten.
+            assert_eq!(j.append(&deltas[2]).unwrap(), 3);
+            let (_, rec) = Journal::open(&path).unwrap();
+            assert_eq!(rec.records.len(), 3);
+            assert_eq!(rec.records[2].1, deltas[2]);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_is_truncated() {
+        let path = tmp("flip.wal");
+        let deltas = sample_deltas();
+        let mut j = Journal::create(&path).unwrap();
+        j.append(&deltas[0]).unwrap();
+        let one = std::fs::read(&path).unwrap().len();
+        j.append(&deltas[1]).unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload byte of the final record
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.records[0].1, deltas[0]);
+        assert!(rec.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), one as u64);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_journal_recovers_empty() {
+        let path = tmp("empty.wal");
+        Journal::create(&path).unwrap();
+        let (j, rec) = Journal::open(&path).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(j.next_seq(), 1);
+        assert_eq!(j.last_seq(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error_not_a_truncation() {
+        let path = tmp("magic.wal");
+        std::fs::write(&path, b"NOTAJRNL").unwrap();
+        assert!(matches!(
+            Journal::open(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::write(&path, b"MG").unwrap();
+        assert!(Journal::open(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,86 @@
+//! # mgp-persist — mmap-backed snapshots and the delta journal
+//!
+//! The durability layer of the engine: a restart should *map* its state
+//! back, not recompute it. Two artifacts cooperate:
+//!
+//! * **Snapshot** ([`SnapshotWriter`] / [`Snapshot`]): one file of
+//!   page-aligned *typed sections* behind a checksummed section table.
+//!   Writers append named sections (raw `u32`/`u64`/`f64` columns, or
+//!   opaque byte payloads like the graph's binary encoding) and publish
+//!   the file atomically (temp + rename via [`mgp_graph::atomic_write`]).
+//!   Readers memory-map the file and hand out **typed slices straight
+//!   over the mapped region** — the `TypedMemoryMap` idiom: zero parse,
+//!   zero copy on load; every section's CRC-32 is verified once at open
+//!   so corruption fails loudly before anything is served.
+//! * **Journal** ([`Journal`]): an append-only log of
+//!   length-prefixed, CRC-checksummed, sequence-numbered
+//!   [`GraphDelta`](mgp_graph::GraphDelta) records, `fsync`ed per
+//!   append. A snapshot records the last journal sequence it covers, so
+//!   a warm start replays only the tail — and a record torn by a crash
+//!   mid-append is *truncated*, not fatal.
+//!
+//! Orchestration (which sections exist, what they mean) lives in
+//! `mgp-core::SearchEngine::{save_snapshot, open_snapshot}`; this crate
+//! is the format layer and knows nothing about engines.
+//!
+//! Both layouts follow the same discipline as the graph binary codec:
+//! explicit magic + version, checked size arithmetic on every untrusted
+//! count, typed errors — never a panic — on malformed input.
+
+#![warn(missing_docs)]
+
+mod crc;
+mod journal;
+mod mmap;
+mod snapshot;
+
+pub use crc::crc32;
+pub use journal::{Journal, JournalRecovery};
+pub use mmap::MappedFile;
+pub use snapshot::{Snapshot, SnapshotWriter, SECTION_ALIGN};
+
+/// Why a persistence operation failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A snapshot or journal file is structurally invalid (bad magic,
+    /// out-of-bounds section, checksum mismatch in a *non-tail* journal
+    /// record, …).
+    Corrupt(String),
+    /// A graph payload inside an otherwise valid container failed to
+    /// decode or apply.
+    Graph(mgp_graph::GraphError),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt persistence file: {m}"),
+            PersistError::Graph(e) => write!(f, "graph payload error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+            PersistError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<mgp_graph::GraphError> for PersistError {
+    fn from(e: mgp_graph::GraphError) -> Self {
+        PersistError::Graph(e)
+    }
+}

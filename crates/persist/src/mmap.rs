@@ -1,0 +1,207 @@
+//! Read-only file mapping without external crates: on unix the mapping
+//! goes through raw `mmap(2)`/`munmap(2)` declarations (libc is already
+//! linked by std); elsewhere the file is read into an 8-byte-aligned
+//! heap buffer with the same interface. Either way the base address is
+//! at least 8-byte aligned, so page-aligned section offsets stay aligned
+//! for every scalar type the snapshot stores (`u32`/`u64`/`f64`).
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A read-only view of a whole file, memory-mapped where the platform
+/// allows and heap-backed otherwise. The bytes are reachable via
+/// [`MappedFile::as_bytes`] for the lifetime of the value.
+#[derive(Debug)]
+pub struct MappedFile {
+    ptr: *const u8,
+    len: usize,
+    backing: Backing,
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// `munmap` on drop.
+    #[cfg(unix)]
+    Mmap,
+    /// The u64 backing guarantees 8-byte base alignment.
+    Heap(#[allow(dead_code)] Vec<u64>),
+}
+
+// The mapping is read-only and the pointer is owned exclusively by this
+// value until drop, so sharing references across threads is safe.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Maps `path` read-only. On unix this is a true `mmap` (the kernel
+    /// pages data in lazily — opening a multi-GB snapshot costs no read
+    /// I/O up front); on other platforms the file is read eagerly into
+    /// an aligned buffer. Empty files yield an empty mapping.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        if len == 0 {
+            return Ok(MappedFile {
+                ptr: std::ptr::NonNull::<u64>::dangling().as_ptr() as *const u8,
+                len: 0,
+                backing: Backing::Heap(Vec::new()),
+            });
+        }
+
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid open file, len is its exact size,
+            // and PROT_READ/MAP_PRIVATE request a read-only private
+            // mapping the kernel owns until the matching munmap in Drop.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr != sys::MAP_FAILED {
+                return Ok(MappedFile {
+                    ptr: ptr as *const u8,
+                    len,
+                    backing: Backing::Mmap,
+                });
+            }
+            // Fall through to the heap path (e.g. a filesystem that
+            // refuses mmap); correctness does not depend on mapping.
+        }
+
+        Self::read_heap(file, len)
+    }
+
+    fn read_heap(mut file: File, len: usize) -> io::Result<Self> {
+        use std::io::Read;
+        let mut buf: Vec<u64> = vec![0; len.div_ceil(8)];
+        // SAFETY: the u64 buffer owns at least `len` writable bytes; u8
+        // has no validity constraints.
+        let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        file.read_exact(bytes)?;
+        Ok(MappedFile {
+            ptr: buf.as_ptr() as *const u8,
+            len,
+            backing: Backing::Heap(buf),
+        })
+    }
+
+    /// The mapped contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe the live mapping (or heap buffer)
+        // owned by self; the memory is immutable for self's lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Number of mapped bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if matches!(self.backing, Backing::Mmap) {
+            // SAFETY: ptr/len came from a successful mmap of this length
+            // and are unmapped exactly once.
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mgp_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = tmp("small.bin", b"hello mapped world");
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.as_bytes(), b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty.bin", b"");
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_bytes(), b"");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn base_is_8_byte_aligned() {
+        let path = tmp("aligned.bin", &[7u8; 4096 * 2 + 3]);
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.as_bytes().as_ptr() as usize % 8, 0);
+        assert!(map.as_bytes().iter().all(|&b| b == 7));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn heap_fallback_matches() {
+        let path = tmp("heap.bin", b"fallback contents!");
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        let map = MappedFile::read_heap(File::open(&path).unwrap(), len).unwrap();
+        assert_eq!(map.as_bytes(), b"fallback contents!");
+        assert_eq!(map.as_bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(MappedFile::open("/definitely/not/here.snap").is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! The snapshot container: named, page-aligned, CRC-checksummed byte
+//! sections behind a fixed-size section table, designed so a reader can
+//! hand out **typed slices directly over the memory-mapped file** — the
+//! `TypedMemoryMap` idiom. Nothing in a section is parsed on load; the
+//! only per-byte work at open is the one-time CRC verification.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0:  magic  "MGPSNAP\x01"                      (8 bytes)
+//! 8:  n_sections u64
+//! 16: n_sections × entry {
+//!         tag     [u8; 8]   (zero-padded ascii)
+//!         offset  u64       (from file start, SECTION_ALIGN-aligned)
+//!         len     u64       (bytes)
+//!         crc32   u64       (CRC-32 of the section bytes, zero-extended)
+//!     }
+//! then: table_crc u32       (CRC-32 of everything above it)
+//! …zero padding…
+//! each section at the next SECTION_ALIGN boundary, zero-padded between
+//! ```
+//!
+//! Alignment does double duty: sections start on page boundaries (mmap
+//! prefetch friendliness) and therefore on 8-byte boundaries, making the
+//! typed casts ([`Snapshot::u32s`], [`Snapshot::u64s`],
+//! [`Snapshot::f64s`]) valid wherever the base mapping is 8-aligned —
+//! which [`MappedFile`](crate::MappedFile) guarantees.
+
+use crate::crc::crc32;
+use crate::{MappedFile, PersistError};
+use std::path::Path;
+
+/// Section offsets are multiples of this (one 4 KiB page).
+pub const SECTION_ALIGN: usize = 4096;
+
+const MAGIC: &[u8; 8] = b"MGPSNAP\x01";
+const ENTRY_BYTES: usize = 32;
+const HEADER_BYTES: usize = 16;
+
+fn pad_to(buf: &mut Vec<u8>, align: usize) {
+    let rem = buf.len() % align;
+    if rem != 0 {
+        buf.resize(buf.len() + (align - rem), 0);
+    }
+}
+
+fn tag_bytes(tag: &str) -> Result<[u8; 8], PersistError> {
+    let b = tag.as_bytes();
+    if b.is_empty() || b.len() > 8 || b.iter().any(|&c| c == 0 || !c.is_ascii()) {
+        return Err(PersistError::Corrupt(format!(
+            "section tag {tag:?} must be 1–8 non-NUL ascii bytes"
+        )));
+    }
+    let mut out = [0u8; 8];
+    out[..b.len()].copy_from_slice(b);
+    Ok(out)
+}
+
+/// Accumulates named sections and writes the snapshot file atomically.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    sections: Vec<([u8; 8], Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an opaque byte section. Tags are 1–8 ascii bytes and must
+    /// be unique within the snapshot.
+    pub fn add_section(&mut self, tag: &str, bytes: Vec<u8>) -> Result<(), PersistError> {
+        let tag = tag_bytes(tag)?;
+        if self.sections.iter().any(|(t, _)| *t == tag) {
+            return Err(PersistError::Corrupt(format!(
+                "duplicate section tag {:?}",
+                String::from_utf8_lossy(&tag)
+            )));
+        }
+        self.sections.push((tag, bytes));
+        Ok(())
+    }
+
+    /// Appends a `u32` column as a little-endian section.
+    pub fn add_u32s(&mut self, tag: &str, values: &[u32]) -> Result<(), PersistError> {
+        self.add_section(tag, values.iter().flat_map(|v| v.to_le_bytes()).collect())
+    }
+
+    /// Appends a `u64` column as a little-endian section.
+    pub fn add_u64s(&mut self, tag: &str, values: &[u64]) -> Result<(), PersistError> {
+        self.add_section(tag, values.iter().flat_map(|v| v.to_le_bytes()).collect())
+    }
+
+    /// Appends an `f64` column as a little-endian section, preserving
+    /// every bit pattern (sentinels like `NEG_INFINITY` included).
+    pub fn add_f64s(&mut self, tag: &str, values: &[f64]) -> Result<(), PersistError> {
+        self.add_section(
+            tag,
+            values
+                .iter()
+                .flat_map(|v| v.to_bits().to_le_bytes())
+                .collect(),
+        )
+    }
+
+    /// Serialises the table + sections and publishes the file atomically
+    /// (temp file + fsync + rename): a crash mid-save leaves any
+    /// previous snapshot at `path` untouched.
+    pub fn finish(self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&(self.sections.len() as u64).to_le_bytes());
+        // Table entries and the table CRC are back-patched once offsets
+        // are known.
+        let table_at = buf.len();
+        buf.resize(buf.len() + self.sections.len() * ENTRY_BYTES, 0);
+        let table_end = buf.len();
+        buf.resize(table_end + 4, 0);
+
+        let mut entries = Vec::with_capacity(self.sections.len());
+        for (tag, bytes) in &self.sections {
+            pad_to(&mut buf, SECTION_ALIGN);
+            let offset = buf.len() as u64;
+            buf.extend_from_slice(bytes);
+            entries.push((*tag, offset, bytes.len() as u64, crc32(bytes) as u64));
+        }
+        for (i, (tag, offset, len, crc)) in entries.into_iter().enumerate() {
+            let at = table_at + i * ENTRY_BYTES;
+            buf[at..at + 8].copy_from_slice(&tag);
+            buf[at + 8..at + 16].copy_from_slice(&offset.to_le_bytes());
+            buf[at + 16..at + 24].copy_from_slice(&len.to_le_bytes());
+            buf[at + 24..at + 32].copy_from_slice(&crc.to_le_bytes());
+        }
+        let table_crc = crc32(&buf[..table_end]);
+        buf[table_end..table_end + 4].copy_from_slice(&table_crc.to_le_bytes());
+        mgp_graph::atomic_write(path, &buf)?;
+        Ok(())
+    }
+}
+
+struct SectionEntry {
+    tag: [u8; 8],
+    offset: usize,
+    len: usize,
+}
+
+/// An opened snapshot: the mapped file plus its validated section table.
+/// Section accessors return slices **borrowing the mapping** — no copy,
+/// no parse.
+pub struct Snapshot {
+    map: MappedFile,
+    entries: Vec<SectionEntry>,
+}
+
+impl Snapshot {
+    /// Maps `path` and validates the container: magic, table bounds
+    /// (with checked arithmetic — a hostile section count or offset
+    /// cannot wrap into a "valid" range), section alignment, and every
+    /// section's CRC-32. Any violation is a typed
+    /// [`PersistError::Corrupt`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let map = MappedFile::open(path)?;
+        let data = map.as_bytes();
+        let corrupt = |m: String| PersistError::Corrupt(m);
+        if data.len() < HEADER_BYTES || &data[..8] != MAGIC {
+            return Err(corrupt("bad snapshot magic".into()));
+        }
+        let n = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
+        let n = usize::try_from(n).map_err(|_| corrupt("section count overflows".into()))?;
+        let table_end = n
+            .checked_mul(ENTRY_BYTES)
+            .and_then(|t| t.checked_add(HEADER_BYTES))
+            .filter(|&end| end + 4 <= data.len())
+            .ok_or_else(|| corrupt(format!("section table of {n} entries exceeds file")))?;
+        let stored_crc =
+            u32::from_le_bytes(data[table_end..table_end + 4].try_into().expect("4 bytes"));
+        if crc32(&data[..table_end]) != stored_crc {
+            return Err(corrupt("section table fails its checksum".into()));
+        }
+
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = HEADER_BYTES + i * ENTRY_BYTES;
+            let mut tag = [0u8; 8];
+            tag.copy_from_slice(&data[at..at + 8]);
+            let offset = u64::from_le_bytes(data[at + 8..at + 16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(data[at + 16..at + 24].try_into().expect("8 bytes"));
+            let crc = u64::from_le_bytes(data[at + 24..at + 32].try_into().expect("8 bytes"));
+            let offset = usize::try_from(offset)
+                .map_err(|_| corrupt(format!("section {i} offset overflows")))?;
+            let len = usize::try_from(len)
+                .map_err(|_| corrupt(format!("section {i} length overflows")))?;
+            let end = offset
+                .checked_add(len)
+                .filter(|&e| e <= data.len())
+                .ok_or_else(|| corrupt(format!("section {i} exceeds file bounds")))?;
+            if offset % SECTION_ALIGN != 0 {
+                return Err(corrupt(format!(
+                    "section {i} offset {offset} is misaligned"
+                )));
+            }
+            if offset < table_end + 4 {
+                return Err(corrupt(format!("section {i} overlaps the table")));
+            }
+            if entries.iter().any(|e: &SectionEntry| e.tag == tag) {
+                return Err(corrupt(format!(
+                    "duplicate section tag {:?}",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            if crc32(&data[offset..end]) as u64 != crc {
+                return Err(corrupt(format!(
+                    "section {:?} fails its checksum",
+                    String::from_utf8_lossy(&tag)
+                )));
+            }
+            entries.push(SectionEntry { tag, offset, len });
+        }
+        Ok(Snapshot { map, entries })
+    }
+
+    /// Tags present, in file order.
+    pub fn tags(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .map(|e| {
+                String::from_utf8_lossy(&e.tag)
+                    .trim_end_matches('\0')
+                    .to_owned()
+            })
+            .collect()
+    }
+
+    /// A section's raw bytes (borrowing the mapping), if present.
+    pub fn section(&self, tag: &str) -> Option<&[u8]> {
+        let tag = tag_bytes(tag).ok()?;
+        self.entries
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| &self.map.as_bytes()[e.offset..e.offset + e.len])
+    }
+
+    /// A section required to exist.
+    pub fn require(&self, tag: &str) -> Result<&[u8], PersistError> {
+        self.section(tag)
+            .ok_or_else(|| PersistError::Corrupt(format!("missing section {tag:?}")))
+    }
+
+    /// A required section viewed as a `u32` column, straight over the
+    /// mapping.
+    pub fn u32s(&self, tag: &str) -> Result<&[u32], PersistError> {
+        typed(self.require(tag)?, tag)
+    }
+
+    /// A required section viewed as a `u64` column.
+    pub fn u64s(&self, tag: &str) -> Result<&[u64], PersistError> {
+        typed(self.require(tag)?, tag)
+    }
+
+    /// A required section viewed as an `f64` column (bit patterns
+    /// preserved, sentinels included).
+    pub fn f64s(&self, tag: &str) -> Result<&[f64], PersistError> {
+        typed(self.require(tag)?, tag)
+    }
+}
+
+/// Reinterprets a section as a scalar slice. Sections are
+/// `SECTION_ALIGN`-aligned within a mapping whose base is at least
+/// 8-aligned, so the only runtime checks needed are the length multiple
+/// and (defensively) the final pointer alignment.
+fn typed<'a, T: Scalar>(bytes: &'a [u8], tag: &str) -> Result<&'a [T], PersistError> {
+    let size = std::mem::size_of::<T>();
+    if !bytes.len().is_multiple_of(size) {
+        return Err(PersistError::Corrupt(format!(
+            "section {tag:?} length {} is not a multiple of {size}",
+            bytes.len()
+        )));
+    }
+    if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(PersistError::Corrupt(format!(
+            "section {tag:?} is misaligned for its element type"
+        )));
+    }
+    // SAFETY: length and alignment are checked above, and every bit
+    // pattern is a valid u32/u64/f64 (Scalar is sealed to those).
+    Ok(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, bytes.len() / size) })
+}
+
+/// Sealed marker for the plain-old-data scalars sections may hold.
+trait Scalar: Copy {}
+impl Scalar for u32 {}
+impl Scalar for u64 {}
+impl Scalar for f64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mgp_snapshot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample(path: &Path) {
+        let mut w = SnapshotWriter::new();
+        w.add_section("META", b"{\"v\":1}".to_vec()).unwrap();
+        w.add_u32s("IDS", &[1, 2, 3, u32::MAX]).unwrap();
+        w.add_u64s("COUNTS", &[10, 0, u64::MAX]).unwrap();
+        w.add_f64s("SCORES", &[0.5, -1.25, f64::NEG_INFINITY, f64::NAN])
+            .unwrap();
+        w.finish(path).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_typed_sections() {
+        let path = tmp("basic.snap");
+        sample(&path);
+        let s = Snapshot::open(&path).unwrap();
+        assert_eq!(s.tags(), vec!["META", "IDS", "COUNTS", "SCORES"]);
+        assert_eq!(s.section("META").unwrap(), b"{\"v\":1}");
+        assert_eq!(s.u32s("IDS").unwrap(), &[1, 2, 3, u32::MAX]);
+        assert_eq!(s.u64s("COUNTS").unwrap(), &[10, 0, u64::MAX]);
+        let f = s.f64s("SCORES").unwrap();
+        assert_eq!(f[0], 0.5);
+        assert_eq!(f[1], -1.25);
+        assert_eq!(f[2], f64::NEG_INFINITY);
+        assert!(f[3].is_nan());
+        assert!(s.section("NOPE").is_none());
+        assert!(s.require("NOPE").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sections_are_page_aligned() {
+        let path = tmp("aligned.snap");
+        sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        let s = Snapshot::open(&path).unwrap();
+        for tag in ["META", "IDS", "COUNTS", "SCORES"] {
+            let sec = s.section(tag).unwrap();
+            let off = sec.as_ptr() as usize - s.map.as_bytes().as_ptr() as usize;
+            assert_eq!(off % SECTION_ALIGN, 0, "{tag} misaligned");
+            assert!(off + sec.len() <= bytes.len());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bitflips_anywhere() {
+        let path = tmp("flips.snap");
+        sample(&path);
+        let clean = std::fs::read(&path).unwrap();
+        // Flip a byte in each section region and in the table.
+        for at in [0usize, 9, 20, 4096, 8192, 12288, 16384] {
+            if at >= clean.len() {
+                continue;
+            }
+            let mut bad = clean.clone();
+            bad[at] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(Snapshot::open(&path).is_err(), "flip at {at} accepted");
+        }
+        std::fs::write(&path, &clean).unwrap();
+        assert!(Snapshot::open(&path).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_hostile_section_table() {
+        let path = tmp("hostile.snap");
+        // Huge section count whose table-size product would wrap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // One entry whose offset+len wraps around usize, with a correct
+        // table checksum so the wrap check itself is what rejects it.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(b"EVIL\0\0\0\0");
+        buf.extend_from_slice(&(u64::MAX - 4095).to_le_bytes()); // offset (aligned)
+        buf.extend_from_slice(&4096u64.to_le_bytes()); // len wraps past 0
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let crc = crate::crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        assert!(matches!(
+            Snapshot::open(&path),
+            Err(PersistError::Corrupt(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_files() {
+        let path = tmp("trunc.snap");
+        sample(&path);
+        let clean = std::fs::read(&path).unwrap();
+        for cut in [0, 4, 15, 40, 4095, 4100] {
+            if cut >= clean.len() {
+                continue;
+            }
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(Snapshot::open(&path).is_err(), "prefix {cut} accepted");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn writer_rejects_bad_tags() {
+        let mut w = SnapshotWriter::new();
+        assert!(w.add_section("", vec![]).is_err());
+        assert!(w.add_section("LONGERTHAN8", vec![]).is_err());
+        assert!(w.add_section("ok", vec![]).is_ok());
+        assert!(w.add_section("ok", vec![]).is_err(), "duplicate accepted");
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let path = tmp("empty.snap");
+        SnapshotWriter::new().finish(&path).unwrap();
+        let s = Snapshot::open(&path).unwrap();
+        assert!(s.tags().is_empty());
+        std::fs::remove_file(path).ok();
+    }
+}

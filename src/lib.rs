@@ -31,6 +31,7 @@
 //! | [`datagen`] | synthetic LinkedIn-/Facebook-like datasets + toy graph |
 //! | [`engine`] | offline pipeline + online query facade |
 //! | [`online`] | batched `QueryServer` with live delta updates |
+//! | [`persist`] | mmap snapshot sections + checksummed delta journal |
 
 pub use mgp_core as engine;
 pub use mgp_datagen as datagen;
@@ -42,3 +43,4 @@ pub use mgp_matching as matching;
 pub use mgp_metagraph as metagraph;
 pub use mgp_mining as mining;
 pub use mgp_online as online;
+pub use mgp_persist as persist;
