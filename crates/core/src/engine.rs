@@ -14,6 +14,7 @@ use mgp_mining::{mine, MinerConfig};
 use mgp_online::{
     ClassDelta, DeltaStats, Frontend, FrontendConfig, QueryServer, ServeConfig, ServerHandle,
 };
+use mgp_scenario::{ClassSpec, PatternSelect, WeightSpec};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -200,6 +201,74 @@ impl std::error::Error for IngestError {
 impl From<GraphError> for IngestError {
     fn from(e: GraphError) -> Self {
         IngestError::Graph(e)
+    }
+}
+
+/// Why [`SearchEngine::register_class`] rejected a
+/// [`ClassSpec`]. Rejection is atomic: the
+/// engine's pattern set, count cache, model list and any live server
+/// are untouched when an error comes back.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegisterClassError {
+    /// The spec is malformed on its own terms (empty name/selection,
+    /// non-finite or miscounted weights).
+    Spec(mgp_scenario::SpecError),
+    /// A class with this name already exists — a live server cannot
+    /// atomically replace a class, so runtime registration never
+    /// overwrites (retrain via [`SearchEngine::train_class`] instead).
+    DuplicateClass(String),
+    /// A `Mined` selection indexes past the mined pattern set.
+    UnknownPattern {
+        /// The out-of-range index.
+        index: usize,
+        /// How many patterns the engine has.
+        n_mined: usize,
+    },
+    /// The selection resolved to zero patterns (e.g. `Seeds` on an
+    /// engine whose miner produced no metapaths).
+    EmptyPattern,
+    /// A `Custom` metagraph does not contain the engine's anchor type,
+    /// so it can never contribute to anchor proximity.
+    NoAnchor {
+        /// Position of the offending metagraph in the spec.
+        index: usize,
+    },
+    /// Explicit weight count disagrees with the resolved pattern count.
+    WeightMismatch {
+        /// Resolved pattern count.
+        expected: usize,
+        /// Supplied weight count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for RegisterClassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterClassError::Spec(e) => write!(f, "invalid class spec: {e}"),
+            RegisterClassError::DuplicateClass(name) => {
+                write!(f, "class {name:?} is already registered")
+            }
+            RegisterClassError::UnknownPattern { index, n_mined } => {
+                write!(f, "pattern index {index} out of range ({n_mined} mined)")
+            }
+            RegisterClassError::EmptyPattern => write!(f, "selection resolved to zero patterns"),
+            RegisterClassError::NoAnchor { index } => {
+                write!(f, "custom metagraph {index} lacks the anchor type")
+            }
+            RegisterClassError::WeightMismatch { expected, got } => {
+                write!(f, "{got} weights for {expected} resolved patterns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterClassError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegisterClassError::Spec(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -733,6 +802,127 @@ impl SearchEngine {
         Ok(report)
     }
 
+    /// Registers a new relevance class from a runtime
+    /// [`ClassSpec`] — no training pass, no
+    /// rebuild: the selected patterns' instance counts come from the
+    /// engine's cache (custom metagraphs are appended to the pattern
+    /// set and matched on the spot), the restricted index is built with
+    /// the spec's transform, and the spec's weights are used as-is.
+    /// From then on the class is indistinguishable from a build-time
+    /// class: [`SearchEngine::ingest`] fans every delta to it, and
+    /// [`SearchEngine::serve`] includes it.
+    ///
+    /// Unlike [`SearchEngine::train_class`], registration never
+    /// replaces an existing class ([`RegisterClassError::DuplicateClass`]):
+    /// a live server grown by [`SearchEngine::register_class_serving`]
+    /// can only ever *append* classes, and the offline path keeps the
+    /// same contract. Rejection is atomic — on `Err` the engine is
+    /// bit-identical to before the call.
+    pub fn register_class(&mut self, spec: &ClassSpec) -> Result<&ClassModel, RegisterClassError> {
+        spec.validate().map_err(RegisterClassError::Spec)?;
+        if self.models.iter().any(|m| m.name == spec.name) {
+            return Err(RegisterClassError::DuplicateClass(spec.name.clone()));
+        }
+        // Resolve the selection without mutating anything: custom
+        // metagraphs are only *staged* here so a later weight-count
+        // error cannot leave them appended.
+        let mut staged: Vec<Metagraph> = Vec::new();
+        let coords: Vec<usize> = match &spec.patterns {
+            PatternSelect::All => (0..self.metagraphs.len()).collect(),
+            PatternSelect::Seeds => self.seed_indices.clone(),
+            PatternSelect::Mined(indices) => {
+                if let Some(&index) = indices.iter().find(|&&i| i >= self.metagraphs.len()) {
+                    return Err(RegisterClassError::UnknownPattern {
+                        index,
+                        n_mined: self.metagraphs.len(),
+                    });
+                }
+                indices.clone()
+            }
+            PatternSelect::Custom(mgs) => {
+                if let Some(index) =
+                    (0..mgs.len()).find(|&i| mgs[i].count_type(self.anchor_type) == 0)
+                {
+                    return Err(RegisterClassError::NoAnchor { index });
+                }
+                staged = mgs.clone();
+                (self.metagraphs.len()..self.metagraphs.len() + mgs.len()).collect()
+            }
+        };
+        if coords.is_empty() {
+            return Err(RegisterClassError::EmptyPattern);
+        }
+        let weights: Vec<f64> = match &spec.weights {
+            WeightSpec::Uniform => vec![1.0; coords.len()],
+            WeightSpec::Explicit(w) => {
+                if w.len() != coords.len() {
+                    return Err(RegisterClassError::WeightMismatch {
+                        expected: coords.len(),
+                        got: w.len(),
+                    });
+                }
+                w.clone()
+            }
+        };
+        // Commit: append staged custom patterns, match anything not yet
+        // matched (cached — a re-registration of the same patterns is
+        // free), and build the class's restricted index with the spec's
+        // own transform.
+        for mg in staged {
+            self.patterns
+                .push(PatternInfo::new(mg.clone(), self.anchor_type));
+            self.metagraphs.push(mg);
+        }
+        self.ensure_matched(&coords);
+        let t0 = Instant::now();
+        let counts: Vec<AnchorCounts> = coords
+            .iter()
+            .map(|i| self.counts_cache[i].clone())
+            .collect();
+        let index = VectorIndex::from_counts(&counts, spec.transform);
+        self.timings.indexing += t0.elapsed();
+        self.models.push(ClassModel {
+            name: spec.name.clone(),
+            coords,
+            index,
+            weights,
+            log_likelihood: 0.0,
+        });
+        Ok(self.models.last().expect("model was just pushed"))
+    }
+
+    /// [`SearchEngine::register_class`], then grows the live `server`
+    /// by the same class via `QueryServer::register_class`: the new
+    /// class's score columns are merged into every shard through the
+    /// same copy-on-write epoch swaps a delta uses, and the class table
+    /// is swapped last — concurrent readers keep serving throughout and
+    /// can never observe a half-registered class. Returns the server's
+    /// class id; the first query served is bit-identical to a
+    /// from-scratch build that had the class all along (pinned by the
+    /// `runtime_class_equivalence` proptest). Subsequent
+    /// [`SearchEngine::ingest_serving`] calls fan deltas to the class
+    /// like any other.
+    pub fn register_class_serving(
+        &mut self,
+        spec: &ClassSpec,
+        server: &QueryServer,
+    ) -> Result<usize, RegisterClassError> {
+        // Pre-check the server so the engine-side registration cannot
+        // succeed and then leave the pair out of sync on a name the
+        // server already serves (e.g. restored from a snapshot).
+        if server.class_id(&spec.name).is_some() {
+            return Err(RegisterClassError::DuplicateClass(spec.name.clone()));
+        }
+        let model = self.register_class(spec)?;
+        server
+            .register_class(&model.name, &model.index, &model.weights)
+            .map_err(|e| match e {
+                mgp_online::RegisterError::DuplicateName(name) => {
+                    RegisterClassError::DuplicateClass(name)
+                }
+            })
+    }
+
     /// Serialises all trained class models to JSON. Together with the
     /// mined metagraph set these fully determine online behaviour — the
     /// offline phase need not be repeated to serve queries elsewhere.
@@ -1088,6 +1278,123 @@ mod tests {
         // The detached user fell out of the count caches entirely.
         for &i in &coords {
             assert!(!engine.counts(i).unwrap().per_node.contains_key(&busy.0));
+        }
+    }
+
+    /// Runtime class registration: specs compile atomically against a
+    /// live engine (typed rejections stage nothing), a custom metagraph
+    /// matched on the spot answers identically to the same mined
+    /// pattern, and a class grown onto a live server serves
+    /// bit-identically to the engine — before and after a later delta.
+    #[test]
+    fn register_class_compiles_specs_atomically() {
+        let d = dataset();
+        let mut engine = SearchEngine::build(d.graph.clone(), cfg(&d, TrainingStrategy::Full));
+        let n_mined = engine.metagraphs().len();
+        let seeds = engine.seed_indices().to_vec();
+
+        // Seeds selection: coords are exactly the seed set, uniform
+        // weights, no training pass.
+        let model = engine
+            .register_class(&ClassSpec::new("seed-class", PatternSelect::Seeds))
+            .unwrap();
+        assert_eq!(model.coords, seeds);
+        assert!(model.weights.iter().all(|&w| w == 1.0));
+
+        // Typed rejections — and each leaves the engine untouched.
+        assert!(matches!(
+            engine.register_class(&ClassSpec::new("seed-class", PatternSelect::All)),
+            Err(RegisterClassError::DuplicateClass(name)) if name == "seed-class"
+        ));
+        assert!(matches!(
+            engine.register_class(&ClassSpec::new("", PatternSelect::All)),
+            Err(RegisterClassError::Spec(_))
+        ));
+        assert!(matches!(
+            engine.register_class(&ClassSpec::new("bad", PatternSelect::Mined(vec![0, 999]))),
+            Err(RegisterClassError::UnknownPattern { index: 999, .. })
+        ));
+        assert!(matches!(
+            engine
+                .register_class(&ClassSpec::new("bad", PatternSelect::All).with_weights(vec![1.0])),
+            Err(RegisterClassError::WeightMismatch { got: 1, .. })
+        ));
+        let other_t = d
+            .graph
+            .nodes()
+            .map(|v| d.graph.node_type(v))
+            .find(|&t| t != d.anchor_type)
+            .unwrap();
+        let anchorless = Metagraph::from_edges(&[other_t, other_t], &[(0, 1)]).unwrap();
+        assert!(matches!(
+            engine.register_class(&ClassSpec::new(
+                "bad",
+                PatternSelect::Custom(vec![anchorless])
+            )),
+            Err(RegisterClassError::NoAnchor { index: 0 })
+        ));
+        assert_eq!(
+            engine.metagraphs().len(),
+            n_mined,
+            "failures staged nothing"
+        );
+        assert_eq!(engine.models.len(), 1);
+
+        // A custom metagraph identical to mined pattern 0 is appended,
+        // matched on the spot, and answers exactly like the mined one.
+        let mg0 = engine.metagraphs()[0].clone();
+        engine
+            .register_class(&ClassSpec::new(
+                "custom-0",
+                PatternSelect::Custom(vec![mg0]),
+            ))
+            .unwrap();
+        assert_eq!(engine.metagraphs().len(), n_mined + 1);
+        engine
+            .register_class(&ClassSpec::new("mined-0", PatternSelect::Mined(vec![0])))
+            .unwrap();
+        let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+        for &q in anchors.iter().take(30) {
+            assert_eq!(
+                engine.search("custom-0", q, 10),
+                engine.search("mined-0", q, 10),
+                "q={q}"
+            );
+        }
+
+        // Growing a live server: the runtime class serves bit-identically
+        // to the engine, the duplicate pre-check guards the pair, and a
+        // subsequent ingest fans the delta to it like a build-time class.
+        let server = engine.serve();
+        let cid = engine
+            .register_class_serving(&ClassSpec::new("served-rt", PatternSelect::Seeds), &server)
+            .unwrap();
+        assert_eq!(server.class_id("served-rt"), Some(cid));
+        assert!(matches!(
+            engine
+                .register_class_serving(&ClassSpec::new("served-rt", PatternSelect::All), &server),
+            Err(RegisterClassError::DuplicateClass(_))
+        ));
+        for &q in anchors.iter().take(30) {
+            assert_eq!(*server.rank(cid, q, 10), engine.search("served-rt", q, 10));
+        }
+        let g = engine.graph().clone();
+        let attr = g
+            .nodes()
+            .find(|&v| g.node_type(v) != d.anchor_type && g.degree(v) > 1)
+            .unwrap();
+        let fresh_user = *anchors.iter().find(|&&u| !g.has_edge(u, attr)).unwrap();
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.add_edge(fresh_user, attr).unwrap();
+        let report = engine.ingest_serving(&delta, &server).unwrap();
+        assert!(report.per_class.iter().any(|(n, _)| n == "served-rt"));
+        assert!(report.serving.iter().any(|(n, _)| n == "served-rt"));
+        for &q in anchors.iter().take(30) {
+            assert_eq!(
+                *server.rank(cid, q, 10),
+                engine.search("served-rt", q, 10),
+                "post-delta q={q}"
+            );
         }
     }
 

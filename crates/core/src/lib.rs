@@ -36,15 +36,29 @@
 //! [`QueryServer`]'s posting lists (removing dead entries) and
 //! invalidates only the cache entries whose results changed — no
 //! from-scratch rebuild anywhere on the chain.
+//!
+//! New relevance classes need no rebuild either:
+//! [`SearchEngine::register_class`] compiles an
+//! [`mgp_scenario::ClassSpec`] (patterns + transform + weights) against
+//! the live engine — counts come from the cache, custom metagraphs are
+//! matched on the spot — and
+//! [`SearchEngine::register_class_serving`] additionally grows a live
+//! [`QueryServer`] by the class through copy-on-write epoch swaps,
+//! while queries keep flowing. The [`scenario`] module re-exports the
+//! workload suite (deterministic scenario traces + replay driver) and
+//! provides [`scenario::LiveTarget`], the engine-side glue the suite
+//! drives.
 
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod persist;
+pub mod scenario;
 pub mod timings;
 
 pub use engine::{
-    ClassModel, IngestError, IngestReport, PipelineConfig, SearchEngine, TrainingStrategy,
+    ClassModel, IngestError, IngestReport, PipelineConfig, RegisterClassError, SearchEngine,
+    TrainingStrategy,
 };
 pub use mgp_online::{Frontend, FrontendConfig, FrontendError, QueryServer, ServeConfig};
 pub use mgp_persist::PersistError;

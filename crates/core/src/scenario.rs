@@ -1,0 +1,97 @@
+//! Scenario suite glue: re-exports `mgp-scenario` and binds its replay
+//! driver to a live [`SearchEngine`].
+//!
+//! The suite crate sits below `mgp-core`, so it drives mutations
+//! through the [`ScenarioTarget`] trait; [`LiveTarget`] is the engine
+//! implementation — deltas go through [`SearchEngine::ingest_serving`]
+//! (the full graph → matching → index → fused posting-patch chain) and
+//! registrations through [`SearchEngine::register_class_serving`]
+//! (engine model + live server class growth). [`run_scenarios`] replays
+//! a generated suite in order against one engine/front-end pair:
+//!
+//! ```no_run
+//! use mgp_core::scenario::{self, GeneratorConfig, TraceGenerator};
+//! # let dataset = mgp_datagen::facebook::generate_facebook(&Default::default());
+//! # let mut engine = mgp_core::SearchEngine::build(
+//! #     dataset.graph.clone(),
+//! #     mgp_core::PipelineConfig::new(dataset.anchor_type, 5),
+//! # );
+//! let frontend = engine.serve_frontend();
+//! let mut generator = TraceGenerator::new(
+//!     engine.graph(),
+//!     engine.anchor_type(),
+//!     GeneratorConfig {
+//!         seed: 42,
+//!         n_classes: 2,
+//!         ..GeneratorConfig::default()
+//!     },
+//! );
+//! let traces = generator.generate_suite();
+//! let report = scenario::run_scenarios(
+//!     &mut engine,
+//!     &frontend,
+//!     &traces,
+//!     &scenario::DriverConfig::default(),
+//! );
+//! println!("{report}");
+//! ```
+
+pub use mgp_scenario::*;
+
+use crate::engine::SearchEngine;
+use mgp_graph::GraphDelta;
+use mgp_online::{Frontend, ServerHandle};
+
+/// A live engine + shared server, as the scenario driver's mutation
+/// target. Queries go to the front-end directly; this is only the
+/// write side.
+pub struct LiveTarget<'a> {
+    engine: &'a mut SearchEngine,
+    server: ServerHandle,
+}
+
+impl<'a> LiveTarget<'a> {
+    /// Binds an engine to the server it keeps patched (clone the handle
+    /// out of `Frontend::server` for a front-end-served engine).
+    pub fn new(engine: &'a mut SearchEngine, server: ServerHandle) -> Self {
+        LiveTarget { engine, server }
+    }
+}
+
+impl ScenarioTarget for LiveTarget<'_> {
+    fn apply_delta(&mut self, delta: &GraphDelta) -> Result<MutationSummary, String> {
+        self.engine
+            .ingest_serving(delta, &self.server)
+            .map(|report| MutationSummary {
+                fused_shard_visits: report.fused_shard_visits,
+                sequential_shard_visits: report.sequential_shard_visits(),
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn register_class(&mut self, spec: &ClassSpec) -> Result<usize, String> {
+        self.engine
+            .register_class_serving(spec, &self.server)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Replays `traces` in order against one engine/front-end pair,
+/// returning the per-scenario reports. Traces must be replayed in the
+/// order they were generated (the generator's graph evolves across
+/// scenarios), which is what this does.
+pub fn run_scenarios(
+    engine: &mut SearchEngine,
+    frontend: &Frontend,
+    traces: &[Trace],
+    cfg: &DriverConfig,
+) -> SuiteReport {
+    let mut suite = SuiteReport::default();
+    for trace in traces {
+        let mut target = LiveTarget::new(engine, frontend.server().clone());
+        suite
+            .scenarios
+            .push(run_trace(trace, &mut target, frontend, cfg));
+    }
+    suite
+}

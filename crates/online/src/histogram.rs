@@ -237,6 +237,39 @@ mod tests {
         assert!(s.mean >= Duration::from_micros(499) && s.mean <= Duration::from_micros(502));
     }
 
+    /// Merging per-worker histograms must be indistinguishable from one
+    /// histogram that recorded every duration itself — bucket counts,
+    /// total, sum, max, and therefore every quantile and the snapshot.
+    /// This is what lets the scenario driver aggregate cross-thread p99
+    /// without sharing a histogram between workers.
+    #[test]
+    fn merge_equals_single_histogram_recording() {
+        // A spread designed to cross many log2 buckets, dealt round-robin
+        // across 4 "worker" histograms.
+        let durations: Vec<Duration> = (0..500u64)
+            .map(|i| Duration::from_nanos((i * i * 37 + i + 1) % 5_000_000))
+            .collect();
+        let mut single = LatencyHistogram::new();
+        let mut workers = vec![LatencyHistogram::new(); 4];
+        for (i, &d) in durations.iter().enumerate() {
+            single.record(d);
+            workers[i % 4].record(d);
+        }
+        let mut merged = LatencyHistogram::new();
+        for w in &workers {
+            merged.merge(w);
+        }
+        assert_eq!(merged.bucket_counts(), single.bucket_counts());
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.snapshot(), single.snapshot());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), single.quantile(q), "q={q}");
+        }
+        // Merging an empty histogram is the identity.
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged.snapshot(), single.snapshot());
+    }
+
     #[test]
     fn merge_accumulates() {
         let mut a = LatencyHistogram::new();

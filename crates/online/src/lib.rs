@@ -52,6 +52,13 @@
 //!   product), and [`server::QueryServer::rank_multi`] ranks a query for
 //!   several classes from **one** pinned snapshot with one cache
 //!   round-trip, every class sweeping its column of the same block.
+//! * **Runtime class registration** — [`server::QueryServer::register_class`]
+//!   grows a *live* server by one class under `&self`: the new class's
+//!   score columns are merged into every shard through the same
+//!   copy-on-write epoch swaps a delta uses, and the class table itself
+//!   is swapped last, one entry longer — a reader can never observe a
+//!   class id whose postings don't exist yet, and the first query served
+//!   is bit-identical to a from-scratch build with that class.
 //! * **Epoch GC accounting** — slow readers pin old epochs;
 //!   [`server::QueryServer::epoch_stats`] gauges how many retired
 //!   snapshots are still alive and how much unshared copy-on-write
@@ -91,6 +98,6 @@ pub use frontend::{Frontend, FrontendConfig, FrontendError, FrontendStats, Ticke
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{
     ClassCacheStats, ClassDelta, ClassExport, DeltaStats, EpochPin, EpochStats, FusedDeltaStats,
-    PostingExport, QueryError, QueryServer, RankedList, ServeConfig, ServerHandle, ServerStats,
-    TableStats, ABSENT_SCORE,
+    PostingExport, QueryError, QueryServer, RankedList, RegisterError, ServeConfig, ServerHandle,
+    ServerStats, TableStats, ABSENT_SCORE,
 };

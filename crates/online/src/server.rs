@@ -620,6 +620,35 @@ impl ClassState {
     }
 }
 
+/// The registered-class table: one entry per class id, individually
+/// `Arc`'d so a copy-on-write append shares every existing entry (and
+/// so a reader can hold a class across the table swap a concurrent
+/// registration performs).
+type ClassTable = Vec<Arc<ClassState>>;
+
+/// Why [`QueryServer::register_class`] rejected a registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// A class with this name is already registered. The live path only
+    /// *appends*: replacing a serving class's tables under `&self` would
+    /// have to retract postings out from under in-flight queries holding
+    /// its id — use a distinct name, or rebuild the server offline via
+    /// [`QueryServer::add_class`] (which does replace, under `&mut self`).
+    DuplicateName(String),
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::DuplicateName(name) => {
+                write!(f, "class {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
 /// One class's planned contribution to a (possibly fused) delta
 /// application: its writer guard (held until every shard is swapped),
 /// the per-shard op lists and generation bumps, and the stats being
@@ -768,6 +797,46 @@ fn score_of(
     } else {
         2.0 * pair_dot / denom
     }
+}
+
+/// One posting map per shard: query id → scored partner list.
+type ShardPostings = Vec<FxHashMap<u32, Vec<(u32, f64)>>>;
+
+/// The shared precompute of class registration — build-time
+/// ([`QueryServer::add_class`]) and live ([`QueryServer::register_class`])
+/// alike: the writer-side dot tables (each entry evaluated once with the
+/// same `mgp_index::dot` accumulation order the reference ranker uses)
+/// plus the per-shard posting lists carrying final proximities.
+fn build_class_tables(
+    index: &VectorIndex,
+    weights: &[f64],
+    n_shards: usize,
+) -> (WriterState, ShardPostings) {
+    let mut node_dots: FxHashMap<u32, f64> =
+        FxHashMap::with_capacity_and_hasher(index.n_nodes(), Default::default());
+    for (x, v) in index.iter_nodes() {
+        node_dots.insert(x.0, mgp_index::dot(v, weights));
+    }
+    let mut pair_dots: FxHashMap<u64, f64> =
+        FxHashMap::with_capacity_and_hasher(index.n_pairs(), Default::default());
+    for (key, v) in index.iter_pairs() {
+        pair_dots.insert(key, mgp_index::dot(v, weights));
+    }
+    // Postings follow the index's partner order (ascending node id)
+    // and carry the final proximity, evaluated with the same
+    // expression shape as mgp::proximity (q == v cannot occur in a
+    // posting: pairs are strictly unordered distinct nodes).
+    let mut per_shard: ShardPostings = (0..n_shards).map(|_| FxHashMap::default()).collect();
+    for (q, partners) in index.iter_partners() {
+        let posting = posting_for(q, partners, &node_dots, &pair_dots);
+        per_shard[q.0 as usize % n_shards].insert(q.0, posting);
+    }
+    let writer = WriterState {
+        weights: weights.to_vec(),
+        node_dots,
+        pair_dots,
+    };
+    (writer, per_shard)
 }
 
 /// Materialises an anchor's posting list in the index's partner order
@@ -1043,7 +1112,19 @@ pub struct QueryServer {
     cfg: ServeConfig,
     workers: usize,
     n_shards: usize,
-    classes: Vec<ClassState>,
+    /// The registered-class table, epoch-swapped exactly like the shard
+    /// snapshots so [`QueryServer::register_class`] can grow it on a
+    /// *live* server: readers pin the table with one atomic load and
+    /// index it by class id; a registration installs the new class's
+    /// score columns into every shard first and only then swaps in a
+    /// table one entry longer — a reader can never observe a class id
+    /// whose postings don't exist yet. Ids are positions and never
+    /// shrink, so ids cached by callers stay valid forever.
+    classes: ArcSwap<ClassTable>,
+    /// Serialises registrations (`register_class`) so two concurrent
+    /// callers cannot claim the same class id. Build-time registration
+    /// (`add_class`) is `&mut self` and needs no lock.
+    registry: Mutex<()>,
     shards: Vec<ShardSlot>,
     /// `(class, query, k) → (anchor generation at fill time, result)`.
     /// Entries whose stamp trails the anchor's current generation are
@@ -1072,7 +1153,8 @@ impl QueryServer {
             cfg,
             workers,
             n_shards,
-            classes: Vec::new(),
+            classes: ArcSwap::from_pointee(Vec::new()),
+            registry: Mutex::new(()),
             shards: (0..n_shards).map(|_| ShardSlot::new()).collect(),
             cache,
             latency: Mutex::new(LatencyHistogram::new()),
@@ -1086,45 +1168,20 @@ impl QueryServer {
     /// class id used by the ranking entry points. Replaces any same-named
     /// class (and drops its cached results).
     pub fn add_class(&mut self, name: &str, index: &VectorIndex, weights: &[f64]) -> usize {
-        // Dot-product tables, each entry evaluated once with the same
-        // `mgp_index::dot` accumulation order the reference ranker uses.
-        let mut node_dots: FxHashMap<u32, f64> =
-            FxHashMap::with_capacity_and_hasher(index.n_nodes(), Default::default());
-        for (x, v) in index.iter_nodes() {
-            node_dots.insert(x.0, mgp_index::dot(v, weights));
-        }
-        let mut pair_dots: FxHashMap<u64, f64> =
-            FxHashMap::with_capacity_and_hasher(index.n_pairs(), Default::default());
-        for (key, v) in index.iter_pairs() {
-            pair_dots.insert(key, mgp_index::dot(v, weights));
-        }
-        // Postings follow the index's partner order (ascending node id)
-        // and carry the final proximity, evaluated with the same
-        // expression shape as mgp::proximity (q == v cannot occur in a
-        // posting: pairs are strictly unordered distinct nodes).
-        let mut per_shard: Vec<FxHashMap<u32, Vec<(u32, f64)>>> =
-            (0..self.n_shards).map(|_| FxHashMap::default()).collect();
-        for (q, partners) in index.iter_partners() {
-            let posting = posting_for(q, partners, &node_dots, &pair_dots);
-            per_shard[q.0 as usize % self.n_shards].insert(q.0, posting);
-        }
-
-        let writer = WriterState {
-            weights: weights.to_vec(),
-            node_dots,
-            pair_dots,
-        };
-        let replaced = self.classes.iter().position(|c| c.name == name);
+        let (writer, per_shard) = build_class_tables(index, weights, self.n_shards);
+        let mut table = (*self.classes.load_full()).clone();
+        let replaced = table.iter().position(|c| c.name == name);
         let slot = match replaced {
             Some(i) => {
-                self.classes[i] = ClassState::new(name, writer);
+                table[i] = Arc::new(ClassState::new(name, writer));
                 i
             }
             None => {
-                self.classes.push(ClassState::new(name, writer));
-                self.classes.len() - 1
+                table.push(Arc::new(ClassState::new(name, writer)));
+                table.len() - 1
             }
         };
+        self.classes.store(Arc::new(table));
         // Merge the class's score column into every shard epoch's fused
         // blocks. Registration is `&mut self`, so no reader can race
         // these swaps. Replacement wipes the class's old state: a fresh
@@ -1165,6 +1222,81 @@ impl QueryServer {
             self.cache.lock().clear();
         }
         slot
+    }
+
+    /// Registers a **new** class on a *live* server — `&self`, while
+    /// concurrent `rank*` readers and `apply_delta_fused` writers keep
+    /// flowing. Returns the new class id.
+    ///
+    /// The new class's score columns are merged into each shard through
+    /// the normal copy-on-write epoch swap (clone the current snapshot,
+    /// install the columns, one pointer swap — serialised with concurrent
+    /// deltas on the per-shard patch lock), and the class *table* is
+    /// swapped last, one entry longer. Publication ordering is the whole
+    /// trick: until the table swap, queries for the new id fail with
+    /// [`QueryError::UnknownClass`] exactly as before the call; after it,
+    /// every shard already carries the class's columns, so the first
+    /// query served is already bit-identical to a server built with the
+    /// class from scratch (proven by the runtime-class equivalence
+    /// proptest under churn).
+    ///
+    /// Unlike [`QueryServer::add_class`] this never replaces: a duplicate
+    /// name is a typed error, because retracting a serving class's
+    /// postings under `&self` would tear in-flight queries holding its id.
+    ///
+    /// Registration must be sequenced with ingest by the caller the same
+    /// way `VectorIndex::apply_delta` is (one logical writer — e.g.
+    /// `SearchEngine::register_class_serving` runs on the `&mut` engine):
+    /// `index` must describe the same graph epoch the server's other
+    /// classes are at, or the new class starts consistently *behind* and
+    /// catches up only with the next delta that touches it.
+    pub fn register_class(
+        &self,
+        name: &str,
+        index: &VectorIndex,
+        weights: &[f64],
+    ) -> Result<usize, RegisterError> {
+        let _reg = self.registry.lock();
+        let table = self.classes.load_full();
+        if table.iter().any(|c| c.name == name) {
+            return Err(RegisterError::DuplicateName(name.to_owned()));
+        }
+        let cid = table.len();
+        let (writer, per_shard) = build_class_tables(index, weights, self.n_shards);
+
+        // Install the new class's columns shard by shard, each through
+        // the same clone/replay/swap cycle a delta uses. A brand-new id
+        // can't have columns or generations anywhere yet, so unlike
+        // `add_class` there is nothing to clear on existing blocks.
+        let mut union = Vec::new();
+        for (sid, postings) in per_shard.into_iter().enumerate() {
+            let slot = &self.shards[sid];
+            let _patch = slot.patch.lock();
+            let cur = slot.current.load_full();
+            let mut next = Shard {
+                blocks: cur.blocks.clone(),
+                generations: cur.generations.clone(),
+            };
+            next.generations.resize_with(cid + 1, Default::default);
+            for (q, posting) in postings {
+                install_column(&mut next.blocks, cid, q, &posting, &mut union);
+            }
+            let prev = slot.current.swap(Arc::new(next));
+            let weak = Arc::downgrade(&prev);
+            drop(prev);
+            drop(cur);
+            let mut retired = slot.retired.lock();
+            retired.push(weak);
+            retired.retain(|w| w.strong_count() > 0);
+        }
+
+        // Publish last: grow the class table by one. Readers holding the
+        // old table simply don't know the id yet; the cache can hold
+        // nothing under it (unknown ids never reach the cache).
+        let mut next_table = (*table).clone();
+        next_table.push(Arc::new(ClassState::new(name, writer)));
+        self.classes.store(Arc::new(next_table));
+        Ok(cid)
     }
 
     /// Exports every shard's fused posting blocks, sorted by anchor id —
@@ -1219,7 +1351,8 @@ impl QueryServer {
         classes: &[ClassExport<'_>],
         postings: Vec<PostingExport>,
     ) -> Result<Self, String> {
-        let mut server = QueryServer::new(cfg);
+        let server = QueryServer::new(cfg);
+        let mut table: ClassTable = Vec::with_capacity(classes.len());
         for c in classes {
             let mut node_dots: FxHashMap<u32, f64> =
                 FxHashMap::with_capacity_and_hasher(c.index.n_nodes(), Default::default());
@@ -1231,20 +1364,20 @@ impl QueryServer {
             for (key, v) in c.index.iter_pairs() {
                 pair_dots.insert(key, mgp_index::dot(v, c.weights));
             }
-            if server.classes.iter().any(|s| s.name == c.name) {
+            if table.iter().any(|s| s.name == c.name) {
                 return Err(format!("class {:?} appears twice", c.name));
             }
-            server.classes.push(ClassState::new(
+            table.push(Arc::new(ClassState::new(
                 c.name,
                 WriterState {
                     weights: c.weights.to_vec(),
                     node_dots,
                     pair_dots,
                 },
-            ));
+            )));
         }
-
-        let n_classes = server.classes.len();
+        let n_classes = table.len();
+        server.classes.store(Arc::new(table));
         let mut per_shard: Vec<FxHashMap<u32, Arc<FusedBlock>>> =
             (0..server.n_shards).map(|_| FxHashMap::default()).collect();
         for p in postings {
@@ -1291,12 +1424,14 @@ impl QueryServer {
 
     /// The id of a registered class.
     pub fn class_id(&self, name: &str) -> Option<usize> {
-        self.classes.iter().position(|c| c.name == name)
+        self.classes.load().iter().position(|c| c.name == name)
     }
 
-    /// Names of registered classes, in id order.
-    pub fn class_names(&self) -> Vec<&str> {
-        self.classes.iter().map(|c| c.name.as_str()).collect()
+    /// Names of registered classes, in id order. (Owned: the table can
+    /// be swapped by a concurrent [`QueryServer::register_class`], so
+    /// borrows out of it cannot escape.)
+    pub fn class_names(&self) -> Vec<String> {
+        self.classes.load().iter().map(|c| c.name.clone()).collect()
     }
 
     /// Number of posting-list shards per class.
@@ -1314,25 +1449,27 @@ impl QueryServer {
         &self.cfg
     }
 
-    fn class(&self, class_id: usize) -> &ClassState {
+    fn class(&self, class_id: usize) -> Arc<ClassState> {
         self.try_class(class_id).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn try_class(&self, class_id: usize) -> Result<&ClassState, QueryError> {
+    fn try_class(&self, class_id: usize) -> Result<Arc<ClassState>, QueryError> {
         self.classes
+            .load()
             .get(class_id)
+            .cloned()
             .ok_or(QueryError::UnknownClass(class_id))
     }
 
     /// Number of registered classes (valid ids are `0..n_classes()`).
     pub fn n_classes(&self) -> usize {
-        self.classes.len()
+        self.classes.load().len()
     }
 
     /// Whether `class_id` is registered — the admission-time check the
     /// front-end runs so batcher workers only ever see valid classes.
     pub fn has_class(&self, class_id: usize) -> bool {
-        class_id < self.classes.len()
+        class_id < self.classes.load().len()
     }
 
     /// The cache key for a `(class, query, k)` request. `k` saturates at
@@ -1449,8 +1586,14 @@ impl QueryServer {
         q: NodeId,
         k: usize,
     ) -> Result<Vec<Arc<RankedList>>, QueryError> {
+        // One table pin covers validation and the per-class counters —
+        // ids stay valid for the whole call even if a concurrent
+        // registration swaps in a longer table.
+        let classes = self.classes.load_full();
         for &cid in class_ids {
-            self.try_class(cid)?;
+            if cid >= classes.len() {
+                return Err(QueryError::UnknownClass(cid));
+            }
         }
         if k == 0 {
             return Ok(vec![Arc::clone(&self.empty); class_ids.len()]);
@@ -1491,9 +1634,9 @@ impl QueryServer {
         for (j, &cid) in class_ids.iter().enumerate() {
             let missed = next_miss.next_if_eq(&&j).is_some();
             let counter = if missed {
-                &self.classes[cid].misses
+                &classes[cid].misses
             } else {
-                &self.classes[cid].hits
+                &classes[cid].hits
             };
             counter.fetch_add(1, Ordering::Relaxed);
         }
@@ -1637,8 +1780,11 @@ impl QueryServer {
         k: usize,
     ) -> Result<Vec<Arc<RankedList>>, QueryError> {
         let t0 = Instant::now();
+        let classes = self.classes.load_full();
         for &cid in class_ids {
-            self.try_class(cid)?;
+            if cid >= classes.len() {
+                return Err(QueryError::UnknownClass(cid));
+            }
         }
         if k == 0 {
             return Ok(vec![
@@ -1688,7 +1834,7 @@ impl QueryServer {
             miss_per_class[slot % n_classes] += 1;
         }
         for (j, &cid) in class_ids.iter().enumerate() {
-            let c = &self.classes[cid];
+            let c = &classes[cid];
             c.hits
                 .fetch_add(queries.len() as u64 - miss_per_class[j], Ordering::Relaxed);
             c.misses.fetch_add(miss_per_class[j], Ordering::Relaxed);
@@ -1856,10 +2002,16 @@ impl QueryServer {
                 updates[w[1]].class_id
             );
         }
+        // Pin the class table once for the whole application: the writer
+        // guards below borrow the pinned entries, and ids stay valid
+        // across a concurrent registration (which only appends).
+        let classes = self.classes.load_full();
         let mut plans: Vec<ClassPlan<'_>> = Vec::with_capacity(updates.len());
         for &input_slot in &order {
             let u = updates[input_slot];
-            let class = self.class(u.class_id);
+            let class = classes
+                .get(u.class_id)
+                .unwrap_or_else(|| panic!("{}", QueryError::UnknownClass(u.class_id)));
             let mut guard = class.writer.lock();
             let mut stats = DeltaStats::default();
             let (ops, bumps) =
@@ -3153,5 +3305,195 @@ mod tests {
             t.to_string(),
             "3 postings (6 entries), 4 node dots, 3 pair dots"
         );
+    }
+
+    #[test]
+    fn register_class_matches_from_scratch_build() {
+        // Live-register a second class on a serving (&self via Arc)
+        // server, then compare every answer and every table stat against
+        // a server built with both classes from scratch.
+        let idx = sample_index();
+        let (wa, wb) = (vec![0.7, 0.3], vec![0.2, 0.8]);
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 16,
+        });
+        srv.add_class("a", &idx, &wa);
+        let srv: ServerHandle = Arc::new(srv);
+        assert_eq!(srv.n_classes(), 1);
+        let b = srv.register_class("b", &idx, &wb).unwrap();
+        assert_eq!(b, 1);
+        assert_eq!(srv.n_classes(), 2);
+        assert_eq!(srv.class_id("b"), Some(1));
+        assert_eq!(srv.class_names(), vec!["a", "b"]);
+
+        let mut fresh = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 16,
+        });
+        fresh.add_class("a", &idx, &wa);
+        fresh.add_class("b", &idx, &wb);
+        for q in 0..6u32 {
+            for k in [1usize, 3, 10] {
+                for cid in 0..2 {
+                    assert_eq!(
+                        *srv.rank(cid, NodeId(q), k),
+                        *fresh.rank(cid, NodeId(q), k),
+                        "q={q} k={k} cid={cid}"
+                    );
+                }
+                assert_eq!(
+                    srv.rank_multi(&[0, 1], NodeId(q), k)
+                        .iter()
+                        .map(|r| (**r).clone())
+                        .collect::<Vec<_>>(),
+                    fresh
+                        .rank_multi(&[0, 1], NodeId(q), k)
+                        .iter()
+                        .map(|r| (**r).clone())
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        for cid in 0..2 {
+            assert_eq!(srv.table_stats(cid), fresh.table_stats(cid));
+        }
+        // Registration epoch-swapped shards; with no reader pinning the
+        // old epochs nothing may be retained.
+        assert_eq!(srv.epoch_stats(), EpochStats::default());
+    }
+
+    #[test]
+    fn register_class_rejects_duplicate_names() {
+        let (srv, idx, w) = server(4);
+        let err = srv.register_class("demo", &idx, &w).unwrap_err();
+        assert_eq!(err, RegisterError::DuplicateName("demo".to_owned()));
+        assert!(err.to_string().contains("demo"));
+        assert_eq!(srv.n_classes(), 1);
+    }
+
+    #[test]
+    fn register_class_then_delta_flows_like_any_class() {
+        // A runtime-registered class must ride subsequent deltas exactly
+        // like a build-time class: patch both through one fused call and
+        // compare against full re-registration.
+        let idx = sample_index();
+        let (wa, wb) = (vec![0.7, 0.3], vec![0.2, 0.8]);
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 16,
+        });
+        srv.add_class("a", &idx, &wa);
+        srv.register_class("b", &idx, &wb).unwrap();
+
+        // One signed count change: bump pair (1,2) on metagraph 0.
+        let mut idx_now = idx.clone();
+        let touch = idx_now.apply_delta(&count_delta(&[(1, 2), (2, 2)], &[((1, 2), 2)], 0, 2));
+        let fused = srv.apply_delta_fused(&[
+            ClassDelta {
+                class_id: 0,
+                index: &idx_now,
+                touch: &touch,
+            },
+            ClassDelta {
+                class_id: 1,
+                index: &idx_now,
+                touch: &touch,
+            },
+        ]);
+        assert_eq!(fused.per_class.len(), 2);
+
+        let mut fresh = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 0,
+        });
+        fresh.add_class("a", &idx_now, &wa);
+        fresh.add_class("b", &idx_now, &wb);
+        for q in 0..6u32 {
+            for cid in 0..2 {
+                assert_eq!(
+                    *srv.rank(cid, NodeId(q), 10),
+                    *fresh.rank(cid, NodeId(q), 10),
+                    "q={q} cid={cid}"
+                );
+            }
+            assert_eq!(
+                srv.table_stats(q as usize % 2),
+                fresh.table_stats(q as usize % 2)
+            );
+        }
+    }
+
+    #[test]
+    fn register_class_is_readable_mid_traffic() {
+        // Readers hammer class 0 while a writer registers classes 1..=4;
+        // every successfully-resolved new id must answer correctly
+        // immediately (publish-last ordering), and class 0 must never
+        // miss a beat.
+        let idx = sample_index();
+        let w = vec![0.7, 0.3];
+        let mut srv = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 16,
+        });
+        srv.add_class("base", &idx, &w);
+        let srv: ServerHandle = Arc::new(srv);
+        let expect = (*srv.rank(0, NodeId(1), 10)).clone();
+
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let srv = Arc::clone(&srv);
+                let stop = Arc::clone(&stop);
+                let expect = expect.clone();
+                std::thread::spawn(move || {
+                    let mut seen_new = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        assert_eq!(*srv.rank(0, NodeId(1), 10), expect);
+                        let n = srv.n_classes();
+                        for cid in 1..n {
+                            // Registered ids must already have postings.
+                            let _ = srv.rank(cid, NodeId(1), 10);
+                            seen_new += 1;
+                        }
+                    }
+                    seen_new
+                })
+            })
+            .collect();
+        for i in 1..=4 {
+            let name = format!("extra{i}");
+            let wid = vec![0.1 * i as f64, 1.0 - 0.1 * i as f64];
+            let cid = srv.register_class(&name, &idx, &wid).unwrap();
+            assert_eq!(cid, i);
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Every registered class answers exactly like a fresh build.
+        let mut fresh = QueryServer::new(ServeConfig {
+            workers: 2,
+            shards: 3,
+            cache_capacity: 0,
+        });
+        fresh.add_class("base", &idx, &w);
+        for i in 1..=4 {
+            let wid = vec![0.1 * i as f64, 1.0 - 0.1 * i as f64];
+            fresh.add_class(&format!("extra{i}"), &idx, &wid);
+        }
+        for cid in 0..5 {
+            for q in 0..6u32 {
+                assert_eq!(
+                    *srv.rank(cid, NodeId(q), 10),
+                    *fresh.rank(cid, NodeId(q), 10)
+                );
+            }
+        }
     }
 }

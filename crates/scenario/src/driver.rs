@@ -1,0 +1,330 @@
+//! Trace replay against a live engine + front-end.
+//!
+//! [`run_trace`] partitions a trace's queries round-robin across worker
+//! threads that drive the async [`Frontend`] open-loop (a bounded
+//! number of tickets in flight each), while the caller's thread applies
+//! the trace's delta/register mutations through a [`ScenarioTarget`] —
+//! gated on query progress, so churn lands *during* traffic, in the
+//! same relative position on every run. Per-worker latency histograms
+//! merge into one per-scenario summary ([`LatencyHistogram::merge`]),
+//! and the report carries QPS, p50/p99, cache hit rate, shed counts and
+//! fused-visit stats — the numbers `bench_scenarios` gates in CI.
+
+use crate::ops::{Op, Trace};
+use crate::spec::ClassSpec;
+use mgp_graph::{GraphDelta, NodeId};
+use mgp_online::{Frontend, FrontendError, LatencyHistogram, LatencySnapshot, Ticket};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a mutation did to the serving layer — the slice of
+/// `IngestReport` the per-scenario report aggregates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MutationSummary {
+    /// Shards the fused patch actually cloned/swapped.
+    pub fused_shard_visits: usize,
+    /// Shard visits per-class patching would have paid.
+    pub sequential_shard_visits: usize,
+}
+
+/// The mutable side of a scenario run: whatever owns the engine applies
+/// deltas and registers classes; the driver only decides *when*.
+/// `mgp-core` implements this for a `SearchEngine` + `ServerHandle`
+/// pair (`mgp_core::scenario::LiveTarget`).
+pub trait ScenarioTarget {
+    /// Ingests one graph delta through engine + live server.
+    fn apply_delta(&mut self, delta: &GraphDelta) -> Result<MutationSummary, String>;
+
+    /// Registers a new class on the live engine + server, returning the
+    /// class id (which must equal the trace's next slot).
+    fn register_class(&mut self, spec: &ClassSpec) -> Result<usize, String>;
+}
+
+/// Driver parameters.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Query worker threads.
+    pub workers: usize,
+    /// Tickets each worker keeps in flight (open-loop depth).
+    pub outstanding: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            workers: 2,
+            outstanding: 32,
+        }
+    }
+}
+
+/// Per-scenario run summary.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Queries answered (including typed errors; see
+    /// [`ScenarioReport::errors`]).
+    pub completed: u64,
+    /// Queries that came back as typed errors instead of rankings.
+    pub errors: u64,
+    /// Wall time from first submit to last answer.
+    pub wall: Duration,
+    /// Submit→answer latency across all workers (merged histograms).
+    pub latency: LatencySnapshot,
+    /// Server cache hits during the run.
+    pub cache_hits: u64,
+    /// Server cache misses during the run.
+    pub cache_misses: u64,
+    /// Admission-control rejections workers absorbed by retrying.
+    pub shed_events: u64,
+    /// Deltas applied.
+    pub deltas: usize,
+    /// Classes registered.
+    pub registers: usize,
+    /// Mutations the target rejected (messages, in trace order) —
+    /// always empty on a healthy run.
+    pub mutation_failures: Vec<String>,
+    /// Fused shard visits across all deltas.
+    pub fused_shard_visits: usize,
+    /// Shard visits per-class patching would have paid.
+    pub sequential_shard_visits: usize,
+}
+
+impl ScenarioReport {
+    /// Sustained queries per second over the run.
+    pub fn qps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.completed as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Cache hit fraction in `[0, 1]` (0 with no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Whether every query and mutation succeeded.
+    pub fn clean(&self) -> bool {
+        self.errors == 0 && self.mutation_failures.is_empty()
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<22} {:>9.0} qps  p50 {:>9.2?}  p99 {:>9.2?}  hit {:>5.1}%  shed {:>5}  \
+             {:>3} deltas  {:>2} reg  fused {:>4}/{:<4}",
+            self.scenario,
+            self.qps(),
+            self.latency.p50,
+            self.latency.p99,
+            100.0 * self.hit_rate(),
+            self.shed_events,
+            self.deltas,
+            self.registers,
+            self.fused_shard_visits,
+            self.sequential_shard_visits,
+        )
+    }
+}
+
+/// A whole suite's reports, in run order.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteReport {
+    /// Per-scenario reports.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl SuiteReport {
+    /// The report for a named scenario, if it ran.
+    pub fn get(&self, scenario: &str) -> Option<&ScenarioReport> {
+        self.scenarios.iter().find(|r| r.scenario == scenario)
+    }
+}
+
+impl fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rows are self-labelling (`… qps`, `p50 …`), so no header.
+        for r in &self.scenarios {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+struct QueryOp {
+    slot: u32,
+    q: NodeId,
+    k: u32,
+    /// Mutations that must be applied before this query may be
+    /// submitted (= mutation ops preceding it in the trace).
+    epoch: usize,
+}
+
+/// Replays `trace` against `frontend` (queries) and `target`
+/// (mutations). Returns the per-scenario report; the run itself never
+/// panics on typed rejections — they are counted instead.
+pub fn run_trace(
+    trace: &Trace,
+    target: &mut dyn ScenarioTarget,
+    frontend: &Frontend,
+    cfg: &DriverConfig,
+) -> ScenarioReport {
+    let mut queries: Vec<QueryOp> = Vec::with_capacity(trace.ops.len());
+    // (queries preceding the mutation, the op) — the gate says how many
+    // completed queries the driver waits for before applying it.
+    let mut mutations: Vec<(u64, &Op)> = Vec::new();
+    for op in &trace.ops {
+        match op {
+            Op::Query { slot, q, k } => queries.push(QueryOp {
+                slot: *slot,
+                q: *q,
+                k: *k,
+                epoch: mutations.len(),
+            }),
+            other => mutations.push((queries.len() as u64, other)),
+        }
+    }
+
+    let completed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let applied = AtomicUsize::new(0);
+    let workers = cfg.workers.max(1);
+    let stats0 = frontend.server().stats();
+
+    let t0 = Instant::now();
+    let (histogram, deltas, registers, failures, fused, sequential) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queries = &queries;
+                let (completed, errors, shed, applied) = (&completed, &errors, &shed, &applied);
+                s.spawn(move || {
+                    let mut histogram = LatencyHistogram::new();
+                    let mut inflight: VecDeque<(Instant, Ticket)> =
+                        VecDeque::with_capacity(cfg.outstanding);
+                    let resolve =
+                        |inflight: &mut VecDeque<(Instant, Ticket)>,
+                         histogram: &mut LatencyHistogram| {
+                            if let Some((sent, ticket)) = inflight.pop_front() {
+                                if ticket.wait().is_err() {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                histogram.record(sent.elapsed());
+                                completed.fetch_add(1, Ordering::Release);
+                            }
+                        };
+                    for qo in queries.iter().skip(w).step_by(workers) {
+                        // A query must not outrun the mutations before it
+                        // (its class may not exist yet). While waiting,
+                        // drain our in-flight tickets — the mutation gate
+                        // may be waiting on exactly those completions.
+                        while applied.load(Ordering::Acquire) < qo.epoch {
+                            if inflight.is_empty() {
+                                std::thread::yield_now();
+                            } else {
+                                resolve(&mut inflight, &mut histogram);
+                            }
+                        }
+                        let sent = Instant::now();
+                        let ticket = loop {
+                            match frontend.submit(qo.slot as usize, qo.q, qo.k as usize) {
+                                Ok(t) => break Some(t),
+                                Err(FrontendError::Overloaded { .. }) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                    resolve(&mut inflight, &mut histogram);
+                                    std::thread::yield_now();
+                                }
+                                Err(_) => break None,
+                            }
+                        };
+                        match ticket {
+                            Some(t) => {
+                                inflight.push_back((sent, t));
+                                if inflight.len() >= cfg.outstanding {
+                                    resolve(&mut inflight, &mut histogram);
+                                }
+                            }
+                            None => {
+                                // Typed rejection (unknown class, …):
+                                // counts as a completed-with-error query
+                                // so mutation gates keep advancing.
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                completed.fetch_add(1, Ordering::Release);
+                            }
+                        }
+                    }
+                    while !inflight.is_empty() {
+                        resolve(&mut inflight, &mut histogram);
+                    }
+                    histogram
+                })
+            })
+            .collect();
+
+        // The caller's thread is the mutator: apply each delta/register
+        // once the queries before it have completed, so churn lands
+        // mid-traffic at a reproducible position.
+        let mut deltas = 0usize;
+        let mut registers = 0usize;
+        let mut failures: Vec<String> = Vec::new();
+        let mut fused = 0usize;
+        let mut sequential = 0usize;
+        for (gate, op) in &mutations {
+            while completed.load(Ordering::Acquire) < *gate {
+                std::thread::yield_now();
+            }
+            match op {
+                Op::Delta(delta) => match target.apply_delta(delta) {
+                    Ok(m) => {
+                        deltas += 1;
+                        fused += m.fused_shard_visits;
+                        sequential += m.sequential_shard_visits;
+                    }
+                    Err(e) => failures.push(format!("delta rejected: {e}")),
+                },
+                Op::Register(spec) => match target.register_class(spec) {
+                    Ok(_) => registers += 1,
+                    Err(e) => failures.push(format!("register {:?} rejected: {e}", spec.name)),
+                },
+                Op::Query { .. } => unreachable!("queries are partitioned out"),
+            }
+            applied.fetch_add(1, Ordering::Release);
+        }
+
+        let mut histogram = LatencyHistogram::new();
+        for h in handles {
+            histogram.merge(&h.join().expect("scenario worker panicked"));
+        }
+        (histogram, deltas, registers, failures, fused, sequential)
+    });
+    let wall = t0.elapsed();
+    let stats1 = frontend.server().stats();
+
+    ScenarioReport {
+        scenario: trace.scenario.clone(),
+        completed: completed.into_inner(),
+        errors: errors.into_inner(),
+        wall,
+        latency: histogram.snapshot(),
+        cache_hits: stats1.cache_hits - stats0.cache_hits,
+        cache_misses: stats1.cache_misses - stats0.cache_misses,
+        shed_events: shed.into_inner(),
+        deltas,
+        registers,
+        mutation_failures: failures,
+        fused_shard_visits: fused,
+        sequential_shard_visits: sequential,
+    }
+}

@@ -1,0 +1,529 @@
+//! Deterministic workload generation.
+//!
+//! [`TraceGenerator`] turns one suite seed into the named scenario
+//! traces of [`Scenario::ALL`]. Determinism is the contract: the same
+//! seed over the same starting graph yields byte-identical traces
+//! (pinned by the golden-fingerprint tests), so a benchmark regression
+//! is always a *code* change, never workload noise. To keep that true
+//! across platforms the generator uses only a `ChaCha8Rng` stream and
+//! IEEE-exact float operations (`+ - * /`, never `libm` calls like
+//! `powf`/`sin`), and every graph delta is generated against an
+//! internally-evolved graph copy so it is valid by construction.
+//!
+//! The generator's graph evolves **across** `generate` calls: a suite
+//! is meant to be replayed in generation order against one engine
+//! whose graph starts where the generator's did.
+
+use crate::ops::{fnv64, Op, Trace};
+use crate::spec::{ClassSpec, PatternSelect};
+use mgp_graph::{Graph, GraphDelta, NodeId, TypeId};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The named scenarios, in suite order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Zipfian anchors, fixed `k`, no churn — the cache-friendly
+    /// baseline every other scenario is compared against.
+    SteadyRead,
+    /// Zipfian reads with churn deltas whose size swells and shrinks on
+    /// a triangle wave — a day/night load curve compressed into one
+    /// trace.
+    DiurnalChurn,
+    /// Repeated hub storms: one delta attaches a new hub node to many
+    /// anchors, queries hammer the churned anchors, one delta then
+    /// removes the whole hub — the worst case for per-edge delta
+    /// matching and posting patches.
+    DeletionStorm,
+    /// Uniform permutation sweeps over all anchors with a per-pass `k`
+    /// bump, so no `(class, q, k)` key ever repeats — the LRU-hostile
+    /// adversary.
+    CacheBuster,
+    /// One hot tenant class takes most of the traffic at small `k`;
+    /// cold tenants scatter uniform queries at 4× the `k` — mixed
+    /// per-class load with k-skew.
+    TenantSkew,
+    /// Steady zipfian reads that register a brand-new class mid-trace
+    /// and immediately start querying it.
+    RegisterMidTraffic,
+}
+
+impl Scenario {
+    /// Every scenario, in canonical suite order.
+    pub const ALL: [Scenario; 6] = [
+        Scenario::SteadyRead,
+        Scenario::DiurnalChurn,
+        Scenario::DeletionStorm,
+        Scenario::CacheBuster,
+        Scenario::TenantSkew,
+        Scenario::RegisterMidTraffic,
+    ];
+
+    /// Stable scenario name (also salts the per-scenario RNG stream).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::SteadyRead => "steady-read",
+            Scenario::DiurnalChurn => "diurnal-churn",
+            Scenario::DeletionStorm => "deletion-storm",
+            Scenario::CacheBuster => "cache-buster",
+            Scenario::TenantSkew => "tenant-skew",
+            Scenario::RegisterMidTraffic => "register-mid-traffic",
+        }
+    }
+}
+
+/// Suite-generation parameters.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Suite seed; every scenario derives its own stream from it.
+    pub seed: u64,
+    /// Queries per scenario trace.
+    pub queries: usize,
+    /// Baseline result-list length.
+    pub k: usize,
+    /// Class slots live before the suite starts (the engine's
+    /// already-registered classes, ids `0..n_classes`).
+    pub n_classes: usize,
+    /// Queries between churn deltas in [`Scenario::DiurnalChurn`].
+    pub churn_every: usize,
+    /// Peak edges per churn delta (the triangle wave's crest).
+    pub churn_edges: usize,
+    /// Edges each [`Scenario::DeletionStorm`] hub attaches (and one
+    /// delta later removes).
+    pub hub_degree: usize,
+    /// Hub add/remove storms per deletion-storm trace.
+    pub storms: usize,
+    /// Class spec registered by [`Scenario::RegisterMidTraffic`]
+    /// (default: all mined patterns, uniform weights, under the name
+    /// `"runtime-registered"`).
+    pub register_spec: Option<ClassSpec>,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 42,
+            queries: 2_000,
+            k: 10,
+            n_classes: 1,
+            churn_every: 64,
+            churn_edges: 6,
+            hub_degree: 256,
+            storms: 3,
+            register_spec: None,
+        }
+    }
+}
+
+/// Seeded scenario-trace generator over an evolving graph copy.
+pub struct TraceGenerator {
+    graph: Graph,
+    anchor_type: TypeId,
+    anchors: Vec<NodeId>,
+    attrs: Vec<NodeId>,
+    hub_type: TypeId,
+    cfg: GeneratorConfig,
+}
+
+/// Uniform `[0, 1)` from one RNG draw — IEEE-exact arithmetic only.
+fn unit(rng: &mut ChaCha8Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform index in `0..n` (`n > 0`).
+fn below(rng: &mut ChaCha8Rng, n: usize) -> usize {
+    (rng.next_u64() % n as u64) as usize
+}
+
+/// Cumulative zipf(s=1) distribution over `n` ranks: rank `r` (0-based)
+/// carries weight `1 / (r + 1)` — heavy head, long tail, and only
+/// IEEE-exact division, so the sampled stream is platform-independent.
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 0..n {
+        acc += 1.0 / (r + 1) as f64;
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+fn sample(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+impl TraceGenerator {
+    /// Builds a generator over a copy of `graph`. Anchor and attribute
+    /// pools are captured once, in deterministic CSR order; hub nodes
+    /// take the type of the first non-anchor node (falling back to the
+    /// anchor type in a unityped graph).
+    pub fn new(graph: &Graph, anchor_type: TypeId, cfg: GeneratorConfig) -> Self {
+        let anchors = graph.nodes_of_type(anchor_type).to_vec();
+        assert!(!anchors.is_empty(), "graph has no anchor nodes");
+        let attrs: Vec<NodeId> = graph
+            .nodes()
+            .filter(|&v| graph.node_type(v) != anchor_type && graph.degree(v) > 0)
+            .collect();
+        let hub_type = attrs
+            .first()
+            .map(|&v| graph.node_type(v))
+            .unwrap_or(anchor_type);
+        TraceGenerator {
+            graph: graph.clone(),
+            anchor_type,
+            anchors,
+            attrs,
+            hub_type,
+            cfg,
+        }
+    }
+
+    /// The anchor type queries sample from.
+    pub fn anchor_type(&self) -> TypeId {
+        self.anchor_type
+    }
+
+    /// Generates every scenario of [`Scenario::ALL`], in order.
+    pub fn generate_suite(&mut self) -> Vec<Trace> {
+        Scenario::ALL
+            .map(|s| self.generate(s))
+            .into_iter()
+            .collect()
+    }
+
+    /// Generates one scenario trace. Deltas the trace contains are
+    /// applied to the generator's internal graph, so later traces stay
+    /// valid when replayed in order.
+    pub fn generate(&mut self, scenario: Scenario) -> Trace {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ fnv64(scenario.name().as_bytes()));
+        let ops = match scenario {
+            Scenario::SteadyRead => self.steady_read(&mut rng),
+            Scenario::DiurnalChurn => self.diurnal_churn(&mut rng),
+            Scenario::DeletionStorm => self.deletion_storm(&mut rng),
+            Scenario::CacheBuster => self.cache_buster(&mut rng),
+            Scenario::TenantSkew => self.tenant_skew(&mut rng),
+            Scenario::RegisterMidTraffic => self.register_mid_traffic(&mut rng),
+        };
+        Trace {
+            scenario: scenario.name().to_owned(),
+            seed: self.cfg.seed,
+            n_initial_classes: self.cfg.n_classes as u32,
+            ops,
+        }
+    }
+
+    fn zipf_query(&self, rng: &mut ChaCha8Rng, cdf: &[f64], slot_cdf: &[f64], k: usize) -> Op {
+        Op::Query {
+            slot: sample(slot_cdf, unit(rng)) as u32,
+            q: self.anchors[sample(cdf, unit(rng))],
+            k: k as u32,
+        }
+    }
+
+    /// Applies `delta` to the evolving graph and returns it as an op.
+    fn commit(&mut self, delta: GraphDelta) -> Op {
+        let ext = self
+            .graph
+            .apply_delta(&delta)
+            .expect("generator deltas are valid by construction");
+        self.graph = ext.graph;
+        Op::Delta(delta)
+    }
+
+    fn steady_read(&mut self, rng: &mut ChaCha8Rng) -> Vec<Op> {
+        let cdf = zipf_cdf(self.anchors.len());
+        let slots = zipf_cdf(self.cfg.n_classes);
+        (0..self.cfg.queries)
+            .map(|_| self.zipf_query(rng, &cdf, &slots, self.cfg.k))
+            .collect()
+    }
+
+    fn diurnal_churn(&mut self, rng: &mut ChaCha8Rng) -> Vec<Op> {
+        let cdf = zipf_cdf(self.anchors.len());
+        let slots = zipf_cdf(self.cfg.n_classes);
+        let n_deltas = (self.cfg.queries / self.cfg.churn_every.max(1)).max(2);
+        let mut ops = Vec::with_capacity(self.cfg.queries + n_deltas);
+        // Edges this trace added and has not yet removed — removal
+        // deltas draw from it, so the churn is self-consistent.
+        let mut pool: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut emitted = 0usize;
+        for j in 0..n_deltas {
+            for _ in 0..self.cfg.churn_every {
+                if emitted >= self.cfg.queries {
+                    break;
+                }
+                ops.push(self.zipf_query(rng, &cdf, &slots, self.cfg.k));
+                emitted += 1;
+            }
+            // Triangle wave over the delta index: delta size climbs from
+            // 1 to the crest at mid-trace and back — the "diurnal" swell.
+            let half = n_deltas / 2;
+            let phase = if j <= half { j } else { n_deltas - j };
+            let size = 1 + self.cfg.churn_edges * phase / half.max(1);
+            let mut delta = GraphDelta::for_graph(&self.graph);
+            let mut touched: Vec<(NodeId, NodeId)> = Vec::new();
+            for _ in 0..size {
+                let remove =
+                    !pool.is_empty() && (pool.len() > self.cfg.churn_edges || unit(rng) < 0.5);
+                if remove {
+                    let (u, a) = pool.swap_remove(below(rng, pool.len()));
+                    if touched.contains(&(u, a)) {
+                        pool.push((u, a));
+                        continue;
+                    }
+                    delta.remove_edge(u, a).expect("pooled edge exists");
+                    touched.push((u, a));
+                } else if let Some((u, a)) = self.fresh_pair(rng, &touched) {
+                    delta.add_edge(u, a).expect("endpoints exist");
+                    touched.push((u, a));
+                    pool.push((u, a));
+                }
+            }
+            if !delta.is_empty() {
+                ops.push(self.commit(delta));
+            }
+        }
+        while emitted < self.cfg.queries {
+            ops.push(self.zipf_query(rng, &cdf, &slots, self.cfg.k));
+            emitted += 1;
+        }
+        ops
+    }
+
+    /// A not-currently-present (anchor, attribute) edge, avoiding pairs
+    /// already touched in the delta under construction.
+    fn fresh_pair(
+        &self,
+        rng: &mut ChaCha8Rng,
+        touched: &[(NodeId, NodeId)],
+    ) -> Option<(NodeId, NodeId)> {
+        if self.attrs.is_empty() {
+            return None;
+        }
+        for _ in 0..32 {
+            let u = self.anchors[below(rng, self.anchors.len())];
+            let a = self.attrs[below(rng, self.attrs.len())];
+            if !self.graph.has_edge(u, a) && !touched.contains(&(u, a)) {
+                return Some((u, a));
+            }
+        }
+        None
+    }
+
+    fn deletion_storm(&mut self, rng: &mut ChaCha8Rng) -> Vec<Op> {
+        let cdf = zipf_cdf(self.anchors.len());
+        let slots = zipf_cdf(self.cfg.n_classes);
+        let storms = self.cfg.storms.max(1);
+        let degree = self.cfg.hub_degree.min(self.anchors.len());
+        // Each storm: calm reads, hub attach, reads aimed at the churned
+        // anchors, hub removal (every edge in one delta).
+        let per_phase = (self.cfg.queries / (storms * 2)).max(1);
+        let mut ops = Vec::new();
+        let mut emitted = 0usize;
+        for s in 0..storms {
+            for _ in 0..per_phase {
+                ops.push(self.zipf_query(rng, &cdf, &slots, self.cfg.k));
+                emitted += 1;
+            }
+            // Attach a brand-new hub to `degree` distinct anchors.
+            let mut delta = GraphDelta::for_graph(&self.graph);
+            let hub = delta.add_node(self.hub_type, format!("storm-hub-{}-{s}", self.cfg.seed));
+            let mut chosen: Vec<NodeId> = Vec::with_capacity(degree);
+            while chosen.len() < degree {
+                let a = self.anchors[below(rng, self.anchors.len())];
+                if !chosen.contains(&a) {
+                    delta.add_edge(hub, a).expect("anchor exists");
+                    chosen.push(a);
+                }
+            }
+            ops.push(self.commit(delta));
+            // Hammer the anchors whose postings the hub just churned.
+            for _ in 0..per_phase {
+                ops.push(Op::Query {
+                    slot: sample(&slots, unit(rng)) as u32,
+                    q: chosen[below(rng, chosen.len())],
+                    k: self.cfg.k as u32,
+                });
+                emitted += 1;
+            }
+            // The storm: the whole hub — all `degree` edges — in one delta.
+            let mut delta = GraphDelta::for_graph(&self.graph);
+            delta.remove_node(hub).expect("hub was just added");
+            ops.push(self.commit(delta));
+        }
+        while emitted < self.cfg.queries {
+            ops.push(self.zipf_query(rng, &cdf, &slots, self.cfg.k));
+            emitted += 1;
+        }
+        ops
+    }
+
+    fn cache_buster(&mut self, rng: &mut ChaCha8Rng) -> Vec<Op> {
+        let n = self.anchors.len();
+        // A stride coprime with `n` visits every anchor exactly once per
+        // pass; each full pass bumps `k`, so no `(class, q, k)` cache
+        // key ever recurs.
+        fn gcd(a: usize, b: usize) -> usize {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        let mut stride = below(rng, n).max(1);
+        while gcd(stride, n) != 1 {
+            stride += 1;
+        }
+        let offset = below(rng, n);
+        (0..self.cfg.queries)
+            .map(|i| Op::Query {
+                slot: (i % self.cfg.n_classes) as u32,
+                q: self.anchors[(offset + i * stride) % n],
+                k: (self.cfg.k + i / n) as u32,
+            })
+            .collect()
+    }
+
+    fn tenant_skew(&mut self, rng: &mut ChaCha8Rng) -> Vec<Op> {
+        let cdf = zipf_cdf(self.anchors.len());
+        let hot = below(rng, self.cfg.n_classes);
+        (0..self.cfg.queries)
+            .map(|_| {
+                if self.cfg.n_classes == 1 || unit(rng) < 0.8 {
+                    // Hot tenant: zipfian anchors, small k.
+                    Op::Query {
+                        slot: hot as u32,
+                        q: self.anchors[sample(&cdf, unit(rng))],
+                        k: self.cfg.k as u32,
+                    }
+                } else {
+                    // Cold tenants: uniform anchors, 4× the k.
+                    let mut slot = below(rng, self.cfg.n_classes - 1);
+                    if slot >= hot {
+                        slot += 1;
+                    }
+                    Op::Query {
+                        slot: slot as u32,
+                        q: self.anchors[below(rng, self.anchors.len())],
+                        k: (self.cfg.k * 4) as u32,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn register_mid_traffic(&mut self, rng: &mut ChaCha8Rng) -> Vec<Op> {
+        let cdf = zipf_cdf(self.anchors.len());
+        let slots = zipf_cdf(self.cfg.n_classes);
+        let spec = self
+            .cfg
+            .register_spec
+            .clone()
+            .unwrap_or_else(|| ClassSpec::new("runtime-registered", PatternSelect::All));
+        let new_slot = self.cfg.n_classes as u32;
+        let split = self.cfg.queries / 3;
+        let mut ops = Vec::with_capacity(self.cfg.queries + 1);
+        for _ in 0..split {
+            ops.push(self.zipf_query(rng, &cdf, &slots, self.cfg.k));
+        }
+        ops.push(Op::Register(spec));
+        for _ in split..self.cfg.queries {
+            if unit(rng) < 0.3 {
+                // The freshly-registered class takes a steady share.
+                ops.push(Op::Query {
+                    slot: new_slot,
+                    q: self.anchors[sample(&cdf, unit(rng))],
+                    k: self.cfg.k as u32,
+                });
+            } else {
+                ops.push(self.zipf_query(rng, &cdf, &slots, self.cfg.k));
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::GraphBuilder;
+
+    fn world() -> (Graph, TypeId) {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let attr = b.add_type("attr");
+        let users: Vec<NodeId> = (0..24).map(|i| b.add_node(user, format!("u{i}"))).collect();
+        let attrs: Vec<NodeId> = (0..6).map(|i| b.add_node(attr, format!("a{i}"))).collect();
+        for (i, &u) in users.iter().enumerate() {
+            b.add_edge(u, attrs[i % attrs.len()]).unwrap();
+        }
+        (b.build(), TypeId(0))
+    }
+
+    fn cfg(seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            seed,
+            queries: 120,
+            n_classes: 2,
+            churn_every: 16,
+            hub_degree: 8,
+            storms: 2,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn scenarios_have_their_signature_op_mix() {
+        let (g, anchor) = world();
+        let mut gen = TraceGenerator::new(&g, anchor, cfg(1));
+        let suite = gen.generate_suite();
+        assert_eq!(suite.len(), Scenario::ALL.len());
+        for (trace, scenario) in suite.iter().zip(Scenario::ALL) {
+            assert_eq!(trace.scenario, scenario.name());
+            assert_eq!(trace.n_queries(), 120, "{}", trace.scenario);
+            assert_eq!(trace.n_initial_classes, 2);
+        }
+        assert_eq!(suite[0].n_deltas(), 0, "steady read is churn-free");
+        assert!(suite[1].n_deltas() >= 2, "diurnal churn has deltas");
+        assert_eq!(suite[2].n_deltas(), 4, "two storms = 4 hub deltas");
+        assert_eq!(suite[3].n_deltas(), 0, "cache buster is churn-free");
+        assert_eq!(suite[5].n_registers(), 1, "register-mid-traffic");
+        // Every query's slot is within the (possibly grown) slot space.
+        for trace in &suite {
+            let mut live = trace.n_initial_classes;
+            for op in &trace.ops {
+                match op {
+                    Op::Query { slot, .. } => assert!(*slot < live),
+                    Op::Register(_) => live += 1,
+                    Op::Delta(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_buster_never_repeats_a_key() {
+        let (g, anchor) = world();
+        let mut gen = TraceGenerator::new(&g, anchor, cfg(3));
+        let trace = gen.generate(Scenario::CacheBuster);
+        let mut seen = std::collections::HashSet::new();
+        for op in &trace.ops {
+            if let Op::Query { slot, q, k } = op {
+                assert!(seen.insert((*slot, q.0, *k)), "repeated cache key");
+            }
+        }
+    }
+
+    #[test]
+    fn deletion_storm_nets_back_to_the_starting_graph() {
+        let (g, anchor) = world();
+        let mut gen = TraceGenerator::new(&g, anchor, cfg(5));
+        let _ = gen.generate(Scenario::DeletionStorm);
+        // Hubs are added and then wholly removed; edge set is restored
+        // (the hub node ids remain allocated but detached).
+        assert_eq!(gen.graph.n_edges(), g.n_edges());
+    }
+}

@@ -1,0 +1,48 @@
+//! # mgp-scenario — runtime query classes + adversarial workload suite
+//!
+//! The serving stack is benchmarked, but a benchmark only guards the
+//! traffic shape it generates. This crate makes the traffic shape a
+//! first-class, reproducible artifact, in two layers:
+//!
+//! * **Runtime class specs** ([`spec`]) — a [`ClassSpec`] names the
+//!   metagraph patterns, count transform and weights of a new relevance
+//!   class. `mgp_core::SearchEngine::register_class` compiles one
+//!   against a *live* engine: the restricted index is built from the
+//!   engine's current instance counts, subsequent `ingest` calls fan
+//!   deltas to it exactly like build-time classes, and
+//!   `QueryServer::register_class` grows every shard's class slice
+//!   through the same copy-on-write epoch swaps a delta uses — readers
+//!   never pause and never observe a half-registered class.
+//! * **Deterministic workloads** ([`generator`], [`ops`]) — one seed
+//!   expands into the named scenario traces of
+//!   [`Scenario::ALL`](generator::Scenario::ALL): zipfian steady
+//!   reads, diurnal churn, hub-heavy deletion storms, cache-busting
+//!   uniform sweeps, mixed-tenant k-skew, and register-class-mid-
+//!   traffic. Traces are replayable [`Op`] streams with a canonical
+//!   byte encoding and FNV fingerprint, so the suite is pinned
+//!   byte-for-byte by golden tests.
+//! * **A replay driver** ([`driver`]) — [`run_trace`] drives the async
+//!   front-end open-loop from worker threads while mutations land
+//!   mid-traffic through a [`ScenarioTarget`], and reports per-scenario
+//!   QPS, p50/p99 (merged [`mgp_online::LatencyHistogram`]s), cache hit
+//!   rate, shed counts and fused-visit stats — the numbers
+//!   `bench_scenarios` gates in CI.
+//!
+//! The crate sits *below* `mgp-core` (which re-exports it as
+//! `mgp_core::scenario` and provides the `SearchEngine` glue), so it
+//! can be used directly against any `Frontend` + [`ScenarioTarget`]
+//! pair.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod generator;
+pub mod ops;
+pub mod spec;
+
+pub use driver::{
+    run_trace, DriverConfig, MutationSummary, ScenarioReport, ScenarioTarget, SuiteReport,
+};
+pub use generator::{GeneratorConfig, Scenario, TraceGenerator};
+pub use ops::{fnv64, Op, Trace};
+pub use spec::{ClassSpec, PatternSelect, SpecError, WeightSpec};

@@ -1,0 +1,198 @@
+//! Replayable operation streams.
+//!
+//! A [`Trace`] is a named, seeded, fully-materialised workload: an
+//! ordered list of [`Op`]s the driver replays against a live
+//! engine/front-end pair. Traces have a canonical little-endian byte
+//! encoding ([`Trace::to_bytes`]) and a 64-bit FNV-1a fingerprint over
+//! it ([`Trace::fingerprint`]) — the determinism tests pin generator
+//! output byte-for-byte, so an accidental generator change fails
+//! loudly instead of silently shifting every benchmark.
+
+use crate::spec::ClassSpec;
+use mgp_graph::{GraphDelta, GraphError, NodeId};
+
+/// Trace-format magic ("MGPS" for scenario).
+const TRACE_MAGIC: &[u8; 4] = b"MGPS";
+/// Bump when [`Trace::to_bytes`] (or [`ClassSpec`] encoding) changes.
+const TRACE_VERSION: u16 = 1;
+
+/// One workload operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Rank top-`k` for `q` under the class in slot `slot` (slots
+    /// `0..n_initial_classes` are the classes present before the trace
+    /// starts; each [`Op::Register`] appends the next slot).
+    Query {
+        /// Class slot (see [`Trace::n_initial_classes`]).
+        slot: u32,
+        /// Query anchor node.
+        q: NodeId,
+        /// Result-list length.
+        k: u32,
+    },
+    /// Ingest a graph churn delta through the engine + live server.
+    Delta(GraphDelta),
+    /// Register a new class on the live engine + server; queries may use
+    /// its slot from this point on.
+    Register(ClassSpec),
+}
+
+/// A named, seeded, replayable workload.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Scenario name (see `Scenario::name`).
+    pub scenario: String,
+    /// The suite seed the trace was generated from.
+    pub seed: u64,
+    /// Class slots assumed live before the first op; `Register` ops
+    /// extend the slot space by one each, in trace order.
+    pub n_initial_classes: u32,
+    /// The operation stream, in replay order.
+    pub ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Number of query ops.
+    pub fn n_queries(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Query { .. }))
+            .count()
+    }
+
+    /// Number of delta ops.
+    pub fn n_deltas(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Delta(_)))
+            .count()
+    }
+
+    /// Number of class-registration ops.
+    pub fn n_registers(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Register(_)))
+            .count()
+    }
+
+    /// Canonical byte encoding: header (magic, version, seed, initial
+    /// class count, name), then each op tagged `0` (query), `1` (delta,
+    /// as the `GraphDelta` journal-record payload) or `2` (class spec).
+    /// Two traces are the same workload iff their encodings are equal.
+    /// Fails only if an embedded delta exceeds the journal layout's
+    /// dimension limits (`u32` counts), which generated traces never do.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, GraphError> {
+        let mut out = Vec::with_capacity(32 + self.ops.len() * 13);
+        out.extend_from_slice(TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.n_initial_classes.to_le_bytes());
+        out.extend_from_slice(&(self.scenario.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.scenario.as_bytes());
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                Op::Query { slot, q, k } => {
+                    out.push(0);
+                    out.extend_from_slice(&slot.to_le_bytes());
+                    out.extend_from_slice(&q.0.to_le_bytes());
+                    out.extend_from_slice(&k.to_le_bytes());
+                }
+                Op::Delta(delta) => {
+                    out.push(1);
+                    let bytes = delta.to_bytes()?;
+                    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&bytes);
+                }
+                Op::Register(spec) => {
+                    out.push(2);
+                    spec.encode(&mut out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// FNV-1a fingerprint of [`Trace::to_bytes`] — the golden-trace
+    /// tests' one-number summary of the whole workload.
+    pub fn fingerprint(&self) -> Result<u64, GraphError> {
+        Ok(fnv64(&self.to_bytes()?))
+    }
+}
+
+/// 64-bit FNV-1a. Stable, dependency-free, and good enough to detect
+/// any accidental trace drift (this is a change detector, not a
+/// cryptographic commitment).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PatternSelect;
+    use mgp_graph::{Graph, GraphBuilder};
+
+    fn tiny_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let t = b.add_type("user");
+        let u = b.add_node(t, "u0");
+        let v = b.add_node(t, "u1");
+        b.add_edge(u, v).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn encoding_round_trips_op_counts() {
+        let g = tiny_graph();
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.remove_edge(NodeId(0), NodeId(1)).unwrap();
+        let trace = Trace {
+            scenario: "unit".to_owned(),
+            seed: 7,
+            n_initial_classes: 2,
+            ops: vec![
+                Op::Query {
+                    slot: 0,
+                    q: NodeId(1),
+                    k: 10,
+                },
+                Op::Delta(delta),
+                Op::Register(ClassSpec::new("rt", PatternSelect::Seeds)),
+                Op::Query {
+                    slot: 2,
+                    q: NodeId(0),
+                    k: 5,
+                },
+            ],
+        };
+        assert_eq!(trace.n_queries(), 2);
+        assert_eq!(trace.n_deltas(), 1);
+        assert_eq!(trace.n_registers(), 1);
+        let bytes = trace.to_bytes().unwrap();
+        assert_eq!(&bytes[..4], TRACE_MAGIC);
+        // Same trace, same bytes; any field change moves the fingerprint.
+        assert_eq!(bytes, trace.clone().to_bytes().unwrap());
+        let mut other = trace.clone();
+        other.seed = 8;
+        assert_ne!(
+            trace.fingerprint().unwrap(),
+            other.fingerprint().unwrap(),
+            "seed must be part of the fingerprint"
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,277 @@
+//! Runtime query-class specifications.
+//!
+//! A [`ClassSpec`] is everything a `SearchEngine` needs to add a new
+//! relevance class *without training*: which metagraph patterns carry
+//! the class, how raw instance counts become vector entries, and the
+//! per-pattern weights. The engine compiles a spec against its mined
+//! pattern set (`SearchEngine::register_class` in `mgp-core`), builds
+//! the restricted index from its current counts, and — for a live
+//! server — grows every shard's class slice through the same
+//! copy-on-write epoch swaps a delta uses.
+
+use mgp_index::Transform;
+use mgp_metagraph::Metagraph;
+use std::fmt;
+
+/// Which metagraph patterns back a runtime-registered class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternSelect {
+    /// Every pattern the engine has mined.
+    All,
+    /// The engine's metapath seeds (the cheap chain patterns).
+    Seeds,
+    /// Explicit indices into the engine's mined pattern set.
+    Mined(Vec<usize>),
+    /// Caller-supplied metagraphs, appended to the engine's pattern set
+    /// and matched on registration. Each must contain the engine's
+    /// anchor type.
+    Custom(Vec<Metagraph>),
+}
+
+/// Per-pattern weights for a runtime-registered class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightSpec {
+    /// Weight `1.0` on every selected pattern.
+    Uniform,
+    /// One explicit weight per selected pattern, in selection order.
+    Explicit(Vec<f64>),
+}
+
+/// A runtime class definition: patterns + transform + weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// Class name (must be new to the engine and the server).
+    pub name: String,
+    /// Pattern selection.
+    pub patterns: PatternSelect,
+    /// Count transform for the class's restricted index.
+    pub transform: Transform,
+    /// Per-pattern weights.
+    pub weights: WeightSpec,
+}
+
+/// Why a [`ClassSpec`] is malformed on its own terms (engine-dependent
+/// checks — unknown pattern indices, duplicate names — are reported by
+/// `SearchEngine::register_class`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The class name is empty.
+    EmptyName,
+    /// `Mined`/`Custom`/`Explicit` with an empty list.
+    EmptyPattern,
+    /// An explicit weight is NaN or infinite.
+    BadWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// Its value.
+        value: f64,
+    },
+    /// Explicit weight count disagrees with the selected pattern count
+    /// (only checkable locally for `Mined`/`Custom` selections).
+    WeightCount {
+        /// Selected pattern count.
+        expected: usize,
+        /// Supplied weight count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyName => write!(f, "class name is empty"),
+            SpecError::EmptyPattern => write!(f, "pattern selection is empty"),
+            SpecError::BadWeight { index, value } => {
+                write!(f, "weight {index} is not finite ({value})")
+            }
+            SpecError::WeightCount { expected, got } => {
+                write!(f, "{got} weights for {expected} selected patterns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl ClassSpec {
+    /// A spec with the default transform (`Log1p`) and uniform weights.
+    pub fn new(name: impl Into<String>, patterns: PatternSelect) -> Self {
+        ClassSpec {
+            name: name.into(),
+            patterns,
+            transform: Transform::Log1p,
+            weights: WeightSpec::Uniform,
+        }
+    }
+
+    /// Sets the count transform.
+    pub fn with_transform(mut self, transform: Transform) -> Self {
+        self.transform = transform;
+        self
+    }
+
+    /// Sets explicit weights.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        self.weights = WeightSpec::Explicit(weights);
+        self
+    }
+
+    /// Checks everything checkable without an engine: non-empty name and
+    /// selection, finite weights, and (for `Mined`/`Custom`) that the
+    /// weight count matches the selection.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::EmptyName);
+        }
+        let known_len = match &self.patterns {
+            PatternSelect::All | PatternSelect::Seeds => None,
+            PatternSelect::Mined(v) => {
+                if v.is_empty() {
+                    return Err(SpecError::EmptyPattern);
+                }
+                Some(v.len())
+            }
+            PatternSelect::Custom(mgs) => {
+                if mgs.is_empty() {
+                    return Err(SpecError::EmptyPattern);
+                }
+                Some(mgs.len())
+            }
+        };
+        if let WeightSpec::Explicit(w) = &self.weights {
+            if w.is_empty() {
+                return Err(SpecError::EmptyPattern);
+            }
+            if let Some((index, &value)) = w.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+                return Err(SpecError::BadWeight { index, value });
+            }
+            if let Some(expected) = known_len {
+                if w.len() != expected {
+                    return Err(SpecError::WeightCount {
+                        expected,
+                        got: w.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends the spec's canonical byte encoding (used by
+    /// [`crate::ops::Trace::to_bytes`] — part of the deterministic trace
+    /// format, so any change here must bump the trace version).
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.name.as_bytes());
+        match &self.patterns {
+            PatternSelect::All => out.push(0),
+            PatternSelect::Seeds => out.push(1),
+            PatternSelect::Mined(v) => {
+                out.push(2);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for &i in v {
+                    out.extend_from_slice(&(i as u32).to_le_bytes());
+                }
+            }
+            PatternSelect::Custom(mgs) => {
+                out.push(3);
+                out.extend_from_slice(&(mgs.len() as u32).to_le_bytes());
+                for mg in mgs {
+                    let types = mg.node_types();
+                    out.extend_from_slice(&(types.len() as u32).to_le_bytes());
+                    for t in types {
+                        out.extend_from_slice(&t.0.to_le_bytes());
+                    }
+                    let edges = mg.edges();
+                    out.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                    for (u, v) in edges {
+                        out.extend_from_slice(&(u as u32).to_le_bytes());
+                        out.extend_from_slice(&(v as u32).to_le_bytes());
+                    }
+                }
+            }
+        }
+        out.push(match self.transform {
+            Transform::Raw => 0,
+            Transform::Log1p => 1,
+            Transform::Binary => 2,
+        });
+        match &self.weights {
+            WeightSpec::Uniform => out.push(0),
+            WeightSpec::Explicit(w) => {
+                out.push(1);
+                out.extend_from_slice(&(w.len() as u32).to_le_bytes());
+                for v in w {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgp_graph::TypeId;
+
+    #[test]
+    fn validate_catches_local_defects() {
+        assert_eq!(
+            ClassSpec::new("", PatternSelect::All).validate(),
+            Err(SpecError::EmptyName)
+        );
+        assert_eq!(
+            ClassSpec::new("c", PatternSelect::Mined(vec![])).validate(),
+            Err(SpecError::EmptyPattern)
+        );
+        // NaN payloads never compare equal, so match on the variant.
+        assert!(matches!(
+            ClassSpec::new("c", PatternSelect::Mined(vec![0, 2]))
+                .with_weights(vec![1.0, f64::NAN])
+                .validate(),
+            Err(SpecError::BadWeight { index: 1, .. })
+        ));
+        assert_eq!(
+            ClassSpec::new("c", PatternSelect::Mined(vec![0, 2]))
+                .with_weights(vec![1.0])
+                .validate(),
+            Err(SpecError::WeightCount {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            ClassSpec::new("c", PatternSelect::Seeds)
+                .with_weights(vec![0.5, 2.0])
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn bad_weight_compares_through_nan() {
+        // SpecError derives PartialEq; the NaN payload must not make two
+        // identical errors unequal in the test above — sanity-check the
+        // variant match arms we rely on.
+        let e = ClassSpec::new("c", PatternSelect::All)
+            .with_weights(vec![f64::INFINITY])
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, SpecError::BadWeight { index: 0, .. }));
+    }
+
+    #[test]
+    fn encoding_is_stable_across_equal_specs() {
+        let mg = Metagraph::from_edges(&[TypeId(0), TypeId(1), TypeId(0)], &[(0, 1), (1, 2)])
+            .expect("valid metagraph");
+        let spec = ClassSpec::new("rt", PatternSelect::Custom(vec![mg]))
+            .with_transform(Transform::Binary)
+            .with_weights(vec![1.5]);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        spec.encode(&mut a);
+        spec.clone().encode(&mut b);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Runtime class registration + the deterministic scenario suite.
+//!
+//! Builds a Facebook-like engine with one trained class, then:
+//!
+//! 1. registers a second relevance class **at runtime** from a
+//!    `ClassSpec` — no training pass, no rebuild — and shows it
+//!    answering immediately, riding a live delta like any built-in
+//!    class;
+//! 2. generates the named workload suite (zipfian steady reads, diurnal
+//!    churn, hub deletion storms, cache-busting scans, tenant skew, and
+//!    a class registered mid-traffic) from one seed and replays it
+//!    against the live engine + front-end, printing the per-scenario
+//!    report table.
+//!
+//! Run with: `cargo run --release --example scenarios`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use semantic_proximity::datagen::facebook::{generate_facebook, FacebookConfig, FAMILY};
+use semantic_proximity::engine::scenario::{
+    run_scenarios, ClassSpec, DriverConfig, GeneratorConfig, PatternSelect, TraceGenerator,
+};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::{GraphDelta, NodeId};
+use semantic_proximity::learning::sample_examples;
+
+fn main() {
+    let d = generate_facebook(&FacebookConfig::default());
+    let mut cfg = PipelineConfig::new(d.anchor_type, 5);
+    cfg.strategy = TrainingStrategy::Full;
+    let mut engine = SearchEngine::build(d.graph.clone(), cfg);
+
+    // One class the usual way: trained weights.
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let queries = d.labels.queries_of_class(FAMILY);
+    let anchors: Vec<NodeId> = d.graph.nodes_of_type(d.anchor_type).to_vec();
+    let examples = sample_examples(
+        &queries,
+        |q| d.labels.positives_of(q, FAMILY),
+        |q, v| d.labels.has(q, v, FAMILY),
+        &anchors,
+        200,
+        &mut rng,
+    );
+    engine.train_class("family", &examples);
+
+    // --- 1. runtime registration ------------------------------------
+    // A second class from a spec: the metapath seeds with uniform
+    // weights, compiled against the live engine's cached counts.
+    let server = engine.serve_shared();
+    let spec = ClassSpec::new("seed-similarity", PatternSelect::Seeds);
+    let cid = engine
+        .register_class_serving(&spec, &server)
+        .expect("spec compiles");
+    let q = anchors[0];
+    println!("registered {:?} live as class {cid}", "seed-similarity");
+    println!("  first answer: {:?}", server.rank(cid, q, 3));
+
+    // It rides deltas like a built-in class from here on.
+    let attr = d
+        .graph
+        .nodes()
+        .find(|&v| d.graph.node_type(v) != d.anchor_type && !d.graph.has_edge(q, v))
+        .expect("some attribute q lacks");
+    let mut delta = GraphDelta::for_graph(engine.graph());
+    delta.add_edge(q, attr).unwrap();
+    let report = engine.ingest_serving(&delta, &server).unwrap();
+    println!(
+        "  after one live edge: {} classes patched, answer now {:?}",
+        report.per_class.len(),
+        server.rank(cid, q, 3)
+    );
+    drop(server);
+
+    // --- 2. the scenario suite ---------------------------------------
+    // Six named workloads from one seed, replayed open-loop through the
+    // async front-end while deltas and registrations land mid-traffic.
+    let frontend = engine.serve_frontend();
+    let mut generator = TraceGenerator::new(
+        engine.graph(),
+        engine.anchor_type(),
+        GeneratorConfig {
+            seed: 42,
+            queries: 500,
+            n_classes: 2, // "family" + "seed-similarity"
+            // Modest storm hub: the dense Facebook schema multiplies
+            // instances per hub edge (see bench_scenarios).
+            hub_degree: 32,
+            ..GeneratorConfig::default()
+        },
+    );
+    let traces = generator.generate_suite();
+    println!("\nreplaying {} scenarios x {} queries:", traces.len(), 500);
+    let suite = run_scenarios(&mut engine, &frontend, &traces, &DriverConfig::default());
+    println!("{suite}");
+    println!("front-end totals: {}", frontend.shutdown());
+}

@@ -32,6 +32,7 @@
 //! | [`engine`] | offline pipeline + online query facade |
 //! | [`online`] | batched `QueryServer` with live delta updates |
 //! | [`persist`] | mmap snapshot sections + checksummed delta journal |
+//! | [`scenario`] | runtime `ClassSpec` registration + deterministic workload suite |
 
 pub use mgp_core as engine;
 pub use mgp_datagen as datagen;
@@ -44,3 +45,4 @@ pub use mgp_metagraph as metagraph;
 pub use mgp_mining as mining;
 pub use mgp_online as online;
 pub use mgp_persist as persist;
+pub use mgp_scenario as scenario;

@@ -6,6 +6,7 @@
 //! contract: insertions and deletions are exact inverses through the
 //! whole graph → matching → index → serving chain.
 
+use semantic_proximity::engine::scenario::{ClassSpec, PatternSelect};
 use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
 use semantic_proximity::graph::delta::GraphDelta;
 use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
@@ -241,6 +242,131 @@ fn churn_that_nets_to_zero_restores_everything_exactly() {
         let q = NodeId(q);
         let want = mgp::rank_with_scores(&index0, q, &weights, 10);
         assert_eq!(engine.search("c", q, 10), want, "engine q={q}");
+        assert_eq!(*server.rank(cid, q, 10), want, "server q={q}");
+    }
+}
+
+/// Hub-heavy deletion storm: one anchor with ~10³ edges is detached in a
+/// **single** delta (the worst case for posting-list patching — one op
+/// dooms a thousand instances at once), then re-wired in a single delta.
+/// Every derived table must come back exactly: counts, index, server
+/// postings and dot tables, retained epochs — with no leaked empties.
+/// The served class is a *runtime-registered* one, so the storm also
+/// soaks the `register_class` path's index under heavy deletion.
+#[test]
+fn hub_deletion_storm_restores_tables_exactly() {
+    const N_ATTRS: usize = 1000;
+    const N_USERS: usize = 20;
+
+    // A star: `hub` touches every attribute; each attribute also touches
+    // one of 20 regular users. The user–A–user metapath therefore routes
+    // every instance through the hub — degree(hub) = 1000.
+    let mut gb = GraphBuilder::new();
+    let user = gb.add_type("user");
+    let ta = gb.add_type("a");
+    let _tb = gb.add_type("b"); // keep the catalogue's TypeId layout
+    let hub = gb.add_node(user, "hub");
+    let users: Vec<NodeId> = (0..N_USERS)
+        .map(|i| gb.add_node(user, format!("u{i}")))
+        .collect();
+    for i in 0..N_ATTRS {
+        let a = gb.add_node(ta, format!("a{i}"));
+        gb.add_edge(hub, a).unwrap();
+        gb.add_edge(a, users[i % N_USERS]).unwrap();
+    }
+    let g0 = gb.build();
+    assert_eq!(g0.degree(hub), N_ATTRS);
+
+    let mut engine = SearchEngine::with_metagraphs(g0.clone(), catalogue(), pipeline_cfg());
+    // No training pass: the class is registered at runtime over the full
+    // catalogue with uniform weights.
+    engine
+        .register_class(&ClassSpec::new("hub-class", PatternSelect::All))
+        .unwrap();
+    let weights = engine.model("hub-class").unwrap().weights.clone();
+    let coords = engine.model("hub-class").unwrap().coords.clone();
+    let server = engine.serve_with(ServeConfig {
+        workers: 2,
+        shards: 4,
+        cache_capacity: 64,
+    });
+    let cid = server.class_id("hub-class").unwrap();
+
+    // Baselines to restore.
+    let counts0: Vec<AnchorCounts> = coords
+        .iter()
+        .map(|&i| engine.counts(i).unwrap().clone())
+        .collect();
+    let index0 = engine.model("hub-class").unwrap().index.clone();
+    let tables0 = server.table_stats(cid);
+    assert!(tables0.n_postings > 0);
+
+    // Warm the cache so the storm also exercises invalidation.
+    let hot = mgp::rank_with_scores(&index0, hub, &weights, 10);
+    assert_eq!(*server.rank(cid, hub, 10), hot);
+    assert!(
+        !hot.is_empty(),
+        "the hub must rank partners before the storm"
+    );
+
+    // The storm: all 10³ hub edges removed by one tombstone-detach op in
+    // one delta.
+    let mut d1 = GraphDelta::for_graph(engine.graph());
+    d1.remove_node(hub).unwrap();
+    let r1 = engine.ingest_serving(&d1, &server).unwrap();
+    assert_eq!(r1.removed_edges, N_ATTRS);
+    assert!(
+        r1.doomed_instances as usize >= N_ATTRS,
+        "each hub edge carried at least one metapath instance, doomed {}",
+        r1.doomed_instances
+    );
+    assert!(
+        r1.fused_shard_visits <= r1.sequential_shard_visits(),
+        "fused visits {} exceed per-class sum {}",
+        r1.fused_shard_visits,
+        r1.sequential_shard_visits()
+    );
+    // The hub fell out of the metapath count cache entirely — no
+    // zero-count tombstone left behind.
+    assert!(!engine
+        .counts(coords[0])
+        .unwrap()
+        .per_node
+        .contains_key(&hub.0));
+    assert!(
+        server.rank(cid, hub, 10).is_empty(),
+        "detached hub still ranks"
+    );
+
+    // Recovery: re-wire every hub edge in one delta.
+    let mut d2 = GraphDelta::for_graph(engine.graph());
+    for a in g0.neighbors(hub) {
+        d2.add_edge(hub, *a).unwrap();
+    }
+    let r2 = engine.ingest_serving(&d2, &server).unwrap();
+    assert_eq!(r2.new_edges, N_ATTRS);
+
+    // --- exact restoration -------------------------------------------
+    assert_eq!(engine.graph().n_edges(), g0.n_edges());
+    assert_eq!(engine.graph().neighbors(hub), g0.neighbors(hub));
+    for (j, &i) in coords.iter().enumerate() {
+        assert_eq!(engine.counts(i).unwrap(), &counts0[j], "counts of {i}");
+        assert!(engine.counts(i).unwrap().per_node.values().all(|&c| c > 0));
+        assert!(engine.counts(i).unwrap().per_pair.values().all(|&c| c > 0));
+    }
+    assert_index_identical(&engine.model("hub-class").unwrap().index, &index0);
+    assert_eq!(server.table_stats(cid), tables0);
+    assert_eq!(
+        server.epoch_stats(),
+        semantic_proximity::online::EpochStats::default(),
+        "settled storm must leave no retained epochs"
+    );
+
+    // Rankings: the hub and a user from every residue class answer
+    // bit-identically to the pre-storm index.
+    for &q in [hub].iter().chain(users.iter()) {
+        let want = mgp::rank_with_scores(&index0, q, &weights, 10);
+        assert_eq!(engine.search("hub-class", q, 10), want, "engine q={q}");
         assert_eq!(*server.rank(cid, q, 10), want, "server q={q}");
     }
 }

@@ -1,0 +1,258 @@
+//! Runtime-registration equivalence property: a class registered onto a
+//! **live, mid-churn** engine/server pair via
+//! `SearchEngine::register_class_serving` must be bit-identical — same
+//! `rank`, `rank_multi`, and `table_stats` — to the same class present
+//! from initial registration, after both pipelines absorb the same
+//! random interleaved insert/delete batches.
+//!
+//! Each case draws a random typed base graph, a churn prefix and suffix,
+//! and a random `ClassSpec` (pattern selection × transform). Pipeline A
+//! registers the class up front and churns through everything; pipeline
+//! B churns the prefix with only its trained class, registers the spec
+//! against the live server between prefix and suffix, and churns the
+//! rest. A from-scratch rematch + rebuild on the final graph anchors
+//! both sides to ground truth.
+
+use proptest::prelude::*;
+use semantic_proximity::engine::scenario::{ClassSpec, PatternSelect};
+use semantic_proximity::engine::{PipelineConfig, SearchEngine, TrainingStrategy};
+use semantic_proximity::graph::delta::GraphDelta;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::index::{Transform, VectorIndex};
+use semantic_proximity::learning::{mgp, TrainConfig, TrainingExample};
+use semantic_proximity::matching::AnchorCounts;
+use semantic_proximity::metagraph::Metagraph;
+use semantic_proximity::online::{QueryServer, ServeConfig};
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+fn base_graph(n_users: usize, n_a: usize, n_b: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let mut nodes = Vec::new();
+    for i in 0..n_users {
+        nodes.push(g.add_node(user, format!("u{i}")));
+    }
+    for i in 0..n_a {
+        nodes.push(g.add_node(ta, format!("a{i}")));
+    }
+    for i in 0..n_b {
+        nodes.push(g.add_node(tb, format!("b{i}")));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % nodes.len(), y % nodes.len());
+        if x != y {
+            g.add_edge(nodes[x], nodes[y]).unwrap();
+        }
+    }
+    g.build()
+}
+
+fn catalogue() -> Vec<Metagraph> {
+    vec![
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, B, USER], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, USER, B, USER], &[(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap(),
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+    ]
+}
+
+fn pipeline_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::new(USER, 1);
+    cfg.train = TrainConfig::fast(7);
+    cfg.strategy = TrainingStrategy::Full;
+    cfg.threads = 1;
+    cfg
+}
+
+fn examples(n_users: usize) -> Vec<TrainingExample> {
+    (0..n_users.min(8))
+        .map(|i| TrainingExample {
+            q: NodeId(i as u32),
+            x: NodeId(((i + 1) % n_users) as u32),
+            y: NodeId(((i + 2) % n_users) as u32),
+        })
+        .collect()
+}
+
+/// Decodes one `(x, y, kind)` churn op into `delta` — same decoding as
+/// the incremental-equivalence suite, so both pipelines (which always
+/// share graph state) build identical batches.
+fn push_churn_op(
+    delta: &mut GraphDelta,
+    edges_now: &[(NodeId, NodeId)],
+    n_base: usize,
+    n_now: &mut usize,
+    (x, y, kind): (usize, usize, u8),
+) {
+    match kind {
+        0 => {
+            let a = NodeId((x % *n_now) as u32);
+            let b = NodeId((y % *n_now) as u32);
+            if a != b {
+                delta.add_edge(a, b).unwrap();
+            }
+        }
+        1 => {
+            let a = NodeId((x % *n_now) as u32);
+            let ty = [USER, A, B][y % 3];
+            *n_now += 1;
+            let b = delta.add_node(ty, format!("fresh{n_now}"));
+            delta.add_edge(a, b).unwrap();
+        }
+        2 if !edges_now.is_empty() => {
+            let (a, b) = edges_now[x % edges_now.len()];
+            delta.remove_edge(a, b).unwrap();
+        }
+        3 => {
+            delta.remove_node(NodeId((x % n_base) as u32)).unwrap();
+        }
+        _ => {}
+    }
+}
+
+/// Streams one churn batch through `engine.ingest_serving`, decoded
+/// against the engine's current graph.
+fn churn(engine: &mut SearchEngine, server: &QueryServer, batch: &[(usize, usize, u8)]) {
+    let g_now = engine.graph().clone();
+    let edges_now: Vec<(NodeId, NodeId)> = g_now.edges().collect();
+    let mut delta = GraphDelta::for_graph(&g_now);
+    let mut n_now = g_now.n_nodes();
+    for &op in batch {
+        push_churn_op(&mut delta, &edges_now, g_now.n_nodes(), &mut n_now, op);
+    }
+    engine.ingest_serving(&delta, server).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: `register_class_serving` on a live engine
+    /// mid-churn equals the same class registered before any churn.
+    #[test]
+    fn runtime_registration_equals_buildtime_class(
+        n_users in 6usize..11,
+        n_a in 2usize..5,
+        n_b in 2usize..5,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 15..35),
+        prefix in prop::collection::vec(
+            prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 1..5),
+            1..3,
+        ),
+        suffix in prop::collection::vec(
+            prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 1..5),
+            1..3,
+        ),
+        select in 0u8..4,
+        transform_pick in 0u8..3,
+    ) {
+        let transform = [Transform::Raw, Transform::Log1p, Transform::Binary]
+            [transform_pick as usize];
+        let patterns = match select {
+            0 => PatternSelect::All,
+            1 => PatternSelect::Seeds,
+            2 => PatternSelect::Mined(vec![0, 2, 4]),
+            // A shape the catalogue does not mine: matched from scratch
+            // at registration time — on the *base* graph for pipeline A,
+            // on the *churned* graph for pipeline B.
+            _ => PatternSelect::Custom(vec![Metagraph::from_edges(
+                &[USER, B, USER, A, USER],
+                &[(0, 1), (1, 2), (2, 3), (3, 4)],
+            )
+            .unwrap()]),
+        };
+        let spec = ClassSpec::new("rt", patterns).with_transform(transform);
+        let serve_cfg = || ServeConfig { workers: 2, shards: 3, cache_capacity: 64 };
+        let g = base_graph(n_users, n_a, n_b, &base_edges);
+
+        // Pipeline A: the runtime class is present from initial
+        // registration and rides every delta.
+        let mut a = SearchEngine::with_metagraphs(g.clone(), catalogue(), pipeline_cfg());
+        a.train_class("base", &examples(n_users));
+        a.register_class(&spec).unwrap();
+        let server_a = a.serve_with(serve_cfg());
+        prop_assert_eq!(server_a.class_id("rt"), Some(1));
+
+        // Pipeline B: base class only; the runtime class arrives on the
+        // live server between the churn prefix and suffix.
+        let mut b = SearchEngine::with_metagraphs(g, catalogue(), pipeline_cfg());
+        b.train_class("base", &examples(n_users));
+        let server_b = b.serve_with(serve_cfg());
+
+        for batch in &prefix {
+            churn(&mut a, &server_a, batch);
+            churn(&mut b, &server_b, batch);
+        }
+        let cid_rt = b.register_class_serving(&spec, &server_b).unwrap();
+        prop_assert_eq!(cid_rt, 1);
+        for batch in &suffix {
+            churn(&mut a, &server_a, batch);
+            churn(&mut b, &server_b, batch);
+        }
+
+        // Ground truth: full rematch + rebuild of the runtime class on
+        // the final graph (pattern sets agree — Custom specs appended
+        // the same metagraph to both engines).
+        prop_assert_eq!(a.metagraphs().len(), b.metagraphs().len());
+        let (coords, weights) = {
+            let m = a.model("rt").unwrap();
+            (m.coords.clone(), m.weights.clone())
+        };
+        let fresh = SearchEngine::with_metagraphs(
+            a.graph().clone(),
+            a.metagraphs().to_vec(),
+            pipeline_cfg(),
+        );
+        let counts: Vec<AnchorCounts> = coords
+            .iter()
+            .map(|&i| fresh.counts(i).unwrap().clone())
+            .collect();
+        let truth = VectorIndex::from_counts(&counts, transform);
+
+        // Bit-identical everywhere: engine search, served single-class
+        // rank, served multi-class walk — for both classes — plus exact
+        // table shape.
+        let n_nodes = a.graph().n_nodes() as u32;
+        for q in (0..n_nodes).map(NodeId) {
+            for k in [3usize, 10] {
+                let want = mgp::rank_with_scores(&truth, q, &weights, k);
+                prop_assert_eq!(
+                    &a.search("rt", q, k), &want,
+                    "buildtime engine diverged from rebuild at q={} k={}", q, k
+                );
+                prop_assert_eq!(
+                    &b.search("rt", q, k), &want,
+                    "runtime engine diverged from rebuild at q={} k={}", q, k
+                );
+                prop_assert_eq!(
+                    &*server_a.rank(1, q, k), &want,
+                    "buildtime server diverged at q={} k={}", q, k
+                );
+                prop_assert_eq!(
+                    &*server_b.rank(1, q, k), &want,
+                    "runtime server diverged at q={} k={}", q, k
+                );
+                prop_assert_eq!(
+                    &*server_a.rank(0, q, k), &*server_b.rank(0, q, k),
+                    "base class diverged at q={} k={}", q, k
+                );
+                let ma = server_a.rank_multi(&[0, 1], q, k);
+                let mb = server_b.rank_multi(&[0, 1], q, k);
+                prop_assert_eq!(&*ma[0], &*mb[0], "rank_multi base diverged at q={}", q);
+                prop_assert_eq!(&*ma[1], &*mb[1], "rank_multi rt diverged at q={}", q);
+            }
+        }
+        for cid in [0usize, 1] {
+            prop_assert_eq!(
+                server_a.table_stats(cid), server_b.table_stats(cid),
+                "table stats diverged for class {}", cid
+            );
+        }
+    }
+}
