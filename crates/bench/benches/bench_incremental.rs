@@ -19,14 +19,25 @@
 //! the rayon pool actually has ≥ 2 workers (on a single-core runner the
 //! bar is reported but not enforced: there is no parallelism to buy the
 //! speedup with).
+//!
+//! A **hub-storm** section pits the wcoj propose/intersect delta matcher
+//! against the seeded-backtracking oracle on the worst case that
+//! motivated it: a 1000-edge hub built in one delta and dropped in one
+//! delta. Both matchers see identical inputs; the section asserts their
+//! `CountDelta`s are bit-identical, that wcoj lands ≥ 3× faster on both
+//! storm directions, and that single-edge deltas — the common case —
+//! show no regression.
 
 use mgp_core::{PipelineConfig, QueryServer, SearchEngine, TrainingStrategy};
 use mgp_datagen::facebook::{generate_facebook, FacebookConfig, FAMILY};
-use mgp_graph::{GraphDelta, NodeId};
+use mgp_graph::{Graph, GraphBuilder, GraphDelta, NodeId};
 use mgp_index::{Transform, VectorIndex};
 use mgp_learning::{sample_examples, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all;
-use mgp_matching::{AnchorCounts, SymIso};
+use mgp_matching::{
+    delta_count_changes, wcoj_count_changes, AnchorCounts, ExtensionPlan, PatternInfo, SymIso,
+};
+use mgp_metagraph::Metagraph;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::time::{Duration, Instant};
@@ -231,6 +242,7 @@ fn main() {
     println!("round-trip                : graph restored to {n_edges_base} edges");
 
     wide_ingest_section(&mut engine, &users, &fresh_pairs);
+    hub_storm_section();
 }
 
 /// Wide-ingest comparison: one delta touching anchors across a 16-shard
@@ -336,4 +348,221 @@ fn wide_ingest_section(engine: &mut SearchEngine, users: &[NodeId], pairs: &[(No
             "wide-ingest bar           : not enforced — 1 rayon worker, no parallelism available"
         );
     }
+}
+
+/// Edges the storm hub attaches (and the drop delta removes at once).
+const HUB_DEGREE: usize = 1_000;
+/// wcoj must beat the seeded matcher by at least this factor on a storm.
+const STORM_BAR: f64 = 3.0;
+/// Single-edge deltas timed in the no-regression pass.
+const SINGLE_DELTAS: usize = 200;
+/// wcoj's single-edge total may exceed the seeded total by at most this
+/// factor (plus an absolute grace absorbing scheduler noise on the
+/// microsecond-scale baseline).
+const SINGLE_MARGIN: f64 = 1.25;
+const SINGLE_GRACE: Duration = Duration::from_millis(20);
+
+/// Times `delta_count_changes` (the seeded oracle) and
+/// `wcoj_count_changes` on identical inputs across the whole pattern
+/// catalogue, asserting the `CountDelta`s are bit-identical. Returns
+/// (seeded time, wcoj time).
+#[allow(clippy::type_complexity)]
+fn race_matchers(
+    label: &str,
+    g_pre: &Graph,
+    g_post: &Graph,
+    catalogue: &[(PatternInfo, ExtensionPlan)],
+    removed_edges: &[(NodeId, NodeId)],
+    new_edges: &[(NodeId, NodeId)],
+    new_nodes: &[NodeId],
+) -> (Duration, Duration) {
+    let t0 = Instant::now();
+    let seeded: Vec<_> = catalogue
+        .iter()
+        .map(|(p, _)| delta_count_changes(g_pre, g_post, p, removed_edges, new_edges, new_nodes))
+        .collect();
+    let dt_seeded = t0.elapsed();
+
+    let t1 = Instant::now();
+    let wcoj: Vec<_> = catalogue
+        .iter()
+        .map(|(p, plan)| {
+            wcoj_count_changes(g_pre, g_post, p, plan, removed_edges, new_edges, new_nodes)
+        })
+        .collect();
+    let dt_wcoj = t1.elapsed();
+
+    for ((s, (w, _)), (p, _)) in seeded.iter().zip(&wcoj).zip(catalogue) {
+        assert_eq!(
+            s.changes.per_node,
+            w.changes.per_node,
+            "{label}: wcoj per-node delta diverged from the seeded oracle on {}",
+            p.metagraph.brief()
+        );
+        assert_eq!(
+            s.changes.per_pair,
+            w.changes.per_pair,
+            "{label}: wcoj per-pair delta diverged from the seeded oracle on {}",
+            p.metagraph.brief()
+        );
+        assert_eq!(s.new_instances, w.new_instances, "{label}: new instances");
+        assert_eq!(
+            s.doomed_instances, w.doomed_instances,
+            "{label}: doomed instances"
+        );
+    }
+    (dt_seeded, dt_wcoj)
+}
+
+/// The storm world: users each wired to one school and one major, with
+/// pools sized so base degrees stay small — the hub is the only dense
+/// structure, exactly the shape that made per-edge seeded backtracking
+/// quadratic in hub degree.
+fn hub_storm_section() {
+    const N_USERS: usize = 1_200;
+    const N_SCHOOLS: usize = 60;
+    const N_MAJORS: usize = 400;
+
+    let mut b = GraphBuilder::new();
+    let user = b.add_type("user");
+    let school = b.add_type("school");
+    let major = b.add_type("major");
+    let users: Vec<NodeId> = (0..N_USERS)
+        .map(|i| b.add_node(user, format!("u{i}")))
+        .collect();
+    let schools: Vec<NodeId> = (0..N_SCHOOLS)
+        .map(|i| b.add_node(school, format!("s{i}")))
+        .collect();
+    let majors: Vec<NodeId> = (0..N_MAJORS)
+        .map(|i| b.add_node(major, format!("m{i}")))
+        .collect();
+    for (i, &u) in users.iter().enumerate() {
+        b.add_edge(u, schools[i % N_SCHOOLS]).unwrap();
+        b.add_edge(u, majors[i % N_MAJORS]).unwrap();
+    }
+    let g = b.build();
+
+    let (u, s, m) = (user, school, major);
+    let metas = [
+        Metagraph::from_edges(&[u, s, u], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[u, m, u], &[(0, 1), (1, 2)]).unwrap(),
+        Metagraph::from_edges(&[u, u, s, m], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+    ];
+    let catalogue: Vec<(PatternInfo, ExtensionPlan)> = metas
+        .iter()
+        .map(|meta| {
+            let p = PatternInfo::new(meta.clone(), user);
+            let plan = ExtensionPlan::compile(&p, &g);
+            (p, plan)
+        })
+        .collect();
+    println!(
+        "--- hub storm ({} nodes, {} edges, {}-edge hub, {} patterns) ---",
+        g.n_nodes(),
+        g.n_edges(),
+        HUB_DEGREE,
+        catalogue.len()
+    );
+
+    // Storm build: one delta attaches a brand-new school hub to
+    // HUB_DEGREE users.
+    let mut build = GraphDelta::for_graph(&g);
+    let hub = build.add_node(school, "storm-hub");
+    for &v in users.iter().take(HUB_DEGREE) {
+        build.add_edge(hub, v).unwrap();
+    }
+    let ext = g.apply_delta(&build).unwrap();
+    let (seeded_build, wcoj_build) = race_matchers(
+        "hub-build",
+        &g,
+        &ext.graph,
+        &catalogue,
+        &[],
+        &ext.new_edges,
+        &ext.new_nodes,
+    );
+    let build_speedup = seeded_build.as_secs_f64() / wcoj_build.as_secs_f64().max(1e-12);
+    println!(
+        "hub build ({HUB_DEGREE} edges)    : seeded {seeded_build:>10.2?}  wcoj {wcoj_build:>10.2?}  \
+         ({build_speedup:.1}x, bar {STORM_BAR}x)"
+    );
+
+    // Storm drop: the whole hub removed in one delta, matched over the
+    // pre-delete graph.
+    let g_with_hub = ext.graph;
+    let mut drop = GraphDelta::for_graph(&g_with_hub);
+    drop.remove_node(hub).unwrap();
+    let ext = g_with_hub.apply_delta(&drop).unwrap();
+    assert_eq!(ext.removed_edges.len(), HUB_DEGREE, "drop removes the hub");
+    let (seeded_drop, wcoj_drop) = race_matchers(
+        "hub-drop",
+        &g_with_hub,
+        &ext.graph,
+        &catalogue,
+        &ext.removed_edges,
+        &[],
+        &[],
+    );
+    let drop_speedup = seeded_drop.as_secs_f64() / wcoj_drop.as_secs_f64().max(1e-12);
+    println!(
+        "hub drop ({HUB_DEGREE} edges)     : seeded {seeded_drop:>10.2?}  wcoj {wcoj_drop:>10.2?}  \
+         ({drop_speedup:.1}x, bar {STORM_BAR}x)"
+    );
+
+    // No-regression pass: single-edge deltas, the common case the wcoj
+    // rewrite must not tax. Fresh (user, school) edges so every delta
+    // does real matching work; alternating insert/remove nets to zero.
+    let mut g_cur = ext.graph;
+    let mut seeded_single = Duration::ZERO;
+    let mut wcoj_single = Duration::ZERO;
+    for i in 0..SINGLE_DELTAS {
+        let v = users[(i * 7) % N_USERS];
+        let t = schools[(i * 11 + 1) % N_SCHOOLS];
+        if g_cur.has_edge(v, t) {
+            continue;
+        }
+        for remove in [false, true] {
+            let mut d = GraphDelta::for_graph(&g_cur);
+            if remove {
+                d.remove_edge(v, t).unwrap();
+            } else {
+                d.add_edge(v, t).unwrap();
+            }
+            let ext = g_cur.apply_delta(&d).unwrap();
+            let (ds, dw) = race_matchers(
+                "single-edge",
+                &g_cur,
+                &ext.graph,
+                &catalogue,
+                &ext.removed_edges,
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            seeded_single += ds;
+            wcoj_single += dw;
+            g_cur = ext.graph;
+        }
+    }
+    println!(
+        "single-edge totals        : seeded {seeded_single:>10.2?}  wcoj {wcoj_single:>10.2?} \
+         over {SINGLE_DELTAS} insert+remove rounds"
+    );
+    println!("equivalence               : wcoj CountDeltas == seeded oracle on every delta");
+
+    assert!(
+        build_speedup >= STORM_BAR,
+        "acceptance: wcoj must beat seeded backtracking ≥ {STORM_BAR}x on the \
+         {HUB_DEGREE}-edge hub build (got {build_speedup:.1}x)"
+    );
+    assert!(
+        drop_speedup >= STORM_BAR,
+        "acceptance: wcoj must beat seeded backtracking ≥ {STORM_BAR}x on the \
+         {HUB_DEGREE}-edge hub drop (got {drop_speedup:.1}x)"
+    );
+    let single_bar = seeded_single.mul_f64(SINGLE_MARGIN) + SINGLE_GRACE;
+    assert!(
+        wcoj_single <= single_bar,
+        "acceptance: wcoj must not regress single-edge deltas \
+         (wcoj {wcoj_single:?} vs seeded {seeded_single:?}, bar {single_bar:?})"
+    );
 }

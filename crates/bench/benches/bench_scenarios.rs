@@ -46,6 +46,15 @@ use std::time::Duration;
 
 /// Steady-read sustained throughput floor (QPS).
 const STEADY_QPS_FLOOR: f64 = 1_000.0;
+/// Deletion-storm hub degree. Sized per the density caveat on
+/// `GeneratorConfig::hub_degree`: the Facebook schema is dense (anchors
+/// share many attribute co-neighbours), so the hub sits near the
+/// graph's p99 anchor degree rather than at the sparse-world default of
+/// 256. The wcoj matcher handles the storm in one shared extension
+/// frontier, but the *instance* delta a hub produces still grows
+/// combinatorially with co-neighbour density, and the validate/commit
+/// phases pay for every instance.
+const STORM_HUB_DEGREE: usize = 64;
 /// Churn p99 may be at most this multiple of the steady-read p99 …
 const CHURN_P99_FACTOR: u32 = 3;
 /// … or this absolute grace, whichever is larger.
@@ -90,12 +99,7 @@ fn main() {
         seed: 42,
         queries: 2_000,
         n_classes: 2,
-        // The default hub degree (256) is sized for sparse graphs; on
-        // the dense Facebook schema a degree-256 attribute hub explodes
-        // the size-5 pattern instance count during delta matching. 32
-        // edges in one delta is still a storm by this graph's standards
-        // (p99 node degree is far below it).
-        hub_degree: 32,
+        hub_degree: STORM_HUB_DEGREE,
         ..GeneratorConfig::default()
     };
     let storms = gen_cfg.storms;
@@ -176,10 +180,20 @@ fn main() {
     );
 
     let storm = report.get("deletion-storm").expect("deletion-storm ran");
+    // The wcoj matcher's work counters for the storm deltas, so
+    // perf-trajectory runs record propose/intersect effort alongside
+    // QPS (a regression in matcher discipline shows up here before it
+    // moves the latency floors).
+    println!("deletion-storm match work: {}", storm.match_work);
     assert_eq!(
         storm.deltas,
         2 * storms,
         "each storm is one hub-build delta and one hub-drop delta"
+    );
+    assert!(
+        storm.match_work.instances > 0 && storm.match_work.proposals > 0,
+        "storm deltas must exercise the wcoj delta matcher (got {})",
+        storm.match_work
     );
     assert!(
         storm.fused_shard_visits > 0 && storm.fused_shard_visits <= storm.sequential_shard_visits,

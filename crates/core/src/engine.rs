@@ -7,7 +7,8 @@ use mgp_learning::baselines::metapath_indices;
 use mgp_learning::{candidate_ranking, train, TrainConfig, TrainingExample};
 use mgp_matching::parallel::match_all_timed;
 use mgp_matching::{
-    delta_count_changes, AnchorCounts, CountUnderflow, MatchDelta, PatternInfo, SymIso,
+    wcoj_count_changes, AnchorCounts, CountUnderflow, ExtensionPlan, MatchDelta, MatchStats,
+    PatternInfo, SymIso,
 };
 use mgp_metagraph::Metagraph;
 use mgp_mining::{mine, MinerConfig};
@@ -125,6 +126,11 @@ pub struct IngestReport {
     /// `swapped_shards` across [`IngestReport::serving`] (what sequential
     /// per-class patching would have paid) to see the fusion saving.
     pub fused_shard_visits: usize,
+    /// The wcoj delta matcher's work counters, summed over every pattern
+    /// this ingest delta-matched: proposals, intersections, extensions,
+    /// instances, and ownership-suppressed candidates — the
+    /// propose/intersect win made observable per ingest.
+    pub match_stats: MatchStats,
 }
 
 impl IngestReport {
@@ -282,6 +288,10 @@ pub struct SearchEngine {
     pub(crate) patterns: Vec<PatternInfo>,
     pub(crate) seed_indices: Vec<usize>,
     pub(crate) counts_cache: FxHashMap<usize, AnchorCounts>,
+    /// Compiled wcoj extension plans, keyed like `counts_cache` by global
+    /// pattern index. Built lazily on first delta-match of a pattern and
+    /// reused for every later ingest (plans depend only on the pattern).
+    pub(crate) plan_cache: FxHashMap<usize, ExtensionPlan>,
     pub(crate) models: Vec<ClassModel>,
     pub(crate) timings: Timings,
     /// Write-ahead delta journal (see `crate::persist`): when attached,
@@ -313,6 +323,7 @@ impl SearchEngine {
             patterns,
             seed_indices,
             counts_cache: FxHashMap::default(),
+            plan_cache: FxHashMap::default(),
             models: Vec::new(),
             timings: Timings::default(),
             journal: None,
@@ -344,6 +355,7 @@ impl SearchEngine {
             patterns,
             seed_indices,
             counts_cache: FxHashMap::default(),
+            plan_cache: FxHashMap::default(),
             models: Vec::new(),
             timings: Timings::default(),
             journal: None,
@@ -677,14 +689,21 @@ impl SearchEngine {
         matched.sort_unstable();
         let mut pending: Vec<(usize, MatchDelta)> = Vec::new();
         for i in matched {
-            let m = delta_count_changes(
+            let (patterns, graph) = (&self.patterns, &self.graph);
+            let plan = self
+                .plan_cache
+                .entry(i)
+                .or_insert_with(|| ExtensionPlan::compile(&patterns[i], graph));
+            let (m, stats) = wcoj_count_changes(
                 &self.graph,
                 &ext.graph,
                 &self.patterns[i],
+                plan,
                 &ext.removed_edges,
                 &ext.new_edges,
                 &ext.new_nodes,
             );
+            report.match_stats += stats;
             if !m.is_empty() {
                 pending.push((i, m));
             }

@@ -455,6 +455,7 @@ impl SearchEngine {
             patterns,
             seed_indices: meta.seed_indices,
             counts_cache,
+            plan_cache: FxHashMap::default(),
             models,
             timings,
             journal: None,

@@ -65,6 +65,13 @@ impl ScenarioTarget for LiveTarget<'_> {
             .map(|report| MutationSummary {
                 fused_shard_visits: report.fused_shard_visits,
                 sequential_shard_visits: report.sequential_shard_visits(),
+                match_work: MatchWork {
+                    proposals: report.match_stats.proposals,
+                    intersections: report.match_stats.intersections,
+                    extensions: report.match_stats.extensions,
+                    instances: report.match_stats.instances,
+                    dedup_suppressed: report.match_stats.dedup_suppressed,
+                },
             })
             .map_err(|e| e.to_string())
     }

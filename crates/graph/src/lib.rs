@@ -34,6 +34,7 @@ pub mod csr;
 pub mod delta;
 pub mod fxhash;
 pub mod ids;
+pub mod intersect;
 pub mod io;
 pub mod stats;
 pub mod types;
@@ -45,6 +46,7 @@ pub use csr::Graph;
 pub use delta::{GraphDelta, GraphExtension};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{NodeId, TypeId};
+pub use intersect::{contains_sorted, intersect_gallop, intersect_into, intersect_merge};
 pub use stats::GraphStats;
 pub use types::TypeRegistry;
 

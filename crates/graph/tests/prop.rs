@@ -92,6 +92,106 @@ proptest! {
         prop_assert_eq!(stat_total, g.n_edges());
     }
 
+    /// The intersection kernels (`mgp_graph::intersect`) assume every
+    /// adjacency list — and every typed sub-slice of it — stays sorted
+    /// across incremental churn. Pin that `apply_delta`'s CSR splice
+    /// preserves the `(type, id)` order (and therefore ascending-id
+    /// typed slices) under arbitrary mixed insert/remove/detach batches,
+    /// including for tombstoned (fully detached) nodes.
+    #[test]
+    fn apply_delta_preserves_sorted_adjacency(
+        types in prop::collection::vec(0u16..4, 2..25),
+        edges in prop::collection::vec((0usize..40, 0usize..40), 0..60),
+        inserts in prop::collection::vec((0usize..50, 0usize..50), 0..25),
+        removals in prop::collection::vec((0usize..50, 0usize..50), 0..25),
+        detached in prop::collection::vec(0usize..50, 0..4),
+        new_nodes in prop::collection::vec(0u16..4, 0..5),
+    ) {
+        let g = build(&types, &edges);
+        let mut d = mgp_graph::GraphDelta::for_graph(&g);
+        // Only types the base actually registered are addable.
+        let added: Vec<NodeId> = new_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| d.add_node(TypeId(t % g.n_types() as u16), format!("d{i}")))
+            .collect();
+        let n_total = g.n_nodes() + added.len();
+        for &(x, y) in &inserts {
+            let (x, y) = (x % n_total, y % n_total);
+            if x != y {
+                d.add_edge(NodeId(x as u32), NodeId(y as u32)).unwrap();
+            }
+        }
+        for &(x, y) in &removals {
+            let (x, y) = (x % g.n_nodes(), y % g.n_nodes());
+            if x != y {
+                d.remove_edge(NodeId(x as u32), NodeId(y as u32)).unwrap();
+            }
+        }
+        for &v in &detached {
+            d.remove_node(NodeId((v % g.n_nodes()) as u32)).unwrap();
+        }
+        let ext = g.apply_delta(&d).unwrap();
+        let post = &ext.graph;
+
+        for v in post.nodes() {
+            // Full adjacency sorted by (type, id) — strictly, so no
+            // duplicate edges survive the splice either.
+            for w in post.neighbors(v).windows(2) {
+                prop_assert!(
+                    (post.node_type(w[0]), w[0]) < (post.node_type(w[1]), w[1]),
+                    "adjacency of {} lost (type, id) order after apply_delta", v
+                );
+            }
+            // Typed slices are ascending by raw id — the exact
+            // precondition of intersect_merge/intersect_gallop.
+            for t in 0..post.n_types() {
+                let slice = post.neighbors_of_type(v, TypeId(t as u16));
+                for w in slice.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+            }
+        }
+        // A tombstoned node keeps only edges the same batch inserted
+        // (net semantics — a same-batch insert lands even onto a removed
+        // node, and a base edge re-inserted over the detach survives);
+        // with no such inserts its slices are empty — the degenerate
+        // input the kernels must tolerate.
+        for &v in &ext.removed_nodes {
+            let batch_partners: Vec<NodeId> = inserts
+                .iter()
+                .map(|&(x, y)| (NodeId((x % n_total) as u32), NodeId((y % n_total) as u32)))
+                .filter_map(|(a, b)| {
+                    if a == v {
+                        Some(b)
+                    } else if b == v {
+                        Some(a)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            for &u in post.neighbors(v) {
+                prop_assert!(
+                    batch_partners.contains(&u),
+                    "tombstoned {} kept non-reinserted edge to {}", v, u
+                );
+            }
+        }
+        // Sanity: the kernels agree with has_edge on the spliced graph.
+        for v in post.nodes().take(10) {
+            for t in 0..post.n_types() {
+                let slice = post.neighbors_of_type(v, TypeId(t as u16));
+                for &u in post.nodes_of_type(TypeId(t as u16)).iter().take(10) {
+                    prop_assert_eq!(
+                        mgp_graph::contains_sorted(slice, u),
+                        post.has_edge(v, u) && post.node_type(u) == TypeId(t as u16)
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn persistence_roundtrips(
         types in prop::collection::vec(0u16..3, 1..15),

@@ -44,20 +44,18 @@ impl AnchorCounts {
     }
 }
 
-/// Adds one visit's (equivalently, one instance's) contribution to the
-/// count maps: each distinct symmetric anchor pair of the assignment once,
-/// each distinct participating node once. Shared by the full matcher path
-/// ([`anchor_counts`]) and the delta path (`crate::delta`) so the two can
-/// never drift apart — bit-identical counts are the incremental pipeline's
-/// contract. `pair_buf`/`node_buf` are caller-owned scratch (perf-book:
-/// workhorse collections outside the loop).
-pub(crate) fn accumulate_contribution(
+/// Derives one visit's (equivalently, one instance's) contribution keys:
+/// each distinct symmetric anchor pair of the assignment once, each
+/// distinct participating node once, into the caller-owned `pair_buf` /
+/// `node_buf` scratch. Shared by every accumulation path — the full
+/// matchers, the seeded delta oracle, and the wcoj delta matcher — so
+/// their per-visit semantics can never drift apart; bit-identical counts
+/// are the incremental pipeline's contract.
+pub(crate) fn visit_keys(
     assign: &[NodeId],
     p: &PatternInfo,
     pair_buf: &mut Vec<u64>,
     node_buf: &mut Vec<u32>,
-    per_node: &mut FxHashMap<u32, u64>,
-    per_pair: &mut FxHashMap<u64, u64>,
 ) {
     pair_buf.clear();
     node_buf.clear();
@@ -73,6 +71,22 @@ pub(crate) fn accumulate_contribution(
             }
         }
     }
+}
+
+/// Adds one visit's contribution ([`visit_keys`]) straight to the count
+/// maps — the accumulation mode of the full matcher path
+/// ([`anchor_counts`]) and the seeded delta path (`crate::delta`). The
+/// wcoj matcher instead buffers the same keys and merges once per batch
+/// (`crate::wcoj`); the sums are exact integers either way.
+pub(crate) fn accumulate_contribution(
+    assign: &[NodeId],
+    p: &PatternInfo,
+    pair_buf: &mut Vec<u64>,
+    node_buf: &mut Vec<u32>,
+    per_node: &mut FxHashMap<u32, u64>,
+    per_pair: &mut FxHashMap<u64, u64>,
+) {
+    visit_keys(assign, p, pair_buf, node_buf);
     for &key in pair_buf.iter() {
         *per_pair.entry(key).or_insert(0) += 1;
     }

@@ -29,6 +29,10 @@
 //!   updated graph) and the *doomed* instances (each removed edge pinned
 //!   the same way, over the pre-delete graph), and emit signed
 //!   [`CountDelta`] increments for the index layer,
+//! * [`wcoj`]: the worst-case-optimal delta matcher — cached
+//!   propose/intersect extension plans with anchor-ownership dedup,
+//!   producing bit-identical [`CountDelta`]s to [`delta`] (which stays
+//!   as the differential oracle) without per-embedding canonicalisation,
 //! * [`parallel`]: fan a metagraph set across threads with crossbeam.
 //!
 //! ## Embeddings vs instances
@@ -53,6 +57,7 @@ pub mod quicksi;
 pub mod symiso;
 pub mod turbo;
 pub mod vf2;
+pub mod wcoj;
 
 pub use anchor::AnchorCounts;
 pub use delta::{
@@ -65,6 +70,10 @@ pub use quicksi::QuickSi;
 pub use symiso::SymIso;
 pub use turbo::TurboLite;
 pub use vf2::Vf2;
+pub use wcoj::{
+    wcoj_count_changes, wcoj_delta_anchor_counts, wcoj_doomed_anchor_counts, ExtensionPlan,
+    MatchStats,
+};
 
 use mgp_graph::{Graph, NodeId};
 

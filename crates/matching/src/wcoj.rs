@@ -1,0 +1,792 @@
+//! Worst-case-optimal delta matching: propose/intersect prefix
+//! extension over cached per-pattern plans.
+//!
+//! This module replaces the per-edge seeded backtracking of
+//! [`crate::delta`] on the engine's hot ingest path. It computes the
+//! *same* [`AnchorCounts`] / [`CountDelta`]s, bit for bit — the seeded
+//! matcher stays around as the differential oracle — but organises the
+//! work in the count/propose/intersect discipline of GenericJoin
+//! (Ngo et al.'s worst-case-optimal join, maintained incrementally in
+//! the dataflow-join style):
+//!
+//! * **Plan once.** [`ExtensionPlan::compile`] turns a [`PatternInfo`]
+//!   into one [`AnchoredPlan`] per pattern edge: a pattern-vertex order
+//!   that starts at the pinned edge, and, per later level, the list of
+//!   already-bound pattern neighbours. Plans are cached by the engine
+//!   and reused across every ingest.
+//! * **Propose/intersect per level.** At each level every bound pattern
+//!   edge contributes a candidate set — a sorted CSR adjacency slice
+//!   ([`mgp_graph::Graph::neighbors_of_type`]). The smallest slice
+//!   *proposes*; the rest *intersect* it via the merge/galloping kernels
+//!   of [`mgp_graph::intersect`]. The old backtracker instead scanned
+//!   one pivot slice and probed every other bound edge with a per-
+//!   candidate `has_edge` binary search.
+//! * **Batch per anchored edge.** All changed edges that anchor the same
+//!   pattern edge run through one prefix-extension pass sharing a single
+//!   assignment/visited/candidate scratch — not one backtracking set-up
+//!   (with its `O(|V|)` visited allocation) per changed edge per pattern
+//!   edge per orientation.
+//! * **Anchor ownership replaces canonical dedup.** An instance whose
+//!   image contains several changed edges used to be enumerated once per
+//!   anchor and deduplicated through a per-batch `HashSet` of canonical
+//!   instances. Here an instance is *owned* by its numerically least
+//!   changed edge (by [`pack_pair`] key, i.e. lexicographic `(min, max)`
+//!   order): while extending from anchor `e`, any candidate that would
+//!   form a changed image edge `< e` is pruned on the spot
+//!   ([`MatchStats::dedup_suppressed`]), so the hash set — and the
+//!   canonicalisation of every embedding — disappears from the hot path.
+//!
+//! ## Why the counts come out bit-identical
+//!
+//! Fix an instance `I` whose image contains at least one changed edge,
+//! and let `e*` be its least changed edge. The embeddings with image `I`
+//! form a torsor over `Aut(M)` (the group acts freely on embeddings), so
+//! there are exactly `|Aut(M)|` of them; each maps exactly one directed
+//! pattern edge onto directed `e*` and therefore survives the ownership
+//! rule under exactly one `(pattern edge, orientation)` anchor run. Net:
+//! every owned instance is visited exactly `|Aut(M)|` times, with
+//! per-visit contributions identical across automorphic assignments
+//! (the invariance [`crate::anchor`] documents). Deriving each visit's
+//! contribution keys through the *same* `visit_keys` helper the oracle
+//! uses, summing the raw keys, and dividing by `|Aut(M)|` once
+//! therefore reproduces
+//! `counts_of_instances(edge_seeded_instances(..))` exactly — the same
+//! division-by-multiplicity step `anchor_counts` performs for the full
+//! matchers.
+
+use crate::anchor::{visit_keys, AnchorCounts};
+use crate::delta::MatchDelta;
+use crate::pattern::PatternInfo;
+use mgp_graph::ids::pack_pair;
+use mgp_graph::intersect::intersect_into;
+use mgp_graph::{FxHashMap, FxHashSet, Graph, NodeId, TypeId};
+
+/// Observability counters for one delta-match (or an ingest's worth of
+/// them — the type is additive). Exposed on `IngestReport` so the
+/// propose/intersect win is measurable in perf-trajectory runs, not just
+/// asserted in CI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Candidate sets proposed (one per extension level entered).
+    pub proposals: u64,
+    /// Sorted-slice intersection kernel invocations.
+    pub intersections: u64,
+    /// Candidate bindings that passed every check and extended the
+    /// prefix (including completed embeddings' last levels).
+    pub extensions: u64,
+    /// Instances attributed by the delta rule (new + doomed, after the
+    /// `|Aut|` division).
+    pub instances: u64,
+    /// Candidates pruned by the anchor-ownership rule — each one a
+    /// subtree the old matcher enumerated and then hashed away.
+    pub dedup_suppressed: u64,
+}
+
+impl std::ops::AddAssign for MatchStats {
+    fn add_assign(&mut self, rhs: MatchStats) {
+        self.proposals += rhs.proposals;
+        self.intersections += rhs.intersections;
+        self.extensions += rhs.extensions;
+        self.instances += rhs.instances;
+        self.dedup_suppressed += rhs.dedup_suppressed;
+    }
+}
+
+impl std::fmt::Display for MatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "proposals {}, intersections {}, extensions {}, instances {}, dedup-suppressed {}",
+            self.proposals,
+            self.intersections,
+            self.extensions,
+            self.instances,
+            self.dedup_suppressed
+        )
+    }
+}
+
+/// One extension level of an [`AnchoredPlan`]: the pattern node bound at
+/// this level, its type, and the already-bound pattern neighbours whose
+/// image adjacency slices constrain the candidates.
+#[derive(Debug, Clone)]
+struct LevelPlan {
+    /// Pattern node assigned at this level.
+    node: usize,
+    /// Its type (candidates come from typed adjacency slices).
+    ty: TypeId,
+    /// Already-bound pattern neighbours of `node` (earlier in the
+    /// order). Empty only for the detached-component fallback.
+    bound: Vec<usize>,
+}
+
+/// The prefix-extension program for one pinned pattern edge `(u, v)`:
+/// bind `u ↦ x, v ↦ y`, then run the levels in order.
+#[derive(Debug, Clone)]
+struct AnchoredPlan {
+    /// The pinned pattern edge's endpoints.
+    u: usize,
+    v: usize,
+    /// Types of `u` and `v`, for O(1) seed-orientation filtering.
+    tu: TypeId,
+    tv: TypeId,
+    /// Extension levels for the remaining pattern nodes, in the
+    /// statistics-informed order chosen at compile time (smallest
+    /// estimated candidate frontier first).
+    levels: Vec<LevelPlan>,
+}
+
+/// A compiled, pattern-wide extension plan: one [`AnchoredPlan`] per
+/// pattern edge, plus the cached `|Aut(M)|`. Compile once per pattern
+/// (the engine keeps them in a per-pattern cache), reuse for every
+/// delta batch.
+#[derive(Debug, Clone)]
+pub struct ExtensionPlan {
+    anchored: Vec<AnchoredPlan>,
+    aut: u64,
+}
+
+impl ExtensionPlan {
+    /// Compiles the propose/intersect plan for a pattern over `g`'s
+    /// type statistics.
+    ///
+    /// Each anchored order is chosen greedily: starting from the pinned
+    /// edge's endpoints, repeatedly bind the pattern node with the
+    /// smallest *estimated* candidate set — for a node constrained by
+    /// bound neighbours, the cheapest proposing slice by average typed
+    /// degree (`edge_type_count / |nodes of the bound type|`); for a
+    /// detached node, the whole per-type node list. Estimates use
+    /// whole-graph averages, so a local hot spot (a hub) can't degrade
+    /// the order's correctness — only its luck — and the counts are
+    /// order-independent either way. The plan is cached across ingests;
+    /// type-level averages drift slowly enough that staleness is a
+    /// non-issue.
+    pub fn compile(p: &PatternInfo, g: &Graph) -> Self {
+        let m = &p.metagraph;
+        let avg_deg = |from: TypeId, to: TypeId| -> f64 {
+            let sources = g.nodes_of_type(from).len().max(1) as f64;
+            g.edge_type_count(from, to) as f64 / sources
+        };
+        let anchored = m
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                let mut is_bound = vec![false; m.n_nodes()];
+                is_bound[u] = true;
+                is_bound[v] = true;
+                let mut order = vec![u, v];
+                let mut levels = Vec::with_capacity(m.n_nodes().saturating_sub(2));
+                while order.len() < m.n_nodes() {
+                    // Greedy: the unbound node with the cheapest
+                    // estimated frontier goes next (ties to the lower
+                    // node index, keeping plans deterministic).
+                    let (mut best, mut best_est) = (usize::MAX, f64::INFINITY);
+                    for q in 0..m.n_nodes() {
+                        if is_bound[q] {
+                            continue;
+                        }
+                        let est = m
+                            .neighbors(q)
+                            .filter(|&w| is_bound[w])
+                            .map(|w| avg_deg(m.node_type(w), m.node_type(q)))
+                            .fold(f64::INFINITY, f64::min);
+                        let est = if est.is_finite() {
+                            est
+                        } else {
+                            // Detached from the bound prefix: propose
+                            // from the per-type node list.
+                            g.nodes_of_type(m.node_type(q)).len() as f64
+                        };
+                        if est < best_est {
+                            best = q;
+                            best_est = est;
+                        }
+                    }
+                    let q = best;
+                    levels.push(LevelPlan {
+                        node: q,
+                        ty: m.node_type(q),
+                        bound: order
+                            .iter()
+                            .copied()
+                            .filter(|&w| m.has_edge(q, w))
+                            .collect(),
+                    });
+                    is_bound[q] = true;
+                    order.push(q);
+                }
+                AnchoredPlan {
+                    u,
+                    v,
+                    tu: m.node_type(u),
+                    tv: m.node_type(v),
+                    levels,
+                }
+            })
+            .collect();
+        ExtensionPlan {
+            anchored,
+            aut: p.aut_count().max(1),
+        }
+    }
+}
+
+/// Raw (pre-division) accumulation state for one delta side. Visits
+/// append their contribution keys to flat vectors; [`RawCounts::finish`]
+/// merges them once per batch by sort + run-length. Keeping hash-map
+/// probes out of the per-visit hot path is worth more than the final
+/// sort on storm-sized deltas, and the sums are exact integers either
+/// way — bit-identical to per-visit map updates.
+#[derive(Default)]
+struct RawCounts {
+    node_keys: Vec<u32>,
+    pair_keys: Vec<u64>,
+    visits: u64,
+    pair_buf: Vec<u64>,
+    node_buf: Vec<u32>,
+}
+
+/// Sorts the raw key stream, run-length-counts it, and divides each
+/// tally by `aut` while inserting into the result map.
+fn merge_keys<K: Ord + Copy + std::hash::Hash>(keys: &mut [K], aut: u64) -> FxHashMap<K, u64> {
+    keys.sort_unstable();
+    // Each owned instance contributes every one of its keys exactly
+    // `aut` times, so unique keys ≤ len / aut.
+    let mut out = FxHashMap::default();
+    out.reserve(keys.len() / aut.max(1) as usize);
+    let mut i = 0;
+    while i < keys.len() {
+        let k = keys[i];
+        let mut j = i + 1;
+        while j < keys.len() && keys[j] == k {
+            j += 1;
+        }
+        let tally = (j - i) as u64;
+        debug_assert_eq!(tally % aut, 0, "raw tally not divisible by |Aut|");
+        out.insert(k, tally / aut);
+        i = j;
+    }
+    out
+}
+
+impl RawCounts {
+    /// Divides every raw tally by `|Aut(M)|` — each owned instance was
+    /// visited exactly that many times (see the module docs) — yielding
+    /// per-instance counts identical to the canonical-dedup oracle.
+    fn finish(mut self, aut: u64) -> AnchorCounts {
+        let aut = aut.max(1);
+        debug_assert_eq!(self.visits % aut, 0, "raw visits not divisible by |Aut|");
+        AnchorCounts {
+            per_node: merge_keys(&mut self.node_keys, aut),
+            per_pair: merge_keys(&mut self.pair_keys, aut),
+            n_instances: self.visits / aut,
+        }
+    }
+}
+
+/// Per-level candidate scratch (ping-pong buffers for the intersection
+/// cascade). One pair per level so iteration at level `ℓ` survives the
+/// recursion into `ℓ+1`.
+#[derive(Default, Clone)]
+struct LevelScratch {
+    a: Vec<NodeId>,
+    b: Vec<NodeId>,
+}
+
+/// Recursive prefix extension from `level`: generates this level's
+/// candidate set by propose/intersect over the bound neighbours' typed
+/// adjacency slices, applies injectivity and the anchor-ownership rule,
+/// and descends. Completed embeddings accumulate raw contributions.
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    g: &Graph,
+    p: &PatternInfo,
+    levels: &[LevelPlan],
+    level: usize,
+    changed: &FxHashSet<u64>,
+    anchor_key: u64,
+    assign: &mut [NodeId],
+    used: &mut [bool],
+    scratch: &mut [LevelScratch],
+    stats: &mut MatchStats,
+    raw: &mut RawCounts,
+) {
+    if level == levels.len() {
+        raw.visits += 1;
+        visit_keys(assign, p, &mut raw.pair_buf, &mut raw.node_buf);
+        raw.pair_keys.extend_from_slice(&raw.pair_buf);
+        raw.node_keys.extend_from_slice(&raw.node_buf);
+        return;
+    }
+    let lv = &levels[level];
+    stats.proposals += 1;
+    let (mine, deeper) = scratch.split_at_mut(1);
+    let candidates: &[NodeId] = match lv.bound.len() {
+        // Detached component: propose from the per-type node list.
+        0 => g.nodes_of_type(lv.ty),
+        // One bound edge: its typed slice *is* the candidate set.
+        1 => g.neighbors_of_type(assign[lv.bound[0]], lv.ty),
+        // Several bound edges: smallest slice proposes, the rest
+        // intersect via the merge/galloping kernels.
+        _ => {
+            let mut smallest = 0usize;
+            let mut smallest_len = usize::MAX;
+            for (i, &w) in lv.bound.iter().enumerate() {
+                let len = g.neighbors_of_type(assign[w], lv.ty).len();
+                if len < smallest_len {
+                    smallest = i;
+                    smallest_len = len;
+                }
+            }
+            if smallest_len == 0 {
+                return;
+            }
+            let buf = &mut mine[0];
+            buf.a.clear();
+            buf.a
+                .extend_from_slice(g.neighbors_of_type(assign[lv.bound[smallest]], lv.ty));
+            for (i, &w) in lv.bound.iter().enumerate() {
+                if i == smallest {
+                    continue;
+                }
+                buf.b.clear();
+                intersect_into(&buf.a, g.neighbors_of_type(assign[w], lv.ty), &mut buf.b);
+                stats.intersections += 1;
+                std::mem::swap(&mut buf.a, &mut buf.b);
+                if buf.a.is_empty() {
+                    return;
+                }
+            }
+            &buf.a
+        }
+    };
+    'cand: for &c in candidates {
+        if used[c.index()] {
+            continue;
+        }
+        // Anchor ownership: binding c forms one new image edge per bound
+        // neighbour; if any is a changed edge numerically below the
+        // anchor, the instance belongs to that edge's run — prune.
+        for &w in &lv.bound {
+            let key = pack_pair(c, assign[w]);
+            if key < anchor_key && changed.contains(&key) {
+                stats.dedup_suppressed += 1;
+                continue 'cand;
+            }
+        }
+        stats.extensions += 1;
+        assign[lv.node] = c;
+        used[c.index()] = true;
+        extend(
+            g,
+            p,
+            levels,
+            level + 1,
+            changed,
+            anchor_key,
+            assign,
+            used,
+            deeper,
+            stats,
+            raw,
+        );
+        used[c.index()] = false;
+    }
+}
+
+/// One delta side — shared by the insertion and removal directions,
+/// which differ only in which graph they extend over. Enumerates, via
+/// the compiled plan, every instance of `p` in `g` owning at least one
+/// of `seed_edges`, and returns per-instance anchor counts identical to
+/// `counts_of_instances(edge_seeded_instances(g, p, seed_edges))`.
+fn anchored_counts(
+    g: &Graph,
+    p: &PatternInfo,
+    plan: &ExtensionPlan,
+    seed_edges: &[(NodeId, NodeId)],
+    stats: &mut MatchStats,
+) -> AnchorCounts {
+    if seed_edges.is_empty() || plan.anchored.is_empty() {
+        return AnchorCounts::default();
+    }
+    let changed: FxHashSet<u64> = seed_edges.iter().map(|&(a, b)| pack_pair(a, b)).collect();
+    let mut assign = vec![NodeId(0); p.n_nodes()];
+    let mut used = vec![false; g.n_nodes()];
+    let n_levels = p.n_nodes().saturating_sub(2);
+    let mut scratch = vec![LevelScratch::default(); n_levels];
+    let mut raw = RawCounts::default();
+    for ap in &plan.anchored {
+        // One batched prefix-extension run per anchored pattern edge:
+        // every changed edge (both orientations) extends through the
+        // same plan and scratch.
+        for &(a, b) in seed_edges {
+            for (x, y) in [(a, b), (b, a)] {
+                if g.node_type(x) != ap.tu || g.node_type(y) != ap.tv {
+                    continue;
+                }
+                debug_assert!(g.has_edge(x, y), "seed edge absent from its graph");
+                let anchor_key = pack_pair(x, y);
+                assign[ap.u] = x;
+                assign[ap.v] = y;
+                used[x.index()] = true;
+                used[y.index()] = true;
+                extend(
+                    g,
+                    p,
+                    &ap.levels,
+                    0,
+                    &changed,
+                    anchor_key,
+                    &mut assign,
+                    &mut used,
+                    &mut scratch,
+                    stats,
+                    &mut raw,
+                );
+                used[x.index()] = false;
+                used[y.index()] = false;
+            }
+        }
+    }
+    let counts = raw.finish(plan.aut);
+    stats.instances += counts.n_instances;
+    counts
+}
+
+/// wcoj equivalent of [`crate::delta::delta_anchor_counts`]: anchor
+/// counts of the instances created by inserting `new_edges` (`g` is the
+/// *post*-insertion graph). `new_nodes` matters only for edgeless
+/// single-node patterns, exactly as in the oracle.
+pub fn wcoj_delta_anchor_counts(
+    g: &Graph,
+    p: &PatternInfo,
+    plan: &ExtensionPlan,
+    new_edges: &[(NodeId, NodeId)],
+    new_nodes: &[NodeId],
+    stats: &mut MatchStats,
+) -> AnchorCounts {
+    let m = &p.metagraph;
+    if m.edges().is_empty() {
+        let mut counts = AnchorCounts::default();
+        if m.n_nodes() == 1 {
+            counts.n_instances = new_nodes
+                .iter()
+                .filter(|&&x| g.node_type(x) == m.node_type(0))
+                .count() as u64;
+        }
+        stats.instances += counts.n_instances;
+        return counts;
+    }
+    anchored_counts(g, p, plan, new_edges, stats)
+}
+
+/// wcoj equivalent of [`crate::delta::doomed_anchor_counts`]: anchor
+/// counts of the instances destroyed by removing `removed_edges`,
+/// extended over the **pre**-delete graph (where they still exist).
+pub fn wcoj_doomed_anchor_counts(
+    g_pre: &Graph,
+    p: &PatternInfo,
+    plan: &ExtensionPlan,
+    removed_edges: &[(NodeId, NodeId)],
+    stats: &mut MatchStats,
+) -> AnchorCounts {
+    if p.metagraph.edges().is_empty() {
+        return AnchorCounts::default();
+    }
+    anchored_counts(g_pre, p, plan, removed_edges, stats)
+}
+
+/// The symmetric delta rule through the wcoj matcher — the drop-in
+/// replacement for [`crate::delta::delta_count_changes`], returning the
+/// same `MatchDelta` bit for bit plus the run's [`MatchStats`]. Doomed
+/// instances extend over `g_pre` seeded at `removed_edges`; new
+/// instances over `g_post` seeded at `new_edges`; accumulation order
+/// (doomed −1, then fresh +1) matches the oracle exactly.
+pub fn wcoj_count_changes(
+    g_pre: &Graph,
+    g_post: &Graph,
+    p: &PatternInfo,
+    plan: &ExtensionPlan,
+    removed_edges: &[(NodeId, NodeId)],
+    new_edges: &[(NodeId, NodeId)],
+    new_nodes: &[NodeId],
+) -> (MatchDelta, MatchStats) {
+    let mut stats = MatchStats::default();
+    let mut out = MatchDelta::default();
+    if !removed_edges.is_empty() {
+        let doomed = wcoj_doomed_anchor_counts(g_pre, p, plan, removed_edges, &mut stats);
+        out.doomed_instances = doomed.n_instances;
+        out.changes.accumulate(&doomed, -1);
+    }
+    let fresh = wcoj_delta_anchor_counts(g_post, p, plan, new_edges, new_nodes, &mut stats);
+    out.new_instances = fresh.n_instances;
+    out.changes.accumulate(&fresh, 1);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anchor::anchor_counts;
+    use crate::delta::{delta_anchor_counts, delta_count_changes, doomed_anchor_counts};
+    use crate::SymIso;
+    use mgp_graph::{GraphBuilder, GraphDelta, GraphExtension, TypeId};
+    use mgp_metagraph::Metagraph;
+
+    const U: TypeId = TypeId(0);
+    const S: TypeId = TypeId(1);
+    const M: TypeId = TypeId(2);
+
+    /// Same campus fixture as `crate::delta`'s tests — two schools, one
+    /// major, six users.
+    fn campus() -> Graph {
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        let major = b.add_type("major");
+        let s1 = b.add_node(school, "s1");
+        let s2 = b.add_node(school, "s2");
+        let m1 = b.add_node(major, "m1");
+        for i in 0..6 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, if i < 3 { s1 } else { s2 }).unwrap();
+            if i % 2 == 0 {
+                b.add_edge(u, m1).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    fn patterns() -> Vec<PatternInfo> {
+        vec![
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, S, U], &[(0, 1), (1, 2)]).unwrap(),
+                U,
+            ),
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, M, U], &[(0, 1), (1, 2)]).unwrap(),
+                U,
+            ),
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+                U,
+            ),
+            PatternInfo::new(
+                Metagraph::from_edges(&[U, S, U, M, U], &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap(),
+                U,
+            ),
+        ]
+    }
+
+    /// The central contract: wcoj produces bit-identical `MatchDelta`s
+    /// to the seeded oracle on every pattern, and applying them to the
+    /// old counts equals a fresh rematch.
+    fn assert_matches_oracle(g_old: &Graph, delta: &GraphDelta) -> MatchStats {
+        let ext: GraphExtension = g_old.apply_delta(delta).unwrap();
+        let mut total = MatchStats::default();
+        for p in patterns() {
+            let plan = ExtensionPlan::compile(&p, g_old);
+            let oracle = delta_count_changes(
+                g_old,
+                &ext.graph,
+                &p,
+                &ext.removed_edges,
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            let (got, stats) = wcoj_count_changes(
+                g_old,
+                &ext.graph,
+                &p,
+                &plan,
+                &ext.removed_edges,
+                &ext.new_edges,
+                &ext.new_nodes,
+            );
+            assert_eq!(
+                got.changes,
+                oracle.changes,
+                "pattern {}",
+                p.metagraph.brief()
+            );
+            assert_eq!(got.new_instances, oracle.new_instances);
+            assert_eq!(got.doomed_instances, oracle.doomed_instances);
+            assert_eq!(stats.instances, got.new_instances + got.doomed_instances);
+
+            let mut old = anchor_counts(&SymIso::new(), g_old, &p);
+            got.changes.apply_to(&mut old);
+            let full = anchor_counts(&SymIso::new(), &ext.graph, &p);
+            assert_eq!(old, full, "pattern {}", p.metagraph.brief());
+            total += stats;
+        }
+        total
+    }
+
+    #[test]
+    fn single_edge_insertion_matches_oracle() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_edge(NodeId(8), NodeId(2)).unwrap();
+        assert_matches_oracle(&g, &d);
+    }
+
+    #[test]
+    fn overlapping_insertions_use_ownership_not_hashing() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // u1 joins s2 and u2 joins s2: shared-school instances using BOTH
+        // new edges exist, so the ownership rule must fire.
+        d.add_edge(NodeId(4), NodeId(1)).unwrap();
+        d.add_edge(NodeId(1), NodeId(5)).unwrap();
+        let stats = assert_matches_oracle(&g, &d);
+        assert!(
+            stats.dedup_suppressed > 0,
+            "overlapping batch must exercise the ownership rule"
+        );
+    }
+
+    #[test]
+    fn removal_storm_matches_oracle() {
+        let g = campus();
+        let mut d = GraphDelta::for_graph(&g);
+        // Detach a whole hub-ish node: all of s1's user edges die at once.
+        d.remove_node(NodeId(0)).unwrap();
+        let stats = assert_matches_oracle(&g, &d);
+        assert!(stats.dedup_suppressed > 0);
+    }
+
+    #[test]
+    fn mixed_batch_matches_oracle() {
+        let g = campus();
+        let user = g.types().id("user").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_edge(NodeId(8), NodeId(2)).unwrap();
+        d.remove_edge(NodeId(3), NodeId(0)).unwrap();
+        let nu = d.add_node(user, "u-new");
+        d.add_edge(nu, NodeId(1)).unwrap();
+        assert_matches_oracle(&g, &d);
+    }
+
+    #[test]
+    fn dense_pattern_intersects() {
+        // The double-joint pattern U-U-S-M has a level bound by two
+        // pattern edges — the propose/intersect path proper.
+        let g = campus();
+        let p = PatternInfo::new(
+            Metagraph::from_edges(&[U, U, S, M], &[(0, 2), (1, 2), (0, 3), (1, 3)]).unwrap(),
+            U,
+        );
+        let plan = ExtensionPlan::compile(&p, &g);
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_edge(NodeId(4), NodeId(2)).unwrap(); // u1 joins m1
+        let ext = g.apply_delta(&d).unwrap();
+        let mut stats = MatchStats::default();
+        let got = wcoj_delta_anchor_counts(
+            &ext.graph,
+            &p,
+            &plan,
+            &ext.new_edges,
+            &ext.new_nodes,
+            &mut stats,
+        );
+        let oracle = delta_anchor_counts(&ext.graph, &p, &ext.new_edges, &ext.new_nodes);
+        assert_eq!(got, oracle);
+        assert!(stats.intersections > 0, "a 2-bound level must intersect");
+        assert!(stats.proposals > 0);
+    }
+
+    #[test]
+    fn doomed_side_extends_over_pre_delete_graph() {
+        let g = campus();
+        let p = &patterns()[0];
+        let plan = ExtensionPlan::compile(p, &g);
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_edge(NodeId(3), NodeId(0)).unwrap();
+        d.remove_edge(NodeId(5), NodeId(0)).unwrap();
+        let ext = g.apply_delta(&d).unwrap();
+        let mut stats = MatchStats::default();
+        let got = wcoj_doomed_anchor_counts(&g, p, &plan, &ext.removed_edges, &mut stats);
+        let oracle = doomed_anchor_counts(&g, p, &ext.removed_edges);
+        assert_eq!(got, oracle);
+        assert!(got.n_instances > 0);
+    }
+
+    #[test]
+    fn edgeless_single_node_pattern_counts_new_nodes() {
+        let g = campus();
+        let user = g.types().id("user").unwrap();
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_node(user, "a");
+        d.add_node(S, "b");
+        let ext = g.apply_delta(&d).unwrap();
+        let p = PatternInfo::new(Metagraph::new(&[U]).unwrap(), U);
+        let plan = ExtensionPlan::compile(&p, &g);
+        let mut stats = MatchStats::default();
+        let got = wcoj_delta_anchor_counts(
+            &ext.graph,
+            &p,
+            &plan,
+            &ext.new_edges,
+            &ext.new_nodes,
+            &mut stats,
+        );
+        assert_eq!(got.n_instances, 1);
+        assert_eq!(stats.instances, 1);
+        assert_eq!(
+            wcoj_doomed_anchor_counts(&g, &p, &plan, &[], &mut stats),
+            AnchorCounts::default()
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty_and_cheap() {
+        let g = campus();
+        for p in patterns() {
+            let plan = ExtensionPlan::compile(&p, &g);
+            let (got, stats) = wcoj_count_changes(&g, &g, &p, &plan, &[], &[], &[]);
+            assert!(got.is_empty());
+            assert_eq!(stats, MatchStats::default());
+        }
+    }
+
+    #[test]
+    fn hub_star_storm_matches_oracle() {
+        // Build a hub school with many users, then drop it in one delta
+        // — the workload the prefix-extension batching targets. Counts
+        // must match the oracle in both directions.
+        let mut b = GraphBuilder::new();
+        let user = b.add_type("user");
+        let school = b.add_type("school");
+        b.add_type("major");
+        let hub = b.add_node(school, "hub");
+        for i in 0..40 {
+            let u = b.add_node(user, format!("u{i}"));
+            b.add_edge(u, hub).unwrap();
+        }
+        let g = b.build();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_node(hub).unwrap();
+        let stats = assert_matches_oracle(&g, &d);
+        // Every u-hub-u instance has two changed edges; ownership must
+        // have suppressed roughly half the anchored extensions.
+        assert!(stats.dedup_suppressed > 0);
+    }
+
+    #[test]
+    fn stats_aggregate_and_display() {
+        let mut a = MatchStats {
+            proposals: 1,
+            intersections: 2,
+            extensions: 3,
+            instances: 4,
+            dedup_suppressed: 5,
+        };
+        a += a;
+        assert_eq!(a.proposals, 2);
+        assert_eq!(a.dedup_suppressed, 10);
+        let shown = a.to_string();
+        for needle in ["proposals 2", "intersections 4", "dedup-suppressed 10"] {
+            assert!(shown.contains(needle), "{shown}");
+        }
+    }
+}

@@ -19,6 +19,48 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Delta-matcher work counters for one mutation (or, summed, one
+/// scenario) — a dependency-free mirror of `mgp_matching::MatchStats`,
+/// so the scenario crate can report matcher effort without depending on
+/// the matching crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchWork {
+    /// Candidate sets proposed (one per extension level entered).
+    pub proposals: u64,
+    /// Merge/gallop intersection kernel invocations.
+    pub intersections: u64,
+    /// Candidate nodes actually bound and recursed into.
+    pub extensions: u64,
+    /// Instances enumerated (after `|Aut|` division).
+    pub instances: u64,
+    /// Candidates pruned by the anchor-ownership dedup rule.
+    pub dedup_suppressed: u64,
+}
+
+impl std::ops::AddAssign for MatchWork {
+    fn add_assign(&mut self, rhs: MatchWork) {
+        self.proposals += rhs.proposals;
+        self.intersections += rhs.intersections;
+        self.extensions += rhs.extensions;
+        self.instances += rhs.instances;
+        self.dedup_suppressed += rhs.dedup_suppressed;
+    }
+}
+
+impl fmt::Display for MatchWork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proposals {}, intersections {}, extensions {}, instances {}, dedup-suppressed {}",
+            self.proposals,
+            self.intersections,
+            self.extensions,
+            self.instances,
+            self.dedup_suppressed
+        )
+    }
+}
+
 /// What a mutation did to the serving layer — the slice of
 /// `IngestReport` the per-scenario report aggregates.
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,6 +69,8 @@ pub struct MutationSummary {
     pub fused_shard_visits: usize,
     /// Shard visits per-class patching would have paid.
     pub sequential_shard_visits: usize,
+    /// wcoj delta-matcher work this ingest performed.
+    pub match_work: MatchWork,
 }
 
 /// The mutable side of a scenario run: whatever owns the engine applies
@@ -91,6 +135,8 @@ pub struct ScenarioReport {
     pub fused_shard_visits: usize,
     /// Shard visits per-class patching would have paid.
     pub sequential_shard_visits: usize,
+    /// Delta-matcher work summed across all deltas.
+    pub match_work: MatchWork,
 }
 
 impl ScenarioReport {
@@ -205,110 +251,115 @@ pub fn run_trace(
     let stats0 = frontend.server().stats();
 
     let t0 = Instant::now();
-    let (histogram, deltas, registers, failures, fused, sequential) = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let queries = &queries;
-                let (completed, errors, shed, applied) = (&completed, &errors, &shed, &applied);
-                s.spawn(move || {
-                    let mut histogram = LatencyHistogram::new();
-                    let mut inflight: VecDeque<(Instant, Ticket)> =
-                        VecDeque::with_capacity(cfg.outstanding);
-                    let resolve =
-                        |inflight: &mut VecDeque<(Instant, Ticket)>,
-                         histogram: &mut LatencyHistogram| {
-                            if let Some((sent, ticket)) = inflight.pop_front() {
-                                if ticket.wait().is_err() {
-                                    errors.fetch_add(1, Ordering::Relaxed);
+    let (histogram, deltas, registers, failures, fused, sequential, match_work) =
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queries = &queries;
+                    let (completed, errors, shed, applied) = (&completed, &errors, &shed, &applied);
+                    s.spawn(move || {
+                        let mut histogram = LatencyHistogram::new();
+                        let mut inflight: VecDeque<(Instant, Ticket)> =
+                            VecDeque::with_capacity(cfg.outstanding);
+                        let resolve =
+                            |inflight: &mut VecDeque<(Instant, Ticket)>,
+                             histogram: &mut LatencyHistogram| {
+                                if let Some((sent, ticket)) = inflight.pop_front() {
+                                    if ticket.wait().is_err() {
+                                        errors.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    histogram.record(sent.elapsed());
+                                    completed.fetch_add(1, Ordering::Release);
                                 }
-                                histogram.record(sent.elapsed());
-                                completed.fetch_add(1, Ordering::Release);
-                            }
-                        };
-                    for qo in queries.iter().skip(w).step_by(workers) {
-                        // A query must not outrun the mutations before it
-                        // (its class may not exist yet). While waiting,
-                        // drain our in-flight tickets — the mutation gate
-                        // may be waiting on exactly those completions.
-                        while applied.load(Ordering::Acquire) < qo.epoch {
-                            if inflight.is_empty() {
-                                std::thread::yield_now();
-                            } else {
-                                resolve(&mut inflight, &mut histogram);
-                            }
-                        }
-                        let sent = Instant::now();
-                        let ticket = loop {
-                            match frontend.submit(qo.slot as usize, qo.q, qo.k as usize) {
-                                Ok(t) => break Some(t),
-                                Err(FrontendError::Overloaded { .. }) => {
-                                    shed.fetch_add(1, Ordering::Relaxed);
-                                    resolve(&mut inflight, &mut histogram);
+                            };
+                        for qo in queries.iter().skip(w).step_by(workers) {
+                            // A query must not outrun the mutations before it
+                            // (its class may not exist yet). While waiting,
+                            // drain our in-flight tickets — the mutation gate
+                            // may be waiting on exactly those completions.
+                            while applied.load(Ordering::Acquire) < qo.epoch {
+                                if inflight.is_empty() {
                                     std::thread::yield_now();
-                                }
-                                Err(_) => break None,
-                            }
-                        };
-                        match ticket {
-                            Some(t) => {
-                                inflight.push_back((sent, t));
-                                if inflight.len() >= cfg.outstanding {
+                                } else {
                                     resolve(&mut inflight, &mut histogram);
                                 }
                             }
-                            None => {
-                                // Typed rejection (unknown class, …):
-                                // counts as a completed-with-error query
-                                // so mutation gates keep advancing.
-                                errors.fetch_add(1, Ordering::Relaxed);
-                                completed.fetch_add(1, Ordering::Release);
+                            let sent = Instant::now();
+                            let ticket = loop {
+                                match frontend.submit(qo.slot as usize, qo.q, qo.k as usize) {
+                                    Ok(t) => break Some(t),
+                                    Err(FrontendError::Overloaded { .. }) => {
+                                        shed.fetch_add(1, Ordering::Relaxed);
+                                        resolve(&mut inflight, &mut histogram);
+                                        std::thread::yield_now();
+                                    }
+                                    Err(_) => break None,
+                                }
+                            };
+                            match ticket {
+                                Some(t) => {
+                                    inflight.push_back((sent, t));
+                                    if inflight.len() >= cfg.outstanding {
+                                        resolve(&mut inflight, &mut histogram);
+                                    }
+                                }
+                                None => {
+                                    // Typed rejection (unknown class, …):
+                                    // counts as a completed-with-error query
+                                    // so mutation gates keep advancing.
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                    completed.fetch_add(1, Ordering::Release);
+                                }
                             }
                         }
-                    }
-                    while !inflight.is_empty() {
-                        resolve(&mut inflight, &mut histogram);
-                    }
-                    histogram
+                        while !inflight.is_empty() {
+                            resolve(&mut inflight, &mut histogram);
+                        }
+                        histogram
+                    })
                 })
-            })
-            .collect();
+                .collect();
 
-        // The caller's thread is the mutator: apply each delta/register
-        // once the queries before it have completed, so churn lands
-        // mid-traffic at a reproducible position.
-        let mut deltas = 0usize;
-        let mut registers = 0usize;
-        let mut failures: Vec<String> = Vec::new();
-        let mut fused = 0usize;
-        let mut sequential = 0usize;
-        for (gate, op) in &mutations {
-            while completed.load(Ordering::Acquire) < *gate {
-                std::thread::yield_now();
+            // The caller's thread is the mutator: apply each delta/register
+            // once the queries before it have completed, so churn lands
+            // mid-traffic at a reproducible position.
+            let mut deltas = 0usize;
+            let mut registers = 0usize;
+            let mut failures: Vec<String> = Vec::new();
+            let mut fused = 0usize;
+            let mut sequential = 0usize;
+            let mut match_work = MatchWork::default();
+            for (gate, op) in &mutations {
+                while completed.load(Ordering::Acquire) < *gate {
+                    std::thread::yield_now();
+                }
+                match op {
+                    Op::Delta(delta) => match target.apply_delta(delta) {
+                        Ok(m) => {
+                            deltas += 1;
+                            fused += m.fused_shard_visits;
+                            sequential += m.sequential_shard_visits;
+                            match_work += m.match_work;
+                        }
+                        Err(e) => failures.push(format!("delta rejected: {e}")),
+                    },
+                    Op::Register(spec) => match target.register_class(spec) {
+                        Ok(_) => registers += 1,
+                        Err(e) => failures.push(format!("register {:?} rejected: {e}", spec.name)),
+                    },
+                    Op::Query { .. } => unreachable!("queries are partitioned out"),
+                }
+                applied.fetch_add(1, Ordering::Release);
             }
-            match op {
-                Op::Delta(delta) => match target.apply_delta(delta) {
-                    Ok(m) => {
-                        deltas += 1;
-                        fused += m.fused_shard_visits;
-                        sequential += m.sequential_shard_visits;
-                    }
-                    Err(e) => failures.push(format!("delta rejected: {e}")),
-                },
-                Op::Register(spec) => match target.register_class(spec) {
-                    Ok(_) => registers += 1,
-                    Err(e) => failures.push(format!("register {:?} rejected: {e}", spec.name)),
-                },
-                Op::Query { .. } => unreachable!("queries are partitioned out"),
-            }
-            applied.fetch_add(1, Ordering::Release);
-        }
 
-        let mut histogram = LatencyHistogram::new();
-        for h in handles {
-            histogram.merge(&h.join().expect("scenario worker panicked"));
-        }
-        (histogram, deltas, registers, failures, fused, sequential)
-    });
+            let mut histogram = LatencyHistogram::new();
+            for h in handles {
+                histogram.merge(&h.join().expect("scenario worker panicked"));
+            }
+            (
+                histogram, deltas, registers, failures, fused, sequential, match_work,
+            )
+        });
     let wall = t0.elapsed();
     let stats1 = frontend.server().stats();
 
@@ -326,5 +377,6 @@ pub fn run_trace(
         mutation_failures: failures,
         fused_shard_visits: fused,
         sequential_shard_visits: sequential,
+        match_work,
     }
 }

@@ -90,6 +90,20 @@ pub struct GeneratorConfig {
     pub churn_edges: usize,
     /// Edges each [`Scenario::DeletionStorm`] hub attaches (and one
     /// delta later removes).
+    ///
+    /// **Density caveat**: size this relative to the target graph, not
+    /// in absolute terms. Every hub edge seeds delta matching for every
+    /// pattern whose edge types it fits, so the *instance* delta a hub
+    /// produces grows with the graph's co-neighbour density — on a
+    /// dense schema (many shared attributes per anchor pair) a
+    /// degree-256 hub can inflate size-5 pattern instance counts
+    /// combinatorially even though the wcoj matcher enumerates them in
+    /// one shared extension frontier. The default suits sparse test
+    /// worlds; dense-schema suites (e.g. the Facebook benchmark) should
+    /// set a value near the graph's p99 anchor degree. The generator
+    /// additionally caps the hub at half the anchor pool so the storm's
+    /// "hammer the churned anchors" phase stays a distinguishable hot
+    /// set instead of degenerating into uniform reads.
     pub hub_degree: usize,
     /// Hub add/remove storms per deletion-storm trace.
     pub storms: usize,
@@ -317,7 +331,11 @@ impl TraceGenerator {
         let cdf = zipf_cdf(self.anchors.len());
         let slots = zipf_cdf(self.cfg.n_classes);
         let storms = self.cfg.storms.max(1);
-        let degree = self.cfg.hub_degree.min(self.anchors.len());
+        // Cap at half the anchor pool (see the `hub_degree` caveat): a
+        // saturating hub would make the churned-anchor read phase
+        // indistinguishable from uniform traffic, and the distinct-anchor
+        // rejection loop below would degenerate into a coupon collector.
+        let degree = self.cfg.hub_degree.min(self.anchors.len() / 2).max(1);
         // Each storm: calm reads, hub attach, reads aimed at the churned
         // anchors, hub removal (every edge in one delta).
         let per_phase = (self.cfg.queries / (storms * 2)).max(1);

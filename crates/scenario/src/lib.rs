@@ -41,7 +41,8 @@ pub mod ops;
 pub mod spec;
 
 pub use driver::{
-    run_trace, DriverConfig, MutationSummary, ScenarioReport, ScenarioTarget, SuiteReport,
+    run_trace, DriverConfig, MatchWork, MutationSummary, ScenarioReport, ScenarioTarget,
+    SuiteReport,
 };
 pub use generator::{GeneratorConfig, Scenario, TraceGenerator};
 pub use ops::{fnv64, Op, Trace};

@@ -80,7 +80,10 @@ fn golden_trace_fingerprints() {
     const GOLDEN: [(&str, u64); 6] = [
         ("steady-read", 0x5d4e_f5b8_da5b_0806),
         ("diurnal-churn", 0xed19_1fea_b5e8_9007),
-        ("deletion-storm", 0xfba9_6ab0_c085_6ee5),
+        // Repinned when the storm hub was capped at half the anchor
+        // pool (it previously saturated all 30 anchors of this world);
+        // the other five streams are independent and unchanged.
+        ("deletion-storm", 0x0991_4b7e_099e_d2e1),
         ("cache-buster", 0xa0e8_b62a_ac83_0a28),
         ("tenant-skew", 0xf22d_5d76_c667_4576),
         ("register-mid-traffic", 0x74a5_7723_e8f6_dd28),

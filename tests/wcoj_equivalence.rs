@@ -1,0 +1,251 @@
+//! Differential property for the wcoj delta matcher: for arbitrary
+//! typed base graphs and random **mixed insert/delete** batches —
+//! including hub builds and hub drops — `wcoj_count_changes` must
+//! produce `CountDelta`s **bit-identical** to the seeded backtracking
+//! oracle (`delta_count_changes`), and applying them to the pre-batch
+//! counts must equal a full SymISO rematch of the post-batch graph.
+//!
+//! The pattern set covers both the engine's *built-in* proximity
+//! catalogue (`enumerate_proximity_patterns`, the shapes `PatternSelect::
+//! Seeds`/`All` serve) and *Custom* hand-built shapes — triangle-dense
+//! ones in particular, because triangles are where anchor-ownership
+//! dedup earns its keep: one changed edge closes many instances that
+//! also contain other changed edges, and every such instance must be
+//! attributed exactly once.
+//!
+//! Plans are compiled **once against the base graph** and reused across
+//! every batch, like the engine's per-pattern plan cache: the
+//! statistics-informed level order may go stale as the graph churns,
+//! and the counts must not care.
+
+use proptest::prelude::*;
+use semantic_proximity::graph::delta::GraphDelta;
+use semantic_proximity::graph::{Graph, GraphBuilder, NodeId, TypeId};
+use semantic_proximity::matching::anchor::{anchor_counts, AnchorCounts};
+use semantic_proximity::matching::{
+    delta_count_changes, wcoj_count_changes, ExtensionPlan, MatchDelta, PatternInfo, SymIso,
+};
+use semantic_proximity::metagraph::{enumerate_proximity_patterns, Metagraph};
+
+const USER: TypeId = TypeId(0);
+const A: TypeId = TypeId(1);
+const B: TypeId = TypeId(2);
+
+fn base_graph(n_users: usize, n_a: usize, n_b: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = GraphBuilder::new();
+    let user = g.add_type("user");
+    let ta = g.add_type("a");
+    let tb = g.add_type("b");
+    let mut nodes = Vec::new();
+    for i in 0..n_users {
+        nodes.push(g.add_node(user, format!("u{i}")));
+    }
+    for i in 0..n_a {
+        nodes.push(g.add_node(ta, format!("a{i}")));
+    }
+    for i in 0..n_b {
+        nodes.push(g.add_node(tb, format!("b{i}")));
+    }
+    for &(x, y) in edges {
+        let (x, y) = (x % nodes.len(), y % nodes.len());
+        if x != y {
+            g.add_edge(nodes[x], nodes[y]).unwrap();
+        }
+    }
+    g.build()
+}
+
+/// Built-in proximity shapes over `{user, a}` (every pattern the
+/// engine's seed enumeration would serve at ≤ 3 nodes) plus Custom
+/// triangle-dense shapes: a user triangle, a user 4-clique, a
+/// triangle through a shared attribute, and the double-joint diamond.
+fn catalogue() -> Vec<PatternInfo> {
+    let mut shapes = enumerate_proximity_patterns(&[USER, A], 3, USER, 2);
+    shapes.extend([
+        Metagraph::from_edges(&[USER, USER, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+        Metagraph::from_edges(
+            &[USER, USER, USER, USER],
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        )
+        .unwrap(),
+        Metagraph::from_edges(&[USER, A, USER], &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+        Metagraph::from_edges(&[USER, A, B, USER], &[(0, 1), (3, 1), (0, 2), (3, 2)]).unwrap(),
+    ]);
+    shapes
+        .into_iter()
+        .map(|m| PatternInfo::new(m, USER))
+        .collect()
+}
+
+/// Full-rematch reference counts via the SymISO matcher.
+fn rematch(g: &Graph, p: &PatternInfo) -> AnchorCounts {
+    anchor_counts(&SymIso::new(), g, p)
+}
+
+/// Asserts one batch's wcoj output against both references and returns
+/// the post-batch rematch counts (the next batch's baseline).
+fn check_batch(
+    g_pre: &Graph,
+    delta: &GraphDelta,
+    pats: &[PatternInfo],
+    plans: &[ExtensionPlan],
+    baselines: &mut [AnchorCounts],
+) -> Graph {
+    let ext = g_pre.apply_delta(delta).unwrap();
+    for ((p, plan), base) in pats.iter().zip(plans).zip(baselines.iter_mut()) {
+        let oracle: MatchDelta = delta_count_changes(
+            g_pre,
+            &ext.graph,
+            p,
+            &ext.removed_edges,
+            &ext.new_edges,
+            &ext.new_nodes,
+        );
+        let (got, stats) = wcoj_count_changes(
+            g_pre,
+            &ext.graph,
+            p,
+            plan,
+            &ext.removed_edges,
+            &ext.new_edges,
+            &ext.new_nodes,
+        );
+        // Bit-identical to the seeded backtracking oracle.
+        prop_assert_eq!(
+            &got.changes,
+            &oracle.changes,
+            "wcoj CountDelta diverged from the seeded oracle on {}",
+            p.metagraph.brief()
+        );
+        prop_assert_eq!(got.new_instances, oracle.new_instances);
+        prop_assert_eq!(got.doomed_instances, oracle.doomed_instances);
+        prop_assert_eq!(
+            stats.instances,
+            got.new_instances + got.doomed_instances,
+            "MatchStats must count what the delta attributes"
+        );
+        // Bit-identical to a full rematch once applied to the baseline.
+        let mut merged = base.clone();
+        got.changes.apply_to(&mut merged);
+        let fresh = rematch(&ext.graph, p);
+        prop_assert_eq!(
+            merged,
+            fresh.clone(),
+            "baseline + wcoj delta diverged from full rematch on {}",
+            p.metagraph.brief()
+        );
+        *base = fresh;
+    }
+    ext.graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random interleaved insert/delete batches: every op is decoded
+    /// from `(x, y, kind)` — insert an edge among existing nodes,
+    /// insert an edge through a fresh node, remove an existing edge
+    /// (duplicates tolerated), or tombstone-detach a node.
+    #[test]
+    fn mixed_churn_is_bit_identical(
+        n_users in 5usize..10,
+        n_a in 2usize..5,
+        n_b in 2usize..4,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 10..40),
+        batches in prop::collection::vec(
+            prop::collection::vec((0usize..1000, 0usize..1000, 0u8..4), 1..8),
+            1..4,
+        ),
+    ) {
+        let mut g = base_graph(n_users, n_a, n_b, &base_edges);
+        let pats = catalogue();
+        // Compile once on the base graph, reuse across batches — the
+        // engine's plan cache does the same, so stale statistics must
+        // never change the counts.
+        let plans: Vec<ExtensionPlan> =
+            pats.iter().map(|p| ExtensionPlan::compile(p, &g)).collect();
+        let mut baselines: Vec<AnchorCounts> =
+            pats.iter().map(|p| rematch(&g, p)).collect();
+
+        for batch in batches {
+            let edges_now: Vec<(NodeId, NodeId)> = g.edges().collect();
+            let mut delta = GraphDelta::for_graph(&g);
+            let mut n_now = g.n_nodes();
+            for (x, y, kind) in batch {
+                match kind {
+                    0 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let b = NodeId((y % n_now) as u32);
+                        if a != b {
+                            delta.add_edge(a, b).unwrap();
+                        }
+                    }
+                    1 => {
+                        let a = NodeId((x % n_now) as u32);
+                        let ty = [USER, A, B][y % 3];
+                        n_now += 1;
+                        let b = delta.add_node(ty, format!("fresh{n_now}"));
+                        delta.add_edge(a, b).unwrap();
+                    }
+                    2 if !edges_now.is_empty() => {
+                        let (a, b) = edges_now[x % edges_now.len()];
+                        delta.remove_edge(a, b).unwrap();
+                    }
+                    3 => {
+                        delta.remove_node(NodeId((x % g.n_nodes()) as u32)).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            g = check_batch(&g, &delta, &pats, &plans, &mut baselines);
+        }
+    }
+
+    /// Hub storms: one delta builds a hub (a fresh attribute node wired
+    /// to `hub_degree` users at once — many changed edges sharing an
+    /// endpoint, the anchor-ownership stress case), a later delta drops
+    /// it via node removal. Both must stay bit-identical, as must the
+    /// single-edge trickles in between.
+    #[test]
+    fn hub_build_and_drop_are_bit_identical(
+        n_users in 8usize..16,
+        n_a in 2usize..4,
+        base_edges in prop::collection::vec((0usize..100, 0usize..100), 10..30),
+        hub_degree in 4usize..12,
+        trickle in prop::collection::vec((0usize..1000, 0usize..1000), 0..4),
+    ) {
+        let mut g = base_graph(n_users, n_a, 2, &base_edges);
+        let pats = catalogue();
+        let plans: Vec<ExtensionPlan> =
+            pats.iter().map(|p| ExtensionPlan::compile(p, &g)).collect();
+        let mut baselines: Vec<AnchorCounts> =
+            pats.iter().map(|p| rematch(&g, p)).collect();
+
+        // Build the hub in one delta.
+        let mut build = GraphDelta::for_graph(&g);
+        let hub = build.add_node(A, "hub");
+        for i in 0..hub_degree.min(n_users) {
+            build.add_edge(hub, NodeId(i as u32)).unwrap();
+        }
+        g = check_batch(&g, &build, &pats, &plans, &mut baselines);
+        let hub = NodeId((g.n_nodes() - 1) as u32);
+
+        // Trickle single-edge deltas over the hubbed graph.
+        for (x, y) in trickle {
+            let mut d = GraphDelta::for_graph(&g);
+            let a = NodeId((x % g.n_nodes()) as u32);
+            let b = NodeId((y % g.n_nodes()) as u32);
+            if a == b {
+                continue;
+            }
+            d.add_edge(a, b).unwrap();
+            g = check_batch(&g, &d, &pats, &plans, &mut baselines);
+        }
+
+        // Drop the whole hub in one delta.
+        let mut drop = GraphDelta::for_graph(&g);
+        drop.remove_node(hub).unwrap();
+        g = check_batch(&g, &drop, &pats, &plans, &mut baselines);
+        prop_assert!(g.neighbors(hub).is_empty(), "hub must be detached");
+    }
+}
